@@ -1,0 +1,55 @@
+"""Ablation: the mvp-tree leaf capacity k (paper section 4.2).
+
+"It is a good idea to keep k large so that most of the data items are
+kept in the leaves ... instead of making many distance computations
+with the vantage points in the internal nodes, we delay the major
+filtering step of the search algorithm to the leaf level."  The paper's
+Figure 8/9 comparison of mvpt(3,9) vs mvpt(3,80) is one slice of this
+sweep.
+"""
+
+import numpy as np
+
+from repro import MVPTree
+from repro.datasets import uniform_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_leaf_capacity_sweep(benchmark):
+    data = uniform_vectors(5000, dim=20, rng=0)
+    queries = [np.random.default_rng(1).random(20) for __ in range(15)]
+    radius = 0.3
+    capacities = (3, 9, 20, 40, 80, 160)
+
+    def measure():
+        rows = {}
+        for k in capacities:
+            counting = CountingMetric(L2())
+            tree = MVPTree(data, counting, m=3, k=k, p=5, rng=0)
+            build = counting.reset()
+            for query in queries:
+                tree.range_search(query, radius)
+            rows[k] = {
+                "build": build,
+                "search": counting.reset() / len(queries),
+                "leaf_fraction": tree.leaf_data_point_count / len(data),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {
+        str(k): round(row["search"], 1) for k, row in rows.items()
+    }
+
+    print(f"\nmvpt(3,k,p=5) leaf-capacity sweep (n=5000, r={radius}):")
+    print(f"{'k':>6}{'build':>10}{'search/query':>14}{'% in leaves':>13}")
+    for k, row in rows.items():
+        print(f"{k:>6}{row['build']:>10,.0f}{row['search']:>14.1f}"
+              f"{100 * row['leaf_fraction']:>12.1f}%")
+
+    # The paper's effect: large-k trees search cheaper than tiny-k trees.
+    assert rows[80]["search"] < rows[3]["search"]
+    # And keep a larger fraction of points in leaves.
+    assert rows[80]["leaf_fraction"] > rows[3]["leaf_fraction"]
+    # The k=80 configuration (the paper's headline) beats k=9 too.
+    assert rows[80]["search"] < rows[9]["search"]

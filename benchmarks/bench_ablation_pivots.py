@@ -1,0 +1,55 @@
+"""Ablation: LAESA pivot count.
+
+The pivot-table index trades a fixed per-query cost (one distance per
+pivot) against filter tightness.  The sweep shows the classic U-curve:
+too few pivots leave loose bounds (many refinements), too many pay
+more up-front than they save.
+"""
+
+import numpy as np
+
+from repro import LAESA
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_pivot_count_sweep(benchmark):
+    data = clustered_vectors(40, 75, dim=20, rng=0)  # n = 3000
+    rng = np.random.default_rng(1)
+    queries = [rng.random(20) for __ in range(15)]
+    radius = 0.4
+    pivot_counts = (1, 2, 4, 8, 16, 32, 64)
+
+    def measure():
+        rows = {}
+        for n_pivots in pivot_counts:
+            counting = CountingMetric(L2())
+            index = LAESA(data, counting, n_pivots=n_pivots, rng=0)
+            build = counting.reset()
+            for query in queries:
+                index.range_search(query, radius)
+            rows[n_pivots] = {
+                "build": build,
+                "search": counting.reset() / len(queries),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {
+        str(p): round(row["search"], 1) for p, row in rows.items()
+    }
+
+    print(f"\nLAESA pivot sweep (n={len(data)}, r={radius}):")
+    print(f"{'pivots':>8}{'build':>10}{'search/query':>14}")
+    for n_pivots, row in rows.items():
+        print(f"{n_pivots:>8}{row['build']:>10,.0f}{row['search']:>14.1f}")
+
+    # Build cost is exactly linear in the pivot count.
+    for n_pivots, row in rows.items():
+        assert row["build"] == n_pivots * len(data)
+    # Bounds tighten with pivots: 16 pivots beat 1 decisively.
+    assert rows[16]["search"] < rows[1]["search"] / 2
+    # And the fixed cost eventually shows: search cost never drops
+    # below the per-query pivot price.
+    for n_pivots, row in rows.items():
+        assert row["search"] >= n_pivots

@@ -1,0 +1,70 @@
+"""Ablation: vantage-point selection strategies (paper section 6).
+
+"It would be also interesting to determine the best vantage point for
+a given set of data objects.  Methods to determine better vantage
+points with a little extra cost would pay off in search queries" — the
+future-work item the paper leaves open, quantified here: random
+(the paper's setup), farthest, and [Yia93]'s max-spread heuristic, for
+both vp-trees and mvp-trees.
+"""
+
+import numpy as np
+
+from repro import MVPTree, VPTree
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_selection_strategy_sweep(benchmark):
+    data = clustered_vectors(50, 100, dim=20, rng=0)
+    queries = [np.random.default_rng(1).random(20) for __ in range(15)]
+    radius = 0.4
+    strategies = ("random", "farthest", "max_spread")
+    seeds = (0, 1, 2)
+
+    def measure():
+        rows = {}
+        for strategy in strategies:
+            build_total = vp_total = mvp_total = 0.0
+            for seed in seeds:
+                counting = CountingMetric(L2())
+                vp = VPTree(data, counting, m=2, selector=strategy, rng=seed)
+                build_total += counting.reset()
+                for query in queries:
+                    vp.range_search(query, radius)
+                vp_total += counting.reset() / len(queries)
+
+                mvp = MVPTree(
+                    data, counting, m=3, k=40, p=5, selector=strategy, rng=seed
+                )
+                counting.reset()
+                for query in queries:
+                    mvp.range_search(query, radius)
+                mvp_total += counting.reset() / len(queries)
+            rows[strategy] = {
+                "vpt(2) search": vp_total / len(seeds),
+                "mvpt(3,40) search": mvp_total / len(seeds),
+                "vpt(2) build": build_total / len(seeds),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {
+        strategy: {key: round(value, 1) for key, value in row.items()}
+        for strategy, row in rows.items()
+    }
+
+    print(f"\nSelection-strategy sweep (n={len(data)}, r={radius}, 3 seeds):")
+    print(f"{'strategy':<12}{'vpt(2) build':>14}{'vpt(2) search':>15}"
+          f"{'mvpt search':>14}")
+    for strategy, row in rows.items():
+        print(f"{strategy:<12}{row['vpt(2) build']:>14,.0f}"
+              f"{row['vpt(2) search']:>15.1f}{row['mvpt(3,40) search']:>14.1f}")
+
+    # Selection strategies must not change correctness-driven scale:
+    # all end in the same order of magnitude.
+    searches = [row["vpt(2) search"] for row in rows.values()]
+    assert max(searches) < 2.5 * min(searches)
+    # The informed strategies pay extra distance computations at build
+    # time (that is their advertised trade).
+    assert rows["max_spread"]["vpt(2) build"] > rows["random"]["vpt(2) build"]

@@ -1,0 +1,85 @@
+"""Construction-cost claims (paper sections 3.3 and 4.2).
+
+* Building an m-way vp-tree or an mvp-tree takes O(n log_m n) distance
+  computations.
+* Higher order m cuts construction cost by a factor of log2(m) versus
+  the binary tree.
+* GNAT pays substantially more at construction (the [Bri95] trade).
+"""
+
+import numpy as np
+import pytest
+
+from repro import GNAT, MVPTree, VPTree
+from repro.datasets import uniform_vectors
+from repro.metric import L2, CountingMetric
+
+
+def _build_cost(factory, data):
+    counting = CountingMetric(L2())
+    factory(data, counting)
+    return counting.count
+
+
+def test_construction_costs(benchmark):
+    sizes = (1000, 2000, 4000, 8000)
+    datasets = {n: uniform_vectors(n, dim=20, rng=n) for n in sizes}
+
+    def measure():
+        rows = {}
+        for n, data in datasets.items():
+            rows[n] = {
+                "vpt(2)": _build_cost(
+                    lambda d, m: VPTree(d, m, m=2, rng=0), data
+                ),
+                "vpt(3)": _build_cost(
+                    lambda d, m: VPTree(d, m, m=3, rng=0), data
+                ),
+                "mvpt(3,80)": _build_cost(
+                    lambda d, m: MVPTree(d, m, m=3, k=80, p=5, rng=0), data
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["costs"] = rows
+
+    print("\nConstruction distance computations (O(n log_m n) check):")
+    print(f"{'n':>8}{'vpt(2)':>12}{'vpt(3)':>12}{'mvpt(3,80)':>12}"
+          f"{'vpt2/nlog2n':>14}")
+    for n, row in rows.items():
+        normalised = row["vpt(2)"] / (n * np.log2(n))
+        print(f"{n:>8}{row['vpt(2)']:>12,}{row['vpt(3)']:>12,}"
+              f"{row['mvpt(3,80)']:>12,}{normalised:>14.3f}")
+
+    # O(n log n): the normalised constant stays bounded as n doubles.
+    constants = [rows[n]["vpt(2)"] / (n * np.log2(n)) for n in sizes]
+    assert max(constants) < 2 * min(constants)
+
+    for n in sizes:
+        # Order 3 builds cheaper than order 2 (factor ~log2(3) = 1.58).
+        assert rows[n]["vpt(3)"] < rows[n]["vpt(2)"]
+        # The mvp-tree's construction is in the same O(n log n) family,
+        # not the O(n^2) of the distance-matrix approach.
+        assert rows[n]["mvpt(3,80)"] < 3 * n * np.log2(n)
+
+
+def test_gnat_construction_is_costlier(benchmark):
+    data = uniform_vectors(3000, dim=20, rng=1)
+
+    def measure():
+        return {
+            "gnat(8)": _build_cost(
+                lambda d, m: GNAT(d, m, degree=8, rng=0), data
+            ),
+            "vpt(2)": _build_cost(lambda d, m: VPTree(d, m, m=2, rng=0), data),
+            "mvpt(3,80)": _build_cost(
+                lambda d, m: MVPTree(d, m, m=3, k=80, p=5, rng=0), data
+            ),
+        }
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(costs)
+    print(f"\nGNAT vs trees at n=3000: {costs}")
+    assert costs["gnat(8)"] > 2 * costs["vpt(2)"]
+    assert costs["gnat(8)"] > 2 * costs["mvpt(3,80)"]

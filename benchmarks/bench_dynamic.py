@@ -1,0 +1,112 @@
+"""Dynamic mvp-tree: update costs and search degradation (paper §6).
+
+Quantifies the paper's open problem as solved by the semi-dynamic
+design: what an insert costs, what a delete costs, and how much search
+performance a churned tree gives up against a fresh static build.
+"""
+
+import numpy as np
+
+from repro import DynamicMVPTree, MVPTree
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_insert_cost_is_logarithmic(benchmark):
+    data = clustered_vectors(30, 100, dim=20, rng=0)  # n = 3000
+
+    def measure():
+        counting = CountingMetric(L2())
+        tree = DynamicMVPTree([], counting, m=3, k=20, p=4, rng=0)
+        costs = []
+        checkpoint = set((500, 1000, 2000, 3000))
+        for i, vector in enumerate(data, start=1):
+            before = counting.count
+            tree.insert(vector)
+            costs.append(counting.count - before)
+            if i in checkpoint:
+                recent = costs[-200:]
+                costs_at = float(np.mean(recent))
+        # average insert cost over the last 500 inserts at n = 3000
+        return float(np.mean(costs[-500:])), tree
+
+    avg_cost, tree = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["avg_insert_cost_at_n3000"] = round(avg_cost, 1)
+    print(f"\naverage insert cost near n=3000: {avg_cost:.1f} distance "
+          f"computations (tree height {tree.height})")
+    # An insert touches O(height) nodes at 2 distances each, plus the
+    # amortised share of leaf rebuilds — far below O(n).
+    assert avg_cost < 50
+
+
+def test_churned_search_vs_fresh_build(benchmark):
+    rng = np.random.default_rng(1)
+    initial = clustered_vectors(30, 50, dim=20, rng=0)  # n = 1500
+    queries = [rng.random(20) for __ in range(15)]
+    radius = 0.4
+
+    def measure():
+        counting = CountingMetric(L2())
+        tree = DynamicMVPTree(
+            list(initial), counting, m=3, k=20, p=4, rng=0,
+            rebuild_threshold=0.3,
+        )
+        data = list(initial)
+        for __ in range(1_500):
+            if rng.random() < 0.6 or len(tree) < 100:
+                vector = data[int(rng.integers(len(data)))] + rng.normal(
+                    0, 0.05, 20
+                )
+                data.append(vector)
+                tree.insert(vector)
+            else:
+                while True:
+                    victim = int(rng.integers(len(data)))
+                    if tree.is_live(victim):
+                        tree.delete(victim)
+                        break
+
+        counting.reset()
+        for query in queries:
+            tree.range_search(query, radius)
+        churned = counting.reset() / len(queries)
+
+        live = [data[i] for i in range(len(data)) if tree.is_live(i)]
+        fresh_tree = MVPTree(live, counting, m=3, k=20, p=4, rng=0)
+        counting.reset()
+        for query in queries:
+            fresh_tree.range_search(query, radius)
+        fresh = counting.reset() / len(queries)
+        return churned, fresh, len(tree)
+
+    churned, fresh, n_live = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["churned"] = round(churned, 1)
+    benchmark.extra_info["fresh"] = round(fresh, 1)
+    print(f"\nafter churn (n={n_live} live): churned {churned:.1f} vs "
+          f"fresh {fresh:.1f} distance computations/query "
+          f"({churned / fresh - 1:+.0%})")
+    # Degradation stays bounded: within 2x of a fresh build, and both
+    # stay far below the linear scan.
+    assert churned < 2 * fresh
+    assert churned < n_live
+
+
+def test_delete_heavy_workload_triggers_rebuilds(benchmark):
+    data = clustered_vectors(20, 50, dim=10, rng=2)  # n = 1000
+
+    def measure():
+        counting = CountingMetric(L2())
+        tree = DynamicMVPTree(
+            list(data), counting, m=2, k=10, p=3, rng=0,
+            rebuild_threshold=0.2,
+        )
+        for idx in range(0, 800):
+            tree.delete(idx)
+        return tree
+
+    tree = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["rebuilds"] = tree.rebuild_count
+    print(f"\n800 deletes from n=1000: {tree.rebuild_count} automatic "
+          f"rebuilds, {len(tree)} live")
+    assert tree.rebuild_count >= 3
+    assert len(tree) == 200

@@ -1,0 +1,91 @@
+"""The whole structure family on one workload (paper section 3).
+
+Construction vs per-query cost for every structure the paper reviews:
+linear scan, vp-tree, mvp-tree, gh-tree, GNAT, and the [SW90] distance
+matrix.  The expected picture:
+
+* the matrix index has by far the cheapest queries and an O(n^2) build
+  ("overwhelming for larger domains");
+* GNAT buys cheaper searches with a costlier build than vp-trees;
+* the mvp-tree is the strongest O(n log n)-construction structure,
+  which is the paper's thesis.
+"""
+
+import numpy as np
+
+from repro import (
+    DistanceMatrixIndex,
+    GHTree,
+    GNAT,
+    LAESA,
+    MVPTree,
+    VPTree,
+)
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_family_comparison(benchmark):
+    data = clustered_vectors(40, 75, dim=20, rng=0)  # n = 3000
+    queries = [np.random.default_rng(1).random(20) for __ in range(15)]
+    radius = 0.4
+
+    builders = {
+        "vpt(2)": lambda m: VPTree(data, m, m=2, rng=0),
+        "vpt(3)": lambda m: VPTree(data, m, m=3, rng=0),
+        "mvpt(3,80)": lambda m: MVPTree(data, m, m=3, k=80, p=5, rng=0),
+        "gh-tree": lambda m: GHTree(data, m, rng=0),
+        "gnat(8)": lambda m: GNAT(data, m, degree=8, rng=0),
+        "laesa(16)": lambda m: LAESA(data, m, n_pivots=16, rng=0),
+        "dist-matrix": lambda m: DistanceMatrixIndex(data, m),
+    }
+
+    def measure():
+        rows = {}
+        for name, build in builders.items():
+            counting = CountingMetric(L2())
+            index = build(counting)
+            build_cost = counting.reset()
+            for query in queries:
+                index.range_search(query, radius)
+            range_cost = counting.reset() / len(queries)
+            for query in queries:
+                index.knn_search(query, 10)
+            knn_cost = counting.reset() / len(queries)
+            rows[name] = {
+                "build": build_cost,
+                "range": range_cost,
+                "knn": knn_cost,
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = {
+        name: {key: round(value, 1) for key, value in row.items()}
+        for name, row in rows.items()
+    }
+
+    n = len(data)
+    print(f"\nStructure family at n={n}, r={radius}, k-NN k=10:")
+    print(f"{'structure':<14}{'build':>12}{'range/query':>14}{'knn/query':>12}")
+    for name, row in rows.items():
+        print(f"{name:<14}{row['build']:>12,.0f}{row['range']:>14.1f}"
+              f"{row['knn']:>12.1f}")
+
+    # The matrix index: n(n-1)/2 build, near-free queries.
+    assert rows["dist-matrix"]["build"] == n * (n - 1) // 2
+    assert rows["dist-matrix"]["range"] < rows["vpt(2)"]["range"] / 5
+
+    # GNAT: costlier build than vp-trees, competitive searches.
+    assert rows["gnat(8)"]["build"] > rows["vpt(2)"]["build"]
+
+    # LAESA: exactly n_pivots distances per object at build, and
+    # searches bounded below by the per-query pivot cost.
+    assert rows["laesa(16)"]["build"] == 16 * n
+    assert rows["laesa(16)"]["range"] >= 16
+
+    # The paper's thesis: among the O(n log n)-construction trees, the
+    # mvp-tree has the cheapest range searches.
+    tree_names = ["vpt(2)", "vpt(3)", "mvpt(3,80)"]
+    best_tree = min(tree_names, key=lambda name: rows[name]["range"])
+    assert best_tree == "mvpt(3,80)"

@@ -1,0 +1,42 @@
+"""Figure 10: distance computations per search, images, L1 metric.
+
+Paper (section 5.2.B): vpt(2), vpt(3), mvpt(2,16), mvpt(2,5),
+mvpt(3,13) — all mvp-trees with p=4 — over 1151 gray-level images,
+30 queries drawn from the dataset, ranges 10-80 under L1/10000.
+Reported shape: mvpt(3,13) is best with 20-30% fewer computations than
+vpt(2); the mvpt(2,*) trees sit ~10% ahead of vpt(2).
+"""
+
+
+def test_fig10_search_costs(run_figure, image_scale):
+    result = run_figure("fig10", image_scale)
+    radii = result.spec.radii
+
+    # mvpt(3,13) is the best structure, with a clear edge over vpt(2)
+    # across the mid ranges (the paper's 20-30%).
+    mid_gains = [
+        result.improvement("mvpt(3,13)", radius) for radius in radii[1:]
+    ]
+    assert sum(mid_gains) / len(mid_gains) > 0.10
+    assert max(mid_gains) > 0.15
+
+    # Every structure stays below the linear-scan bound.
+    for structure in result.structures:
+        for cost in structure.search_distances.values():
+            assert cost < result.n_objects
+
+    # Cost is monotone in the query range.
+    for structure in result.structures:
+        costs = [structure.search_distances[radius] for radius in radii]
+        assert costs == sorted(costs)
+
+
+def test_fig10_mvp3_beats_mvp2(run_figure, image_scale):
+    # Order 3 with a mid leaf capacity was the paper's best pick.
+    result = run_figure("fig10", image_scale)
+    radii = result.spec.radii
+    best = sum(
+        result.structure("mvpt(3,13)").search_distances[r] for r in radii
+    )
+    vpt2 = sum(result.structure("vpt(2)").search_distances[r] for r in radii)
+    assert best < vpt2

@@ -1,0 +1,40 @@
+"""Figure 11: distance computations per search, images, L2 metric.
+
+Paper (section 5.2.B): the same five structures under L2/100.
+Reported shape mirrors Figure 10: mvpt(3,13) best (20-30% fewer
+computations than vpt(2)); vpt(2) ~10% over vpt(3).
+"""
+
+
+def test_fig11_search_costs(run_figure, image_scale):
+    result = run_figure("fig11", image_scale)
+    radii = result.spec.radii
+
+    mid_gains = [
+        result.improvement("mvpt(3,13)", radius) for radius in radii[1:]
+    ]
+    assert sum(mid_gains) / len(mid_gains) > 0.10
+
+    for structure in result.structures:
+        costs = [structure.search_distances[radius] for radius in radii]
+        assert costs == sorted(costs)
+        assert costs[-1] < result.n_objects
+
+
+def test_fig11_same_shape_as_fig10(run_figure, image_scale):
+    # The paper's observation: the L2 picture mirrors the L1 picture —
+    # the same structure ranking at the mid ranges.
+    from repro.bench import get_experiment, run_experiment
+
+    l2_result = run_figure("fig11", image_scale)
+    l1_result = run_experiment(
+        get_experiment("fig10"), scale=image_scale, seed=0
+    )
+    mid = l2_result.spec.radii[3]
+    l2_best = min(
+        l2_result.structures, key=lambda s: s.search_distances[mid]
+    ).name
+    l1_best = min(
+        l1_result.structures, key=lambda s: s.search_distances[mid]
+    ).name
+    assert l2_best.startswith("mvpt") and l1_best.startswith("mvpt")

@@ -1,0 +1,39 @@
+"""Figure 8: distance computations per search, uniform vectors.
+
+Paper (section 5.2.A): vpt(2), vpt(3), mvpt(3,9), mvpt(3,80) over
+50,000 uniform 20-d vectors, query ranges 0.15-0.5, 100 queries x 4
+seeds.  Reported shape: both mvp-trees beat both vp-trees at every
+range; mvpt(3,80) saves 80%-65% at small ranges, 45% at r=0.4, 30% at
+r=0.5; mvpt(3,9) saves ~40% shrinking to ~20%.
+"""
+
+
+def test_fig8_search_costs(run_figure, vector_scale):
+    result = run_figure("fig8", vector_scale)
+    radii = result.spec.radii
+    small, large = radii[0], radii[-1]
+
+    # mvpt(3,80) clearly beats vpt(2) everywhere, most at small ranges.
+    for radius in radii:
+        assert result.improvement("mvpt(3,80)", radius) > 0.15
+    assert result.improvement("mvpt(3,80)", small) > 0.4
+
+    # The gap narrows as the range grows (the paper's "the gap closes
+    # slowly when the query range increases").
+    assert result.improvement("mvpt(3,80)", small) > result.improvement(
+        "mvpt(3,80)", large
+    )
+
+    # mvpt(3,9) also wins on average (at reduced scale its shallow
+    # tree can lose the smallest range to seed noise; the paper-scale
+    # run shows the full ~40% gap), and mvpt(3,80) always beats it.
+    average_39 = sum(result.improvement("mvpt(3,9)", r) for r in radii) / len(radii)
+    assert average_39 > 0.0
+    assert result.improvement("mvpt(3,80)", small) > result.improvement(
+        "mvpt(3,9)", small
+    )
+
+    # Cost grows with the query range for every structure.
+    for structure in result.structures:
+        costs = [structure.search_distances[radius] for radius in radii]
+        assert costs == sorted(costs)

@@ -1,0 +1,102 @@
+"""Costs of the section-2 query variants: farthest, outside-range, and
+(1+epsilon)-approximate k-NN.
+
+The paper enumerates these query types but evaluates only range
+search; this bench fills in the rest of the matrix for the two tree
+structures plus the distance-matrix baseline.
+"""
+
+import numpy as np
+
+from repro import DistanceMatrixIndex, MVPTree, VPTree
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_query_variant_costs(benchmark):
+    data = clustered_vectors(30, 70, dim=20, rng=0)  # n = 2100
+    rng = np.random.default_rng(1)
+    queries = [rng.random(20) for __ in range(12)]
+    n = len(data)
+
+    def measure():
+        counting = CountingMetric(L2())
+        structures = {
+            "vpt(2)": VPTree(data, counting, m=2, rng=0),
+            "mvpt(3,40)": MVPTree(data, counting, m=3, k=40, p=5, rng=0),
+            "dist-matrix": DistanceMatrixIndex(data, counting),
+        }
+        counting.reset()
+        rows = {}
+        for name, index in structures.items():
+            row = {}
+            counting.reset()
+            for query in queries:
+                index.range_search(query, 0.4)
+            row["range"] = counting.reset() / len(queries)
+            for query in queries:
+                index.knn_search(query, 10)
+            row["knn10"] = counting.reset() / len(queries)
+            for query in queries:
+                index.farthest_search(query, 10)
+            row["far10"] = counting.reset() / len(queries)
+            # Small radius: almost every subtree is provably outside
+            # and gets accepted without distance computations.
+            for query in queries:
+                index.outside_range_search(query, 0.5)
+            row["outside"] = counting.reset() / len(queries)
+            rows[name] = row
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = {
+        name: {key: round(value, 1) for key, value in row.items()}
+        for name, row in rows.items()
+    }
+    print(f"\nquery-variant costs at n={n} (distance computations/query):")
+    header = f"{'structure':<14}" + "".join(
+        f"{col:>10}" for col in ("range", "knn10", "far10", "outside")
+    )
+    print(header)
+    for name, row in rows.items():
+        print(f"{name:<14}" + "".join(f"{row[col]:>10.1f}" for col in row))
+
+    for name, row in rows.items():
+        for cost in row.values():
+            assert cost <= n
+    # Outside-range with a large radius accepts most subtrees for free.
+    assert rows["mvpt(3,40)"]["outside"] < n / 2
+
+
+def test_epsilon_knn_cost_curve(benchmark):
+    data = clustered_vectors(30, 70, dim=20, rng=2)
+    rng = np.random.default_rng(3)
+    queries = [
+        data[int(rng.integers(len(data)))] + rng.normal(0, 0.05, 20)
+        for __ in range(12)
+    ]
+    epsilons = (0.0, 0.1, 0.25, 0.5, 1.0, 2.0)
+
+    def measure():
+        counting = CountingMetric(L2())
+        tree = MVPTree(data, counting, m=3, k=40, p=5, rng=0)
+        counting.reset()
+        rows = {}
+        for epsilon in epsilons:
+            counting.reset()
+            for query in queries:
+                tree.knn_search(query, 10, epsilon=epsilon)
+            rows[epsilon] = counting.reset() / len(queries)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {
+        str(e): round(v, 1) for e, v in rows.items()
+    }
+    print("\n(1+eps)-approximate 10-NN cost (distance computations/query):")
+    for epsilon, cost in rows.items():
+        print(f"  eps={epsilon:<6}{cost:>10.1f}")
+
+    # Approximation buys cost: the curve decreases from exact to eps=2.
+    assert rows[2.0] < rows[0.0]
+    assert rows[0.5] <= rows[0.0]

@@ -1,0 +1,71 @@
+"""Empirical scaling of search cost with dataset size.
+
+The paper's complexity discussion is asymptotic (O(n log n) builds,
+worst-case O(n) searches).  This bench fits the practical middle: how
+does the *average* search cost grow with n at a fixed query range?  On
+the uniform workload both trees are sublinear but far from
+logarithmic — the curse of dimensionality the paper's section 4.1
+explains — and the mvp-tree's advantage widens as the trees deepen.
+"""
+
+import numpy as np
+
+from repro import MVPTree, VPTree
+from repro.datasets import uniform_vectors
+from repro.metric import L2, CountingMetric
+
+
+def test_search_cost_scaling(benchmark):
+    sizes = (1000, 2000, 4000, 8000, 16000)
+    radius = 0.25
+    queries = [np.random.default_rng(1).random(20) for __ in range(30)]
+
+    def measure():
+        rows = {}
+        for n in sizes:
+            data = uniform_vectors(n, dim=20, rng=n)
+            row = {}
+            for name, build in {
+                "vpt(2)": lambda m: VPTree(data, m, m=2, rng=0),
+                "mvpt(3,80)": lambda m: MVPTree(
+                    data, m, m=3, k=80, p=5, rng=0
+                ),
+            }.items():
+                counting = CountingMetric(L2())
+                index = build(counting)
+                counting.reset()
+                for query in queries:
+                    index.range_search(query, radius)
+                row[name] = counting.reset() / len(queries)
+            rows[n] = row
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["scaling"] = {
+        str(n): {k: round(v, 1) for k, v in row.items()}
+        for n, row in rows.items()
+    }
+
+    print(f"\nsearch-cost scaling at r={radius} (computations per query):")
+    print(f"{'n':>8}{'vpt(2)':>12}{'mvpt(3,80)':>12}{'mvp/vp':>10}"
+          f"{'vp frac of n':>14}")
+    for n, row in rows.items():
+        ratio = row["mvpt(3,80)"] / row["vpt(2)"]
+        print(f"{n:>8}{row['vpt(2)']:>12.1f}{row['mvpt(3,80)']:>12.1f}"
+              f"{ratio:>10.2f}{row['vpt(2)'] / n:>13.1%}")
+
+    # Sublinear growth: doubling n should much less than double the
+    # *fraction* of the dataset touched.
+    first, last = sizes[0], sizes[-1]
+    for name in ("vpt(2)", "mvpt(3,80)"):
+        fraction_first = rows[first][name] / first
+        fraction_last = rows[last][name] / last
+        assert fraction_last < fraction_first  # selectivity improves with n
+
+    # The mvp-tree's advantage holds at every size and widens overall.
+    for n in sizes:
+        assert rows[n]["mvpt(3,80)"] < rows[n]["vpt(2)"]
+    assert (
+        rows[last]["mvpt(3,80)"] / rows[last]["vpt(2)"]
+        <= rows[first]["mvpt(3,80)"] / rows[first]["vpt(2)"] + 0.1
+    )

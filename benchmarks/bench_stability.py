@@ -1,0 +1,38 @@
+"""Cross-seed stability of the headline figure.
+
+The paper's Figure 8 conclusions rest on averaged runs; this bench
+repeats fig8 under three master seeds (regenerating data, queries, and
+selection randomness) and asserts that the structure *ranking* — the
+thing the paper actually claims — is seed-independent at every range.
+"""
+
+from repro.bench import get_experiment
+from repro.bench.stability import run_stability
+
+
+def test_fig8_ranking_is_seed_stable(benchmark, vector_scale):
+    spec = get_experiment("fig8")
+    scale = min(vector_scale, 0.1)  # keep the 3x repetition affordable
+
+    result = benchmark.pedantic(
+        lambda: run_stability(spec, scale=scale, seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["winners"] = {
+        str(radius): result.winner_per_seed(radius)
+        for radius in spec.radii
+    }
+
+    # mvpt(3,80) wins at every range under every seed.
+    for radius in spec.radii:
+        assert result.ranking_is_stable(radius), f"unstable at r={radius}"
+        assert result.winner_per_seed(radius)[0] == "mvpt(3,80)"
+
+    # And the relative spread of its cost is modest.
+    for radius in spec.radii:
+        mean = result.mean("mvpt(3,80)", radius)
+        std = result.std("mvpt(3,80)", radius)
+        assert std < 0.5 * mean

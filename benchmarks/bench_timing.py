@@ -1,0 +1,72 @@
+"""Wall-clock timing benchmarks (pytest-benchmark's native mode).
+
+The paper's cost model is distance computations, but a production user
+also cares about real time; these benches time single queries on
+pre-built structures so pytest-benchmark's statistics are meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GNAT, LinearScan, MVPTree, VPTree
+from repro.datasets import uniform_vectors
+from repro.metric import L2
+
+_DATA = uniform_vectors(5000, dim=20, rng=0)
+_QUERY = np.random.default_rng(1).random(20)
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return L2()
+
+
+@pytest.fixture(scope="module")
+def mvp(metric):
+    return MVPTree(_DATA, metric, m=3, k=80, p=5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def vp(metric):
+    return VPTree(_DATA, metric, m=2, rng=0)
+
+
+@pytest.fixture(scope="module")
+def gnat(metric):
+    return GNAT(_DATA, metric, degree=8, rng=0)
+
+
+@pytest.fixture(scope="module")
+def linear(metric):
+    return LinearScan(_DATA, metric)
+
+
+def test_time_mvpt_range_search(benchmark, mvp):
+    result = benchmark(mvp.range_search, _QUERY, 0.3)
+    assert isinstance(result, list)
+
+
+def test_time_vpt_range_search(benchmark, vp):
+    result = benchmark(vp.range_search, _QUERY, 0.3)
+    assert isinstance(result, list)
+
+
+def test_time_gnat_range_search(benchmark, gnat):
+    result = benchmark(gnat.range_search, _QUERY, 0.3)
+    assert isinstance(result, list)
+
+
+def test_time_linear_range_search(benchmark, linear):
+    result = benchmark(linear.range_search, _QUERY, 0.3)
+    assert isinstance(result, list)
+
+
+def test_time_mvpt_knn(benchmark, mvp):
+    result = benchmark(mvp.knn_search, _QUERY, 10)
+    assert len(result) == 10
+
+
+def test_time_mvpt_construction(benchmark, metric):
+    data = _DATA[:2000]
+    tree = benchmark(lambda: MVPTree(data, metric, m=3, k=80, p=5, rng=0))
+    assert len(tree) == 2000

@@ -1,0 +1,93 @@
+"""Transform filtering vs distance-based indexing (paper section 3).
+
+The design comparison behind the paper's introduction: where a tight
+distance-preserving transform exists (time series + DFT), filter-and-
+refine is extremely cheap; the mvp-tree is the domain-independent
+alternative.  Also sweeps the DFT coefficient count — the
+dimensionality/selectivity trade of [FRM94].
+"""
+
+import numpy as np
+
+from repro import LinearScan, MVPTree, TransformIndex
+from repro.datasets import random_walk_series
+from repro.metric import L2, CountingMetric
+from repro.transforms import BlockAggregateTransform, DFTTransform
+
+
+def test_pipeline_comparison(benchmark):
+    n, length = 3000, 128
+    series = random_walk_series(n, length, rng=0)
+    rng = np.random.default_rng(1)
+    queries = [
+        series[int(rng.integers(n))] + rng.normal(0, 0.5, length)
+        for __ in range(12)
+    ]
+    radius = 8.0
+
+    def measure():
+        counting = CountingMetric(L2())
+        pipelines = {
+            "linear": LinearScan(series, counting),
+            "dft(8)": TransformIndex(series, counting, DFTTransform(8)),
+            "blocks(16)": TransformIndex(
+                series, counting, BlockAggregateTransform(16, p=2)
+            ),
+            "mvpt(3,40)": MVPTree(series, counting, m=3, k=40, p=5, rng=0),
+        }
+        counting.reset()
+        rows = {}
+        for name, index in pipelines.items():
+            counting.reset()
+            for query in queries:
+                index.range_search(query, radius)
+            rows[name] = counting.reset() / len(queries)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = {k: round(v, 1) for k, v in rows.items()}
+    print(f"\nrange search r={radius} over {n} random walks "
+          f"(true-metric computations per query):")
+    for name, cost in rows.items():
+        print(f"  {name:<12}{cost:>10.1f}")
+
+    assert rows["linear"] == n
+    # The DFT filter is the best tool on its home turf...
+    assert rows["dft(8)"] < rows["mvpt(3,40)"]
+    # ...but every indexed pipeline beats the scan.
+    for name in ("dft(8)", "blocks(16)", "mvpt(3,40)"):
+        assert rows[name] < n / 2
+
+
+def test_dft_coefficient_sweep(benchmark):
+    n, length = 2000, 128
+    series = random_walk_series(n, length, rng=2)
+    rng = np.random.default_rng(3)
+    queries = [
+        series[int(rng.integers(n))] + rng.normal(0, 0.5, length)
+        for __ in range(10)
+    ]
+    radius = 8.0
+    coefficient_counts = (1, 2, 4, 8, 16, 32)
+
+    def measure():
+        rows = {}
+        for c in coefficient_counts:
+            counting = CountingMetric(L2())
+            index = TransformIndex(series, counting, DFTTransform(c))
+            counting.reset()
+            for query in queries:
+                index.range_search(query, radius)
+            rows[c] = counting.reset() / len(queries)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {str(c): round(v, 1) for c, v in rows.items()}
+    print(f"\nDFT coefficient sweep (refinements per query, r={radius}):")
+    for c, cost in rows.items():
+        print(f"  c={c:<4}{cost:>10.1f}")
+
+    # More coefficients -> tighter bound -> fewer refinements
+    # (monotone up to noise; compare the endpoints).
+    assert rows[32] <= rows[1]
+    assert rows[8] < n / 10  # 8 coefficients already filter hard

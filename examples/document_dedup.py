@@ -1,0 +1,105 @@
+"""Near-duplicate document detection under Jaccard distance.
+
+The paper's information-retrieval motivation (section 1), exercised on
+the classic near-duplicate problem: documents represented as sets of
+word shingles, compared with the Jaccard distance (a true metric, so
+the mvp-tree applies unchanged — "distance based techniques are also
+applicable for domains where the data is non-spatial", section 3.1).
+
+A corpus of template-generated documents with plagiarised variants is
+indexed; range queries at small Jaccard radius recover each document's
+variant family.
+
+Run:  python examples/document_dedup.py
+"""
+
+import numpy as np
+
+from repro import BKTree, LinearScan, MVPTree
+from repro.metric import CountingMetric, JaccardDistance
+
+_TOPICS = [
+    "database index structure query optimizer storage engine transaction log",
+    "neural network training gradient descent layer activation weight tensor",
+    "distributed consensus leader election replication quorum failure recovery",
+    "compiler parser lexer syntax tree optimization register allocation pass",
+    "operating system scheduler process thread memory page interrupt driver",
+]
+
+
+def make_corpus(n_documents, rng, shingle_size=3):
+    """Template documents plus word-swapped variants, as shingle sets."""
+    documents = []
+    labels = []
+    fillers = ["various", "several", "modern", "classic", "simple", "robust",
+               "efficient", "novel", "standard", "practical"]
+    for doc_id in range(n_documents):
+        topic = int(rng.integers(len(_TOPICS)))
+        words = _TOPICS[topic].split()
+        # Shuffle lightly and inject filler words: a "plagiarised" copy.
+        words = list(words)
+        for __ in range(int(rng.integers(0, 3))):
+            position = int(rng.integers(len(words)))
+            words.insert(position, fillers[int(rng.integers(len(fillers)))])
+        if rng.random() < 0.3:
+            # swap one adjacent pair (local edit, keeps most shingles)
+            position = int(rng.integers(len(words) - 1))
+            words[position], words[position + 1] = (
+                words[position + 1],
+                words[position],
+            )
+        shingles = frozenset(
+            " ".join(words[i : i + shingle_size])
+            for i in range(len(words) - shingle_size + 1)
+        )
+        documents.append(shingles)
+        labels.append(topic)
+    return documents, np.asarray(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    documents, topics = make_corpus(1_000, rng)
+    metric = CountingMetric(JaccardDistance())
+    print(f"Corpus: {len(documents)} documents as 3-word-shingle sets, "
+          f"{len(_TOPICS)} underlying topics")
+
+    tree = MVPTree(documents, metric, m=2, k=16, p=4, rng=0)
+    build_cost = metric.reset()
+    print(f"mvpt(2,16,p=4) built with {build_cost:,} Jaccard computations\n")
+
+    oracle = LinearScan(documents, JaccardDistance())
+    radius = 0.5  # variants share most shingles; other topics sit at ~1.0
+    n_queries = 15
+    total_cost = correct = total = 0
+    for __ in range(n_queries):
+        query_id = int(rng.integers(len(documents)))
+        metric.reset()
+        hits = tree.range_search(documents[query_id], radius)
+        total_cost += metric.reset()
+        assert hits == oracle.range_search(documents[query_id], radius)
+        total += len(hits)
+        correct += int(np.sum(topics[hits] == topics[query_id]))
+
+    print(f"{n_queries} near-duplicate queries at Jaccard distance <= {radius}:")
+    print(f"  average hits: {total / n_queries:.1f}")
+    print(f"  same-topic precision: {correct / max(total, 1):.0%}")
+    print(f"  average computations: {total_cost / n_queries:.0f} "
+          f"({100 * total_cost / n_queries / len(documents):.0f}% of a scan)")
+    print("\nNote the modest saving: Jaccard distances here concentrate in "
+          "{~0.5 within topic,\n~1.0 across}, a narrow band relative to the "
+          "query radius — exactly the regime the\npaper's Figure 4 "
+          "discussion predicts is hard for *any* hierarchical method.  "
+          "The\nanswers are still exact, and still cheaper than scanning.")
+
+    query_id = 0
+    nearest = tree.knn_search(documents[query_id], 4)
+    print(f"\n4 nearest documents to #{query_id} "
+          f"(topic {topics[query_id]}):")
+    for neighbor in nearest:
+        print(f"  id={neighbor.id:<5} topic={topics[neighbor.id]} "
+              f"jaccard={neighbor.distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

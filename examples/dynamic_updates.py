@@ -1,0 +1,87 @@
+"""Dynamic updates: the paper's open problem, exercised end to end.
+
+Section 6 of the paper: "Handling update operations (insertion and
+deletion) without major restructuring ... is an open problem."  This
+example runs a churn workload — a stream of inserts and deletes over a
+clustered vector population — against a :class:`DynamicMVPTree`,
+verifying exactness throughout and measuring how much search
+performance degrades relative to a freshly rebuilt tree.
+
+Run:  python examples/dynamic_updates.py
+"""
+
+import numpy as np
+
+from repro import DynamicMVPTree, LinearScan, MVPTree
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    metric = CountingMetric(L2())
+    radius = 0.4
+
+    # Start with an initial population and a built tree.
+    initial = clustered_vectors(n_clusters=30, cluster_size=50, rng=7)
+    tree = DynamicMVPTree(
+        list(initial), metric, m=3, k=20, p=4, rng=0,
+        overflow_factor=2.0, rebuild_threshold=0.25,
+    )
+    data = list(initial)
+    print(f"Initial build: {len(tree)} objects, height {tree.height}")
+
+    # Churn: 2000 operations, 60% inserts / 40% deletes.
+    for __ in range(2_000):
+        if rng.random() < 0.6 or len(tree) < 100:
+            vector = data[int(rng.integers(len(data)))] + rng.normal(0, 0.05, 20)
+            data.append(vector)
+            tree.insert(vector)
+        else:
+            while True:
+                victim = int(rng.integers(len(data)))
+                if tree.is_live(victim):
+                    tree.delete(victim)
+                    break
+
+    live_ids = [i for i in range(len(data)) if tree.is_live(i)]
+    print(f"After churn: {len(tree)} live objects "
+          f"({tree.deleted_count} pending tombstones), height {tree.height}, "
+          f"{tree.leaf_rebuild_count} leaf rebuilds, "
+          f"{tree.rebuild_count} full rebuilds")
+
+    # Exactness check against a linear scan over the live set.
+    live_objects = [data[i] for i in live_ids]
+    oracle = LinearScan(live_objects, L2())
+    queries = [rng.random(20) for __ in range(20)]
+    for query in queries:
+        got = tree.range_search(query, radius)
+        expected = [live_ids[j] for j in oracle.range_search(query, radius)]
+        assert got == expected
+    print("All answers verified against a live-set linear scan.")
+
+    # Cost of dynamism: the churned tree vs a fresh static build over
+    # the same live set.
+    metric.reset()
+    for query in queries:
+        tree.range_search(query, radius)
+    churned_cost = metric.reset() / len(queries)
+
+    fresh = MVPTree(live_objects, metric, m=3, k=20, p=4, rng=0)
+    metric.reset()
+    for query in queries:
+        fresh.range_search(query, radius)
+    fresh_cost = metric.reset() / len(queries)
+
+    print(f"\nRange search at r={radius} over {len(tree)} live objects:")
+    print(f"  churned dynamic tree: {churned_cost:.1f} distance computations/query")
+    print(f"  fresh static rebuild: {fresh_cost:.1f}")
+    print(f"  dynamism overhead:    {churned_cost / fresh_cost - 1:+.0%}")
+    print("\nThe overhead fluctuates with the churn pattern (threshold "
+          "rebuilds periodically\nrestore freshness — this run had "
+          f"{tree.rebuild_count}); call .rebuild() during a quiet period "
+          "to\nreclaim any gap deterministically.")
+
+
+if __name__ == "__main__":
+    main()

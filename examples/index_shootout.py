@@ -1,0 +1,78 @@
+"""Shootout: every distance-based index on the clustered workload.
+
+Builds all six structures the library implements over the paper's
+clustered-vector workload (section 5.1.A) and tabulates construction
+cost, range-search cost and k-NN cost — the construction-versus-search
+trade-off the paper discusses across [BK73], [Uhl91], [Bri95] and
+[SW90].  Note the distance-matrix index: almost free searches bought
+with O(n^2) construction, "overwhelming for larger domains".
+
+Run:  python examples/index_shootout.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistanceMatrixIndex,
+    GHTree,
+    GNAT,
+    LAESA,
+    LinearScan,
+    MVPTree,
+    VPTree,
+)
+from repro.datasets import clustered_vectors
+from repro.metric import L2, CountingMetric
+
+
+def main() -> None:
+    data = clustered_vectors(n_clusters=40, cluster_size=50, rng=2)
+    metric = CountingMetric(L2())
+    rng = np.random.default_rng(4)
+    queries = [rng.random(20) for __ in range(25)]
+    radius = 0.4
+    k = 10
+    oracle = LinearScan(data, L2())
+
+    builders = {
+        "linear scan": lambda: LinearScan(data, metric),
+        "vpt(2)": lambda: VPTree(data, metric, m=2, rng=1),
+        "vpt(3)": lambda: VPTree(data, metric, m=3, rng=1),
+        "mvpt(3,80)": lambda: MVPTree(data, metric, m=3, k=80, p=5, rng=1),
+        "gh-tree": lambda: GHTree(data, metric, rng=1),
+        "gnat(8)": lambda: GNAT(data, metric, degree=8, rng=1),
+        "laesa(16)": lambda: LAESA(data, metric, n_pivots=16, rng=1),
+        "dist-matrix": lambda: DistanceMatrixIndex(data, metric),
+    }
+
+    print(f"Dataset: {len(data)} clustered 20-d vectors; "
+          f"{len(queries)} queries; range r={radius}, k-NN k={k}\n")
+    print(f"{'structure':<14}{'build':>12}{'range/query':>14}{'knn/query':>12}")
+    print("-" * 52)
+
+    for name, build in builders.items():
+        metric.reset()
+        index = build()
+        build_cost = metric.reset()
+
+        for query in queries:
+            hits = index.range_search(query, radius)
+            assert hits == oracle.range_search(query, radius), name
+        range_cost = metric.reset() / len(queries)
+
+        for query in queries:
+            neighbors = index.knn_search(query, k)
+            expected = oracle.knn_search(query, k)
+            assert [n.id for n in neighbors] == [n.id for n in expected], name
+        knn_cost = metric.reset() / len(queries)
+
+        print(f"{name:<14}{build_cost:>12,}{range_cost:>14.1f}{knn_cost:>12.1f}")
+
+    print("\nEvery answer set was verified against the linear scan.")
+    print("Reading the table: the matrix index wins per-query but pays "
+          "n(n-1)/2 construction;\nthe mvp-tree is the best tree-structured "
+          "compromise, as the paper reports.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Time-series similarity search: transforms vs distance-based indexing.
+
+The paper's section 3 poses the design question this example plays out:
+for domains with a good distance-preserving transformation (time
+sequences under the DFT, [AFA93]/[FRM94]) you can filter in a cheap
+low-dimensional space; for domains without one, distance-based indexes
+like the mvp-tree are the general answer.  Here both pipelines run on
+the same workloads so their costs can be compared directly.
+
+Run:  python examples/time_series_search.py
+"""
+
+import numpy as np
+
+from repro import LinearScan, MVPTree, TransformIndex
+from repro.datasets import random_walk_series, seasonal_series
+from repro.metric import L2, CountingMetric
+from repro.transforms import DFTTransform, check_contractive
+
+
+def compare(title, series, queries, radius, metric, transform):
+    print(title)
+    oracle = LinearScan(series, L2())
+    indexes = {
+        "linear scan": LinearScan(series, metric),
+        "dft filter+refine": TransformIndex(series, metric, transform),
+        "mvpt(3,40)": MVPTree(series, metric, m=3, k=40, p=5, rng=0),
+    }
+    metric.reset()
+    print(f"  {'method':<20}{'avg true-distance computations':>32}")
+    for name, index in indexes.items():
+        metric.reset()
+        for query in queries:
+            hits = index.range_search(query, radius)
+            assert hits == oracle.range_search(query, radius), name
+        cost = metric.reset() / len(queries)
+        print(f"  {name:<20}{cost:>32.1f}")
+    print()
+
+
+def main() -> None:
+    n, length = 2_000, 128
+    metric = CountingMetric(L2())
+    rng = np.random.default_rng(4)
+
+    # The transform is verified contractive before we trust it — the
+    # check the paper implies when it warns a transform must exist and
+    # fit the domain.
+    sample = random_walk_series(50, length, rng=1)
+    transform = DFTTransform(8)
+    violations = check_contractive(transform, L2(), sample, rng=2)
+    print(f"DFT(8) contraction check on {len(sample)} samples: "
+          f"{'OK' if not violations else violations}\n")
+
+    # Workload 1: random walks — smooth, low-frequency energy, the
+    # transform's best case.
+    walks = random_walk_series(n, length, rng=3)
+    queries = [
+        walks[int(rng.integers(n))] + rng.normal(0, 0.5, length)
+        for __ in range(10)
+    ]
+    compare(
+        f"Random walks (n={n}): querying for near-duplicates, r=8",
+        walks, queries, 8.0, metric, DFTTransform(8),
+    )
+
+    # Workload 2: seasonal patterns — clustered families of shapes.
+    seasonal, labels = seasonal_series(
+        n, length, n_patterns=10, rng=5, return_labels=True
+    )
+    queries = [
+        seasonal[int(rng.integers(n))] + rng.normal(0, 0.1, length)
+        for __ in range(10)
+    ]
+    compare(
+        f"Seasonal patterns (n={n}, 10 families): retrieving a family, r=4",
+        seasonal, queries, 4.0, metric, DFTTransform(8),
+    )
+
+    print("Both pipelines return exactly the linear-scan answer set; the "
+          "difference is\nwhat they need to know about the domain — the "
+          "transform route needs a tight\ncontractive map, the mvp-tree "
+          "only needs the metric (the paper's point).")
+
+
+if __name__ == "__main__":
+    main()

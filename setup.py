@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on environments without the ``wheel``
+package (where ``pip install -e .`` cannot build a PEP 660 wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — distance-based indexing for high-dimensional metric spaces.
+
+A complete reproduction of Bozkaya & Ozsoyoglu, *Distance-Based Indexing
+for High-Dimensional Metric Spaces* (SIGMOD 1997): the mvp-tree and the
+family of distance-based index structures it is situated among, plus the
+paper's workloads and the benchmark harness that regenerates its figures.
+
+Quick start::
+
+    import numpy as np
+    from repro import MVPTree
+    from repro.metric import L2
+
+    data = np.random.default_rng(0).random((10_000, 20))
+    tree = MVPTree(data, L2(), m=3, k=80, p=5, rng=0)
+    hits = tree.range_search(data[0], 0.3)          # near-neighbor query
+    nearest = tree.knn_search(data[0], k=10)        # k-NN query
+"""
+
+from repro.core import DynamicMVPTree, GMVPTree, MVPTree
+from repro.indexes import (
+    BKTree,
+    DistanceMatrixIndex,
+    GHTree,
+    GNAT,
+    LAESA,
+    LinearScan,
+    MetricIndex,
+    Neighbor,
+    VPTree,
+)
+from repro.metric import CountingMetric, Metric
+from repro.transforms import TransformIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MVPTree",
+    "DynamicMVPTree",
+    "GMVPTree",
+    "VPTree",
+    "GHTree",
+    "GNAT",
+    "BKTree",
+    "DistanceMatrixIndex",
+    "LAESA",
+    "LinearScan",
+    "TransformIndex",
+    "MetricIndex",
+    "Neighbor",
+    "Metric",
+    "CountingMetric",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Benchmark harness regenerating the paper's evaluation (section 5).
+
+The harness is declarative: each of the paper's figures is an
+:class:`~repro.bench.spec.ExperimentSpec` (search experiments, Figures
+8-11) or :class:`~repro.bench.spec.HistogramSpec` (distance
+distributions, Figures 4-7) defined in :mod:`repro.bench.figures`, and
+:mod:`repro.bench.runner` executes any spec at a chosen scale.
+
+Run from the command line::
+
+    python -m repro.bench --figure fig8 --scale 0.1
+    repro-bench --all
+
+or from code::
+
+    from repro.bench import get_experiment, run_experiment
+    result = run_experiment(get_experiment("fig8"), scale=0.1, seed=0)
+    print(result.report())
+"""
+
+from repro.bench.compare import Comparison, compare_archives, load_records
+from repro.bench.figures import ALL_EXPERIMENTS, get_experiment
+from repro.bench.stability import StabilityResult, run_stability
+from repro.bench.runner import (
+    HistogramResult,
+    SearchResult,
+    StructureResult,
+    run_experiment,
+)
+from repro.bench.spec import (
+    ExperimentSpec,
+    HistogramSpec,
+    StructureSpec,
+    Workload,
+    mvpt,
+    vpt,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "get_experiment",
+    "compare_archives",
+    "Comparison",
+    "load_records",
+    "run_experiment",
+    "run_stability",
+    "StabilityResult",
+    "SearchResult",
+    "HistogramResult",
+    "StructureResult",
+    "ExperimentSpec",
+    "HistogramSpec",
+    "StructureSpec",
+    "Workload",
+    "vpt",
+    "mvpt",
+]

@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    repro-bench --list
+    repro-bench --figure fig8 --scale 0.1
+    repro-bench --all --scale 0.05 --seed 1
+    python -m repro.bench --figure fig10 --verify
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.figures import ALL_EXPERIMENTS, get_experiment
+from repro.bench.report import experiments_md_block
+from repro.bench.runner import run_experiment
+from repro.bench.spec import ExperimentSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the evaluation of 'Distance-Based Indexing for "
+            "High-Dimensional Metric Spaces' (SIGMOD 1997)."
+        ),
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        dest="figures",
+        metavar="ID",
+        help="experiment to run (fig4..fig11); repeatable",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment in order"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="dataset-size multiplier, 1.0 = paper cardinality (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every answer set against a linear scan (slow)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="also print the EXPERIMENTS.md block for each result",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="append each result as a JSON record to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(ALL_EXPERIMENTS):
+            spec = ALL_EXPERIMENTS[experiment_id]
+            kind = "search" if isinstance(spec, ExperimentSpec) else "histogram"
+            print(f"{experiment_id:>6}  [{kind:>9}]  {spec.title}")
+        return 0
+
+    if args.all:
+        figure_ids = sorted(ALL_EXPERIMENTS)
+    elif args.figures:
+        figure_ids = args.figures
+    else:
+        parser.error("choose --figure ID, --all, or --list")
+        return 2  # pragma: no cover - parser.error raises
+
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    for figure_id in figure_ids:
+        try:
+            spec = get_experiment(figure_id)
+        except ValueError as error:
+            parser.error(str(error))
+        result = run_experiment(
+            spec,
+            scale=args.scale,
+            seed=args.seed,
+            verify=args.verify,
+            progress=progress,
+        )
+        print(result.report())
+        if args.markdown:
+            print()
+            print(experiments_md_block(result))
+        if args.output:
+            with open(args.output, "a") as handle:
+                json.dump(result.to_dict(), handle)
+                handle.write("\n")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Compare archived benchmark records (regression checking).
+
+``repro-bench --output runs/a.jsonl`` archives machine-readable
+records; this module diffs two such archives — same experiments, same
+structures, same radii — and reports the per-cell drift in distance
+computations.  Useful for checking that a refactor did not silently
+change pruning behaviour (a cost regression with identical answers is
+invisible to the correctness tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One compared cell: experiment x structure x radius."""
+
+    experiment: str
+    structure: str
+    radius: str
+    baseline: float
+    current: float
+
+    @property
+    def relative(self) -> float:
+        """Relative change: +0.10 means 10% more distance computations."""
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return self.current / self.baseline - 1.0
+
+
+@dataclass
+class Comparison:
+    """All drifts between two archives, plus alignment bookkeeping."""
+
+    drifts: list[Drift] = field(default_factory=list)
+    only_in_baseline: list[str] = field(default_factory=list)
+    only_in_current: list[str] = field(default_factory=list)
+
+    def regressions(self, threshold: float = 0.1) -> list[Drift]:
+        """Cells whose cost grew by more than ``threshold`` (relative)."""
+        return [d for d in self.drifts if d.relative > threshold]
+
+    def improvements(self, threshold: float = 0.1) -> list[Drift]:
+        """Cells whose cost shrank by more than ``threshold``."""
+        return [d for d in self.drifts if d.relative < -threshold]
+
+    def report(self, threshold: float = 0.1) -> str:
+        lines = [
+            f"{len(self.drifts)} aligned cells; drift threshold "
+            f"{threshold:.0%}",
+        ]
+        regressions = self.regressions(threshold)
+        improvements = self.improvements(threshold)
+        if regressions:
+            lines.append(f"\n{len(regressions)} regression(s):")
+            for drift in sorted(regressions, key=lambda d: -d.relative):
+                lines.append(
+                    f"  {drift.experiment} {drift.structure} r={drift.radius}: "
+                    f"{drift.baseline:.1f} -> {drift.current:.1f} "
+                    f"({drift.relative:+.1%})"
+                )
+        if improvements:
+            lines.append(f"\n{len(improvements)} improvement(s):")
+            for drift in sorted(improvements, key=lambda d: d.relative):
+                lines.append(
+                    f"  {drift.experiment} {drift.structure} r={drift.radius}: "
+                    f"{drift.baseline:.1f} -> {drift.current:.1f} "
+                    f"({drift.relative:+.1%})"
+                )
+        if not regressions and not improvements:
+            lines.append("no drift beyond the threshold")
+        for label, keys in (
+            ("only in baseline", self.only_in_baseline),
+            ("only in current", self.only_in_current),
+        ):
+            if keys:
+                lines.append(f"\n{label}: {', '.join(sorted(set(keys)))}")
+        return "\n".join(lines)
+
+
+def load_records(path: Union[str, Path]) -> list[dict]:
+    """Read a JSONL archive written by ``repro-bench --output``."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _search_cells(records: list[dict]) -> dict[tuple[str, str, str], float]:
+    cells = {}
+    for record in records:
+        if record.get("kind") != "search":
+            continue
+        for structure, data in record["structures"].items():
+            for radius, cost in data["search_distances"].items():
+                cells[(record["experiment"], structure, radius)] = cost
+    return cells
+
+
+def compare_archives(
+    baseline: Union[str, Path], current: Union[str, Path]
+) -> Comparison:
+    """Align two archives on (experiment, structure, radius) and diff."""
+    baseline_cells = _search_cells(load_records(baseline))
+    current_cells = _search_cells(load_records(current))
+    comparison = Comparison()
+    for key in sorted(baseline_cells.keys() & current_cells.keys()):
+        experiment, structure, radius = key
+        comparison.drifts.append(
+            Drift(
+                experiment,
+                structure,
+                radius,
+                baseline_cells[key],
+                current_cells[key],
+            )
+        )
+    comparison.only_in_baseline = [
+        "/".join(key) for key in baseline_cells.keys() - current_cells.keys()
+    ]
+    comparison.only_in_current = [
+        "/".join(key) for key in current_cells.keys() - baseline_cells.keys()
+    ]
+    return comparison

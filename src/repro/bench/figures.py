@@ -1,0 +1,232 @@
+"""The paper's figures as experiment specs.
+
+Figure-by-figure index (also in DESIGN.md):
+
+* fig4 / fig5 — pairwise distance histograms of the uniform and
+  clustered vector workloads (section 5.1.A).
+* fig6 / fig7 — L1 / L2 distance histograms of the image workload
+  (section 5.1.B; synthetic phantoms, see DESIGN.md substitutions).
+* fig8 / fig9 — distance computations per search vs query range for
+  the uniform and clustered vector workloads (section 5.2.A).
+* fig10 / fig11 — the same for the image workload under L1 / L2
+  (section 5.2.B).
+
+Paper-scale cardinalities apply at ``scale=1.0``; the figures were run
+by the authors at 50,000 vectors and 1151 images.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.bench.spec import ExperimentSpec, HistogramSpec, Workload, mvpt, vpt
+from repro.datasets.images import image_metric_scales, synthetic_mri_images
+from repro.datasets.vectors import clustered_vectors, uniform_vectors
+from repro.metric.minkowski import L1, L2
+
+#: Paper cardinalities (section 5.1).
+PAPER_VECTOR_COUNT = 50_000
+PAPER_CLUSTER_COUNT = 50
+PAPER_CLUSTER_SIZE = 1_000
+PAPER_IMAGE_COUNT = 1_151
+VECTOR_DIM = 20
+CLUSTER_EPSILON = 0.15
+
+#: Image workload resolution (the paper used 256; see DESIGN.md).
+#: Override with the REPRO_IMAGE_SIZE environment variable; the L1/L2
+#: normalisers rescale automatically (image_metric_scales), so the
+#: figures' query ranges keep their meaning at any resolution.
+IMAGE_SIZE = int(os.environ.get("REPRO_IMAGE_SIZE", "64"))
+IMAGE_SUBJECTS = 12
+
+
+def _uniform_workload(scale: float, rng: np.random.Generator) -> Workload:
+    n = max(50, int(round(PAPER_VECTOR_COUNT * scale)))
+    data = uniform_vectors(n, dim=VECTOR_DIM, rng=rng)
+    # Queries are uniform over the data domain, like the data itself
+    # ("randomly selected query objects from the 20-dimensional
+    # hypercube", section 5.2.A).
+    return Workload(data, L2(), lambda qrng: qrng.random(VECTOR_DIM))
+
+
+def _clustered_workload(scale: float, rng: np.random.Generator) -> Workload:
+    cluster_size = max(10, int(round(PAPER_CLUSTER_SIZE * scale)))
+    data = clustered_vectors(
+        PAPER_CLUSTER_COUNT,
+        cluster_size,
+        dim=VECTOR_DIM,
+        epsilon=CLUSTER_EPSILON,
+        rng=rng,
+    )
+    return Workload(data, L2(), lambda qrng: qrng.random(VECTOR_DIM))
+
+
+def _image_workload_l1(scale: float, rng: np.random.Generator) -> Workload:
+    return _image_workload(scale, rng, use_l1=True)
+
+
+def _image_workload_l2(scale: float, rng: np.random.Generator) -> Workload:
+    return _image_workload(scale, rng, use_l1=False)
+
+
+def _image_workload(
+    scale: float, rng: np.random.Generator, use_l1: bool
+) -> Workload:
+    n = max(60, int(round(PAPER_IMAGE_COUNT * scale)))
+    images = synthetic_mri_images(
+        n, size=IMAGE_SIZE, n_subjects=IMAGE_SUBJECTS, rng=rng
+    )
+    l1_scale, l2_scale = image_metric_scales(IMAGE_SIZE)
+    metric = L1(scale=l1_scale) if use_l1 else L2(scale=l2_scale)
+
+    def sample_query(qrng: np.random.Generator):
+        # "each query object is an MRI image selected randomly from the
+        # data set" (section 5.2.B).
+        return images[int(qrng.integers(len(images)))]
+
+    return Workload(images, metric, sample_query)
+
+
+_VECTOR_STRUCTURES = (vpt(2), vpt(3), mvpt(3, 9, 5), mvpt(3, 80, 5))
+_IMAGE_STRUCTURES = (vpt(2), vpt(3), mvpt(2, 16, 4), mvpt(2, 5, 4), mvpt(3, 13, 4))
+
+
+FIG4 = HistogramSpec(
+    experiment_id="fig4",
+    title="Figure 4: distance distribution, uniform random vectors",
+    make_workload=_uniform_workload,
+    bin_width=0.01,
+    max_pairs=2_000_000,
+    paper_notes=(
+        "Sharp quasi-Gaussian peak around 1.75; essentially all pairwise "
+        "distances inside [1.0, 2.5].  This concentration is what makes "
+        "every hierarchical method ineffective for r > 0.5."
+    ),
+)
+
+FIG5 = HistogramSpec(
+    experiment_id="fig5",
+    title="Figure 5: distance distribution, clustered vectors",
+    make_workload=_clustered_workload,
+    bin_width=0.01,
+    max_pairs=2_000_000,
+    paper_notes=(
+        "Wider, flatter distribution than Figure 4 (cluster size 1000, "
+        "epsilon 0.15); pairwise distances span a broad range instead of "
+        "concentrating, so meaningful query ranges extend to r = 1.0."
+    ),
+)
+
+FIG6 = HistogramSpec(
+    experiment_id="fig6",
+    title="Figure 6: image distance distribution, L1 metric (scaled)",
+    make_workload=_image_workload_l1,
+    bin_width=1.0,
+    max_pairs=None,
+    paper_notes=(
+        "Bimodal: most images are distant from each other but same-person "
+        "scans are close, 'probably forming several clusters'.  (1150*1151)/2"
+        " = 658,795 pairs measured exhaustively; L1 distances divided by "
+        "10000 at 256x256 (rescaled at other resolutions)."
+    ),
+)
+
+FIG7 = HistogramSpec(
+    experiment_id="fig7",
+    title="Figure 7: image distance distribution, L2 metric (scaled)",
+    make_workload=_image_workload_l2,
+    bin_width=1.0,
+    max_pairs=None,
+    paper_notes=(
+        "Same bimodal shape under L2; distances divided by 100 at 256x256 "
+        "(rescaled at other resolutions).  Meaningful tolerance is around "
+        "30 after scaling."
+    ),
+)
+
+FIG8 = ExperimentSpec(
+    experiment_id="fig8",
+    title="Figure 8: distance computations per search, uniform vectors",
+    make_workload=_uniform_workload,
+    structures=_VECTOR_STRUCTURES,
+    radii=(0.15, 0.2, 0.3, 0.4, 0.5),
+    n_queries=100,
+    n_runs=4,
+    baseline="vpt(2)",
+    paper_notes=(
+        "Both mvp-trees beat both vp-trees; vpt(2) is ~10% better than "
+        "vpt(3).  mvpt(3,9) makes ~40% fewer computations than vpt(2) at "
+        "small ranges, narrowing to ~20% at r=0.5.  mvpt(3,80) makes "
+        "80%-65% fewer for r in [0.15, 0.3], 45% at 0.4 and 30% at 0.5."
+    ),
+)
+
+FIG9 = ExperimentSpec(
+    experiment_id="fig9",
+    title="Figure 9: distance computations per search, clustered vectors",
+    make_workload=_clustered_workload,
+    structures=_VECTOR_STRUCTURES,
+    radii=(0.2, 0.4, 0.6, 0.8, 1.0),
+    n_queries=100,
+    n_runs=4,
+    baseline="vpt(3)",
+    paper_notes=(
+        "vpt(3) is ~10% better than vpt(2) on this wider distribution.  "
+        "mvpt(3,80) makes 70%-80% fewer computations than vpt(3) up to "
+        "r=0.4 and 25% fewer at r=1.0; mvpt(3,9) makes 45%-50% fewer at "
+        "small ranges and 20% at r=1.0."
+    ),
+)
+
+FIG10 = ExperimentSpec(
+    experiment_id="fig10",
+    title="Figure 10: distance computations per search, images, L1",
+    make_workload=_image_workload_l1,
+    structures=_IMAGE_STRUCTURES,
+    radii=(10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 80.0),
+    n_queries=30,
+    n_runs=4,
+    baseline="vpt(2)",
+    paper_notes=(
+        "vpt(2) is 10-20% better than vpt(3).  mvpt(2,16) and mvpt(2,5) "
+        "are close to each other, ~10% ahead of vpt(2).  mvpt(3,13) is "
+        "best: 20-30% fewer distance computations than vpt(2).  All mvp "
+        "trees use p=4 (the dataset only has 1151 items, so trees are "
+        "shallow)."
+    ),
+)
+
+FIG11 = ExperimentSpec(
+    experiment_id="fig11",
+    title="Figure 11: distance computations per search, images, L2",
+    make_workload=_image_workload_l2,
+    structures=_IMAGE_STRUCTURES,
+    radii=(10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 80.0),
+    n_queries=30,
+    n_runs=4,
+    baseline="vpt(2)",
+    paper_notes=(
+        "Same picture under L2: vpt(2) ~10% over vpt(3); mvpt(2,16) "
+        "better than vpt(2) except at the largest ranges; mvpt(3,13) best "
+        "with 20-30% fewer computations than vpt(2)."
+    ),
+)
+
+ALL_EXPERIMENTS: dict[str, Union[ExperimentSpec, HistogramSpec]] = {
+    spec.experiment_id: spec
+    for spec in (FIG4, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, FIG11)
+}
+
+
+def get_experiment(experiment_id: str) -> Union[ExperimentSpec, HistogramSpec]:
+    """Look an experiment up by id ("fig4" ... "fig11")."""
+    try:
+        return ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(ALL_EXPERIMENTS))}"
+        ) from None

@@ -1,0 +1,234 @@
+"""Plain-text reports for experiment results.
+
+Search experiments print the same table the paper's figures plot (rows:
+query range, columns: structures, cells: average distance computations
+per search) plus the improvement-vs-baseline percentages the paper
+quotes in the text.  Histogram experiments print an ASCII rendering of
+the distribution plus its summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.bench.runner import HistogramResult, SearchResult
+
+_BAR = "#"
+_RULE = "-"
+
+
+def _rule(width: int) -> str:
+    return _RULE * width
+
+
+def format_search_result(result: "SearchResult") -> str:
+    """Render a search experiment as the paper-style cost table."""
+    spec = result.spec
+    names = [s.name for s in result.structures]
+    radius_width = max(len("range"), 8)
+    col_width = max(12, max(len(name) for name in names) + 2)
+
+    lines = [
+        spec.title,
+        _rule(len(spec.title)),
+        (
+            f"n={result.n_objects} objects, {result.n_queries} queries x "
+            f"{spec.n_runs} runs, scale={result.scale:g}, seed={result.seed}"
+            + (", verified against linear scan" if result.verified else "")
+        ),
+        "",
+        "Average distance computations per search:",
+    ]
+
+    header = "range".ljust(radius_width) + "".join(
+        name.rjust(col_width) for name in names
+    )
+    lines.append(header)
+    lines.append(_rule(len(header)))
+    for radius in spec.radii:
+        row = f"{radius:g}".ljust(radius_width)
+        for structure in result.structures:
+            row += f"{structure.search_distances[radius]:.1f}".rjust(col_width)
+        lines.append(row)
+
+    lines.append("")
+    lines.append(f"Improvement vs {spec.baseline} (positive = fewer computations):")
+    others = [name for name in names if name != spec.baseline]
+    header = "range".ljust(radius_width) + "".join(
+        name.rjust(col_width) for name in others
+    )
+    lines.append(header)
+    lines.append(_rule(len(header)))
+    for radius in spec.radii:
+        row = f"{radius:g}".ljust(radius_width)
+        for name in others:
+            row += f"{result.improvement(name, radius) * 100:+.1f}%".rjust(col_width)
+        lines.append(row)
+
+    lines.append("")
+    lines.append("Construction distance computations (average over runs):")
+    for structure in result.structures:
+        lines.append(f"  {structure.name:<14} {structure.build_distances:,.0f}")
+
+    lines.append("")
+    lines.append("Average answer-set size per query range:")
+    row = "range".ljust(radius_width) + "".join(
+        f"{radius:g}".rjust(10) for radius in spec.radii
+    )
+    lines.append(row)
+    sizes = result.structures[0].result_sizes
+    lines.append(
+        "hits".ljust(radius_width)
+        + "".join(f"{sizes[radius]:.1f}".rjust(10) for radius in spec.radii)
+    )
+
+    lines.append("")
+    lines.append(format_search_chart(result))
+
+    if spec.paper_notes:
+        lines.append("")
+        lines.append("Paper reports: " + spec.paper_notes)
+    lines.append(f"(elapsed {result.elapsed_seconds:.1f}s)")
+    return "\n".join(lines)
+
+
+_CHART_MARKS = "ox+s#@%&"
+
+
+def format_search_chart(result: "SearchResult", width: int = 64, rows: int = 14) -> str:
+    """ASCII rendering of the figure's line chart (cost vs query range).
+
+    Each structure gets a marker; columns are the measured query
+    ranges, evenly spaced like the paper's category axes.
+    """
+    spec = result.spec
+    radii = list(spec.radii)
+    peak = max(
+        cost
+        for structure in result.structures
+        for cost in structure.search_distances.values()
+    )
+    if peak <= 0:
+        peak = 1.0
+
+    grid = [[" "] * width for __ in range(rows)]
+    columns = [
+        int(round(position * (width - 1) / max(len(radii) - 1, 1)))
+        for position in range(len(radii))
+    ]
+    for index, structure in enumerate(result.structures):
+        mark = _CHART_MARKS[index % len(_CHART_MARKS)]
+        for radius, column in zip(radii, columns):
+            cost = structure.search_distances[radius]
+            row = rows - 1 - int(round(cost / peak * (rows - 1)))
+            if grid[row][column] == " ":
+                grid[row][column] = mark
+            else:
+                grid[row][column] = "*"  # overlapping series
+
+    lines = [f"{peak:,.0f} distance computations"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + _RULE * width)
+    axis = [" "] * width
+    for radius, column in zip(radii, columns):
+        label = f"{radius:g}"
+        start = min(column, width - len(label))
+        for offset, char in enumerate(label):
+            axis[start + offset] = char
+    lines.append(" " + "".join(axis))
+    legend = "   ".join(
+        f"{_CHART_MARKS[i % len(_CHART_MARKS)]} {s.name}"
+        for i, s in enumerate(result.structures)
+    )
+    lines.append("  " + legend + "   (* = overlap)")
+    return "\n".join(lines)
+
+
+def format_histogram_result(
+    result: "HistogramResult", width: int = 60, rows: int = 16
+) -> str:
+    """Render a histogram experiment as an ASCII distribution plot."""
+    spec = result.spec
+    histogram = result.histogram
+    lines = [
+        spec.title,
+        _rule(len(spec.title)),
+        f"n={result.n_objects} objects, scale={result.scale:g}, seed={result.seed}",
+        histogram.summary(),
+        "",
+    ]
+
+    counts = histogram.counts.astype(float)
+    nonzero = np.nonzero(counts)[0]
+    if len(nonzero):
+        lo_bin, hi_bin = int(nonzero[0]), int(nonzero[-1]) + 1
+    else:
+        lo_bin, hi_bin = 0, len(counts)
+    window = counts[lo_bin:hi_bin]
+    edges = histogram.bin_edges
+
+    # Re-bin the visible window down to `width` columns.
+    columns = np.zeros(width)
+    positions = np.linspace(0, len(window), width + 1).astype(int)
+    for col in range(width):
+        segment = window[positions[col] : max(positions[col] + 1, positions[col + 1])]
+        columns[col] = segment.sum()
+    peak = columns.max() if columns.max() > 0 else 1.0
+
+    for row in range(rows, 0, -1):
+        threshold = peak * row / rows
+        lines.append(
+            "".join(_BAR if value >= threshold else " " for value in columns)
+        )
+    lines.append(_rule(width))
+    left = f"{edges[lo_bin]:.2f}"
+    right = f"{edges[hi_bin]:.2f}"
+    lines.append(left + " " * max(1, width - len(left) - len(right)) + right)
+
+    if spec.paper_notes:
+        lines.append("")
+        lines.append("Paper reports: " + spec.paper_notes)
+    lines.append(f"(elapsed {result.elapsed_seconds:.1f}s)")
+    return "\n".join(lines)
+
+
+def experiments_md_block(result) -> str:
+    """A markdown block for EXPERIMENTS.md (paper vs measured)."""
+    from repro.bench.runner import HistogramResult, SearchResult
+
+    if isinstance(result, HistogramResult):
+        histogram = result.histogram
+        body = (
+            f"* measured: peak at {histogram.peak:.3f}, mean "
+            f"{histogram.mean:.3f}, std {histogram.std:.3f}, "
+            f"5%-95% range [{histogram.quantile(0.05):.3f}, "
+            f"{histogram.quantile(0.95):.3f}], "
+            f"{histogram.mode_count()} mode(s), {histogram.n_pairs} pairs"
+        )
+    elif isinstance(result, SearchResult):
+        rows = []
+        for name in (s.name for s in result.structures):
+            if name == result.spec.baseline:
+                continue
+            gains = [
+                result.improvement(name, radius) * 100
+                for radius in result.spec.radii
+            ]
+            rows.append(
+                f"* measured {name} vs {result.spec.baseline}: "
+                f"{gains[0]:+.0f}% at r={result.spec.radii[0]:g} ... "
+                f"{gains[-1]:+.0f}% at r={result.spec.radii[-1]:g}"
+            )
+        body = "\n".join(rows)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown result type {type(result).__name__}")
+
+    return (
+        f"### {result.spec.title}\n\n"
+        f"* paper: {result.spec.paper_notes}\n{body}\n"
+        f"* setup: n={result.n_objects}, scale={result.scale:g}, "
+        f"seed={result.seed}\n"
+    )

@@ -1,0 +1,288 @@
+"""Experiment execution.
+
+Reproduces the paper's protocol (section 5.2): every structure is built
+``n_runs`` times with different selection seeds over the *same*
+dataset; each run issues the same pool of random queries at every query
+range; the reported number is the average count of distance
+computations per search, measured by a :class:`CountingMetric`.
+
+``verify=True`` additionally cross-checks every answer set against a
+:class:`LinearScan` oracle — the correctness property the paper proves
+in its Appendix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.bench.spec import ExperimentSpec, HistogramSpec, StructureSpec, Workload
+from repro.datasets.histograms import DistanceHistogram, distance_histogram
+from repro.indexes.linear import LinearScan
+from repro.metric.base import CountingMetric
+
+
+@dataclass
+class StructureResult:
+    """Averaged measurements for one structure in one experiment."""
+
+    name: str
+    build_distances: float
+    #: radius -> average distance computations per search
+    search_distances: dict[float, float] = field(default_factory=dict)
+    #: radius -> average answer-set size
+    result_sizes: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """Result of running an :class:`ExperimentSpec`."""
+
+    spec: ExperimentSpec
+    scale: float
+    seed: int
+    n_objects: int
+    n_queries: int
+    verified: bool
+    elapsed_seconds: float
+    structures: list[StructureResult] = field(default_factory=list)
+
+    def structure(self, name: str) -> StructureResult:
+        for result in self.structures:
+            if result.name == name:
+                return result
+        raise KeyError(f"no structure named {name!r} in this result")
+
+    def improvement(self, name: str, radius: float, baseline: Optional[str] = None) -> float:
+        """Fraction fewer distance computations than the baseline.
+
+        Matches the paper's phrasing: 0.40 means "40% less distance
+        computations".  Negative values mean the structure did *worse*.
+        """
+        baseline = baseline or self.spec.baseline
+        ours = self.structure(name).search_distances[radius]
+        base = self.structure(baseline).search_distances[radius]
+        if base == 0:
+            return 0.0
+        return 1.0 - ours / base
+
+    def report(self) -> str:
+        from repro.bench.report import format_search_result
+
+        return format_search_result(self)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record of this run (for archiving)."""
+        return {
+            "experiment": self.spec.experiment_id,
+            "title": self.spec.title,
+            "kind": "search",
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_objects": self.n_objects,
+            "n_queries": self.n_queries,
+            "n_runs": self.spec.n_runs,
+            "verified": self.verified,
+            "radii": list(self.spec.radii),
+            "baseline": self.spec.baseline,
+            "structures": {
+                s.name: {
+                    "build_distances": s.build_distances,
+                    "search_distances": {
+                        str(r): c for r, c in s.search_distances.items()
+                    },
+                    "result_sizes": {
+                        str(r): c for r, c in s.result_sizes.items()
+                    },
+                }
+                for s in self.structures
+            },
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class HistogramResult:
+    """Result of running a :class:`HistogramSpec`."""
+
+    spec: HistogramSpec
+    scale: float
+    seed: int
+    n_objects: int
+    histogram: DistanceHistogram
+    elapsed_seconds: float
+
+    def report(self) -> str:
+        from repro.bench.report import format_histogram_result
+
+        return format_histogram_result(self)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record of this run (for archiving)."""
+        histogram = self.histogram
+        return {
+            "experiment": self.spec.experiment_id,
+            "title": self.spec.title,
+            "kind": "histogram",
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_objects": self.n_objects,
+            "n_pairs": histogram.n_pairs,
+            "exhaustive": histogram.exhaustive,
+            "bin_width": self.spec.bin_width,
+            "peak": histogram.peak,
+            "mean": histogram.mean,
+            "std": histogram.std,
+            "counts": histogram.counts.tolist(),
+            "bin_edges": histogram.bin_edges.tolist(),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def run_experiment(
+    spec: Union[ExperimentSpec, HistogramSpec],
+    scale: float = 1.0,
+    seed: int = 0,
+    verify: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Union[SearchResult, HistogramResult]:
+    """Run one experiment spec and return its result object.
+
+    Parameters
+    ----------
+    spec:
+        A search or histogram spec (see :mod:`repro.bench.figures`).
+    scale:
+        Dataset-size multiplier in (0, 1]; 1.0 reproduces the paper's
+        cardinalities.
+    seed:
+        Master seed; the dataset, the query pools, and every run's
+        structure seed derive from it deterministically.
+    verify:
+        Cross-check every answer set against a linear scan (search
+        experiments only; slow but exact).
+    progress:
+        Optional callback receiving one human-readable line per step.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    if isinstance(spec, HistogramSpec):
+        return _run_histogram(spec, scale, seed, progress)
+    return _run_search(spec, scale, seed, verify, progress)
+
+
+def _say(progress: Optional[Callable[[str], None]], message: str) -> None:
+    if progress is not None:
+        progress(message)
+
+
+def _run_histogram(
+    spec: HistogramSpec, scale: float, seed: int, progress
+) -> HistogramResult:
+    started = time.perf_counter()
+    root = np.random.default_rng(seed)
+    workload = spec.make_workload(scale, np.random.default_rng(root.integers(2**63)))
+    _say(progress, f"[{spec.experiment_id}] dataset: {workload.size} objects")
+    histogram = distance_histogram(
+        workload.objects,
+        workload.metric,
+        bin_width=spec.bin_width,
+        max_pairs=spec.max_pairs,
+        rng=np.random.default_rng(root.integers(2**63)),
+    )
+    return HistogramResult(
+        spec,
+        scale,
+        seed,
+        workload.size,
+        histogram,
+        time.perf_counter() - started,
+    )
+
+
+def _run_search(
+    spec: ExperimentSpec, scale: float, seed: int, verify: bool, progress
+) -> SearchResult:
+    started = time.perf_counter()
+    root = np.random.default_rng(seed)
+    dataset_rng = np.random.default_rng(root.integers(2**63))
+    workload = spec.make_workload(scale, dataset_rng)
+    n_queries = spec.scaled_queries(scale)
+    _say(
+        progress,
+        f"[{spec.experiment_id}] dataset: {workload.size} objects, "
+        f"{n_queries} queries x {spec.n_runs} runs",
+    )
+
+    # Per-run seeds and query pools are fixed up front so every
+    # structure sees identical queries (paper: "the same set of queries
+    # ... for comparison").
+    run_seeds = [int(root.integers(2**63)) for __ in range(spec.n_runs)]
+    query_pools = []
+    for run_seed in run_seeds:
+        query_rng = np.random.default_rng(run_seed ^ 0x9E3779B97F4A7C15)
+        query_pools.append(
+            [workload.sample_query(query_rng) for __ in range(n_queries)]
+        )
+
+    oracle = LinearScan(workload.objects, workload.metric) if verify else None
+
+    result = SearchResult(
+        spec=spec,
+        scale=scale,
+        seed=seed,
+        n_objects=workload.size,
+        n_queries=n_queries,
+        verified=verify,
+        elapsed_seconds=0.0,
+    )
+
+    for structure_spec in spec.structures:
+        accumulated = StructureResult(structure_spec.name, 0.0)
+        totals: dict[float, float] = {radius: 0.0 for radius in spec.radii}
+        sizes: dict[float, float] = {radius: 0.0 for radius in spec.radii}
+        build_total = 0.0
+
+        for run, run_seed in enumerate(run_seeds):
+            counting = CountingMetric(workload.metric)
+            index = structure_spec.build(
+                workload.objects, counting, np.random.default_rng(run_seed)
+            )
+            build_total += counting.reset()
+
+            for radius in spec.radii:
+                counting.reset()
+                answer_total = 0
+                for query in query_pools[run]:
+                    answer = index.range_search(query, radius)
+                    answer_total += len(answer)
+                    if oracle is not None:
+                        expected = oracle.range_search(query, radius)
+                        if answer != expected:
+                            raise AssertionError(
+                                f"{structure_spec.name} returned a wrong answer "
+                                f"set at radius {radius} "
+                                f"({len(answer)} vs {len(expected)} results)"
+                            )
+                totals[radius] += counting.reset() / n_queries
+                sizes[radius] += answer_total / n_queries
+            _say(
+                progress,
+                f"[{spec.experiment_id}] {structure_spec.name} run "
+                f"{run + 1}/{spec.n_runs} done",
+            )
+
+        accumulated.build_distances = build_total / spec.n_runs
+        accumulated.search_distances = {
+            radius: totals[radius] / spec.n_runs for radius in spec.radii
+        }
+        accumulated.result_sizes = {
+            radius: sizes[radius] / spec.n_runs for radius in spec.radii
+        }
+        result.structures.append(accumulated)
+
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,129 @@
+"""Declarative experiment specifications.
+
+A *workload* bundles a dataset, its metric and a query sampler; an
+*experiment spec* bundles a workload factory with the structures,
+query ranges and repetition counts of one paper figure.  Specs are
+plain data so the same definition drives the CLI, the pytest
+benchmarks, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core import MVPTree
+from repro.indexes import MetricIndex, VPTree
+from repro.metric.base import Metric
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A dataset, its metric, and a query-object sampler.
+
+    ``sample_query(rng)`` returns one query object.  The paper draws
+    vector queries uniformly from the data domain and image queries
+    from the dataset itself; both patterns fit this hook.
+    """
+
+    objects: Sequence
+    metric: Metric
+    sample_query: Callable[[np.random.Generator], object]
+
+    @property
+    def size(self) -> int:
+        return len(self.objects)
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """A named index-structure configuration.
+
+    ``build(objects, metric, rng)`` constructs the index; the name uses
+    the paper's labels — "vpt(2)", "mvpt(3,80)" — so reports read like
+    the figures.
+    """
+
+    name: str
+    build: Callable[[Sequence, Metric, np.random.Generator], MetricIndex]
+
+
+def vpt(m: int, leaf_capacity: int = 1) -> StructureSpec:
+    """A vp-tree spec labelled like the paper: vpt(m)."""
+    name = f"vpt({m})" if leaf_capacity == 1 else f"vpt({m},c{leaf_capacity})"
+    return StructureSpec(
+        name,
+        lambda objects, metric, rng: VPTree(
+            objects, metric, m=m, leaf_capacity=leaf_capacity, rng=rng
+        ),
+    )
+
+
+def mvpt(m: int, k: int, p: int) -> StructureSpec:
+    """An mvp-tree spec labelled like the paper: mvpt(m,k).
+
+    The paper's figure labels omit p because all structures in one
+    figure share it; we keep the same convention.
+    """
+    return StructureSpec(
+        f"mvpt({m},{k})",
+        lambda objects, metric, rng: MVPTree(objects, metric, m=m, k=k, p=p, rng=rng),
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One search-cost figure (paper Figures 8-11).
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id used by the CLI ("fig8").
+    title:
+        Human-readable title taken from the figure caption.
+    make_workload:
+        ``make_workload(scale, rng) -> Workload``; ``scale`` in (0, 1]
+        shrinks the dataset proportionally (1.0 = paper size).
+    structures:
+        The structures the figure plots, in plot order.
+    radii:
+        The query ranges on the figure's x axis.
+    n_queries:
+        Queries per run at scale 1.0 (the paper uses 100 for vectors,
+        30 for images); scaled down with the dataset but never below 5.
+    n_runs:
+        Runs averaged, each with a fresh structure seed (paper: 4).
+    baseline:
+        Structure name that improvement percentages are computed
+        against (the vp-tree the paper compares to in the text).
+    paper_notes:
+        The qualitative result the paper reports for this figure, used
+        verbatim in reports so measured numbers sit next to claims.
+    """
+
+    experiment_id: str
+    title: str
+    make_workload: Callable[[float, np.random.Generator], Workload]
+    structures: tuple[StructureSpec, ...]
+    radii: tuple[float, ...]
+    n_queries: int
+    n_runs: int
+    baseline: str
+    paper_notes: str = ""
+
+    def scaled_queries(self, scale: float) -> int:
+        return max(5, int(round(self.n_queries * scale)))
+
+
+@dataclass(frozen=True)
+class HistogramSpec:
+    """One distance-distribution figure (paper Figures 4-7)."""
+
+    experiment_id: str
+    title: str
+    make_workload: Callable[[float, np.random.Generator], Workload]
+    bin_width: float
+    max_pairs: Optional[int]
+    paper_notes: str = ""

@@ -1,0 +1,111 @@
+"""Cross-seed stability of experiment results.
+
+The paper averages each structure over 4 vantage-point-selection seeds
+but reports single numbers; this module quantifies the spread.  A
+search experiment is repeated under several *master* seeds — which
+vary the dataset, the query pool, and the selection seeds together —
+and the per-structure costs are reported as mean +/- standard
+deviation, plus a verdict on whether the structure ranking is stable
+across seeds (the property the paper's conclusions rest on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.runner import SearchResult, run_experiment
+from repro.bench.spec import ExperimentSpec
+
+
+@dataclass
+class StabilityResult:
+    """Aggregated search-experiment results across master seeds."""
+
+    spec: ExperimentSpec
+    scale: float
+    seeds: list[int]
+    runs: list[SearchResult] = field(default_factory=list)
+
+    def costs(self, name: str, radius: float) -> np.ndarray:
+        """Per-seed mean search costs for one structure at one radius."""
+        return np.array(
+            [run.structure(name).search_distances[radius] for run in self.runs]
+        )
+
+    def mean(self, name: str, radius: float) -> float:
+        return float(self.costs(name, radius).mean())
+
+    def std(self, name: str, radius: float) -> float:
+        return float(self.costs(name, radius).std())
+
+    def winner_per_seed(self, radius: float) -> list[str]:
+        """The cheapest structure at ``radius``, for each seed."""
+        winners = []
+        for run in self.runs:
+            winners.append(
+                min(
+                    run.structures,
+                    key=lambda s: s.search_distances[radius],
+                ).name
+            )
+        return winners
+
+    def ranking_is_stable(self, radius: float) -> bool:
+        """True when the same structure wins at ``radius`` in every seed."""
+        winners = self.winner_per_seed(radius)
+        return len(set(winners)) == 1
+
+    def report(self) -> str:
+        spec = self.spec
+        names = [s.name for s in self.runs[0].structures]
+        col_width = max(16, max(len(n) for n in names) + 2)
+        lines = [
+            f"{spec.title} — stability over seeds {self.seeds}",
+            f"n={self.runs[0].n_objects}, scale={self.scale:g}",
+            "",
+            "Mean +/- std distance computations per search:",
+        ]
+        header = "range".ljust(8) + "".join(n.rjust(col_width) for n in names)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for radius in spec.radii:
+            row = f"{radius:g}".ljust(8)
+            for name in names:
+                row += (
+                    f"{self.mean(name, radius):.0f}"
+                    f"+/-{self.std(name, radius):.0f}"
+                ).rjust(col_width)
+            lines.append(row)
+        lines.append("")
+        for radius in spec.radii:
+            winners = self.winner_per_seed(radius)
+            stable = "stable" if self.ranking_is_stable(radius) else "UNSTABLE"
+            lines.append(
+                f"winner at r={radius:g}: {winners[0] if stable == 'stable' else winners} "
+                f"[{stable}]"
+            )
+        return "\n".join(lines)
+
+
+def run_stability(
+    spec: ExperimentSpec,
+    scale: float = 0.1,
+    seeds: Sequence[int] = (0, 1, 2),
+    progress=None,
+) -> StabilityResult:
+    """Run ``spec`` under each master seed and aggregate.
+
+    Each seed regenerates the dataset and queries, so the spread covers
+    workload sampling as well as vantage-point selection.
+    """
+    if len(seeds) < 2:
+        raise ValueError(f"need at least 2 seeds, got {list(seeds)}")
+    result = StabilityResult(spec, scale, list(seeds))
+    for seed in seeds:
+        result.runs.append(
+            run_experiment(spec, scale=scale, seed=seed, progress=progress)
+        )
+    return result

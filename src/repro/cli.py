@@ -1,0 +1,263 @@
+"""Top-level command line: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``bench``    — regenerate paper figures (delegates to
+  :mod:`repro.bench.cli`; also available as ``repro-bench``).
+* ``stats``    — build an index over a synthetic workload and print its
+  structural report plus construction cost.
+* ``validate`` — spot-check the metric axioms (section 2) for a metric
+  on a workload sample.
+* ``demo``     — a 30-second tour: build the paper's mvpt(3,80), run a
+  range and a k-NN query, report distance computations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import (
+    BKTree,
+    DistanceMatrixIndex,
+    GHTree,
+    GNAT,
+    LAESA,
+    LinearScan,
+    MVPTree,
+    VPTree,
+)
+from repro.analysis import analyze
+from repro.datasets import (
+    clustered_vectors,
+    synthetic_dna,
+    synthetic_mri_images,
+    synthetic_words,
+    uniform_vectors,
+)
+from repro.datasets.images import image_metric_scales
+from repro.metric import (
+    L1,
+    L2,
+    CountingMetric,
+    EditDistance,
+    LInf,
+    check_metric,
+)
+
+_WORKLOADS = ("uniform", "clustered", "images", "words", "dna")
+_STRUCTURES = ("mvpt", "vpt", "ght", "gnat", "bkt", "laesa", "matrix")
+_METRICS = ("l1", "l2", "linf", "edit")
+
+
+def make_workload(name: str, n: int, seed: int):
+    """Return (objects, default_metric) for a named synthetic workload."""
+    if name == "uniform":
+        return uniform_vectors(n, dim=20, rng=seed), L2()
+    if name == "clustered":
+        cluster_size = max(1, n // 50)
+        return clustered_vectors(50, cluster_size, dim=20, rng=seed), L2()
+    if name == "images":
+        images = synthetic_mri_images(n, size=64, rng=seed)
+        l1_scale, __ = image_metric_scales(64)
+        return images, L1(scale=l1_scale)
+    if name == "words":
+        return synthetic_words(n, rng=seed), EditDistance()
+    if name == "dna":
+        return synthetic_dna(n, rng=seed), EditDistance()
+    raise ValueError(f"unknown workload {name!r}; choose from {_WORKLOADS}")
+
+
+def make_metric(name: str):
+    if name == "l1":
+        return L1()
+    if name == "l2":
+        return L2()
+    if name == "linf":
+        return LInf()
+    if name == "edit":
+        return EditDistance()
+    raise ValueError(f"unknown metric {name!r}; choose from {_METRICS}")
+
+
+def make_index(name: str, objects, metric, seed: int):
+    if name == "mvpt":
+        return MVPTree(objects, metric, m=3, k=13, p=4, rng=seed)
+    if name == "vpt":
+        return VPTree(objects, metric, m=2, rng=seed)
+    if name == "ght":
+        return GHTree(objects, metric, rng=seed)
+    if name == "gnat":
+        return GNAT(objects, metric, rng=seed)
+    if name == "bkt":
+        return BKTree(list(objects), metric)
+    if name == "laesa":
+        return LAESA(objects, metric, n_pivots=16, rng=seed)
+    if name == "matrix":
+        return DistanceMatrixIndex(objects, metric)
+    raise ValueError(f"unknown structure {name!r}; choose from {_STRUCTURES}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distance-based indexing for high-dimensional metric spaces "
+            "(SIGMOD 1997 reproduction)."
+        ),
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    bench = subcommands.add_parser(
+        "bench", help="regenerate paper figures (see repro-bench --help)",
+        add_help=False,
+    )
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+
+    stats = subcommands.add_parser(
+        "stats", help="build an index and print its structural report"
+    )
+    stats.add_argument("--workload", choices=_WORKLOADS, default="clustered")
+    stats.add_argument("--structure", choices=_STRUCTURES, default="mvpt")
+    stats.add_argument("--n", type=int, default=2000)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+
+    validate = subcommands.add_parser(
+        "validate", help="spot-check the metric axioms on a workload sample"
+    )
+    validate.add_argument("--metric", choices=_METRICS, default="l2")
+    validate.add_argument("--workload", choices=_WORKLOADS, default="uniform")
+    validate.add_argument("--n", type=int, default=100)
+    validate.add_argument("--triples", type=int, default=500)
+    validate.add_argument("--seed", type=int, default=0)
+
+    demo = subcommands.add_parser("demo", help="a 30-second tour")
+    demo.add_argument("--n", type=int, default=10_000)
+    demo.add_argument("--seed", type=int, default=0)
+
+    compare = subcommands.add_parser(
+        "compare",
+        help="diff two benchmark archives written with repro-bench --output",
+    )
+    compare.add_argument("baseline", help="baseline .jsonl archive")
+    compare.add_argument("current", help="current .jsonl archive")
+    compare.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="relative drift worth reporting (default 0.1 = 10%%)",
+    )
+    return parser
+
+
+def run_stats(args) -> int:
+    import json
+
+    objects, metric = make_workload(args.workload, args.n, args.seed)
+    counting = CountingMetric(metric)
+    index = make_index(args.structure, objects, counting, args.seed)
+    build_cost = counting.reset()
+    try:
+        report = analyze(index)
+    except TypeError:
+        report = None
+    if args.json:
+        payload = report.to_dict() if report else {
+            "structure": type(index).__name__,
+            "n_objects": len(objects),
+        }
+        payload["build_distance_computations"] = build_cost
+        print(json.dumps(payload, indent=2))
+        return 0
+    if report is not None:
+        print(report.summary())
+    else:
+        print(f"{type(index).__name__} over {len(objects)} objects "
+              f"(no tree structure to analyze)")
+    print(f"  construction distance computations: {build_cost:,}")
+    return 0
+
+
+def run_validate(args) -> int:
+    objects, default_metric = make_workload(args.workload, args.n, args.seed)
+    metric = make_metric(args.metric) if args.metric else default_metric
+    try:
+        violations = check_metric(
+            metric,
+            objects,
+            n_triples=args.triples,
+            rng=np.random.default_rng(args.seed),
+        )
+    except (TypeError, ValueError) as error:
+        print(f"metric {args.metric!r} is not applicable to workload "
+              f"{args.workload!r}: {error}", file=sys.stderr)
+        return 1
+    if violations:
+        print(f"{len(violations)} axiom violations observed:")
+        for violation in violations[:10]:
+            print(f"  [{violation.axiom}] {violation.detail}")
+        return 1
+    print(f"no violations in {args.triples} sampled triples: "
+          f"{args.metric} looks metric on {args.workload}")
+    return 0
+
+
+def run_demo(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    data = uniform_vectors(args.n, dim=20, rng=args.seed)
+    counting = CountingMetric(L2())
+    tree = MVPTree(data, counting, m=3, k=80, p=5, rng=args.seed)
+    build_cost = counting.reset()
+    print(f"mvpt(3,80,p=5) over {args.n} uniform 20-d vectors: "
+          f"built with {build_cost:,} distance computations")
+
+    query = rng.random(20)
+    hits = tree.range_search(query, 0.5)
+    range_cost = counting.reset()
+    print(f"range query r=0.5: {len(hits)} hits, {range_cost:,} distance "
+          f"computations ({100 * range_cost / args.n:.1f}% of a scan)")
+
+    neighbors = tree.knn_search(query, 5)
+    knn_cost = counting.reset()
+    print(f"5-NN query: nearest at distance {neighbors[0].distance:.3f}, "
+          f"{knn_cost:,} distance computations")
+
+    oracle = LinearScan(data, L2())
+    assert hits == oracle.range_search(query, 0.5)
+    print("answers verified against a linear scan")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        # Pass everything through to the figure runner untouched
+        # (argparse REMAINDER mishandles leading options).
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "stats":
+        return run_stats(args)
+    if args.command == "validate":
+        return run_validate(args)
+    if args.command == "demo":
+        return run_demo(args)
+    if args.command == "compare":
+        from repro.bench.compare import compare_archives
+
+        comparison = compare_archives(args.baseline, args.current)
+        print(comparison.report(args.threshold))
+        return 1 if comparison.regressions(args.threshold) else 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Node structures of the mvp-tree (paper section 4.2, Figure 3).
+
+The paper presents the binary (m=2) node layout; this module holds the
+general-``m`` version:
+
+* an **internal node** keeps two vantage points, the ``m - 1`` cutoff
+  values of the first-level partition (``M1`` in the paper), the
+  ``m x (m - 1)`` cutoff values of the second-level partitions (``M2``),
+  and ``m**2`` children.  Alongside the cutoffs we keep the exact
+  inner/outer radii of every (sub)partition — the same min/max radii the
+  paper ascribes to vp-tree partitions — because they give strictly
+  tighter pruning than cutoffs alone while remaining exact.
+* a **leaf node** keeps two vantage points, up to ``k`` data points, the
+  ``D1``/``D2`` arrays of exact distances from each data point to the
+  leaf's vantage points, and each point's ``PATH`` array: the first
+  ``p`` construction-time distances to the vantage points on the path
+  from the root (paper section 4.1, Observation 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+
+class MVPInternalNode:
+    """Internal mvp-tree node: 2 vantage points, ``m**2`` children.
+
+    Attributes
+    ----------
+    vp1_id, vp2_id:
+        Dataset ids of the two vantage points.
+    cutoffs1:
+        ``m - 1`` boundary distances of the first-level partition (the
+        paper's ``M1``; the median when m=2).
+    cutoffs2:
+        ``m`` rows of ``m - 1`` boundary distances, one row per
+        first-level partition (the paper's ``M2[i]``).
+    bounds1:
+        Per first-level partition ``(lo, hi)`` — inner/outer radii of the
+        spherical shell around vp1 containing that partition.
+    bounds2:
+        ``bounds2[i][j]`` — radii around vp2 of the j-th sub-partition of
+        first-level partition i.
+    children:
+        Flat list of ``m**2`` children; child of partition ``(i, j)``
+        sits at index ``i * m + j``.  Empty slots are ``None``.
+    """
+
+    __slots__ = (
+        "vp1_id",
+        "vp2_id",
+        "cutoffs1",
+        "cutoffs2",
+        "bounds1",
+        "bounds2",
+        "children",
+    )
+
+    def __init__(
+        self,
+        vp1_id: int,
+        vp2_id: int,
+        cutoffs1: list[float],
+        cutoffs2: list[list[float]],
+        bounds1: list[tuple[float, float]],
+        bounds2: list[list[tuple[float, float]]],
+        children: list[Union["MVPInternalNode", "MVPLeafNode", None]],
+    ):
+        self.vp1_id = vp1_id
+        self.vp2_id = vp2_id
+        self.cutoffs1 = cutoffs1
+        self.cutoffs2 = cutoffs2
+        self.bounds1 = bounds1
+        self.bounds2 = bounds2
+        self.children = children
+
+
+class MVPLeafNode:
+    """Leaf mvp-tree node: 2 vantage points and up to ``k`` data points.
+
+    Attributes
+    ----------
+    vp1_id:
+        First vantage point (always present).
+    vp2_id:
+        Second vantage point — chosen as the point *farthest from vp1*
+        (paper step 2.4) — or ``None`` when the leaf holds a single
+        object.
+    ids:
+        Data point ids stored in the bucket (length <= k).
+    d1, d2:
+        Exact distances from each data point to vp1 / vp2 (the paper's
+        ``D1``/``D2`` arrays), computed at construction.
+    paths:
+        Array of shape ``(len(ids), path_len)``: ``paths[i, t]`` is the
+        construction-time distance from data point ``i`` to the t-th
+        vantage point on the root path (the paper's ``PATH`` arrays).
+    path_len:
+        Number of valid PATH entries — ``min(p, vantage points above
+        this leaf)``; identical for every point in the leaf because they
+        share ancestors.
+    """
+
+    __slots__ = ("vp1_id", "vp2_id", "ids", "d1", "d2", "paths", "path_len")
+
+    def __init__(
+        self,
+        vp1_id: int,
+        vp2_id: Optional[int],
+        ids: list[int],
+        d1: np.ndarray,
+        d2: np.ndarray,
+        paths: np.ndarray,
+        path_len: int,
+    ):
+        self.vp1_id = vp1_id
+        self.vp2_id = vp2_id
+        self.ids = ids
+        self.d1 = d1
+        self.d2 = d2
+        self.paths = paths
+        self.path_len = path_len

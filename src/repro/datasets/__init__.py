@@ -1,0 +1,36 @@
+"""Workload generators reproducing the paper's data sets (section 5.1).
+
+* :func:`uniform_vectors` — 20-dimensional vectors drawn uniformly from
+  the unit hypercube (the "highly synthetic" first vector set).
+* :func:`clustered_vectors` — the paper's chained-perturbation cluster
+  generator (second vector set).
+* :func:`synthetic_mri_images` — gray-level head phantoms standing in
+  for the paper's 1151 MRI scans (see DESIGN.md, substitutions).
+* :func:`synthetic_words` — keyword corpus for the edit-distance
+  examples ([BK73] motivation).
+* :func:`random_walk_series` / :func:`seasonal_series` — time-series
+  workloads for the section-3.1 transform experiments.
+* :func:`synthetic_dna` — DNA mutation families for the genetics
+  motivation (edit distance).
+* :func:`distance_histogram` — the instrument behind Figures 4-7.
+"""
+
+from repro.datasets.histograms import DistanceHistogram, distance_histogram
+from repro.datasets.images import image_metric_scales, synthetic_mri_images
+from repro.datasets.sequences import synthetic_dna
+from repro.datasets.timeseries import random_walk_series, seasonal_series
+from repro.datasets.vectors import clustered_vectors, uniform_vectors
+from repro.datasets.words import synthetic_words
+
+__all__ = [
+    "uniform_vectors",
+    "clustered_vectors",
+    "synthetic_mri_images",
+    "image_metric_scales",
+    "synthetic_words",
+    "synthetic_dna",
+    "random_walk_series",
+    "seasonal_series",
+    "distance_histogram",
+    "DistanceHistogram",
+]

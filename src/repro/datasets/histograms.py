@@ -1,0 +1,223 @@
+"""Pairwise distance-distribution histograms (Figures 4-7).
+
+The paper motivates every experimental observation with the shape of
+the workload's pairwise distance distribution: uniform vectors pile up
+in a sharp quasi-Gaussian peak (Figure 4), clustered vectors spread
+wide (Figure 5), and the MRI images are bimodal (Figures 6-7).  This
+module computes those histograms — exhaustively for small data sets
+(the paper's 658,795 image pairs) and by uniform pair sampling for
+large ones (the 1.25 billion vector pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, as_rng, gather
+from repro.metric.base import Metric
+
+
+@dataclass(frozen=True)
+class DistanceHistogram:
+    """A binned pairwise-distance distribution.
+
+    Attributes
+    ----------
+    bin_edges:
+        Monotone array of ``len(counts) + 1`` edges; bin ``i`` covers
+        ``[bin_edges[i], bin_edges[i+1])``.
+    counts:
+        Pair counts per bin.
+    n_pairs:
+        Total number of pairs measured.
+    exhaustive:
+        True when every pair was measured, False when sampled.
+    """
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    n_pairs: int
+    exhaustive: bool
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+
+    @property
+    def peak(self) -> float:
+        """Distance value (bin center) with the highest count."""
+        return float(self.bin_centers[int(np.argmax(self.counts))])
+
+    @property
+    def mean(self) -> float:
+        """Mean distance, estimated from bin centers."""
+        total = self.counts.sum()
+        if total == 0:
+            return float("nan")
+        return float((self.bin_centers * self.counts).sum() / total)
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of distances, estimated from bin centers."""
+        total = self.counts.sum()
+        if total == 0:
+            return float("nan")
+        mean = self.mean
+        return float(
+            np.sqrt(((self.bin_centers - mean) ** 2 * self.counts).sum() / total)
+        )
+
+    def quantile(self, q: float) -> float:
+        """Approximate distance quantile (0 <= q <= 1) from the bins."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        cumulative = np.cumsum(self.counts)
+        if cumulative[-1] == 0:
+            return float("nan")
+        target = q * cumulative[-1]
+        idx = int(np.searchsorted(cumulative, target))
+        idx = min(idx, len(self.counts) - 1)
+        return float(self.bin_centers[idx])
+
+    def mode_count(
+        self,
+        smooth: int = 5,
+        min_height_ratio: float = 0.15,
+        valley_ratio: float = 0.7,
+    ) -> int:
+        """Count distinct modes (for the bimodality of Figures 6-7).
+
+        The counts are box-smoothed over ``smooth`` bins; candidate
+        modes are local maxima taller than ``min_height_ratio`` of the
+        global peak, and two candidates only count as separate modes
+        when the valley between them drops below ``valley_ratio`` times
+        the smaller of the two peaks (which filters bin-level noise).
+        """
+        if smooth < 1:
+            raise ValueError(f"smooth must be >= 1, got {smooth}")
+        kernel = np.ones(smooth) / smooth
+        smoothed = np.convolve(self.counts.astype(float), kernel, mode="same")
+        if smoothed.max() == 0:
+            return 0
+        threshold = min_height_ratio * smoothed.max()
+
+        candidates = [
+            i
+            for i in range(len(smoothed))
+            if smoothed[i] >= threshold
+            and (i == 0 or smoothed[i] >= smoothed[i - 1])
+            and (i == len(smoothed) - 1 or smoothed[i] > smoothed[i + 1])
+        ]
+        if not candidates:
+            return 0
+
+        accepted = [candidates[0]]
+        for candidate in candidates[1:]:
+            previous = accepted[-1]
+            valley = smoothed[previous : candidate + 1].min()
+            smaller_peak = min(smoothed[previous], smoothed[candidate])
+            if valley < valley_ratio * smaller_peak:
+                accepted.append(candidate)
+            elif smoothed[candidate] > smoothed[previous]:
+                accepted[-1] = candidate  # same mode, keep the taller top
+        return len(accepted)
+
+    def summary(self) -> str:
+        """One-line description used by the benchmark reports."""
+        kind = "exhaustive" if self.exhaustive else "sampled"
+        return (
+            f"{self.n_pairs} pairs ({kind}); peak={self.peak:.3f} "
+            f"mean={self.mean:.3f} std={self.std:.3f} "
+            f"q05={self.quantile(0.05):.3f} q95={self.quantile(0.95):.3f}"
+        )
+
+
+def distance_histogram(
+    objects: Sequence,
+    metric: Metric,
+    bin_width: float = 0.01,
+    max_pairs: Optional[int] = 2_000_000,
+    rng: RngLike = None,
+) -> DistanceHistogram:
+    """Histogram the pairwise distances of a dataset.
+
+    Parameters
+    ----------
+    objects:
+        The dataset.
+    metric:
+        Distance function.  (Wrap in a CountingMetric if you want the
+        measurement cost; the paper samples its Figures at bin width
+        0.01 for vectors and 1 for normalised image distances.)
+    bin_width:
+        Histogram resolution.
+    max_pairs:
+        When the number of distinct pairs exceeds this, sample this many
+        pairs uniformly (with replacement across pairs, never pairing an
+        object with itself); ``None`` forces exhaustive measurement.
+    rng:
+        Sampling randomness.
+
+    >>> import numpy as np
+    >>> from repro.metric import L2
+    >>> h = distance_histogram(np.eye(4), L2(), bin_width=0.5)
+    >>> h.n_pairs
+    6
+    """
+    n = len(objects)
+    if n < 2:
+        raise ValueError(f"need at least 2 objects, got {n}")
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    total_pairs = n * (n - 1) // 2
+    generator = as_rng(rng)
+
+    if max_pairs is not None and total_pairs > max_pairs:
+        distances = _sampled_distances(objects, metric, max_pairs, generator)
+        exhaustive = False
+    else:
+        distances = _all_distances(objects, metric)
+        exhaustive = True
+
+    top = float(distances.max()) if len(distances) else bin_width
+    n_bins = max(1, int(np.ceil(top / bin_width)) + 1)
+    edges = np.arange(n_bins + 1) * bin_width
+    counts, __ = np.histogram(distances, bins=edges)
+    return DistanceHistogram(edges, counts, len(distances), exhaustive)
+
+
+def _all_distances(objects: Sequence, metric: Metric) -> np.ndarray:
+    chunks = []
+    for i in range(len(objects) - 1):
+        rest = gather(objects, range(i + 1, len(objects)))
+        chunks.append(np.asarray(metric.batch_distance(rest, objects[i])))
+    return np.concatenate(chunks) if chunks else np.empty(0)
+
+
+def _sampled_distances(
+    objects: Sequence, metric: Metric, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = len(objects)
+    left = rng.integers(0, n, size=n_samples)
+    right = rng.integers(0, n - 1, size=n_samples)
+    right = np.where(right >= left, right + 1, right)  # never i == j
+
+    distances = np.empty(n_samples)
+    # Group by left endpoint so vector metrics stay batched.
+    order = np.argsort(left, kind="stable")
+    start = 0
+    while start < n_samples:
+        stop = start
+        anchor = left[order[start]]
+        while stop < n_samples and left[order[stop]] == anchor:
+            stop += 1
+        batch_positions = order[start:stop]
+        batch = gather(objects, right[batch_positions])
+        distances[batch_positions] = metric.batch_distance(
+            batch, objects[int(anchor)]
+        )
+        start = stop
+    return distances

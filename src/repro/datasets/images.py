@@ -1,0 +1,180 @@
+"""Synthetic gray-level MRI head phantoms (paper section 5.1.B).
+
+**Substitution** (see DESIGN.md): the paper experiments on 1151 real
+256x256 MRI head scans "of several people".  We cannot ship those, so
+this module generates gray-level head *phantoms*: each synthetic
+"subject" is a randomised head model (skull ellipse, brain interior,
+ventricle-like dark structures, smooth intensity field), and each scan
+of a subject perturbs the model with noise, global intensity drift and
+a small translation.
+
+What the reproduction needs from the data is its **distance geometry**,
+and the phantoms recreate it: scans of the same subject are mutually
+close while scans of different subjects are far, producing the bimodal
+L1/L2 pairwise-distance histograms of Figures 6-7 ("while most of the
+images are distant from each other, some of them are quite similar,
+probably forming several clusters") and the shallow-tree regime of the
+1151-item cardinality.
+
+The paper normalises image distances — L1 by 10000, L2 by 100 — for
+256x256 images with 256 gray levels.  :func:`image_metric_scales`
+rescales those divisors to other image sizes so that the paper's query
+ranges (tolerance ~50 under scaled L1, ~30 under scaled L2) keep their
+meaning at the reduced default resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro._util import RngLike, as_rng
+
+#: The paper's image geometry: 256x256 pixels, 256 gray levels.
+PAPER_IMAGE_SIZE = 256
+PAPER_L1_SCALE = 10000.0
+PAPER_L2_SCALE = 100.0
+
+
+def image_metric_scales(size: int) -> tuple[float, float]:
+    """Return (L1 scale, L2 scale) equivalent to the paper's at ``size``.
+
+    The paper divides L1 by 10000 and L2 by 100 at 256x256.  L1 grows
+    linearly with pixel count and L2 with its square root, so the
+    divisors shrink accordingly at smaller resolutions; at size=256 the
+    paper's constants are returned exactly.
+
+    >>> image_metric_scales(256)
+    (10000.0, 100.0)
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    pixel_ratio = (size * size) / (PAPER_IMAGE_SIZE * PAPER_IMAGE_SIZE)
+    return PAPER_L1_SCALE * pixel_ratio, PAPER_L2_SCALE * math.sqrt(pixel_ratio)
+
+
+def _box_blur(image: np.ndarray, passes: int = 2) -> np.ndarray:
+    """Cheap separable 3x3 box blur (numpy-only smoothing).
+
+    Real MRI scans are smooth; blurring the phantom keeps single-pixel
+    misalignments between scans of the same subject from dominating
+    their L1/L2 distance, which is what preserves the bimodal
+    same-subject / different-subject distance geometry of Figures 6-7.
+    """
+    for __ in range(passes):
+        image = (np.roll(image, 1, 0) + image + np.roll(image, -1, 0)) / 3.0
+        image = (np.roll(image, 1, 1) + image + np.roll(image, -1, 1)) / 3.0
+    return image
+
+
+def _subject_phantom(size: int, rng: np.random.Generator) -> np.ndarray:
+    """One randomised head model: the shared anatomy of a subject."""
+    yy, xx = np.mgrid[0:size, 0:size].astype(float)
+    cy = size / 2 + rng.uniform(-0.04, 0.04) * size
+    cx = size / 2 + rng.uniform(-0.04, 0.04) * size
+    ry = size * rng.uniform(0.32, 0.42)
+    rx = size * rng.uniform(0.26, 0.36)
+
+    # Elliptic radial coordinate: 1.0 on the head boundary.
+    rho = np.sqrt(((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2)
+
+    image = np.zeros((size, size))
+    brain = rho < 0.88
+    skull = (rho >= 0.88) & (rho < 1.0)
+    image[brain] = rng.uniform(90, 140)
+    image[skull] = rng.uniform(200, 240)
+
+    # Smooth per-subject intensity field over the brain (low-frequency
+    # cosine mixture; stands in for tissue contrast).
+    field = np.zeros((size, size))
+    for __ in range(4):
+        fy, fx = rng.uniform(1.0, 3.5, size=2)
+        phase_y, phase_x = rng.uniform(0, 2 * np.pi, size=2)
+        amplitude = rng.uniform(8, 25)
+        field += amplitude * np.cos(fy * np.pi * yy / size + phase_y) * np.cos(
+            fx * np.pi * xx / size + phase_x
+        )
+    image[brain] += field[brain]
+
+    # Ventricle-like dark elliptical structures inside the brain.
+    for __ in range(int(rng.integers(2, 5))):
+        sy = cy + rng.uniform(-0.15, 0.15) * size
+        sx = cx + rng.uniform(-0.15, 0.15) * size
+        sry = size * rng.uniform(0.03, 0.09)
+        srx = size * rng.uniform(0.03, 0.09)
+        structure = ((yy - sy) / sry) ** 2 + ((xx - sx) / srx) ** 2 < 1.0
+        image[structure & brain] *= rng.uniform(0.3, 0.6)
+
+    return np.clip(_box_blur(image), 0, 255)
+
+
+def synthetic_mri_images(
+    n: int = 1151,
+    size: int = 64,
+    n_subjects: int = 12,
+    noise: float = 4.0,
+    max_shift: int = 1,
+    gain: float = 0.04,
+    rng: RngLike = None,
+    return_labels: bool = False,
+):
+    """Generate ``n`` gray-level head-scan phantoms of ``n_subjects`` people.
+
+    Parameters
+    ----------
+    n:
+        Number of images (paper: 1151).
+    size:
+        Image side length in pixels.  Default 64 keeps the suite fast;
+        pass 256 for paper-resolution runs.
+    n_subjects:
+        Number of distinct head models ("MRI head scans of several
+        people").  Scans cluster per subject, which is what produces
+        the bimodal distance histograms of Figures 6-7.
+    noise:
+        Per-pixel Gaussian noise sigma added to each scan.
+    max_shift:
+        Maximum per-axis translation (pixels) between scans of the same
+        subject.
+    gain:
+        Half-width of the global intensity drift between scans of the
+        same subject (scanner gain differences).
+    return_labels:
+        When true, also return each image's subject label.
+
+    Returns
+    -------
+    np.ndarray of shape ``(n, size, size)`` with values in [0, 255]
+    (and the label array when requested).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n_subjects < 1:
+        raise ValueError(f"n_subjects must be >= 1, got {n_subjects}")
+    if size < 8:
+        raise ValueError(f"size must be >= 8, got {size}")
+    generator = as_rng(rng)
+
+    phantoms = [_subject_phantom(size, generator) for __ in range(n_subjects)]
+    subjects = generator.integers(0, n_subjects, size=n)
+
+    images = np.empty((n, size, size))
+    for i, subject in enumerate(subjects):
+        scan = phantoms[int(subject)].copy()
+        # Global intensity drift (scanner gain differences).
+        scan *= generator.uniform(1.0 - gain, 1.0 + gain)
+        # Small rigid shift.
+        if max_shift:
+            dy = int(generator.integers(-max_shift, max_shift + 1))
+            dx = int(generator.integers(-max_shift, max_shift + 1))
+            scan = np.roll(np.roll(scan, dy, axis=0), dx, axis=1)
+        # Acquisition noise.
+        if noise:
+            scan = scan + generator.normal(0.0, noise, size=scan.shape)
+        images[i] = np.clip(scan, 0, 255)
+
+    if return_labels:
+        return images, subjects
+    return images

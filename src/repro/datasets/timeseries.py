@@ -1,0 +1,88 @@
+"""Time-series workloads (the paper's time-series-analysis motivation).
+
+Section 1 names time-series analysis among the driving applications
+("we would like to find similar patterns among a given collection of
+sequences"), and section 3.1 reviews the DFT route of [AFA93]/[FRM94].
+Two generators support those experiments:
+
+* :func:`random_walk_series` — the standard benchmark of [AFA93]:
+  cumulative sums of i.i.d. steps.  Random walks concentrate their
+  energy in the lowest DFT coefficients, which is what makes the
+  Fourier-prefix filter effective.
+* :func:`seasonal_series` — pattern families: a few smooth base shapes
+  (random sinusoid mixtures), each instantiated many times with noise
+  and amplitude drift, so similarity queries have natural answer sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._util import RngLike, as_rng
+
+
+def random_walk_series(
+    n: int, length: int = 128, step_std: float = 1.0, rng: RngLike = None
+) -> np.ndarray:
+    """``n`` random walks of the given ``length`` (rows are series).
+
+    >>> random_walk_series(3, length=16, rng=0).shape
+    (3, 16)
+    """
+    if n < 1 or length < 1:
+        raise ValueError(f"need n >= 1 and length >= 1, got {n} and {length}")
+    if step_std <= 0:
+        raise ValueError(f"step_std must be positive, got {step_std}")
+    generator = as_rng(rng)
+    steps = generator.normal(0.0, step_std, size=(n, length))
+    return np.cumsum(steps, axis=1)
+
+
+def seasonal_series(
+    n: int,
+    length: int = 128,
+    n_patterns: int = 8,
+    noise: float = 0.3,
+    rng: RngLike = None,
+    return_labels: bool = False,
+):
+    """``n`` series drawn from ``n_patterns`` smooth base shapes.
+
+    Each base shape is a mixture of 2-4 random sinusoids; each series
+    instantiates a random shape with amplitude drift and additive
+    Gaussian noise.  Series of the same pattern are mutually close
+    under L2 — the clustered regime in which similarity queries (and
+    index structures) are interesting.
+
+    Parameters mirror the other generators; ``return_labels`` also
+    returns each series' pattern id.
+    """
+    if n < 1 or length < 4:
+        raise ValueError(f"need n >= 1 and length >= 4, got {n} and {length}")
+    if n_patterns < 1:
+        raise ValueError(f"n_patterns must be >= 1, got {n_patterns}")
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    generator = as_rng(rng)
+
+    t = np.linspace(0.0, 1.0, length)
+    patterns = np.empty((n_patterns, length))
+    for row in range(n_patterns):
+        shape = np.zeros(length)
+        for __ in range(int(generator.integers(2, 5))):
+            frequency = generator.uniform(0.5, 4.0)
+            phase = generator.uniform(0.0, 2 * np.pi)
+            amplitude = generator.uniform(0.5, 2.0)
+            shape += amplitude * np.sin(2 * np.pi * frequency * t + phase)
+        patterns[row] = shape
+
+    labels = generator.integers(0, n_patterns, size=n)
+    series = patterns[labels] * generator.uniform(0.85, 1.15, size=(n, 1))
+    if noise:
+        series = series + generator.normal(0.0, noise, size=series.shape)
+
+    if return_labels:
+        return series, labels
+    return series

@@ -1,0 +1,102 @@
+"""Euclidean-vector workloads (paper section 5.1.A).
+
+Two generators, mirroring the paper's two 50,000-point data sets of
+20-dimensional vectors:
+
+* :func:`uniform_vectors` — each coordinate uniform on [0, 1].  Under
+  L2 the pairwise distances concentrate sharply around ~1.75 (Figure
+  4), which makes *any* hierarchical method ineffective beyond r = 0.5.
+* :func:`clustered_vectors` — the paper's generator: a uniform seed
+  vector starts each cluster, and every further member perturbs *a
+  previously generated member* (not necessarily the seed) by an
+  independent U[-eps, +eps] offset per dimension.  The chained
+  perturbations let differences accumulate, so clusters are loose,
+  spill outside the unit hypercube, and yield the wider distance
+  distribution of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._util import RngLike, as_rng
+
+
+def uniform_vectors(
+    n: int, dim: int = 20, rng: RngLike = None
+) -> np.ndarray:
+    """Draw ``n`` vectors uniformly from the ``dim``-dimensional unit cube.
+
+    Parameters mirror the paper: 50,000 vectors, 20 dimensions.
+
+    >>> uniform_vectors(3, dim=5, rng=0).shape
+    (3, 5)
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return as_rng(rng).random((n, dim))
+
+
+def clustered_vectors(
+    n_clusters: int,
+    cluster_size: int,
+    dim: int = 20,
+    epsilon: float = 0.15,
+    rng: RngLike = None,
+    return_labels: bool = False,
+):
+    """The paper's clustered workload (section 5.1.A, second set).
+
+    For each cluster: draw a uniform seed from the unit cube; each of
+    the remaining ``cluster_size - 1`` members copies a uniformly chosen
+    *previously generated* member of the same cluster and adds an
+    independent U[-epsilon, +epsilon] offset to every dimension.  The
+    paper uses 50 clusters x 1000 members and epsilon in [0.1, 0.2]
+    (0.15 for Figure 5), and stresses these are "clusters because of the
+    way they are generated", not tight balls.
+
+    Parameters
+    ----------
+    n_clusters, cluster_size:
+        Number of clusters and members per cluster.
+    dim:
+        Vector dimensionality (paper: 20).
+    epsilon:
+        Half-width of the per-dimension perturbation (paper: 0.1-0.2).
+    return_labels:
+        When true, also return an int array of cluster labels.
+
+    Returns
+    -------
+    np.ndarray of shape ``(n_clusters * cluster_size, dim)``, and the
+    labels array when ``return_labels`` is set.
+    """
+    if n_clusters < 1 or cluster_size < 1:
+        raise ValueError(
+            f"need n_clusters >= 1 and cluster_size >= 1, got "
+            f"{n_clusters} and {cluster_size}"
+        )
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    generator = as_rng(rng)
+    points = np.empty((n_clusters * cluster_size, dim))
+    labels = np.empty(n_clusters * cluster_size, dtype=int)
+    row = 0
+    for cluster in range(n_clusters):
+        start = row
+        points[row] = generator.random(dim)
+        labels[row] = cluster
+        row += 1
+        for member in range(1, cluster_size):
+            parent = start + int(generator.integers(member))
+            offset = generator.uniform(-epsilon, epsilon, size=dim)
+            points[row] = points[parent] + offset
+            labels[row] = cluster
+            row += 1
+    if return_labels:
+        return points, labels
+    return points

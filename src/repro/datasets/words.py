@@ -1,0 +1,93 @@
+"""Synthetic keyword corpus for edit-distance workloads.
+
+The paper's section 3 motivates distance-based indexing for text
+databases, "which generally use the edit distance", and [BK73]'s
+original problem was best-match *keyword* lookup.  This generator
+builds a corpus with the structure such workloads exhibit: a set of
+random root words, each surrounded by a cloud of misspellings (single
+edits), so range queries at small radii have non-trivial answer sets.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Optional
+
+from repro._util import RngLike, as_rng
+
+_ALPHABET = string.ascii_lowercase
+
+
+def _random_word(rng, min_len: int, max_len: int) -> str:
+    length = int(rng.integers(min_len, max_len + 1))
+    return "".join(_ALPHABET[int(c)] for c in rng.integers(0, 26, size=length))
+
+
+def _mutate(word: str, rng) -> str:
+    """Apply one random edit (substitute / insert / delete)."""
+    operation = int(rng.integers(3))
+    position = int(rng.integers(len(word) + (1 if operation == 1 else 0)))
+    letter = _ALPHABET[int(rng.integers(26))]
+    if operation == 0:  # substitution
+        return word[:position] + letter + word[position + 1 :]
+    if operation == 1:  # insertion
+        return word[:position] + letter + word[position:]
+    if len(word) > 1:  # deletion
+        return word[:position] + word[position + 1 :]
+    return letter  # keep 1-char words non-empty
+
+
+def synthetic_words(
+    n: int,
+    n_roots: Optional[int] = None,
+    min_len: int = 4,
+    max_len: int = 10,
+    max_edits: int = 3,
+    rng: RngLike = None,
+) -> list[str]:
+    """Generate ``n`` unique words: random roots plus edit-ball members.
+
+    Parameters
+    ----------
+    n:
+        Corpus size.
+    n_roots:
+        Number of root words; defaults to ``max(1, n // 8)`` so each
+        root carries a handful of near-misspellings.
+    min_len, max_len:
+        Root word length bounds.
+    max_edits:
+        Each non-root word applies 1..max_edits random edits to a root.
+
+    >>> words = synthetic_words(50, rng=0)
+    >>> len(words), len(set(words))
+    (50, 50)
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if min_len < 1 or max_len < min_len:
+        raise ValueError(
+            f"need 1 <= min_len <= max_len, got {min_len} and {max_len}"
+        )
+    if max_edits < 1:
+        raise ValueError(f"max_edits must be >= 1, got {max_edits}")
+    generator = as_rng(rng)
+    n_roots = n_roots if n_roots is not None else max(1, n // 8)
+
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < min(n_roots, n):
+        word = _random_word(generator, min_len, max_len)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    roots = list(words)
+
+    while len(words) < n:
+        word = roots[int(generator.integers(len(roots)))]
+        for __ in range(int(generator.integers(1, max_edits + 1))):
+            word = _mutate(word, generator)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words

@@ -1,0 +1,133 @@
+"""Retrieval-quality evaluation for labeled similarity workloads.
+
+The paper's application story (section 1) is retrieval: the user wants
+the images / sequences / series *semantically related* to the query,
+and the index's job is to surface near objects cheaply so the user (or
+a downstream step) can do "the further identification and semantic
+interpretation".  When a workload carries ground-truth labels — the
+synthetic generators all can return them — these helpers quantify how
+well distance neighborhoods align with label neighborhoods:
+precision/recall of range queries, precision@k of k-NN, and mean
+reciprocal rank.
+
+These measure the *workload and metric*, not the index: every index in
+the library returns the exact same answer sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.indexes.base import MetricIndex, Neighbor
+
+
+@dataclass(frozen=True)
+class RetrievalScore:
+    """Aggregate retrieval quality over a batch of labeled queries."""
+
+    precision: float
+    recall: float
+    n_queries: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def range_retrieval_score(
+    index: MetricIndex,
+    labels: Sequence[int],
+    queries: Sequence[tuple[object, int]],
+    radius: float,
+    exclude_self: bool = False,
+) -> RetrievalScore:
+    """Precision/recall of range queries against label ground truth.
+
+    Parameters
+    ----------
+    index:
+        Any index over the labeled dataset.
+    labels:
+        Label of each indexed object (aligned with the dataset).
+    queries:
+        ``(query_object, query_label)`` pairs; a hit is *relevant* when
+        its label equals the query's.
+    radius:
+        Query range.
+    exclude_self:
+        When querying with dataset members, drop the exact-duplicate
+        hit at distance 0 from the accounting.
+
+    Returns micro-averaged precision and recall over all queries.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    labels = np.asarray(labels)
+    relevant_total = 0
+    retrieved_total = 0
+    hit_total = 0
+    for query, query_label in queries:
+        hits = index.range_search(query, radius)
+        if exclude_self:
+            hits = [
+                h
+                for h in hits
+                if not np.array_equal(index.objects[h], query)
+            ]
+        retrieved_total += len(hits)
+        hit_total += int(np.sum(labels[hits] == query_label)) if hits else 0
+        relevant_total += int(np.sum(labels == query_label))
+    precision = hit_total / retrieved_total if retrieved_total else 0.0
+    recall = hit_total / relevant_total if relevant_total else 0.0
+    return RetrievalScore(precision, recall, len(queries))
+
+
+def precision_at_k(
+    index: MetricIndex,
+    labels: Sequence[int],
+    queries: Sequence[tuple[object, int]],
+    k: int,
+) -> float:
+    """Mean fraction of the k nearest neighbors sharing the query label."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    labels = np.asarray(labels)
+    scores = []
+    for query, query_label in queries:
+        neighbors = index.knn_search(query, k)
+        if not neighbors:
+            scores.append(0.0)
+            continue
+        matches = sum(
+            1 for n in neighbors if labels[n.id] == query_label
+        )
+        scores.append(matches / len(neighbors))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def mean_reciprocal_rank(
+    index: MetricIndex,
+    labels: Sequence[int],
+    queries: Sequence[tuple[object, int]],
+    max_k: int = 50,
+) -> float:
+    """Mean of 1/rank of the first same-label neighbor (0 when absent
+    from the top ``max_k``)."""
+    if max_k < 1:
+        raise ValueError(f"max_k must be >= 1, got {max_k}")
+    labels = np.asarray(labels)
+    ranks = []
+    for query, query_label in queries:
+        neighbors = index.knn_search(query, max_k)
+        reciprocal = 0.0
+        for rank, neighbor in enumerate(neighbors, start=1):
+            if labels[neighbor.id] == query_label:
+                reciprocal = 1.0 / rank
+                break
+        ranks.append(reciprocal)
+    return float(np.mean(ranks)) if ranks else 0.0

@@ -1,0 +1,50 @@
+"""Distance-based index structures.
+
+The structures the paper builds on or compares against (section 3):
+
+* :class:`LinearScan` — the no-index baseline and correctness oracle.
+* :class:`VPTree` — vantage-point tree ([Uhl91], paper section 3.3); the
+  experimental baseline in every figure.
+* :class:`GHTree` — generalized hyperplane tree ([Uhl91]).
+* :class:`GNAT` — geometric near-neighbor access tree ([Bri95]).
+* :class:`BKTree` — Burkhard-Keller tree for discrete metrics ([BK73]).
+* :class:`DistanceMatrixIndex` — precomputed O(n^2) distance table with
+  triangle-inequality interval estimation ([SW90] / AESA).
+* :class:`LAESA` — the linear-memory pivot-table variant of the same
+  idea (n x n_pivots table).
+
+The paper's own contribution, the mvp-tree, lives in :mod:`repro.core`.
+"""
+
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.bktree import BKTree
+from repro.indexes.distance_matrix import DistanceMatrixIndex
+from repro.indexes.ghtree import GHTree
+from repro.indexes.gnat import GNAT
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.selection import (
+    FarthestSelector,
+    MaxSpreadSelector,
+    RandomSelector,
+    VantagePointSelector,
+    get_selector,
+)
+from repro.indexes.vptree import VPTree
+
+__all__ = [
+    "MetricIndex",
+    "Neighbor",
+    "LinearScan",
+    "VPTree",
+    "GHTree",
+    "GNAT",
+    "BKTree",
+    "DistanceMatrixIndex",
+    "LAESA",
+    "VantagePointSelector",
+    "RandomSelector",
+    "MaxSpreadSelector",
+    "FarthestSelector",
+    "get_selector",
+]

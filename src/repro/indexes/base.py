@@ -1,0 +1,136 @@
+"""Common interface for all distance-based index structures.
+
+Every index is built once over a dataset (the paper's structures are
+static, section 6) and then answers the similarity queries of section 2:
+
+* range (near-neighbor) search — all objects within ``r`` of the query;
+* k-nearest-neighbor search;
+* farthest / k-farthest search (supported where the structure admits
+  upper-bound pruning).
+
+Indexes never copy data objects; they store integer ids into the dataset
+sequence they were built over, and results are reported as ids (range
+search) or ``(id, distance)`` pairs (k-NN).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metric.base import Metric
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """A query answer: the object's id and its distance from the query.
+
+    Ordering is by ``(distance, id)`` so sorted neighbor lists are
+    deterministic even under distance ties.
+    """
+
+    distance: float
+    id: int
+
+
+class MetricIndex(ABC):
+    """Base class for distance-based indexes over a fixed dataset.
+
+    Parameters
+    ----------
+    objects:
+        The dataset; any sequence (numpy matrix rows, list of strings,
+        ...).  Held by reference.
+    metric:
+        The metric distance function.  Wrap it in
+        :class:`repro.metric.CountingMetric` *before* constructing the
+        index to account construction and search costs separately.
+    """
+
+    def __init__(self, objects: Sequence, metric: Metric):
+        self._objects = objects
+        self._metric = metric
+
+    @property
+    def objects(self) -> Sequence:
+        """The dataset this index was built over."""
+        return self._objects
+
+    @property
+    def metric(self) -> Metric:
+        """The metric used for construction and search."""
+        return self._metric
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def range_search(self, query, radius: float) -> list[int]:
+        """Return ids of all objects within ``radius`` of ``query``.
+
+        This is the paper's *near neighbor query* (section 2):
+        ``{ x in X : d(x, query) <= radius }``.  The result is sorted by
+        id and exact — distance-based filtering only ever discards
+        objects proven out of range by the triangle inequality.
+        """
+
+    @abstractmethod
+    def knn_search(self, query, k: int) -> list[Neighbor]:
+        """Return the ``k`` nearest objects, closest first.
+
+        Returns fewer than ``k`` neighbors only when the dataset is
+        smaller than ``k``.  Ties are broken by id.
+        """
+
+    def nearest(self, query) -> Neighbor:
+        """Convenience: the single nearest neighbor."""
+        result = self.knn_search(query, 1)
+        return result[0]
+
+    def farthest_search(self, query, k: int = 1) -> list[Neighbor]:
+        """Return the ``k`` farthest objects, farthest first.
+
+        The paper lists farthest queries among the similarity-query
+        variants (section 2).  Only structures that admit upper-bound
+        pruning implement this; others raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support farthest queries"
+        )
+
+    def outside_range_search(self, query, radius: float) -> list[int]:
+        """Return ids of all objects *farther* than ``radius`` from ``query``.
+
+        The complement query of section 2 ("objects that are farther
+        than a given range from a query object can also be asked").
+        Structures with distance bounds answer it with the same
+        triangle-inequality machinery, including *accepting whole
+        subtrees without computing a distance* when their lower bound
+        already clears the radius.  Only structures that admit
+        upper-bound pruning implement this; others raise
+        ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support outside-range queries"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers shared by tests and benchmarks
+    # ------------------------------------------------------------------
+
+    def validate_k(self, k: int) -> int:
+        """Clamp and validate a k-NN ``k`` against the dataset size."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return min(k, len(self._objects))
+
+    def validate_radius(self, radius: float) -> float:
+        """Validate a range-search radius."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        return radius

@@ -1,0 +1,161 @@
+"""Burkhard-Keller tree ([BK73], first method; paper section 3.2).
+
+The earliest distance-based index: it requires a metric that "always
+returns discrete values" (the paper's description) — e.g. the edit
+distance on keywords, [BK73]'s original application.  Each node holds
+one element; every other element is routed into the child whose edge
+label equals its (discrete) distance from the node's element, so all
+elements in the subtree under edge ``c`` lie at distance exactly ``c``
+from the node element.  Range search visits only the edges in
+``[d(q, node) - r, d(q, node) + r]``.
+
+Unlike the paper's structures, the BK-tree is *dynamic*: elements are
+inserted one at a time, so :meth:`insert` is supported — a useful
+counterpoint to the static-structure limitation the paper discusses in
+section 6 (at the price of no balance guarantee).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional, Sequence
+
+from repro._util import check_non_empty, definitely_greater, slack
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.metric.base import Metric
+
+
+class BKNode:
+    """One element and a dict of children keyed by discrete distance."""
+
+    __slots__ = ("id", "children")
+
+    def __init__(self, idx: int):
+        self.id = idx
+        self.children: dict[float, BKNode] = {}
+
+
+class BKTree(MetricIndex):
+    """Burkhard-Keller tree over a discrete-valued metric.
+
+    >>> from repro.metric import EditDistance
+    >>> words = ["book", "rook", "nooks", "boon", "cake"]
+    >>> tree = BKTree(words, EditDistance())
+    >>> [words[i] for i in tree.range_search("books", 1)]
+    ['book', 'nooks']
+    """
+
+    def __init__(self, objects: Sequence, metric: Metric):
+        check_non_empty(objects, "BKTree")
+        super().__init__(objects, metric)
+        self._size = 0
+        self._root: Optional[BKNode] = None
+        self.node_count = 0
+        self.height = 1
+        for idx in range(len(objects)):
+            self._insert_id(idx)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Construction / insertion
+    # ------------------------------------------------------------------
+
+    def _insert_id(self, idx: int) -> None:
+        self._size += 1
+        self.node_count += 1
+        if self._root is None:
+            self._root = BKNode(idx)
+            return
+        node = self._root
+        depth = 1
+        obj = self._objects[idx]
+        while True:
+            d = self._metric.distance(obj, self._objects[node.id])
+            depth += 1
+            child = node.children.get(d)
+            if child is None:
+                node.children[d] = BKNode(idx)
+                self.height = max(self.height, depth)
+                return
+            node = child
+
+    def insert(self, obj) -> int:
+        """Append ``obj`` to the dataset and index it; returns its id.
+
+        Requires the dataset to be an appendable sequence (a list).
+        """
+        try:
+            self._objects.append(obj)
+        except AttributeError:
+            raise TypeError(
+                "insert requires the dataset to be an appendable sequence "
+                "(build the BKTree over a list)"
+            ) from None
+        idx = len(self._objects) - 1
+        self._insert_id(idx)
+        return idx
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        out: list[int] = []
+        self._range(self._root, query, radius, out)
+        out.sort()
+        return out
+
+    def _range(self, node: Optional[BKNode], query, radius: float, out: list[int]):
+        if node is None:
+            return
+        d = self._metric.distance(query, self._objects[node.id])
+        if d <= radius:
+            out.append(node.id)
+        for edge, child in node.children.items():
+            # Every element under this edge is at distance exactly
+            # ``edge`` from node's element, so the triangle inequality
+            # bounds its query distance within [|d - edge|, d + edge].
+            if d - radius <= edge + slack(edge) and edge <= d + radius + slack(
+                d + radius
+            ):
+                self._range(child, query, radius, out)
+
+    def knn_search(self, query, k: int) -> list[Neighbor]:
+        k = self.validate_k(k)
+        best: list[tuple[float, int]] = []
+
+        def consider(distance: float, idx: int) -> None:
+            item = (-distance, -idx)
+            if len(best) < k:
+                heapq.heappush(best, item)
+            elif item > best[0]:
+                heapq.heapreplace(best, item)
+
+        def threshold() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        counter = itertools.count()
+        frontier: list[tuple[float, int, BKNode]] = [(0.0, next(counter), self._root)]
+        while frontier:
+            lower_bound, __, node = heapq.heappop(frontier)
+            if definitely_greater(lower_bound, threshold()):
+                continue
+            d = self._metric.distance(query, self._objects[node.id])
+            consider(float(d), node.id)
+            for edge, child in node.children.items():
+                bound = max(lower_bound, abs(d - edge))
+                if not definitely_greater(bound, threshold()):
+                    heapq.heappush(frontier, (bound, next(counter), child))
+
+        return sorted(
+            (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)
+        )
+
+    @property
+    def root(self) -> Optional[BKNode]:
+        """The root node (read-only introspection)."""
+        return self._root

@@ -1,0 +1,188 @@
+"""Precomputed-distance table with interval estimation ([SW90]; AESA).
+
+The approach the paper reviews in section 3.2: "a table of size O(n^2)
+keeps the distances between data objects ... other pairwise distances
+are estimated (by specifying an interval) by making use of the other
+pre-computed distances".  At query time the structure repeatedly
+computes one real distance ``d(q, x)`` and then, for every undecided
+object ``y``, tightens the interval
+
+    ``|d(q, x) - d(x, y)|  <=  d(q, y)  <=  d(q, x) + d(x, y)``
+
+rejecting ``y`` once its lower bound exceeds the radius and *accepting
+it without ever computing its distance* once its upper bound drops
+under the radius.  Query-time distance computations are typically tiny
+and dimension-independent, which is why this is the strongest possible
+per-query baseline — but, as the paper notes, "the space requirements
+and the search complexity become overwhelming for larger domains":
+construction costs n(n-1)/2 distance computations and O(n^2) memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import (
+    check_non_empty,
+    definitely_greater,
+    definitely_less,
+    gather,
+    slack,
+)
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.metric.base import Metric
+
+
+class DistanceMatrixIndex(MetricIndex):
+    """AESA-style index over a full precomputed distance matrix.
+
+    >>> import numpy as np
+    >>> from repro.metric import L2
+    >>> data = np.random.default_rng(0).random((50, 4))
+    >>> index = DistanceMatrixIndex(data, L2())
+    >>> index.nearest(data[7]).id
+    7
+    """
+
+    def __init__(self, objects: Sequence, metric: Metric):
+        check_non_empty(objects, "DistanceMatrixIndex")
+        super().__init__(objects, metric)
+        n = len(objects)
+        matrix = np.zeros((n, n))
+        for i in range(n - 1):
+            row = np.asarray(
+                metric.batch_distance(gather(objects, range(i + 1, n)), objects[i])
+            )
+            matrix[i, i + 1 :] = row
+            matrix[i + 1 :, i] = row
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The precomputed n x n distance matrix (read-only use)."""
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        n = len(self._objects)
+        lower = np.zeros(n)
+        upper = np.full(n, np.inf)
+        undecided = np.ones(n, dtype=bool)
+        out: list[int] = []
+
+        while undecided.any():
+            # Pivot choice: the undecided object with the smallest lower
+            # bound (the classic AESA heuristic — most likely in range,
+            # and near objects are the best eliminators).
+            candidates = np.nonzero(undecided)[0]
+            x = int(candidates[np.argmin(lower[candidates])])
+            dx = float(self._metric.distance(query, self._objects[x]))
+            undecided[x] = False
+            if dx <= radius:
+                out.append(x)
+
+            row = self._matrix[x]
+            np.maximum(lower, np.abs(dx - row), out=lower, where=undecided)
+            np.minimum(upper, dx + row, out=upper, where=undecided)
+
+            # Rejection and acceptance are both conservative under
+            # float noise: reject only when the lower bound clearly
+            # exceeds the radius, accept without computing only when the
+            # upper bound is clearly inside it.  Borderline objects stay
+            # undecided and get their true distance computed.
+            rejected = undecided & (lower > radius + slack(radius))
+            accepted = undecided & (upper <= radius - slack(radius))
+            undecided &= ~(rejected | accepted)
+            # Accepted objects join the answer set without a single
+            # distance computation — the [SW90] trick.
+            out.extend(int(i) for i in np.nonzero(accepted)[0])
+
+        out.sort()
+        return out
+
+    def knn_search(self, query, k: int) -> list[Neighbor]:
+        k = self.validate_k(k)
+        n = len(self._objects)
+        lower = np.zeros(n)
+        undecided = np.ones(n, dtype=bool)
+        best: list[Neighbor] = []
+
+        while undecided.any():
+            candidates = np.nonzero(undecided)[0]
+            x = int(candidates[np.argmin(lower[candidates])])
+            if len(best) == k and definitely_greater(
+                float(lower[x]), best[-1].distance
+            ):
+                break  # nothing undecided can beat the kth best
+            dx = float(self._metric.distance(query, self._objects[x]))
+            undecided[x] = False
+            best.append(Neighbor(dx, x))
+            best.sort()
+            if len(best) > k:
+                best.pop()
+            row = self._matrix[x]
+            np.maximum(lower, np.abs(dx - row), out=lower, where=undecided)
+
+        return best
+
+    def outside_range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        n = len(self._objects)
+        lower = np.zeros(n)
+        upper = np.full(n, np.inf)
+        undecided = np.ones(n, dtype=bool)
+        out: list[int] = []
+
+        while undecided.any():
+            candidates = np.nonzero(undecided)[0]
+            x = int(candidates[np.argmin(lower[candidates])])
+            dx = float(self._metric.distance(query, self._objects[x]))
+            undecided[x] = False
+            if dx > radius:
+                out.append(x)
+
+            row = self._matrix[x]
+            np.maximum(lower, np.abs(dx - row), out=lower, where=undecided)
+            np.minimum(upper, dx + row, out=upper, where=undecided)
+
+            # For the complement query the roles flip: a clear lower
+            # bound *accepts* without computing, a clear upper bound
+            # discards.
+            accepted = undecided & (lower > radius + slack(radius))
+            discarded = undecided & (upper <= radius - slack(radius))
+            undecided &= ~(accepted | discarded)
+            out.extend(int(i) for i in np.nonzero(accepted)[0])
+
+        out.sort()
+        return out
+
+    def farthest_search(self, query, k: int = 1) -> list[Neighbor]:
+        k = self.validate_k(k)
+        n = len(self._objects)
+        upper = np.full(n, np.inf)
+        undecided = np.ones(n, dtype=bool)
+        best: list[Neighbor] = []  # sorted farthest-first
+
+        while undecided.any():
+            candidates = np.nonzero(undecided)[0]
+            x = int(candidates[np.argmax(upper[candidates])])
+            if len(best) == k and definitely_less(
+                float(upper[x]), best[-1].distance
+            ):
+                break
+            dx = float(self._metric.distance(query, self._objects[x]))
+            undecided[x] = False
+            best.append(Neighbor(dx, x))
+            best.sort(key=lambda nb: (-nb.distance, nb.id))
+            if len(best) > k:
+                best.pop()
+            row = self._matrix[x]
+            np.minimum(upper, dx + row, out=upper, where=undecided)
+
+        return best

@@ -1,0 +1,247 @@
+"""Generalized hyperplane tree ([Uhl91]; paper section 3.2).
+
+At every node two pivot points are picked and the remaining points are
+divided into two groups depending on which pivot they are closer to —
+the split surface is the generalized hyperplane equidistant from the
+pivots, rather than the vp-tree's spherical cut.  "Unlike the vp-trees,
+the branching factor can only be two" (the paper), and balance depends
+entirely on pivot selection.
+
+Pruning uses two exact rules:
+
+* the hyperplane rule — a subtree on the far side of the hyperplane can
+  be skipped when ``(d(q, near) - d(q, far)) > 2r`` cannot hold;
+* a covering-radius rule (the bisector-tree tightening) — each subtree
+  also records the maximum distance of its points from its own pivot,
+  so the subtree is skipped when the query ball misses that covering
+  ball entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro._util import (
+    RngLike,
+    as_rng,
+    check_non_empty,
+    definitely_greater,
+    gather,
+    slack,
+)
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.metric.base import Metric
+
+
+class GHInternalNode:
+    """Two pivots, two children, and each child's covering radius."""
+
+    __slots__ = ("p1_id", "p2_id", "r1", "r2", "left", "right")
+
+    def __init__(self, p1_id, p2_id, r1, r2, left, right):
+        self.p1_id = p1_id
+        self.p2_id = p2_id
+        self.r1 = r1
+        self.r2 = r2
+        self.left = left
+        self.right = right
+
+
+class GHLeafNode:
+    """Bucket of data point ids."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: list[int]):
+        self.ids = ids
+
+
+class GHTree(MetricIndex):
+    """Generalized hyperplane tree.
+
+    Parameters
+    ----------
+    objects, metric:
+        Dataset and metric, as for every index.
+    leaf_capacity:
+        Bucket size below which no further split happens.
+    pivots:
+        ``"random"`` picks two distinct random pivots; ``"farthest"``
+        picks a random first pivot and the point farthest from it (one
+        extra batch of distance computations, but splits tend to be
+        better separated — the paper notes the structure is only
+        well-balanced "if the two pivot points are well-selected").
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence,
+        metric: Metric,
+        *,
+        leaf_capacity: int = 1,
+        pivots: str = "farthest",
+        rng: RngLike = None,
+    ):
+        check_non_empty(objects, "GHTree")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        if pivots not in ("random", "farthest"):
+            raise ValueError(f"pivots must be 'random' or 'farthest', got {pivots!r}")
+        super().__init__(objects, metric)
+        self.leaf_capacity = leaf_capacity
+        self.pivots = pivots
+        self._rng = as_rng(rng)
+        self.node_count = 0
+        self.leaf_count = 0
+        self.height = 0
+        self._root = self._build(list(range(len(objects))), depth=1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self, ids: list[int], depth: int):
+        if not ids:
+            return None
+        self.height = max(self.height, depth)
+        self.node_count += 1
+        if len(ids) <= max(self.leaf_capacity, 1) or len(ids) < 2:
+            self.leaf_count += 1
+            return GHLeafNode(list(ids))
+
+        p1_id = ids[int(self._rng.integers(len(ids)))]
+        rest = [i for i in ids if i != p1_id]
+        d_p1 = np.asarray(
+            self._metric.batch_distance(gather(self._objects, rest), self._objects[p1_id])
+        )
+        if self.pivots == "farthest":
+            p2_pos = int(np.argmax(d_p1))
+        else:
+            p2_pos = int(self._rng.integers(len(rest)))
+        p2_id = rest[p2_pos]
+        rest = rest[:p2_pos] + rest[p2_pos + 1 :]
+        d_p1 = np.delete(d_p1, p2_pos)
+
+        if rest:
+            d_p2 = np.asarray(
+                self._metric.batch_distance(
+                    gather(self._objects, rest), self._objects[p2_id]
+                )
+            )
+        else:
+            d_p2 = np.empty(0)
+
+        closer_to_p1 = d_p1 <= d_p2
+        left_ids = [rest[i] for i in np.nonzero(closer_to_p1)[0]]
+        right_ids = [rest[i] for i in np.nonzero(~closer_to_p1)[0]]
+        r1 = float(d_p1[closer_to_p1].max()) if left_ids else 0.0
+        r2 = float(d_p2[~closer_to_p1].max()) if right_ids else 0.0
+
+        return GHInternalNode(
+            p1_id,
+            p2_id,
+            r1,
+            r2,
+            self._build(left_ids, depth + 1),
+            self._build(right_ids, depth + 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        out: list[int] = []
+        self._range(self._root, query, radius, out)
+        out.sort()
+        return out
+
+    def _range(self, node, query, radius: float, out: list[int]) -> None:
+        if node is None:
+            return
+        if isinstance(node, GHLeafNode):
+            if node.ids:
+                distances = self._metric.batch_distance(
+                    gather(self._objects, node.ids), query
+                )
+                out.extend(
+                    idx
+                    for idx, distance in zip(node.ids, distances)
+                    if distance <= radius
+                )
+            return
+        d1 = self._metric.distance(query, self._objects[node.p1_id])
+        d2 = self._metric.distance(query, self._objects[node.p2_id])
+        if d1 <= radius:
+            out.append(node.p1_id)
+        if d2 <= radius:
+            out.append(node.p2_id)
+        # Hyperplane rule + covering-ball rule, both exact (with
+        # epsilon slack so float noise never drops a true answer).
+        if d1 - d2 <= 2 * radius + slack(radius) and d1 - radius <= node.r1 + slack(
+            node.r1
+        ):
+            self._range(node.left, query, radius, out)
+        if d2 - d1 <= 2 * radius + slack(radius) and d2 - radius <= node.r2 + slack(
+            node.r2
+        ):
+            self._range(node.right, query, radius, out)
+
+    def knn_search(self, query, k: int) -> list[Neighbor]:
+        k = self.validate_k(k)
+        best: list[tuple[float, int]] = []
+
+        def consider(distance: float, idx: int) -> None:
+            item = (-distance, -idx)
+            if len(best) < k:
+                heapq.heappush(best, item)
+            elif item > best[0]:
+                heapq.heapreplace(best, item)
+
+        def threshold() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        counter = itertools.count()
+        frontier: list[tuple[float, int, object]] = [(0.0, next(counter), self._root)]
+        while frontier:
+            lower_bound, __, node = heapq.heappop(frontier)
+            if node is None or definitely_greater(lower_bound, threshold()):
+                continue
+            if isinstance(node, GHLeafNode):
+                if node.ids:
+                    distances = self._metric.batch_distance(
+                        gather(self._objects, node.ids), query
+                    )
+                    for idx, distance in zip(node.ids, distances):
+                        consider(float(distance), idx)
+                continue
+            d1 = self._metric.distance(query, self._objects[node.p1_id])
+            d2 = self._metric.distance(query, self._objects[node.p2_id])
+            consider(d1, node.p1_id)
+            consider(d2, node.p2_id)
+            left_bound = max(lower_bound, (d1 - d2) / 2.0, d1 - node.r1, 0.0)
+            right_bound = max(lower_bound, (d2 - d1) / 2.0, d2 - node.r2, 0.0)
+            if node.left is not None and not definitely_greater(
+                left_bound, threshold()
+            ):
+                heapq.heappush(frontier, (left_bound, next(counter), node.left))
+            if node.right is not None and not definitely_greater(
+                right_bound, threshold()
+            ):
+                heapq.heappush(frontier, (right_bound, next(counter), node.right))
+
+        return sorted(
+            (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)
+        )
+
+    @property
+    def root(self):
+        """The root node (read-only introspection)."""
+        return self._root

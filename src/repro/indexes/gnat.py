@@ -1,0 +1,327 @@
+"""GNAT — Geometric Near-neighbor Access Tree ([Bri95]; paper section 3.2).
+
+A multi-way structure: ``degree`` split points are chosen to be mutually
+far apart, every remaining point joins the dataset of its closest split
+point (a Dirichlet/Voronoi-style decomposition), and for every ordered
+pair of split points the node records the range ``[min, max]`` of
+distances from split point *i* to the members of dataset *j*.  At query
+time, computing a single distance ``d(q, split_i)`` lets the triangle
+inequality eliminate every dataset whose recorded range cannot intersect
+``[d - r, d + r]`` — including datasets whose own split-point distance
+was never computed.  This is the trade [Bri95] reports and the paper
+recounts: "the preprocessing step of GNAT is more expensive than the
+vp-tree, but its search algorithm makes less distance computations".
+
+Split-point counts adapt to dataset cardinality between ``min_degree``
+and ``max_degree``, as in [Bri95].
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._util import (
+    RngLike,
+    as_rng,
+    check_non_empty,
+    definitely_greater,
+    definitely_less,
+    gather,
+)
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.metric.base import Metric
+
+
+class GNATInternalNode:
+    """Split points, their children, and the pairwise range table.
+
+    ``ranges[i][j] = (lo, hi)`` covers ``d(split_i, x)`` for every ``x``
+    in dataset ``j`` *including split_j itself* — so eliminating ``j``
+    also certifies that split_j is out of range and its distance need
+    never be computed.
+    """
+
+    __slots__ = ("split_ids", "ranges", "children")
+
+    def __init__(self, split_ids, ranges, children):
+        self.split_ids = split_ids
+        self.ranges = ranges
+        self.children = children
+
+
+class GNATLeafNode:
+    """Bucket of data point ids."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: list[int]):
+        self.ids = ids
+
+
+class GNAT(MetricIndex):
+    """Geometric near-neighbor access tree.
+
+    Parameters
+    ----------
+    degree:
+        Target number of split points at the root; children adapt their
+        own degree to their cardinality (clamped to
+        ``[min_degree, max_degree]``), as in [Bri95].
+    min_degree, max_degree:
+        Clamp bounds for adaptive degrees.
+    leaf_capacity:
+        Bucket size below which a node stores points directly.
+    candidate_factor:
+        [Bri95] samples ``3x`` the wanted number of split points and
+        keeps a greedily max-separated subset; this is the ``3``.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence,
+        metric: Metric,
+        *,
+        degree: int = 8,
+        min_degree: int = 2,
+        max_degree: int = 64,
+        leaf_capacity: int = 4,
+        candidate_factor: int = 3,
+        rng: RngLike = None,
+    ):
+        check_non_empty(objects, "GNAT")
+        if degree < 2:
+            raise ValueError(f"degree must be >= 2, got {degree}")
+        if not 2 <= min_degree <= max_degree:
+            raise ValueError(
+                f"need 2 <= min_degree <= max_degree, got {min_degree}, {max_degree}"
+            )
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        if candidate_factor < 1:
+            raise ValueError(f"candidate_factor must be >= 1, got {candidate_factor}")
+        super().__init__(objects, metric)
+        self.degree = degree
+        self.min_degree = min_degree
+        self.max_degree = max_degree
+        self.leaf_capacity = leaf_capacity
+        self.candidate_factor = candidate_factor
+        self._rng = as_rng(rng)
+        self.node_count = 0
+        self.leaf_count = 0
+        self.height = 0
+        self._root = self._build(list(range(len(objects))), degree, depth=1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _choose_split_points(self, ids: list[int], degree: int) -> list[int]:
+        """Greedy max-separated subset of a random candidate sample."""
+        n_candidates = min(len(ids), degree * self.candidate_factor)
+        candidate_pos = self._rng.choice(len(ids), size=n_candidates, replace=False)
+        candidates = [ids[int(pos)] for pos in candidate_pos]
+        first = candidates[int(self._rng.integers(len(candidates)))]
+        chosen = [first]
+        remaining = [c for c in candidates if c != first]
+        # min distance from each remaining candidate to the chosen set
+        min_dist = np.asarray(
+            self._metric.batch_distance(
+                gather(self._objects, remaining), self._objects[first]
+            )
+        ) if remaining else np.empty(0)
+        while len(chosen) < degree and remaining:
+            best = int(np.argmax(min_dist))
+            chosen.append(remaining[best])
+            newest = self._objects[remaining[best]]
+            del remaining[best]
+            min_dist = np.delete(min_dist, best)
+            if remaining:
+                newest_dist = np.asarray(
+                    self._metric.batch_distance(
+                        gather(self._objects, remaining), newest
+                    )
+                )
+                min_dist = np.minimum(min_dist, newest_dist)
+        return chosen
+
+    def _build(self, ids: list[int], degree: int, depth: int):
+        if not ids:
+            return None
+        self.height = max(self.height, depth)
+        self.node_count += 1
+        if len(ids) <= self.leaf_capacity:
+            self.leaf_count += 1
+            return GNATLeafNode(list(ids))
+
+        degree = max(self.min_degree, min(degree, self.max_degree, len(ids)))
+        split_ids = self._choose_split_points(ids, degree)
+        split_set = set(split_ids)
+        rest = [i for i in ids if i not in split_set]
+        actual_degree = len(split_ids)
+
+        # Distances from every remaining point to every split point; the
+        # same matrix serves assignment and the range table, so GNAT's
+        # construction pays degree distance computations per point.
+        if rest:
+            dist = np.stack(
+                [
+                    np.asarray(
+                        self._metric.batch_distance(
+                            gather(self._objects, rest), self._objects[s]
+                        )
+                    )
+                    for s in split_ids
+                ],
+                axis=0,
+            )  # shape (degree, len(rest))
+            assignment = np.argmin(dist, axis=0)
+        else:
+            dist = np.empty((actual_degree, 0))
+            assignment = np.empty(0, dtype=int)
+
+        # Pairwise split-point distances seed the range table so that
+        # ranges[i][j] covers split_j itself.
+        split_objects = gather(self._objects, split_ids)
+        split_dist = np.zeros((actual_degree, actual_degree))
+        for i in range(actual_degree):
+            for j in range(i + 1, actual_degree):
+                d = self._metric.distance(split_objects[i], split_objects[j])
+                split_dist[i, j] = split_dist[j, i] = d
+
+        ranges: list[list[tuple[float, float]]] = []
+        children = []
+        member_lists: list[list[int]] = [[] for __ in range(actual_degree)]
+        for pos, j in enumerate(assignment):
+            member_lists[int(j)].append(pos)
+
+        for i in range(actual_degree):
+            row: list[tuple[float, float]] = []
+            for j in range(actual_degree):
+                lo = hi = split_dist[i, j]
+                if member_lists[j]:
+                    member_dist = dist[i, member_lists[j]]
+                    lo = min(lo, float(member_dist.min()))
+                    hi = max(hi, float(member_dist.max()))
+                row.append((lo, hi))
+            ranges.append(row)
+
+        total = max(len(rest), 1)
+        for j in range(actual_degree):
+            child_ids = [rest[pos] for pos in member_lists[j]]
+            child_degree = int(round(actual_degree * actual_degree * len(child_ids) / total))
+            children.append(self._build(child_ids, child_degree, depth + 1))
+
+        return GNATInternalNode(split_ids, ranges, children)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        out: list[int] = []
+        self._range(self._root, query, radius, out)
+        out.sort()
+        return out
+
+    def _range(self, node, query, radius: float, out: list[int]) -> None:
+        if node is None:
+            return
+        if isinstance(node, GNATLeafNode):
+            if node.ids:
+                distances = self._metric.batch_distance(
+                    gather(self._objects, node.ids), query
+                )
+                out.extend(
+                    idx
+                    for idx, distance in zip(node.ids, distances)
+                    if distance <= radius
+                )
+            return
+        degree = len(node.split_ids)
+        alive = [True] * degree
+        for i in range(degree):
+            if not alive[i]:
+                continue
+            di = self._metric.distance(query, self._objects[node.split_ids[i]])
+            if di <= radius:
+                out.append(node.split_ids[i])
+            for j in range(degree):
+                if j == i or not alive[j]:
+                    continue
+                lo, hi = node.ranges[i][j]
+                if definitely_greater(di - radius, hi) or definitely_less(
+                    di + radius, lo
+                ):
+                    alive[j] = False
+        for j in range(degree):
+            if alive[j]:
+                self._range(node.children[j], query, radius, out)
+
+    def knn_search(self, query, k: int) -> list[Neighbor]:
+        k = self.validate_k(k)
+        best: list[tuple[float, int]] = []
+
+        def consider(distance: float, idx: int) -> None:
+            item = (-distance, -idx)
+            if len(best) < k:
+                heapq.heappush(best, item)
+            elif item > best[0]:
+                heapq.heapreplace(best, item)
+
+        def threshold() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        counter = itertools.count()
+        frontier: list[tuple[float, int, object]] = [(0.0, next(counter), self._root)]
+        while frontier:
+            lower_bound, __, node = heapq.heappop(frontier)
+            if node is None or definitely_greater(lower_bound, threshold()):
+                continue
+            if isinstance(node, GNATLeafNode):
+                if node.ids:
+                    distances = self._metric.batch_distance(
+                        gather(self._objects, node.ids), query
+                    )
+                    for idx, distance in zip(node.ids, distances):
+                        consider(float(distance), idx)
+                continue
+            degree = len(node.split_ids)
+            child_bounds = np.full(degree, lower_bound)
+            computed: list[tuple[int, float]] = []
+            for i in range(degree):
+                if definitely_greater(float(child_bounds[i]), threshold()):
+                    # Dataset i is already proven farther than the kth
+                    # best; skip the split-point distance entirely (the
+                    # range table covers split_i too).
+                    continue
+                di = self._metric.distance(query, self._objects[node.split_ids[i]])
+                consider(di, node.split_ids[i])
+                computed.append((i, di))
+                for j in range(degree):
+                    if j == i:
+                        continue
+                    lo, hi = node.ranges[i][j]
+                    child_bounds[j] = max(child_bounds[j], di - hi, lo - di)
+            for j, bound in enumerate(child_bounds):
+                if node.children[j] is not None and not definitely_greater(
+                    float(bound), threshold()
+                ):
+                    heapq.heappush(
+                        frontier, (float(bound), next(counter), node.children[j])
+                    )
+
+        return sorted(
+            (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)
+        )
+
+    @property
+    def root(self):
+        """The root node (read-only introspection)."""
+        return self._root

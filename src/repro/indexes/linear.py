@@ -1,0 +1,53 @@
+"""Linear scan: the no-index baseline and correctness oracle.
+
+Computes the distance from the query to every object — the paper's
+worst case ("the search algorithm ... can make O(N) distance
+computations", section 4.3).  Every other structure's answer sets are
+verified against this one in the test suite and (optionally) in the
+benchmark runner.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import check_non_empty
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.metric.base import Metric
+
+
+class LinearScan(MetricIndex):
+    """Brute-force index: one distance computation per object per query."""
+
+    def __init__(self, objects: Sequence, metric: Metric):
+        check_non_empty(objects, "LinearScan")
+        super().__init__(objects, metric)
+
+    def _all_distances(self, query) -> np.ndarray:
+        return np.asarray(self._metric.batch_distance(self._objects, query))
+
+    def range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        distances = self._all_distances(query)
+        return [int(i) for i in np.nonzero(distances <= radius)[0]]
+
+    def knn_search(self, query, k: int) -> list[Neighbor]:
+        k = self.validate_k(k)
+        distances = self._all_distances(query)
+        # argsort on (distance, id) for deterministic tie-breaks: ids are
+        # already the secondary key because argsort is stable.
+        order = np.argsort(distances, kind="stable")[:k]
+        return [Neighbor(float(distances[i]), int(i)) for i in order]
+
+    def farthest_search(self, query, k: int = 1) -> list[Neighbor]:
+        k = self.validate_k(k)
+        distances = self._all_distances(query)
+        order = np.argsort(-distances, kind="stable")[:k]
+        return [Neighbor(float(distances[i]), int(i)) for i in order]
+
+    def outside_range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        distances = self._all_distances(query)
+        return [int(i) for i in np.nonzero(distances > radius)[0]]

@@ -1,0 +1,132 @@
+"""Vantage-point selection strategies.
+
+The quality of a vp-tree or mvp-tree depends on where its vantage points
+sit ([Yia93]; the paper's section 6 lists better vantage-point selection
+as future work and notes that "any optimization technique for vp-trees
+can also be applied to the mvp-trees").  Three strategies are provided:
+
+* :class:`RandomSelector` — the paper's experimental setup ("the random
+  function used to pick vantage points", section 5.2).
+* :class:`FarthestSelector` — pick the point farthest from a reference;
+  the paper uses this rule for the *second* vantage point of an mvp-tree
+  leaf (section 4.2, step 2.4).
+* :class:`MaxSpreadSelector` — [Yia93]'s sampled heuristic: try a few
+  random candidates and keep the one whose distances to a random sample
+  have the largest spread (variance), i.e. the one that best
+  discriminates the data.
+
+Selection happens through the index's metric, so any distance
+computations a strategy spends are charged to construction — exactly the
+trade-off [Bri95] reports for GNAT (costlier builds, cheaper searches).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import gather
+from repro.metric.base import Metric
+
+
+class VantagePointSelector(ABC):
+    """Strategy object choosing one vantage point among candidate ids."""
+
+    @abstractmethod
+    def select(
+        self,
+        candidate_ids: Sequence[int],
+        objects: Sequence,
+        metric: Metric,
+        rng: np.random.Generator,
+    ) -> int:
+        """Return the chosen vantage point's id (a member of candidates)."""
+
+
+class RandomSelector(VantagePointSelector):
+    """Pick a uniformly random candidate (the paper's default)."""
+
+    def select(self, candidate_ids, objects, metric, rng) -> int:
+        return int(candidate_ids[int(rng.integers(len(candidate_ids)))])
+
+
+class FarthestSelector(VantagePointSelector):
+    """Pick the candidate farthest from a random reference candidate.
+
+    A cheap approximation of "corner" points, which partition metric
+    balls more evenly than central points.  Costs one batch of distance
+    computations over the candidates.
+    """
+
+    def select(self, candidate_ids, objects, metric, rng) -> int:
+        reference = objects[int(candidate_ids[int(rng.integers(len(candidate_ids)))])]
+        distances = metric.batch_distance(gather(objects, candidate_ids), reference)
+        return int(candidate_ids[int(np.argmax(distances))])
+
+
+class MaxSpreadSelector(VantagePointSelector):
+    """[Yia93]'s heuristic: maximise the spread of distances to a sample.
+
+    Parameters
+    ----------
+    n_candidates:
+        How many random candidate vantage points to evaluate.
+    sample_size:
+        How many random data points each candidate is scored against.
+    """
+
+    def __init__(self, n_candidates: int = 5, sample_size: int = 20):
+        if n_candidates < 1 or sample_size < 2:
+            raise ValueError(
+                "need n_candidates >= 1 and sample_size >= 2, got "
+                f"{n_candidates} and {sample_size}"
+            )
+        self.n_candidates = n_candidates
+        self.sample_size = sample_size
+
+    def select(self, candidate_ids, objects, metric, rng) -> int:
+        n = len(candidate_ids)
+        if n == 1:
+            return int(candidate_ids[0])
+        candidate_ids = np.asarray(candidate_ids)
+        candidates = rng.choice(
+            candidate_ids, size=min(self.n_candidates, n), replace=False
+        )
+        sample = rng.choice(
+            candidate_ids, size=min(self.sample_size, n), replace=False
+        )
+        sample_objects = gather(objects, sample)
+        best_id, best_spread = int(candidates[0]), -1.0
+        for candidate in candidates:
+            distances = metric.batch_distance(
+                sample_objects, objects[int(candidate)]
+            )
+            spread = float(np.var(distances))
+            if spread > best_spread:
+                best_id, best_spread = int(candidate), spread
+        return best_id
+
+
+_SELECTORS = {
+    "random": RandomSelector,
+    "farthest": FarthestSelector,
+    "max_spread": MaxSpreadSelector,
+}
+
+
+def get_selector(name: str | VantagePointSelector) -> VantagePointSelector:
+    """Resolve a selector by name ("random", "farthest", "max_spread").
+
+    Passing an existing selector instance returns it unchanged, so index
+    constructors accept either form.
+    """
+    if isinstance(name, VantagePointSelector):
+        return name
+    try:
+        return _SELECTORS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown selector {name!r}; expected one of {sorted(_SELECTORS)}"
+        ) from None

@@ -1,0 +1,405 @@
+"""Vantage-point tree ([Uhl91], [Yia93]; paper section 3.3).
+
+The vp-tree partitions a metric space into *spherical cuts* around a
+vantage point chosen at every node: distances from the vantage point to
+all points below the node are computed, the points are sorted by that
+distance and split into ``m`` groups of equal cardinality.  Each group
+occupies a spherical shell whose inner and outer radii are the minimum
+and maximum distance of its points from the vantage point (the paper,
+section 1, describes the partitions exactly this way), and those radii
+are what the search uses for triangle-inequality pruning — the paper's
+Appendix proves this pruning exact.
+
+This implementation generalises the binary tree to order ``m``
+("Generalizing binary vp-trees into multi-way vp-trees", section 3.3)
+and supports a configurable leaf capacity, random / max-spread /
+farthest vantage-point selection, range, k-NN and farthest queries.
+
+Construction requires ``O(n log_m n)`` distance computations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro._util import (
+    RngLike,
+    as_rng,
+    check_non_empty,
+    definitely_greater,
+    definitely_less,
+    gather,
+)
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.selection import VantagePointSelector, get_selector
+from repro.metric.base import Metric
+
+
+class VPInternalNode:
+    """Internal node: one vantage point and ``m`` spherical-shell children.
+
+    ``cutoffs`` holds the ``m - 1`` boundary distances used to split the
+    sorted distance list (the paper's "cutoff values"); ``bounds[i]``
+    holds the exact inner and outer radii of child ``i``'s shell, which
+    is what search prunes against.
+    """
+
+    __slots__ = ("vp_id", "cutoffs", "bounds", "children")
+
+    def __init__(
+        self,
+        vp_id: int,
+        cutoffs: list[float],
+        bounds: list[tuple[float, float]],
+        children: list[Union["VPInternalNode", "VPLeafNode", None]],
+    ):
+        self.vp_id = vp_id
+        self.cutoffs = cutoffs
+        self.bounds = bounds
+        self.children = children
+
+
+class VPLeafNode:
+    """Leaf node: a bucket of data point ids (no precomputed distances —
+    that refinement is exactly what the mvp-tree adds)."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: list[int]):
+        self.ids = ids
+
+
+class VPTree(MetricIndex):
+    """Vantage-point tree of order ``m``.
+
+    Parameters
+    ----------
+    objects:
+        Dataset to index (held by reference).
+    metric:
+        Metric distance function.
+    m:
+        Branching factor (number of spherical cuts per node); the paper
+        evaluates m=2 ("vpt(2)") and m=3 ("vpt(3)").
+    leaf_capacity:
+        Maximum number of points stored in a leaf bucket.  The paper's
+        vp-trees effectively use 1 (every point above the leaves is a
+        vantage point), which is the default.
+    selector:
+        Vantage-point selection strategy; name or
+        :class:`~repro.indexes.selection.VantagePointSelector`.
+    bounds:
+        ``"tight"`` (default) stores each shell's exact inner/outer
+        radii (the min/max distances the paper describes in section 1);
+        ``"cutoff"`` stores only the intervals implied by the cutoff
+        values (0 and infinity at the ends), which is what the paper's
+        pseudo-code conditions use directly.  Both are exact; tight
+        bounds prune strictly harder (ablated in
+        ``benchmarks/bench_ablation_bounds.py``).
+    rng:
+        Seed or generator for the selection randomness (the paper
+        averages over 4 random seeds).
+
+    >>> import numpy as np
+    >>> from repro.metric import L2
+    >>> data = np.random.default_rng(0).random((100, 8))
+    >>> tree = VPTree(data, L2(), m=2, rng=0)
+    >>> sorted(tree.range_search(data[7], 0.0))
+    [7]
+    """
+
+    def __init__(
+        self,
+        objects: Sequence,
+        metric: Metric,
+        *,
+        m: int = 2,
+        leaf_capacity: int = 1,
+        selector: Union[str, VantagePointSelector] = "random",
+        bounds: str = "tight",
+        rng: RngLike = None,
+    ):
+        check_non_empty(objects, "VPTree")
+        if m < 2:
+            raise ValueError(f"branching factor m must be >= 2, got {m}")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        if bounds not in ("tight", "cutoff"):
+            raise ValueError(f"bounds must be 'tight' or 'cutoff', got {bounds!r}")
+        super().__init__(objects, metric)
+        self.m = m
+        self.leaf_capacity = leaf_capacity
+        self.bounds_mode = bounds
+        self._selector = get_selector(selector)
+        self._rng = as_rng(rng)
+        self.node_count = 0
+        self.leaf_count = 0
+        self.vantage_point_count = 0
+        self.height = 0
+        self._root = self._build(list(range(len(objects))), depth=1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(
+        self, ids: list[int], depth: int
+    ) -> Union[VPInternalNode, VPLeafNode, None]:
+        if not ids:
+            return None
+        self.height = max(self.height, depth)
+        if len(ids) <= self.leaf_capacity:
+            self.node_count += 1
+            self.leaf_count += 1
+            return VPLeafNode(list(ids))
+
+        vp_id = self._selector.select(ids, self._objects, self._metric, self._rng)
+        rest = [i for i in ids if i != vp_id]
+        distances = np.asarray(
+            self._metric.batch_distance(gather(self._objects, rest), self._objects[vp_id])
+        )
+        order = np.argsort(distances, kind="stable")
+        groups = np.array_split(order, self.m)
+
+        cutoffs: list[float] = []
+        bounds: list[tuple[float, float]] = []
+        children: list[Union[VPInternalNode, VPLeafNode, None]] = []
+        for g, group in enumerate(groups):
+            if len(group) == 0:
+                children.append(None)
+                bounds.append((float("inf"), float("-inf")))
+            else:
+                group_dist = distances[group]
+                bounds.append((float(group_dist.min()), float(group_dist.max())))
+                children.append(
+                    self._build([rest[int(i)] for i in group], depth + 1)
+                )
+            if g < len(groups) - 1:
+                # Boundary between this group and the next: the paper's
+                # cutoff value (the median for m=2).
+                upper = float(distances[group[-1]]) if len(group) else cutoffs[-1] if cutoffs else 0.0
+                cutoffs.append(upper)
+
+        if self.bounds_mode == "cutoff":
+            # The paper's pseudo-code prunes against cutoff values only:
+            # child i covers [c_{i-1}, c_i] with 0 and infinity at the
+            # ends.  Exact, but looser than the true shell radii.
+            bounds = [
+                (
+                    0.0 if g == 0 else cutoffs[g - 1],
+                    cutoffs[g] if g < len(cutoffs) else float("inf"),
+                )
+                if bounds[g][0] <= bounds[g][1]
+                else bounds[g]
+                for g in range(len(bounds))
+            ]
+
+        self.node_count += 1
+        self.vantage_point_count += 1
+        return VPInternalNode(vp_id, cutoffs, bounds, children)
+
+    # ------------------------------------------------------------------
+    # Range search (paper section 3.3, generalised to m-way)
+    # ------------------------------------------------------------------
+
+    def range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        out: list[int] = []
+        self._range(self._root, query, radius, out)
+        out.sort()
+        return out
+
+    def _range(self, node, query, radius: float, out: list[int]) -> None:
+        if node is None:
+            return
+        if isinstance(node, VPLeafNode):
+            distances = self._metric.batch_distance(
+                gather(self._objects, node.ids), query
+            )
+            out.extend(
+                node.ids[i] for i in range(len(node.ids)) if distances[i] <= radius
+            )
+            return
+        dq = self._metric.distance(query, self._objects[node.vp_id])
+        if dq <= radius:
+            out.append(node.vp_id)
+        for child, (lo, hi) in zip(node.children, node.bounds):
+            # Descend iff the query ball [dq - r, dq + r] intersects the
+            # child's spherical shell [lo, hi] (triangle inequality; see
+            # the paper's Appendix for the proof on the binary tree;
+            # comparisons carry epsilon slack so floating-point noise in
+            # the bounds can never drop a true answer).
+            if child is None:
+                continue
+            if definitely_greater(dq - radius, hi) or definitely_less(
+                dq + radius, lo
+            ):
+                continue
+            self._range(child, query, radius, out)
+
+    # ------------------------------------------------------------------
+    # k-nearest-neighbor search (best-first branch and bound, [Chi94])
+    # ------------------------------------------------------------------
+
+    def knn_search(self, query, k: int, epsilon: float = 0.0) -> list[Neighbor]:
+        """Best-first k-NN; ``epsilon > 0`` gives (1+epsilon)-approximate
+        results: the reported k-th distance is at most ``(1 + epsilon)``
+        times the true k-th distance, with correspondingly more
+        aggressive pruning (fewer distance computations)."""
+        k = self.validate_k(k)
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        approximation = 1.0 + epsilon
+        # Max-heap of current k best as (-distance, -id); tie-break on id
+        # keeps results deterministic.
+        best: list[tuple[float, int]] = []
+
+        def consider(distance: float, idx: int) -> None:
+            item = (-distance, -idx)
+            if len(best) < k:
+                heapq.heappush(best, item)
+            elif item > best[0]:
+                heapq.heapreplace(best, item)
+
+        def threshold() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        counter = itertools.count()
+        frontier: list[tuple[float, int, object]] = [(0.0, next(counter), self._root)]
+        while frontier:
+            lower_bound, __, node = heapq.heappop(frontier)
+            if node is None or definitely_greater(
+                lower_bound * approximation, threshold()
+            ):
+                continue
+            if isinstance(node, VPLeafNode):
+                distances = self._metric.batch_distance(
+                    gather(self._objects, node.ids), query
+                )
+                for idx, distance in zip(node.ids, distances):
+                    consider(float(distance), idx)
+                continue
+            dq = self._metric.distance(query, self._objects[node.vp_id])
+            consider(dq, node.vp_id)
+            for child, (lo, hi) in zip(node.children, node.bounds):
+                if child is None:
+                    continue
+                child_bound = max(lower_bound, dq - hi, lo - dq, 0.0)
+                if not definitely_greater(child_bound * approximation, threshold()):
+                    heapq.heappush(frontier, (child_bound, next(counter), child))
+
+        return sorted(
+            (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)
+        )
+
+    # ------------------------------------------------------------------
+    # Farthest search (upper-bound pruning; paper section 2 lists
+    # farthest queries among the similarity-query variants)
+    # ------------------------------------------------------------------
+
+    def farthest_search(self, query, k: int = 1) -> list[Neighbor]:
+        k = self.validate_k(k)
+        best: list[tuple[float, int]] = []  # min-heap of k farthest
+
+        def consider(distance: float, idx: int) -> None:
+            item = (distance, -idx)
+            if len(best) < k:
+                heapq.heappush(best, item)
+            elif item > best[0]:
+                heapq.heapreplace(best, item)
+
+        def threshold() -> float:
+            return best[0][0] if len(best) == k else float("-inf")
+
+        counter = itertools.count()
+        frontier: list[tuple[float, int, object]] = [
+            (float("-inf"), next(counter), self._root)
+        ]
+        while frontier:
+            neg_upper, __, node = heapq.heappop(frontier)
+            if node is None or definitely_less(-neg_upper, threshold()):
+                continue
+            if isinstance(node, VPLeafNode):
+                distances = self._metric.batch_distance(
+                    gather(self._objects, node.ids), query
+                )
+                for idx, distance in zip(node.ids, distances):
+                    consider(float(distance), idx)
+                continue
+            dq = self._metric.distance(query, self._objects[node.vp_id])
+            consider(dq, node.vp_id)
+            for child, (lo, hi) in zip(node.children, node.bounds):
+                if child is None:
+                    continue
+                child_upper = dq + hi
+                if not definitely_less(child_upper, threshold()):
+                    heapq.heappush(frontier, (-child_upper, next(counter), child))
+
+        return sorted(
+            (Neighbor(d, -i) for d, i in best),
+            key=lambda n: (-n.distance, n.id),
+        )
+
+    # ------------------------------------------------------------------
+    # Outside-range search (the complement query of paper section 2)
+    # ------------------------------------------------------------------
+
+    def outside_range_search(self, query, radius: float) -> list[int]:
+        radius = self.validate_radius(radius)
+        out: list[int] = []
+        self._outside(self._root, query, radius, out)
+        out.sort()
+        return out
+
+    def _outside(self, node, query, radius: float, out: list[int]) -> None:
+        if node is None:
+            return
+        if isinstance(node, VPLeafNode):
+            distances = self._metric.batch_distance(
+                gather(self._objects, node.ids), query
+            )
+            out.extend(
+                idx for idx, distance in zip(node.ids, distances) if distance > radius
+            )
+            return
+        dq = self._metric.distance(query, self._objects[node.vp_id])
+        if dq > radius:
+            out.append(node.vp_id)
+        for child, (lo, hi) in zip(node.children, node.bounds):
+            if child is None:
+                continue
+            upper = dq + hi
+            lower = max(dq - hi, lo - dq, 0.0)
+            if definitely_less(upper, radius):
+                continue  # the whole shell is provably inside the ball
+            if definitely_greater(lower, radius):
+                # The whole shell is provably outside: report the
+                # subtree without a single distance computation.
+                _collect_subtree_ids(child, out)
+                continue
+            self._outside(child, query, radius, out)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self):
+        """The root node (read-only introspection for tests/persistence)."""
+        return self._root
+
+
+def _collect_subtree_ids(node, out: list[int]) -> None:
+    """Append every id stored under ``node`` (no distance computations)."""
+    if node is None:
+        return
+    if isinstance(node, VPLeafNode):
+        out.extend(node.ids)
+        return
+    out.append(node.vp_id)
+    for child in node.children:
+        _collect_subtree_ids(child, out)

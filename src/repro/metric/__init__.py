@@ -1,0 +1,55 @@
+"""Metric-space substrate: distance functions, instrumentation, validation.
+
+The paper (section 2) assumes only that the application supplies a metric
+distance function ``d`` satisfying symmetry, positivity, identity and the
+triangle inequality.  Everything in :mod:`repro` computes distances
+exclusively through the :class:`Metric` interface defined here, which is
+what makes the distance-computation accounting of the paper's evaluation
+(section 5) exact: wrap any metric in :class:`CountingMetric` and every
+evaluation — single or batched — is counted.
+"""
+
+from repro.metric.base import (
+    CachedMetric,
+    CountingMetric,
+    FunctionMetric,
+    InvalidDistanceError,
+    Metric,
+    ValidatingMetric,
+)
+from repro.metric.discrete import DiscreteMetric, EditDistance, HammingDistance
+from repro.metric.similarity import AngularDistance, JaccardDistance
+from repro.metric.minkowski import (
+    L1,
+    L2,
+    LInf,
+    Minkowski,
+    WeightedMinkowski,
+)
+from repro.metric.validation import (
+    MetricViolation,
+    check_metric,
+    is_metric,
+)
+
+__all__ = [
+    "Metric",
+    "FunctionMetric",
+    "CountingMetric",
+    "CachedMetric",
+    "ValidatingMetric",
+    "InvalidDistanceError",
+    "L1",
+    "L2",
+    "LInf",
+    "Minkowski",
+    "WeightedMinkowski",
+    "EditDistance",
+    "HammingDistance",
+    "DiscreteMetric",
+    "AngularDistance",
+    "JaccardDistance",
+    "MetricViolation",
+    "check_metric",
+    "is_metric",
+]

@@ -1,0 +1,77 @@
+"""Discrete-valued metrics: edit distance, Hamming, and the 0/1 metric.
+
+These are the metrics of the paper's non-spatial motivation (section 3):
+text databases use the edit distance, and the Burkhard-Keller structures
+([BK73]) require a metric that "always returns discrete values".  All
+three metrics here are integer-valued, which is what makes
+:class:`repro.indexes.BKTree` applicable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metric.base import Metric
+
+
+class EditDistance(Metric):
+    """Levenshtein distance between sequences (typically strings).
+
+    The minimum number of single-element insertions, deletions and
+    substitutions transforming one sequence into the other.  A classic
+    metric on strings ([BK73], and the paper's text-database motivation
+    in section 3.1).
+
+    >>> EditDistance().distance("kitten", "sitting")
+    3
+    """
+
+    def distance(self, a: Sequence, b: Sequence) -> int:
+        if a == b:
+            return 0
+        # Ensure the inner loop runs over the shorter sequence.
+        if len(a) < len(b):
+            a, b = b, a
+        if not b:
+            return len(a)
+        previous = list(range(len(b) + 1))
+        for i, item_a in enumerate(a, start=1):
+            current = [i]
+            for j, item_b in enumerate(b, start=1):
+                cost = 0 if item_a == item_b else 1
+                current.append(
+                    min(
+                        previous[j] + 1,  # deletion
+                        current[j - 1] + 1,  # insertion
+                        previous[j - 1] + cost,  # substitution
+                    )
+                )
+            previous = current
+        return previous[-1]
+
+
+class HammingDistance(Metric):
+    """Number of positions at which two equal-length sequences differ.
+
+    >>> HammingDistance().distance("karolin", "kathrin")
+    3
+    """
+
+    def distance(self, a: Sequence, b: Sequence) -> int:
+        if len(a) != len(b):
+            raise ValueError(
+                f"Hamming distance requires equal lengths, got {len(a)} and {len(b)}"
+            )
+        return sum(1 for x, y in zip(a, b) if x != y)
+
+
+class DiscreteMetric(Metric):
+    """The trivial 0/1 metric: 0 if equal, 1 otherwise.
+
+    Useful as a degenerate stress case for index structures — every
+    non-identical pair is equidistant, so spherical partitioning carries
+    no information and search must fall back to near-linear behaviour.
+    """
+
+    def distance(self, a, b) -> int:
+        return 0 if a == b else 1

@@ -1,0 +1,128 @@
+"""Sampling-based verification of the metric axioms.
+
+Section 2 of the paper lists the four conditions a distance function must
+satisfy for distance-based indexing to be *correct* (the triangle
+inequality is what makes filtering sound; see the paper's Appendix).
+:func:`check_metric` spot-checks a candidate function on sample objects
+and reports violations, so an application can validate a custom distance
+before trusting an index built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metric.base import Metric
+
+#: Tolerance for floating-point comparisons of distances.
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MetricViolation:
+    """A single observed violation of a metric axiom.
+
+    Attributes
+    ----------
+    axiom:
+        One of ``"symmetry"``, ``"positivity"``, ``"identity"``,
+        ``"triangle"``.
+    objects:
+        Indices (into the sample sequence) of the objects involved.
+    detail:
+        Human-readable description with the offending values.
+    """
+
+    axiom: str
+    objects: tuple
+    detail: str
+
+
+def check_metric(
+    metric: Metric,
+    objects: Sequence,
+    *,
+    n_triples: int = 200,
+    rng: Optional[np.random.Generator] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[MetricViolation]:
+    """Spot-check the four metric axioms on sampled object pairs/triples.
+
+    Parameters
+    ----------
+    metric:
+        The candidate distance function.
+    objects:
+        Sample objects from the application domain (at least one).
+    n_triples:
+        How many random triples to test; pairs are derived from the same
+        samples.
+    rng:
+        Source of randomness; defaults to a fresh default generator.
+    tolerance:
+        Slack for floating-point comparisons.
+
+    Returns
+    -------
+    list[MetricViolation]
+        Empty when no violation was observed.  A clean result is
+        evidence, not proof — the check is sampling-based.
+    """
+    if len(objects) == 0:
+        raise ValueError("check_metric needs at least one sample object")
+    rng = rng if rng is not None else np.random.default_rng()
+    violations: list[MetricViolation] = []
+    n = len(objects)
+
+    for __ in range(n_triples):
+        i, j, k = (int(v) for v in rng.integers(0, n, size=3))
+        x, y, z = objects[i], objects[j], objects[k]
+
+        d_xy = metric.distance(x, y)
+        d_yx = metric.distance(y, x)
+        d_xx = metric.distance(x, x)
+        d_xz = metric.distance(x, z)
+        d_zy = metric.distance(z, y)
+
+        if abs(d_xy - d_yx) > tolerance:
+            violations.append(
+                MetricViolation(
+                    "symmetry", (i, j), f"d(x,y)={d_xy} but d(y,x)={d_yx}"
+                )
+            )
+        if d_xy < -tolerance or not np.isfinite(d_xy):
+            violations.append(
+                MetricViolation(
+                    "positivity", (i, j), f"d(x,y)={d_xy} is negative or non-finite"
+                )
+            )
+        if abs(d_xx) > tolerance:
+            violations.append(
+                MetricViolation("identity", (i,), f"d(x,x)={d_xx} != 0")
+            )
+        if d_xy > d_xz + d_zy + tolerance:
+            violations.append(
+                MetricViolation(
+                    "triangle",
+                    (i, j, k),
+                    f"d(x,y)={d_xy} > d(x,z)+d(z,y)={d_xz + d_zy}",
+                )
+            )
+    return violations
+
+
+def is_metric(
+    metric: Metric,
+    objects: Sequence,
+    *,
+    n_triples: int = 200,
+    rng: Optional[np.random.Generator] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Return True when :func:`check_metric` observes no violations."""
+    return not check_metric(
+        metric, objects, n_triples=n_triples, rng=rng, tolerance=tolerance
+    )

@@ -1,0 +1,17 @@
+"""Persistence: JSON round-tripping for every index structure.
+
+The paper's structures are built once over a static dataset (section
+6), which makes build-once / load-many the natural deployment shape:
+serialise the tree (ids, cutoffs, precomputed distances — never the
+data objects themselves) and re-attach it to the dataset and metric at
+load time.
+"""
+
+from repro.persist.serialize import (
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+
+__all__ = ["index_to_dict", "index_from_dict", "save_index", "load_index"]

@@ -1,0 +1,491 @@
+"""JSON serialisation of index structures.
+
+The serialised form contains the *structure* — node layout, ids,
+cutoffs, and the construction-time distances that the mvp-tree's whole
+design is about preserving — but not the data objects or the metric.
+``load_index(path, objects, metric)`` re-attaches both; the caller is
+responsible for passing the same dataset (in the same order) and an
+equivalent metric, and :func:`index_from_dict` verifies the recorded
+dataset size as a cheap guard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.dynamic import DynamicMVPTree
+from repro.core.gmvptree import GMVPInternalNode, GMVPLeafNode, GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.core.nodes import MVPInternalNode, MVPLeafNode
+from repro.indexes.base import MetricIndex
+from repro.indexes.bktree import BKNode, BKTree
+from repro.indexes.ghtree import GHInternalNode, GHLeafNode, GHTree
+from repro.indexes.gnat import GNAT, GNATInternalNode, GNATLeafNode
+from repro.indexes.linear import LinearScan
+from repro.indexes.selection import get_selector
+from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
+from repro.metric.base import Metric
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Node encoders/decoders per structure
+# ----------------------------------------------------------------------
+
+
+def _encode_vp_node(node) -> Optional[dict]:
+    if node is None:
+        return None
+    if isinstance(node, VPLeafNode):
+        return {"leaf": True, "ids": list(node.ids)}
+    return {
+        "leaf": False,
+        "vp_id": node.vp_id,
+        "cutoffs": list(node.cutoffs),
+        "bounds": [list(b) for b in node.bounds],
+        "children": [_encode_vp_node(c) for c in node.children],
+    }
+
+
+def _decode_vp_node(data: Optional[dict]):
+    if data is None:
+        return None
+    if data["leaf"]:
+        return VPLeafNode(list(data["ids"]))
+    return VPInternalNode(
+        data["vp_id"],
+        list(data["cutoffs"]),
+        [tuple(b) for b in data["bounds"]],
+        [_decode_vp_node(c) for c in data["children"]],
+    )
+
+
+def _encode_mvp_node(node) -> Optional[dict]:
+    if node is None:
+        return None
+    if isinstance(node, MVPLeafNode):
+        return {
+            "leaf": True,
+            "vp1_id": node.vp1_id,
+            "vp2_id": node.vp2_id,
+            "ids": list(node.ids),
+            "d1": node.d1.tolist(),
+            "d2": node.d2.tolist(),
+            "paths": node.paths.tolist(),
+            "path_len": node.path_len,
+        }
+    return {
+        "leaf": False,
+        "vp1_id": node.vp1_id,
+        "vp2_id": node.vp2_id,
+        "cutoffs1": list(node.cutoffs1),
+        "cutoffs2": [list(row) for row in node.cutoffs2],
+        "bounds1": [list(b) for b in node.bounds1],
+        "bounds2": [[list(b) for b in row] for row in node.bounds2],
+        "children": [_encode_mvp_node(c) for c in node.children],
+    }
+
+
+def _decode_mvp_node(data: Optional[dict]):
+    if data is None:
+        return None
+    if data["leaf"]:
+        path_len = data["path_len"]
+        n_points = len(data["ids"])
+        paths = np.asarray(data["paths"], dtype=float).reshape(n_points, path_len)
+        return MVPLeafNode(
+            data["vp1_id"],
+            data["vp2_id"],
+            list(data["ids"]),
+            np.asarray(data["d1"], dtype=float),
+            np.asarray(data["d2"], dtype=float),
+            paths,
+            path_len,
+        )
+    return MVPInternalNode(
+        data["vp1_id"],
+        data["vp2_id"],
+        list(data["cutoffs1"]),
+        [list(row) for row in data["cutoffs2"]],
+        [tuple(b) for b in data["bounds1"]],
+        [[tuple(b) for b in row] for row in data["bounds2"]],
+        [_decode_mvp_node(c) for c in data["children"]],
+    )
+
+
+def _encode_gmvp_node(node) -> Optional[dict]:
+    if node is None:
+        return None
+    if isinstance(node, GMVPLeafNode):
+        return {
+            "leaf": True,
+            "vp_ids": list(node.vp_ids),
+            "ids": list(node.ids),
+            "dists": node.dists.tolist(),
+            "paths": node.paths.tolist(),
+            "path_len": node.path_len,
+        }
+    return {
+        "leaf": False,
+        "vp_ids": list(node.vp_ids),
+        "bounds": [[list(b) for b in row] for row in node.bounds],
+        "children": [_encode_gmvp_node(c) for c in node.children],
+    }
+
+
+def _decode_gmvp_node(data: Optional[dict]):
+    if data is None:
+        return None
+    if data["leaf"]:
+        path_len = data["path_len"]
+        n_points = len(data["ids"])
+        n_vps_with_rows = len(data["dists"])
+        dists = np.asarray(data["dists"], dtype=float).reshape(
+            n_vps_with_rows, n_points
+        )
+        paths = np.asarray(data["paths"], dtype=float).reshape(
+            n_points, path_len
+        )
+        return GMVPLeafNode(
+            list(data["vp_ids"]), list(data["ids"]), dists, paths, path_len
+        )
+    return GMVPInternalNode(
+        list(data["vp_ids"]),
+        [[tuple(b) for b in row] for row in data["bounds"]],
+        [_decode_gmvp_node(c) for c in data["children"]],
+    )
+
+
+def _encode_gh_node(node) -> Optional[dict]:
+    if node is None:
+        return None
+    if isinstance(node, GHLeafNode):
+        return {"leaf": True, "ids": list(node.ids)}
+    return {
+        "leaf": False,
+        "p1_id": node.p1_id,
+        "p2_id": node.p2_id,
+        "r1": node.r1,
+        "r2": node.r2,
+        "left": _encode_gh_node(node.left),
+        "right": _encode_gh_node(node.right),
+    }
+
+
+def _decode_gh_node(data: Optional[dict]):
+    if data is None:
+        return None
+    if data["leaf"]:
+        return GHLeafNode(list(data["ids"]))
+    return GHInternalNode(
+        data["p1_id"],
+        data["p2_id"],
+        data["r1"],
+        data["r2"],
+        _decode_gh_node(data["left"]),
+        _decode_gh_node(data["right"]),
+    )
+
+
+def _encode_gnat_node(node) -> Optional[dict]:
+    if node is None:
+        return None
+    if isinstance(node, GNATLeafNode):
+        return {"leaf": True, "ids": list(node.ids)}
+    return {
+        "leaf": False,
+        "split_ids": list(node.split_ids),
+        "ranges": [[list(r) for r in row] for row in node.ranges],
+        "children": [_encode_gnat_node(c) for c in node.children],
+    }
+
+
+def _decode_gnat_node(data: Optional[dict]):
+    if data is None:
+        return None
+    if data["leaf"]:
+        return GNATLeafNode(list(data["ids"]))
+    return GNATInternalNode(
+        list(data["split_ids"]),
+        [[tuple(r) for r in row] for row in data["ranges"]],
+        [_decode_gnat_node(c) for c in data["children"]],
+    )
+
+
+def _encode_bk_node(node: Optional[BKNode]) -> Optional[dict]:
+    if node is None:
+        return None
+    return {
+        "id": node.id,
+        "children": [
+            {"edge": edge, "node": _encode_bk_node(child)}
+            for edge, child in node.children.items()
+        ],
+    }
+
+
+def _decode_bk_node(data: Optional[dict]) -> Optional[BKNode]:
+    if data is None:
+        return None
+    node = BKNode(data["id"])
+    node.children = {
+        entry["edge"]: _decode_bk_node(entry["node"]) for entry in data["children"]
+    }
+    return node
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def index_to_dict(index: MetricIndex) -> dict:
+    """Encode an index structure as a JSON-serialisable dict."""
+    if isinstance(index, VPTree):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "VPTree",
+            "n_objects": len(index.objects),
+            "params": {
+                "m": index.m,
+                "leaf_capacity": index.leaf_capacity,
+                "bounds": index.bounds_mode,
+            },
+            "stats": {
+                "node_count": index.node_count,
+                "leaf_count": index.leaf_count,
+                "vantage_point_count": index.vantage_point_count,
+                "height": index.height,
+            },
+            "root": _encode_vp_node(index.root),
+        }
+    if isinstance(index, DynamicMVPTree):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "DynamicMVPTree",
+            "n_objects": len(index.objects),
+            "params": {
+                "m": index.m,
+                "k": index.k,
+                "p": index.p,
+                "overflow_factor": index.overflow_factor,
+                "rebuild_threshold": index.rebuild_threshold,
+            },
+            "stats": {
+                "node_count": index.node_count,
+                "leaf_count": index.leaf_count,
+                "internal_count": index.internal_count,
+                "vantage_point_count": index.vantage_point_count,
+                "leaf_data_point_count": index.leaf_data_point_count,
+                "height": index.height,
+                "rebuild_count": index.rebuild_count,
+                "leaf_rebuild_count": index.leaf_rebuild_count,
+            },
+            "deleted": sorted(index._deleted),
+            "removed": sorted(index._removed),
+            "root": _encode_mvp_node(index.root),
+        }
+    if isinstance(index, GMVPTree):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "GMVPTree",
+            "n_objects": len(index.objects),
+            "params": {"m": index.m, "v": index.v, "k": index.k, "p": index.p},
+            "stats": {
+                "node_count": index.node_count,
+                "leaf_count": index.leaf_count,
+                "internal_count": index.internal_count,
+                "vantage_point_count": index.vantage_point_count,
+                "leaf_data_point_count": index.leaf_data_point_count,
+                "height": index.height,
+            },
+            "root": _encode_gmvp_node(index.root),
+        }
+    if isinstance(index, MVPTree):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "MVPTree",
+            "n_objects": len(index.objects),
+            "params": {
+                "m": index.m,
+                "k": index.k,
+                "p": index.p,
+                "bounds": index.bounds_mode,
+            },
+            "stats": {
+                "node_count": index.node_count,
+                "leaf_count": index.leaf_count,
+                "internal_count": index.internal_count,
+                "vantage_point_count": index.vantage_point_count,
+                "leaf_data_point_count": index.leaf_data_point_count,
+                "height": index.height,
+            },
+            "root": _encode_mvp_node(index.root),
+        }
+    if isinstance(index, GHTree):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "GHTree",
+            "n_objects": len(index.objects),
+            "params": {"leaf_capacity": index.leaf_capacity, "pivots": index.pivots},
+            "stats": {
+                "node_count": index.node_count,
+                "leaf_count": index.leaf_count,
+                "height": index.height,
+            },
+            "root": _encode_gh_node(index.root),
+        }
+    if isinstance(index, GNAT):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "GNAT",
+            "n_objects": len(index.objects),
+            "params": {
+                "degree": index.degree,
+                "min_degree": index.min_degree,
+                "max_degree": index.max_degree,
+                "leaf_capacity": index.leaf_capacity,
+                "candidate_factor": index.candidate_factor,
+            },
+            "stats": {
+                "node_count": index.node_count,
+                "leaf_count": index.leaf_count,
+                "height": index.height,
+            },
+            "root": _encode_gnat_node(index.root),
+        }
+    if isinstance(index, BKTree):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "BKTree",
+            "n_objects": len(index.objects),
+            "params": {},
+            "stats": {"node_count": index.node_count, "height": index.height},
+            "root": _encode_bk_node(index.root),
+        }
+    if isinstance(index, LinearScan):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "LinearScan",
+            "n_objects": len(index.objects),
+            "params": {},
+            "stats": {},
+            "root": None,
+        }
+    raise TypeError(f"cannot serialise index of type {type(index).__name__}")
+
+
+def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricIndex:
+    """Reconstruct an index from :func:`index_to_dict` output.
+
+    ``objects`` must be the dataset the index was built over, in the
+    same order; ``metric`` must be equivalent to the construction
+    metric.  Only the dataset *size* can be verified mechanically.
+    """
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported serialisation format: {data.get('format')!r}")
+    if data["n_objects"] != len(objects):
+        raise ValueError(
+            f"dataset size mismatch: index was built over {data['n_objects']} "
+            f"objects but {len(objects)} were supplied"
+        )
+    kind = data["type"]
+    params = data["params"]
+    stats = data["stats"]
+
+    if kind == "LinearScan":
+        return LinearScan(objects, metric)
+
+    if kind == "VPTree":
+        index = VPTree.__new__(VPTree)
+        MetricIndex.__init__(index, objects, metric)
+        index.m = params["m"]
+        index.leaf_capacity = params["leaf_capacity"]
+        index.bounds_mode = params.get("bounds", "tight")
+        index._selector = None
+        index._rng = None
+        index._root = _decode_vp_node(data["root"])
+    elif kind == "MVPTree":
+        index = MVPTree.__new__(MVPTree)
+        MetricIndex.__init__(index, objects, metric)
+        index.m = params["m"]
+        index.k = params["k"]
+        index.p = params["p"]
+        index.bounds_mode = params.get("bounds", "tight")
+        index._selector = None
+        index._rng = None
+        index._root = _decode_mvp_node(data["root"])
+    elif kind == "DynamicMVPTree":
+        index = DynamicMVPTree.__new__(DynamicMVPTree)
+        # The dynamic tree owns a mutable object list.
+        MetricIndex.__init__(index, list(objects), metric)
+        index.m = params["m"]
+        index.k = params["k"]
+        index.p = params["p"]
+        index.overflow_factor = params["overflow_factor"]
+        index.rebuild_threshold = params["rebuild_threshold"]
+        index.bounds_mode = params.get("bounds", "tight")
+        # A restored dynamic tree keeps accepting updates, so it needs a
+        # working selector and randomness source.
+        index._selector = get_selector("random")
+        index._rng = np.random.default_rng()
+        index._deleted = set(data["deleted"])
+        index._removed = set(data["removed"])
+        index._root = _decode_mvp_node(data["root"])
+    elif kind == "GMVPTree":
+        index = GMVPTree.__new__(GMVPTree)
+        MetricIndex.__init__(index, objects, metric)
+        index.m = params["m"]
+        index.v = params["v"]
+        index.k = params["k"]
+        index.p = params["p"]
+        index._selector = None
+        index._rng = None
+        index._root = _decode_gmvp_node(data["root"])
+    elif kind == "GHTree":
+        index = GHTree.__new__(GHTree)
+        MetricIndex.__init__(index, objects, metric)
+        index.leaf_capacity = params["leaf_capacity"]
+        index.pivots = params["pivots"]
+        index._rng = None
+        index._root = _decode_gh_node(data["root"])
+    elif kind == "GNAT":
+        index = GNAT.__new__(GNAT)
+        MetricIndex.__init__(index, objects, metric)
+        for key, value in params.items():
+            setattr(index, key, value)
+        index._rng = None
+        index._root = _decode_gnat_node(data["root"])
+    elif kind == "BKTree":
+        index = BKTree.__new__(BKTree)
+        MetricIndex.__init__(index, objects, metric)
+        index._size = data["n_objects"]
+        index._root = _decode_bk_node(data["root"])
+    else:
+        raise ValueError(f"unknown index type {kind!r}")
+
+    for key, value in stats.items():
+        setattr(index, key, value)
+    return index
+
+
+def save_index(index: MetricIndex, path: Union[str, Path]) -> None:
+    """Serialise ``index`` to a JSON file at ``path``."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(index_to_dict(index), handle)
+
+
+def load_index(
+    path: Union[str, Path], objects: Sequence, metric: Metric
+) -> MetricIndex:
+    """Load an index saved with :func:`save_index` and re-attach data."""
+    path = Path(path)
+    with path.open() as handle:
+        data = json.load(handle)
+    return index_from_dict(data, objects, metric)

@@ -1,0 +1,47 @@
+"""Distance-preserving transformations (paper section 3.1).
+
+The *other* road to high-dimensional similarity search the paper
+reviews before committing to distance-based indexing: map objects into
+a low-dimensional space with a transformation that **underestimates**
+the true distance ("the distance preserving functions underestimate the
+actual distances between objects in the transformed space"), filter
+cheaply there, and refine survivors with the real metric.  The filter
+is exact because a contractive map can only produce false positives.
+
+Two classic transforms are provided:
+
+* :class:`DFTTransform` — the Fourier prefix used for time sequences
+  ([AFA93], [FRM94]): under an orthonormal DFT, L2 distance is
+  preserved (Parseval) and truncating to the first coefficients can
+  only shrink it.
+* :class:`BlockAggregateTransform` — the "average color" trick of QBIC
+  ([FEF+94]): aggregate pixel blocks; the paper recounts that "the
+  distance between average color vectors of images are proven to be
+  less than or equal to the distance between their color histograms".
+
+:class:`TransformIndex` is the filter-and-refine combinator, and
+:func:`check_contractive` spot-checks the contraction property for
+custom transforms — the paper's warning being precisely that such a
+transform "is not always possible or cost effective" for a domain.
+"""
+
+from repro.transforms.aggregate import BlockAggregateTransform
+from repro.transforms.base import (
+    ContractionViolation,
+    DistancePreservingTransform,
+    check_contractive,
+)
+from repro.transforms.filter import TransformIndex
+from repro.transforms.fourier import DFTTransform
+from repro.transforms.subsequence import SubsequenceIndex, SubsequenceMatch
+
+__all__ = [
+    "DistancePreservingTransform",
+    "DFTTransform",
+    "BlockAggregateTransform",
+    "TransformIndex",
+    "SubsequenceIndex",
+    "SubsequenceMatch",
+    "check_contractive",
+    "ContractionViolation",
+]

@@ -1,0 +1,83 @@
+"""Transform interface and the contraction checker."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._util import RngLike, as_rng
+from repro.metric.base import Metric
+
+
+class DistancePreservingTransform(ABC):
+    """A contractive map into a low-dimensional vector space.
+
+    Implementations must guarantee, for the declared source metric
+    ``d`` and target metric ``d'``::
+
+        d'(transform(x), transform(y))  <=  d(x, y)     for all x, y
+
+    which makes filter-and-refine exact: an object whose transformed
+    distance already exceeds the query radius cannot be an answer.
+    """
+
+    @abstractmethod
+    def transform(self, obj) -> np.ndarray:
+        """Map one source object to its low-dimensional vector."""
+
+    @property
+    @abstractmethod
+    def target_metric(self) -> Metric:
+        """The metric under which the contraction guarantee holds."""
+
+    def transform_batch(self, objects: Sequence) -> np.ndarray:
+        """Map a whole dataset; rows align with the input order."""
+        return np.stack([np.asarray(self.transform(obj)) for obj in objects])
+
+    def __call__(self, obj) -> np.ndarray:
+        return self.transform(obj)
+
+
+@dataclass(frozen=True)
+class ContractionViolation:
+    """An observed pair whose transformed distance exceeds the true one."""
+
+    objects: tuple
+    true_distance: float
+    transformed_distance: float
+
+
+def check_contractive(
+    transform: DistancePreservingTransform,
+    source_metric: Metric,
+    objects: Sequence,
+    *,
+    n_pairs: int = 200,
+    rng: RngLike = None,
+    tolerance: float = 1e-9,
+) -> list[ContractionViolation]:
+    """Spot-check the contraction guarantee on random object pairs.
+
+    Returns observed violations (empty when none).  Like
+    :func:`repro.metric.check_metric`, a clean result is evidence, not
+    proof.
+    """
+    if len(objects) < 2:
+        raise ValueError("check_contractive needs at least two objects")
+    generator = as_rng(rng)
+    target = transform.target_metric
+    violations: list[ContractionViolation] = []
+    for __ in range(n_pairs):
+        i, j = (int(v) for v in generator.integers(0, len(objects), size=2))
+        true_distance = source_metric.distance(objects[i], objects[j])
+        transformed = target.distance(
+            transform.transform(objects[i]), transform.transform(objects[j])
+        )
+        if transformed > true_distance + tolerance * max(1.0, true_distance):
+            violations.append(
+                ContractionViolation((i, j), true_distance, transformed)
+            )
+    return violations

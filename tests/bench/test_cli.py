@@ -1,0 +1,71 @@
+"""Tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["--figure", "fig8"])
+        assert args.figures == ["fig8"]
+        assert args.scale == 0.1
+        assert args.seed == 0
+        assert not args.verify
+
+    def test_repeatable_figures(self):
+        args = build_parser().parse_args(
+            ["--figure", "fig4", "--figure", "fig8"]
+        )
+        assert args.figures == ["fig4", "fig8"]
+
+    def test_all_flag(self):
+        assert build_parser().parse_args(["--all"]).all
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["--figure", "fig5", "--scale", "0.5", "--seed", "7", "--verify",
+             "--markdown", "--quiet"]
+        )
+        assert args.scale == 0.5
+        assert args.seed == 7
+        assert args.verify and args.markdown and args.quiet
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("fig4", "fig8", "fig11"):
+            assert figure in out
+
+    def test_no_selection_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig99"])
+
+    def test_runs_small_histogram(self, capsys):
+        assert main(["--figure", "fig6", "--scale", "0.06", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "peak=" in out
+
+    def test_markdown_flag_appends_block(self, capsys):
+        assert (
+            main(["--figure", "fig6", "--scale", "0.06", "--quiet", "--markdown"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "### Figure 6" in out
+
+    def test_runs_small_search_with_verify(self, capsys):
+        assert (
+            main(["--figure", "fig10", "--scale", "0.06", "--quiet", "--verify"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Improvement vs vpt(2)" in out
+        assert "verified against linear scan" in out

@@ -1,0 +1,126 @@
+"""Tests for benchmark-archive comparison."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    Comparison,
+    Drift,
+    compare_archives,
+    load_records,
+)
+
+
+def write_archive(path, records):
+    with path.open("w") as handle:
+        for record in records:
+            json.dump(record, handle)
+            handle.write("\n")
+
+
+def search_record(experiment, costs):
+    return {
+        "experiment": experiment,
+        "kind": "search",
+        "structures": {
+            structure: {
+                "search_distances": {
+                    radius: cost for radius, cost in radii.items()
+                }
+            }
+            for structure, radii in costs.items()
+        },
+    }
+
+
+@pytest.fixture()
+def archives(tmp_path):
+    baseline = tmp_path / "baseline.jsonl"
+    current = tmp_path / "current.jsonl"
+    write_archive(baseline, [
+        search_record("fig8", {
+            "vpt(2)": {"0.3": 100.0, "0.5": 300.0},
+            "mvpt(3,80)": {"0.3": 40.0, "0.5": 200.0},
+        }),
+        {"experiment": "fig4", "kind": "histogram"},  # ignored
+    ])
+    write_archive(current, [
+        search_record("fig8", {
+            "vpt(2)": {"0.3": 125.0, "0.5": 302.0},   # +25%, +0.7%
+            "mvpt(3,80)": {"0.3": 30.0, "0.5": 200.0},  # -25%, 0%
+        }),
+    ])
+    return baseline, current
+
+
+class TestCompareArchives:
+    def test_alignment(self, archives):
+        comparison = compare_archives(*archives)
+        assert len(comparison.drifts) == 4
+        assert not comparison.only_in_baseline
+        assert not comparison.only_in_current
+
+    def test_regressions_and_improvements(self, archives):
+        comparison = compare_archives(*archives)
+        regressions = comparison.regressions(0.1)
+        improvements = comparison.improvements(0.1)
+        assert [(d.structure, d.radius) for d in regressions] == [("vpt(2)", "0.3")]
+        assert [(d.structure, d.radius) for d in improvements] == [
+            ("mvpt(3,80)", "0.3")
+        ]
+
+    def test_relative_math(self):
+        drift = Drift("fig8", "vpt(2)", "0.3", 100.0, 125.0)
+        assert drift.relative == pytest.approx(0.25)
+        assert Drift("x", "y", "z", 0.0, 0.0).relative == 0.0
+        assert Drift("x", "y", "z", 0.0, 5.0).relative == float("inf")
+
+    def test_report_mentions_cells(self, archives):
+        comparison = compare_archives(*archives)
+        text = comparison.report(0.1)
+        assert "fig8 vpt(2) r=0.3" in text
+        assert "+25.0%" in text
+        assert "-25.0%" in text
+
+    def test_no_drift_report(self, archives):
+        baseline, __ = archives
+        comparison = compare_archives(baseline, baseline)
+        assert "no drift" in comparison.report()
+
+    def test_misaligned_archives(self, tmp_path, archives):
+        baseline, __ = archives
+        other = tmp_path / "other.jsonl"
+        write_archive(other, [
+            search_record("fig9", {"vpt(2)": {"0.2": 10.0}}),
+        ])
+        comparison = compare_archives(baseline, other)
+        assert not comparison.drifts
+        assert comparison.only_in_baseline
+        assert comparison.only_in_current
+        assert "only in baseline" in comparison.report()
+
+    def test_load_records_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert load_records(path) == [{"a": 1}, {"b": 2}]
+
+
+class TestCompareCli:
+    def test_exit_codes(self, archives, capsys):
+        from repro.cli import main
+
+        baseline, current = archives
+        assert main(["compare", str(baseline), str(baseline)]) == 0
+        assert main(["compare", str(baseline), str(current)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+
+    def test_threshold_flag(self, archives, capsys):
+        from repro.cli import main
+
+        baseline, current = archives
+        # A 30% threshold tolerates the +25% drift.
+        assert main([
+            "compare", str(baseline), str(current), "--threshold", "0.3"
+        ]) == 0

@@ -1,0 +1,40 @@
+"""End-to-end smoke tests: every paper figure runs at tiny scale.
+
+The benchmark suite exercises the figures at their meaningful scales;
+these tests only assert that each spec executes end to end inside the
+regular (fast) test suite, so a broken workload factory or spec edit
+fails here first.
+"""
+
+import pytest
+
+from repro.bench import get_experiment, run_experiment
+from repro.bench.runner import HistogramResult, SearchResult
+
+_SCALES = {
+    "fig4": 0.01,
+    "fig5": 0.01,
+    "fig6": 0.06,
+    "fig7": 0.06,
+    "fig8": 0.01,
+    "fig9": 0.01,
+    "fig10": 0.06,
+    "fig11": 0.06,
+}
+
+
+@pytest.mark.parametrize("figure_id", sorted(_SCALES))
+def test_figure_runs_end_to_end(figure_id):
+    result = run_experiment(
+        get_experiment(figure_id), scale=_SCALES[figure_id], seed=0
+    )
+    if isinstance(result, HistogramResult):
+        assert result.histogram.n_pairs > 0
+        assert result.histogram.counts.sum() == result.histogram.n_pairs
+    else:
+        assert isinstance(result, SearchResult)
+        for structure in result.structures:
+            for cost in structure.search_distances.values():
+                assert 0 < cost <= result.n_objects
+    # The report renders without blowing up.
+    assert result.spec.title.split(":")[0] in result.report()

@@ -1,0 +1,129 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentSpec,
+    HistogramSpec,
+    Workload,
+    mvpt,
+    run_experiment,
+    vpt,
+)
+from repro.bench.report import (
+    experiments_md_block,
+    format_histogram_result,
+    format_search_result,
+)
+from repro.metric import L2
+
+
+def _workload(scale, rng):
+    data = rng.random((50, 5))
+    return Workload(data, L2(), lambda qrng: qrng.random(5))
+
+
+@pytest.fixture(scope="module")
+def search_result():
+    spec = ExperimentSpec(
+        experiment_id="t",
+        title="Report test",
+        make_workload=_workload,
+        structures=(vpt(2), mvpt(2, 4, 2)),
+        radii=(0.5, 1.0),
+        n_queries=25,
+        n_runs=1,
+        baseline="vpt(2)",
+        paper_notes="paper says so",
+    )
+    return run_experiment(spec, scale=1.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def histogram_result():
+    spec = HistogramSpec(
+        experiment_id="h",
+        title="Histogram test",
+        make_workload=_workload,
+        bin_width=0.1,
+        max_pairs=None,
+        paper_notes="bimodal or whatever",
+    )
+    return run_experiment(spec, scale=1.0, seed=0)
+
+
+class TestSearchReport:
+    def test_contains_table_headers(self, search_result):
+        text = format_search_result(search_result)
+        assert "range" in text
+        assert "vpt(2)" in text and "mvpt(2,4)" in text
+
+    def test_contains_all_radii(self, search_result):
+        text = format_search_result(search_result)
+        assert "0.5" in text and "1" in text
+
+    def test_contains_improvements_and_notes(self, search_result):
+        text = format_search_result(search_result)
+        assert "Improvement vs vpt(2)" in text
+        assert "%" in text
+        assert "paper says so" in text
+
+    def test_contains_construction_costs(self, search_result):
+        assert "Construction" in format_search_result(search_result)
+
+    def test_contains_ascii_chart(self, search_result):
+        from repro.bench.report import format_search_chart
+
+        chart = format_search_chart(search_result)
+        assert "distance computations" in chart
+        assert "o vpt(2)" in chart  # legend
+        # The grid contains the structures' markers.
+        assert any(line.startswith("|") for line in chart.splitlines())
+        # Every measured series appears somewhere on the grid.
+        grid = "".join(
+            line for line in chart.splitlines() if line.startswith("|")
+        )
+        assert "o" in grid or "*" in grid
+
+    def test_chart_respects_width(self, search_result):
+        from repro.bench.report import format_search_chart
+
+        chart = format_search_chart(search_result, width=30, rows=6)
+        grid_lines = [l for l in chart.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 6
+        assert all(len(line) == 31 for line in grid_lines)
+
+
+class TestHistogramReport:
+    def test_contains_ascii_plot(self, histogram_result):
+        text = format_histogram_result(histogram_result)
+        assert "#" in text
+
+    def test_contains_summary(self, histogram_result):
+        text = format_histogram_result(histogram_result)
+        assert "peak=" in text and "mean=" in text
+
+    def test_contains_notes(self, histogram_result):
+        assert "bimodal or whatever" in format_histogram_result(histogram_result)
+
+    def test_custom_width(self, histogram_result):
+        text = format_histogram_result(histogram_result, width=30, rows=5)
+        plot_lines = [l for l in text.splitlines() if set(l) <= {"#", " "} and l]
+        assert all(len(line) <= 30 for line in plot_lines)
+
+
+class TestMarkdownBlocks:
+    def test_search_block(self, search_result):
+        block = experiments_md_block(search_result)
+        assert block.startswith("### Report test")
+        assert "paper:" in block
+        assert "measured mvpt(2,4) vs vpt(2)" in block
+
+    def test_histogram_block(self, histogram_result):
+        block = experiments_md_block(histogram_result)
+        assert "measured: peak at" in block
+        assert "mode(s)" in block
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="unknown result"):
+            experiments_md_block(object())

@@ -1,0 +1,60 @@
+"""Tests for JSON result export (to_dict / --output)."""
+
+import json
+
+import pytest
+
+from repro.bench import get_experiment, run_experiment
+from repro.bench.cli import main
+
+
+@pytest.fixture(scope="module")
+def search_result():
+    return run_experiment(get_experiment("fig10"), scale=0.06, seed=0)
+
+
+@pytest.fixture(scope="module")
+def histogram_result():
+    return run_experiment(get_experiment("fig6"), scale=0.06, seed=0)
+
+
+class TestToDict:
+    def test_search_record_is_json_serialisable(self, search_result):
+        record = json.loads(json.dumps(search_result.to_dict()))
+        assert record["experiment"] == "fig10"
+        assert record["kind"] == "search"
+        assert set(record["structures"]) == {
+            s.name for s in search_result.structures
+        }
+
+    def test_search_record_roundtrips_numbers(self, search_result):
+        record = search_result.to_dict()
+        for structure in search_result.structures:
+            stored = record["structures"][structure.name]
+            assert stored["build_distances"] == structure.build_distances
+            for radius, cost in structure.search_distances.items():
+                assert stored["search_distances"][str(radius)] == cost
+
+    def test_histogram_record(self, histogram_result):
+        record = json.loads(json.dumps(histogram_result.to_dict()))
+        assert record["kind"] == "histogram"
+        assert record["n_pairs"] == histogram_result.histogram.n_pairs
+        assert len(record["counts"]) + 1 == len(record["bin_edges"])
+
+
+class TestCliOutput:
+    def test_output_appends_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "results.jsonl"
+        assert main([
+            "--figure", "fig6", "--scale", "0.06", "--quiet",
+            "--output", str(out_file),
+        ]) == 0
+        assert main([
+            "--figure", "fig6", "--scale", "0.06", "--seed", "1", "--quiet",
+            "--output", str(out_file),
+        ]) == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["seed"] == 0
+        assert records[1]["seed"] == 1

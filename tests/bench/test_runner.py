@@ -1,0 +1,167 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentSpec,
+    HistogramSpec,
+    Workload,
+    mvpt,
+    run_experiment,
+    vpt,
+)
+from repro.bench.runner import HistogramResult, SearchResult
+from repro.metric import L2
+
+
+def _tiny_workload(scale, rng):
+    data = rng.random((max(30, int(200 * scale)), 6))
+    return Workload(data, L2(), lambda qrng: qrng.random(6))
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return ExperimentSpec(
+        experiment_id="tiny",
+        title="Tiny test experiment",
+        make_workload=_tiny_workload,
+        structures=(vpt(2), mvpt(2, 4, 2)),
+        radii=(0.3, 0.8),
+        n_queries=50,
+        n_runs=2,
+        baseline="vpt(2)",
+        paper_notes="test",
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tiny_spec):
+    return run_experiment(tiny_spec, scale=0.2, seed=3, verify=True)
+
+
+class TestSearchRunner:
+    def test_returns_search_result(self, tiny_result):
+        assert isinstance(tiny_result, SearchResult)
+        assert tiny_result.verified
+
+    def test_all_structures_measured(self, tiny_result, tiny_spec):
+        assert [s.name for s in tiny_result.structures] == [
+            s.name for s in tiny_spec.structures
+        ]
+
+    def test_all_radii_measured(self, tiny_result, tiny_spec):
+        for structure in tiny_result.structures:
+            assert set(structure.search_distances) == set(tiny_spec.radii)
+            assert set(structure.result_sizes) == set(tiny_spec.radii)
+
+    def test_costs_positive_and_bounded(self, tiny_result):
+        n = tiny_result.n_objects
+        for structure in tiny_result.structures:
+            assert structure.build_distances > 0
+            for cost in structure.search_distances.values():
+                assert 0 < cost <= n
+
+    def test_larger_radius_costs_more(self, tiny_result):
+        for structure in tiny_result.structures:
+            assert (
+                structure.search_distances[0.8] >= structure.search_distances[0.3]
+            )
+
+    def test_deterministic_for_seed(self, tiny_spec):
+        a = run_experiment(tiny_spec, scale=0.2, seed=9)
+        b = run_experiment(tiny_spec, scale=0.2, seed=9)
+        for sa, sb in zip(a.structures, b.structures):
+            assert sa.search_distances == sb.search_distances
+
+    def test_different_seeds_differ(self, tiny_spec):
+        a = run_experiment(tiny_spec, scale=0.2, seed=1)
+        b = run_experiment(tiny_spec, scale=0.2, seed=2)
+        assert any(
+            sa.search_distances != sb.search_distances
+            for sa, sb in zip(a.structures, b.structures)
+        )
+
+    def test_improvement_math(self, tiny_result):
+        base = tiny_result.structure("vpt(2)").search_distances[0.3]
+        ours = tiny_result.structure("mvpt(2,4)").search_distances[0.3]
+        assert tiny_result.improvement("mvpt(2,4)", 0.3) == pytest.approx(
+            1 - ours / base
+        )
+
+    def test_improvement_of_baseline_is_zero(self, tiny_result):
+        assert tiny_result.improvement("vpt(2)", 0.3) == 0.0
+
+    def test_structure_lookup_error(self, tiny_result):
+        with pytest.raises(KeyError, match="no structure"):
+            tiny_result.structure("r-tree")
+
+    def test_invalid_scale_rejected(self, tiny_spec):
+        with pytest.raises(ValueError, match="scale"):
+            run_experiment(tiny_spec, scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            run_experiment(tiny_spec, scale=1.5)
+
+    def test_progress_callback_invoked(self, tiny_spec):
+        lines = []
+        run_experiment(tiny_spec, scale=0.2, seed=0, progress=lines.append)
+        assert any("dataset" in line for line in lines)
+        assert any("run" in line for line in lines)
+
+    def test_verification_catches_broken_structure(self):
+        from repro.bench.spec import StructureSpec
+        from repro.indexes import LinearScan
+
+        class Broken(LinearScan):
+            def range_search(self, query, radius):
+                return super().range_search(query, radius)[:-1]  # drop one
+
+        spec = ExperimentSpec(
+            experiment_id="broken",
+            title="broken",
+            make_workload=_tiny_workload,
+            structures=(
+                StructureSpec("broken", lambda o, m, r: Broken(o, m)),
+            ),
+            radii=(5.0,),  # everything is in range, so one hit is dropped
+            n_queries=5,
+            n_runs=1,
+            baseline="broken",
+        )
+        with pytest.raises(AssertionError, match="wrong answer"):
+            run_experiment(spec, scale=0.2, seed=0, verify=True)
+
+    def test_report_renders(self, tiny_result):
+        report = tiny_result.report()
+        assert "Tiny test experiment" in report
+        assert "vpt(2)" in report and "mvpt(2,4)" in report
+        assert "Improvement" in report
+
+
+class TestHistogramRunner:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return HistogramSpec(
+            experiment_id="tinyhist",
+            title="Tiny histogram",
+            make_workload=_tiny_workload,
+            bin_width=0.05,
+            max_pairs=2000,
+            paper_notes="test",
+        )
+
+    def test_returns_histogram_result(self, spec):
+        result = run_experiment(spec, scale=0.2, seed=0)
+        assert isinstance(result, HistogramResult)
+        assert result.histogram.n_pairs > 0
+
+    def test_deterministic(self, spec):
+        a = run_experiment(spec, scale=0.2, seed=5)
+        b = run_experiment(spec, scale=0.2, seed=5)
+        np.testing.assert_array_equal(a.histogram.counts, b.histogram.counts)
+
+    def test_report_renders(self, spec):
+        result = run_experiment(spec, scale=0.2, seed=0)
+        report = result.report()
+        assert "Tiny histogram" in report
+        assert "peak=" in report

@@ -1,0 +1,110 @@
+"""Tests for experiment specifications."""
+
+import numpy as np
+import pytest
+
+from repro import MVPTree, VPTree
+from repro.bench import ExperimentSpec, HistogramSpec, Workload, mvpt, vpt
+from repro.bench.figures import ALL_EXPERIMENTS, get_experiment
+from repro.metric import L2
+
+
+class TestStructureSpecs:
+    def test_vpt_name_matches_paper_labels(self):
+        assert vpt(2).name == "vpt(2)"
+        assert vpt(3).name == "vpt(3)"
+
+    def test_vpt_with_capacity_name(self):
+        assert vpt(2, leaf_capacity=8).name == "vpt(2,c8)"
+
+    def test_mvpt_name_matches_paper_labels(self):
+        assert mvpt(3, 80, 5).name == "mvpt(3,80)"
+        assert mvpt(2, 16, 4).name == "mvpt(2,16)"
+
+    def test_vpt_builds_a_vptree(self):
+        data = np.random.default_rng(0).random((50, 4))
+        index = vpt(3).build(data, L2(), np.random.default_rng(1))
+        assert isinstance(index, VPTree)
+        assert index.m == 3
+
+    def test_mvpt_builds_an_mvptree_with_params(self):
+        data = np.random.default_rng(0).random((50, 4))
+        index = mvpt(2, 5, 3).build(data, L2(), np.random.default_rng(1))
+        assert isinstance(index, MVPTree)
+        assert (index.m, index.k, index.p) == (2, 5, 3)
+
+
+class TestExperimentSpec:
+    def test_scaled_queries_floor(self):
+        spec = get_experiment("fig8")
+        assert spec.scaled_queries(1.0) == 100
+        assert spec.scaled_queries(0.5) == 50
+        assert spec.scaled_queries(0.001) == 5  # never below 5
+
+    def test_all_figures_present(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+
+    def test_search_figures_are_search_specs(self):
+        for figure in ("fig8", "fig9", "fig10", "fig11"):
+            assert isinstance(get_experiment(figure), ExperimentSpec)
+
+    def test_histogram_figures_are_histogram_specs(self):
+        for figure in ("fig4", "fig5", "fig6", "fig7"):
+            assert isinstance(get_experiment(figure), HistogramSpec)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_baselines_are_members(self):
+        for figure in ("fig8", "fig9", "fig10", "fig11"):
+            spec = get_experiment(figure)
+            names = [s.name for s in spec.structures]
+            assert spec.baseline in names
+
+    def test_fig8_matches_paper_setup(self):
+        spec = get_experiment("fig8")
+        names = [s.name for s in spec.structures]
+        assert names == ["vpt(2)", "vpt(3)", "mvpt(3,9)", "mvpt(3,80)"]
+        assert spec.radii == (0.15, 0.2, 0.3, 0.4, 0.5)
+        assert spec.n_queries == 100
+        assert spec.n_runs == 4
+
+    def test_fig10_matches_paper_setup(self):
+        spec = get_experiment("fig10")
+        names = [s.name for s in spec.structures]
+        assert names == [
+            "vpt(2)", "vpt(3)", "mvpt(2,16)", "mvpt(2,5)", "mvpt(3,13)",
+        ]
+        assert spec.n_queries == 30
+
+
+class TestWorkloadFactories:
+    @pytest.mark.parametrize("figure", sorted(ALL_EXPERIMENTS))
+    def test_factories_build_at_tiny_scale(self, figure):
+        spec = get_experiment(figure)
+        workload = spec.make_workload(0.01, np.random.default_rng(0))
+        assert isinstance(workload, Workload)
+        assert workload.size >= 2
+        query = workload.sample_query(np.random.default_rng(1))
+        distance = workload.metric.distance(query, workload.objects[0])
+        assert np.isfinite(distance)
+        assert distance >= 0
+
+    def test_vector_workloads_are_20d(self):
+        spec = get_experiment("fig8")
+        workload = spec.make_workload(0.01, np.random.default_rng(0))
+        assert np.asarray(workload.objects).shape[1] == 20
+
+    def test_image_queries_come_from_dataset(self):
+        spec = get_experiment("fig10")
+        workload = spec.make_workload(0.05, np.random.default_rng(0))
+        query = workload.sample_query(np.random.default_rng(2))
+        matches = [
+            i
+            for i, image in enumerate(workload.objects)
+            if np.array_equal(image, query)
+        ]
+        assert matches  # the query is a member of the dataset

@@ -1,0 +1,74 @@
+"""Tests for cross-seed stability aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentSpec, Workload, mvpt, run_stability, vpt
+from repro.metric import L2
+
+
+def _workload(scale, rng):
+    data = rng.random((max(60, int(300 * scale)), 8))
+    return Workload(data, L2(), lambda qrng: qrng.random(8))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ExperimentSpec(
+        experiment_id="stab",
+        title="Stability test",
+        make_workload=_workload,
+        structures=(vpt(2), mvpt(3, 40, 4)),
+        radii=(0.3, 0.8),
+        n_queries=30,
+        n_runs=1,
+        baseline="vpt(2)",
+    )
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return run_stability(spec, scale=1.0, seeds=(0, 1, 2))
+
+
+class TestRunStability:
+    def test_one_run_per_seed(self, result):
+        assert len(result.runs) == 3
+        assert result.seeds == [0, 1, 2]
+
+    def test_needs_multiple_seeds(self, spec):
+        with pytest.raises(ValueError, match="at least 2 seeds"):
+            run_stability(spec, seeds=(0,))
+
+    def test_costs_vector_shape(self, result):
+        costs = result.costs("vpt(2)", 0.3)
+        assert costs.shape == (3,)
+        assert (costs > 0).all()
+
+    def test_mean_and_std_consistent(self, result):
+        costs = result.costs("mvpt(3,40)", 0.3)
+        assert result.mean("mvpt(3,40)", 0.3) == pytest.approx(costs.mean())
+        assert result.std("mvpt(3,40)", 0.3) == pytest.approx(costs.std())
+
+    def test_seeds_actually_vary_results(self, result):
+        assert result.std("vpt(2)", 0.8) > 0
+
+    def test_winner_per_seed(self, result):
+        winners = result.winner_per_seed(0.3)
+        assert len(winners) == 3
+        assert set(winners) <= {"vpt(2)", "mvpt(3,40)"}
+
+    def test_ranking_stability_flag(self, result):
+        winners = result.winner_per_seed(0.3)
+        assert result.ranking_is_stable(0.3) == (len(set(winners)) == 1)
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "stability over seeds" in text
+        assert "+/-" in text
+        assert "winner at r=0.3" in text
+
+    def test_mvp_wins_stably_at_small_radius(self, result):
+        # The paper's headline effect should not depend on the seed.
+        assert result.ranking_is_stable(0.3)
+        assert result.winner_per_seed(0.3)[0] == "mvpt(3,40)"

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Datasets are deliberately small (hundreds of points) so that every
+structure can be cross-checked against the linear-scan oracle quickly;
+the paper-scale behaviour lives in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_vectors, synthetic_words, uniform_vectors
+from repro.metric import L2, EditDistance
+
+
+@pytest.fixture(scope="session")
+def uniform_data():
+    """300 x 10 uniform vectors — the paper's first workload, shrunk."""
+    return uniform_vectors(300, dim=10, rng=12345)
+
+
+@pytest.fixture(scope="session")
+def clustered_data():
+    """Clustered vectors — the paper's second workload, shrunk."""
+    return clustered_vectors(n_clusters=10, cluster_size=30, dim=10, rng=54321)
+
+
+@pytest.fixture(scope="session")
+def word_data():
+    """A small word corpus for discrete-metric structures."""
+    return synthetic_words(150, rng=777)
+
+
+@pytest.fixture(scope="session")
+def l2():
+    return L2()
+
+
+@pytest.fixture(scope="session")
+def edit_distance():
+    return EditDistance()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def vector_queries():
+    """Query points for the vector workloads (some inside, some outside)."""
+    generator = np.random.default_rng(999)
+    return [generator.random(10) for __ in range(12)]

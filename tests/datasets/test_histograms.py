@@ -1,0 +1,119 @@
+"""Tests for the distance-histogram instrument (Figures 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DistanceHistogram, distance_histogram, uniform_vectors
+from repro.metric import L2, CountingMetric
+
+
+class TestExhaustiveMode:
+    def test_counts_all_pairs(self):
+        data = uniform_vectors(40, dim=4, rng=0)
+        histogram = distance_histogram(data, L2(), bin_width=0.1, max_pairs=None)
+        assert histogram.exhaustive
+        assert histogram.n_pairs == 40 * 39 // 2
+        assert histogram.counts.sum() == histogram.n_pairs
+
+    def test_distance_computations_equal_pairs(self):
+        data = uniform_vectors(30, dim=4, rng=0)
+        counting = CountingMetric(L2())
+        distance_histogram(data, counting, bin_width=0.1, max_pairs=None)
+        assert counting.count == 30 * 29 // 2
+
+    def test_known_distances_land_in_right_bins(self):
+        # Three collinear points: distances 1, 1, 2.
+        data = np.array([[0.0], [1.0], [2.0]])
+        histogram = distance_histogram(data, L2(), bin_width=0.5, max_pairs=None)
+        centers = histogram.bin_centers
+        one_bin = int(np.searchsorted(histogram.bin_edges, 1.0, side="right")) - 1
+        two_bin = int(np.searchsorted(histogram.bin_edges, 2.0, side="right")) - 1
+        assert histogram.counts[one_bin] == 2
+        assert histogram.counts[two_bin] == 1
+
+
+class TestSampledMode:
+    def test_sampling_kicks_in_above_max_pairs(self):
+        data = uniform_vectors(200, dim=4, rng=1)
+        histogram = distance_histogram(
+            data, L2(), bin_width=0.1, max_pairs=500, rng=2
+        )
+        assert not histogram.exhaustive
+        assert histogram.n_pairs == 500
+
+    def test_never_pairs_object_with_itself(self):
+        # With two distinct points, the self-distance 0 must not occur.
+        data = np.array([[0.0], [5.0]])
+        histogram = distance_histogram(
+            data, L2(), bin_width=1.0, max_pairs=None
+        )
+        zero_bin = histogram.counts[0]
+        assert zero_bin == 0
+
+    def test_sampled_distribution_approximates_exhaustive(self):
+        data = uniform_vectors(150, dim=8, rng=3)
+        exhaustive = distance_histogram(data, L2(), bin_width=0.2, max_pairs=None)
+        sampled = distance_histogram(
+            data, L2(), bin_width=0.2, max_pairs=3000, rng=4
+        )
+        assert sampled.mean == pytest.approx(exhaustive.mean, rel=0.05)
+        assert sampled.std == pytest.approx(exhaustive.std, rel=0.2)
+
+
+class TestValidation:
+    def test_needs_two_objects(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            distance_histogram(np.array([[1.0]]), L2())
+
+    def test_rejects_bad_bin_width(self):
+        data = uniform_vectors(5, rng=0)
+        with pytest.raises(ValueError, match="bin_width"):
+            distance_histogram(data, L2(), bin_width=0.0)
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def histogram(self):
+        data = uniform_vectors(120, dim=20, rng=5)
+        return distance_histogram(data, L2(), bin_width=0.01, max_pairs=None)
+
+    def test_peak_near_paper_value(self, histogram):
+        # Figure 4: peak around 1.75 for 20-d uniform vectors.
+        assert 1.5 < histogram.peak < 2.1
+
+    def test_mean_close_to_peak_for_unimodal(self, histogram):
+        assert histogram.mean == pytest.approx(histogram.peak, abs=0.15)
+
+    def test_quantiles_monotone(self, histogram):
+        values = [histogram.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+        assert values == sorted(values)
+
+    def test_quantile_bounds_validated(self, histogram):
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+
+    def test_unimodal_distribution_has_one_mode(self, histogram):
+        assert histogram.mode_count(smooth=9) == 1
+
+    def test_mode_count_validates_smooth(self, histogram):
+        with pytest.raises(ValueError, match="smooth"):
+            histogram.mode_count(smooth=0)
+
+    def test_summary_mentions_key_stats(self, histogram):
+        summary = histogram.summary()
+        assert "peak=" in summary and "mean=" in summary
+        assert "exhaustive" in summary
+
+    def test_bimodal_detection(self):
+        # Two tight 1-d clusters far apart: within-cluster distances
+        # are small, between-cluster distances are ~10 — two modes.
+        rng = np.random.default_rng(6)
+        data = np.concatenate(
+            [rng.normal(0.0, 0.05, (30, 1)), rng.normal(10.0, 0.05, (30, 1))]
+        )
+        histogram = distance_histogram(data, L2(), bin_width=0.25, max_pairs=None)
+        assert histogram.mode_count(smooth=3) == 2
+
+    def test_bin_centers_shape(self, histogram):
+        assert len(histogram.bin_centers) == len(histogram.counts)
+        assert len(histogram.bin_edges) == len(histogram.counts) + 1

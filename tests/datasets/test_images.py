@@ -1,0 +1,144 @@
+"""Tests for the synthetic MRI phantom generator (paper section 5.1.B)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import image_metric_scales, synthetic_mri_images
+from repro.metric import L1, L2
+
+
+class TestImageMetricScales:
+    def test_paper_values_at_256(self):
+        assert image_metric_scales(256) == (10000.0, 100.0)
+
+    def test_l1_scales_with_pixel_count(self):
+        l1_full, __ = image_metric_scales(256)
+        l1_half, __ = image_metric_scales(128)
+        assert l1_half == pytest.approx(l1_full / 4)
+
+    def test_l2_scales_with_side_length(self):
+        __, l2_full = image_metric_scales(256)
+        __, l2_half = image_metric_scales(128)
+        assert l2_half == pytest.approx(l2_full / 2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            image_metric_scales(0)
+
+    def test_scaled_distances_comparable_across_sizes(self):
+        # A constant per-pixel difference must give the same scaled L1
+        # distance at every resolution.
+        for size in (32, 64):
+            l1_scale, __ = image_metric_scales(size)
+            a = np.zeros((size, size))
+            b = np.full((size, size), 10.0)
+            assert L1(scale=l1_scale).distance(a, b) == pytest.approx(
+                10.0 * 65536 / 10000
+            )
+
+
+class TestGenerator:
+    def test_shape_and_range(self):
+        images = synthetic_mri_images(20, size=32, rng=0)
+        assert images.shape == (20, 32, 32)
+        assert images.min() >= 0.0
+        assert images.max() <= 255.0
+
+    def test_labels(self):
+        images, labels = synthetic_mri_images(
+            50, size=32, n_subjects=5, rng=0, return_labels=True
+        )
+        assert labels.shape == (50,)
+        assert set(labels) <= set(range(5))
+
+    def test_deterministic_for_seed(self):
+        np.testing.assert_array_equal(
+            synthetic_mri_images(5, size=32, rng=3),
+            synthetic_mri_images(5, size=32, rng=3),
+        )
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            synthetic_mri_images(0)
+        with pytest.raises(ValueError, match="n_subjects"):
+            synthetic_mri_images(10, n_subjects=0)
+        with pytest.raises(ValueError, match="size"):
+            synthetic_mri_images(10, size=4)
+
+    def test_images_have_head_structure(self):
+        # The head occupies the centre: central pixels bright, corners
+        # dark background.
+        images = synthetic_mri_images(5, size=64, noise=0.0, rng=1)
+        for image in images:
+            assert image[32, 32] > 50.0
+            assert image[1, 1] < 20.0
+
+
+class TestDistanceGeometry:
+    """The properties the substitution must preserve (DESIGN.md)."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        images, labels = synthetic_mri_images(
+            150, size=32, n_subjects=8, rng=4, return_labels=True
+        )
+        return images, labels
+
+    def test_same_subject_closer_than_different(self, workload):
+        images, labels = workload
+        l1_scale, __ = image_metric_scales(32)
+        metric = L1(scale=l1_scale)
+        rng = np.random.default_rng(5)
+        within, between = [], []
+        for __ in range(800):
+            i, j = rng.integers(0, len(images), 2)
+            if i == j:
+                continue
+            distance = metric.distance(images[i], images[j])
+            (within if labels[i] == labels[j] else between).append(distance)
+        assert np.mean(within) < 0.6 * np.mean(between)
+
+    def test_bimodal_under_l1(self, workload):
+        images, labels = workload
+        from repro.datasets import distance_histogram
+
+        l1_scale, __ = image_metric_scales(32)
+        histogram = distance_histogram(
+            images, L1(scale=l1_scale), bin_width=2.0, max_pairs=None
+        )
+        assert histogram.mode_count(smooth=5, min_height_ratio=0.03) >= 2
+
+    def test_same_shape_under_l2(self, workload):
+        images, labels = workload
+        __, l2_scale = image_metric_scales(32)
+        metric = L2(scale=l2_scale)
+        rng = np.random.default_rng(6)
+        within, between = [], []
+        for __ in range(800):
+            i, j = rng.integers(0, len(images), 2)
+            if i == j:
+                continue
+            distance = metric.distance(images[i], images[j])
+            (within if labels[i] == labels[j] else between).append(distance)
+        assert np.mean(within) < 0.6 * np.mean(between)
+
+    def test_noise_increases_within_subject_distance(self):
+        quiet, labels = synthetic_mri_images(
+            40, size=32, n_subjects=2, noise=0.5, max_shift=0, rng=7,
+            return_labels=True,
+        )
+        loud, labels2 = synthetic_mri_images(
+            40, size=32, n_subjects=2, noise=12.0, max_shift=0, rng=7,
+            return_labels=True,
+        )
+        metric = L1()
+
+        def mean_within(images, labels):
+            values = []
+            for i in range(len(images)):
+                for j in range(i + 1, min(i + 5, len(images))):
+                    if labels[i] == labels[j]:
+                        values.append(metric.distance(images[i], images[j]))
+            return np.mean(values)
+
+        assert mean_within(loud, labels2) > mean_within(quiet, labels)

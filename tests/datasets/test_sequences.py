@@ -1,0 +1,60 @@
+"""Tests for the synthetic DNA generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_dna
+from repro.metric import EditDistance
+
+
+class TestBasics:
+    def test_count_and_alphabet(self):
+        sequences = synthetic_dna(50, rng=0)
+        assert len(sequences) == 50
+        assert set("".join(sequences)) <= set("ACGT")
+
+    def test_deterministic_for_seed(self):
+        assert synthetic_dna(20, rng=3) == synthetic_dna(20, rng=3)
+
+    def test_labels(self):
+        sequences, labels = synthetic_dna(
+            40, n_families=5, rng=1, return_labels=True
+        )
+        assert labels.shape == (40,)
+        assert set(labels) <= set(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n must be"):
+            synthetic_dna(0)
+        with pytest.raises(ValueError, match="n_families"):
+            synthetic_dna(10, n_families=0)
+        with pytest.raises(ValueError, match="length"):
+            synthetic_dna(10, length=2)
+        with pytest.raises(ValueError, match="max_mutations"):
+            synthetic_dna(10, max_mutations=0)
+
+
+class TestFamilyStructure:
+    def test_family_members_are_close(self):
+        sequences, labels = synthetic_dna(
+            60, n_families=4, length=40, max_mutations=4, rng=2,
+            return_labels=True,
+        )
+        metric = EditDistance()
+        rng = np.random.default_rng(3)
+        within, between = [], []
+        for __ in range(300):
+            i, j = rng.integers(0, 60, 2)
+            if i == j:
+                continue
+            d = metric.distance(sequences[i], sequences[j])
+            (within if labels[i] == labels[j] else between).append(d)
+        # Same family: within 2 * max_mutations; different families of
+        # random length-40 sequences: typically ~60-75% of the length.
+        assert max(within) <= 8
+        assert np.mean(between) > 15
+
+    def test_lengths_near_ancestor_length(self):
+        sequences = synthetic_dna(30, length=50, max_mutations=5, rng=4)
+        for sequence in sequences:
+            assert 45 <= len(sequence) <= 55

@@ -1,0 +1,81 @@
+"""Tests for the time-series workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_walk_series, seasonal_series
+
+
+class TestRandomWalkSeries:
+    def test_shape(self):
+        assert random_walk_series(7, length=50, rng=0).shape == (7, 50)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_walk_series(3, length=20, rng=4),
+            random_walk_series(3, length=20, rng=4),
+        )
+
+    def test_increments_are_iid_steps(self):
+        series = random_walk_series(200, length=100, step_std=1.0, rng=1)
+        increments = np.diff(series, axis=1)
+        # i.i.d. N(0, 1) steps: mean ~0, std ~1 over ~20k samples.
+        assert abs(increments.mean()) < 0.05
+        assert abs(increments.std() - 1.0) < 0.05
+
+    def test_step_std_scales_spread(self):
+        calm = random_walk_series(50, length=100, step_std=0.5, rng=2)
+        wild = random_walk_series(50, length=100, step_std=2.0, rng=2)
+        assert np.std(np.diff(wild, axis=1)) > 3 * np.std(np.diff(calm, axis=1))
+
+    def test_variance_grows_with_time(self):
+        # The random-walk signature: Var(x_t) ~ t.
+        series = random_walk_series(500, length=100, rng=3)
+        early = np.var(series[:, 9])
+        late = np.var(series[:, 99])
+        assert late > 5 * early
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            random_walk_series(0)
+        with pytest.raises(ValueError, match="n >= 1"):
+            random_walk_series(5, length=0)
+        with pytest.raises(ValueError, match="step_std"):
+            random_walk_series(5, step_std=-1)
+
+
+class TestSeasonalSeries:
+    def test_shape_and_determinism(self):
+        a = seasonal_series(10, length=32, rng=5)
+        b = seasonal_series(10, length=32, rng=5)
+        assert a.shape == (10, 32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_within_pattern_count(self):
+        __, labels = seasonal_series(
+            60, length=32, n_patterns=6, rng=6, return_labels=True
+        )
+        assert set(labels) <= set(range(6))
+
+    def test_noise_zero_gives_scaled_patterns(self):
+        series, labels = seasonal_series(
+            30, length=64, n_patterns=3, noise=0.0, rng=7, return_labels=True
+        )
+        # Same-pattern series differ only by an amplitude factor: their
+        # normalised shapes coincide.
+        for pattern in range(3):
+            members = series[labels == pattern]
+            if len(members) < 2:
+                continue
+            normalised = members / np.linalg.norm(members, axis=1, keepdims=True)
+            reference = normalised[0]
+            for row in normalised[1:]:
+                assert np.allclose(np.abs(row @ reference), 1.0, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length >= 4"):
+            seasonal_series(5, length=3)
+        with pytest.raises(ValueError, match="n_patterns"):
+            seasonal_series(5, n_patterns=0)
+        with pytest.raises(ValueError, match="noise"):
+            seasonal_series(5, noise=-0.1)

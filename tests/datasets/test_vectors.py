@@ -1,0 +1,123 @@
+"""Tests for the vector workload generators (paper section 5.1.A)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_vectors, uniform_vectors
+from repro.metric import L2
+
+
+class TestUniformVectors:
+    def test_shape(self):
+        assert uniform_vectors(100, dim=20, rng=0).shape == (100, 20)
+
+    def test_values_in_unit_cube(self):
+        data = uniform_vectors(500, dim=5, rng=1)
+        assert data.min() >= 0.0
+        assert data.max() <= 1.0
+
+    def test_deterministic_for_seed(self):
+        np.testing.assert_array_equal(
+            uniform_vectors(10, rng=7), uniform_vectors(10, rng=7)
+        )
+
+    def test_different_seeds_differ(self):
+        a = uniform_vectors(10, rng=1)
+        b = uniform_vectors(10, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_zero_n(self):
+        assert uniform_vectors(0, dim=4, rng=0).shape == (0, 4)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            uniform_vectors(-1)
+        with pytest.raises(ValueError, match="dim"):
+            uniform_vectors(5, dim=0)
+
+    def test_distance_concentration(self):
+        # The paper's Figure 4 signature: 20-d uniform pairwise L2
+        # distances concentrate around ~1.75 within [1, 2.5].
+        data = uniform_vectors(400, dim=20, rng=3)
+        metric = L2()
+        rng = np.random.default_rng(4)
+        distances = [
+            metric.distance(data[i], data[j])
+            for i, j in rng.integers(0, 400, size=(500, 2))
+            if i != j
+        ]
+        assert 1.6 < np.mean(distances) < 1.95
+        assert np.quantile(distances, 0.01) > 1.0
+        assert np.quantile(distances, 0.99) < 2.5
+
+
+class TestClusteredVectors:
+    def test_shape(self):
+        data = clustered_vectors(5, 40, dim=20, rng=0)
+        assert data.shape == (200, 20)
+
+    def test_labels(self):
+        data, labels = clustered_vectors(4, 25, rng=0, return_labels=True)
+        assert data.shape[0] == labels.shape[0] == 100
+        assert sorted(set(labels)) == [0, 1, 2, 3]
+        assert all((labels == c).sum() == 25 for c in range(4))
+
+    def test_deterministic_for_seed(self):
+        np.testing.assert_array_equal(
+            clustered_vectors(3, 10, rng=5), clustered_vectors(3, 10, rng=5)
+        )
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            clustered_vectors(0, 10)
+        with pytest.raises(ValueError, match="n_clusters"):
+            clustered_vectors(5, 0)
+        with pytest.raises(ValueError, match="epsilon"):
+            clustered_vectors(5, 10, epsilon=-0.1)
+
+    def test_seed_is_in_unit_cube_members_may_leave(self):
+        # The paper notes "many are outside of the hypercube of side 1"
+        # because perturbations accumulate.
+        data, labels = clustered_vectors(
+            20, 100, dim=20, epsilon=0.15, rng=2, return_labels=True
+        )
+        seeds = data[np.searchsorted(labels, np.arange(20))]
+        assert seeds.min() >= 0.0 and seeds.max() <= 1.0
+        assert data.min() < 0.0 or data.max() > 1.0
+
+    def test_chained_perturbation_stays_within_epsilon_of_parent(self):
+        # Each member differs from *some* earlier member by at most
+        # epsilon per dimension.
+        data, labels = clustered_vectors(
+            2, 50, dim=8, epsilon=0.1, rng=9, return_labels=True
+        )
+        for cluster in range(2):
+            members = data[labels == cluster]
+            for row in range(1, len(members)):
+                gaps = np.abs(members[:row] - members[row]).max(axis=1)
+                assert gaps.min() <= 0.1 + 1e-12
+
+    def test_wider_distance_distribution_than_uniform(self):
+        # The paper's Figure 5 signature: clustered distances have a
+        # wider spread than Figure 4's.
+        metric = L2()
+        rng = np.random.default_rng(11)
+
+        def sampled_std(data):
+            pairs = rng.integers(0, len(data), size=(600, 2))
+            distances = [
+                metric.distance(data[i], data[j]) for i, j in pairs if i != j
+            ]
+            return np.std(distances)
+
+        clustered = clustered_vectors(10, 50, dim=20, epsilon=0.15, rng=1)
+        uniform = uniform_vectors(500, dim=20, rng=1)
+        assert sampled_std(clustered) > sampled_std(uniform)
+
+    def test_epsilon_zero_collapses_clusters(self):
+        data, labels = clustered_vectors(
+            3, 10, dim=4, epsilon=0.0, rng=0, return_labels=True
+        )
+        for cluster in range(3):
+            members = data[labels == cluster]
+            assert np.allclose(members, members[0])

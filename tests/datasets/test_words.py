@@ -1,0 +1,58 @@
+"""Tests for the synthetic word-corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_words
+from repro.metric import EditDistance
+
+
+class TestBasics:
+    def test_count_and_uniqueness(self):
+        words = synthetic_words(200, rng=0)
+        assert len(words) == 200
+        assert len(set(words)) == 200
+
+    def test_all_lowercase_nonempty(self):
+        words = synthetic_words(100, rng=1)
+        for word in words:
+            assert word
+            assert word == word.lower()
+            assert word.isalpha()
+
+    def test_deterministic_for_seed(self):
+        assert synthetic_words(50, rng=9) == synthetic_words(50, rng=9)
+
+    def test_root_lengths_respected(self):
+        words = synthetic_words(20, n_roots=20, min_len=5, max_len=7, rng=2)
+        assert all(5 <= len(word) <= 7 for word in words)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            synthetic_words(0)
+        with pytest.raises(ValueError, match="min_len"):
+            synthetic_words(10, min_len=0)
+        with pytest.raises(ValueError, match="min_len"):
+            synthetic_words(10, min_len=5, max_len=3)
+        with pytest.raises(ValueError, match="max_edits"):
+            synthetic_words(10, max_edits=0)
+
+
+class TestNeighborStructure:
+    def test_misspellings_stay_near_roots(self):
+        # Each non-root word is within max_edits of some root.
+        n_roots = 10
+        words = synthetic_words(80, n_roots=n_roots, max_edits=2, rng=3)
+        roots, rest = words[:n_roots], words[n_roots:]
+        metric = EditDistance()
+        for word in rest:
+            assert min(metric.distance(word, root) for root in roots) <= 2
+
+    def test_small_radius_queries_nontrivial(self):
+        # The corpus must make range queries interesting: typical roots
+        # have neighbors within distance 2.
+        words = synthetic_words(200, n_roots=20, rng=4)
+        metric = EditDistance()
+        root = words[0]
+        neighbors = sum(1 for w in words[1:] if metric.distance(root, w) <= 2)
+        assert neighbors >= 1

@@ -1,0 +1,134 @@
+"""Tests for the Burkhard-Keller tree ([BK73])."""
+
+import pytest
+
+from repro import BKTree, LinearScan
+from repro.metric import CountingMetric, DiscreteMetric, EditDistance, HammingDistance
+
+
+@pytest.fixture()
+def tree(word_data, edit_distance):
+    return BKTree(word_data, edit_distance)
+
+
+@pytest.fixture()
+def oracle(word_data, edit_distance):
+    return LinearScan(word_data, edit_distance)
+
+
+class TestConstruction:
+    def test_rejects_empty_dataset(self, edit_distance):
+        with pytest.raises(ValueError, match="empty"):
+            BKTree([], edit_distance)
+
+    def test_single_word(self, edit_distance):
+        tree = BKTree(["hello"], edit_distance)
+        assert tree.range_search("hello", 0) == [0]
+        assert tree.range_search("help", 5) == [0]
+
+    def test_size_matches_dataset(self, tree, word_data):
+        assert len(tree) == len(word_data)
+        assert tree.node_count == len(word_data)
+
+    def test_subtree_edge_invariant(self, word_data, edit_distance):
+        # All elements under edge c are at distance exactly c from the
+        # node's element — the property the pruning rule relies on.
+        tree = BKTree(word_data, edit_distance)
+
+        def collect(node, out):
+            out.append(node.id)
+            for child in node.children.values():
+                collect(child, out)
+
+        def walk(node):
+            for edge, child in node.children.items():
+                subtree: list[int] = []
+                collect(child, subtree)
+                for idx in subtree:
+                    assert edit_distance.distance(
+                        word_data[idx], word_data[node.id]
+                    ) == edge
+                walk(child)
+
+        walk(tree.root)
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("radius", [0, 1, 2, 4, 100])
+    def test_matches_linear_scan(self, tree, oracle, word_data, radius):
+        for query in ["banana", word_data[0], word_data[37], "zzz", ""]:
+            assert tree.range_search(query, radius) == oracle.range_search(
+                query, radius
+            )
+
+    def test_exact_lookup(self, tree, word_data):
+        hits = tree.range_search(word_data[10], 0)
+        assert 10 in hits
+        for idx in hits:  # duplicates of the same spelling also match
+            assert word_data[idx] == word_data[10]
+
+    def test_pruning_saves_computations(self, word_data):
+        counting = CountingMetric(EditDistance())
+        tree = BKTree(word_data, counting)
+        counting.reset()
+        tree.range_search(word_data[5], 1)
+        assert counting.count < len(word_data)
+
+
+class TestKnnSearch:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_linear_scan(self, tree, oracle, word_data, k):
+        for query in ["banana", word_data[3], "qqqq"]:
+            got = tree.knn_search(query, k)
+            expected = oracle.knn_search(query, k)
+            assert [n.id for n in got] == [n.id for n in expected]
+
+    def test_member_is_own_nearest(self, tree, word_data):
+        assert tree.nearest(word_data[8]).id == 8
+
+    def test_farthest_not_supported(self, tree):
+        with pytest.raises(NotImplementedError):
+            tree.farthest_search("anything")
+
+
+class TestInsert:
+    def test_insert_extends_index(self, edit_distance):
+        words = ["alpha", "beta", "gamma"]
+        tree = BKTree(words, edit_distance)
+        new_id = tree.insert("alphas")
+        assert new_id == 3
+        assert len(tree) == 4
+        assert new_id in tree.range_search("alpha", 1)
+
+    def test_inserted_items_searchable_like_originals(self, edit_distance):
+        words = ["one", "two"]
+        tree = BKTree(words, edit_distance)
+        for word in ["three", "four", "five", "ten", "tan"]:
+            tree.insert(word)
+        oracle = LinearScan(words, edit_distance)  # words was mutated in place
+        assert tree.range_search("tin", 1) == oracle.range_search("tin", 1)
+
+    def test_insert_requires_appendable_dataset(self, edit_distance):
+        tree = BKTree(("tuple", "backed"), edit_distance)
+        with pytest.raises(TypeError, match="appendable"):
+            tree.insert("nope")
+
+
+class TestOtherDiscreteMetrics:
+    def test_hamming_workload(self):
+        codes = ["0000", "0001", "0011", "0111", "1111", "1000", "1100"]
+        metric = HammingDistance()
+        tree = BKTree(codes, metric)
+        oracle = LinearScan(codes, metric)
+        for query in codes + ["1010", "0101"]:
+            for radius in (0, 1, 2, 4):
+                assert tree.range_search(query, radius) == oracle.range_search(
+                    query, radius
+                )
+
+    def test_degenerate_discrete_metric(self):
+        items = ["a", "b", "c", "d"]
+        metric = DiscreteMetric()
+        tree = BKTree(items, metric)
+        assert tree.range_search("a", 0) == [0]
+        assert tree.range_search("a", 1) == [0, 1, 2, 3]

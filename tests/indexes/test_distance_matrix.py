@@ -1,0 +1,129 @@
+"""Tests for the precomputed-distance-table index ([SW90] / AESA)."""
+
+import numpy as np
+import pytest
+
+from repro import DistanceMatrixIndex, LinearScan
+from repro.metric import L2, CountingMetric
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    return np.random.default_rng(8).random((120, 8))
+
+
+@pytest.fixture(scope="module")
+def index(small_data):
+    return DistanceMatrixIndex(small_data, L2())
+
+
+@pytest.fixture(scope="module")
+def oracle(small_data):
+    return LinearScan(small_data, L2())
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [np.random.default_rng(9).random(8) for __ in range(8)]
+
+
+class TestConstruction:
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="empty"):
+            DistanceMatrixIndex(np.empty((0, 3)), L2())
+
+    def test_matrix_is_symmetric_with_zero_diagonal(self, index):
+        matrix = index.matrix
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_matrix_entries_are_true_distances(self, index, small_data):
+        metric = L2()
+        rng = np.random.default_rng(1)
+        for __ in range(20):
+            i, j = rng.integers(0, len(small_data), 2)
+            assert index.matrix[i, j] == pytest.approx(
+                metric.distance(small_data[i], small_data[j])
+            )
+
+    def test_construction_cost_is_n_choose_2(self, small_data):
+        counting = CountingMetric(L2())
+        DistanceMatrixIndex(small_data, counting)
+        n = len(small_data)
+        assert counting.count == n * (n - 1) // 2
+
+    def test_single_point(self):
+        index = DistanceMatrixIndex(np.array([[1.0, 2.0]]), L2())
+        assert index.range_search(np.array([1.0, 2.0]), 0.1) == [0]
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("radius", [0.0, 0.2, 0.5, 1.0, 5.0])
+    def test_matches_linear_scan(self, index, oracle, queries, radius):
+        for query in queries:
+            assert index.range_search(query, radius) == oracle.range_search(
+                query, radius
+            )
+
+    def test_member_query(self, index, oracle, small_data):
+        for i in (0, 60, 119):
+            assert index.range_search(small_data[i], 0.4) == oracle.range_search(
+                small_data[i], 0.4
+            )
+
+    def test_query_cost_is_tiny(self, small_data, queries):
+        # The whole point of paying O(n^2) construction: per-query
+        # computations are a small fraction of n.
+        counting = CountingMetric(L2())
+        index = DistanceMatrixIndex(small_data, counting)
+        counting.reset()
+        index.range_search(queries[0], 0.3)
+        assert counting.count < len(small_data) / 2
+
+    def test_acceptance_without_computation(self, small_data):
+        # With an enormous radius every object is accepted via upper
+        # bounds after very few real computations.
+        counting = CountingMetric(L2())
+        index = DistanceMatrixIndex(small_data, counting)
+        counting.reset()
+        hits = index.range_search(small_data[0], 1e6)
+        assert hits == list(range(len(small_data)))
+        assert counting.count < 5
+
+
+class TestKnnSearch:
+    @pytest.mark.parametrize("k", [1, 4, 15])
+    def test_matches_linear_scan(self, index, oracle, queries, k):
+        for query in queries:
+            got = index.knn_search(query, k)
+            expected = oracle.knn_search(query, k)
+            assert [n.id for n in got] == [n.id for n in expected]
+            assert [n.distance for n in got] == pytest.approx(
+                [n.distance for n in expected]
+            )
+
+    def test_member_is_own_nearest(self, index, small_data):
+        assert index.nearest(small_data[33]).id == 33
+
+    def test_knn_cost_below_linear(self, small_data, queries):
+        counting = CountingMetric(L2())
+        index = DistanceMatrixIndex(small_data, counting)
+        counting.reset()
+        index.knn_search(queries[0], 3)
+        assert counting.count < len(small_data)
+
+
+class TestFarthestSearch:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_matches_linear_scan(self, index, oracle, queries, k):
+        for query in queries:
+            got = index.farthest_search(query, k)
+            expected = oracle.farthest_search(query, k)
+            assert [n.id for n in got] == [n.id for n in expected]
+
+    def test_farthest_cost_below_linear(self, small_data, queries):
+        counting = CountingMetric(L2())
+        index = DistanceMatrixIndex(small_data, counting)
+        counting.reset()
+        index.farthest_search(queries[0], 1)
+        assert counting.count < len(small_data)

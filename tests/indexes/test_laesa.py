@@ -1,0 +1,129 @@
+"""Tests for LAESA (linear-memory pivot table)."""
+
+import numpy as np
+import pytest
+
+from repro import LAESA, LinearScan
+from repro.metric import L2, CountingMetric, EditDistance
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(21).random((300, 8))
+
+
+@pytest.fixture(scope="module")
+def oracle(data):
+    return LinearScan(data, L2())
+
+
+@pytest.fixture(scope="module")
+def index(data):
+    return LAESA(data, L2(), n_pivots=10, rng=0)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [np.random.default_rng(22).random(8) for __ in range(6)]
+
+
+class TestConstruction:
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="empty"):
+            LAESA(np.empty((0, 3)), L2())
+
+    def test_rejects_bad_pivot_count(self, data):
+        with pytest.raises(ValueError, match="n_pivots"):
+            LAESA(data, L2(), n_pivots=0)
+
+    def test_pivot_count_clamped_to_n(self):
+        small = np.random.default_rng(0).random((5, 3))
+        index = LAESA(small, L2(), n_pivots=20, rng=0)
+        assert index.n_pivots == 5
+
+    def test_construction_cost_is_n_pivots_per_object(self, data):
+        counting = CountingMetric(L2())
+        LAESA(data, counting, n_pivots=7, rng=0)
+        assert counting.count == 7 * len(data)
+
+    def test_table_entries_are_true_distances(self, index, data):
+        metric = L2()
+        rng = np.random.default_rng(1)
+        for __ in range(20):
+            row = int(rng.integers(len(data)))
+            column = int(rng.integers(index.n_pivots))
+            pivot = index.pivot_ids[column]
+            assert index.table[row, column] == pytest.approx(
+                metric.distance(data[row], data[pivot])
+            )
+
+    def test_pivots_are_spread_out(self, data, index):
+        # Max-min selection: every pivot pair is farther apart than the
+        # typical random pair.
+        metric = L2()
+        pivot_distances = [
+            metric.distance(data[a], data[b])
+            for i, a in enumerate(index.pivot_ids)
+            for b in index.pivot_ids[i + 1 :]
+        ]
+        rng = np.random.default_rng(2)
+        random_distances = [
+            metric.distance(data[i], data[j])
+            for i, j in rng.integers(0, len(data), size=(100, 2))
+            if i != j
+        ]
+        assert np.mean(pivot_distances) > np.mean(random_distances)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("radius", [0.0, 0.2, 0.5, 1.0, 5.0])
+    def test_range_matches_oracle(self, index, oracle, queries, radius):
+        for query in queries:
+            assert index.range_search(query, radius) == oracle.range_search(
+                query, radius
+            )
+
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_knn_matches_oracle(self, index, oracle, queries, k):
+        for query in queries:
+            got = index.knn_search(query, k)
+            expected = oracle.knn_search(query, k)
+            assert [n.id for n in got] == [n.id for n in expected]
+
+    @pytest.mark.parametrize("radius", [0.3, 0.8])
+    def test_outside_range_matches_oracle(self, index, oracle, queries, radius):
+        for query in queries:
+            assert index.outside_range_search(query, radius) == (
+                oracle.outside_range_search(query, radius)
+            )
+
+    def test_member_query(self, index, data):
+        assert index.nearest(data[42]).id == 42
+
+    def test_query_cost_is_pivots_plus_candidates(self, data, queries):
+        counting = CountingMetric(L2())
+        index = LAESA(data, counting, n_pivots=10, rng=0)
+        counting.reset()
+        hits = index.range_search(queries[0], 0.2)
+        # Cost = 10 pivot distances + refinements; far below a scan.
+        assert 10 <= counting.count < len(data) / 2
+
+    def test_more_pivots_fewer_refinements(self, data, queries):
+        costs = {}
+        for n_pivots in (2, 16):
+            counting = CountingMetric(L2())
+            index = LAESA(data, counting, n_pivots=n_pivots, rng=0)
+            counting.reset()
+            for query in queries:
+                index.range_search(query, 0.3)
+            costs[n_pivots] = counting.count
+        # 16 pivots pay 16 up-front per query but filter much harder.
+        assert costs[16] < costs[2] + 14 * len(queries)
+
+    def test_works_on_edit_distance(self, word_data, edit_distance):
+        index = LAESA(word_data, edit_distance, n_pivots=6, rng=0)
+        oracle = LinearScan(word_data, edit_distance)
+        for radius in (0, 2, 4):
+            assert index.range_search("banana", radius) == oracle.range_search(
+                "banana", radius
+            )

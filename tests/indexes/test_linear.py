@@ -1,0 +1,116 @@
+"""Tests for the LinearScan baseline (the correctness oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, Neighbor
+from repro.metric import L2, CountingMetric
+
+
+@pytest.fixture()
+def index(uniform_data, l2):
+    return LinearScan(uniform_data, l2)
+
+
+class TestRangeSearch:
+    def test_zero_radius_finds_the_point_itself(self, index, uniform_data):
+        assert index.range_search(uniform_data[17], 0.0) == [17]
+
+    def test_huge_radius_returns_everything(self, index, uniform_data):
+        assert index.range_search(uniform_data[0], 1e9) == list(
+            range(len(uniform_data))
+        )
+
+    def test_results_sorted_by_id(self, index, vector_queries):
+        hits = index.range_search(vector_queries[0], 0.8)
+        assert hits == sorted(hits)
+
+    def test_all_results_within_radius(self, index, uniform_data, l2, vector_queries):
+        query, radius = vector_queries[1], 0.7
+        hits = set(index.range_search(query, radius))
+        for i, point in enumerate(uniform_data):
+            if i in hits:
+                assert l2.distance(point, query) <= radius
+            else:
+                assert l2.distance(point, query) > radius
+
+    def test_negative_radius_rejected(self, index, vector_queries):
+        with pytest.raises(ValueError, match="radius"):
+            index.range_search(vector_queries[0], -0.1)
+
+    def test_cost_is_exactly_n(self, uniform_data, l2, vector_queries):
+        counting = CountingMetric(l2)
+        index = LinearScan(uniform_data, counting)
+        index.range_search(vector_queries[0], 0.5)
+        assert counting.count == len(uniform_data)
+
+
+class TestKnnSearch:
+    def test_nearest_of_member_is_itself(self, index, uniform_data):
+        assert index.nearest(uniform_data[5]).id == 5
+
+    def test_k_results_sorted_by_distance(self, index, vector_queries):
+        neighbors = index.knn_search(vector_queries[0], 10)
+        distances = [n.distance for n in neighbors]
+        assert distances == sorted(distances)
+        assert len(neighbors) == 10
+
+    def test_k_larger_than_n_clamped(self, index, uniform_data, vector_queries):
+        neighbors = index.knn_search(vector_queries[0], len(uniform_data) + 50)
+        assert len(neighbors) == len(uniform_data)
+
+    def test_k_zero_rejected(self, index, vector_queries):
+        with pytest.raises(ValueError, match="k"):
+            index.knn_search(vector_queries[0], 0)
+
+    def test_matches_exhaustive_sort(self, index, uniform_data, l2, vector_queries):
+        query = vector_queries[2]
+        brute = sorted(
+            (l2.distance(point, query), i) for i, point in enumerate(uniform_data)
+        )[:7]
+        neighbors = index.knn_search(query, 7)
+        assert [(n.distance, n.id) for n in neighbors] == pytest.approx(brute)
+
+    def test_returns_neighbor_objects(self, index, vector_queries):
+        result = index.knn_search(vector_queries[0], 1)
+        assert isinstance(result[0], Neighbor)
+
+
+class TestFarthestSearch:
+    def test_farthest_matches_exhaustive(self, index, uniform_data, l2, vector_queries):
+        query = vector_queries[3]
+        brute = sorted(
+            ((l2.distance(point, query), i) for i, point in enumerate(uniform_data)),
+            key=lambda pair: (-pair[0], pair[1]),
+        )[:5]
+        got = index.farthest_search(query, 5)
+        assert [(n.distance, n.id) for n in got] == pytest.approx(brute)
+
+    def test_farthest_first_ordering(self, index, vector_queries):
+        got = index.farthest_search(vector_queries[0], 4)
+        distances = [n.distance for n in got]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestConstruction:
+    def test_empty_dataset_rejected(self, l2):
+        with pytest.raises(ValueError, match="empty"):
+            LinearScan(np.empty((0, 3)), l2)
+
+    def test_len(self, index, uniform_data):
+        assert len(index) == len(uniform_data)
+
+    def test_objects_held_by_reference(self, uniform_data, l2):
+        index = LinearScan(uniform_data, l2)
+        assert index.objects is uniform_data
+
+
+class TestNeighborType:
+    def test_ordering_by_distance_then_id(self):
+        assert Neighbor(1.0, 5) < Neighbor(2.0, 1)
+        assert Neighbor(1.0, 1) < Neighbor(1.0, 2)
+
+    def test_frozen(self):
+        neighbor = Neighbor(1.0, 3)
+        with pytest.raises(AttributeError):
+            neighbor.distance = 2.0

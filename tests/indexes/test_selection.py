@@ -1,0 +1,120 @@
+"""Tests for vantage-point selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.selection import (
+    FarthestSelector,
+    MaxSpreadSelector,
+    RandomSelector,
+    VantagePointSelector,
+    get_selector,
+)
+from repro.metric import L2, CountingMetric
+
+
+@pytest.fixture()
+def objects():
+    return np.random.default_rng(5).random((40, 6))
+
+
+@pytest.fixture()
+def metric():
+    return L2()
+
+
+class TestGetSelector:
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [
+            ("random", RandomSelector),
+            ("farthest", FarthestSelector),
+            ("max_spread", MaxSpreadSelector),
+        ],
+    )
+    def test_resolves_names(self, name, cls):
+        assert isinstance(get_selector(name), cls)
+
+    def test_passes_instances_through(self):
+        selector = MaxSpreadSelector(n_candidates=2, sample_size=5)
+        assert get_selector(selector) is selector
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown selector"):
+            get_selector("best")
+
+
+class TestRandomSelector:
+    def test_returns_a_candidate(self, objects, metric, rng):
+        selector = RandomSelector()
+        candidates = [3, 7, 11, 20]
+        for __ in range(10):
+            assert selector.select(candidates, objects, metric, rng) in candidates
+
+    def test_no_distance_computations(self, objects, rng):
+        counting = CountingMetric(L2())
+        RandomSelector().select([1, 2, 3], objects, counting, rng)
+        assert counting.count == 0
+
+    def test_deterministic_given_rng(self, objects, metric):
+        a = RandomSelector().select(
+            list(range(40)), objects, metric, np.random.default_rng(0)
+        )
+        b = RandomSelector().select(
+            list(range(40)), objects, metric, np.random.default_rng(0)
+        )
+        assert a == b
+
+
+class TestFarthestSelector:
+    def test_returns_a_candidate(self, objects, metric, rng):
+        candidates = list(range(20))
+        assert FarthestSelector().select(candidates, objects, metric, rng) in candidates
+
+    def test_picks_an_extreme_point_on_a_line(self, metric, rng):
+        # Points on a line: the farthest from any reference is an end.
+        line = np.linspace(0, 1, 11)[:, np.newaxis]
+        chosen = FarthestSelector().select(list(range(11)), line, metric, rng)
+        assert chosen in (0, 10)
+
+    def test_costs_one_batch(self, objects, rng):
+        counting = CountingMetric(L2())
+        candidates = list(range(15))
+        FarthestSelector().select(candidates, objects, counting, rng)
+        assert counting.count == len(candidates)
+
+
+class TestMaxSpreadSelector:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="n_candidates"):
+            MaxSpreadSelector(n_candidates=0)
+        with pytest.raises(ValueError, match="n_candidates"):
+            MaxSpreadSelector(sample_size=1)
+
+    def test_returns_a_candidate(self, objects, metric, rng):
+        candidates = list(range(30))
+        selector = MaxSpreadSelector(n_candidates=4, sample_size=10)
+        assert selector.select(candidates, objects, metric, rng) in candidates
+
+    def test_single_candidate_shortcut(self, objects, metric, rng):
+        counting = CountingMetric(L2())
+        assert MaxSpreadSelector().select([9], objects, counting, rng) == 9
+        assert counting.count == 0
+
+    def test_prefers_discriminating_point(self, metric):
+        # Points on a line: distances from an endpoint spread over the
+        # full range (variance 1/12 for U[0,1]) while distances from the
+        # midpoint fold onto [0, 0.5] (variance 1/48), so max-spread
+        # should almost always choose a point from the outer parts.
+        line = np.linspace(0, 1, 21)[:, np.newaxis]
+        outer_wins = 0
+        for seed in range(10):
+            selector = MaxSpreadSelector(n_candidates=21, sample_size=21)
+            chosen = selector.select(
+                list(range(21)), line, metric, np.random.default_rng(seed)
+            )
+            outer_wins += chosen <= 4 or chosen >= 16
+        assert outer_wins >= 9
+
+    def test_is_a_selector(self):
+        assert isinstance(MaxSpreadSelector(), VantagePointSelector)

@@ -1,0 +1,91 @@
+"""Tests for the Metric interface, FunctionMetric and CountingMetric."""
+
+import numpy as np
+import pytest
+
+from repro.metric import L2, CountingMetric, FunctionMetric, Metric
+
+
+class TestFunctionMetric:
+    def test_wraps_callable(self):
+        metric = FunctionMetric(lambda a, b: abs(a - b))
+        assert metric.distance(3, 7) == 4
+
+    def test_call_dunder_delegates_to_distance(self):
+        metric = FunctionMetric(lambda a, b: abs(a - b))
+        assert metric(1, 5) == metric.distance(1, 5) == 4
+
+    def test_batch_default_loops_over_distance(self):
+        metric = FunctionMetric(lambda a, b: abs(a - b))
+        out = metric.batch_distance([1, 2, 10], 4)
+        assert out.tolist() == [3.0, 2.0, 6.0]
+
+    def test_batch_returns_float_array(self):
+        metric = FunctionMetric(lambda a, b: abs(a - b))
+        out = metric.batch_distance([1, 2], 0)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == float
+
+    def test_name_from_function(self):
+        def my_distance(a, b):
+            return 0.0
+
+        assert FunctionMetric(my_distance).name == "my_distance"
+
+    def test_name_override(self):
+        assert FunctionMetric(lambda a, b: 0, name="zero").name == "zero"
+
+    def test_is_a_metric(self):
+        assert isinstance(FunctionMetric(lambda a, b: 0), Metric)
+
+
+class TestCountingMetric:
+    def test_counts_single_distances(self):
+        counting = CountingMetric(L2())
+        for __ in range(5):
+            counting.distance(np.zeros(3), np.ones(3))
+        assert counting.count == 5
+
+    def test_counts_batches_by_length(self):
+        counting = CountingMetric(L2())
+        counting.batch_distance(np.zeros((7, 3)), np.ones(3))
+        assert counting.count == 7
+
+    def test_mixed_counting(self):
+        counting = CountingMetric(L2())
+        counting.distance(np.zeros(3), np.ones(3))
+        counting.batch_distance(np.zeros((4, 3)), np.ones(3))
+        counting.distance(np.zeros(3), np.ones(3))
+        assert counting.count == 6
+
+    def test_reset_returns_previous_count(self):
+        counting = CountingMetric(L2())
+        counting.batch_distance(np.zeros((3, 2)), np.ones(2))
+        assert counting.reset() == 3
+        assert counting.count == 0
+
+    def test_values_are_unchanged_by_wrapping(self):
+        inner = L2()
+        counting = CountingMetric(inner)
+        a, b = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert counting.distance(a, b) == inner.distance(a, b) == 5.0
+
+    def test_batch_values_unchanged(self):
+        inner = L2()
+        counting = CountingMetric(inner)
+        xs = np.random.default_rng(0).random((6, 4))
+        y = np.zeros(4)
+        np.testing.assert_allclose(
+            counting.batch_distance(xs, y), inner.batch_distance(xs, y)
+        )
+
+    def test_empty_batch_counts_zero(self):
+        counting = CountingMetric(L2())
+        counting.batch_distance(np.zeros((0, 3)), np.ones(3))
+        assert counting.count == 0
+
+    def test_nested_counting(self):
+        outer = CountingMetric(CountingMetric(L2()))
+        outer.distance(np.zeros(2), np.ones(2))
+        assert outer.count == 1
+        assert outer.inner.count == 1

@@ -1,0 +1,102 @@
+"""Tests for CachedMetric (pair memoization)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, MVPTree
+from repro.metric import L2, CachedMetric, CountingMetric
+
+
+@pytest.fixture()
+def objects():
+    return [np.random.default_rng(i).random(4) for i in range(20)]
+
+
+class TestCaching:
+    def test_repeat_pair_served_from_cache(self, objects):
+        counting = CountingMetric(L2())
+        cached = CachedMetric(counting)
+        first = cached.distance(objects[0], objects[1])
+        second = cached.distance(objects[0], objects[1])
+        assert first == second
+        assert counting.count == 1
+        assert cached.hits == 1
+        assert cached.misses == 1
+
+    def test_symmetric_lookup(self, objects):
+        counting = CountingMetric(L2())
+        cached = CachedMetric(counting)
+        cached.distance(objects[2], objects[3])
+        cached.distance(objects[3], objects[2])
+        assert counting.count == 1
+
+    def test_distinct_pairs_all_computed(self, objects):
+        counting = CountingMetric(L2())
+        cached = CachedMetric(counting)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                cached.distance(objects[i], objects[j])
+        assert counting.count == 10
+        assert cached.size == 10
+
+    def test_values_match_inner_metric(self, objects):
+        cached = CachedMetric(L2())
+        inner = L2()
+        for i in range(5):
+            assert cached.distance(objects[i], objects[0]) == pytest.approx(
+                inner.distance(objects[i], objects[0])
+            )
+
+    def test_clear(self, objects):
+        cached = CachedMetric(L2())
+        cached.distance(objects[0], objects[1])
+        cached.clear()
+        assert cached.size == 0
+        assert cached.hits == 0
+        assert cached.misses == 0
+
+    def test_max_size_eviction(self, objects):
+        cached = CachedMetric(L2(), max_size=3)
+        for i in range(1, 6):
+            cached.distance(objects[0], objects[i])
+        assert cached.size <= 3
+
+    def test_max_size_validation(self):
+        with pytest.raises(ValueError, match="max_size"):
+            CachedMetric(L2(), max_size=0)
+
+    def test_self_distance_cached(self, objects):
+        counting = CountingMetric(L2())
+        cached = CachedMetric(counting)
+        cached.distance(objects[0], objects[0])
+        cached.distance(objects[0], objects[0])
+        assert counting.count == 1
+
+
+class TestWithIndexes:
+    def test_repeated_queries_get_cheaper(self, objects):
+        # The production use case: the same query object re-issued (the
+        # dataset objects persist, so ids are stable).
+        data = objects
+        counting = CountingMetric(L2())
+        cached = CachedMetric(counting)
+        tree = MVPTree(data, cached, m=2, k=4, p=2, rng=0)
+        build_cost = counting.reset()
+
+        query = data[7]  # a persistent object
+        tree.range_search(query, 0.5)
+        first_cost = counting.reset()
+        tree.range_search(query, 0.5)
+        second_cost = counting.reset()
+        assert second_cost == 0  # everything served from cache
+        assert first_cost >= 0
+
+    def test_results_identical_with_and_without_cache(self, objects):
+        plain_tree = MVPTree(objects, L2(), m=2, k=4, p=2, rng=0)
+        cached_tree = MVPTree(objects, CachedMetric(L2()), m=2, k=4, p=2, rng=0)
+        oracle = LinearScan(objects, L2())
+        query = np.random.default_rng(99).random(4)
+        for radius in (0.2, 0.6, 1.5):
+            expected = oracle.range_search(query, radius)
+            assert plain_tree.range_search(query, radius) == expected
+            assert cached_tree.range_search(query, radius) == expected

@@ -1,0 +1,106 @@
+"""Tests for the discrete metrics (edit, Hamming, 0/1)."""
+
+import pytest
+
+from repro.metric import DiscreteMetric, EditDistance, HammingDistance
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("intention", "execution", 5),
+            ("a", "b", 1),
+            ("ab", "ba", 2),
+            ("book", "back", 2),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert EditDistance().distance(a, b) == expected
+
+    def test_symmetry(self):
+        metric = EditDistance()
+        assert metric.distance("abcdef", "azced") == metric.distance(
+            "azced", "abcdef"
+        )
+
+    def test_single_insertion(self):
+        assert EditDistance().distance("word", "sword") == 1
+
+    def test_single_deletion(self):
+        assert EditDistance().distance("word", "wrd") == 1
+
+    def test_single_substitution(self):
+        assert EditDistance().distance("word", "ward") == 1
+
+    def test_upper_bounded_by_longer_length(self):
+        metric = EditDistance()
+        assert metric.distance("abcde", "xyz") <= 5
+
+    def test_lower_bounded_by_length_difference(self):
+        metric = EditDistance()
+        assert metric.distance("abcdefgh", "ab") >= 6
+
+    def test_works_on_non_string_sequences(self):
+        metric = EditDistance()
+        assert metric.distance((1, 2, 3), (1, 3)) == 1
+        assert metric.distance([1, 2], [2, 1]) == 2
+
+    def test_triangle_inequality_sampled(self):
+        import numpy as np
+
+        from repro.datasets import synthetic_words
+
+        words = synthetic_words(30, rng=0)
+        metric = EditDistance()
+        rng = np.random.default_rng(1)
+        for __ in range(100):
+            x, y, z = (words[int(i)] for i in rng.integers(0, len(words), 3))
+            assert metric.distance(x, y) <= metric.distance(x, z) + metric.distance(
+                z, y
+            )
+
+
+class TestHammingDistance:
+    def test_known_value(self):
+        assert HammingDistance().distance("karolin", "kathrin") == 3
+
+    def test_identical(self):
+        assert HammingDistance().distance("same", "same") == 0
+
+    def test_all_different(self):
+        assert HammingDistance().distance("abc", "xyz") == 3
+
+    def test_works_on_tuples(self):
+        assert HammingDistance().distance((1, 0, 1), (0, 0, 1)) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            HammingDistance().distance("ab", "abc")
+
+    def test_symmetry(self):
+        metric = HammingDistance()
+        assert metric.distance("abcd", "abdc") == metric.distance("abdc", "abcd")
+
+
+class TestDiscreteMetric:
+    def test_zero_for_equal(self):
+        assert DiscreteMetric().distance("x", "x") == 0
+        assert DiscreteMetric().distance(42, 42) == 0
+
+    def test_one_for_different(self):
+        assert DiscreteMetric().distance("x", "y") == 1
+        assert DiscreteMetric().distance(1, 2) == 1
+
+    def test_triangle_inequality_holds_trivially(self):
+        metric = DiscreteMetric()
+        for x, y, z in [("a", "b", "c"), ("a", "a", "b"), ("a", "b", "a")]:
+            assert metric.distance(x, y) <= metric.distance(x, z) + metric.distance(
+                z, y
+            )

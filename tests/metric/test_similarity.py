@@ -1,0 +1,113 @@
+"""Tests for the IR-motivated metrics (angular, Jaccard)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, MVPTree
+from repro.metric import AngularDistance, JaccardDistance, is_metric
+
+
+class TestAngularDistance:
+    def test_orthogonal_vectors(self):
+        assert AngularDistance().distance([1, 0], [0, 1]) == pytest.approx(0.5)
+        assert AngularDistance(normalized=False).distance(
+            [1, 0], [0, 1]
+        ) == pytest.approx(math.pi / 2)
+
+    def test_parallel_vectors_distance_zero(self):
+        assert AngularDistance().distance([1, 2, 3], [2, 4, 6]) == pytest.approx(
+            0.0, abs=1e-7
+        )
+
+    def test_antiparallel_is_maximal(self):
+        assert AngularDistance().distance([1, 0], [-1, 0]) == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        d = AngularDistance()
+        a, b = np.array([1.0, 2.0, 0.5]), np.array([0.3, 1.0, 2.0])
+        assert d.distance(a, b) == pytest.approx(d.distance(5 * a, 0.1 * b))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError, match="zero vectors"):
+            AngularDistance().distance([0.0, 0.0], [1.0, 0.0])
+
+    def test_batch_matches_singles(self):
+        rng = np.random.default_rng(0)
+        d = AngularDistance()
+        xs = rng.normal(size=(20, 5)) + 0.01
+        y = rng.normal(size=5) + 0.01
+        np.testing.assert_allclose(
+            d.batch_distance(xs, y), [d.distance(x, y) for x in xs], atol=1e-12
+        )
+
+    def test_empty_batch(self):
+        assert len(AngularDistance().batch_distance(np.empty((0, 3)), np.ones(3))) == 0
+
+    def test_batch_rejects_zero_vectors(self):
+        with pytest.raises(ValueError, match="zero vectors"):
+            AngularDistance().batch_distance(np.zeros((2, 3)), np.ones(3))
+
+    def test_is_metric_on_random_vectors(self):
+        rng = np.random.default_rng(1)
+        sample = list(rng.normal(size=(40, 6)) + 0.01)
+        assert is_metric(AngularDistance(), sample, rng=np.random.default_rng(2))
+
+    def test_mvptree_search_is_exact(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(200, 8)) + 0.01
+        metric = AngularDistance()
+        tree = MVPTree(data, metric, m=2, k=8, p=3, rng=0)
+        oracle = LinearScan(data, metric)
+        query = rng.normal(size=8)
+        for radius in (0.05, 0.2, 0.4):
+            assert tree.range_search(query, radius) == oracle.range_search(
+                query, radius
+            )
+
+
+class TestJaccardDistance:
+    def test_known_value(self):
+        assert JaccardDistance().distance({"a", "b"}, {"b", "c"}) == pytest.approx(
+            2 / 3
+        )
+
+    def test_identical_sets(self):
+        assert JaccardDistance().distance({1, 2, 3}, {3, 2, 1}) == 0.0
+
+    def test_disjoint_sets(self):
+        assert JaccardDistance().distance({1}, {2}) == 1.0
+
+    def test_empty_sets(self):
+        assert JaccardDistance().distance(set(), set()) == 0.0
+        assert JaccardDistance().distance(set(), {1}) == 1.0
+
+    def test_accepts_any_iterable(self):
+        d = JaccardDistance()
+        assert d.distance("abc", "bcd") == d.distance({"a", "b", "c"}, {"b", "c", "d"})
+        assert d.distance([1, 1, 2], [2, 3]) == d.distance({1, 2}, {2, 3})
+
+    def test_is_metric_on_random_sets(self):
+        rng = np.random.default_rng(4)
+        sample = [
+            frozenset(rng.choice(20, size=rng.integers(1, 10), replace=False))
+            for __ in range(40)
+        ]
+        assert is_metric(JaccardDistance(), sample, rng=np.random.default_rng(5))
+
+    def test_bag_of_words_retrieval(self):
+        # The IR scenario: documents as term sets; near-duplicates are
+        # within small Jaccard distance.
+        documents = [
+            frozenset("the quick brown fox jumps".split()),
+            frozenset("the quick brown fox leaps".split()),
+            frozenset("a completely different document entirely".split()),
+            frozenset("another unrelated text about databases".split()),
+        ]
+        metric = JaccardDistance()
+        tree = MVPTree(documents, metric, m=2, k=2, p=2, rng=0)
+        oracle = LinearScan(documents, metric)
+        hits = tree.range_search(documents[0], 0.5)
+        assert hits == oracle.range_search(documents[0], 0.5)
+        assert hits == [0, 1]  # the near-duplicate pair

@@ -1,0 +1,114 @@
+"""Tests for ValidatingMetric and failure injection through indexes."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, MVPTree, VPTree
+from repro.metric import (
+    L2,
+    FunctionMetric,
+    InvalidDistanceError,
+    ValidatingMetric,
+)
+
+
+def _nan_after(n_calls: int):
+    """A metric that turns bad after ``n_calls`` evaluations."""
+    state = {"calls": 0}
+
+    def distance(a, b):
+        state["calls"] += 1
+        if state["calls"] > n_calls:
+            return float("nan")
+        return float(np.abs(np.asarray(a) - np.asarray(b)).sum())
+
+    return FunctionMetric(distance)
+
+
+class TestValidatingMetric:
+    def test_passes_valid_values_through(self):
+        metric = ValidatingMetric(L2())
+        a, b = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert metric.distance(a, b) == 5.0
+        np.testing.assert_allclose(
+            metric.batch_distance(np.stack([a, b]), a), [0.0, 5.0]
+        )
+
+    def test_rejects_nan(self):
+        metric = ValidatingMetric(FunctionMetric(lambda a, b: float("nan")))
+        with pytest.raises(InvalidDistanceError, match="nan"):
+            metric.distance(1, 2)
+
+    def test_rejects_infinity(self):
+        metric = ValidatingMetric(FunctionMetric(lambda a, b: float("inf")))
+        with pytest.raises(InvalidDistanceError, match="inf"):
+            metric.distance(1, 2)
+
+    def test_rejects_negative(self):
+        metric = ValidatingMetric(FunctionMetric(lambda a, b: -1.0))
+        with pytest.raises(InvalidDistanceError):
+            metric.distance(1, 2)
+
+    def test_rejects_bad_batch_entries(self):
+        def batchy(a, b):
+            return 1.0
+
+        inner = FunctionMetric(batchy)
+        metric = ValidatingMetric(inner)
+        # Patch a batch result with a NaN in the middle.
+
+        class NaNBatch(FunctionMetric):
+            def batch_distance(self, xs, y):
+                out = np.ones(len(xs))
+                out[1] = np.nan
+                return out
+
+        metric = ValidatingMetric(NaNBatch(batchy))
+        with pytest.raises(InvalidDistanceError, match="position 1"):
+            metric.batch_distance([1, 2, 3], 0)
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(InvalidDistanceError, ValueError)
+
+
+class TestFailureInjection:
+    """A metric that goes bad mid-operation must fail loudly, and a
+    static index must stay usable after a failed *query* (queries are
+    stateless)."""
+
+    def test_construction_fails_loudly(self):
+        data = [np.array([float(i)]) for i in range(50)]
+        metric = ValidatingMetric(_nan_after(20))
+        with pytest.raises(InvalidDistanceError):
+            VPTree(data, metric, rng=0)
+
+    def test_query_failure_leaves_index_usable(self):
+        data = [np.array([float(i)]) for i in range(50)]
+        good = L2()
+        tree = MVPTree(data, good, m=2, k=4, p=2, rng=0)
+
+        # Swap in a failing metric for one query.
+        tree._metric = ValidatingMetric(
+            FunctionMetric(lambda a, b: float("nan"))
+        )
+        with pytest.raises(InvalidDistanceError):
+            tree.range_search(np.array([1.0]), 5.0)
+
+        # Restore and verify the structure is intact.
+        tree._metric = good
+        oracle = LinearScan(data, good)
+        assert tree.range_search(np.array([1.0]), 5.0) == oracle.range_search(
+            np.array([1.0]), 5.0
+        )
+
+    def test_exception_propagates_from_raising_metric(self):
+        class Boom(RuntimeError):
+            pass
+
+        def explode(a, b):
+            raise Boom("metric backend down")
+
+        data = [np.array([float(i)]) for i in range(10)]
+        oracle = LinearScan(data, FunctionMetric(explode))
+        with pytest.raises(Boom):
+            oracle.range_search(np.array([0.0]), 1.0)

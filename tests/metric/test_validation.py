@@ -1,0 +1,101 @@
+"""Tests for the metric-axiom checker."""
+
+import numpy as np
+import pytest
+
+from repro.metric import (
+    L2,
+    EditDistance,
+    FunctionMetric,
+    MetricViolation,
+    check_metric,
+    is_metric,
+)
+
+
+@pytest.fixture()
+def vectors():
+    return list(np.random.default_rng(0).normal(size=(30, 4)))
+
+
+class TestValidMetricsPass:
+    def test_l2_is_clean(self, vectors):
+        assert check_metric(L2(), vectors, rng=np.random.default_rng(1)) == []
+
+    def test_is_metric_true_for_l2(self, vectors):
+        assert is_metric(L2(), vectors, rng=np.random.default_rng(1))
+
+    def test_edit_distance_is_clean(self):
+        words = ["apple", "apply", "maple", "orange", "range", ""]
+        assert is_metric(EditDistance(), words, rng=np.random.default_rng(2))
+
+
+class TestViolationsAreCaught:
+    def test_asymmetric_function_flagged(self, vectors):
+        # d(x, y) depends on the order of arguments.
+        broken = FunctionMetric(lambda a, b: float(np.abs(a - b).sum() + a[0]))
+        violations = check_metric(broken, vectors, rng=np.random.default_rng(3))
+        assert any(v.axiom == "symmetry" for v in violations)
+
+    def test_nonzero_self_distance_flagged(self, vectors):
+        broken = FunctionMetric(lambda a, b: float(np.abs(a - b).sum()) + 1.0)
+        violations = check_metric(broken, vectors, rng=np.random.default_rng(4))
+        assert any(v.axiom == "identity" for v in violations)
+
+    def test_negative_distance_flagged(self, vectors):
+        broken = FunctionMetric(lambda a, b: float((a - b).sum()))
+        violations = check_metric(broken, vectors, rng=np.random.default_rng(5))
+        assert any(v.axiom in ("positivity", "symmetry") for v in violations)
+
+    def test_triangle_violation_flagged(self, vectors):
+        # Squared Euclidean distance violates the triangle inequality.
+        broken = FunctionMetric(lambda a, b: float(((a - b) ** 2).sum()))
+        violations = check_metric(
+            broken, vectors, n_triples=500, rng=np.random.default_rng(6)
+        )
+        assert any(v.axiom == "triangle" for v in violations)
+
+    def test_is_metric_false_for_broken(self, vectors):
+        broken = FunctionMetric(lambda a, b: float(((a - b) ** 2).sum()))
+        assert not is_metric(broken, vectors, n_triples=500, rng=np.random.default_rng(7))
+
+    def test_infinite_distance_flagged(self, vectors):
+        broken = FunctionMetric(lambda a, b: float("inf"))
+        violations = check_metric(broken, vectors, rng=np.random.default_rng(8))
+        assert any(v.axiom == "positivity" for v in violations)
+
+
+class TestMechanics:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            check_metric(L2(), [])
+
+    def test_violation_objects_are_indices(self, vectors):
+        broken = FunctionMetric(lambda a, b: -1.0)
+        violations = check_metric(broken, vectors, rng=np.random.default_rng(9))
+        assert violations
+        for violation in violations:
+            assert all(0 <= i < len(vectors) for i in violation.objects)
+
+    def test_violation_detail_is_informative(self, vectors):
+        broken = FunctionMetric(lambda a, b: float(np.abs(a - b).sum()) + 1.0)
+        violations = check_metric(broken, vectors, rng=np.random.default_rng(10))
+        identity = next(v for v in violations if v.axiom == "identity")
+        assert "d(x,x)" in identity.detail
+
+    def test_tolerance_suppresses_float_noise(self, vectors):
+        # A metric with 1e-12 asymmetry noise passes at default tolerance.
+        noisy = FunctionMetric(
+            lambda a, b: float(np.abs(a - b).sum()) * (1 + 1e-13)
+        )
+        assert is_metric(noisy, vectors, rng=np.random.default_rng(11))
+
+    def test_violation_is_frozen_dataclass(self):
+        violation = MetricViolation("symmetry", (0, 1), "detail")
+        with pytest.raises(AttributeError):
+            violation.axiom = "other"
+
+    def test_single_object_sample_checks_identity(self):
+        broken = FunctionMetric(lambda a, b: 1.0)
+        violations = check_metric(broken, ["only"], rng=np.random.default_rng(12))
+        assert any(v.axiom == "identity" for v in violations)

@@ -1,0 +1,101 @@
+"""Round-trip tests for the extension structures (GMVP, dynamic)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DynamicMVPTree, GMVPTree
+from repro.metric import L2
+from repro.persist import index_from_dict, index_to_dict, load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(9).random((180, 6))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [np.random.default_rng(10).random(6) for __ in range(5)]
+
+
+class TestGMVPTreeRoundTrip:
+    def test_queries_survive(self, data, queries):
+        metric = L2()
+        original = GMVPTree(data, metric, m=2, v=3, k=8, p=5, rng=0)
+        payload = json.loads(json.dumps(index_to_dict(original)))
+        restored = index_from_dict(payload, data, metric)
+        for query in queries:
+            assert restored.range_search(query, 0.5) == original.range_search(
+                query, 0.5
+            )
+            assert [n.id for n in restored.knn_search(query, 5)] == [
+                n.id for n in original.knn_search(query, 5)
+            ]
+
+    def test_params_and_stats_survive(self, data):
+        metric = L2()
+        original = GMVPTree(data, metric, m=3, v=2, k=10, p=3, rng=1)
+        payload = json.loads(json.dumps(index_to_dict(original)))
+        restored = index_from_dict(payload, data, metric)
+        assert (restored.m, restored.v, restored.k, restored.p) == (3, 2, 10, 3)
+        assert restored.vantage_point_count == original.vantage_point_count
+        assert restored.height == original.height
+
+    def test_file_roundtrip(self, data, queries, tmp_path):
+        metric = L2()
+        original = GMVPTree(data, metric, m=2, v=2, k=6, p=2, rng=2)
+        path = tmp_path / "gmvp.json"
+        save_index(original, path)
+        restored = load_index(path, data, metric)
+        assert restored.range_search(queries[0], 0.4) == original.range_search(
+            queries[0], 0.4
+        )
+
+
+class TestDynamicMVPTreeRoundTrip:
+    @pytest.fixture()
+    def churned(self, data):
+        metric = L2()
+        tree = DynamicMVPTree(list(data), metric, m=2, k=6, p=3, rng=0)
+        rng = np.random.default_rng(11)
+        for __ in range(40):
+            tree.insert(rng.random(6))
+        for idx in range(0, 30, 2):
+            tree.delete(idx)
+        return tree
+
+    def test_queries_survive(self, churned, queries):
+        payload = json.loads(json.dumps(index_to_dict(churned)))
+        restored = index_from_dict(payload, list(churned.objects), L2())
+        for query in queries:
+            assert restored.range_search(query, 0.5) == churned.range_search(
+                query, 0.5
+            )
+            assert [n.id for n in restored.knn_search(query, 6)] == [
+                n.id for n in churned.knn_search(query, 6)
+            ]
+
+    def test_tombstones_survive(self, churned):
+        payload = json.loads(json.dumps(index_to_dict(churned)))
+        restored = index_from_dict(payload, list(churned.objects), L2())
+        assert len(restored) == len(churned)
+        assert restored.deleted_count == churned.deleted_count
+        assert not restored.is_live(0)
+        with pytest.raises(KeyError, match="already deleted"):
+            restored.delete(0)
+
+    def test_restored_tree_accepts_updates(self, churned):
+        payload = json.loads(json.dumps(index_to_dict(churned)))
+        restored = index_from_dict(payload, list(churned.objects), L2())
+        new_id = restored.insert(np.full(6, 0.5))
+        assert new_id in restored.range_search(np.full(6, 0.5), 0.01)
+        restored.delete(new_id)
+        assert new_id not in restored.range_search(np.full(6, 0.5), 0.01)
+
+    def test_type_is_preserved(self, churned):
+        payload = index_to_dict(churned)
+        assert payload["type"] == "DynamicMVPTree"
+        restored = index_from_dict(payload, list(churned.objects), L2())
+        assert isinstance(restored, DynamicMVPTree)

@@ -1,0 +1,18 @@
+"""Hypothesis settings for the property-based suite.
+
+Tree construction dominates example cost, so example counts are kept
+moderate; the strategies still cover degenerate shapes (single points,
+duplicates, collinear data) that fixed fixtures would miss.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "25")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,210 @@
+"""Property-based tests for the extension components.
+
+GMVPTree, DynamicMVPTree, outside-range search, approximate k-NN and
+the transform filter all uphold the same master invariant as the core:
+answers equal a linear scan over the (live) dataset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro import DynamicMVPTree, GMVPTree, LinearScan, MVPTree, VPTree
+from repro.metric import L2
+from repro.transforms import BlockAggregateTransform, DFTTransform, TransformIndex
+
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def vector_datasets(draw, min_n=2, max_n=50, dim_max=5):
+    n = draw(st.integers(min_n, max_n))
+    dim = draw(st.integers(1, dim_max))
+    data = draw(npst.arrays(np.float64, (n, dim), elements=coords))
+    query = draw(npst.arrays(np.float64, (dim,), elements=coords))
+    return data, query
+
+
+class TestGMVPTreeProperties:
+    @given(case=vector_datasets(), radius=st.floats(0, 25),
+           seed=st.integers(0, 2**12))
+    def test_range_matches_oracle(self, case, radius, seed):
+        data, query = case
+        rng = np.random.default_rng(seed)
+        tree = GMVPTree(
+            data, L2(),
+            m=int(rng.integers(2, 4)),
+            v=int(rng.integers(2, 5)),
+            k=int(rng.integers(1, 10)),
+            p=int(rng.integers(0, 8)),
+            rng=seed,
+        )
+        oracle = LinearScan(data, L2())
+        assert tree.range_search(query, radius) == oracle.range_search(
+            query, radius
+        )
+
+    @given(case=vector_datasets(), k=st.integers(1, 8),
+           seed=st.integers(0, 2**12))
+    def test_knn_matches_oracle(self, case, k, seed):
+        data, query = case
+        tree = GMVPTree(data, L2(), m=2, v=2 + seed % 3, k=4, p=4, rng=seed)
+        oracle = LinearScan(data, L2())
+        got = tree.knn_search(query, k)
+        expected = oracle.knn_search(query, k)
+        assert [n.id for n in got] == [n.id for n in expected]
+
+    @given(case=vector_datasets(), seed=st.integers(0, 2**12))
+    def test_partition_identity(self, case, seed):
+        data, __ = case
+        tree = GMVPTree(data, L2(), m=2, v=3, k=5, p=3, rng=seed)
+        assert (
+            tree.vantage_point_count + tree.leaf_data_point_count == len(data)
+        )
+
+
+class TestDynamicTreeProperties:
+    @given(
+        case=vector_datasets(min_n=3, max_n=30),
+        operations=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 2**16)), max_size=30
+        ),
+        radius=st.floats(0, 25),
+        seed=st.integers(0, 2**12),
+    )
+    def test_churn_preserves_exactness(self, case, operations, radius, seed):
+        initial, query = case
+        dim = initial.shape[1]
+        rng = np.random.default_rng(seed)
+        tree = DynamicMVPTree(
+            list(initial), L2(), m=2, k=3, p=2, rng=seed,
+            overflow_factor=1.5, rebuild_threshold=0.3,
+        )
+        data = list(initial)
+        for is_insert, op_seed in operations:
+            op_rng = np.random.default_rng(op_seed)
+            if is_insert or len(tree) <= 1:
+                vector = op_rng.uniform(-10, 10, dim)
+                data.append(vector)
+                tree.insert(vector)
+            else:
+                live = [i for i in range(len(data)) if tree.is_live(i)]
+                tree.delete(int(live[int(op_rng.integers(len(live)))]))
+
+        live = [i for i in range(len(data)) if tree.is_live(i)]
+        expected = [
+            i for i in live if L2().distance(data[i], query) <= radius
+        ]
+        assert tree.range_search(query, radius) == expected
+
+    @given(case=vector_datasets(min_n=5, max_n=30), k=st.integers(1, 6),
+           seed=st.integers(0, 2**12))
+    def test_knn_with_tombstones(self, case, k, seed):
+        data, query = case
+        tree = DynamicMVPTree(list(data), L2(), m=2, k=3, p=2, rng=seed,
+                              rebuild_threshold=1.0)
+        rng = np.random.default_rng(seed)
+        n_delete = int(rng.integers(0, len(data) // 2 + 1))
+        victims = rng.choice(len(data), size=n_delete, replace=False)
+        for victim in victims:
+            tree.delete(int(victim))
+        live = [i for i in range(len(data)) if tree.is_live(i)]
+        expected = sorted(
+            ((L2().distance(data[i], query), i) for i in live)
+        )[: min(k, len(live))]
+        got = tree.knn_search(query, k)
+        assert [n.id for n in got] == [i for __, i in expected]
+
+
+class TestQueryVariantProperties:
+    @given(case=vector_datasets(), radius=st.floats(0, 25),
+           seed=st.integers(0, 2**12))
+    def test_outside_range_is_exact_complement(self, case, radius, seed):
+        data, query = case
+        for tree in (
+            VPTree(data, L2(), m=2, rng=seed),
+            MVPTree(data, L2(), m=2, k=4, p=2, rng=seed),
+        ):
+            inside = set(tree.range_search(query, radius))
+            outside = set(tree.outside_range_search(query, radius))
+            assert inside | outside == set(range(len(data)))
+            assert not inside & outside
+
+    @given(case=vector_datasets(min_n=5), k=st.integers(1, 5),
+           epsilon=st.floats(0, 3), seed=st.integers(0, 2**12))
+    def test_approximate_knn_guarantee(self, case, k, epsilon, seed):
+        data, query = case
+        tree = MVPTree(data, L2(), m=2, k=4, p=3, rng=seed)
+        oracle = LinearScan(data, L2())
+        got = tree.knn_search(query, k, epsilon=epsilon)
+        true_kth = oracle.knn_search(query, k)[-1].distance
+        assert len(got) == min(k, len(data))
+        assert got[-1].distance <= (1 + epsilon) * true_kth + 1e-6
+
+
+class TestSubsequenceProperties:
+    @given(
+        series=npst.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 3), st.integers(12, 40)),
+            elements=coords,
+        ),
+        pattern=npst.arrays(np.float64, (8,), elements=coords),
+        radius=st.floats(0, 30),
+    )
+    def test_matches_brute_force(self, series, pattern, radius):
+        from repro.metric import L2
+        from repro.transforms import SubsequenceIndex
+
+        index = SubsequenceIndex(list(series), L2(), window=8)
+        got = [
+            (match.series_id, match.offset)
+            for match in index.range_search(pattern, radius)
+        ]
+        metric = L2()
+        expected = [
+            (series_id, offset)
+            for series_id, sequence in enumerate(series)
+            for offset in range(len(sequence) - 8 + 1)
+            if metric.distance(sequence[offset : offset + 8], pattern) <= radius
+        ]
+        assert got == expected
+
+
+class TestTransformProperties:
+    @given(
+        data=npst.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 25), st.just(16)),
+            elements=coords,
+        ),
+        query=npst.arrays(np.float64, (16,), elements=coords),
+        radius=st.floats(0, 50),
+        coefficients=st.integers(1, 9),
+    )
+    def test_dft_filter_is_exact(self, data, query, radius, coefficients):
+        index = TransformIndex(data, L2(), DFTTransform(coefficients))
+        oracle = LinearScan(data, L2())
+        assert index.range_search(query, radius) == oracle.range_search(
+            query, radius
+        )
+
+    @given(
+        data=npst.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 25), st.just(12)),
+            elements=coords,
+        ),
+        query=npst.arrays(np.float64, (12,), elements=coords),
+        k=st.integers(1, 6),
+        blocks=st.integers(1, 12),
+    )
+    def test_block_filter_knn_is_exact(self, data, query, k, blocks):
+        index = TransformIndex(
+            data, L2(), BlockAggregateTransform(blocks, p=2)
+        )
+        oracle = LinearScan(data, L2())
+        got = index.knn_search(query, k)
+        expected = oracle.knn_search(query, k)
+        assert [n.id for n in got] == [n.id for n in expected]

@@ -1,0 +1,195 @@
+"""Property-based tests: the metric axioms (paper section 2).
+
+Every distance function shipped by the library must satisfy the four
+axioms the paper's filtering correctness depends on — checked here on
+arbitrary hypothesis-generated inputs rather than fixed samples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.metric import (
+    L1,
+    L2,
+    DiscreteMetric,
+    EditDistance,
+    HammingDistance,
+    LInf,
+    Minkowski,
+    WeightedMinkowski,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(dim):
+    return npst.arrays(np.float64, (dim,), elements=finite_floats)
+
+
+METRICS = [L1(), L2(), LInf(), Minkowski(3), Minkowski(1.5)]
+
+
+@pytest.mark.parametrize("metric", METRICS, ids=["L1", "L2", "LInf", "L3", "L1.5"])
+class TestMinkowskiAxioms:
+    @given(data=st.data(), dim=st.integers(1, 8))
+    def test_symmetry(self, metric, data, dim):
+        x = data.draw(vectors(dim))
+        y = data.draw(vectors(dim))
+        assert metric.distance(x, y) == pytest.approx(
+            metric.distance(y, x), rel=1e-9, abs=1e-9
+        )
+
+    @given(data=st.data(), dim=st.integers(1, 8))
+    def test_identity_and_positivity(self, metric, data, dim):
+        x = data.draw(vectors(dim))
+        y = data.draw(vectors(dim))
+        assert metric.distance(x, x) == 0.0
+        assert metric.distance(x, y) >= 0.0
+        assert np.isfinite(metric.distance(x, y))
+
+    @given(data=st.data(), dim=st.integers(1, 8))
+    def test_triangle_inequality(self, metric, data, dim):
+        x = data.draw(vectors(dim))
+        y = data.draw(vectors(dim))
+        z = data.draw(vectors(dim))
+        lhs = metric.distance(x, y)
+        rhs = metric.distance(x, z) + metric.distance(z, y)
+        assert lhs <= rhs + 1e-6 * max(1.0, rhs)
+
+    @given(data=st.data(), dim=st.integers(1, 6), n=st.integers(1, 10))
+    def test_batch_matches_singles(self, metric, data, dim, n):
+        xs = data.draw(npst.arrays(np.float64, (n, dim), elements=finite_floats))
+        y = data.draw(vectors(dim))
+        batch = metric.batch_distance(xs, y)
+        singles = [metric.distance(x, y) for x in xs]
+        np.testing.assert_allclose(batch, singles, rtol=1e-9, atol=1e-9)
+
+
+class TestWeightedMinkowskiAxioms:
+    @given(
+        data=st.data(),
+        dim=st.integers(1, 6),
+        p=st.sampled_from([1.0, 2.0, 3.0]),
+    )
+    def test_triangle_inequality(self, data, dim, p):
+        weights = data.draw(
+            npst.arrays(
+                np.float64,
+                (dim,),
+                elements=st.floats(min_value=0.1, max_value=10.0),
+            )
+        )
+        metric = WeightedMinkowski(p, weights)
+        x = data.draw(vectors(dim))
+        y = data.draw(vectors(dim))
+        z = data.draw(vectors(dim))
+        rhs = metric.distance(x, z) + metric.distance(z, y)
+        assert metric.distance(x, y) <= rhs + 1e-6 * max(1.0, rhs)
+
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestEditDistanceAxioms:
+    @given(a=words, b=words)
+    def test_symmetry(self, a, b):
+        metric = EditDistance()
+        assert metric.distance(a, b) == metric.distance(b, a)
+
+    @given(a=words)
+    def test_identity(self, a):
+        assert EditDistance().distance(a, a) == 0
+
+    @given(a=words, b=words)
+    def test_positivity_for_distinct(self, a, b):
+        d = EditDistance().distance(a, b)
+        if a != b:
+            assert d >= 1
+        assert d <= max(len(a), len(b))
+
+    @given(a=words, b=words, c=words)
+    def test_triangle_inequality(self, a, b, c):
+        metric = EditDistance()
+        assert metric.distance(a, b) <= metric.distance(a, c) + metric.distance(
+            c, b
+        )
+
+    @given(a=words, b=words)
+    def test_length_difference_lower_bound(self, a, b):
+        assert EditDistance().distance(a, b) >= abs(len(a) - len(b))
+
+
+class TestHammingAxioms:
+    @given(data=st.data(), length=st.integers(0, 15))
+    def test_axioms(self, data, length):
+        alphabet = st.sampled_from("01")
+        a = data.draw(st.text(alphabet=alphabet, min_size=length, max_size=length))
+        b = data.draw(st.text(alphabet=alphabet, min_size=length, max_size=length))
+        c = data.draw(st.text(alphabet=alphabet, min_size=length, max_size=length))
+        metric = HammingDistance()
+        assert metric.distance(a, b) == metric.distance(b, a)
+        assert metric.distance(a, a) == 0
+        assert metric.distance(a, b) <= metric.distance(a, c) + metric.distance(
+            c, b
+        )
+
+
+class TestDiscreteMetricAxioms:
+    @given(a=st.integers(), b=st.integers(), c=st.integers())
+    def test_axioms(self, a, b, c):
+        metric = DiscreteMetric()
+        assert metric.distance(a, b) == metric.distance(b, a)
+        assert metric.distance(a, a) == 0
+        assert metric.distance(a, b) <= metric.distance(a, c) + metric.distance(
+            c, b
+        )
+
+
+nonzero_vectors = npst.arrays(
+    np.float64,
+    (5,),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+).filter(lambda v: np.linalg.norm(v) > 1e-6)
+
+
+class TestAngularDistanceAxioms:
+    @given(x=nonzero_vectors, y=nonzero_vectors, z=nonzero_vectors)
+    def test_axioms(self, x, y, z):
+        from repro.metric import AngularDistance
+
+        metric = AngularDistance()
+        assert metric.distance(x, x) == 0.0
+        assert metric.distance(x, y) == pytest.approx(
+            metric.distance(y, x), abs=1e-12
+        )
+        assert 0.0 <= metric.distance(x, y) <= 1.0
+        assert metric.distance(x, y) <= (
+            metric.distance(x, z) + metric.distance(z, y) + 1e-9
+        )
+
+
+small_sets = st.frozensets(st.integers(0, 15), max_size=8)
+
+
+class TestJaccardDistanceAxioms:
+    @given(a=small_sets, b=small_sets, c=small_sets)
+    def test_axioms(self, a, b, c):
+        from repro.metric import JaccardDistance
+
+        metric = JaccardDistance()
+        assert metric.distance(a, a) == 0.0
+        assert metric.distance(a, b) == metric.distance(b, a)
+        assert 0.0 <= metric.distance(a, b) <= 1.0
+        assert metric.distance(a, b) <= (
+            metric.distance(a, c) + metric.distance(c, b) + 1e-12
+        )
+
+    @given(a=small_sets, b=small_sets)
+    def test_zero_iff_equal(self, a, b):
+        from repro.metric import JaccardDistance
+
+        assert (JaccardDistance().distance(a, b) == 0.0) == (a == b)

@@ -1,0 +1,81 @@
+"""Property-based tests: serialisation round-trips for random trees.
+
+Any tree built from hypothesis-generated data and parameters must
+survive a JSON round-trip with identical query behaviour.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro import GHTree, GMVPTree, GNAT, MVPTree, VPTree
+from repro.metric import L2
+from repro.persist import index_from_dict, index_to_dict
+
+coords = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def datasets(draw, max_n=40):
+    n = draw(st.integers(1, max_n))
+    dim = draw(st.integers(1, 4))
+    data = draw(npst.arrays(np.float64, (n, dim), elements=coords))
+    query = draw(npst.arrays(np.float64, (dim,), elements=coords))
+    return data, query
+
+
+def roundtrip(index, data):
+    payload = json.loads(json.dumps(index_to_dict(index)))
+    return index_from_dict(payload, data, L2())
+
+
+class TestRoundTripEquivalence:
+    @given(case=datasets(), radius=st.floats(0, 20), seed=st.integers(0, 2**10))
+    def test_vptree(self, case, radius, seed):
+        data, query = case
+        tree = VPTree(data, L2(), m=2 + seed % 3, rng=seed)
+        restored = roundtrip(tree, data)
+        assert restored.range_search(query, radius) == tree.range_search(
+            query, radius
+        )
+
+    @given(case=datasets(), radius=st.floats(0, 20), seed=st.integers(0, 2**10))
+    def test_mvptree(self, case, radius, seed):
+        data, query = case
+        tree = MVPTree(
+            data, L2(), m=2 + seed % 2, k=1 + seed % 6, p=seed % 4, rng=seed
+        )
+        restored = roundtrip(tree, data)
+        assert restored.range_search(query, radius) == tree.range_search(
+            query, radius
+        )
+        assert [n.id for n in restored.knn_search(query, 3)] == [
+            n.id for n in tree.knn_search(query, 3)
+        ]
+
+    @given(case=datasets(), radius=st.floats(0, 20), seed=st.integers(0, 2**10))
+    def test_gmvptree(self, case, radius, seed):
+        data, query = case
+        tree = GMVPTree(
+            data, L2(), m=2, v=2 + seed % 3, k=1 + seed % 6, p=seed % 5,
+            rng=seed,
+        )
+        restored = roundtrip(tree, data)
+        assert restored.range_search(query, radius) == tree.range_search(
+            query, radius
+        )
+
+    @given(case=datasets(), radius=st.floats(0, 20), seed=st.integers(0, 2**10))
+    def test_ghtree_and_gnat(self, case, radius, seed):
+        data, query = case
+        for tree in (
+            GHTree(data, L2(), rng=seed),
+            GNAT(data, L2(), degree=2 + seed % 4, rng=seed),
+        ):
+            restored = roundtrip(tree, data)
+            assert restored.range_search(query, radius) == tree.range_search(
+                query, radius
+            )

@@ -1,0 +1,207 @@
+"""Property-based tests: every index answers exactly like a linear scan.
+
+This is the library's master invariant (the paper's Appendix proves it
+for vp-trees; the same argument covers every structure here): range and
+k-NN searches are *exact* — filtering may only skip objects that the
+triangle inequality proves out of range.  Hypothesis drives random
+datasets, duplicate-heavy data, random structure parameters, and random
+queries through every structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro import (
+    GNAT,
+    BKTree,
+    DistanceMatrixIndex,
+    GHTree,
+    LAESA,
+    LinearScan,
+    MVPTree,
+    VPTree,
+)
+from repro.metric import L2, EditDistance
+
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def vector_datasets(draw, min_n=2, max_n=60, max_dim=6):
+    n = draw(st.integers(min_n, max_n))
+    dim = draw(st.integers(1, max_dim))
+    data = draw(npst.arrays(np.float64, (n, dim), elements=coords))
+    query = draw(npst.arrays(np.float64, (dim,), elements=coords))
+    return data, query
+
+
+@st.composite
+def duplicated_datasets(draw):
+    """Datasets with many exact duplicates — the nastiest ties."""
+    base, query = draw(vector_datasets(min_n=2, max_n=15, max_dim=3))
+    repeats = draw(st.integers(1, 4))
+    data = np.repeat(base, repeats, axis=0)
+    return data, query
+
+
+class TestVectorStructuresMatchOracle:
+    @given(case=vector_datasets(), radius=st.floats(0, 25), seed=st.integers(0, 2**16))
+    def test_vptree_range(self, case, radius, seed):
+        data, query = case
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 5))
+        leaf = int(rng.integers(1, 6))
+        tree = VPTree(data, L2(), m=m, leaf_capacity=leaf, rng=seed)
+        oracle = LinearScan(data, L2())
+        assert tree.range_search(query, radius) == oracle.range_search(query, radius)
+
+    @given(case=vector_datasets(), radius=st.floats(0, 25), seed=st.integers(0, 2**16))
+    def test_mvptree_range(self, case, radius, seed):
+        data, query = case
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 4))
+        k = int(rng.integers(1, 12))
+        p = int(rng.integers(0, 6))
+        tree = MVPTree(data, L2(), m=m, k=k, p=p, rng=seed)
+        oracle = LinearScan(data, L2())
+        assert tree.range_search(query, radius) == oracle.range_search(query, radius)
+
+    @given(case=vector_datasets(), radius=st.floats(0, 25), seed=st.integers(0, 2**16))
+    def test_ghtree_range(self, case, radius, seed):
+        data, query = case
+        tree = GHTree(data, L2(), leaf_capacity=int(seed % 4) + 1, rng=seed)
+        oracle = LinearScan(data, L2())
+        assert tree.range_search(query, radius) == oracle.range_search(query, radius)
+
+    @given(case=vector_datasets(), radius=st.floats(0, 25), seed=st.integers(0, 2**16))
+    def test_gnat_range(self, case, radius, seed):
+        data, query = case
+        tree = GNAT(data, L2(), degree=2 + int(seed % 5), rng=seed)
+        oracle = LinearScan(data, L2())
+        assert tree.range_search(query, radius) == oracle.range_search(query, radius)
+
+    @given(case=vector_datasets(max_n=40), radius=st.floats(0, 25))
+    def test_distance_matrix_range(self, case, radius):
+        data, query = case
+        index = DistanceMatrixIndex(data, L2())
+        oracle = LinearScan(data, L2())
+        assert index.range_search(query, radius) == oracle.range_search(
+            query, radius
+        )
+
+    @given(case=vector_datasets(max_n=40), radius=st.floats(0, 25),
+           seed=st.integers(0, 2**16))
+    def test_laesa_range_and_knn(self, case, radius, seed):
+        data, query = case
+        index = LAESA(data, L2(), n_pivots=1 + seed % 8, rng=seed)
+        oracle = LinearScan(data, L2())
+        assert index.range_search(query, radius) == oracle.range_search(
+            query, radius
+        )
+        got = index.knn_search(query, 3)
+        expected = oracle.knn_search(query, 3)
+        assert [n.id for n in got] == [n.id for n in expected]
+
+    @given(case=vector_datasets(), k=st.integers(1, 10), seed=st.integers(0, 2**16))
+    def test_mvptree_knn(self, case, k, seed):
+        data, query = case
+        tree = MVPTree(data, L2(), m=2 + int(seed % 2), k=1 + int(seed % 8),
+                       p=int(seed % 4), rng=seed)
+        oracle = LinearScan(data, L2())
+        got = tree.knn_search(query, k)
+        expected = oracle.knn_search(query, k)
+        assert [n.id for n in got] == [n.id for n in expected]
+
+    @given(case=vector_datasets(), k=st.integers(1, 10), seed=st.integers(0, 2**16))
+    def test_vptree_knn(self, case, k, seed):
+        data, query = case
+        tree = VPTree(data, L2(), m=2 + int(seed % 3), rng=seed)
+        oracle = LinearScan(data, L2())
+        got = tree.knn_search(query, k)
+        expected = oracle.knn_search(query, k)
+        assert [n.id for n in got] == [n.id for n in expected]
+
+    @given(case=vector_datasets(), k=st.integers(1, 10), seed=st.integers(0, 2**16))
+    def test_ghtree_and_gnat_knn(self, case, k, seed):
+        data, query = case
+        oracle = LinearScan(data, L2())
+        expected = [n.id for n in oracle.knn_search(query, k)]
+        gh = GHTree(data, L2(), leaf_capacity=1 + seed % 3, rng=seed)
+        gnat = GNAT(data, L2(), degree=2 + seed % 4, rng=seed)
+        assert [n.id for n in gh.knn_search(query, k)] == expected
+        assert [n.id for n in gnat.knn_search(query, k)] == expected
+
+    @given(case=vector_datasets(), radius=st.floats(0, 25),
+           seed=st.integers(0, 2**16))
+    def test_bucket_leaf_vptree_farthest(self, case, radius, seed):
+        data, query = case
+        tree = VPTree(data, L2(), m=2, leaf_capacity=1 + seed % 5, rng=seed)
+        oracle = LinearScan(data, L2())
+        assert tree.outside_range_search(query, radius) == (
+            oracle.outside_range_search(query, radius)
+        )
+        assert [n.id for n in tree.farthest_search(query, 3)] == [
+            n.id for n in oracle.farthest_search(query, 3)
+        ]
+
+    @given(case=vector_datasets(), k=st.integers(1, 6), seed=st.integers(0, 2**16))
+    def test_farthest_equivalence(self, case, k, seed):
+        data, query = case
+        oracle = LinearScan(data, L2())
+        expected = [n.id for n in oracle.farthest_search(query, k)]
+        vp = VPTree(data, L2(), m=2, rng=seed)
+        mvp = MVPTree(data, L2(), m=2, k=4, p=2, rng=seed)
+        assert [n.id for n in vp.farthest_search(query, k)] == expected
+        assert [n.id for n in mvp.farthest_search(query, k)] == expected
+
+
+class TestDuplicateHeavyData:
+    @given(case=duplicated_datasets(), radius=st.floats(0, 5), seed=st.integers(0, 2**10))
+    def test_all_tree_structures(self, case, radius, seed):
+        data, query = case
+        oracle = LinearScan(data, L2())
+        expected = oracle.range_search(query, radius)
+        assert VPTree(data, L2(), m=2, rng=seed).range_search(query, radius) == expected
+        assert MVPTree(data, L2(), m=2, k=3, p=2, rng=seed).range_search(
+            query, radius
+        ) == expected
+        assert GHTree(data, L2(), rng=seed).range_search(query, radius) == expected
+        assert GNAT(data, L2(), rng=seed).range_search(query, radius) == expected
+
+    @given(case=duplicated_datasets(), k=st.integers(1, 8), seed=st.integers(0, 2**10))
+    def test_knn_with_ties_is_deterministic(self, case, k, seed):
+        data, query = case
+        oracle = LinearScan(data, L2())
+        expected = [n.id for n in oracle.knn_search(query, k)]
+        got = MVPTree(data, L2(), m=2, k=3, p=2, rng=seed).knn_search(query, k)
+        assert [n.id for n in got] == expected
+
+
+word_lists = st.lists(
+    st.text(alphabet="abc", min_size=0, max_size=6), min_size=1, max_size=40
+)
+
+
+class TestDiscreteStructures:
+    @given(words=word_lists, query=st.text(alphabet="abc", max_size=6),
+           radius=st.integers(0, 4))
+    def test_bktree_range(self, words, query, radius):
+        metric = EditDistance()
+        tree = BKTree(words, metric)
+        oracle = LinearScan(words, metric)
+        assert tree.range_search(query, radius) == oracle.range_search(
+            query, radius
+        )
+
+    @given(words=word_lists, query=st.text(alphabet="abc", max_size=6),
+           seed=st.integers(0, 2**10))
+    def test_mvptree_on_words(self, words, query, seed):
+        metric = EditDistance()
+        tree = MVPTree(words, metric, m=2, k=4, p=2, rng=seed)
+        oracle = LinearScan(words, metric)
+        for radius in (0, 1, 2):
+            assert tree.range_search(query, radius) == oracle.range_search(
+                query, radius
+            )

@@ -1,0 +1,137 @@
+"""Tests for the structural-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BKTree,
+    DistanceMatrixIndex,
+    DynamicMVPTree,
+    GHTree,
+    GNAT,
+    MVPTree,
+    VPTree,
+)
+from repro.analysis import TreeReport, analyze
+from repro.metric import L2, EditDistance
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(11).random((300, 6))
+
+
+class TestAnalyzeMVP:
+    @pytest.fixture(scope="class")
+    def report(self, data):
+        tree = MVPTree(data, L2(), m=3, k=9, p=4, rng=0)
+        return tree, analyze(tree)
+
+    def test_counts_match_tree_counters(self, report):
+        tree, rep = report
+        assert rep.node_count == tree.node_count
+        assert rep.leaf_count == tree.leaf_count
+        assert rep.internal_count == tree.internal_count
+        assert rep.height == tree.height
+        assert rep.vantage_point_count == tree.vantage_point_count
+        assert rep.leaf_data_point_count == tree.leaf_data_point_count
+
+    def test_partition_identity(self, report, data):
+        __, rep = report
+        assert rep.vantage_point_count + rep.leaf_data_point_count == len(data)
+        assert rep.leaf_fraction == pytest.approx(
+            rep.leaf_data_point_count / len(data)
+        )
+
+    def test_precomputed_distance_accounting(self, data):
+        # Each leaf point stores 2 + path_len distances.
+        tree = MVPTree(data, L2(), m=2, k=8, p=3, rng=1)
+        rep = analyze(tree)
+        assert rep.precomputed_distances > 2 * rep.leaf_data_point_count
+
+    def test_to_dict_roundtrips_json(self, report):
+        import json
+
+        __, rep = report
+        payload = json.loads(json.dumps(rep.to_dict()))
+        assert payload["structure"] == "MVPTree"
+        assert payload["node_count"] == rep.node_count
+        assert payload["balance"] == pytest.approx(rep.balance)
+
+    def test_summary_renders(self, report):
+        __, rep = report
+        text = rep.summary()
+        assert "MVPTree" in text
+        assert "height" in text
+        assert "precomputed" in text
+
+    def test_large_k_raises_leaf_fraction(self, data):
+        small = analyze(MVPTree(data, L2(), m=3, k=5, p=3, rng=0))
+        large = analyze(MVPTree(data, L2(), m=3, k=60, p=3, rng=0))
+        assert large.leaf_fraction > small.leaf_fraction
+
+
+class TestAnalyzeOthers:
+    def test_vptree(self, data):
+        tree = VPTree(data, L2(), m=3, leaf_capacity=4, rng=0)
+        rep = analyze(tree)
+        assert rep.structure == "VPTree"
+        assert rep.node_count == tree.node_count
+        assert rep.vantage_point_count + rep.leaf_data_point_count == len(data)
+        assert rep.mean_leaf_size <= 4
+
+    def test_ghtree(self, data):
+        tree = GHTree(data, L2(), leaf_capacity=3, rng=0)
+        rep = analyze(tree)
+        assert rep.vantage_point_count == 2 * rep.internal_count
+        assert rep.vantage_point_count + rep.leaf_data_point_count == len(data)
+
+    def test_gnat(self, data):
+        tree = GNAT(data, L2(), degree=6, rng=0)
+        rep = analyze(tree)
+        assert rep.vantage_point_count + rep.leaf_data_point_count == len(data)
+        assert rep.precomputed_distances > 0  # the range tables
+
+    def test_bktree(self, word_data):
+        tree = BKTree(word_data, EditDistance())
+        rep = analyze(tree)
+        assert rep.node_count == len(word_data)
+        assert rep.height == tree.height
+
+    def test_gmvptree(self, data, l2):
+        from repro import GMVPTree
+
+        tree = GMVPTree(data, l2, m=2, v=3, k=8, p=4, rng=0)
+        rep = analyze(tree)
+        assert rep.structure == "GMVPTree"
+        assert rep.node_count == tree.node_count
+        assert rep.vantage_point_count == tree.vantage_point_count
+        assert rep.vantage_point_count + rep.leaf_data_point_count == len(data)
+
+    def test_dynamic_mvptree(self, data, l2):
+        tree = DynamicMVPTree(list(data), l2, m=2, k=6, p=3, rng=0)
+        for __ in range(50):
+            tree.insert(np.random.default_rng(5).random(6))
+        rep = analyze(tree)
+        assert rep.structure == "DynamicMVPTree"
+        assert rep.node_count == tree.node_count
+
+    def test_unsupported_type_rejected(self, data):
+        index = DistanceMatrixIndex(data[:30], L2())
+        with pytest.raises(TypeError, match="cannot analyze"):
+            analyze(index)
+
+
+class TestReportProperties:
+    def test_empty_report_defaults(self):
+        rep = TreeReport("X", 0)
+        assert rep.leaf_fraction == 0.0
+        assert rep.mean_leaf_size == 0.0
+        assert rep.mean_leaf_depth == 0.0
+        assert rep.balance == 1.0
+
+    def test_balance_of_balanced_tree_is_small(self, data):
+        # The static mvp-tree splits into equal cardinalities, so leaf
+        # depths are within one level of each other.
+        rep = analyze(MVPTree(data, L2(), m=2, k=8, p=2, rng=0))
+        assert rep.balance <= 2.0

@@ -1,0 +1,114 @@
+"""Tests for the top-level ``python -m repro`` command line."""
+
+import pytest
+
+from repro.cli import main, make_index, make_metric, make_workload
+from repro.metric import L1, L2, EditDistance, LInf
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "clustered", "images", "words", "dna"]
+    )
+    def test_workloads_build(self, workload):
+        n = 60 if workload == "images" else 100
+        objects, metric = make_workload(workload, n, seed=0)
+        assert len(objects) >= 50
+        # Metric applies to the workload's objects.
+        assert metric.distance(objects[0], objects[1]) >= 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("tweets", 10, 0)
+
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [("l1", L1), ("l2", L2), ("linf", LInf), ("edit", EditDistance)],
+    )
+    def test_metrics_resolve(self, name, cls):
+        assert isinstance(make_metric(name), cls)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            make_metric("cosine")
+
+    @pytest.mark.parametrize(
+        "structure", ["mvpt", "vpt", "ght", "gnat", "bkt", "matrix"]
+    )
+    def test_structures_build(self, structure, uniform_data, l2, word_data,
+                              edit_distance):
+        if structure == "bkt":
+            index = make_index(structure, word_data, edit_distance, seed=0)
+            assert index.range_search(word_data[0], 0) == sorted(
+                i for i, w in enumerate(word_data) if w == word_data[0]
+            )
+        else:
+            index = make_index(structure, uniform_data[:100], l2, seed=0)
+            assert index.range_search(uniform_data[0], 0.0) == [0]
+
+    def test_unknown_structure_rejected(self, uniform_data, l2):
+        with pytest.raises(ValueError, match="unknown structure"):
+            make_index("rtree", uniform_data, l2, 0)
+
+
+class TestSubcommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--workload", "uniform", "--structure", "vpt",
+                     "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "VPTree over 200 objects" in out
+        assert "construction distance computations" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "--workload", "uniform", "--structure", "mvpt",
+                     "--n", "150", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["structure"] == "MVPTree"
+        assert payload["n_objects"] == 150
+        assert payload["build_distance_computations"] > 0
+        assert (
+            payload["vantage_point_count"] + payload["leaf_data_point_count"]
+            == 150
+        )
+
+    def test_stats_json_for_matrix(self, capsys):
+        import json
+
+        assert main(["stats", "--workload", "uniform", "--structure",
+                     "matrix", "--n", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["structure"] == "DistanceMatrixIndex"
+        assert payload["build_distance_computations"] == 60 * 59 // 2
+
+    def test_stats_matrix_has_no_tree(self, capsys):
+        assert main(["stats", "--workload", "uniform", "--structure",
+                     "matrix", "--n", "80"]) == 0
+        assert "no tree structure" in capsys.readouterr().out
+
+    def test_validate_clean_metric(self, capsys):
+        assert main(["validate", "--metric", "l2", "--workload", "uniform",
+                     "--n", "40", "--triples", "100"]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_validate_inapplicable_combination(self, capsys):
+        # Hamming-free here, but edit distance on vectors is nonsense:
+        # numeric arrays are not comparable sequences element-wise ==
+        # works, so use l2 on words instead (TypeError inside numpy).
+        code = main(["validate", "--metric", "l2", "--workload", "words",
+                     "--n", "30", "--triples", "20"])
+        assert code == 1
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against a linear scan" in out
+
+    def test_bench_passthrough(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

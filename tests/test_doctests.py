@@ -1,0 +1,67 @@
+"""Run the library's docstring examples as tests.
+
+Every public-API docstring example must actually work; this module
+feeds them through doctest so documentation drift fails the suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro._util
+import repro.analysis
+import repro.core.dynamic
+import repro.core.gmvptree
+import repro.core.mvptree
+import repro.datasets.histograms
+import repro.datasets.sequences
+import repro.datasets.timeseries
+import repro.datasets.vectors
+import repro.datasets.words
+import repro.evaluation
+import repro.indexes.bktree
+import repro.indexes.distance_matrix
+import repro.indexes.vptree
+import repro.metric.base
+import repro.metric.discrete
+import repro.transforms.aggregate
+import repro.transforms.fourier
+
+MODULES = [
+    repro._util,
+    repro.metric.base,
+    repro.metric.discrete,
+    repro.indexes.vptree,
+    repro.indexes.bktree,
+    repro.indexes.distance_matrix,
+    repro.core.mvptree,
+    repro.core.dynamic,
+    repro.core.gmvptree,
+    repro.datasets.vectors,
+    repro.datasets.words,
+    repro.datasets.sequences,
+    repro.datasets.timeseries,
+    repro.datasets.histograms,
+    repro.transforms.fourier,
+    repro.transforms.aggregate,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.IGNORE_EXCEPTION_DETAIL,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_docstrings_exist_on_public_api():
+    """Every public name re-exported at the top level is documented."""
+    import repro
+
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        obj = getattr(repro, name)
+        assert obj.__doc__, f"repro.{name} has no docstring"

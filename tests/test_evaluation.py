@@ -1,0 +1,112 @@
+"""Tests for the retrieval-evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, MVPTree
+from repro.evaluation import (
+    RetrievalScore,
+    mean_reciprocal_rank,
+    precision_at_k,
+    range_retrieval_score,
+)
+from repro.metric import L2
+
+
+@pytest.fixture(scope="module")
+def labeled_workload():
+    # Two tight, well-separated clusters: distance neighborhoods align
+    # perfectly with labels.
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.05, size=(30, 4))
+    b = rng.normal(5.0, 0.05, size=(30, 4))
+    data = np.concatenate([a, b])
+    labels = np.array([0] * 30 + [1] * 30)
+    index = LinearScan(data, L2())
+    queries = [(data[0], 0), (data[35], 1)]
+    return index, labels, queries, data
+
+
+class TestRangeRetrievalScore:
+    def test_perfect_on_separated_clusters(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        score = range_retrieval_score(index, labels, queries, radius=1.0)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+        assert score.n_queries == 2
+
+    def test_zero_radius_low_recall(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        score = range_retrieval_score(index, labels, queries, radius=0.0)
+        assert score.precision == 1.0  # only the query itself
+        assert score.recall < 0.1
+
+    def test_huge_radius_halves_precision(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        score = range_retrieval_score(index, labels, queries, radius=100.0)
+        assert score.recall == 1.0
+        assert score.precision == pytest.approx(0.5)
+
+    def test_exclude_self(self, labeled_workload):
+        index, labels, queries, data = labeled_workload
+        included = range_retrieval_score(index, labels, queries, radius=0.0)
+        excluded = range_retrieval_score(
+            index, labels, queries, radius=0.0, exclude_self=True
+        )
+        assert included.recall > excluded.recall
+
+    def test_negative_radius_rejected(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        with pytest.raises(ValueError, match="radius"):
+            range_retrieval_score(index, labels, queries, radius=-1)
+
+    def test_f1_zero_when_empty(self):
+        assert RetrievalScore(0.0, 0.0, 1).f1 == 0.0
+
+    def test_works_with_tree_indexes(self, labeled_workload):
+        __, labels, queries, data = labeled_workload
+        tree = MVPTree(data, L2(), m=2, k=5, p=2, rng=0)
+        score = range_retrieval_score(tree, labels, queries, radius=1.0)
+        assert score.f1 == 1.0
+
+
+class TestPrecisionAtK:
+    def test_perfect_for_small_k(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        assert precision_at_k(index, labels, queries, k=10) == 1.0
+
+    def test_k_beyond_cluster_dilutes(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        assert precision_at_k(index, labels, queries, k=60) == pytest.approx(0.5)
+
+    def test_invalid_k_rejected(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        with pytest.raises(ValueError, match="k"):
+            precision_at_k(index, labels, queries, k=0)
+
+    def test_empty_queries(self, labeled_workload):
+        index, labels, __, ___ = labeled_workload
+        assert precision_at_k(index, labels, [], k=3) == 0.0
+
+
+class TestMeanReciprocalRank:
+    def test_member_query_rank_one(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        assert mean_reciprocal_rank(index, labels, queries) == 1.0
+
+    def test_wrong_label_query(self, labeled_workload):
+        index, labels, __, data = labeled_workload
+        # A query sitting in cluster 0 but labeled 1: the first
+        # same-label neighbor appears only after all 30 cluster-0 points.
+        mrr = mean_reciprocal_rank(index, labels, [(data[0], 1)], max_k=60)
+        assert mrr == pytest.approx(1.0 / 31)
+
+    def test_absent_label_scores_zero(self, labeled_workload):
+        index, labels, __, data = labeled_workload
+        assert mean_reciprocal_rank(index, labels, [(data[0], 99)], max_k=10) == 0.0
+
+    def test_invalid_max_k_rejected(self, labeled_workload):
+        index, labels, queries, __ = labeled_workload
+        with pytest.raises(ValueError, match="max_k"):
+            mean_reciprocal_rank(index, labels, queries, max_k=0)

@@ -1,0 +1,124 @@
+"""Integration matrix: every structure x every workload x query types.
+
+A systematic cross-product safety net on top of the per-structure unit
+tests and the hypothesis suite: each cell builds the structure over the
+workload and checks range + k-NN answers against the oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GNAT,
+    BKTree,
+    DistanceMatrixIndex,
+    DynamicMVPTree,
+    GHTree,
+    GMVPTree,
+    LAESA,
+    LinearScan,
+    MVPTree,
+    VPTree,
+)
+from repro.datasets import (
+    clustered_vectors,
+    synthetic_dna,
+    synthetic_words,
+    uniform_vectors,
+)
+from repro.metric import L1, L2, EditDistance, JaccardDistance
+
+# ---------------------------------------------------------------------
+# Workloads: (objects, metric, queries, radii)
+# ---------------------------------------------------------------------
+
+
+def _uniform():
+    data = uniform_vectors(150, dim=8, rng=1)
+    rng = np.random.default_rng(2)
+    return data, L2(), [rng.random(8) for __ in range(3)], (0.3, 0.8)
+
+
+def _clustered_l1():
+    data = clustered_vectors(8, 20, dim=8, rng=3)
+    rng = np.random.default_rng(4)
+    return data, L1(), [rng.random(8) for __ in range(3)], (0.8, 2.5)
+
+
+def _words():
+    words = synthetic_words(120, rng=5)
+    return words, EditDistance(), ["banana", words[7], "zzz"], (1, 3)
+
+
+def _dna():
+    sequences = synthetic_dna(100, n_families=8, length=25, rng=6)
+    return sequences, EditDistance(), [sequences[0], "ACGT" * 6], (3, 8)
+
+
+def _shingles():
+    rng = np.random.default_rng(7)
+    universe = list(range(40))
+    sets = [
+        frozenset(rng.choice(universe, size=int(rng.integers(3, 12)),
+                             replace=False).tolist())
+        for __ in range(100)
+    ]
+    return sets, JaccardDistance(), [sets[0], frozenset({1, 2, 3})], (0.4, 0.8)
+
+
+WORKLOADS = {
+    "uniform-l2": _uniform,
+    "clustered-l1": _clustered_l1,
+    "words-edit": _words,
+    "dna-edit": _dna,
+    "shingles-jaccard": _shingles,
+}
+
+# ---------------------------------------------------------------------
+# Structures: name -> factory(objects, metric)
+# ---------------------------------------------------------------------
+
+STRUCTURES = {
+    "vpt2": lambda objects, metric: VPTree(objects, metric, m=2, rng=0),
+    "vpt3-bucket": lambda objects, metric: VPTree(
+        objects, metric, m=3, leaf_capacity=4, rng=0
+    ),
+    "mvpt": lambda objects, metric: MVPTree(objects, metric, m=2, k=6, p=3, rng=0),
+    "gmvpt": lambda objects, metric: GMVPTree(
+        objects, metric, m=2, v=3, k=6, p=4, rng=0
+    ),
+    "dynamic-mvpt": lambda objects, metric: DynamicMVPTree(
+        list(objects), metric, m=2, k=6, p=3, rng=0
+    ),
+    "ghtree": lambda objects, metric: GHTree(objects, metric, rng=0),
+    "gnat": lambda objects, metric: GNAT(objects, metric, degree=4, rng=0),
+    "bktree": lambda objects, metric: BKTree(list(objects), metric),
+    "laesa": lambda objects, metric: LAESA(objects, metric, n_pivots=5, rng=0),
+    "matrix": lambda objects, metric: DistanceMatrixIndex(objects, metric),
+}
+
+#: BK-trees require discrete metrics.
+_DISCRETE_ONLY = {"bktree"}
+_DISCRETE_WORKLOADS = {"words-edit", "dna-edit"}
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("structure_name", sorted(STRUCTURES))
+def test_structure_on_workload(structure_name, workload_name):
+    if structure_name in _DISCRETE_ONLY and (
+        workload_name not in _DISCRETE_WORKLOADS
+    ):
+        pytest.skip("BK-tree requires a discrete metric")
+
+    objects, metric, queries, radii = WORKLOADS[workload_name]()
+    index = STRUCTURES[structure_name](objects, metric)
+    oracle = LinearScan(objects, metric)
+
+    for query in queries:
+        for radius in radii:
+            assert index.range_search(query, radius) == oracle.range_search(
+                query, radius
+            ), f"range mismatch at r={radius}"
+        got = index.knn_search(query, 5)
+        expected = oracle.knn_search(query, 5)
+        assert [n.id for n in got] == [n.id for n in expected], "knn mismatch"

@@ -1,0 +1,101 @@
+"""Tests for the shared helpers (including the pruning-slack layer)."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    PRUNE_EPSILON,
+    as_rng,
+    check_non_empty,
+    definitely_greater,
+    definitely_less,
+    gather,
+    slack,
+)
+
+
+class TestAsRng:
+    def test_none_makes_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        assert as_rng(42).integers(1000) == as_rng(42).integers(1000)
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+
+class TestGather:
+    def test_numpy_fancy_indexing(self):
+        data = np.arange(12).reshape(4, 3)
+        out = gather(data, [2, 0])
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, [[6, 7, 8], [0, 1, 2]])
+
+    def test_list_fallback(self):
+        data = ["a", "b", "c"]
+        assert gather(data, [2, 1]) == ["c", "b"]
+
+    def test_empty_ids(self):
+        assert len(gather(np.zeros((5, 2)), [])) == 0
+        assert gather(["x"], []) == []
+
+    def test_range_input(self):
+        data = ["a", "b", "c", "d"]
+        assert gather(data, range(1, 3)) == ["b", "c"]
+
+
+class TestCheckNonEmpty:
+    def test_passes_non_empty(self):
+        check_non_empty([1], "Thing")  # no raise
+
+    def test_raises_with_structure_name(self):
+        with pytest.raises(ValueError, match="Widget"):
+            check_non_empty([], "Widget")
+
+
+class TestPruningSlack:
+    """The floating-point hardening layer: pruning only fires when a
+    bound clears its threshold by more than accumulated float noise."""
+
+    def test_slack_scales_with_magnitude(self):
+        assert slack(0.0) == PRUNE_EPSILON
+        assert slack(1e6) > slack(1.0) > 0
+
+    def test_slack_of_negative_values(self):
+        assert slack(-100.0) == slack(100.0)
+
+    def test_definitely_greater_needs_margin(self):
+        assert definitely_greater(2.0, 1.0)
+        assert not definitely_greater(1.0, 1.0)
+        # One-ulp overshoot is not "definitely greater".
+        assert not definitely_greater(1.0 + 1e-15, 1.0)
+        assert definitely_greater(1.0 + 1e-6, 1.0)
+
+    def test_definitely_less_mirror(self):
+        assert definitely_less(1.0, 2.0)
+        assert not definitely_less(1.0, 1.0)
+        assert not definitely_less(1.0 - 1e-15, 1.0)
+        assert definitely_less(1.0 - 1e-6, 1.0)
+
+    def test_infinities(self):
+        assert not definitely_greater(1.0, float("inf"))
+        assert not definitely_less(1.0, float("-inf"))
+        assert definitely_greater(float("inf"), 1.0)
+        assert definitely_less(float("-inf"), 1.0)
+
+    def test_large_magnitude_tolerance(self):
+        # At image-scale distances (~1e5), relative noise ~1e-10 must
+        # not trigger pruning.
+        base = 123456.789
+        assert not definitely_greater(base + 1e-6, base)
+        assert definitely_greater(base + 1.0, base)
+
+    def test_derived_bound_scenario(self):
+        # The exact failure this layer exists for: (10 - q) - 10 can
+        # exceed -q by an ulp, making a lower bound overshoot the true
+        # distance; the slack absorbs it.
+        q = 1.29814871
+        derived = abs((10.0 - q) - 10.0)  # float-noisy lower bound
+        assert not definitely_greater(derived, q)

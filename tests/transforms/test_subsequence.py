@@ -1,0 +1,131 @@
+"""Tests for subsequence matching ([FRM94])."""
+
+import numpy as np
+import pytest
+
+from repro import MVPTree
+from repro.metric import L2, CountingMetric
+from repro.transforms import SubsequenceIndex, SubsequenceMatch
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(0)
+    return [np.cumsum(rng.normal(0, 1, 300)) for __ in range(4)]
+
+
+@pytest.fixture(scope="module")
+def index(series):
+    return SubsequenceIndex(series, L2(), window=24)
+
+
+def brute_force(series, query, radius, window, stride=1):
+    metric = L2()
+    out = []
+    for series_id, sequence in enumerate(series):
+        for offset in range(0, len(sequence) - window + 1, stride):
+            distance = metric.distance(sequence[offset : offset + window], query)
+            if distance <= radius:
+                out.append((series_id, offset))
+    return out
+
+
+class TestConstruction:
+    def test_window_count(self, series, index):
+        expected = sum(len(s) - 24 + 1 for s in series)
+        assert index.n_windows == expected
+
+    def test_validation(self, series):
+        with pytest.raises(ValueError, match="window"):
+            SubsequenceIndex(series, L2(), window=1)
+        with pytest.raises(ValueError, match="stride"):
+            SubsequenceIndex(series, L2(), window=8, stride=0)
+        with pytest.raises(ValueError, match="at least one"):
+            SubsequenceIndex([], L2(), window=8)
+        with pytest.raises(ValueError, match="length"):
+            SubsequenceIndex([np.zeros(4)], L2(), window=8)
+
+    def test_custom_index_factory(self, series):
+        index = SubsequenceIndex(
+            series,
+            L2(),
+            window=24,
+            index_factory=lambda data, metric: MVPTree(
+                data, metric, m=2, k=20, p=4, rng=0
+            ),
+        )
+        query = series[0][10:34]
+        assert index.best_match(query).offset == 10
+
+
+class TestRangeSearch:
+    def test_finds_exact_window(self, series, index):
+        query = series[1][77:101]
+        matches = index.range_search(query, 0.0)
+        assert SubsequenceMatch(0.0, 1, 77) in matches
+
+    @pytest.mark.parametrize("radius", [0.0, 0.5, 2.0, 8.0])
+    def test_matches_brute_force(self, series, index, radius):
+        query = series[2][150:174]
+        got = [(m.series_id, m.offset) for m in index.range_search(query, radius)]
+        assert got == brute_force(series, query, radius, 24)
+
+    def test_novel_pattern(self, series, index):
+        rng = np.random.default_rng(5)
+        query = np.cumsum(rng.normal(0, 1, 24))
+        radius = 10.0
+        got = [(m.series_id, m.offset) for m in index.range_search(query, radius)]
+        assert got == brute_force(series, query, radius, 24)
+
+    def test_distances_reported_correctly(self, series, index):
+        query = series[0][5:29] + 0.1
+        for match in index.range_search(query, 5.0):
+            window = series[match.series_id][match.offset : match.offset + 24]
+            assert match.distance == pytest.approx(L2().distance(window, query))
+
+    def test_wrong_query_length_rejected(self, index):
+        with pytest.raises(ValueError, match="query length"):
+            index.range_search(np.zeros(10), 1.0)
+
+    def test_cost_far_below_window_count(self, series):
+        counting = CountingMetric(L2())
+        index = SubsequenceIndex(series, counting, window=24)
+        counting.reset()
+        index.range_search(series[0][30:54], 0.5)
+        assert counting.count < index.n_windows / 10
+
+
+class TestKnnSearch:
+    def test_exact_window_is_best(self, series, index):
+        query = series[3][200:224]
+        best = index.best_match(query)
+        assert (best.series_id, best.offset) == (3, 200)
+        assert best.distance == pytest.approx(0.0)
+
+    def test_k_results_sorted(self, series, index):
+        query = series[0][0:24]
+        matches = index.knn_search(query, 5)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+        assert len(matches) == 5
+
+    def test_overlapping_windows_rank_nearby(self, series, index):
+        # Neighboring offsets of a smooth series are the next-best
+        # matches after the exact window.
+        query = series[1][120:144]
+        matches = index.knn_search(query, 3)
+        assert all(m.series_id == 1 for m in matches)
+        assert {m.offset for m in matches} <= set(range(110, 131))
+
+
+class TestStride:
+    def test_stride_reduces_windows(self, series):
+        dense = SubsequenceIndex(series, L2(), window=24, stride=1)
+        sparse = SubsequenceIndex(series, L2(), window=24, stride=4)
+        assert sparse.n_windows < dense.n_windows / 3
+
+    def test_stride_matches_brute_force_at_stride(self, series):
+        index = SubsequenceIndex(series, L2(), window=24, stride=4)
+        query = series[0][8:32]  # offset 8 = 2 * stride
+        got = [(m.series_id, m.offset) for m in index.range_search(query, 1.0)]
+        assert got == brute_force(series, query, 1.0, 24, stride=4)

@@ -1,0 +1,240 @@
+"""Tests for the distance-preserving transforms (paper section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan
+from repro.datasets import random_walk_series, seasonal_series
+from repro.metric import L1, L2, CountingMetric, FunctionMetric
+from repro.transforms import (
+    BlockAggregateTransform,
+    ContractionViolation,
+    DFTTransform,
+    TransformIndex,
+    check_contractive,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return random_walk_series(200, length=64, rng=0)
+
+
+class TestDFTTransform:
+    def test_output_shape(self):
+        assert DFTTransform(5).transform(np.zeros(32)).shape == (10,)
+
+    def test_batch_matches_singles(self, series):
+        transform = DFTTransform(6)
+        batch = transform.transform_batch(series[:10])
+        singles = np.stack([transform.transform(s) for s in series[:10]])
+        np.testing.assert_allclose(batch, singles, atol=1e-12)
+
+    def test_contractive_on_random_walks(self, series):
+        assert check_contractive(
+            DFTTransform(6), L2(), series, rng=1
+        ) == []
+
+    def test_full_spectrum_preserves_l2(self):
+        # Parseval: keeping all one-sided bins preserves the distance
+        # (length // 2 + 1 of them for real series).
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(2, 16))
+        transform = DFTTransform(9)
+        exact = L2().distance(a, b)
+        transformed = L2().distance(transform(a), transform(b))
+        assert transformed == pytest.approx(exact)
+
+    def test_odd_length_full_spectrum(self):
+        rng = np.random.default_rng(7)
+        a, b = rng.normal(size=(2, 15))
+        transform = DFTTransform(8)  # 15 // 2 + 1
+        assert L2().distance(transform(a), transform(b)) == pytest.approx(
+            L2().distance(a, b)
+        )
+
+    def test_more_coefficients_tighter_bound(self, series):
+        a, b = series[0], series[1]
+        true_distance = L2().distance(a, b)
+        previous = -1.0
+        for c in (1, 4, 16, 33):
+            transform = DFTTransform(c)
+            bound = L2().distance(transform(a), transform(b))
+            assert bound <= true_distance + 1e-9
+            assert bound >= previous - 1e-9
+            previous = bound
+
+    def test_random_walk_energy_concentrates(self, series):
+        # The premise of [AFA93]: few coefficients capture most energy,
+        # so the lower bound is tight.
+        a, b = series[2], series[3]
+        transform = DFTTransform(8)
+        bound = L2().distance(transform(a), transform(b))
+        assert bound > 0.9 * L2().distance(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_coefficients"):
+            DFTTransform(0)
+        with pytest.raises(ValueError, match="exceeds"):
+            DFTTransform(10).transform(np.zeros(4))
+
+    def test_length_mismatch_rejected(self):
+        transform = DFTTransform(3, series_length=16)
+        with pytest.raises(ValueError, match="does not match"):
+            transform.transform(np.zeros(32))
+
+
+class TestBlockAggregateTransform:
+    def test_output_shape(self):
+        assert BlockAggregateTransform(4, p=1).transform(np.zeros(17)).shape == (4,)
+
+    def test_batch_matches_singles(self, series):
+        for p in (1, 2):
+            transform = BlockAggregateTransform(7, p=p)
+            batch = transform.transform_batch(series[:8])
+            singles = np.stack([transform.transform(s) for s in series[:8]])
+            np.testing.assert_allclose(batch, singles, atol=1e-12)
+
+    def test_contractive_l1(self, series):
+        assert check_contractive(
+            BlockAggregateTransform(8, p=1), L1(), series, rng=3
+        ) == []
+
+    def test_contractive_l2(self, series):
+        assert check_contractive(
+            BlockAggregateTransform(8, p=2), L2(), series, rng=3
+        ) == []
+
+    def test_contractive_with_scaled_source(self, series):
+        transform = BlockAggregateTransform(8, p=1, source_scale=100.0)
+        assert check_contractive(
+            transform, L1(scale=100.0), series, rng=4
+        ) == []
+
+    def test_uneven_block_sizes(self):
+        # length 10 into 3 blocks: sizes 4, 3, 3 (array_split rule).
+        transform = BlockAggregateTransform(3, p=1)
+        out = transform.transform(np.ones(10))
+        np.testing.assert_allclose(out, [4.0, 3.0, 3.0])
+
+    def test_single_block_is_total_sum(self):
+        transform = BlockAggregateTransform(1, p=1)
+        assert transform.transform(np.arange(5.0))[0] == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_blocks"):
+            BlockAggregateTransform(0)
+        with pytest.raises(ValueError, match="p must be"):
+            BlockAggregateTransform(4, p=3)
+        with pytest.raises(ValueError, match="source_scale"):
+            BlockAggregateTransform(4, source_scale=0)
+        with pytest.raises(ValueError, match="shorter"):
+            BlockAggregateTransform(10, p=1).transform(np.zeros(4))
+
+
+class TestCheckContractive:
+    def test_catches_expansion(self, series):
+        # A fake "transform" that scales up is not contractive.
+        class Expanding(DFTTransform):
+            def transform(self, obj):
+                return 10.0 * super().transform(obj)
+
+        violations = check_contractive(Expanding(4), L2(), series, rng=5)
+        assert violations
+        assert isinstance(violations[0], ContractionViolation)
+        assert violations[0].transformed_distance > violations[0].true_distance
+
+    def test_needs_two_objects(self, series):
+        with pytest.raises(ValueError, match="two objects"):
+            check_contractive(DFTTransform(2), L2(), series[:1])
+
+
+class TestTransformIndex:
+    @pytest.fixture(scope="class")
+    def index_and_oracle(self, series):
+        metric = L2()
+        return (
+            TransformIndex(series, metric, DFTTransform(6)),
+            LinearScan(series, metric),
+        )
+
+    @pytest.mark.parametrize("radius", [0.0, 3.0, 15.0, 100.0])
+    def test_range_matches_oracle(self, index_and_oracle, series, radius):
+        index, oracle = index_and_oracle
+        for query in (series[0], series[50], random_walk_series(1, 64, rng=9)[0]):
+            assert index.range_search(query, radius) == oracle.range_search(
+                query, radius
+            )
+
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_knn_matches_oracle(self, index_and_oracle, series, k):
+        index, oracle = index_and_oracle
+        for query in (series[1], random_walk_series(1, 64, rng=10)[0]):
+            got = index.knn_search(query, k)
+            expected = oracle.knn_search(query, k)
+            assert [n.id for n in got] == [n.id for n in expected]
+
+    def test_refinement_cost_below_linear(self, series):
+        counting = CountingMetric(L2())
+        index = TransformIndex(series, counting, DFTTransform(6))
+        assert counting.count == 0  # transform costs no true distances
+        index.knn_search(series[0], 5)
+        assert 0 < counting.count < len(series)
+
+    def test_block_aggregate_on_images(self):
+        from repro.datasets import image_metric_scales, synthetic_mri_images
+
+        images = synthetic_mri_images(80, size=32, rng=6)
+        l1_scale, __ = image_metric_scales(32)
+        metric = L1(scale=l1_scale)
+        transform = BlockAggregateTransform(16, p=1, source_scale=l1_scale)
+        index = TransformIndex(images, metric, transform)
+        oracle = LinearScan(images, metric)
+        for radius in (20.0, 60.0):
+            assert index.range_search(images[3], radius) == oracle.range_search(
+                images[3], radius
+            )
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TransformIndex(np.empty((0, 8)), L2(), DFTTransform(2))
+
+
+class TestTimeSeriesGenerators:
+    def test_random_walk_shape_and_determinism(self):
+        a = random_walk_series(5, length=32, rng=1)
+        b = random_walk_series(5, length=32, rng=1)
+        assert a.shape == (5, 32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            random_walk_series(0)
+        with pytest.raises(ValueError, match="step_std"):
+            random_walk_series(5, step_std=0)
+
+    def test_seasonal_labels_and_clustering(self):
+        series, labels = seasonal_series(
+            120, length=64, n_patterns=4, rng=2, return_labels=True
+        )
+        assert series.shape == (120, 64)
+        assert set(labels) <= set(range(4))
+        # Same-pattern series are closer than cross-pattern ones.
+        metric = L2()
+        rng = np.random.default_rng(3)
+        within, between = [], []
+        for __ in range(400):
+            i, j = rng.integers(0, 120, 2)
+            if i == j:
+                continue
+            d = metric.distance(series[i], series[j])
+            (within if labels[i] == labels[j] else between).append(d)
+        assert np.mean(within) < 0.7 * np.mean(between)
+
+    def test_seasonal_validation(self):
+        with pytest.raises(ValueError, match="length >= 4"):
+            seasonal_series(5, length=2)
+        with pytest.raises(ValueError, match="n_patterns"):
+            seasonal_series(5, n_patterns=0)
+        with pytest.raises(ValueError, match="noise"):
+            seasonal_series(5, noise=-1)
