@@ -8,7 +8,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro import GNAT, MVPTree, VPTree
 from repro.datasets import uniform_vectors

@@ -14,10 +14,10 @@ matrix.  The expected picture:
 import numpy as np
 
 from repro import (
-    DistanceMatrixIndex,
-    GHTree,
     GNAT,
     LAESA,
+    DistanceMatrixIndex,
+    GHTree,
     MVPTree,
     VPTree,
 )

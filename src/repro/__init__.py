@@ -19,17 +19,25 @@ Quick start::
 
 from repro.core import DynamicMVPTree, GMVPTree, MVPTree
 from repro.indexes import (
+    GNAT,
+    LAESA,
     BKTree,
     DistanceMatrixIndex,
     GHTree,
-    GNAT,
-    LAESA,
     LinearScan,
     MetricIndex,
     Neighbor,
     VPTree,
 )
 from repro.metric import CountingMetric, Metric
+from repro.obs import (
+    NullTraceSink,
+    QueryStats,
+    RecordingTraceSink,
+    StatsSummary,
+    TraceSink,
+    summarize,
+)
 from repro.transforms import TransformIndex
 
 __version__ = "1.0.0"
@@ -50,5 +58,11 @@ __all__ = [
     "Neighbor",
     "Metric",
     "CountingMetric",
+    "QueryStats",
+    "StatsSummary",
+    "summarize",
+    "TraceSink",
+    "NullTraceSink",
+    "RecordingTraceSink",
     "__version__",
 ]

@@ -12,18 +12,18 @@ the data items are kept in the leaves".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 import numpy as np
 
 from repro.core.gmvptree import GMVPLeafNode, GMVPTree
 from repro.core.mvptree import MVPTree
-from repro.core.nodes import MVPInternalNode, MVPLeafNode
+from repro.core.nodes import MVPLeafNode
 from repro.indexes.base import MetricIndex
 from repro.indexes.bktree import BKNode, BKTree
-from repro.indexes.ghtree import GHInternalNode, GHLeafNode, GHTree
-from repro.indexes.gnat import GNAT, GNATInternalNode, GNATLeafNode
-from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
+from repro.indexes.ghtree import GHLeafNode, GHTree
+from repro.indexes.gnat import GNAT, GNATLeafNode
+from repro.indexes.vptree import VPLeafNode, VPTree
 
 
 @dataclass

@@ -20,7 +20,6 @@ or from code::
 
 from repro.bench.compare import Comparison, compare_archives, load_records
 from repro.bench.figures import ALL_EXPERIMENTS, get_experiment
-from repro.bench.stability import StabilityResult, run_stability
 from repro.bench.runner import (
     HistogramResult,
     SearchResult,
@@ -35,6 +34,7 @@ from repro.bench.spec import (
     mvpt,
     vpt,
 )
+from repro.bench.stability import StabilityResult, run_stability
 
 __all__ = [
     "ALL_EXPERIMENTS",

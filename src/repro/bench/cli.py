@@ -6,6 +6,12 @@ Examples::
     repro-bench --figure fig8 --scale 0.1
     repro-bench --all --scale 0.05 --seed 1
     python -m repro.bench --figure fig10 --verify
+    repro-bench stats --figure fig8 --scale 0.05
+
+The ``stats`` subcommand reruns search experiments with per-query
+observability on (:class:`~repro.obs.QueryStats`) and prints the
+per-bound prune breakdown instead of the cost table (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench.figures import ALL_EXPERIMENTS, get_experiment
-from repro.bench.report import experiments_md_block
+from repro.bench.report import experiments_md_block, format_stats_result
 from repro.bench.runner import run_experiment
 from repro.bench.spec import ExperimentSpec
 
@@ -71,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    collect_stats = False
+    if argv and argv[0] == "stats":
+        # ``repro-bench stats ...``: same flags, but range searches run
+        # with a QueryStats recorder and the report shows the per-bound
+        # prune breakdown (histogram experiments have no searches and
+        # are rejected below).
+        collect_stats = True
+        argv = argv[1:]
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -95,14 +111,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             spec = get_experiment(figure_id)
         except ValueError as error:
             parser.error(str(error))
+        if collect_stats and not isinstance(spec, ExperimentSpec):
+            parser.error(
+                f"'{figure_id}' is a histogram experiment; "
+                "'repro-bench stats' needs a search experiment"
+            )
         result = run_experiment(
             spec,
             scale=args.scale,
             seed=args.seed,
             verify=args.verify,
             progress=progress,
+            collect_stats=collect_stats,
         )
-        print(result.report())
+        if collect_stats:
+            print(format_stats_result(result))
+        else:
+            print(result.report())
         if args.markdown:
             print()
             print(experiments_md_block(result))

@@ -95,6 +95,94 @@ def format_search_result(result: "SearchResult") -> str:
     return "\n".join(lines)
 
 
+def format_stats_result(result: "SearchResult") -> str:
+    """Render the per-query observability breakdown of a search result.
+
+    Requires the experiment to have run with ``collect_stats=True``
+    (``repro-bench stats ...``); raises ``ValueError`` otherwise.  For
+    every structure and query range it prints the distance-call
+    percentiles, the node-visit split, the leaf-point economy, and the
+    per-bound prune breakdown — the section-4.3 bounds made visible
+    (see ``docs/observability.md`` for the column vocabulary).
+    """
+    spec = result.spec
+    if not any(s.search_stats for s in result.structures):
+        raise ValueError(
+            "no per-query stats in this result; rerun with collect_stats=True"
+        )
+
+    lines = [
+        spec.title + " — per-query observability",
+        _rule(len(spec.title) + len(" — per-query observability")),
+        (
+            f"n={result.n_objects} objects, {result.n_queries} queries x "
+            f"{spec.n_runs} runs, scale={result.scale:g}, seed={result.seed}"
+        ),
+    ]
+
+    for structure in result.structures:
+        if not structure.search_stats:
+            continue
+        lines.append("")
+        lines.append(structure.name)
+        lines.append(_rule(len(structure.name)))
+
+        prune_kinds = sorted(
+            {
+                kind
+                for summary in structure.search_stats.values()
+                for kind in summary.prunes_mean
+            }
+        )
+        header = (
+            "range".ljust(8)
+            + "calls(mean/p50/p95)".rjust(22)
+            + "nodes".rjust(8)
+            + "seen".rjust(9)
+            + "scanned".rjust(9)
+            + "filtered".rjust(9)
+        )
+        lines.append(header)
+        lines.append(_rule(len(header)))
+        for radius in spec.radii:
+            summary = structure.search_stats[radius]
+            calls = (
+                f"{summary.distance_calls_mean:.1f}/"
+                f"{summary.distance_calls_p50:.0f}/"
+                f"{summary.distance_calls_p95:.0f}"
+            )
+            lines.append(
+                f"{radius:g}".ljust(8)
+                + calls.rjust(22)
+                + f"{summary.nodes_visited_mean:.1f}".rjust(8)
+                + f"{summary.leaf_points_seen_mean:.1f}".rjust(9)
+                + f"{summary.leaf_points_scanned_mean:.1f}".rjust(9)
+                + f"{summary.leaf_points_filtered_mean:.1f}".rjust(9)
+            )
+        if prune_kinds:
+            lines.append("")
+            lines.append("  prunes per query (mean):")
+            kind_width = max(len("range"), 8)
+            col_width = max(12, max(len(kind) for kind in prune_kinds) + 2)
+            header = "range".ljust(kind_width) + "".join(
+                kind.rjust(col_width) for kind in prune_kinds
+            )
+            lines.append("  " + header)
+            lines.append("  " + _rule(len(header)))
+            for radius in spec.radii:
+                summary = structure.search_stats[radius]
+                row = f"{radius:g}".ljust(kind_width)
+                for kind in prune_kinds:
+                    row += f"{summary.prunes_mean.get(kind, 0.0):.1f}".rjust(
+                        col_width
+                    )
+                lines.append("  " + row)
+
+    lines.append("")
+    lines.append(f"(elapsed {result.elapsed_seconds:.1f}s)")
+    return "\n".join(lines)
+
+
 _CHART_MARKS = "ox+s#@%&"
 
 

@@ -19,10 +19,11 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.bench.spec import ExperimentSpec, HistogramSpec, StructureSpec, Workload
+from repro.bench.spec import ExperimentSpec, HistogramSpec
 from repro.datasets.histograms import DistanceHistogram, distance_histogram
 from repro.indexes.linear import LinearScan
 from repro.metric.base import CountingMetric
+from repro.obs import QueryStats, StatsSummary, summarize
 
 
 @dataclass
@@ -35,6 +36,10 @@ class StructureResult:
     search_distances: dict[float, float] = field(default_factory=dict)
     #: radius -> average answer-set size
     result_sizes: dict[float, float] = field(default_factory=dict)
+    #: radius -> per-query observability summary (populated only when the
+    #: experiment ran with ``collect_stats=True``; pools queries from all
+    #: runs, so percentiles cover ``n_runs * n_queries`` samples)
+    search_stats: dict[float, StatsSummary] = field(default_factory=dict)
 
 
 @dataclass
@@ -56,7 +61,9 @@ class SearchResult:
                 return result
         raise KeyError(f"no structure named {name!r} in this result")
 
-    def improvement(self, name: str, radius: float, baseline: Optional[str] = None) -> float:
+    def improvement(
+        self, name: str, radius: float, baseline: Optional[str] = None
+    ) -> float:
         """Fraction fewer distance computations than the baseline.
 
         Matches the paper's phrasing: 0.40 means "40% less distance
@@ -97,6 +104,16 @@ class SearchResult:
                     "result_sizes": {
                         str(r): c for r, c in s.result_sizes.items()
                     },
+                    **(
+                        {
+                            "search_stats": {
+                                str(r): summary.to_dict()
+                                for r, summary in s.search_stats.items()
+                            }
+                        }
+                        if s.search_stats
+                        else {}
+                    ),
                 }
                 for s in self.structures
             },
@@ -148,6 +165,7 @@ def run_experiment(
     seed: int = 0,
     verify: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    collect_stats: bool = False,
 ) -> Union[SearchResult, HistogramResult]:
     """Run one experiment spec and return its result object.
 
@@ -166,12 +184,16 @@ def run_experiment(
         experiments only; slow but exact).
     progress:
         Optional callback receiving one human-readable line per step.
+    collect_stats:
+        Pass a :class:`~repro.obs.QueryStats` into every range search and
+        aggregate per-bound prune breakdowns into
+        :attr:`StructureResult.search_stats` (search experiments only).
     """
     if not 0 < scale <= 1:
         raise ValueError(f"scale must be in (0, 1], got {scale}")
     if isinstance(spec, HistogramSpec):
         return _run_histogram(spec, scale, seed, progress)
-    return _run_search(spec, scale, seed, verify, progress)
+    return _run_search(spec, scale, seed, verify, progress, collect_stats)
 
 
 def _say(progress: Optional[Callable[[str], None]], message: str) -> None:
@@ -204,7 +226,12 @@ def _run_histogram(
 
 
 def _run_search(
-    spec: ExperimentSpec, scale: float, seed: int, verify: bool, progress
+    spec: ExperimentSpec,
+    scale: float,
+    seed: int,
+    verify: bool,
+    progress,
+    collect_stats: bool = False,
 ) -> SearchResult:
     started = time.perf_counter()
     root = np.random.default_rng(seed)
@@ -244,6 +271,9 @@ def _run_search(
         accumulated = StructureResult(structure_spec.name, 0.0)
         totals: dict[float, float] = {radius: 0.0 for radius in spec.radii}
         sizes: dict[float, float] = {radius: 0.0 for radius in spec.radii}
+        stats_pool: dict[float, list[QueryStats]] = {
+            radius: [] for radius in spec.radii
+        }
         build_total = 0.0
 
         for run, run_seed in enumerate(run_seeds):
@@ -257,7 +287,14 @@ def _run_search(
                 counting.reset()
                 answer_total = 0
                 for query in query_pools[run]:
-                    answer = index.range_search(query, radius)
+                    if collect_stats:
+                        query_stats = QueryStats()
+                        answer = index.range_search(
+                            query, radius, stats=query_stats
+                        )
+                        stats_pool[radius].append(query_stats)
+                    else:
+                        answer = index.range_search(query, radius)
                     answer_total += len(answer)
                     if oracle is not None:
                         expected = oracle.range_search(query, radius)
@@ -282,6 +319,10 @@ def _run_search(
         accumulated.result_sizes = {
             radius: sizes[radius] / spec.n_runs for radius in spec.radii
         }
+        if collect_stats:
+            accumulated.search_stats = {
+                radius: summarize(stats_pool[radius]) for radius in spec.radii
+            }
         result.structures.append(accumulated)
 
     result.elapsed_seconds = time.perf_counter() - started

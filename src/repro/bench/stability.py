@@ -12,7 +12,7 @@ across seeds (the property the paper's conclusions rest on).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -84,7 +84,8 @@ class StabilityResult:
             winners = self.winner_per_seed(radius)
             stable = "stable" if self.ranking_is_stable(radius) else "UNSTABLE"
             lines.append(
-                f"winner at r={radius:g}: {winners[0] if stable == 'stable' else winners} "
+                f"winner at r={radius:g}: "
+                f"{winners[0] if stable == 'stable' else winners} "
                 f"[{stable}]"
             )
         return "\n".join(lines)

@@ -21,11 +21,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import (
+    GNAT,
+    LAESA,
     BKTree,
     DistanceMatrixIndex,
     GHTree,
-    GNAT,
-    LAESA,
     LinearScan,
     MVPTree,
     VPTree,

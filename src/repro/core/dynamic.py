@@ -34,16 +34,19 @@ somewhat more than on a freshly built one (quantified in
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
 from repro._util import RngLike, as_rng, gather
 from repro.core.mvptree import MVPTree
-from repro.core.nodes import MVPInternalNode, MVPLeafNode
+from repro.core.nodes import MVPLeafNode
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.indexes.selection import VantagePointSelector, get_selector
 from repro.metric.base import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs import QueryStats, TraceSink
 
 
 class DynamicMVPTree(MVPTree):
@@ -349,11 +352,18 @@ class DynamicMVPTree(MVPTree):
     # Queries (filtering tombstones)
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional["QueryStats"] = None,
+        trace: Optional["TraceSink"] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
         if self._root is None:
             return []
-        hits = super().range_search(query, radius)
+        hits = super().range_search(query, radius, stats=stats, trace=trace)
         if not self._deleted:
             return hits
         return [idx for idx in hits if idx not in self._deleted]
@@ -367,7 +377,15 @@ class DynamicMVPTree(MVPTree):
             return hits
         return [idx for idx in hits if idx not in self._deleted]
 
-    def knn_search(self, query, k: int, epsilon: float = 0.0) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional["QueryStats"] = None,
+        trace: Optional["TraceSink"] = None,
+    ) -> list[Neighbor]:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if self._root is None:
@@ -375,7 +393,9 @@ class DynamicMVPTree(MVPTree):
         # Over-fetch by the tombstone count so k live answers survive
         # the filter (bounded by the rebuild threshold).
         fetch = min(len(self._objects), k + len(self._deleted))
-        raw = super().knn_search(query, fetch, epsilon=epsilon)
+        raw = super().knn_search(
+            query, fetch, epsilon=epsilon, stats=stats, trace=trace
+        )
         live = [n for n in raw if n.id not in self._deleted]
         return live[:k]
 

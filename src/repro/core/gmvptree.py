@@ -46,6 +46,14 @@ from repro._util import (
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.indexes.selection import VantagePointSelector, get_selector
 from repro.metric.base import Metric
+from repro.obs.stats import (
+    PRUNE_KNN_RADIUS,
+    PRUNE_PATH_FILTER,
+    QueryStats,
+    leaf_dist_kind,
+    vp_shell_kind,
+)
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class GMVPInternalNode:
@@ -307,11 +315,19 @@ class GMVPTree(MetricIndex):
     # Range search
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         out: list[int] = []
         path_q = np.full(self.p, np.nan)
-        self._range(self._root, query, radius, path_q, 1, out)
+        self._range(self._root, query, radius, path_q, 1, out, obs)
         out.sort()
         return out
 
@@ -323,9 +339,18 @@ class GMVPTree(MetricIndex):
             ]
         )
 
-    def _range(self, node: _Node, query, radius, path_q, level, out) -> None:
+    def _range(
+        self, node: _Node, query, radius, path_q, level, out,
+        obs: Optional[Observation] = None,
+    ) -> None:
         if node is None:
             return
+        if obs is not None:
+            if isinstance(node, GMVPLeafNode):
+                obs.enter_leaf(len(node.ids))
+            else:
+                obs.enter_internal()
+            obs.distance(len(node.vp_ids))
         dq = self._vp_distances(node, query)
         out.extend(
             vp_id for vp_id, d in zip(node.vp_ids, dq) if d <= radius
@@ -337,13 +362,29 @@ class GMVPTree(MetricIndex):
             loose = radius + slack(radius)
             mask = np.ones(len(node.ids), dtype=bool)
             for t in range(len(node.vp_ids)):
-                mask &= np.abs(node.dists[t] - dq[t]) <= loose
+                mask_t = np.abs(node.dists[t] - dq[t]) <= loose
+                if obs is not None:
+                    # First-bound-wins attribution: count only points
+                    # the t-th distance array newly eliminated.
+                    obs.filter_points(
+                        leaf_dist_kind(t), int(np.count_nonzero(mask & ~mask_t))
+                    )
+                mask &= mask_t
             if node.path_len:
-                mask &= np.all(
+                path_mask = np.all(
                     np.abs(node.paths - path_q[: node.path_len]) <= loose,
                     axis=1,
                 )
+                if obs is not None:
+                    obs.filter_points(
+                        PRUNE_PATH_FILTER,
+                        int(np.count_nonzero(mask & ~path_mask)),
+                    )
+                mask &= path_mask
             candidates = [node.ids[i] for i in np.nonzero(mask)[0]]
+            if obs is not None:
+                obs.leaf_scan(len(node.ids), len(candidates))
+                obs.distance(len(candidates))
             if candidates:
                 distances = self._metric.batch_distance(
                     gather(self._objects, candidates), query
@@ -367,19 +408,30 @@ class GMVPTree(MetricIndex):
                     dq[t] + radius, lo
                 ):
                     pruned = True
+                    if obs is not None:
+                        obs.prune(vp_shell_kind(t))
                     break
             if not pruned:
-                self._range(child, query, radius, path_q, level + self.v, out)
+                self._range(child, query, radius, path_q, level + self.v, out, obs)
 
     # ------------------------------------------------------------------
     # k-NN search
     # ------------------------------------------------------------------
 
-    def knn_search(self, query, k: int, epsilon: float = 0.0) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         """Best-first k-NN, optionally (1+epsilon)-approximate."""
         k = self.validate_k(k)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        obs = make_observation(stats, trace)
         approximation = 1.0 + epsilon
         best: list[tuple[float, int]] = []
 
@@ -402,14 +454,23 @@ class GMVPTree(MetricIndex):
             if node is None or definitely_greater(
                 lower_bound * approximation, threshold()
             ):
+                if obs is not None and node is not None:
+                    obs.prune(PRUNE_KNN_RADIUS)
                 continue
+            if obs is not None:
+                if isinstance(node, GMVPLeafNode):
+                    obs.enter_leaf(len(node.ids))
+                else:
+                    obs.enter_internal()
+                obs.distance(len(node.vp_ids))
             dq = self._vp_distances(node, query)
             for vp_id, d in zip(node.vp_ids, dq):
                 consider(float(d), vp_id)
 
             if isinstance(node, GMVPLeafNode):
                 self._knn_scan_leaf(
-                    node, query, dq, path_q, consider, threshold, approximation
+                    node, query, dq, path_q, consider, threshold, approximation,
+                    obs,
                 )
                 continue
 
@@ -423,20 +484,30 @@ class GMVPTree(MetricIndex):
                 if child is None:
                     continue
                 bound = lower_bound
+                bound_t = -1  # which vp's shell bound is decisive
                 for t, (lo, hi) in enumerate(child_bounds):
-                    bound = max(bound, dq[t] - hi, lo - dq[t])
+                    shell = max(dq[t] - hi, lo - dq[t])
+                    if shell > bound:
+                        bound = shell
+                        bound_t = t
                 if not definitely_greater(bound * approximation, threshold()):
                     heapq.heappush(
                         frontier,
                         (bound, next(counter), child, child_path_t, level + self.v),
                     )
+                elif obs is not None:
+                    if bound_t >= 0:
+                        obs.prune(vp_shell_kind(bound_t))
+                    else:
+                        obs.prune(PRUNE_KNN_RADIUS)
 
         return sorted(
             (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)
         )
 
     def _knn_scan_leaf(
-        self, node, query, dq, path_q, consider, threshold, approximation
+        self, node, query, dq, path_q, consider, threshold, approximation,
+        obs: Optional[Observation] = None,
     ) -> None:
         if not node.ids:
             return
@@ -448,11 +519,17 @@ class GMVPTree(MetricIndex):
             lower = np.maximum(
                 lower, np.max(np.abs(node.paths - window), axis=1, initial=0.0)
             )
+        scanned = 0
         for pos in np.argsort(lower, kind="stable"):
             if definitely_greater(float(lower[pos]) * approximation, threshold()):
                 break
+            scanned += 1
             distance = self._metric.distance(query, self._objects[node.ids[pos]])
             consider(float(distance), node.ids[pos])
+        if obs is not None:
+            obs.filter_points(PRUNE_KNN_RADIUS, len(node.ids) - scanned)
+            obs.leaf_scan(len(node.ids), scanned)
+            obs.distance(scanned)
 
     @property
     def root(self) -> _Node:

@@ -44,6 +44,16 @@ from repro.core.nodes import MVPInternalNode, MVPLeafNode
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.indexes.selection import VantagePointSelector, get_selector
 from repro.metric.base import Metric
+from repro.obs.stats import (
+    PRUNE_KNN_RADIUS,
+    PRUNE_LEAF_D1,
+    PRUNE_LEAF_D2,
+    PRUNE_PATH_FILTER,
+    PRUNE_VP1_SHELL,
+    PRUNE_VP2_SHELL,
+    QueryStats,
+)
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 _Node = Union[MVPInternalNode, MVPLeafNode, None]
 
@@ -326,11 +336,19 @@ class MVPTree(MetricIndex):
     # Range search (paper section 4.3)
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         out: list[int] = []
         path_q = np.full(self.p, np.nan)
-        self._range(self._root, query, radius, path_q, 1, out)
+        self._range(self._root, query, radius, path_q, 1, out, obs)
         out.sort()
         return out
 
@@ -342,16 +360,26 @@ class MVPTree(MetricIndex):
         path_q: np.ndarray,
         level: int,
         out: list[int],
+        obs: Optional[Observation] = None,
     ) -> None:
         if node is None:
             return
+        is_leaf = isinstance(node, MVPLeafNode)
+        if obs is not None:
+            if is_leaf:
+                obs.enter_leaf(len(node.ids))
+            else:
+                obs.enter_internal()
+            obs.distance()
         dq1 = self._metric.distance(query, self._objects[node.vp1_id])
         if dq1 <= radius:
             out.append(node.vp1_id)
 
-        if isinstance(node, MVPLeafNode):
+        if is_leaf:
             if node.vp2_id is None:
                 return
+            if obs is not None:
+                obs.distance()
             dq2 = self._metric.distance(query, self._objects[node.vp2_id])
             if dq2 <= radius:
                 out.append(node.vp2_id)
@@ -364,14 +392,30 @@ class MVPTree(MetricIndex):
             # subtractions that may overshoot the exact value, and a
             # borderline candidate must be computed rather than dropped.
             loose_radius = radius + slack(radius)
-            mask = np.abs(node.d1 - dq1) <= loose_radius
-            mask &= np.abs(node.d2 - dq2) <= loose_radius
+            mask1 = np.abs(node.d1 - dq1) <= loose_radius
+            mask = mask1 & (np.abs(node.d2 - dq2) <= loose_radius)
+            if obs is not None:
+                obs.filter_points(
+                    PRUNE_LEAF_D1, int(np.count_nonzero(~mask1))
+                )
+                obs.filter_points(
+                    PRUNE_LEAF_D2, int(np.count_nonzero(mask1 & ~mask))
+                )
             if node.path_len:
-                mask &= np.all(
+                path_mask = np.all(
                     np.abs(node.paths - path_q[: node.path_len]) <= loose_radius,
                     axis=1,
                 )
+                if obs is not None:
+                    obs.filter_points(
+                        PRUNE_PATH_FILTER,
+                        int(np.count_nonzero(mask & ~path_mask)),
+                    )
+                mask &= path_mask
             candidates = [node.ids[i] for i in np.nonzero(mask)[0]]
+            if obs is not None:
+                obs.leaf_scan(len(node.ids), len(candidates))
+                obs.distance(len(candidates))
             if candidates:
                 distances = self._metric.batch_distance(
                     gather(self._objects, candidates), query
@@ -383,6 +427,8 @@ class MVPTree(MetricIndex):
                 )
             return
 
+        if obs is not None:
+            obs.distance()
         dq2 = self._metric.distance(query, self._objects[node.vp2_id])
         if dq2 <= radius:
             out.append(node.vp2_id)
@@ -397,6 +443,10 @@ class MVPTree(MetricIndex):
             if definitely_greater(dq1 - radius, hi1) or definitely_less(
                 dq1 + radius, lo1
             ):
+                if obs is not None and any(
+                    node.children[i * m + j] is not None for j in range(m)
+                ):
+                    obs.prune(PRUNE_VP1_SHELL)
                 continue
             for j in range(m):
                 child = node.children[i * m + j]
@@ -406,15 +456,25 @@ class MVPTree(MetricIndex):
                 if definitely_greater(dq2 - radius, hi2) or definitely_less(
                     dq2 + radius, lo2
                 ):
+                    if obs is not None:
+                        obs.prune(PRUNE_VP2_SHELL)
                     continue
-                self._range(child, query, radius, path_q, level + 2, out)
+                self._range(child, query, radius, path_q, level + 2, out, obs)
 
     # ------------------------------------------------------------------
     # k-nearest-neighbor search (best-first generalisation; the paper
     # lists nearest/k-nearest queries in section 2)
     # ------------------------------------------------------------------
 
-    def knn_search(self, query, k: int, epsilon: float = 0.0) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         """Best-first k-NN; ``epsilon > 0`` gives (1+epsilon)-approximate
         results: the reported k-th distance is at most ``(1 + epsilon)``
         times the true k-th distance, with correspondingly more
@@ -422,6 +482,7 @@ class MVPTree(MetricIndex):
         k = self.validate_k(k)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        obs = make_observation(stats, trace)
         approximation = 1.0 + epsilon
         best: list[tuple[float, int]] = []  # max-heap via negation
 
@@ -445,20 +506,33 @@ class MVPTree(MetricIndex):
             if node is None or definitely_greater(
                 lower_bound * approximation, threshold()
             ):
+                if obs is not None and node is not None:
+                    obs.prune(PRUNE_KNN_RADIUS)
                 continue
+            if obs is not None:
+                if isinstance(node, MVPLeafNode):
+                    obs.enter_leaf(len(node.ids))
+                else:
+                    obs.enter_internal()
+                obs.distance()
             dq1 = self._metric.distance(query, self._objects[node.vp1_id])
             consider(dq1, node.vp1_id)
 
             if isinstance(node, MVPLeafNode):
                 if node.vp2_id is None:
                     continue
+                if obs is not None:
+                    obs.distance()
                 dq2 = self._metric.distance(query, self._objects[node.vp2_id])
                 consider(dq2, node.vp2_id)
                 self._knn_scan_leaf(
-                    node, query, dq1, dq2, path_q, consider, threshold, approximation
+                    node, query, dq1, dq2, path_q, consider, threshold,
+                    approximation, obs,
                 )
                 continue
 
+            if obs is not None:
+                obs.distance()
             dq2 = self._metric.distance(query, self._objects[node.vp2_id])
             consider(dq2, node.vp2_id)
             child_path = list(path_q)
@@ -473,6 +547,10 @@ class MVPTree(MetricIndex):
                 lo1, hi1 = node.bounds1[i]
                 bound1 = max(lower_bound, dq1 - hi1, lo1 - dq1, 0.0)
                 if definitely_greater(bound1 * approximation, threshold()):
+                    if obs is not None and any(
+                        node.children[i * m + j] is not None for j in range(m)
+                    ):
+                        obs.prune(PRUNE_VP1_SHELL)
                     continue
                 for j in range(m):
                     child = node.children[i * m + j]
@@ -485,6 +563,8 @@ class MVPTree(MetricIndex):
                             frontier,
                             (bound, next(counter), child, child_path_t, level + 2),
                         )
+                    elif obs is not None:
+                        obs.prune(PRUNE_VP2_SHELL)
 
         return sorted(
             (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)
@@ -500,6 +580,7 @@ class MVPTree(MetricIndex):
         consider,
         threshold,
         approximation: float = 1.0,
+        obs: Optional[Observation] = None,
     ) -> None:
         """Visit leaf points in lower-bound order, stopping early."""
         if not node.ids:
@@ -510,11 +591,17 @@ class MVPTree(MetricIndex):
             lower = np.maximum(
                 lower, np.max(np.abs(node.paths - path_arr), axis=1, initial=0.0)
             )
+        scanned = 0
         for pos in np.argsort(lower, kind="stable"):
             if definitely_greater(float(lower[pos]) * approximation, threshold()):
                 break
+            scanned += 1
             distance = self._metric.distance(query, self._objects[node.ids[pos]])
             consider(float(distance), node.ids[pos])
+        if obs is not None:
+            obs.filter_points(PRUNE_KNN_RADIUS, len(node.ids) - scanned)
+            obs.leaf_scan(len(node.ids), scanned)
+            obs.distance(scanned)
 
     # ------------------------------------------------------------------
     # Farthest search (upper-bound pruning)

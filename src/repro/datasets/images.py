@@ -26,7 +26,6 @@ meaning at the reduced default resolution.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

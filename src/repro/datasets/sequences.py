@@ -10,7 +10,6 @@ range queries retrieve evolutionary relatives.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -16,7 +16,6 @@ Two generators support those experiments:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -17,7 +17,6 @@ Two generators, mirroring the paper's two 50,000-point data sets of
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

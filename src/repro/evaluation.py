@@ -17,11 +17,12 @@ the library returns the exact same answer sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.base import MetricIndex
+from repro.obs.stats import QueryStats
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,7 @@ def range_retrieval_score(
     queries: Sequence[tuple[object, int]],
     radius: float,
     exclude_self: bool = False,
+    stats: Optional[QueryStats] = None,
 ) -> RetrievalScore:
     """Precision/recall of range queries against label ground truth.
 
@@ -62,6 +64,9 @@ def range_retrieval_score(
     exclude_self:
         When querying with dataset members, drop the exact-duplicate
         hit at distance 0 from the accounting.
+    stats:
+        Optional :class:`~repro.obs.QueryStats` accumulating the search
+        cost over the whole query batch.
 
     Returns micro-averaged precision and recall over all queries.
     """
@@ -72,7 +77,7 @@ def range_retrieval_score(
     retrieved_total = 0
     hit_total = 0
     for query, query_label in queries:
-        hits = index.range_search(query, radius)
+        hits = index.range_search(query, radius, stats=stats)
         if exclude_self:
             hits = [
                 h
@@ -92,14 +97,18 @@ def precision_at_k(
     labels: Sequence[int],
     queries: Sequence[tuple[object, int]],
     k: int,
+    stats: Optional[QueryStats] = None,
 ) -> float:
-    """Mean fraction of the k nearest neighbors sharing the query label."""
+    """Mean fraction of the k nearest neighbors sharing the query label.
+
+    ``stats`` optionally accumulates search cost over the batch.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     labels = np.asarray(labels)
     scores = []
     for query, query_label in queries:
-        neighbors = index.knn_search(query, k)
+        neighbors = index.knn_search(query, k, stats=stats)
         if not neighbors:
             scores.append(0.0)
             continue
@@ -115,15 +124,19 @@ def mean_reciprocal_rank(
     labels: Sequence[int],
     queries: Sequence[tuple[object, int]],
     max_k: int = 50,
+    stats: Optional[QueryStats] = None,
 ) -> float:
     """Mean of 1/rank of the first same-label neighbor (0 when absent
-    from the top ``max_k``)."""
+    from the top ``max_k``).
+
+    ``stats`` optionally accumulates search cost over the batch.
+    """
     if max_k < 1:
         raise ValueError(f"max_k must be >= 1, got {max_k}")
     labels = np.asarray(labels)
     ranks = []
     for query, query_label in queries:
-        neighbors = index.knn_search(query, max_k)
+        neighbors = index.knn_search(query, max_k, stats=stats)
         reciprocal = 0.0
         for rank, neighbor in enumerate(neighbors, start=1):
             if labels[neighbor.id] == query_label:

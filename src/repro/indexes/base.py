@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.metric.base import Metric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs import QueryStats, TraceSink
 
 
 @dataclass(frozen=True, order=True)
@@ -70,21 +73,42 @@ class MetricIndex(ABC):
     # ------------------------------------------------------------------
 
     @abstractmethod
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional["QueryStats"] = None,
+        trace: Optional["TraceSink"] = None,
+    ) -> list[int]:
         """Return ids of all objects within ``radius`` of ``query``.
 
         This is the paper's *near neighbor query* (section 2):
         ``{ x in X : d(x, query) <= radius }``.  The result is sorted by
         id and exact — distance-based filtering only ever discards
         objects proven out of range by the triangle inequality.
+
+        ``stats`` (a :class:`~repro.obs.QueryStats`) accumulates the
+        query's cost breakdown; ``trace`` (a
+        :class:`~repro.obs.TraceSink`) streams per-event callbacks.
+        Both default to off, in which case the search pays no
+        observability cost.
         """
 
     @abstractmethod
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional["QueryStats"] = None,
+        trace: Optional["TraceSink"] = None,
+    ) -> list[Neighbor]:
         """Return the ``k`` nearest objects, closest first.
 
         Returns fewer than ``k`` neighbors only when the dataset is
-        smaller than ``k``.  Ties are broken by id.
+        smaller than ``k``.  Ties are broken by id.  ``stats`` and
+        ``trace`` observe the query as in :meth:`range_search`.
         """
 
     def nearest(self, query) -> Neighbor:

@@ -24,6 +24,8 @@ from typing import Optional, Sequence
 from repro._util import check_non_empty, definitely_greater, slack
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import PRUNE_EDGE_INTERVAL, PRUNE_KNN_RADIUS, QueryStats
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class BKNode:
@@ -102,16 +104,36 @@ class BKTree(MetricIndex):
     # Queries
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         out: list[int] = []
-        self._range(self._root, query, radius, out)
+        self._range(self._root, query, radius, out, obs)
         out.sort()
         return out
 
-    def _range(self, node: Optional[BKNode], query, radius: float, out: list[int]):
+    def _range(
+        self,
+        node: Optional[BKNode],
+        query,
+        radius: float,
+        out: list[int],
+        obs: Optional[Observation] = None,
+    ):
         if node is None:
             return
+        if obs is not None:
+            # Every BK-tree node holds exactly one element; there are no
+            # leaf buckets, so all visits count as internal.
+            obs.enter_internal()
+            obs.distance()
         d = self._metric.distance(query, self._objects[node.id])
         if d <= radius:
             out.append(node.id)
@@ -122,10 +144,20 @@ class BKTree(MetricIndex):
             if d - radius <= edge + slack(edge) and edge <= d + radius + slack(
                 d + radius
             ):
-                self._range(child, query, radius, out)
+                self._range(child, query, radius, out, obs)
+            elif obs is not None:
+                obs.prune(PRUNE_EDGE_INTERVAL)
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        obs = make_observation(stats, trace)
         best: list[tuple[float, int]] = []
 
         def consider(distance: float, idx: int) -> None:
@@ -143,13 +175,23 @@ class BKTree(MetricIndex):
         while frontier:
             lower_bound, __, node = heapq.heappop(frontier)
             if definitely_greater(lower_bound, threshold()):
+                if obs is not None:
+                    obs.prune(PRUNE_KNN_RADIUS)
                 continue
+            if obs is not None:
+                obs.enter_internal()
+                obs.distance()
             d = self._metric.distance(query, self._objects[node.id])
             consider(float(d), node.id)
             for edge, child in node.children.items():
                 bound = max(lower_bound, abs(d - edge))
                 if not definitely_greater(bound, threshold()):
                     heapq.heappush(frontier, (bound, next(counter), child))
+                elif obs is not None:
+                    if abs(d - edge) > lower_bound:
+                        obs.prune(PRUNE_EDGE_INTERVAL)
+                    else:
+                        obs.prune(PRUNE_KNN_RADIUS)
 
         return sorted(
             (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)

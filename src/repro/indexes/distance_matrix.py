@@ -20,7 +20,7 @@ construction costs n(n-1)/2 distance computations and O(n^2) memory.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +33,8 @@ from repro._util import (
 )
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import PRUNE_KNN_RADIUS, PRUNE_MATRIX_INTERVAL, QueryStats
+from repro.obs.trace import TraceSink, make_observation
 
 
 class DistanceMatrixIndex(MetricIndex):
@@ -68,13 +70,22 @@ class DistanceMatrixIndex(MetricIndex):
     # Queries
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         n = len(self._objects)
         lower = np.zeros(n)
         upper = np.full(n, np.inf)
         undecided = np.ones(n, dtype=bool)
         out: list[int] = []
+        scanned = 0
 
         while undecided.any():
             # Pivot choice: the undecided object with the smallest lower
@@ -82,6 +93,7 @@ class DistanceMatrixIndex(MetricIndex):
             # and near objects are the best eliminators).
             candidates = np.nonzero(undecided)[0]
             x = int(candidates[np.argmin(lower[candidates])])
+            scanned += 1
             dx = float(self._metric.distance(query, self._objects[x]))
             undecided[x] = False
             if dx <= radius:
@@ -103,15 +115,29 @@ class DistanceMatrixIndex(MetricIndex):
             # distance computation — the [SW90] trick.
             out.extend(int(i) for i in np.nonzero(accepted)[0])
 
+        if obs is not None:
+            obs.enter_leaf(n)
+            obs.filter_points(PRUNE_MATRIX_INTERVAL, n - scanned)
+            obs.leaf_scan(n, scanned)
+            obs.distance(scanned)
         out.sort()
         return out
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        obs = make_observation(stats, trace)
         n = len(self._objects)
         lower = np.zeros(n)
         undecided = np.ones(n, dtype=bool)
         best: list[Neighbor] = []
+        scanned = 0
 
         while undecided.any():
             candidates = np.nonzero(undecided)[0]
@@ -120,6 +146,7 @@ class DistanceMatrixIndex(MetricIndex):
                 float(lower[x]), best[-1].distance
             ):
                 break  # nothing undecided can beat the kth best
+            scanned += 1
             dx = float(self._metric.distance(query, self._objects[x]))
             undecided[x] = False
             best.append(Neighbor(dx, x))
@@ -129,6 +156,11 @@ class DistanceMatrixIndex(MetricIndex):
             row = self._matrix[x]
             np.maximum(lower, np.abs(dx - row), out=lower, where=undecided)
 
+        if obs is not None:
+            obs.enter_leaf(n)
+            obs.filter_points(PRUNE_KNN_RADIUS, n - scanned)
+            obs.leaf_scan(n, scanned)
+            obs.distance(scanned)
         return best
 
     def outside_range_search(self, query, radius: float) -> list[int]:

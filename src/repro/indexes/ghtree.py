@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,13 @@ from repro._util import (
 )
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import (
+    PRUNE_COVERING_RADIUS,
+    PRUNE_HYPERPLANE,
+    PRUNE_KNN_RADIUS,
+    QueryStats,
+)
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class GHInternalNode:
@@ -118,7 +125,9 @@ class GHTree(MetricIndex):
         p1_id = ids[int(self._rng.integers(len(ids)))]
         rest = [i for i in ids if i != p1_id]
         d_p1 = np.asarray(
-            self._metric.batch_distance(gather(self._objects, rest), self._objects[p1_id])
+            self._metric.batch_distance(
+                gather(self._objects, rest), self._objects[p1_id]
+            )
         )
         if self.pivots == "farthest":
             p2_pos = int(np.argmax(d_p1))
@@ -156,17 +165,36 @@ class GHTree(MetricIndex):
     # Queries
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         out: list[int] = []
-        self._range(self._root, query, radius, out)
+        self._range(self._root, query, radius, out, obs)
         out.sort()
         return out
 
-    def _range(self, node, query, radius: float, out: list[int]) -> None:
+    def _range(
+        self,
+        node,
+        query,
+        radius: float,
+        out: list[int],
+        obs: Optional[Observation] = None,
+    ) -> None:
         if node is None:
             return
         if isinstance(node, GHLeafNode):
+            if obs is not None:
+                obs.enter_leaf(len(node.ids))
+                obs.leaf_scan(len(node.ids), len(node.ids))
+                obs.distance(len(node.ids))
             if node.ids:
                 distances = self._metric.batch_distance(
                     gather(self._objects, node.ids), query
@@ -177,6 +205,9 @@ class GHTree(MetricIndex):
                     if distance <= radius
                 )
             return
+        if obs is not None:
+            obs.enter_internal()
+            obs.distance(2)
         d1 = self._metric.distance(query, self._objects[node.p1_id])
         d2 = self._metric.distance(query, self._objects[node.p2_id])
         if d1 <= radius:
@@ -185,17 +216,30 @@ class GHTree(MetricIndex):
             out.append(node.p2_id)
         # Hyperplane rule + covering-ball rule, both exact (with
         # epsilon slack so float noise never drops a true answer).
-        if d1 - d2 <= 2 * radius + slack(radius) and d1 - radius <= node.r1 + slack(
-            node.r1
+        for d_near, d_far, r_near, child in (
+            (d1, d2, node.r1, node.left),
+            (d2, d1, node.r2, node.right),
         ):
-            self._range(node.left, query, radius, out)
-        if d2 - d1 <= 2 * radius + slack(radius) and d2 - radius <= node.r2 + slack(
-            node.r2
-        ):
-            self._range(node.right, query, radius, out)
+            if d_near - d_far > 2 * radius + slack(radius):
+                if obs is not None and child is not None:
+                    obs.prune(PRUNE_HYPERPLANE)
+                continue
+            if d_near - radius > r_near + slack(r_near):
+                if obs is not None and child is not None:
+                    obs.prune(PRUNE_COVERING_RADIUS)
+                continue
+            self._range(child, query, radius, out, obs)
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        obs = make_observation(stats, trace)
         best: list[tuple[float, int]] = []
 
         def consider(distance: float, idx: int) -> None:
@@ -213,8 +257,14 @@ class GHTree(MetricIndex):
         while frontier:
             lower_bound, __, node = heapq.heappop(frontier)
             if node is None or definitely_greater(lower_bound, threshold()):
+                if obs is not None and node is not None:
+                    obs.prune(PRUNE_KNN_RADIUS)
                 continue
             if isinstance(node, GHLeafNode):
+                if obs is not None:
+                    obs.enter_leaf(len(node.ids))
+                    obs.leaf_scan(len(node.ids), len(node.ids))
+                    obs.distance(len(node.ids))
                 if node.ids:
                     distances = self._metric.batch_distance(
                         gather(self._objects, node.ids), query
@@ -222,20 +272,31 @@ class GHTree(MetricIndex):
                     for idx, distance in zip(node.ids, distances):
                         consider(float(distance), idx)
                 continue
+            if obs is not None:
+                obs.enter_internal()
+                obs.distance(2)
             d1 = self._metric.distance(query, self._objects[node.p1_id])
             d2 = self._metric.distance(query, self._objects[node.p2_id])
             consider(d1, node.p1_id)
             consider(d2, node.p2_id)
             left_bound = max(lower_bound, (d1 - d2) / 2.0, d1 - node.r1, 0.0)
             right_bound = max(lower_bound, (d2 - d1) / 2.0, d2 - node.r2, 0.0)
-            if node.left is not None and not definitely_greater(
-                left_bound, threshold()
+            for child, child_bound, hyper_bound, cover_bound in (
+                (node.left, left_bound, (d1 - d2) / 2.0, d1 - node.r1),
+                (node.right, right_bound, (d2 - d1) / 2.0, d2 - node.r2),
             ):
-                heapq.heappush(frontier, (left_bound, next(counter), node.left))
-            if node.right is not None and not definitely_greater(
-                right_bound, threshold()
-            ):
-                heapq.heappush(frontier, (right_bound, next(counter), node.right))
+                if child is None:
+                    continue
+                if not definitely_greater(child_bound, threshold()):
+                    heapq.heappush(frontier, (child_bound, next(counter), child))
+                elif obs is not None:
+                    # Attribute the skip to whichever bound is decisive.
+                    if definitely_greater(hyper_bound, threshold()):
+                        obs.prune(PRUNE_HYPERPLANE)
+                    elif definitely_greater(cover_bound, threshold()):
+                        obs.prune(PRUNE_COVERING_RADIUS)
+                    else:
+                        obs.prune(PRUNE_KNN_RADIUS)
 
         return sorted(
             (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)

@@ -34,6 +34,8 @@ from repro._util import (
 )
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import PRUNE_KNN_RADIUS, PRUNE_RANGE_TABLE, QueryStats
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class GNATInternalNode:
@@ -214,7 +216,9 @@ class GNAT(MetricIndex):
         total = max(len(rest), 1)
         for j in range(actual_degree):
             child_ids = [rest[pos] for pos in member_lists[j]]
-            child_degree = int(round(actual_degree * actual_degree * len(child_ids) / total))
+            child_degree = int(
+                round(actual_degree * actual_degree * len(child_ids) / total)
+            )
             children.append(self._build(child_ids, child_degree, depth + 1))
 
         return GNATInternalNode(split_ids, ranges, children)
@@ -223,17 +227,36 @@ class GNAT(MetricIndex):
     # Queries
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         out: list[int] = []
-        self._range(self._root, query, radius, out)
+        self._range(self._root, query, radius, out, obs)
         out.sort()
         return out
 
-    def _range(self, node, query, radius: float, out: list[int]) -> None:
+    def _range(
+        self,
+        node,
+        query,
+        radius: float,
+        out: list[int],
+        obs: Optional[Observation] = None,
+    ) -> None:
         if node is None:
             return
         if isinstance(node, GNATLeafNode):
+            if obs is not None:
+                obs.enter_leaf(len(node.ids))
+                obs.leaf_scan(len(node.ids), len(node.ids))
+                obs.distance(len(node.ids))
             if node.ids:
                 distances = self._metric.batch_distance(
                     gather(self._objects, node.ids), query
@@ -244,11 +267,15 @@ class GNAT(MetricIndex):
                     if distance <= radius
                 )
             return
+        if obs is not None:
+            obs.enter_internal()
         degree = len(node.split_ids)
         alive = [True] * degree
         for i in range(degree):
             if not alive[i]:
                 continue
+            if obs is not None:
+                obs.distance()
             di = self._metric.distance(query, self._objects[node.split_ids[i]])
             if di <= radius:
                 out.append(node.split_ids[i])
@@ -259,13 +286,25 @@ class GNAT(MetricIndex):
                 if definitely_greater(di - radius, hi) or definitely_less(
                     di + radius, lo
                 ):
+                    # Dataset j is eliminated by the range table alone —
+                    # its own split-point distance is never computed.
                     alive[j] = False
+                    if obs is not None:
+                        obs.prune(PRUNE_RANGE_TABLE)
         for j in range(degree):
             if alive[j]:
-                self._range(node.children[j], query, radius, out)
+                self._range(node.children[j], query, radius, out, obs)
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        obs = make_observation(stats, trace)
         best: list[tuple[float, int]] = []
 
         def consider(distance: float, idx: int) -> None:
@@ -283,8 +322,14 @@ class GNAT(MetricIndex):
         while frontier:
             lower_bound, __, node = heapq.heappop(frontier)
             if node is None or definitely_greater(lower_bound, threshold()):
+                if obs is not None and node is not None:
+                    obs.prune(PRUNE_KNN_RADIUS)
                 continue
             if isinstance(node, GNATLeafNode):
+                if obs is not None:
+                    obs.enter_leaf(len(node.ids))
+                    obs.leaf_scan(len(node.ids), len(node.ids))
+                    obs.distance(len(node.ids))
                 if node.ids:
                     distances = self._metric.batch_distance(
                         gather(self._objects, node.ids), query
@@ -292,30 +337,40 @@ class GNAT(MetricIndex):
                     for idx, distance in zip(node.ids, distances):
                         consider(float(distance), idx)
                 continue
+            if obs is not None:
+                obs.enter_internal()
             degree = len(node.split_ids)
             child_bounds = np.full(degree, lower_bound)
-            computed: list[tuple[int, float]] = []
             for i in range(degree):
                 if definitely_greater(float(child_bounds[i]), threshold()):
                     # Dataset i is already proven farther than the kth
                     # best; skip the split-point distance entirely (the
                     # range table covers split_i too).
                     continue
+                if obs is not None:
+                    obs.distance()
                 di = self._metric.distance(query, self._objects[node.split_ids[i]])
                 consider(di, node.split_ids[i])
-                computed.append((i, di))
                 for j in range(degree):
                     if j == i:
                         continue
                     lo, hi = node.ranges[i][j]
                     child_bounds[j] = max(child_bounds[j], di - hi, lo - di)
             for j, bound in enumerate(child_bounds):
-                if node.children[j] is not None and not definitely_greater(
-                    float(bound), threshold()
-                ):
+                if node.children[j] is None:
+                    continue
+                if not definitely_greater(float(bound), threshold()):
                     heapq.heappush(
                         frontier, (float(bound), next(counter), node.children[j])
                     )
+                elif obs is not None:
+                    # The range table raised the bound past the kth-best
+                    # radius; if it never rose, the radius shrank on its
+                    # own (inherited bound no longer clears it).
+                    if float(bound) > lower_bound:
+                        obs.prune(PRUNE_RANGE_TABLE)
+                    else:
+                        obs.prune(PRUNE_KNN_RADIUS)
 
         return sorted(
             (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)

@@ -25,13 +25,22 @@ tightest bounds.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro._util import RngLike, as_rng, check_non_empty, definitely_greater, gather, slack
+from repro._util import (
+    RngLike,
+    as_rng,
+    check_non_empty,
+    definitely_greater,
+    gather,
+    slack,
+)
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import PRUNE_KNN_RADIUS, PRUNE_PIVOT_FILTER, QueryStats
+from repro.obs.trace import TraceSink, make_observation
 
 
 class LAESA(MetricIndex):
@@ -113,10 +122,28 @@ class LAESA(MetricIndex):
     # Queries
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
+        if obs is not None:
+            obs.distance(self.n_pivots)
         bounds = self._lower_bounds(query)
         candidates = np.nonzero(bounds <= radius + slack(radius))[0]
+        if obs is not None:
+            # The whole table is "seen"; the pivot bounds filter the rest
+            # for free.  LAESA has no tree nodes to count.
+            n = len(self._objects)
+            obs.enter_leaf(n)
+            obs.filter_points(PRUNE_PIVOT_FILTER, n - len(candidates))
+            obs.leaf_scan(n, len(candidates))
+            obs.distance(len(candidates))
         if len(candidates) == 0:
             return []
         distances = self._metric.batch_distance(
@@ -128,23 +155,41 @@ class LAESA(MetricIndex):
             if distance <= radius
         ]
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        obs = make_observation(stats, trace)
+        if obs is not None:
+            obs.distance(self.n_pivots)
         bounds = self._lower_bounds(query)
         order = np.argsort(bounds, kind="stable")
 
         best: list[Neighbor] = []
+        scanned = 0
         for position in order:
             idx = int(position)
             if len(best) == k and definitely_greater(
                 float(bounds[idx]), best[-1].distance
             ):
                 break
+            scanned += 1
             distance = float(self._metric.distance(self._objects[idx], query))
             best.append(Neighbor(distance, idx))
             best.sort()
             if len(best) > k:
                 best.pop()
+        if obs is not None:
+            n = len(self._objects)
+            obs.enter_leaf(n)
+            obs.filter_points(PRUNE_KNN_RADIUS, n - scanned)
+            obs.leaf_scan(n, scanned)
+            obs.distance(scanned)
         return best
 
     def outside_range_search(self, query, radius: float) -> list[int]:

@@ -9,13 +9,15 @@ benchmark runner.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro._util import check_non_empty
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import QueryStats
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class LinearScan(MetricIndex):
@@ -28,13 +30,38 @@ class LinearScan(MetricIndex):
     def _all_distances(self, query) -> np.ndarray:
         return np.asarray(self._metric.batch_distance(self._objects, query))
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def _observe_scan(self, obs: Optional[Observation]) -> None:
+        # The whole dataset is one flat bucket: every point is seen and
+        # every point pays a distance computation; nothing is pruned.
+        if obs is not None:
+            n = len(self._objects)
+            obs.enter_leaf(n)
+            obs.leaf_scan(n, n)
+            obs.distance(n)
+
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        self._observe_scan(make_observation(stats, trace))
         distances = self._all_distances(query)
         return [int(i) for i in np.nonzero(distances <= radius)[0]]
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        self._observe_scan(make_observation(stats, trace))
         distances = self._all_distances(query)
         # argsort on (distance, id) for deterministic tie-breaks: ids are
         # already the secondary key because argsort is stable.

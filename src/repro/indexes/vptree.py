@@ -37,6 +37,8 @@ from repro._util import (
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.indexes.selection import VantagePointSelector, get_selector
 from repro.metric.base import Metric
+from repro.obs.stats import PRUNE_KNN_RADIUS, PRUNE_VP_SHELL, QueryStats
+from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class VPInternalNode:
@@ -160,7 +162,9 @@ class VPTree(MetricIndex):
         vp_id = self._selector.select(ids, self._objects, self._metric, self._rng)
         rest = [i for i in ids if i != vp_id]
         distances = np.asarray(
-            self._metric.batch_distance(gather(self._objects, rest), self._objects[vp_id])
+            self._metric.batch_distance(
+                gather(self._objects, rest), self._objects[vp_id]
+            )
         )
         order = np.argsort(distances, kind="stable")
         groups = np.array_split(order, self.m)
@@ -181,7 +185,10 @@ class VPTree(MetricIndex):
             if g < len(groups) - 1:
                 # Boundary between this group and the next: the paper's
                 # cutoff value (the median for m=2).
-                upper = float(distances[group[-1]]) if len(group) else cutoffs[-1] if cutoffs else 0.0
+                if len(group):
+                    upper = float(distances[group[-1]])
+                else:
+                    upper = cutoffs[-1] if cutoffs else 0.0
                 cutoffs.append(upper)
 
         if self.bounds_mode == "cutoff":
@@ -206,17 +213,38 @@ class VPTree(MetricIndex):
     # Range search (paper section 3.3, generalised to m-way)
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         out: list[int] = []
-        self._range(self._root, query, radius, out)
+        self._range(self._root, query, radius, out, obs)
         out.sort()
         return out
 
-    def _range(self, node, query, radius: float, out: list[int]) -> None:
+    def _range(
+        self,
+        node,
+        query,
+        radius: float,
+        out: list[int],
+        obs: Optional[Observation] = None,
+    ) -> None:
         if node is None:
             return
         if isinstance(node, VPLeafNode):
+            if obs is not None:
+                # vp-tree leaves hold no precomputed distances; every
+                # bucketed point pays a real distance computation.
+                obs.enter_leaf(len(node.ids))
+                obs.leaf_scan(len(node.ids), len(node.ids))
+                obs.distance(len(node.ids))
             distances = self._metric.batch_distance(
                 gather(self._objects, node.ids), query
             )
@@ -224,6 +252,9 @@ class VPTree(MetricIndex):
                 node.ids[i] for i in range(len(node.ids)) if distances[i] <= radius
             )
             return
+        if obs is not None:
+            obs.enter_internal()
+            obs.distance()
         dq = self._metric.distance(query, self._objects[node.vp_id])
         if dq <= radius:
             out.append(node.vp_id)
@@ -238,14 +269,24 @@ class VPTree(MetricIndex):
             if definitely_greater(dq - radius, hi) or definitely_less(
                 dq + radius, lo
             ):
+                if obs is not None:
+                    obs.prune(PRUNE_VP_SHELL)
                 continue
-            self._range(child, query, radius, out)
+            self._range(child, query, radius, out, obs)
 
     # ------------------------------------------------------------------
     # k-nearest-neighbor search (best-first branch and bound, [Chi94])
     # ------------------------------------------------------------------
 
-    def knn_search(self, query, k: int, epsilon: float = 0.0) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         """Best-first k-NN; ``epsilon > 0`` gives (1+epsilon)-approximate
         results: the reported k-th distance is at most ``(1 + epsilon)``
         times the true k-th distance, with correspondingly more
@@ -253,6 +294,7 @@ class VPTree(MetricIndex):
         k = self.validate_k(k)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        obs = make_observation(stats, trace)
         approximation = 1.0 + epsilon
         # Max-heap of current k best as (-distance, -id); tie-break on id
         # keeps results deterministic.
@@ -275,14 +317,23 @@ class VPTree(MetricIndex):
             if node is None or definitely_greater(
                 lower_bound * approximation, threshold()
             ):
+                if obs is not None and node is not None:
+                    obs.prune(PRUNE_KNN_RADIUS)
                 continue
             if isinstance(node, VPLeafNode):
+                if obs is not None:
+                    obs.enter_leaf(len(node.ids))
+                    obs.leaf_scan(len(node.ids), len(node.ids))
+                    obs.distance(len(node.ids))
                 distances = self._metric.batch_distance(
                     gather(self._objects, node.ids), query
                 )
                 for idx, distance in zip(node.ids, distances):
                     consider(float(distance), idx)
                 continue
+            if obs is not None:
+                obs.enter_internal()
+                obs.distance()
             dq = self._metric.distance(query, self._objects[node.vp_id])
             consider(dq, node.vp_id)
             for child, (lo, hi) in zip(node.children, node.bounds):
@@ -291,6 +342,8 @@ class VPTree(MetricIndex):
                 child_bound = max(lower_bound, dq - hi, lo - dq, 0.0)
                 if not definitely_greater(child_bound * approximation, threshold()):
                     heapq.heappush(frontier, (child_bound, next(counter), child))
+                elif obs is not None:
+                    obs.prune(PRUNE_VP_SHELL)
 
         return sorted(
             (Neighbor(-d, -i) for d, i in best), key=lambda n: (n.distance, n.id)

@@ -18,7 +18,6 @@ from repro.metric.base import (
     ValidatingMetric,
 )
 from repro.metric.discrete import DiscreteMetric, EditDistance, HammingDistance
-from repro.metric.similarity import AngularDistance, JaccardDistance
 from repro.metric.minkowski import (
     L1,
     L2,
@@ -26,6 +25,7 @@ from repro.metric.minkowski import (
     Minkowski,
     WeightedMinkowski,
 )
+from repro.metric.similarity import AngularDistance, JaccardDistance
 from repro.metric.validation import (
     MetricViolation,
     check_metric,

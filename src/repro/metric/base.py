@@ -159,6 +159,16 @@ class ValidatingMetric(Metric):
     :func:`repro.metric.check_metric`; drop it in production once the
     metric is trusted.
 
+    **Composition order.**  When combining with
+    :class:`CountingMetric`, prefer ``CountingMetric(ValidatingMetric(
+    inner))``: validation sits closest to the raw metric and the counter
+    sees exactly the evaluations the index requested.  Both orders count
+    scalar calls identically (the counter increments before the wrapped
+    call), but they differ on a *failing batch*: the recommended order
+    leaves the batch uncounted (the values never existed), while
+    ``ValidatingMetric(CountingMetric(inner))`` counts it before the
+    validator rejects it.
+
     >>> from repro.metric import FunctionMetric, ValidatingMetric
     >>> bad = ValidatingMetric(FunctionMetric(lambda a, b: float("nan")))
     >>> bad.distance(1, 2)

@@ -53,7 +53,9 @@ class Minkowski(Metric):
         if matrix.ndim == 1:  # a batch of scalars
             matrix = matrix[:, np.newaxis]
             y = np.atleast_1d(np.asarray(y, dtype=float))
-        diff = np.abs(matrix.reshape(len(matrix), -1) - np.ravel(np.asarray(y, dtype=float)))
+        diff = np.abs(
+            matrix.reshape(len(matrix), -1) - np.ravel(np.asarray(y, dtype=float))
+        )
         return self._norm(diff, axis=1)
 
     def _norm(self, diff: np.ndarray, axis):
@@ -116,7 +118,10 @@ class WeightedMinkowski(Metric):
         self.weights = weights
 
     def distance(self, a, b) -> float:
-        diff = np.abs(np.ravel(np.asarray(a, dtype=float)) - np.ravel(np.asarray(b, dtype=float)))
+        diff = np.abs(
+            np.ravel(np.asarray(a, dtype=float))
+            - np.ravel(np.asarray(b, dtype=float))
+        )
         return self._weighted_norm(diff, axis=None)
 
     def batch_distance(self, xs: Sequence, y) -> np.ndarray:

@@ -1,0 +1,81 @@
+"""Per-query observability: structured cost accounting and tracing.
+
+The paper's evaluation (section 5) measures one number — distance
+computations per query.  This package itemises it:
+
+* :class:`QueryStats` — per-query counters: distance calls, nodes
+  visited (internal/leaf split), leaf points seen/filtered/scanned, and
+  a per-bound prune breakdown keyed by the ``PRUNE_*`` vocabulary that
+  maps onto the paper's section 4.3 bounds (see
+  ``docs/observability.md``).
+* :class:`TraceSink` — a callback protocol (``on_node_enter`` /
+  ``on_prune`` / ``on_leaf_scan``) for streaming search events;
+  :class:`RecordingTraceSink` captures them as data,
+  :class:`NullTraceSink` is the no-op default.
+* :func:`summarize` — aggregate a batch of per-query stats into
+  mean/p50/p95 summaries (what ``repro-bench stats`` prints).
+
+Every index's ``range_search`` and ``knn_search`` accept ``stats=`` and
+``trace=`` keywords; both default to off, in which case searches run
+the exact same hot path as before this subsystem existed.
+"""
+
+from repro.obs.stats import (
+    PRUNE_COVERING_RADIUS,
+    PRUNE_EDGE_INTERVAL,
+    PRUNE_HYPERPLANE,
+    PRUNE_KNN_RADIUS,
+    PRUNE_LEAF_D1,
+    PRUNE_LEAF_D2,
+    PRUNE_MATRIX_INTERVAL,
+    PRUNE_PATH_FILTER,
+    PRUNE_PIVOT_FILTER,
+    PRUNE_RANGE_TABLE,
+    PRUNE_TRANSFORM_FILTER,
+    PRUNE_VP1_SHELL,
+    PRUNE_VP2_SHELL,
+    PRUNE_VP_SHELL,
+    QueryStats,
+    StatsSummary,
+    leaf_dist_kind,
+    merge_all,
+    summarize,
+    vp_shell_kind,
+)
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullTraceSink,
+    Observation,
+    RecordingTraceSink,
+    TraceSink,
+    make_observation,
+)
+
+__all__ = [
+    "QueryStats",
+    "StatsSummary",
+    "summarize",
+    "merge_all",
+    "TraceSink",
+    "NullTraceSink",
+    "RecordingTraceSink",
+    "NULL_TRACE",
+    "Observation",
+    "make_observation",
+    "vp_shell_kind",
+    "leaf_dist_kind",
+    "PRUNE_VP1_SHELL",
+    "PRUNE_VP2_SHELL",
+    "PRUNE_VP_SHELL",
+    "PRUNE_HYPERPLANE",
+    "PRUNE_COVERING_RADIUS",
+    "PRUNE_RANGE_TABLE",
+    "PRUNE_EDGE_INTERVAL",
+    "PRUNE_KNN_RADIUS",
+    "PRUNE_LEAF_D1",
+    "PRUNE_LEAF_D2",
+    "PRUNE_PATH_FILTER",
+    "PRUNE_PIVOT_FILTER",
+    "PRUNE_MATRIX_INTERVAL",
+    "PRUNE_TRANSFORM_FILTER",
+]

@@ -15,13 +15,15 @@ gap the mvp-tree fills.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro._util import check_non_empty, definitely_greater, slack
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.metric.base import Metric
+from repro.obs.stats import PRUNE_KNN_RADIUS, PRUNE_TRANSFORM_FILTER, QueryStats
+from repro.obs.trace import TraceSink, make_observation
 from repro.transforms.base import DistancePreservingTransform
 
 
@@ -78,12 +80,28 @@ class TransformIndex(MetricIndex):
     # Queries
     # ------------------------------------------------------------------
 
-    def range_search(self, query, radius: float) -> list[int]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
         radius = self.validate_radius(radius)
+        obs = make_observation(stats, trace)
         bounds = self._lower_bounds(query)
         # Filter: objects whose lower bound clears the radius cannot
         # match (with epsilon slack, as everywhere).  Refine survivors.
         candidates = np.nonzero(bounds <= radius + slack(radius))[0]
+        if obs is not None:
+            # Transform-space distances are free by the section-3.1
+            # premise; only refinement evaluations are counted.
+            n = len(self._objects)
+            obs.enter_leaf(n)
+            obs.filter_points(PRUNE_TRANSFORM_FILTER, n - len(candidates))
+            obs.leaf_scan(n, len(candidates))
+            obs.distance(len(candidates))
         if len(candidates) == 0:
             return []
         distances = self._metric.batch_distance(
@@ -95,21 +113,37 @@ class TransformIndex(MetricIndex):
             if distance <= radius
         ]
 
-    def knn_search(self, query, k: int) -> list[Neighbor]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
         k = self.validate_k(k)
+        obs = make_observation(stats, trace)
         bounds = self._lower_bounds(query)
         order = np.argsort(bounds, kind="stable")
 
         best: list[Neighbor] = []
+        scanned = 0
         for position in order:
             idx = int(position)
             if len(best) == k and definitely_greater(
                 float(bounds[idx]), best[-1].distance
             ):
                 break  # every remaining lower bound exceeds the kth best
+            scanned += 1
             distance = float(self._metric.distance(self._objects[idx], query))
             best.append(Neighbor(distance, idx))
             best.sort()
             if len(best) > k:
                 best.pop()
+        if obs is not None:
+            n = len(self._objects)
+            obs.enter_leaf(n)
+            obs.filter_points(PRUNE_KNN_RADIUS, n - scanned)
+            obs.leaf_scan(n, scanned)
+            obs.distance(scanned)
         return best

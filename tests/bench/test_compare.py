@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.bench.compare import (
-    Comparison,
     Drift,
     compare_archives,
     load_records,

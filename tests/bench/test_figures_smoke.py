@@ -11,6 +11,8 @@ import pytest
 from repro.bench import get_experiment, run_experiment
 from repro.bench.runner import HistogramResult, SearchResult
 
+pytestmark = pytest.mark.slow
+
 _SCALES = {
     "fig4": 0.01,
     "fig5": 0.01,

@@ -1,10 +1,11 @@
 """Tests for cross-seed stability aggregation."""
 
-import numpy as np
 import pytest
 
 from repro.bench import ExperimentSpec, Workload, mvpt, run_stability, vpt
 from repro.metric import L2
+
+pytestmark = pytest.mark.slow
 
 
 def _workload(scale, rng):

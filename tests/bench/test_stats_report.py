@@ -1,0 +1,117 @@
+"""Tests for per-query observability in the bench pipeline.
+
+Covers ``run_experiment(collect_stats=True)``, the
+``format_stats_result`` report, the JSON export, and the
+``repro-bench stats`` subcommand.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import ExperimentSpec, Workload, mvpt, run_experiment, vpt
+from repro.bench.cli import main
+from repro.bench.report import format_stats_result
+from repro.bench.runner import SearchResult
+from repro.metric import L2
+from repro.obs import StatsSummary
+
+
+def _tiny_workload(scale, rng):
+    data = rng.random((max(40, int(200 * scale)), 6))
+    return Workload(data, L2(), lambda qrng: qrng.random(6))
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return ExperimentSpec(
+        experiment_id="tiny-stats",
+        title="Tiny stats experiment",
+        make_workload=_tiny_workload,
+        structures=(vpt(2), mvpt(2, 4, 2)),
+        radii=(0.3, 0.8),
+        n_queries=20,
+        n_runs=2,
+        baseline="vpt(2)",
+    )
+
+
+@pytest.fixture(scope="module")
+def stats_result(tiny_spec):
+    return run_experiment(tiny_spec, scale=0.2, seed=3, collect_stats=True)
+
+
+class TestCollectStats:
+    def test_summaries_for_every_structure_and_radius(
+        self, stats_result, tiny_spec
+    ):
+        assert isinstance(stats_result, SearchResult)
+        for structure in stats_result.structures:
+            assert set(structure.search_stats) == set(tiny_spec.radii)
+            for summary in structure.search_stats.values():
+                assert isinstance(summary, StatsSummary)
+
+    def test_pools_queries_across_runs(self, stats_result, tiny_spec):
+        expected = tiny_spec.n_runs * stats_result.n_queries
+        for structure in stats_result.structures:
+            for summary in structure.search_stats.values():
+                assert summary.n_queries == expected
+
+    def test_stats_mean_matches_counting_metric_average(self, stats_result):
+        # The per-query stats and the CountingMetric-based cost table
+        # measure the same searches; their means must agree.
+        for structure in stats_result.structures:
+            for radius, cost in structure.search_distances.items():
+                summary = structure.search_stats[radius]
+                assert summary.distance_calls_mean == pytest.approx(cost)
+
+    def test_mvp_leaf_filtering_visible(self, stats_result):
+        # The mvp-tree's whole point: leaf points eliminated by
+        # precomputed distances without metric evaluations.
+        mvp = stats_result.structure("mvpt(2,4)")
+        summary = mvp.search_stats[0.3]
+        assert summary.leaf_points_filtered_mean > 0
+        assert summary.prunes_mean  # per-bound breakdown populated
+
+    def test_off_by_default(self, tiny_spec):
+        result = run_experiment(tiny_spec, scale=0.2, seed=3)
+        for structure in result.structures:
+            assert structure.search_stats == {}
+
+    def test_to_dict_includes_stats_only_when_collected(
+        self, stats_result, tiny_spec
+    ):
+        payload = stats_result.to_dict()["structures"]["mvpt(2,4)"]
+        assert "search_stats" in payload
+        assert json.dumps(payload)  # serialisable
+        plain = run_experiment(tiny_spec, scale=0.2, seed=3)
+        assert "search_stats" not in plain.to_dict()["structures"]["mvpt(2,4)"]
+
+
+class TestFormatStatsResult:
+    def test_renders_breakdown_tables(self, stats_result):
+        text = format_stats_result(stats_result)
+        assert "per-query observability" in text
+        assert "calls(mean/p50/p95)" in text
+        assert "prunes per query (mean)" in text
+        assert "vp-shell" in text  # vp-tree's bound column
+
+    def test_requires_collected_stats(self, tiny_spec):
+        plain = run_experiment(tiny_spec, scale=0.2, seed=3)
+        with pytest.raises(ValueError, match="collect_stats"):
+            format_stats_result(plain)
+
+
+class TestStatsSubcommand:
+    def test_prints_observability_report(self, capsys):
+        code = main(
+            ["stats", "--figure", "fig10", "--scale", "0.06", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-query observability" in out
+        assert "prunes per query (mean)" in out
+
+    def test_rejects_histogram_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stats", "--figure", "fig4", "--quiet"])

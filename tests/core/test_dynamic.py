@@ -5,7 +5,7 @@ import pytest
 
 from repro import DynamicMVPTree, LinearScan
 from repro.core.nodes import MVPLeafNode
-from repro.metric import L2, CountingMetric, EditDistance
+from repro.metric import L2, CountingMetric
 
 
 def live_oracle(tree, data, metric):

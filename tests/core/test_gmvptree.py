@@ -5,7 +5,7 @@ import pytest
 
 from repro import GMVPTree, LinearScan, MVPTree
 from repro.core.gmvptree import GMVPInternalNode, GMVPLeafNode
-from repro.metric import L2, CountingMetric, EditDistance
+from repro.metric import L2, CountingMetric
 
 
 @pytest.fixture(params=[(2, 2, 4, 2), (2, 3, 10, 6), (3, 2, 9, 5), (2, 4, 20, 8)],

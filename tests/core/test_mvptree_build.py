@@ -8,7 +8,9 @@ from repro.core.nodes import MVPInternalNode, MVPLeafNode
 from repro.metric import L2, CountingMetric
 
 
-@pytest.fixture(params=[(2, 4, 2), (3, 9, 5), (3, 80, 5)], ids=["2-4-2", "3-9-5", "3-80-5"])
+@pytest.fixture(
+    params=[(2, 4, 2), (3, 9, 5), (3, 80, 5)], ids=["2-4-2", "3-9-5", "3-80-5"]
+)
 def tree(request, uniform_data, l2):
     m, k, p = request.param
     return MVPTree(uniform_data, l2, m=m, k=k, p=p, rng=17)

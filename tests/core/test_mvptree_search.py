@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import LinearScan, MVPTree
-from repro.metric import L2, CountingMetric, EditDistance
+from repro.metric import L2, CountingMetric
 
 
 @pytest.fixture(params=[(2, 4, 2), (3, 9, 5), (3, 80, 5), (2, 16, 0)],

@@ -21,8 +21,8 @@ import pytest
 
 from repro import MVPTree, VPTree
 from repro.datasets import uniform_vectors
-from repro.metric import L2
 from repro.indexes.vptree import VPInternalNode
+from repro.metric import L2
 
 
 class TestThinShellObservation:

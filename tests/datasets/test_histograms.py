@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import DistanceHistogram, distance_histogram, uniform_vectors
+from repro.datasets import distance_histogram, uniform_vectors
 from repro.metric import L2, CountingMetric
 
 

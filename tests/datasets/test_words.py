@@ -1,6 +1,5 @@
 """Tests for the synthetic word-corpus generator."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import synthetic_words

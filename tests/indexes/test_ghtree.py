@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import GHTree, LinearScan
-from repro.indexes.ghtree import GHInternalNode, GHLeafNode
+from repro.indexes.ghtree import GHLeafNode
 from repro.metric import L2, CountingMetric
 
 

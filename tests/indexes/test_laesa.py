@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import LAESA, LinearScan
-from repro.metric import L2, CountingMetric, EditDistance
+from repro.metric import L2, CountingMetric
 
 
 @pytest.fixture(scope="module")

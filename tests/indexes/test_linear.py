@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import LinearScan, Neighbor
-from repro.metric import L2, CountingMetric
+from repro.metric import CountingMetric
 
 
 @pytest.fixture()

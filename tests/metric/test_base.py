@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.metric import L2, CountingMetric, FunctionMetric, Metric
+from repro.metric import (
+    L2,
+    CountingMetric,
+    FunctionMetric,
+    InvalidDistanceError,
+    Metric,
+    ValidatingMetric,
+)
 
 
 class TestFunctionMetric:
@@ -89,3 +96,50 @@ class TestCountingMetric:
         outer.distance(np.zeros(2), np.ones(2))
         assert outer.count == 1
         assert outer.inner.count == 1
+
+
+class TestCompositionOrder:
+    """CountingMetric/ValidatingMetric stacking semantics (documented on
+    ValidatingMetric): both orders agree on valid data and on failing
+    scalar calls; they differ on a failing batch."""
+
+    def test_orders_agree_on_valid_data(self):
+        a = CountingMetric(ValidatingMetric(L2()))
+        b = ValidatingMetric(CountingMetric(L2()))
+        xs = np.random.default_rng(0).random((5, 3))
+        y = np.zeros(3)
+        assert a.distance(xs[0], y) == b.distance(xs[0], y)
+        np.testing.assert_allclose(a.batch_distance(xs, y), b.batch_distance(xs, y))
+        assert a.count == b.inner.count == 6
+
+    def test_failing_scalar_call_counts_in_both_orders(self):
+        bad = FunctionMetric(lambda a, b: float("nan"))
+        counting_outer = CountingMetric(ValidatingMetric(bad))
+        with pytest.raises(InvalidDistanceError):
+            counting_outer.distance(1, 2)
+        assert counting_outer.count == 1
+
+        validating_outer = ValidatingMetric(CountingMetric(bad))
+        with pytest.raises(InvalidDistanceError):
+            validating_outer.distance(1, 2)
+        assert validating_outer.inner.count == 1
+
+    def test_failing_batch_is_uncounted_in_recommended_order(self):
+        bad = FunctionMetric(lambda a, b: -1.0)
+        counting_outer = CountingMetric(ValidatingMetric(bad))
+        with pytest.raises(InvalidDistanceError):
+            counting_outer.batch_distance([1, 2, 3], 0)
+        assert counting_outer.count == 0
+
+    def test_failing_batch_is_counted_in_reversed_order(self):
+        bad = FunctionMetric(lambda a, b: -1.0)
+        validating_outer = ValidatingMetric(CountingMetric(bad))
+        with pytest.raises(InvalidDistanceError):
+            validating_outer.batch_distance([1, 2, 3], 0)
+        assert validating_outer.inner.count == 3
+
+    def test_reset_is_unaffected_by_stacking(self):
+        metric = CountingMetric(ValidatingMetric(L2()))
+        metric.batch_distance(np.zeros((4, 2)), np.ones(2))
+        assert metric.reset() == 4
+        assert metric.count == 0

@@ -57,7 +57,9 @@ class TestViolationsAreCaught:
 
     def test_is_metric_false_for_broken(self, vectors):
         broken = FunctionMetric(lambda a, b: float(((a - b) ** 2).sum()))
-        assert not is_metric(broken, vectors, n_triples=500, rng=np.random.default_rng(7))
+        assert not is_metric(
+            broken, vectors, n_triples=500, rng=np.random.default_rng(7)
+        )
 
     def test_infinite_distance_flagged(self, vectors):
         broken = FunctionMetric(lambda a, b: float("inf"))

@@ -1,0 +1,134 @@
+"""Tests for QueryStats, StatsSummary and the aggregation helpers."""
+
+import json
+
+import pytest
+
+from repro.obs import QueryStats, StatsSummary, summarize
+from repro.obs.stats import (
+    PRUNE_KNN_RADIUS,
+    PRUNE_LEAF_D1,
+    PRUNE_VP1_SHELL,
+    leaf_dist_kind,
+    merge_all,
+    vp_shell_kind,
+)
+
+
+class TestPruneVocabulary:
+    def test_vp_shell_kind_series(self):
+        assert vp_shell_kind(0) == PRUNE_VP1_SHELL
+        assert vp_shell_kind(1) == "vp2-shell"
+        assert vp_shell_kind(2) == "vp3-shell"
+
+    def test_leaf_dist_kind_series(self):
+        assert leaf_dist_kind(0) == PRUNE_LEAF_D1
+        assert leaf_dist_kind(1) == "leaf-d2"
+        assert leaf_dist_kind(4) == "leaf-d5"
+
+
+class TestQueryStats:
+    def test_starts_at_zero(self):
+        stats = QueryStats()
+        assert stats.distance_calls == 0
+        assert stats.nodes_visited == 0
+        assert stats.prunes == {}
+        assert stats.prunes_total == 0
+
+    def test_record_prune_accumulates(self):
+        stats = QueryStats()
+        stats.record_prune(PRUNE_VP1_SHELL)
+        stats.record_prune(PRUNE_VP1_SHELL, 3)
+        stats.record_prune(PRUNE_KNN_RADIUS, 2)
+        assert stats.prunes == {PRUNE_VP1_SHELL: 4, PRUNE_KNN_RADIUS: 2}
+        assert stats.prunes_total == 6
+
+    def test_reset_zeroes_in_place(self):
+        stats = QueryStats(distance_calls=7, nodes_visited=3)
+        stats.record_prune(PRUNE_LEAF_D1, 5)
+        out = stats.reset()
+        assert out is stats
+        assert stats.distance_calls == 0
+        assert stats.prunes == {}
+
+    def test_merge_adds_every_counter(self):
+        a = QueryStats(
+            distance_calls=2,
+            nodes_visited=3,
+            internal_visited=2,
+            leaf_visited=1,
+            leaf_points_seen=10,
+            leaf_points_scanned=6,
+            leaf_points_filtered=4,
+        )
+        a.record_prune(PRUNE_VP1_SHELL, 2)
+        b = QueryStats(distance_calls=5, leaf_points_seen=1)
+        b.record_prune(PRUNE_VP1_SHELL, 1)
+        b.record_prune(PRUNE_KNN_RADIUS, 7)
+        out = a.merge(b)
+        assert out is a
+        assert a.distance_calls == 7
+        assert a.leaf_points_seen == 11
+        assert a.prunes == {PRUNE_VP1_SHELL: 3, PRUNE_KNN_RADIUS: 7}
+
+    def test_merge_all_sums_a_batch(self):
+        batch = [QueryStats(distance_calls=i) for i in (1, 2, 3)]
+        assert merge_all(batch).distance_calls == 6
+        assert merge_all([]).distance_calls == 0
+
+    def test_to_dict_is_json_serialisable(self):
+        stats = QueryStats(distance_calls=4)
+        stats.record_prune(PRUNE_LEAF_D1, 2)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["distance_calls"] == 4
+        assert payload["prunes"] == {PRUNE_LEAF_D1: 2}
+
+    def test_to_dict_copies_prunes(self):
+        stats = QueryStats()
+        stats.record_prune(PRUNE_LEAF_D1)
+        payload = stats.to_dict()
+        payload["prunes"]["injected"] = 99
+        assert "injected" not in stats.prunes
+
+
+class TestSummarize:
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_mean_and_percentiles(self):
+        batch = [QueryStats(distance_calls=c) for c in (10, 20, 30, 40)]
+        summary = summarize(batch)
+        assert summary.n_queries == 4
+        assert summary.distance_calls_mean == 25.0
+        assert summary.distance_calls_p50 == 25.0
+        assert summary.distance_calls_p95 >= summary.distance_calls_p50
+
+    def test_prunes_mean_unions_kinds(self):
+        a = QueryStats()
+        a.record_prune(PRUNE_VP1_SHELL, 4)
+        b = QueryStats()
+        b.record_prune(PRUNE_KNN_RADIUS, 2)
+        summary = summarize([a, b])
+        assert summary.prunes_mean == {
+            PRUNE_KNN_RADIUS: 1.0,
+            PRUNE_VP1_SHELL: 2.0,
+        }
+
+    def test_leaf_point_means(self):
+        batch = [
+            QueryStats(leaf_points_seen=10, leaf_points_scanned=4,
+                       leaf_points_filtered=6),
+            QueryStats(leaf_points_seen=20, leaf_points_scanned=20),
+        ]
+        summary = summarize(batch)
+        assert summary.leaf_points_seen_mean == 15.0
+        assert summary.leaf_points_scanned_mean == 12.0
+        assert summary.leaf_points_filtered_mean == 3.0
+
+    def test_summary_to_dict_round_trips_through_json(self):
+        summary = summarize([QueryStats(distance_calls=3)])
+        assert isinstance(summary, StatsSummary)
+        payload = json.loads(json.dumps(summary.to_dict()))
+        assert payload["distance_calls"]["mean"] == 3.0
+        assert payload["n_queries"] == 1

@@ -6,7 +6,6 @@ answers equal a linear scan over the (live) dataset.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 from hypothesis.extra import numpy as npst
 

@@ -7,11 +7,10 @@ survive a JSON round-trip with identical query behaviour.
 import json
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 from hypothesis.extra import numpy as npst
 
-from repro import GHTree, GMVPTree, GNAT, MVPTree, VPTree
+from repro import GNAT, GHTree, GMVPTree, MVPTree, VPTree
 from repro.metric import L2
 from repro.persist import index_from_dict, index_to_dict
 

@@ -9,16 +9,15 @@ queries through every structure.
 """
 
 import numpy as np
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 from hypothesis.extra import numpy as npst
 
 from repro import (
     GNAT,
+    LAESA,
     BKTree,
     DistanceMatrixIndex,
     GHTree,
-    LAESA,
     LinearScan,
     MVPTree,
     VPTree,
@@ -158,7 +157,9 @@ class TestVectorStructuresMatchOracle:
 
 
 class TestDuplicateHeavyData:
-    @given(case=duplicated_datasets(), radius=st.floats(0, 5), seed=st.integers(0, 2**10))
+    @given(
+        case=duplicated_datasets(), radius=st.floats(0, 5), seed=st.integers(0, 2**10)
+    )
     def test_all_tree_structures(self, case, radius, seed):
         data, query = case
         oracle = LinearScan(data, L2())

@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro import (
+    GNAT,
     BKTree,
     DistanceMatrixIndex,
     DynamicMVPTree,
     GHTree,
-    GNAT,
     MVPTree,
     VPTree,
 )

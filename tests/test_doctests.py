@@ -53,7 +53,9 @@ def test_docstring_examples(module):
         module,
         optionflags=doctest.NORMALIZE_WHITESPACE | doctest.IGNORE_EXCEPTION_DETAIL,
     )
-    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert (
+        results.failed == 0
+    ), f"{results.failed} doctest failures in {module.__name__}"
 
 
 def test_docstrings_exist_on_public_api():

@@ -10,12 +10,12 @@ import pytest
 
 from repro import (
     GNAT,
+    LAESA,
     BKTree,
     DistanceMatrixIndex,
     DynamicMVPTree,
     GHTree,
     GMVPTree,
-    LAESA,
     LinearScan,
     MVPTree,
     VPTree,

@@ -5,7 +5,7 @@ import pytest
 
 from repro import LinearScan
 from repro.datasets import random_walk_series, seasonal_series
-from repro.metric import L1, L2, CountingMetric, FunctionMetric
+from repro.metric import L1, L2, CountingMetric
 from repro.transforms import (
     BlockAggregateTransform,
     ContractionViolation,
