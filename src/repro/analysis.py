@@ -138,6 +138,7 @@ def _leaf(report: TreeReport, size: int, depth: int) -> None:
 
 
 def _walk_gmvp(node, depth: int, report: TreeReport) -> None:
+    """Accumulate gmvp-tree stats (recursive; depth <= tree height)."""
     if node is None:
         return
     if isinstance(node, GMVPLeafNode):
@@ -154,6 +155,7 @@ def _walk_gmvp(node, depth: int, report: TreeReport) -> None:
 
 
 def _walk_mvp(node, depth: int, report: TreeReport) -> None:
+    """Accumulate mvp-tree stats (recursive; depth <= tree height)."""
     if node is None:
         return
     if isinstance(node, MVPLeafNode):
@@ -173,6 +175,7 @@ def _walk_mvp(node, depth: int, report: TreeReport) -> None:
 
 
 def _walk_vp(node, depth: int, report: TreeReport) -> None:
+    """Accumulate vp-tree stats (recursive; depth <= tree height)."""
     if node is None:
         return
     if isinstance(node, VPLeafNode):
@@ -187,6 +190,7 @@ def _walk_vp(node, depth: int, report: TreeReport) -> None:
 
 
 def _walk_gh(node, depth: int, report: TreeReport) -> None:
+    """Accumulate gh-tree stats (recursive; depth <= tree height)."""
     if node is None:
         return
     if isinstance(node, GHLeafNode):
@@ -201,6 +205,7 @@ def _walk_gh(node, depth: int, report: TreeReport) -> None:
 
 
 def _walk_gnat(node, depth: int, report: TreeReport) -> None:
+    """Accumulate GNAT stats (recursive; depth <= tree height)."""
     if node is None:
         return
     if isinstance(node, GNATLeafNode):
@@ -217,6 +222,7 @@ def _walk_gnat(node, depth: int, report: TreeReport) -> None:
 
 
 def _walk_bk(node: Optional[BKNode], depth: int, report: TreeReport) -> None:
+    """Accumulate BK-tree stats (recursive; depth <= tree height)."""
     if node is None:
         return
     report.node_count += 1

@@ -1,0 +1,98 @@
+"""Build one small, deterministic instance of every index class.
+
+The ``repro-check invariants`` command needs a built index per class to
+verify.  :func:`build_verification_indexes` constructs all eleven over
+tiny synthetic datasets (a few dozen points) so the full sweep stays
+fast while still exercising multi-level trees, the dynamic tree's
+tombstone/rebuild machinery, and the transform filter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.dynamic import DynamicMVPTree
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.datasets.timeseries import random_walk_series
+from repro.datasets.vectors import uniform_vectors
+from repro.datasets.words import synthetic_words
+from repro.indexes.base import MetricIndex
+from repro.indexes.bktree import BKTree
+from repro.indexes.distance_matrix import DistanceMatrixIndex
+from repro.indexes.ghtree import GHTree
+from repro.indexes.gnat import GNAT
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric.discrete import EditDistance
+from repro.metric.minkowski import L2
+from repro.transforms.filter import TransformIndex
+from repro.transforms.fourier import DFTTransform
+
+
+def build_verification_indexes(
+    seed: int = 0, n: int = 48, only: Optional[Sequence[str]] = None
+) -> dict[str, MetricIndex]:
+    """Return ``{class name: built index}`` for every index class.
+
+    ``seed`` drives every random choice (datasets and vantage-point
+    selection), so repeated runs verify identical structures.  ``only``
+    restricts construction to the named classes.
+    """
+    wanted = None if only is None else set(only)
+
+    def skip(name: str) -> bool:
+        return wanted is not None and name not in wanted
+
+    indexes: dict[str, MetricIndex] = {}
+    vectors = uniform_vectors(n, dim=8, rng=seed)
+    metric = L2()
+
+    if not skip("LinearScan"):
+        indexes["LinearScan"] = LinearScan(vectors, metric)
+    if not skip("VPTree"):
+        indexes["VPTree"] = VPTree(
+            vectors, metric, m=3, leaf_capacity=4, rng=seed
+        )
+    if not skip("GHTree"):
+        indexes["GHTree"] = GHTree(vectors, metric, leaf_capacity=4, rng=seed)
+    if not skip("GNAT"):
+        indexes["GNAT"] = GNAT(
+            vectors, metric, degree=4, leaf_capacity=4, rng=seed
+        )
+    if not skip("DistanceMatrixIndex"):
+        indexes["DistanceMatrixIndex"] = DistanceMatrixIndex(
+            vectors[: min(n, 24)], metric
+        )
+    if not skip("LAESA"):
+        indexes["LAESA"] = LAESA(vectors, metric, n_pivots=5, rng=seed)
+    if not skip("MVPTree"):
+        indexes["MVPTree"] = MVPTree(vectors, metric, m=3, k=4, p=4, rng=seed)
+    if not skip("GMVPTree"):
+        indexes["GMVPTree"] = GMVPTree(
+            vectors, metric, m=2, v=3, k=4, p=4, rng=seed
+        )
+    if not skip("DynamicMVPTree"):
+        # Build over half the data, insert the rest, delete a few: the
+        # verifier then sees tombstones, leaf rebuilds, and routed
+        # inserts — the states unique to the dynamic tree.
+        dynamic = DynamicMVPTree(
+            vectors[: n // 2], metric, m=3, k=4, p=4, rng=seed
+        )
+        for row in vectors[n // 2 :]:
+            dynamic.insert(row)
+        for idx in range(0, n, max(1, n // 5)):
+            dynamic.delete(idx)
+        indexes["DynamicMVPTree"] = dynamic
+
+    if not skip("BKTree"):
+        words = synthetic_words(n, rng=seed)
+        indexes["BKTree"] = BKTree(words, EditDistance())
+    if not skip("TransformIndex"):
+        series = random_walk_series(n, length=32, rng=seed)
+        indexes["TransformIndex"] = TransformIndex(
+            series, metric, DFTTransform(4)
+        )
+
+    return indexes

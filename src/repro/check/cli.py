@@ -1,0 +1,168 @@
+"""Command-line entry point for the correctness tooling.
+
+Usage::
+
+    python -m repro.check lint [paths...] [--select RC001,RC002] [--json]
+    python -m repro.check invariants [--seed N] [--size N] [--only Cls] [--json]
+    python -m repro.check all [--json]
+
+Exit codes: 0 when clean, 1 when any finding or violation is reported,
+2 on usage errors (argparse's convention).  Also installed as the
+``repro-check`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.check.invariants import Violation, verify_structure
+from repro.check.lint import LintFinding, run_lint
+
+#: Default lint target: the installed ``repro`` package itself.
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _parse_select(value: Optional[str]) -> Optional[frozenset[str]]:
+    if value is None:
+        return None
+    return frozenset(
+        code.strip().upper() for code in value.split(",") if code.strip()
+    )
+
+
+def run_lint_command(
+    paths: Sequence[str],
+    select: Optional[str] = None,
+    as_json: bool = False,
+    out=sys.stdout,
+) -> int:
+    """Run the AST lint; returns the process exit code."""
+    targets = [Path(p) for p in paths] if paths else [_PACKAGE_ROOT]
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+    findings: list[LintFinding] = run_lint(
+        targets, select=_parse_select(select), root=Path.cwd()
+    )
+    if as_json:
+        json.dump(
+            [finding.__dict__ for finding in findings], out, indent=2
+        )
+        out.write("\n")
+    else:
+        for finding in findings:
+            print(finding.format(), file=out)
+        print(
+            f"lint: {len(findings)} finding(s) in {len(targets)} path(s)",
+            file=out,
+        )
+    return 1 if findings else 0
+
+
+def run_invariants_command(
+    seed: int = 0,
+    size: int = 48,
+    only: Optional[Sequence[str]] = None,
+    as_json: bool = False,
+    indexes=None,
+    out=sys.stdout,
+) -> int:
+    """Verify structural invariants; returns the process exit code.
+
+    ``indexes`` may supply a prebuilt ``{name: index}`` mapping (used by
+    the corruption-injection tests); by default every index class is
+    built fresh via :func:`repro.check.builders.build_verification_indexes`.
+    """
+    if indexes is None:
+        from repro.check.builders import build_verification_indexes
+
+        try:
+            indexes = build_verification_indexes(seed=seed, n=size, only=only)
+        except KeyError as exc:
+            print(f"error: unknown index class {exc}", file=sys.stderr)
+            return 2
+        if only and not indexes:
+            print(f"error: no index matched --only {only}", file=sys.stderr)
+            return 2
+    report: dict[str, list[Violation]] = {}
+    for name, index in sorted(indexes.items()):
+        report[name] = verify_structure(index)
+    total = sum(len(violations) for violations in report.values())
+    if as_json:
+        json.dump(
+            {
+                name: [violation.__dict__ for violation in violations]
+                for name, violations in report.items()
+            },
+            out,
+            indent=2,
+        )
+        out.write("\n")
+    else:
+        for name, violations in report.items():
+            status = "ok" if not violations else f"{len(violations)} violation(s)"
+            print(f"{name}: {status}", file=out)
+            for violation in violations:
+                print(f"  {violation.format()}", file=out)
+        print(
+            f"invariants: {total} violation(s) across {len(report)} index(es)",
+            file=out,
+        )
+    return 1 if total else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Static lint + structural invariant verifier "
+        "for the repro index family.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_parser = sub.add_parser("lint", help="run the AST lint rules")
+    lint_parser.add_argument(
+        "paths", nargs="*", help="files/directories (default: the repro package)"
+    )
+    lint_parser.add_argument(
+        "--select", help="comma-separated rule codes to run (e.g. RC001,RC003)"
+    )
+    lint_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    inv_parser = sub.add_parser(
+        "invariants", help="build every index class and verify its structure"
+    )
+    inv_parser.add_argument("--seed", type=int, default=0)
+    inv_parser.add_argument(
+        "--size", type=int, default=48, help="dataset size per index"
+    )
+    inv_parser.add_argument(
+        "--only",
+        action="append",
+        help="verify only this index class (repeatable)",
+    )
+    inv_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    all_parser = sub.add_parser("all", help="run both layers")
+    all_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return run_lint_command(
+            args.paths, select=args.select, as_json=args.as_json
+        )
+    if args.command == "invariants":
+        return run_invariants_command(
+            seed=args.seed, size=args.size, only=args.only, as_json=args.as_json
+        )
+    lint_code = run_lint_command([], as_json=args.as_json)
+    invariant_code = run_invariants_command(as_json=args.as_json)
+    return max(lint_code, invariant_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

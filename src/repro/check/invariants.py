@@ -1,0 +1,1085 @@
+"""Structural invariant verifier for every index class.
+
+``verify_structure(index)`` walks a *built* index and re-derives the
+claims its search algorithms rely on, returning a list of
+:class:`Violation` records (empty when the structure is sound).  The
+checks recompute distances with the index's own metric, so they cost
+``O(n * height)`` metric evaluations — meant for tests and the
+``repro-check`` CLI over small datasets, not for production data.
+
+Invariants checked (paper sections 4.2/4.3 where applicable):
+
+* ``id-partition`` — the node tree holds every expected id exactly once.
+* ``cutoff-monotone`` — M1 cutoffs and every M2 row are non-decreasing
+  (section 4.2: cutoffs are order statistics of sorted distances).
+* ``m1-shape`` / ``m2-shape`` — M1 has ``m - 1`` entries, M2 is
+  ``m x (m - 1)``, children/bounds have the advertised fanout.
+* ``bounds-order`` — every stored shell satisfies ``0 <= lo <= hi``
+  (the ``(inf, -inf)`` empty-partition sentinel is exempt).
+* ``bounds-cutoff-consistent`` — shell radii fall inside the cutoff
+  interval their partition claims (section 4.3 prunes against both).
+* ``partition-membership`` — every point under child ``(i, j)`` really
+  lies inside that child's claimed shells around both vantage points.
+* ``leaf-distance`` — leaf D1/D2 entries equal recomputed distances to
+  the leaf's vantage points (section 4.2 step 2.1/2.5).
+* ``leaf-capacity`` — leaves respect ``k`` (or the dynamic overflow
+  allowance ``overflow_factor * k``).
+* ``path-shape`` / ``path-consistency`` — PATH rows have
+  ``min(p, #ancestor vps)`` entries and equal recomputed distances to
+  the ancestor vantage points in root-path order (section 4.1,
+  Observation 2).
+* ``gnat-range-bracket`` / ``gnat-voronoi`` — GNAT range tables bracket
+  the true split-to-member distances (including the split point itself)
+  and members are assigned to their closest split point.
+* ``gh-membership`` / ``gh-covering-radius`` — GH-tree sides hold the
+  closer points and the recorded covering radii dominate.
+* ``bk-edge-exact`` — every BK-subtree under edge ``c`` sits at
+  distance exactly ``c`` from the parent element.
+* ``table-truth`` / ``matrix-symmetry`` / ``matrix-diagonal`` — LAESA
+  and AESA precomputed tables equal recomputed distances.
+* ``transform-truth`` / ``transform-contraction`` — the transformed
+  dataset matches ``transform.transform`` and sampled transformed
+  distances never exceed the true metric (section 3.1's contraction
+  requirement, the exactness precondition of filter-and-refine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.dynamic import DynamicMVPTree
+from repro.core.gmvptree import GMVPLeafNode, GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.core.nodes import MVPLeafNode
+from repro.indexes.base import MetricIndex
+from repro.indexes.bktree import BKTree
+from repro.indexes.distance_matrix import DistanceMatrixIndex
+from repro.indexes.ghtree import GHLeafNode, GHTree
+from repro.indexes.gnat import GNAT, GNATLeafNode
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPLeafNode, VPTree
+from repro.transforms.filter import TransformIndex
+
+#: Relative tolerance for comparing stored against recomputed distances.
+_REL_TOL = 1e-9
+
+_EMPTY_BOUND_LO = float("inf")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant at a node location."""
+
+    invariant: str
+    location: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.invariant} @ {self.location}: {self.message}"
+
+
+def _tol(*values: float) -> float:
+    return _REL_TOL * (1.0 + max((abs(v) for v in values), default=0.0))
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _tol(a, b)
+
+
+def _within(value: float, lo: float, hi: float) -> bool:
+    return lo - _tol(lo, value) <= value <= hi + _tol(hi, value)
+
+
+def _is_empty_bound(bound) -> bool:
+    lo, hi = bound
+    return lo == _EMPTY_BOUND_LO and hi == float("-inf")
+
+
+def _nondecreasing(values) -> bool:
+    return all(
+        values[i + 1] >= values[i] - _tol(values[i])
+        for i in range(len(values) - 1)
+    )
+
+
+def _cutoff_interval(cutoffs, i: int) -> tuple[float, float]:
+    """The cutoff-implied interval of partition ``i`` (section 4.3)."""
+    lo = 0.0 if i == 0 else float(cutoffs[i - 1])
+    hi = float(cutoffs[i]) if i < len(cutoffs) else float("inf")
+    return lo, hi
+
+
+def _check_id_partition(
+    seen: list[int], expected: set[int], out: list[Violation], what: str
+) -> None:
+    counts: dict[int, int] = {}
+    for idx in seen:
+        counts[idx] = counts.get(idx, 0) + 1
+    duplicates = sorted(i for i, c in counts.items() if c > 1)
+    if duplicates:
+        out.append(
+            Violation(
+                "id-partition",
+                "root",
+                f"ids stored more than once in the {what}: {duplicates[:10]}",
+            )
+        )
+    missing = sorted(expected - set(counts))
+    extra = sorted(set(counts) - expected)
+    if missing or extra:
+        out.append(
+            Violation(
+                "id-partition",
+                "root",
+                f"{what} id set mismatch: missing {missing[:10]}, "
+                f"unexpected {extra[:10]}",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# mvp-tree family (MVPTree, DynamicMVPTree)
+# ----------------------------------------------------------------------
+
+
+def _mvp_subtree_ids(node) -> Iterator[int]:
+    """Yield every id under ``node`` (recursive; depth <= tree height)."""
+    if node is None:
+        return
+    yield node.vp1_id
+    if isinstance(node, MVPLeafNode):
+        if node.vp2_id is not None:
+            yield node.vp2_id
+        yield from node.ids
+        return
+    yield node.vp2_id
+    for child in node.children:
+        yield from _mvp_subtree_ids(child)
+
+
+def verify_mvptree(index: MVPTree) -> list[Violation]:
+    """Check MVPTree / DynamicMVPTree invariants (sections 4.1-4.3)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    m = index.m
+    if isinstance(index, DynamicMVPTree):
+        expected = set(range(len(objects))) - (
+            index.removed_ids - index.tombstone_ids
+        )
+        leaf_cap = int(index.overflow_factor * index.k)
+    else:
+        expected = set(range(len(objects)))
+        leaf_cap = index.k
+    root = index.root
+    if root is None:
+        if expected:
+            out.append(
+                Violation(
+                    "id-partition", "root", f"empty tree but {len(expected)} ids expected"
+                )
+            )
+        return out
+
+    seen: list[int] = []
+
+    def visit(node, loc: str, ancestors: list[int]) -> None:
+        """Recursive structural walk (depth bounded by tree height)."""
+        seen.append(node.vp1_id)
+        if isinstance(node, MVPLeafNode):
+            _visit_leaf(node, loc, ancestors)
+            return
+        seen.append(node.vp2_id)
+
+        if len(node.cutoffs1) != m - 1:
+            out.append(
+                Violation(
+                    "m1-shape",
+                    loc,
+                    f"cutoffs1 has {len(node.cutoffs1)} entries, expected {m - 1}",
+                )
+            )
+        if len(node.cutoffs2) != m or any(
+            len(row) != m - 1 for row in node.cutoffs2
+        ):
+            out.append(
+                Violation(
+                    "m2-shape",
+                    loc,
+                    f"cutoffs2 is not {m} rows of {m - 1} entries",
+                )
+            )
+        if (
+            len(node.bounds1) != m
+            or len(node.bounds2) != m
+            or any(len(row) != m for row in node.bounds2)
+            or len(node.children) != m * m
+        ):
+            out.append(
+                Violation(
+                    "m2-shape",
+                    loc,
+                    f"bounds/children fanout inconsistent with m={m}",
+                )
+            )
+            return  # subsequent indexed checks would be meaningless
+
+        if not _nondecreasing(node.cutoffs1):
+            out.append(
+                Violation(
+                    "cutoff-monotone",
+                    loc,
+                    f"cutoffs1 not non-decreasing: {node.cutoffs1}",
+                )
+            )
+        for i, row in enumerate(node.cutoffs2):
+            if not _nondecreasing(row):
+                out.append(
+                    Violation(
+                        "cutoff-monotone",
+                        loc,
+                        f"cutoffs2[{i}] not non-decreasing: {row}",
+                    )
+                )
+
+        for i in range(m):
+            if not _is_empty_bound(node.bounds1[i]):
+                _check_bounds(node.bounds1[i], node.cutoffs1, i, f"bounds1[{i}]", loc)
+            for j in range(m):
+                if not _is_empty_bound(node.bounds2[i][j]):
+                    _check_bounds(
+                        node.bounds2[i][j],
+                        node.cutoffs2[i],
+                        j,
+                        f"bounds2[{i}][{j}]",
+                        loc,
+                    )
+
+        child_ancestors = ancestors + [node.vp1_id, node.vp2_id]
+        for i in range(m):
+            lo1, hi1 = node.bounds1[i]
+            for j in range(m):
+                child = node.children[i * m + j]
+                if child is None:
+                    continue
+                lo2, hi2 = node.bounds2[i][j]
+                child_loc = f"{loc}.children[{i * m + j}]"
+                for idx in _mvp_subtree_ids(child):
+                    d1 = dist(objects[idx], objects[node.vp1_id])
+                    d2 = dist(objects[idx], objects[node.vp2_id])
+                    if not _within(d1, lo1, hi1):
+                        out.append(
+                            Violation(
+                                "partition-membership",
+                                child_loc,
+                                f"point {idx}: d(x, vp1)={d1:.6g} outside "
+                                f"bounds1[{i}]=({lo1:.6g}, {hi1:.6g})",
+                            )
+                        )
+                    if not _within(d2, lo2, hi2):
+                        out.append(
+                            Violation(
+                                "partition-membership",
+                                child_loc,
+                                f"point {idx}: d(x, vp2)={d2:.6g} outside "
+                                f"bounds2[{i}][{j}]=({lo2:.6g}, {hi2:.6g})",
+                            )
+                        )
+                visit(child, child_loc, child_ancestors)
+
+    def _check_bounds(bound, cutoffs, i, name: str, loc: str) -> None:
+        lo, hi = bound
+        if not (0.0 <= lo + _tol(lo) and lo <= hi + _tol(hi, lo)):
+            out.append(
+                Violation(
+                    "bounds-order",
+                    loc,
+                    f"{name}=({lo:.6g}, {hi:.6g}) violates 0 <= lo <= hi",
+                )
+            )
+            return
+        c_lo, c_hi = _cutoff_interval(cutoffs, i)
+        if not (_within(lo, c_lo, c_hi) and _within(hi, c_lo, c_hi)):
+            out.append(
+                Violation(
+                    "bounds-cutoff-consistent",
+                    loc,
+                    f"{name}=({lo:.6g}, {hi:.6g}) outside cutoff interval "
+                    f"({c_lo:.6g}, {c_hi:.6g})",
+                )
+            )
+
+    def _visit_leaf(node: MVPLeafNode, loc: str, ancestors: list[int]) -> None:
+        if node.vp2_id is None:
+            if node.ids:
+                out.append(
+                    Violation(
+                        "leaf-distance",
+                        loc,
+                        "leaf has data points but no second vantage point",
+                    )
+                )
+            return
+        seen.append(node.vp2_id)
+        seen.extend(node.ids)
+
+        if len(node.ids) > leaf_cap:
+            out.append(
+                Violation(
+                    "leaf-capacity",
+                    loc,
+                    f"leaf holds {len(node.ids)} points > capacity {leaf_cap}",
+                )
+            )
+        if len(node.d1) != len(node.ids) or len(node.d2) != len(node.ids):
+            out.append(
+                Violation(
+                    "leaf-distance",
+                    loc,
+                    f"D1/D2 lengths ({len(node.d1)}, {len(node.d2)}) != "
+                    f"{len(node.ids)} points",
+                )
+            )
+            return
+
+        expected_path_len = min(index.p, len(ancestors))
+        if node.path_len != expected_path_len or node.paths.shape != (
+            len(node.ids),
+            node.path_len,
+        ):
+            out.append(
+                Violation(
+                    "path-shape",
+                    loc,
+                    f"paths shape {node.paths.shape} / path_len "
+                    f"{node.path_len}, expected ({len(node.ids)}, "
+                    f"{expected_path_len})",
+                )
+            )
+            return
+
+        for t, idx in enumerate(node.ids):
+            d1 = dist(objects[idx], objects[node.vp1_id])
+            if not _close(float(node.d1[t]), d1):
+                out.append(
+                    Violation(
+                        "leaf-distance",
+                        loc,
+                        f"D1[{t}] (point {idx}) = {float(node.d1[t]):.6g}, "
+                        f"recomputed {d1:.6g}",
+                    )
+                )
+            d2 = dist(objects[idx], objects[node.vp2_id])
+            if not _close(float(node.d2[t]), d2):
+                out.append(
+                    Violation(
+                        "leaf-distance",
+                        loc,
+                        f"D2[{t}] (point {idx}) = {float(node.d2[t]):.6g}, "
+                        f"recomputed {d2:.6g}",
+                    )
+                )
+            for s in range(node.path_len):
+                expected_d = dist(objects[idx], objects[ancestors[s]])
+                if not _close(float(node.paths[t, s]), expected_d):
+                    out.append(
+                        Violation(
+                            "path-consistency",
+                            loc,
+                            f"PATH[{t}, {s}] (point {idx}, ancestor vp "
+                            f"{ancestors[s]}) = {float(node.paths[t, s]):.6g}, "
+                            f"recomputed {expected_d:.6g}",
+                        )
+                    )
+
+    visit(root, "root", [])
+    _check_id_partition(seen, expected, out, "mvp-tree")
+    return out
+
+
+# ----------------------------------------------------------------------
+# GMVPTree
+# ----------------------------------------------------------------------
+
+
+def _gmvp_subtree_ids(node) -> Iterator[int]:
+    """Yield every id under ``node`` (recursive; depth <= tree height)."""
+    if node is None:
+        return
+    yield from node.vp_ids
+    if isinstance(node, GMVPLeafNode):
+        yield from node.ids
+        return
+    for child in node.children:
+        yield from _gmvp_subtree_ids(child)
+
+
+def verify_gmvptree(index: GMVPTree) -> list[Violation]:
+    """Check GMVPTree invariants (the v-vantage-point generalisation)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    m, v = index.m, index.v
+    seen: list[int] = []
+
+    def visit(node, loc: str, ancestors: list[int]) -> None:
+        """Recursive structural walk (depth bounded by tree height)."""
+        seen.extend(node.vp_ids)
+        if isinstance(node, GMVPLeafNode):
+            _visit_leaf(node, loc, ancestors)
+            return
+
+        if len(node.vp_ids) != v:
+            out.append(
+                Violation(
+                    "m1-shape",
+                    loc,
+                    f"internal node has {len(node.vp_ids)} vantage points, "
+                    f"expected {v}",
+                )
+            )
+        if len(node.children) != m**v or len(node.bounds) != m**v or any(
+            len(row) != v for row in node.bounds
+        ):
+            out.append(
+                Violation(
+                    "m2-shape",
+                    loc,
+                    f"children/bounds fanout inconsistent with m**v={m**v}",
+                )
+            )
+            return
+
+        child_ancestors = ancestors + list(node.vp_ids)
+        for c, child in enumerate(node.children):
+            if child is None:
+                continue
+            child_loc = f"{loc}.children[{c}]"
+            for t in range(len(node.vp_ids)):
+                lo, hi = node.bounds[c][t]
+                if _is_empty_bound(node.bounds[c][t]):
+                    out.append(
+                        Violation(
+                            "bounds-order",
+                            loc,
+                            f"bounds[{c}][{t}] is the empty sentinel but "
+                            "the child is non-empty",
+                        )
+                    )
+                    continue
+                if not (0.0 <= lo + _tol(lo) and lo <= hi + _tol(hi, lo)):
+                    out.append(
+                        Violation(
+                            "bounds-order",
+                            loc,
+                            f"bounds[{c}][{t}]=({lo:.6g}, {hi:.6g}) violates "
+                            "0 <= lo <= hi",
+                        )
+                    )
+                    continue
+                for idx in _gmvp_subtree_ids(child):
+                    d = dist(objects[idx], objects[node.vp_ids[t]])
+                    if not _within(d, lo, hi):
+                        out.append(
+                            Violation(
+                                "partition-membership",
+                                child_loc,
+                                f"point {idx}: d(x, vp{t})={d:.6g} outside "
+                                f"bounds[{c}][{t}]=({lo:.6g}, {hi:.6g})",
+                            )
+                        )
+            visit(child, child_loc, child_ancestors)
+
+    def _visit_leaf(node: GMVPLeafNode, loc: str, ancestors: list[int]) -> None:
+        seen.extend(node.ids)
+        if len(node.ids) > index.k:
+            out.append(
+                Violation(
+                    "leaf-capacity",
+                    loc,
+                    f"leaf holds {len(node.ids)} points > capacity {index.k}",
+                )
+            )
+        expected_rows = len(node.vp_ids) if node.ids else node.dists.shape[0]
+        if node.dists.shape != (expected_rows, len(node.ids)):
+            out.append(
+                Violation(
+                    "leaf-distance",
+                    loc,
+                    f"dists shape {node.dists.shape}, expected "
+                    f"({expected_rows}, {len(node.ids)})",
+                )
+            )
+            return
+        expected_path_len = min(index.p, len(ancestors))
+        if node.path_len != expected_path_len or node.paths.shape != (
+            len(node.ids),
+            node.path_len,
+        ):
+            out.append(
+                Violation(
+                    "path-shape",
+                    loc,
+                    f"paths shape {node.paths.shape} / path_len "
+                    f"{node.path_len}, expected ({len(node.ids)}, "
+                    f"{expected_path_len})",
+                )
+            )
+            return
+        for t, vp_id in enumerate(node.vp_ids[: node.dists.shape[0]]):
+            for i, idx in enumerate(node.ids):
+                d = dist(objects[idx], objects[vp_id])
+                if not _close(float(node.dists[t, i]), d):
+                    out.append(
+                        Violation(
+                            "leaf-distance",
+                            loc,
+                            f"dists[{t}, {i}] (point {idx}, vp {vp_id}) = "
+                            f"{float(node.dists[t, i]):.6g}, recomputed {d:.6g}",
+                        )
+                    )
+        for i, idx in enumerate(node.ids):
+            for s in range(node.path_len):
+                expected_d = dist(objects[idx], objects[ancestors[s]])
+                if not _close(float(node.paths[i, s]), expected_d):
+                    out.append(
+                        Violation(
+                            "path-consistency",
+                            loc,
+                            f"PATH[{i}, {s}] (point {idx}, ancestor vp "
+                            f"{ancestors[s]}) = {float(node.paths[i, s]):.6g}, "
+                            f"recomputed {expected_d:.6g}",
+                        )
+                    )
+
+    visit(index.root, "root", [])
+    _check_id_partition(seen, set(range(len(objects))), out, "gmvp-tree")
+    return out
+
+
+# ----------------------------------------------------------------------
+# VPTree
+# ----------------------------------------------------------------------
+
+
+def _vp_subtree_ids(node) -> Iterator[int]:
+    """Yield every id under ``node`` (recursive; depth <= tree height)."""
+    if node is None:
+        return
+    if isinstance(node, VPLeafNode):
+        yield from node.ids
+        return
+    yield node.vp_id
+    for child in node.children:
+        yield from _vp_subtree_ids(child)
+
+
+def verify_vptree(index: VPTree) -> list[Violation]:
+    """Check VPTree invariants (spherical-cut shells, section 3.3)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    m = index.m
+    seen: list[int] = []
+
+    def visit(node, loc: str) -> None:
+        """Recursive structural walk (depth bounded by tree height)."""
+        if isinstance(node, VPLeafNode):
+            seen.extend(node.ids)
+            if len(node.ids) > index.leaf_capacity:
+                out.append(
+                    Violation(
+                        "leaf-capacity",
+                        loc,
+                        f"leaf holds {len(node.ids)} points > capacity "
+                        f"{index.leaf_capacity}",
+                    )
+                )
+            return
+        seen.append(node.vp_id)
+        if (
+            len(node.cutoffs) != m - 1
+            or len(node.bounds) != m
+            or len(node.children) != m
+        ):
+            out.append(
+                Violation(
+                    "m1-shape",
+                    loc,
+                    f"cutoffs/bounds/children fanout inconsistent with m={m}",
+                )
+            )
+            return
+        if not _nondecreasing(node.cutoffs):
+            out.append(
+                Violation(
+                    "cutoff-monotone",
+                    loc,
+                    f"cutoffs not non-decreasing: {node.cutoffs}",
+                )
+            )
+        for i in range(m):
+            child = node.children[i]
+            lo, hi = node.bounds[i]
+            if child is None:
+                continue
+            if _is_empty_bound(node.bounds[i]):
+                out.append(
+                    Violation(
+                        "bounds-order",
+                        loc,
+                        f"bounds[{i}] is the empty sentinel but the child "
+                        "is non-empty",
+                    )
+                )
+                continue
+            if not (0.0 <= lo + _tol(lo) and lo <= hi + _tol(hi, lo)):
+                out.append(
+                    Violation(
+                        "bounds-order",
+                        loc,
+                        f"bounds[{i}]=({lo:.6g}, {hi:.6g}) violates 0 <= lo <= hi",
+                    )
+                )
+                continue
+            c_lo, c_hi = _cutoff_interval(node.cutoffs, i)
+            if not (_within(lo, c_lo, c_hi) and _within(hi, c_lo, c_hi)):
+                out.append(
+                    Violation(
+                        "bounds-cutoff-consistent",
+                        loc,
+                        f"bounds[{i}]=({lo:.6g}, {hi:.6g}) outside cutoff "
+                        f"interval ({c_lo:.6g}, {c_hi:.6g})",
+                    )
+                )
+            child_loc = f"{loc}.children[{i}]"
+            for idx in _vp_subtree_ids(child):
+                d = dist(objects[idx], objects[node.vp_id])
+                if not _within(d, lo, hi):
+                    out.append(
+                        Violation(
+                            "partition-membership",
+                            child_loc,
+                            f"point {idx}: d(x, vp)={d:.6g} outside "
+                            f"bounds[{i}]=({lo:.6g}, {hi:.6g})",
+                        )
+                    )
+            visit(child, child_loc)
+
+    visit(index.root, "root")
+    _check_id_partition(seen, set(range(len(objects))), out, "vp-tree")
+    return out
+
+
+# ----------------------------------------------------------------------
+# GHTree
+# ----------------------------------------------------------------------
+
+
+def _gh_subtree_ids(node) -> Iterator[int]:
+    """Yield every id under ``node`` (recursive; depth <= tree height)."""
+    if node is None:
+        return
+    if isinstance(node, GHLeafNode):
+        yield from node.ids
+        return
+    yield node.p1_id
+    yield node.p2_id
+    yield from _gh_subtree_ids(node.left)
+    yield from _gh_subtree_ids(node.right)
+
+
+def verify_ghtree(index: GHTree) -> list[Violation]:
+    """Check GHTree invariants (hyperplane sides + covering radii)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    seen: list[int] = []
+
+    def visit(node, loc: str) -> None:
+        """Recursive structural walk (depth bounded by tree height)."""
+        if node is None:
+            return
+        if isinstance(node, GHLeafNode):
+            seen.extend(node.ids)
+            if len(node.ids) > max(index.leaf_capacity, 1):
+                out.append(
+                    Violation(
+                        "leaf-capacity",
+                        loc,
+                        f"leaf holds {len(node.ids)} points > capacity "
+                        f"{max(index.leaf_capacity, 1)}",
+                    )
+                )
+            return
+        seen.append(node.p1_id)
+        seen.append(node.p2_id)
+        sides = (
+            ("left", node.left, node.p1_id, node.p2_id, node.r1),
+            ("right", node.right, node.p2_id, node.p1_id, node.r2),
+        )
+        for name, child, near_id, far_id, radius in sides:
+            child_loc = f"{loc}.{name}"
+            for idx in _gh_subtree_ids(child):
+                d_near = dist(objects[idx], objects[near_id])
+                d_far = dist(objects[idx], objects[far_id])
+                if d_near > d_far + _tol(d_near, d_far):
+                    out.append(
+                        Violation(
+                            "gh-membership",
+                            child_loc,
+                            f"point {idx} on the {name} side is closer to "
+                            f"the other pivot ({d_near:.6g} > {d_far:.6g})",
+                        )
+                    )
+                if d_near > radius + _tol(radius, d_near):
+                    out.append(
+                        Violation(
+                            "gh-covering-radius",
+                            child_loc,
+                            f"point {idx}: d(x, pivot)={d_near:.6g} exceeds "
+                            f"covering radius {radius:.6g}",
+                        )
+                    )
+            visit(child, child_loc)
+
+    visit(index.root, "root")
+    _check_id_partition(seen, set(range(len(objects))), out, "gh-tree")
+    return out
+
+
+# ----------------------------------------------------------------------
+# GNAT
+# ----------------------------------------------------------------------
+
+
+def _gnat_subtree_ids(node) -> Iterator[int]:
+    """Yield every id under ``node`` (recursive; depth <= tree height)."""
+    if node is None:
+        return
+    if isinstance(node, GNATLeafNode):
+        yield from node.ids
+        return
+    yield from node.split_ids
+    for child in node.children:
+        yield from _gnat_subtree_ids(child)
+
+
+def verify_gnat(index: GNAT) -> list[Violation]:
+    """Check GNAT invariants (Voronoi assignment + range tables)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    seen: list[int] = []
+
+    def visit(node, loc: str) -> None:
+        """Recursive structural walk (depth bounded by tree height)."""
+        if node is None:
+            return
+        if isinstance(node, GNATLeafNode):
+            seen.extend(node.ids)
+            if len(node.ids) > index.leaf_capacity:
+                out.append(
+                    Violation(
+                        "leaf-capacity",
+                        loc,
+                        f"leaf holds {len(node.ids)} points > capacity "
+                        f"{index.leaf_capacity}",
+                    )
+                )
+            return
+        seen.extend(node.split_ids)
+        degree = len(node.split_ids)
+        if len(node.children) != degree or len(node.ranges) != degree or any(
+            len(row) != degree for row in node.ranges
+        ):
+            out.append(
+                Violation(
+                    "m1-shape",
+                    loc,
+                    f"ranges/children fanout inconsistent with degree={degree}",
+                )
+            )
+            return
+        members = [list(_gnat_subtree_ids(child)) for child in node.children]
+        for j in range(degree):
+            child_loc = f"{loc}.children[{j}]"
+            for idx in members[j]:
+                d_own = dist(objects[idx], objects[node.split_ids[j]])
+                for i in range(degree):
+                    if i == j:
+                        continue
+                    d_other = dist(objects[idx], objects[node.split_ids[i]])
+                    if d_own > d_other + _tol(d_own, d_other):
+                        out.append(
+                            Violation(
+                                "gnat-voronoi",
+                                child_loc,
+                                f"point {idx} assigned to split {j} but is "
+                                f"closer to split {i} "
+                                f"({d_own:.6g} > {d_other:.6g})",
+                            )
+                        )
+        for i in range(degree):
+            for j in range(degree):
+                lo, hi = node.ranges[i][j]
+                if lo > hi + _tol(lo, hi):
+                    out.append(
+                        Violation(
+                            "bounds-order",
+                            loc,
+                            f"ranges[{i}][{j}]=({lo:.6g}, {hi:.6g}) has lo > hi",
+                        )
+                    )
+                    continue
+                # The table must bracket split_j itself and every member
+                # of dataset j (the [Bri95] contract the search relies on).
+                covered = [node.split_ids[j]] + members[j]
+                for idx in covered:
+                    d = dist(objects[node.split_ids[i]], objects[idx])
+                    if not _within(d, lo, hi):
+                        out.append(
+                            Violation(
+                                "gnat-range-bracket",
+                                loc,
+                                f"d(split_{i}, {idx})={d:.6g} outside "
+                                f"ranges[{i}][{j}]=({lo:.6g}, {hi:.6g})",
+                            )
+                        )
+        for j, child in enumerate(node.children):
+            visit(child, f"{loc}.children[{j}]")
+
+    visit(index.root, "root")
+    _check_id_partition(seen, set(range(len(objects))), out, "gnat")
+    return out
+
+
+# ----------------------------------------------------------------------
+# BKTree
+# ----------------------------------------------------------------------
+
+
+def verify_bktree(index: BKTree) -> list[Violation]:
+    """Check BKTree invariants (exact-distance edges, [BK73])."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    seen: list[int] = []
+
+    def subtree_ids(node) -> Iterator[int]:
+        """Yield ids under ``node`` (recursive; depth <= tree height)."""
+        yield node.id
+        for child in node.children.values():
+            yield from subtree_ids(child)
+
+    def visit(node, loc: str) -> None:
+        """Recursive structural walk (depth bounded by tree height)."""
+        seen.append(node.id)
+        for edge, child in node.children.items():
+            child_loc = f"{loc}.children[{edge!r}]"
+            for idx in subtree_ids(child):
+                d = dist(objects[idx], objects[node.id])
+                if not _close(float(d), float(edge)):
+                    out.append(
+                        Violation(
+                            "bk-edge-exact",
+                            child_loc,
+                            f"element {idx} under edge {edge} is at "
+                            f"distance {d} from element {node.id}",
+                        )
+                    )
+            visit(child, child_loc)
+
+    if index.root is not None:
+        visit(index.root, "root")
+    _check_id_partition(seen, set(range(len(objects))), out, "bk-tree")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Table / matrix / transform / linear indexes
+# ----------------------------------------------------------------------
+
+
+def verify_laesa(index: LAESA) -> list[Violation]:
+    """Check LAESA invariants (pivot-table truth)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    n = len(objects)
+    if index.table.shape != (n, index.n_pivots) or len(index.pivot_ids) != (
+        index.n_pivots
+    ):
+        out.append(
+            Violation(
+                "table-truth",
+                "table",
+                f"table shape {index.table.shape} / {len(index.pivot_ids)} "
+                f"pivots, expected ({n}, {index.n_pivots})",
+            )
+        )
+        return out
+    for column, pivot in enumerate(index.pivot_ids):
+        if not 0 <= pivot < n:
+            out.append(
+                Violation(
+                    "table-truth", f"table[:, {column}]", f"pivot id {pivot} out of range"
+                )
+            )
+            continue
+        for row in range(n):
+            d = dist(objects[row], objects[pivot])
+            if not _close(float(index.table[row, column]), d):
+                out.append(
+                    Violation(
+                        "table-truth",
+                        f"table[{row}, {column}]",
+                        f"stored {float(index.table[row, column]):.6g}, "
+                        f"recomputed {d:.6g} (pivot {pivot})",
+                    )
+                )
+    return out
+
+
+def verify_distance_matrix(index: DistanceMatrixIndex) -> list[Violation]:
+    """Check AESA matrix invariants (symmetry, diagonal, truth)."""
+    out: list[Violation] = []
+    dist = index._metric.distance
+    objects = index._objects
+    n = len(objects)
+    matrix = index.matrix
+    if matrix.shape != (n, n):
+        out.append(
+            Violation(
+                "table-truth",
+                "matrix",
+                f"matrix shape {matrix.shape}, expected ({n}, {n})",
+            )
+        )
+        return out
+    for i in range(n):
+        if matrix[i, i] != 0.0:
+            out.append(
+                Violation(
+                    "matrix-diagonal",
+                    f"matrix[{i}, {i}]",
+                    f"diagonal entry {matrix[i, i]:.6g} != 0",
+                )
+            )
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not _close(float(matrix[i, j]), float(matrix[j, i])):
+                out.append(
+                    Violation(
+                        "matrix-symmetry",
+                        f"matrix[{i}, {j}]",
+                        f"{float(matrix[i, j]):.6g} != "
+                        f"{float(matrix[j, i]):.6g} transposed",
+                    )
+                )
+                continue
+            d = dist(objects[i], objects[j])
+            if not _close(float(matrix[i, j]), d):
+                out.append(
+                    Violation(
+                        "table-truth",
+                        f"matrix[{i}, {j}]",
+                        f"stored {float(matrix[i, j]):.6g}, recomputed {d:.6g}",
+                    )
+                )
+    return out
+
+
+def verify_transform_index(index: TransformIndex) -> list[Violation]:
+    """Check TransformIndex invariants (truth + contraction, section 3.1)."""
+    out: list[Violation] = []
+    objects = index._objects
+    n = len(objects)
+    transformed = index.transformed
+    if len(transformed) != n:
+        out.append(
+            Violation(
+                "transform-truth",
+                "transformed",
+                f"{len(transformed)} transformed rows for {n} objects",
+            )
+        )
+        return out
+    for i in range(n):
+        fresh = np.asarray(index.transform.transform(objects[i]))
+        stored = np.asarray(transformed[i])
+        if stored.shape != fresh.shape or not np.allclose(
+            stored, fresh, rtol=_REL_TOL, atol=_REL_TOL
+        ):
+            out.append(
+                Violation(
+                    "transform-truth",
+                    f"transformed[{i}]",
+                    "stored transform differs from transform.transform(object)",
+                )
+            )
+    # Contraction on a deterministic sample of pairs: the filter is only
+    # exact when transformed distances never exceed true distances.
+    target = index.transform.target_metric
+    sample = range(0, n, max(1, n // 12))
+    for i in sample:
+        for j in sample:
+            if j <= i:
+                continue
+            d_true = index._metric.distance(objects[i], objects[j])
+            d_low = target.distance(transformed[i], transformed[j])
+            if d_low > d_true + _tol(d_low, d_true):
+                out.append(
+                    Violation(
+                        "transform-contraction",
+                        f"pair ({i}, {j})",
+                        f"transformed distance {d_low:.6g} exceeds true "
+                        f"distance {d_true:.6g}",
+                    )
+                )
+    return out
+
+
+def verify_linear(index: LinearScan) -> list[Violation]:
+    """LinearScan stores no structure; only the dataset must be non-empty."""
+    if len(index._objects) == 0:
+        return [Violation("id-partition", "root", "empty dataset")]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+#: Ordered (class, verifier) registry; subclasses must precede parents.
+VERIFIERS: list[tuple[type, Callable[[MetricIndex], list[Violation]]]] = [
+    (DynamicMVPTree, verify_mvptree),
+    (MVPTree, verify_mvptree),
+    (GMVPTree, verify_gmvptree),
+    (VPTree, verify_vptree),
+    (GHTree, verify_ghtree),
+    (GNAT, verify_gnat),
+    (BKTree, verify_bktree),
+    (LAESA, verify_laesa),
+    (DistanceMatrixIndex, verify_distance_matrix),
+    (TransformIndex, verify_transform_index),
+    (LinearScan, verify_linear),
+]
+
+
+def verify_structure(index: MetricIndex) -> list[Violation]:
+    """Verify the structural invariants of any supported index.
+
+    Returns a (possibly empty) list of violations; raises ``TypeError``
+    for index types without a registered verifier.
+    """
+    for cls, verifier in VERIFIERS:
+        if isinstance(index, cls):
+            return verifier(index)
+    raise TypeError(
+        f"no structural verifier registered for {type(index).__name__}"
+    )

@@ -1,0 +1,561 @@
+"""Repo-specific AST lint rules (the RCxxx family).
+
+The rules encode contracts that ordinary linters cannot see because
+they are conventions of *this* codebase:
+
+RC001  Index/search code must route metric evaluations through the
+       ``MetricIndex._dist`` / ``_batch_dist`` counting gateway; a raw
+       ``*.distance(...)`` / ``*.batch_distance(...)`` call on a
+       metric-like receiver silently bypasses per-query accounting.
+RC002  Public ``range_search`` / ``knn_search`` methods must accept the
+       keyword-only ``stats=`` and ``trace=`` observability arguments.
+RC003  Observation events (``obs.distance()``, ``obs.prune()``, ...)
+       must sit under an ``obs is not None`` guard — ``make_observation``
+       returns ``None`` when observability is off.
+RC004  Recursive node-walking functions must carry a docstring noting
+       why the recursion depth is bounded (tree height / stack note).
+RC005  numpy scalars must not leak through API boundaries: scalar
+       ``argmax``/``argmin`` results need ``int(...)`` coercion and
+       ``Neighbor(...)`` built from array subscripts needs
+       ``float(...)``/``int(...)``.
+RC006  Every concrete :class:`~repro.indexes.base.MetricIndex` subclass
+       must be exported through a package ``__all__`` registry so the
+       evaluation helpers and CLI can reach it.
+
+Findings can be silenced per line (or from the preceding line) with a
+ruff-style pragma::
+
+    some_call()  # repro-check: ignore[RC001] why it is fine
+
+``run_lint`` is the programmatic entry point; the CLI lives in
+:mod:`repro.check.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+_PRAGMA = re.compile(r"#\s*repro-check:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+#: Observation event methods (see ``repro.obs.trace.Observation``).
+_OBS_EVENTS = {
+    "distance",
+    "enter_internal",
+    "enter_leaf",
+    "prune",
+    "filter_points",
+    "leaf_scan",
+}
+
+#: Names conventionally bound to ``make_observation(...)`` results.
+_OBS_NAMES = {"obs", "query_obs", "observation"}
+
+#: Docstring evidence that a recursive walk thought about stack depth.
+_RECURSION_NOTE = re.compile(r"recursi|stack depth", re.IGNORECASE)
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class SourceFile:
+    """A parsed module: AST with parent links plus pragma suppressions."""
+
+    def __init__(self, path: Path, root: Optional[Path] = None):
+        self.path = path
+        self.display = str(
+            path.relative_to(root) if root and path.is_relative_to(root) else path
+        )
+        self.source = path.read_text()
+        self.tree = ast.parse(self.source, filename=str(path))
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._rc_parent = node  # type: ignore[attr-defined]
+        self.suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match:
+                codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                self.suppressions.setdefault(lineno, set()).update(codes)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """True when ``code`` is ignored on ``line`` or the line above."""
+        for candidate in (line, line - 1):
+            codes = self.suppressions.get(candidate)
+            if codes and (code in codes or "all" in codes):
+                return True
+        return False
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "_rc_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+
+class Rule:
+    """One per-file lint rule; subclasses yield ``(node, message)``."""
+
+    code: str = ""
+    description: str = ""
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return True
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule needing the whole file set (cross-module registry checks)."""
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[tuple[SourceFile, ast.AST, str]]:
+        raise NotImplementedError
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """Terminal identifier of the attribute receiver (``a.b.c`` -> c)."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _enclosing_functions(file: SourceFile, node: ast.AST) -> Iterator[ast.AST]:
+    for ancestor in file.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield ancestor
+
+
+class RawMetricCallRule(Rule):
+    """RC001: raw metric calls in index code bypass distance counting."""
+
+    code = "RC001"
+    description = (
+        "metric.distance/batch_distance called directly in index code; "
+        "route through MetricIndex._dist/_batch_dist so per-query stats "
+        "stay equal to the true metric evaluation count"
+    )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        posix = Path(file.display).as_posix()
+        return (
+            "/indexes/" in f"/{posix}"
+            or "/core/" in f"/{posix}"
+            or posix.endswith("transforms/filter.py")
+        )
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in ("distance", "batch_distance"):
+                continue
+            receiver = _receiver_name(node.func)
+            if receiver is None or not receiver.lower().endswith("metric"):
+                continue
+            if any(
+                fn.name in ("_dist", "_batch_dist")
+                for fn in _enclosing_functions(file, node)
+            ):
+                continue  # the gateway itself
+            yield node, (
+                f"raw {receiver}.{node.func.attr}() bypasses the _dist/"
+                "_batch_dist counting gateway"
+            )
+
+
+class SearchSignatureRule(Rule):
+    """RC002: public search methods must expose stats=/trace= keywords."""
+
+    code = "RC002"
+    description = (
+        "range_search/knn_search methods must accept keyword-only "
+        "stats= and trace= observability arguments"
+    )
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name not in ("range_search", "knn_search"):
+                    continue
+                kwonly = {arg.arg for arg in item.args.kwonlyargs}
+                missing = sorted({"stats", "trace"} - kwonly)
+                if missing:
+                    yield item, (
+                        f"{node.name}.{item.name} is missing keyword-only "
+                        f"argument(s): {', '.join(missing)}"
+                    )
+
+
+def _guards_obs(file: SourceFile, call: ast.Call, name: str) -> bool:
+    """True when ``call`` sits under an ``{name} is not None`` guard."""
+    child: ast.AST = call
+    for ancestor in file.ancestors(call):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False  # reached the function body unguarded
+        if isinstance(ancestor, ast.If):
+            if child in ancestor.body and _tests_not_none(ancestor.test, name):
+                return True
+            if child in ancestor.orelse and _tests_is_none(ancestor.test, name):
+                return True
+        child = ancestor
+    return False
+
+
+def _tests_not_none(test: ast.expr, name: str) -> bool:
+    """Recursive over nested BoolOps; depth bounded by test nesting."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_tests_not_none(value, name) for value in test.values)
+    return _is_none_compare(test, name, ast.IsNot)
+
+
+def _tests_is_none(test: ast.expr, name: str) -> bool:
+    """Recursive over nested BoolOps; depth bounded by test nesting."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        return any(_tests_is_none(value, name) for value in test.values)
+    return _is_none_compare(test, name, ast.Is)
+
+
+def _is_none_compare(test: ast.expr, name: str, op_type: type) -> bool:
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == name
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], op_type)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+class UnguardedObservationRule(Rule):
+    """RC003: observation events must be guarded by ``is None`` tests."""
+
+    code = "RC003"
+    description = (
+        "observation event calls must sit under an 'obs is not None' "
+        "guard (make_observation returns None when observability is off)"
+    )
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in _OBS_EVENTS:
+                continue
+            value = node.func.value
+            if not (isinstance(value, ast.Name) and value.id in _OBS_NAMES):
+                continue
+            if not _guards_obs(file, node, value.id):
+                yield node, (
+                    f"{value.id}.{node.func.attr}() is not guarded by "
+                    f"'{value.id} is not None'"
+                )
+
+
+def _call_targets(caller: ast.AST) -> Iterator[str]:
+    """Names of functions ``caller`` may invoke, without entering nested
+    function/class scopes (those are separate call-graph nodes)."""
+    stack = list(ast.iter_child_nodes(caller))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                yield func.id
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ) and func.value.id in ("self", "cls"):
+                yield func.attr
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class UnboundedRecursionRule(Rule):
+    """RC004: recursive walks must document their depth bound."""
+
+    code = "RC004"
+    description = (
+        "functions on a recursion cycle must carry a docstring noting "
+        "the depth/stack bound (e.g. 'depth bounded by the tree height')"
+    )
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        functions: dict[int, ast.AST] = {}
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[id(node)] = node
+
+        edges: dict[int, set[int]] = {key: set() for key in functions}
+        for key, fn in functions.items():
+            for target in _call_targets(fn):
+                resolved = self._resolve(file, fn, target)
+                if resolved is not None:
+                    edges[key].add(id(resolved))
+
+        for key, fn in functions.items():
+            if self._reaches(edges, key, key):
+                docstring = ast.get_docstring(fn) or ""
+                if not _RECURSION_NOTE.search(docstring):
+                    yield fn, (
+                        f"{fn.name} is (mutually) recursive but its "
+                        "docstring does not note the recursion depth bound"
+                    )
+
+    @staticmethod
+    def _reaches(edges: dict[int, set[int]], start: int, goal: int) -> bool:
+        seen: set[int] = set()
+        stack = list(edges.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+    def _resolve(
+        self, file: SourceFile, caller: ast.AST, name: str
+    ) -> Optional[ast.AST]:
+        """Resolve a call target lexically: enclosing class methods for
+        ``self.name``/bare siblings, then outer scopes, then module."""
+        scopes: list[ast.AST] = [caller]
+        scopes.extend(file.ancestors(caller))
+        for scope in scopes:
+            if isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Module)
+            ):
+                for item in scope.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name == name
+                    ):
+                        return item
+        return None
+
+
+class NumpyScalarLeakRule(Rule):
+    """RC005: numpy scalars must be coerced at API boundaries."""
+
+    code = "RC005"
+    description = (
+        "scalar argmax/argmin results and Neighbor fields built from "
+        "array subscripts need explicit int()/float() coercion"
+    )
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "argmax",
+                "argmin",
+            ):
+                if any(kw.arg == "axis" for kw in node.keywords):
+                    continue  # array-valued result, not a scalar index
+                if not self._coerced(file, node, "int"):
+                    yield node, (
+                        f"scalar {func.attr}() result used without int() "
+                        "coercion (numpy integer would leak)"
+                    )
+            elif isinstance(func, ast.Name) and func.id == "Neighbor":
+                if len(node.args) >= 1 and self._is_bare_subscript(node.args[0]):
+                    yield node, (
+                        "Neighbor distance built from an array subscript "
+                        "without float() coercion"
+                    )
+                if len(node.args) >= 2 and self._is_bare_subscript(node.args[1]):
+                    yield node, (
+                        "Neighbor id built from an array subscript "
+                        "without int() coercion"
+                    )
+
+    @staticmethod
+    def _is_bare_subscript(arg: ast.expr) -> bool:
+        return isinstance(arg, ast.Subscript)
+
+    @staticmethod
+    def _coerced(file: SourceFile, node: ast.AST, coercion: str) -> bool:
+        """True when a ``coercion(...)`` call wraps ``node`` somewhere
+        within the enclosing statement."""
+        for ancestor in file.ancestors(node):
+            if isinstance(ancestor, ast.stmt):
+                return False
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Name)
+                and ancestor.func.id == coercion
+            ):
+                return True
+        return False
+
+
+class UnregisteredIndexRule(ProjectRule):
+    """RC006: every MetricIndex subclass must be in a package registry."""
+
+    code = "RC006"
+    description = (
+        "concrete MetricIndex subclasses must be exported via a package "
+        "__init__ __all__ list so tooling can enumerate them"
+    )
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[tuple[SourceFile, ast.AST, str]]:
+        # Collect every class definition and its base-class names.
+        classes: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+        bases: dict[str, set[str]] = {}
+        for file in files:
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, (file, node))
+                    names = set()
+                    for base in node.bases:
+                        if isinstance(base, ast.Name):
+                            names.add(base.id)
+                        elif isinstance(base, ast.Attribute):
+                            names.add(base.attr)
+                    bases.setdefault(node.name, set()).update(names)
+
+        # Transitive closure of subclasses of MetricIndex.
+        index_classes: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, parents in bases.items():
+                if name in index_classes or name == "MetricIndex":
+                    continue
+                if parents & (index_classes | {"MetricIndex"}):
+                    index_classes.add(name)
+                    changed = True
+
+        # Union of every __init__.py __all__ export list.
+        exported: set[str] = set()
+        for file in files:
+            if Path(file.display).name != "__init__.py":
+                continue
+            for node in ast.walk(file.tree):
+                if (
+                    isinstance(node, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets
+                    )
+                    and isinstance(node.value, (ast.List, ast.Tuple))
+                ):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            exported.add(element.value)
+
+        for name in sorted(index_classes - exported):
+            if name.startswith("_"):
+                continue  # private helpers opt out of the registry
+            file, node = classes[name]
+            yield file, node, (
+                f"index class {name} is not exported from any package "
+                "__init__ __all__ registry"
+            )
+
+
+RULES: list[Rule] = [
+    RawMetricCallRule(),
+    SearchSignatureRule(),
+    UnguardedObservationRule(),
+    UnboundedRecursionRule(),
+    NumpyScalarLeakRule(),
+    UnregisteredIndexRule(),
+]
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_lint(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> list[LintFinding]:
+    """Run the RC rules over ``paths`` and return sorted findings.
+
+    ``select`` restricts to the given rule codes; ``root`` (defaulting
+    to the common parent) relativises displayed paths.
+    """
+    files = [SourceFile(p, root=root) for p in _iter_python_files(paths)]
+    wanted = set(select) if select else None
+    active = [r for r in RULES if wanted is None or r.code in wanted]
+
+    findings: list[LintFinding] = []
+    for rule in active:
+        if isinstance(rule, ProjectRule):
+            scoped = [f for f in files if rule.applies_to(f)]
+            for file, node, message in rule.check_project(scoped):
+                line = getattr(node, "lineno", 1)
+                if not file.suppressed(rule.code, line):
+                    findings.append(
+                        LintFinding(
+                            file.display,
+                            line,
+                            getattr(node, "col_offset", 0) + 1,
+                            rule.code,
+                            message,
+                        )
+                    )
+            continue
+        for file in files:
+            if not rule.applies_to(file):
+                continue
+            for node, message in rule.check(file):
+                line = getattr(node, "lineno", 1)
+                if file.suppressed(rule.code, line):
+                    continue
+                findings.append(
+                    LintFinding(
+                        file.display,
+                        line,
+                        getattr(node, "col_offset", 0) + 1,
+                        rule.code,
+                        message,
+                    )
+                )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))

@@ -150,6 +150,16 @@ class DynamicMVPTree(MVPTree):
         """Number of tombstoned objects still present as routing entries."""
         return len(self._deleted)
 
+    @property
+    def tombstone_ids(self) -> frozenset[int]:
+        """Ids tombstoned in the tree (still present as routing entries)."""
+        return frozenset(self._deleted)
+
+    @property
+    def removed_ids(self) -> frozenset[int]:
+        """Every id ever deleted (tombstoned or purged by a rebuild)."""
+        return frozenset(self._removed)
+
     def is_live(self, idx: int) -> bool:
         """True when ``idx`` is indexed and was never deleted."""
         return 0 <= idx < len(self._objects) and idx not in self._removed
@@ -188,16 +198,19 @@ class DynamicMVPTree(MVPTree):
         path_entries: list[float],
         ancestors: list[int],
     ):
-        """Insert ``idx`` under ``node``; returns the (possibly new) node."""
+        """Insert ``idx`` under ``node``; returns the (possibly new) node.
+
+        Recursive descent; depth is bounded by the tree height.
+        """
         obj = self._objects[idx]
-        d1 = self._metric.distance(obj, self._objects[node.vp1_id])
+        d1 = self._dist(None, obj, self._objects[node.vp1_id])
 
         if isinstance(node, MVPLeafNode):
             return self._insert_into_leaf(
                 node, idx, d1, level, depth, path_entries, ancestors
             )
 
-        d2 = self._metric.distance(obj, self._objects[node.vp2_id])
+        d2 = self._dist(None, obj, self._objects[node.vp2_id])
         if level <= self.p:
             path_entries.append(d1)
         if level + 1 <= self.p:
@@ -260,9 +273,7 @@ class DynamicMVPTree(MVPTree):
             self.vantage_point_count += 1
             return leaf
 
-        d2 = self._metric.distance(
-            self._objects[idx], self._objects[leaf.vp2_id]
-        )
+        d2 = self._dist(None, self._objects[idx], self._objects[leaf.vp2_id])
         leaf.ids.append(idx)
         leaf.d1 = np.append(leaf.d1, d1)
         leaf.d2 = np.append(leaf.d2, d2)
@@ -291,7 +302,8 @@ class DynamicMVPTree(MVPTree):
         paths = np.full((len(member_ids), self.p), np.nan)
         for vp_row, vp_id in enumerate((leaf.vp1_id, leaf.vp2_id)):
             if path_len:
-                paths[vp_row, :path_len] = self._metric.batch_distance(
+                paths[vp_row, :path_len] = self._batch_dist(
+                    None,
                     gather(self._objects, ancestors[:path_len]),
                     self._objects[vp_id],
                 )

@@ -163,6 +163,11 @@ class GMVPTree(MetricIndex):
     # ------------------------------------------------------------------
 
     def _build(self, ids, paths, level: int, depth: int) -> _Node:
+        """Build a subtree (mutually recursive with ``_build_internal``).
+
+        Recursion depth is bounded by the tree height, so the default
+        interpreter stack suffices.
+        """
         if not ids:
             return None
         self.height = max(self.height, depth)
@@ -206,8 +211,8 @@ class GMVPTree(MetricIndex):
             if not rest_ids:
                 break
             distances = np.asarray(
-                self._metric.batch_distance(
-                    gather(self._objects, rest_ids), self._objects[vp_id]
+                self._batch_dist(
+                    None, gather(self._objects, rest_ids), self._objects[vp_id]
                 )
             )
             dist_rows.append(distances)
@@ -226,6 +231,11 @@ class GMVPTree(MetricIndex):
         )
 
     def _build_internal(self, ids, paths, level: int, depth: int) -> GMVPInternalNode:
+        """Nested-partition internal node; recurses via ``_build``.
+
+        Part of the mutually recursive build; depth is bounded by the
+        tree height.
+        """
         m, v = self.m, self.v
         rest_ids = list(ids)
         rest_paths = paths
@@ -262,8 +272,8 @@ class GMVPTree(MetricIndex):
 
             if rest_ids:
                 distances = np.asarray(
-                    self._metric.batch_distance(
-                        gather(self._objects, rest_ids), self._objects[vp_id]
+                    self._batch_dist(
+                        None, gather(self._objects, rest_ids), self._objects[vp_id]
                     )
                 )
             else:
@@ -331,18 +341,18 @@ class GMVPTree(MetricIndex):
         out.sort()
         return out
 
-    def _vp_distances(self, node, query) -> np.ndarray:
+    def _vp_distances(
+        self, node, query, obs: Optional[Observation] = None
+    ) -> np.ndarray:
         return np.array(
-            [
-                self._metric.distance(query, self._objects[vp_id])
-                for vp_id in node.vp_ids
-            ]
+            [self._dist(obs, query, self._objects[vp_id]) for vp_id in node.vp_ids]
         )
 
     def _range(
         self, node: _Node, query, radius, path_q, level, out,
         obs: Optional[Observation] = None,
     ) -> None:
+        """Recursive range-search walk (depth bounded by tree height)."""
         if node is None:
             return
         if obs is not None:
@@ -350,8 +360,7 @@ class GMVPTree(MetricIndex):
                 obs.enter_leaf(len(node.ids))
             else:
                 obs.enter_internal()
-            obs.distance(len(node.vp_ids))
-        dq = self._vp_distances(node, query)
+        dq = self._vp_distances(node, query, obs)
         out.extend(
             vp_id for vp_id, d in zip(node.vp_ids, dq) if d <= radius
         )
@@ -384,10 +393,9 @@ class GMVPTree(MetricIndex):
             candidates = [node.ids[i] for i in np.nonzero(mask)[0]]
             if obs is not None:
                 obs.leaf_scan(len(node.ids), len(candidates))
-                obs.distance(len(candidates))
             if candidates:
-                distances = self._metric.batch_distance(
-                    gather(self._objects, candidates), query
+                distances = self._batch_dist(
+                    obs, gather(self._objects, candidates), query
                 )
                 out.extend(
                     idx
@@ -462,8 +470,7 @@ class GMVPTree(MetricIndex):
                     obs.enter_leaf(len(node.ids))
                 else:
                     obs.enter_internal()
-                obs.distance(len(node.vp_ids))
-            dq = self._vp_distances(node, query)
+            dq = self._vp_distances(node, query, obs)
             for vp_id, d in zip(node.vp_ids, dq):
                 consider(float(d), vp_id)
 
@@ -524,12 +531,11 @@ class GMVPTree(MetricIndex):
             if definitely_greater(float(lower[pos]) * approximation, threshold()):
                 break
             scanned += 1
-            distance = self._metric.distance(query, self._objects[node.ids[pos]])
+            distance = self._dist(obs, query, self._objects[node.ids[pos]])
             consider(float(distance), node.ids[pos])
         if obs is not None:
             obs.filter_points(PRUNE_KNN_RADIUS, len(node.ids) - scanned)
             obs.leaf_scan(len(node.ids), scanned)
-            obs.distance(scanned)
 
     @property
     def root(self) -> _Node:

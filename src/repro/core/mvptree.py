@@ -162,6 +162,11 @@ class MVPTree(MetricIndex):
     def _build(
         self, ids: list[int], paths: np.ndarray, level: int, depth: int
     ) -> _Node:
+        """Build a subtree (mutually recursive with ``_build_internal``).
+
+        Recursion depth is bounded by the tree height (each sub-cut is
+        strictly smaller), so the default interpreter stack suffices.
+        """
         if not ids:
             return None
         self.height = max(self.height, depth)
@@ -194,8 +199,8 @@ class MVPTree(MetricIndex):
             )
 
         d_to_vp1 = np.asarray(
-            self._metric.batch_distance(
-                gather(self._objects, rest_ids), self._objects[vp1_id]
+            self._batch_dist(
+                None, gather(self._objects, rest_ids), self._objects[vp1_id]
             )
         )
         # Second vantage point: the farthest object from the first
@@ -209,8 +214,8 @@ class MVPTree(MetricIndex):
 
         if point_ids:
             d2 = np.asarray(
-                self._metric.batch_distance(
-                    gather(self._objects, point_ids), self._objects[vp2_id]
+                self._batch_dist(
+                    None, gather(self._objects, point_ids), self._objects[vp2_id]
                 )
             )
         else:
@@ -231,6 +236,11 @@ class MVPTree(MetricIndex):
     def _build_internal(
         self, ids: list[int], paths: np.ndarray, level: int, depth: int
     ) -> MVPInternalNode:
+        """Partition into ``m**2`` sub-cuts and recurse via ``_build``.
+
+        Part of the mutually recursive build; depth is bounded by the
+        tree height.
+        """
         m = self.m
 
         # --- first vantage point and first-level partition -------------
@@ -240,8 +250,8 @@ class MVPTree(MetricIndex):
         rest_paths = np.delete(paths, vp1_pos, axis=0)
 
         d1 = np.asarray(
-            self._metric.batch_distance(
-                gather(self._objects, rest_ids), self._objects[vp1_id]
+            self._batch_dist(
+                None, gather(self._objects, rest_ids), self._objects[vp1_id]
             )
         )
         if level <= self.p:
@@ -267,7 +277,8 @@ class MVPTree(MetricIndex):
         d2 = np.full(len(rest_ids), np.nan)
         if remaining:
             d2_vals = np.asarray(
-                self._metric.batch_distance(
+                self._batch_dist(
+                    None,
                     gather(self._objects, [rest_ids[pos] for pos in remaining]),
                     self._objects[vp2_id],
                 )
@@ -362,6 +373,7 @@ class MVPTree(MetricIndex):
         out: list[int],
         obs: Optional[Observation] = None,
     ) -> None:
+        """Recursive range-search walk (depth bounded by tree height)."""
         if node is None:
             return
         is_leaf = isinstance(node, MVPLeafNode)
@@ -370,17 +382,14 @@ class MVPTree(MetricIndex):
                 obs.enter_leaf(len(node.ids))
             else:
                 obs.enter_internal()
-            obs.distance()
-        dq1 = self._metric.distance(query, self._objects[node.vp1_id])
+        dq1 = self._dist(obs, query, self._objects[node.vp1_id])
         if dq1 <= radius:
             out.append(node.vp1_id)
 
         if is_leaf:
             if node.vp2_id is None:
                 return
-            if obs is not None:
-                obs.distance()
-            dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+            dq2 = self._dist(obs, query, self._objects[node.vp2_id])
             if dq2 <= radius:
                 out.append(node.vp2_id)
             if not node.ids:
@@ -415,10 +424,9 @@ class MVPTree(MetricIndex):
             candidates = [node.ids[i] for i in np.nonzero(mask)[0]]
             if obs is not None:
                 obs.leaf_scan(len(node.ids), len(candidates))
-                obs.distance(len(candidates))
             if candidates:
-                distances = self._metric.batch_distance(
-                    gather(self._objects, candidates), query
+                distances = self._batch_dist(
+                    obs, gather(self._objects, candidates), query
                 )
                 out.extend(
                     idx
@@ -427,9 +435,7 @@ class MVPTree(MetricIndex):
                 )
             return
 
-        if obs is not None:
-            obs.distance()
-        dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+        dq2 = self._dist(obs, query, self._objects[node.vp2_id])
         if dq2 <= radius:
             out.append(node.vp2_id)
         if level <= self.p:
@@ -514,16 +520,13 @@ class MVPTree(MetricIndex):
                     obs.enter_leaf(len(node.ids))
                 else:
                     obs.enter_internal()
-                obs.distance()
-            dq1 = self._metric.distance(query, self._objects[node.vp1_id])
+            dq1 = self._dist(obs, query, self._objects[node.vp1_id])
             consider(dq1, node.vp1_id)
 
             if isinstance(node, MVPLeafNode):
                 if node.vp2_id is None:
                     continue
-                if obs is not None:
-                    obs.distance()
-                dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+                dq2 = self._dist(obs, query, self._objects[node.vp2_id])
                 consider(dq2, node.vp2_id)
                 self._knn_scan_leaf(
                     node, query, dq1, dq2, path_q, consider, threshold,
@@ -531,9 +534,7 @@ class MVPTree(MetricIndex):
                 )
                 continue
 
-            if obs is not None:
-                obs.distance()
-            dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+            dq2 = self._dist(obs, query, self._objects[node.vp2_id])
             consider(dq2, node.vp2_id)
             child_path = list(path_q)
             if level <= self.p:
@@ -596,12 +597,11 @@ class MVPTree(MetricIndex):
             if definitely_greater(float(lower[pos]) * approximation, threshold()):
                 break
             scanned += 1
-            distance = self._metric.distance(query, self._objects[node.ids[pos]])
+            distance = self._dist(obs, query, self._objects[node.ids[pos]])
             consider(float(distance), node.ids[pos])
         if obs is not None:
             obs.filter_points(PRUNE_KNN_RADIUS, len(node.ids) - scanned)
             obs.leaf_scan(len(node.ids), scanned)
-            obs.distance(scanned)
 
     # ------------------------------------------------------------------
     # Farthest search (upper-bound pruning)
@@ -629,20 +629,20 @@ class MVPTree(MetricIndex):
             neg_upper, __, node, path_q, level = heapq.heappop(frontier)
             if node is None or definitely_less(-neg_upper, threshold()):
                 continue
-            dq1 = self._metric.distance(query, self._objects[node.vp1_id])
+            dq1 = self._dist(None, query, self._objects[node.vp1_id])
             consider(dq1, node.vp1_id)
 
             if isinstance(node, MVPLeafNode):
                 if node.vp2_id is None:
                     continue
-                dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+                dq2 = self._dist(None, query, self._objects[node.vp2_id])
                 consider(dq2, node.vp2_id)
                 self._farthest_scan_leaf(
                     node, query, dq1, dq2, path_q, consider, threshold
                 )
                 continue
 
-            dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+            dq2 = self._dist(None, query, self._objects[node.vp2_id])
             consider(dq2, node.vp2_id)
             child_path = list(path_q)
             if level <= self.p:
@@ -682,7 +682,7 @@ class MVPTree(MetricIndex):
         for pos in np.argsort(-upper, kind="stable"):
             if definitely_less(float(upper[pos]), threshold()):
                 break
-            distance = self._metric.distance(query, self._objects[node.ids[pos]])
+            distance = self._dist(None, query, self._objects[node.ids[pos]])
             consider(float(distance), node.ids[pos])
 
     # ------------------------------------------------------------------
@@ -706,16 +706,17 @@ class MVPTree(MetricIndex):
         level: int,
         out: list[int],
     ) -> None:
+        """Recursive outside-range walk (depth bounded by tree height)."""
         if node is None:
             return
-        dq1 = self._metric.distance(query, self._objects[node.vp1_id])
+        dq1 = self._dist(None, query, self._objects[node.vp1_id])
         if dq1 > radius:
             out.append(node.vp1_id)
 
         if isinstance(node, MVPLeafNode):
             if node.vp2_id is None:
                 return
-            dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+            dq2 = self._dist(None, query, self._objects[node.vp2_id])
             if dq2 > radius:
                 out.append(node.vp2_id)
             if not node.ids:
@@ -738,8 +739,8 @@ class MVPTree(MetricIndex):
                 node.ids[i] for i in np.nonzero(~(accept | reject))[0]
             ]
             if borderline:
-                distances = self._metric.batch_distance(
-                    gather(self._objects, borderline), query
+                distances = self._batch_dist(
+                    None, gather(self._objects, borderline), query
                 )
                 out.extend(
                     idx
@@ -748,7 +749,7 @@ class MVPTree(MetricIndex):
                 )
             return
 
-        dq2 = self._metric.distance(query, self._objects[node.vp2_id])
+        dq2 = self._dist(None, query, self._objects[node.vp2_id])
         if dq2 > radius:
             out.append(node.vp2_id)
         if level <= self.p:
@@ -784,7 +785,10 @@ class MVPTree(MetricIndex):
 
 
 def _collect_subtree_ids(node: _Node, out: list[int]) -> None:
-    """Append every id stored under ``node`` (no distance computations)."""
+    """Append every id stored under ``node`` (no distance computations).
+
+    Recursive; depth is bounded by the tree height.
+    """
     if node is None:
         return
     out.append(node.vp1_id)

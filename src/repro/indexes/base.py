@@ -23,6 +23,7 @@ from repro.metric.base import Metric
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.obs import QueryStats, TraceSink
+    from repro.obs.trace import Observation
 
 
 @dataclass(frozen=True, order=True)
@@ -67,6 +68,33 @@ class MetricIndex(ABC):
 
     def __len__(self) -> int:
         return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Distance gateway
+    # ------------------------------------------------------------------
+    #
+    # Every metric evaluation an index performs must flow through these
+    # two helpers so the paper's cost model (section 5: count distance
+    # computations) stays truthful: the helpers charge ``obs`` exactly
+    # once per evaluation, matching what a ``CountingMetric`` would see.
+    # Search paths pass their live ``Observation``; construction paths
+    # pass ``None`` (build cost is accounted by wrapping the metric in a
+    # ``CountingMetric`` before construction).  ``repro.check`` rule
+    # RC001 flags any raw ``metric.distance``/``batch_distance`` call in
+    # index modules that bypasses this gateway.
+
+    def _dist(self, obs: Optional["Observation"], a, b) -> float:
+        """One metric evaluation, charged to ``obs`` when observing."""
+        if obs is not None:
+            obs.distance()
+        return self._metric.distance(a, b)
+
+    def _batch_dist(self, obs: Optional["Observation"], xs: Sequence, y):
+        """One batched metric evaluation (a batch of ``n`` counts ``n``)."""
+        out = self._metric.batch_distance(xs, y)
+        if obs is not None:
+            obs.distance(len(out))
+        return out
 
     # ------------------------------------------------------------------
     # Queries

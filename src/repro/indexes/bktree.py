@@ -75,7 +75,7 @@ class BKTree(MetricIndex):
         depth = 1
         obj = self._objects[idx]
         while True:
-            d = self._metric.distance(obj, self._objects[node.id])
+            d = self._dist(None, obj, self._objects[node.id])
             depth += 1
             child = node.children.get(d)
             if child is None:
@@ -127,14 +127,14 @@ class BKTree(MetricIndex):
         out: list[int],
         obs: Optional[Observation] = None,
     ):
+        """Recursive range-search walk (depth bounded by tree height)."""
         if node is None:
             return
         if obs is not None:
             # Every BK-tree node holds exactly one element; there are no
             # leaf buckets, so all visits count as internal.
             obs.enter_internal()
-            obs.distance()
-        d = self._metric.distance(query, self._objects[node.id])
+        d = self._dist(obs, query, self._objects[node.id])
         if d <= radius:
             out.append(node.id)
         for edge, child in node.children.items():
@@ -180,8 +180,7 @@ class BKTree(MetricIndex):
                 continue
             if obs is not None:
                 obs.enter_internal()
-                obs.distance()
-            d = self._metric.distance(query, self._objects[node.id])
+            d = self._dist(obs, query, self._objects[node.id])
             consider(float(d), node.id)
             for edge, child in node.children.items():
                 bound = max(lower_bound, abs(d - edge))

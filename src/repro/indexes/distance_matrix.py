@@ -55,7 +55,7 @@ class DistanceMatrixIndex(MetricIndex):
         matrix = np.zeros((n, n))
         for i in range(n - 1):
             row = np.asarray(
-                metric.batch_distance(gather(objects, range(i + 1, n)), objects[i])
+                self._batch_dist(None, gather(objects, range(i + 1, n)), objects[i])
             )
             matrix[i, i + 1 :] = row
             matrix[i + 1 :, i] = row
@@ -94,7 +94,7 @@ class DistanceMatrixIndex(MetricIndex):
             candidates = np.nonzero(undecided)[0]
             x = int(candidates[np.argmin(lower[candidates])])
             scanned += 1
-            dx = float(self._metric.distance(query, self._objects[x]))
+            dx = float(self._dist(obs, query, self._objects[x]))
             undecided[x] = False
             if dx <= radius:
                 out.append(x)
@@ -119,7 +119,6 @@ class DistanceMatrixIndex(MetricIndex):
             obs.enter_leaf(n)
             obs.filter_points(PRUNE_MATRIX_INTERVAL, n - scanned)
             obs.leaf_scan(n, scanned)
-            obs.distance(scanned)
         out.sort()
         return out
 
@@ -147,7 +146,7 @@ class DistanceMatrixIndex(MetricIndex):
             ):
                 break  # nothing undecided can beat the kth best
             scanned += 1
-            dx = float(self._metric.distance(query, self._objects[x]))
+            dx = float(self._dist(obs, query, self._objects[x]))
             undecided[x] = False
             best.append(Neighbor(dx, x))
             best.sort()
@@ -160,7 +159,6 @@ class DistanceMatrixIndex(MetricIndex):
             obs.enter_leaf(n)
             obs.filter_points(PRUNE_KNN_RADIUS, n - scanned)
             obs.leaf_scan(n, scanned)
-            obs.distance(scanned)
         return best
 
     def outside_range_search(self, query, radius: float) -> list[int]:
@@ -174,7 +172,7 @@ class DistanceMatrixIndex(MetricIndex):
         while undecided.any():
             candidates = np.nonzero(undecided)[0]
             x = int(candidates[np.argmin(lower[candidates])])
-            dx = float(self._metric.distance(query, self._objects[x]))
+            dx = float(self._dist(None, query, self._objects[x]))
             undecided[x] = False
             if dx > radius:
                 out.append(x)
@@ -208,7 +206,7 @@ class DistanceMatrixIndex(MetricIndex):
                 float(upper[x]), best[-1].distance
             ):
                 break
-            dx = float(self._metric.distance(query, self._objects[x]))
+            dx = float(self._dist(None, query, self._objects[x]))
             undecided[x] = False
             best.append(Neighbor(dx, x))
             best.sort(key=lambda nb: (-nb.distance, nb.id))

@@ -114,6 +114,12 @@ class GHTree(MetricIndex):
     # ------------------------------------------------------------------
 
     def _build(self, ids: list[int], depth: int):
+        """Recursively split ``ids`` at the generalized hyperplane.
+
+        Recursion depth is bounded by the tree height (each child is
+        strictly smaller than its parent), so the default interpreter
+        stack suffices.
+        """
         if not ids:
             return None
         self.height = max(self.height, depth)
@@ -125,9 +131,7 @@ class GHTree(MetricIndex):
         p1_id = ids[int(self._rng.integers(len(ids)))]
         rest = [i for i in ids if i != p1_id]
         d_p1 = np.asarray(
-            self._metric.batch_distance(
-                gather(self._objects, rest), self._objects[p1_id]
-            )
+            self._batch_dist(None, gather(self._objects, rest), self._objects[p1_id])
         )
         if self.pivots == "farthest":
             p2_pos = int(np.argmax(d_p1))
@@ -139,8 +143,8 @@ class GHTree(MetricIndex):
 
         if rest:
             d_p2 = np.asarray(
-                self._metric.batch_distance(
-                    gather(self._objects, rest), self._objects[p2_id]
+                self._batch_dist(
+                    None, gather(self._objects, rest), self._objects[p2_id]
                 )
             )
         else:
@@ -188,16 +192,16 @@ class GHTree(MetricIndex):
         out: list[int],
         obs: Optional[Observation] = None,
     ) -> None:
+        """Recursive range-search walk (depth bounded by tree height)."""
         if node is None:
             return
         if isinstance(node, GHLeafNode):
             if obs is not None:
                 obs.enter_leaf(len(node.ids))
                 obs.leaf_scan(len(node.ids), len(node.ids))
-                obs.distance(len(node.ids))
             if node.ids:
-                distances = self._metric.batch_distance(
-                    gather(self._objects, node.ids), query
+                distances = self._batch_dist(
+                    obs, gather(self._objects, node.ids), query
                 )
                 out.extend(
                     idx
@@ -207,9 +211,8 @@ class GHTree(MetricIndex):
             return
         if obs is not None:
             obs.enter_internal()
-            obs.distance(2)
-        d1 = self._metric.distance(query, self._objects[node.p1_id])
-        d2 = self._metric.distance(query, self._objects[node.p2_id])
+        d1 = self._dist(obs, query, self._objects[node.p1_id])
+        d2 = self._dist(obs, query, self._objects[node.p2_id])
         if d1 <= radius:
             out.append(node.p1_id)
         if d2 <= radius:
@@ -264,19 +267,17 @@ class GHTree(MetricIndex):
                 if obs is not None:
                     obs.enter_leaf(len(node.ids))
                     obs.leaf_scan(len(node.ids), len(node.ids))
-                    obs.distance(len(node.ids))
                 if node.ids:
-                    distances = self._metric.batch_distance(
-                        gather(self._objects, node.ids), query
+                    distances = self._batch_dist(
+                        obs, gather(self._objects, node.ids), query
                     )
                     for idx, distance in zip(node.ids, distances):
                         consider(float(distance), idx)
                 continue
             if obs is not None:
                 obs.enter_internal()
-                obs.distance(2)
-            d1 = self._metric.distance(query, self._objects[node.p1_id])
-            d2 = self._metric.distance(query, self._objects[node.p2_id])
+            d1 = self._dist(obs, query, self._objects[node.p1_id])
+            d2 = self._dist(obs, query, self._objects[node.p2_id])
             consider(d1, node.p1_id)
             consider(d2, node.p2_id)
             left_bound = max(lower_bound, (d1 - d2) / 2.0, d1 - node.r1, 0.0)

@@ -133,8 +133,8 @@ class GNAT(MetricIndex):
         remaining = [c for c in candidates if c != first]
         # min distance from each remaining candidate to the chosen set
         min_dist = np.asarray(
-            self._metric.batch_distance(
-                gather(self._objects, remaining), self._objects[first]
+            self._batch_dist(
+                None, gather(self._objects, remaining), self._objects[first]
             )
         ) if remaining else np.empty(0)
         while len(chosen) < degree and remaining:
@@ -145,14 +145,18 @@ class GNAT(MetricIndex):
             min_dist = np.delete(min_dist, best)
             if remaining:
                 newest_dist = np.asarray(
-                    self._metric.batch_distance(
-                        gather(self._objects, remaining), newest
-                    )
+                    self._batch_dist(None, gather(self._objects, remaining), newest)
                 )
                 min_dist = np.minimum(min_dist, newest_dist)
         return chosen
 
     def _build(self, ids: list[int], degree: int, depth: int):
+        """Recursively build the Voronoi-style decomposition.
+
+        Recursion depth is bounded by the tree height (every child
+        dataset is strictly smaller), so the default interpreter stack
+        suffices.
+        """
         if not ids:
             return None
         self.height = max(self.height, depth)
@@ -174,8 +178,8 @@ class GNAT(MetricIndex):
             dist = np.stack(
                 [
                     np.asarray(
-                        self._metric.batch_distance(
-                            gather(self._objects, rest), self._objects[s]
+                        self._batch_dist(
+                            None, gather(self._objects, rest), self._objects[s]
                         )
                     )
                     for s in split_ids
@@ -193,7 +197,7 @@ class GNAT(MetricIndex):
         split_dist = np.zeros((actual_degree, actual_degree))
         for i in range(actual_degree):
             for j in range(i + 1, actual_degree):
-                d = self._metric.distance(split_objects[i], split_objects[j])
+                d = self._dist(None, split_objects[i], split_objects[j])
                 split_dist[i, j] = split_dist[j, i] = d
 
         ranges: list[list[tuple[float, float]]] = []
@@ -250,16 +254,16 @@ class GNAT(MetricIndex):
         out: list[int],
         obs: Optional[Observation] = None,
     ) -> None:
+        """Recursive range-search walk (depth bounded by tree height)."""
         if node is None:
             return
         if isinstance(node, GNATLeafNode):
             if obs is not None:
                 obs.enter_leaf(len(node.ids))
                 obs.leaf_scan(len(node.ids), len(node.ids))
-                obs.distance(len(node.ids))
             if node.ids:
-                distances = self._metric.batch_distance(
-                    gather(self._objects, node.ids), query
+                distances = self._batch_dist(
+                    obs, gather(self._objects, node.ids), query
                 )
                 out.extend(
                     idx
@@ -274,9 +278,7 @@ class GNAT(MetricIndex):
         for i in range(degree):
             if not alive[i]:
                 continue
-            if obs is not None:
-                obs.distance()
-            di = self._metric.distance(query, self._objects[node.split_ids[i]])
+            di = self._dist(obs, query, self._objects[node.split_ids[i]])
             if di <= radius:
                 out.append(node.split_ids[i])
             for j in range(degree):
@@ -329,10 +331,9 @@ class GNAT(MetricIndex):
                 if obs is not None:
                     obs.enter_leaf(len(node.ids))
                     obs.leaf_scan(len(node.ids), len(node.ids))
-                    obs.distance(len(node.ids))
                 if node.ids:
-                    distances = self._metric.batch_distance(
-                        gather(self._objects, node.ids), query
+                    distances = self._batch_dist(
+                        obs, gather(self._objects, node.ids), query
                     )
                     for idx, distance in zip(node.ids, distances):
                         consider(float(distance), idx)
@@ -347,9 +348,7 @@ class GNAT(MetricIndex):
                     # best; skip the split-point distance entirely (the
                     # range table covers split_i too).
                     continue
-                if obs is not None:
-                    obs.distance()
-                di = self._metric.distance(query, self._objects[node.split_ids[i]])
+                di = self._dist(obs, query, self._objects[node.split_ids[i]])
                 consider(di, node.split_ids[i])
                 for j in range(degree):
                     if j == i:

@@ -87,14 +87,12 @@ class LAESA(MetricIndex):
         # wasted.
         pivot_ids = [int(generator.integers(n))]
         table = np.empty((n, self.n_pivots))
-        table[:, 0] = metric.batch_distance(objects, objects[pivot_ids[0]])
+        table[:, 0] = self._batch_dist(None, objects, objects[pivot_ids[0]])
         min_to_chosen = table[:, 0].copy()
         for column in range(1, self.n_pivots):
             next_pivot = int(np.argmax(min_to_chosen))
             pivot_ids.append(next_pivot)
-            table[:, column] = metric.batch_distance(
-                objects, objects[next_pivot]
-            )
+            table[:, column] = self._batch_dist(None, objects, objects[next_pivot])
             np.minimum(min_to_chosen, table[:, column], out=min_to_chosen)
 
         self.pivot_ids = pivot_ids
@@ -105,17 +103,18 @@ class LAESA(MetricIndex):
         """The n x n_pivots pivot-distance table (read-only use)."""
         return self._table
 
-    def _lower_bounds(self, query) -> np.ndarray:
+    def _pivot_distances(self, query, obs=None) -> np.ndarray:
+        """Distances from ``query`` to every pivot (``n_pivots`` evaluations)."""
+        return np.array(
+            [self._dist(obs, query, self._objects[pivot]) for pivot in self.pivot_ids]
+        )
+
+    def _lower_bounds(self, query, obs=None) -> np.ndarray:
         """max-over-pivots triangle lower bounds on d(q, x) for all x.
 
         Costs exactly ``n_pivots`` metric evaluations.
         """
-        pivot_distances = np.array(
-            [
-                self._metric.distance(query, self._objects[pivot])
-                for pivot in self.pivot_ids
-            ]
-        )
+        pivot_distances = self._pivot_distances(query, obs)
         return np.abs(self._table - pivot_distances).max(axis=1)
 
     # ------------------------------------------------------------------
@@ -132,9 +131,7 @@ class LAESA(MetricIndex):
     ) -> list[int]:
         radius = self.validate_radius(radius)
         obs = make_observation(stats, trace)
-        if obs is not None:
-            obs.distance(self.n_pivots)
-        bounds = self._lower_bounds(query)
+        bounds = self._lower_bounds(query, obs)
         candidates = np.nonzero(bounds <= radius + slack(radius))[0]
         if obs is not None:
             # The whole table is "seen"; the pivot bounds filter the rest
@@ -143,12 +140,9 @@ class LAESA(MetricIndex):
             obs.enter_leaf(n)
             obs.filter_points(PRUNE_PIVOT_FILTER, n - len(candidates))
             obs.leaf_scan(n, len(candidates))
-            obs.distance(len(candidates))
         if len(candidates) == 0:
             return []
-        distances = self._metric.batch_distance(
-            gather(self._objects, candidates), query
-        )
+        distances = self._batch_dist(obs, gather(self._objects, candidates), query)
         return [
             int(idx)
             for idx, distance in zip(candidates, distances)
@@ -165,9 +159,7 @@ class LAESA(MetricIndex):
     ) -> list[Neighbor]:
         k = self.validate_k(k)
         obs = make_observation(stats, trace)
-        if obs is not None:
-            obs.distance(self.n_pivots)
-        bounds = self._lower_bounds(query)
+        bounds = self._lower_bounds(query, obs)
         order = np.argsort(bounds, kind="stable")
 
         best: list[Neighbor] = []
@@ -179,7 +171,7 @@ class LAESA(MetricIndex):
             ):
                 break
             scanned += 1
-            distance = float(self._metric.distance(self._objects[idx], query))
+            distance = float(self._dist(obs, self._objects[idx], query))
             best.append(Neighbor(distance, idx))
             best.sort()
             if len(best) > k:
@@ -189,17 +181,11 @@ class LAESA(MetricIndex):
             obs.enter_leaf(n)
             obs.filter_points(PRUNE_KNN_RADIUS, n - scanned)
             obs.leaf_scan(n, scanned)
-            obs.distance(scanned)
         return best
 
     def outside_range_search(self, query, radius: float) -> list[int]:
         radius = self.validate_radius(radius)
-        pivot_distances = np.array(
-            [
-                self._metric.distance(query, self._objects[pivot])
-                for pivot in self.pivot_ids
-            ]
-        )
+        pivot_distances = self._pivot_distances(query)
         lower = np.abs(self._table - pivot_distances).max(axis=1)
         upper = (self._table + pivot_distances).min(axis=1)
 
@@ -208,8 +194,8 @@ class LAESA(MetricIndex):
         out = [int(i) for i in np.nonzero(accepted)[0]]
         borderline = np.nonzero(~(accepted | rejected))[0]
         if len(borderline):
-            distances = self._metric.batch_distance(
-                gather(self._objects, borderline), query
+            distances = self._batch_dist(
+                None, gather(self._objects, borderline), query
             )
             out.extend(
                 int(idx)

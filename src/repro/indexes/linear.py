@@ -27,17 +27,18 @@ class LinearScan(MetricIndex):
         check_non_empty(objects, "LinearScan")
         super().__init__(objects, metric)
 
-    def _all_distances(self, query) -> np.ndarray:
-        return np.asarray(self._metric.batch_distance(self._objects, query))
+    def _all_distances(self, query, obs: Optional[Observation] = None) -> np.ndarray:
+        return np.asarray(self._batch_dist(obs, self._objects, query))
 
     def _observe_scan(self, obs: Optional[Observation]) -> None:
         # The whole dataset is one flat bucket: every point is seen and
         # every point pays a distance computation; nothing is pruned.
+        # (The distance computations themselves are charged by
+        # ``_batch_dist`` inside ``_all_distances``.)
         if obs is not None:
             n = len(self._objects)
             obs.enter_leaf(n)
             obs.leaf_scan(n, n)
-            obs.distance(n)
 
     def range_search(
         self,
@@ -48,8 +49,9 @@ class LinearScan(MetricIndex):
         trace: Optional[TraceSink] = None,
     ) -> list[int]:
         radius = self.validate_radius(radius)
-        self._observe_scan(make_observation(stats, trace))
-        distances = self._all_distances(query)
+        obs = make_observation(stats, trace)
+        self._observe_scan(obs)
+        distances = self._all_distances(query, obs)
         return [int(i) for i in np.nonzero(distances <= radius)[0]]
 
     def knn_search(
@@ -61,8 +63,9 @@ class LinearScan(MetricIndex):
         trace: Optional[TraceSink] = None,
     ) -> list[Neighbor]:
         k = self.validate_k(k)
-        self._observe_scan(make_observation(stats, trace))
-        distances = self._all_distances(query)
+        obs = make_observation(stats, trace)
+        self._observe_scan(obs)
+        distances = self._all_distances(query, obs)
         # argsort on (distance, id) for deterministic tie-breaks: ids are
         # already the secondary key because argsort is stable.
         order = np.argsort(distances, kind="stable")[:k]

@@ -62,7 +62,11 @@ class FarthestSelector(VantagePointSelector):
 
     def select(self, candidate_ids, objects, metric, rng) -> int:
         reference = objects[int(candidate_ids[int(rng.integers(len(candidate_ids)))])]
-        distances = metric.batch_distance(gather(objects, candidate_ids), reference)
+        # Construction-time cost: charged to the build via CountingMetric,
+        # not to any per-query observation.
+        distances = metric.batch_distance(  # repro-check: ignore[RC001]
+            gather(objects, candidate_ids), reference
+        )
         return int(candidate_ids[int(np.argmax(distances))])
 
 
@@ -100,7 +104,9 @@ class MaxSpreadSelector(VantagePointSelector):
         sample_objects = gather(objects, sample)
         best_id, best_spread = int(candidates[0]), -1.0
         for candidate in candidates:
-            distances = metric.batch_distance(
+            # Construction-time cost: charged to the build via
+            # CountingMetric, not to any per-query observation.
+            distances = metric.batch_distance(  # repro-check: ignore[RC001]
                 sample_objects, objects[int(candidate)]
             )
             spread = float(np.var(distances))

@@ -151,6 +151,12 @@ class VPTree(MetricIndex):
     def _build(
         self, ids: list[int], depth: int
     ) -> Union[VPInternalNode, VPLeafNode, None]:
+        """Recursively partition ``ids`` into spherical shells.
+
+        Recursion depth is bounded by the tree height (groups shrink by
+        a factor of ``m`` per level), so the default interpreter stack
+        suffices.
+        """
         if not ids:
             return None
         self.height = max(self.height, depth)
@@ -162,9 +168,7 @@ class VPTree(MetricIndex):
         vp_id = self._selector.select(ids, self._objects, self._metric, self._rng)
         rest = [i for i in ids if i != vp_id]
         distances = np.asarray(
-            self._metric.batch_distance(
-                gather(self._objects, rest), self._objects[vp_id]
-            )
+            self._batch_dist(None, gather(self._objects, rest), self._objects[vp_id])
         )
         order = np.argsort(distances, kind="stable")
         groups = np.array_split(order, self.m)
@@ -236,6 +240,7 @@ class VPTree(MetricIndex):
         out: list[int],
         obs: Optional[Observation] = None,
     ) -> None:
+        """Recursive range-search walk (depth bounded by tree height)."""
         if node is None:
             return
         if isinstance(node, VPLeafNode):
@@ -244,18 +249,14 @@ class VPTree(MetricIndex):
                 # bucketed point pays a real distance computation.
                 obs.enter_leaf(len(node.ids))
                 obs.leaf_scan(len(node.ids), len(node.ids))
-                obs.distance(len(node.ids))
-            distances = self._metric.batch_distance(
-                gather(self._objects, node.ids), query
-            )
+            distances = self._batch_dist(obs, gather(self._objects, node.ids), query)
             out.extend(
                 node.ids[i] for i in range(len(node.ids)) if distances[i] <= radius
             )
             return
         if obs is not None:
             obs.enter_internal()
-            obs.distance()
-        dq = self._metric.distance(query, self._objects[node.vp_id])
+        dq = self._dist(obs, query, self._objects[node.vp_id])
         if dq <= radius:
             out.append(node.vp_id)
         for child, (lo, hi) in zip(node.children, node.bounds):
@@ -324,17 +325,15 @@ class VPTree(MetricIndex):
                 if obs is not None:
                     obs.enter_leaf(len(node.ids))
                     obs.leaf_scan(len(node.ids), len(node.ids))
-                    obs.distance(len(node.ids))
-                distances = self._metric.batch_distance(
-                    gather(self._objects, node.ids), query
+                distances = self._batch_dist(
+                    obs, gather(self._objects, node.ids), query
                 )
                 for idx, distance in zip(node.ids, distances):
                     consider(float(distance), idx)
                 continue
             if obs is not None:
                 obs.enter_internal()
-                obs.distance()
-            dq = self._metric.distance(query, self._objects[node.vp_id])
+            dq = self._dist(obs, query, self._objects[node.vp_id])
             consider(dq, node.vp_id)
             for child, (lo, hi) in zip(node.children, node.bounds):
                 if child is None:
@@ -377,13 +376,13 @@ class VPTree(MetricIndex):
             if node is None or definitely_less(-neg_upper, threshold()):
                 continue
             if isinstance(node, VPLeafNode):
-                distances = self._metric.batch_distance(
-                    gather(self._objects, node.ids), query
+                distances = self._batch_dist(
+                    None, gather(self._objects, node.ids), query
                 )
                 for idx, distance in zip(node.ids, distances):
                     consider(float(distance), idx)
                 continue
-            dq = self._metric.distance(query, self._objects[node.vp_id])
+            dq = self._dist(None, query, self._objects[node.vp_id])
             consider(dq, node.vp_id)
             for child, (lo, hi) in zip(node.children, node.bounds):
                 if child is None:
@@ -409,17 +408,16 @@ class VPTree(MetricIndex):
         return out
 
     def _outside(self, node, query, radius: float, out: list[int]) -> None:
+        """Recursive outside-range walk (depth bounded by tree height)."""
         if node is None:
             return
         if isinstance(node, VPLeafNode):
-            distances = self._metric.batch_distance(
-                gather(self._objects, node.ids), query
-            )
+            distances = self._batch_dist(None, gather(self._objects, node.ids), query)
             out.extend(
                 idx for idx, distance in zip(node.ids, distances) if distance > radius
             )
             return
-        dq = self._metric.distance(query, self._objects[node.vp_id])
+        dq = self._dist(None, query, self._objects[node.vp_id])
         if dq > radius:
             out.append(node.vp_id)
         for child, (lo, hi) in zip(node.children, node.bounds):
@@ -447,7 +445,10 @@ class VPTree(MetricIndex):
 
 
 def _collect_subtree_ids(node, out: list[int]) -> None:
-    """Append every id stored under ``node`` (no distance computations)."""
+    """Append every id stored under ``node`` (no distance computations).
+
+    Recursive; depth is bounded by the tree height.
+    """
     if node is None:
         return
     if isinstance(node, VPLeafNode):

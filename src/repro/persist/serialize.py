@@ -39,6 +39,7 @@ _FORMAT_VERSION = 1
 
 
 def _encode_vp_node(node) -> Optional[dict]:
+    """Encode one vp node (recursive; depth <= tree height)."""
     if node is None:
         return None
     if isinstance(node, VPLeafNode):
@@ -53,6 +54,7 @@ def _encode_vp_node(node) -> Optional[dict]:
 
 
 def _decode_vp_node(data: Optional[dict]):
+    """Decode one vp node (recursive; depth <= tree height)."""
     if data is None:
         return None
     if data["leaf"]:
@@ -66,6 +68,7 @@ def _decode_vp_node(data: Optional[dict]):
 
 
 def _encode_mvp_node(node) -> Optional[dict]:
+    """Encode one mvp node (recursive; depth <= tree height)."""
     if node is None:
         return None
     if isinstance(node, MVPLeafNode):
@@ -92,6 +95,7 @@ def _encode_mvp_node(node) -> Optional[dict]:
 
 
 def _decode_mvp_node(data: Optional[dict]):
+    """Decode one mvp node (recursive; depth <= tree height)."""
     if data is None:
         return None
     if data["leaf"]:
@@ -119,6 +123,7 @@ def _decode_mvp_node(data: Optional[dict]):
 
 
 def _encode_gmvp_node(node) -> Optional[dict]:
+    """Encode one gmvp node (recursive; depth <= tree height)."""
     if node is None:
         return None
     if isinstance(node, GMVPLeafNode):
@@ -139,6 +144,7 @@ def _encode_gmvp_node(node) -> Optional[dict]:
 
 
 def _decode_gmvp_node(data: Optional[dict]):
+    """Decode one gmvp node (recursive; depth <= tree height)."""
     if data is None:
         return None
     if data["leaf"]:
@@ -162,6 +168,7 @@ def _decode_gmvp_node(data: Optional[dict]):
 
 
 def _encode_gh_node(node) -> Optional[dict]:
+    """Encode one gh node (recursive; depth <= tree height)."""
     if node is None:
         return None
     if isinstance(node, GHLeafNode):
@@ -178,6 +185,7 @@ def _encode_gh_node(node) -> Optional[dict]:
 
 
 def _decode_gh_node(data: Optional[dict]):
+    """Decode one gh node (recursive; depth <= tree height)."""
     if data is None:
         return None
     if data["leaf"]:
@@ -193,6 +201,7 @@ def _decode_gh_node(data: Optional[dict]):
 
 
 def _encode_gnat_node(node) -> Optional[dict]:
+    """Encode one gnat node (recursive; depth <= tree height)."""
     if node is None:
         return None
     if isinstance(node, GNATLeafNode):
@@ -206,6 +215,7 @@ def _encode_gnat_node(node) -> Optional[dict]:
 
 
 def _decode_gnat_node(data: Optional[dict]):
+    """Decode one gnat node (recursive; depth <= tree height)."""
     if data is None:
         return None
     if data["leaf"]:
@@ -218,6 +228,7 @@ def _decode_gnat_node(data: Optional[dict]):
 
 
 def _encode_bk_node(node: Optional[BKNode]) -> Optional[dict]:
+    """Encode one bk node (recursive; depth <= tree height)."""
     if node is None:
         return None
     return {
@@ -230,6 +241,7 @@ def _encode_bk_node(node: Optional[BKNode]) -> Optional[dict]:
 
 
 def _decode_bk_node(data: Optional[dict]) -> Optional[BKNode]:
+    """Decode one bk node (recursive; depth <= tree height)."""
     if data is None:
         return None
     node = BKNode(data["id"])

@@ -65,8 +65,10 @@ class TransformIndex(MetricIndex):
     def _lower_bounds(self, query) -> np.ndarray:
         """Contractive lower bounds on d(query, x) for every x."""
         transformed_query = self.transform.transform(query)
+        # Transform-space distances are free by the section-3.1 premise,
+        # so they deliberately bypass the counting gateway.
         return np.asarray(
-            self.transform.target_metric.batch_distance(
+            self.transform.target_metric.batch_distance(  # repro-check: ignore[RC001]
                 self._transformed, transformed_query
             )
         )
@@ -96,16 +98,16 @@ class TransformIndex(MetricIndex):
         candidates = np.nonzero(bounds <= radius + slack(radius))[0]
         if obs is not None:
             # Transform-space distances are free by the section-3.1
-            # premise; only refinement evaluations are counted.
+            # premise; only refinement evaluations are counted (charged
+            # by ``_batch_dist`` below).
             n = len(self._objects)
             obs.enter_leaf(n)
             obs.filter_points(PRUNE_TRANSFORM_FILTER, n - len(candidates))
             obs.leaf_scan(n, len(candidates))
-            obs.distance(len(candidates))
         if len(candidates) == 0:
             return []
-        distances = self._metric.batch_distance(
-            [self._objects[int(i)] for i in candidates], query
+        distances = self._batch_dist(
+            obs, [self._objects[int(i)] for i in candidates], query
         )
         return [
             int(idx)
@@ -135,7 +137,7 @@ class TransformIndex(MetricIndex):
             ):
                 break  # every remaining lower bound exceeds the kth best
             scanned += 1
-            distance = float(self._metric.distance(self._objects[idx], query))
+            distance = float(self._dist(obs, self._objects[idx], query))
             best.append(Neighbor(distance, idx))
             best.sort()
             if len(best) > k:
@@ -145,5 +147,4 @@ class TransformIndex(MetricIndex):
             obs.enter_leaf(n)
             obs.filter_points(PRUNE_KNN_RADIUS, n - scanned)
             obs.leaf_scan(n, scanned)
-            obs.distance(scanned)
         return best

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.indexes.base import MetricIndex
 from repro.metric.base import Metric
+from repro.obs.stats import QueryStats
+from repro.obs.trace import TraceSink, make_observation
 from repro.transforms.filter import TransformIndex
 from repro.transforms.fourier import DFTTransform
 
@@ -123,18 +125,29 @@ class SubsequenceIndex:
             )
         return pattern
 
-    def range_search(self, query, radius: float) -> list[SubsequenceMatch]:
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[SubsequenceMatch]:
         """All indexed windows within ``radius`` of the pattern,
         ordered by (series_id, offset).
 
         Reporting the match distances costs one extra (batched) metric
-        evaluation per hit on top of the index's own work.
+        evaluation per hit on top of the index's own work; ``stats``
+        and ``trace`` observe the window-level index plus that batch.
         """
         pattern = self._check_query(query)
-        hits = self._index.range_search(pattern, radius)
+        hits = self._index.range_search(pattern, radius, stats=stats, trace=trace)
         if not hits:
             return []
         distances = self._metric.batch_distance(self._windows[hits], pattern)
+        obs = make_observation(stats, trace)
+        if obs is not None:
+            obs.distance(len(hits))
         matches = [
             SubsequenceMatch(float(distance), *self._origins[hit])
             for hit, distance in zip(hits, distances)
@@ -142,10 +155,17 @@ class SubsequenceIndex:
         matches.sort(key=lambda match: (match.series_id, match.offset))
         return matches
 
-    def knn_search(self, query, k: int) -> list[SubsequenceMatch]:
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[SubsequenceMatch]:
         """The ``k`` closest indexed windows, nearest first."""
         pattern = self._check_query(query)
-        neighbors = self._index.knn_search(pattern, k)
+        neighbors = self._index.knn_search(pattern, k, stats=stats, trace=trace)
         return [
             SubsequenceMatch(n.distance, *self._origins[n.id])
             for n in neighbors

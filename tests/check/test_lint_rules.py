@@ -1,0 +1,425 @@
+"""Per-rule tests for the repro.check AST lint (RC001..RC006)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.check.lint import run_lint
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint_snippet(tmp_path, source, *, relpath="indexes/sample.py", select=None):
+    """Write ``source`` under a fake package root and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    # __init__.py so RC006's registry scan sees a package root
+    (tmp_path / "__init__.py").touch()
+    findings = run_lint([tmp_path], select=select, root=tmp_path)
+    return [finding.code for finding in findings], findings
+
+
+class TestRC001RawMetricCalls:
+    def test_flags_raw_distance_in_index_module(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            class Thing:
+                def search(self, q):
+                    return self._metric.distance(q, q)
+            """,
+            select={"RC001"},
+        )
+        assert codes == ["RC001"]
+        assert "metric.distance" in findings[0].message or "RC001"
+
+    def test_flags_batch_distance(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def helper(metric, xs, y):
+                return metric.batch_distance(xs, y)
+            """,
+            select={"RC001"},
+        )
+        assert codes == ["RC001"]
+
+    def test_gateway_helpers_are_exempt(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            class Base:
+                def _dist(self, obs, a, b):
+                    return self._metric.distance(a, b)
+
+                def _batch_dist(self, obs, xs, y):
+                    return self._metric.batch_distance(xs, y)
+            """,
+            select={"RC001"},
+        )
+        assert codes == []
+
+    def test_calls_through_gateway_are_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            class Thing:
+                def search(self, obs, q):
+                    return self._dist(obs, q, q)
+            """,
+            select={"RC001"},
+        )
+        assert codes == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def build(metric, xs, y):
+                return metric.batch_distance(  # repro-check: ignore[RC001]
+                    xs, y
+                )
+            """,
+            select={"RC001"},
+        )
+        assert codes == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def script(metric, a, b):
+                return metric.distance(a, b)
+            """,
+            relpath="datasets/gen.py",
+            select={"RC001"},
+        )
+        assert codes == []
+
+
+class TestRC002SearchSignatures:
+    def test_flags_missing_keywords(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            class Idx:
+                def range_search(self, query, radius):
+                    return []
+            """,
+            select={"RC002"},
+        )
+        assert codes == ["RC002"]
+        assert "stats" in findings[0].message
+
+    def test_flags_positional_only_stats(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            class Idx:
+                def knn_search(self, query, k, stats=None, trace=None):
+                    return []
+            """,
+            select={"RC002"},
+        )
+        assert codes == ["RC002"]  # must be keyword-only
+
+    def test_keyword_only_signature_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            class Idx:
+                def range_search(self, query, radius, *, stats=None, trace=None):
+                    return []
+
+                def knn_search(self, query, k, *, stats=None, trace=None):
+                    return []
+            """,
+            select={"RC002"},
+        )
+        assert codes == []
+
+
+class TestRC003UnguardedObservation:
+    def test_flags_unguarded_event(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                obs.prune(1.0)
+            """,
+            select={"RC003"},
+        )
+        assert codes == ["RC003"]
+
+    def test_guarded_event_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                if obs is not None:
+                    obs.prune(1.0)
+            """,
+            select={"RC003"},
+        )
+        assert codes == []
+
+    def test_compound_guard_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs, flag):
+                if obs is not None and flag:
+                    obs.enter_leaf(3)
+            """,
+            select={"RC003"},
+        )
+        assert codes == []
+
+    def test_else_branch_of_is_none_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                if obs is None:
+                    pass
+                else:
+                    obs.enter_internal()
+            """,
+            select={"RC003"},
+        )
+        assert codes == []
+
+    def test_wrong_branch_is_flagged(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                if obs is None:
+                    obs.enter_internal()
+            """,
+            select={"RC003"},
+        )
+        assert codes == ["RC003"]
+
+
+class TestRC004UnboundedRecursion:
+    def test_flags_undocumented_recursion(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def walk(node):
+                for child in node.children:
+                    walk(child)
+            """,
+            select={"RC004"},
+        )
+        assert codes == ["RC004"]
+
+    def test_docstring_note_satisfies(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def walk(node):
+                '''Visit nodes (recursive; depth <= tree height).'''
+                for child in node.children:
+                    walk(child)
+            """,
+            select={"RC004"},
+        )
+        assert codes == []
+
+    def test_method_recursion_via_self_detected(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            class Tree:
+                def visit(self, node):
+                    for child in node.children:
+                        self.visit(child)
+            """,
+            select={"RC004"},
+        )
+        assert codes == ["RC004"]
+
+    def test_mutual_recursion_detected(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def even(n):
+                return odd(n - 1)
+
+            def odd(n):
+                return even(n - 1)
+            """,
+            select={"RC004"},
+        )
+        assert sorted(codes) == ["RC004", "RC004"]
+
+    def test_non_recursive_function_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def once(node):
+                return [c for c in node.children]
+            """,
+            select={"RC004"},
+        )
+        assert codes == []
+
+
+class TestRC005NumpyScalarLeak:
+    def test_flags_bare_argmin(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def pick(distances):
+                return np.argmin(distances)
+            """,
+            select={"RC005"},
+        )
+        assert codes == ["RC005"]
+
+    def test_coerced_argmin_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def pick(distances):
+                return int(np.argmin(distances))
+            """,
+            select={"RC005"},
+        )
+        assert codes == []
+
+    def test_axis_argmin_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def pick(distances):
+                return np.argmin(distances, axis=1)
+            """,
+            select={"RC005"},
+        )
+        assert codes == []
+
+
+class TestRC006UnregisteredIndex:
+    def test_flags_unexported_index_class(self, tmp_path):
+        (tmp_path / "__init__.py").write_text("__all__ = []\n")
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.indexes.base import MetricIndex
+
+            class ShinyNewIndex(MetricIndex):
+                pass
+            """,
+            select={"RC006"},
+        )
+        assert codes == ["RC006"]
+        assert "ShinyNewIndex" in findings[0].message
+
+    def test_exported_index_class_is_clean(self, tmp_path):
+        (tmp_path / "__init__.py").write_text(
+            "__all__ = ['ShinyNewIndex']\n"
+        )
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            from repro.indexes.base import MetricIndex
+
+            class ShinyNewIndex(MetricIndex):
+                pass
+            """,
+            select={"RC006"},
+        )
+        assert codes == []
+
+    def test_private_class_is_exempt(self, tmp_path):
+        (tmp_path / "__init__.py").write_text("__all__ = []\n")
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            from repro.indexes.base import MetricIndex
+
+            class _ScratchIndex(MetricIndex):
+                pass
+            """,
+            select={"RC006"},
+        )
+        assert codes == []
+
+
+class TestSuppression:
+    def test_all_wildcard(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                obs.prune(1.0)  # repro-check: ignore[all]
+            """,
+            select={"RC003"},
+        )
+        assert codes == []
+
+    def test_preceding_line_pragma(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                # repro-check: ignore[RC003]
+                obs.prune(1.0)
+            """,
+            select={"RC003"},
+        )
+        assert codes == []
+
+    def test_unrelated_code_pragma_does_not_suppress(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                obs.prune(1.0)  # repro-check: ignore[RC001]
+            """,
+            select={"RC003"},
+        )
+        assert codes == ["RC003"]
+
+
+class TestRepoIsClean:
+    def test_package_has_no_findings(self):
+        findings = run_lint([REPO_SRC], root=REPO_SRC.parent)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestFindingFormat:
+    def test_format_is_clickable(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                obs.prune(1.0)
+            """,
+            select={"RC003"},
+        )
+        line = findings[0].format()
+        assert "sample.py" in line
+        assert ": RC003 " in line
+
+    def test_findings_are_sorted(self, tmp_path):
+        _, findings = lint_snippet(
+            tmp_path,
+            """
+            def search(obs):
+                obs.prune(1.0)
+                obs.enter_internal()
+            """,
+            select={"RC003"},
+        )
+        lines = [finding.line for finding in findings]
+        assert lines == sorted(lines)

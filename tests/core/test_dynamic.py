@@ -269,6 +269,59 @@ class TestInterleaved:
                 query, 8
             )
 
+    def test_structure_verifies_after_each_phase(self, l2):
+        """The invariant verifier passes after inserts, deletes, rebuilds,
+        and reinserts — the states unique to the dynamic tree."""
+        from repro.check.invariants import verify_structure
+
+        rng = np.random.default_rng(11)
+        data = [rng.random(5) for __ in range(60)]
+        tree = DynamicMVPTree(data[:30], l2, m=2, k=4, p=3, rng=0,
+                              overflow_factor=1.5, rebuild_threshold=0.4)
+
+        def assert_clean(phase):
+            violations = verify_structure(tree)
+            assert violations == [], f"{phase}:\n" + "\n".join(
+                v.format() for v in violations
+            )
+
+        assert_clean("fresh build")
+        for vector in data[30:]:
+            tree.insert(vector)
+        assert_clean("after inserts")
+        for idx in range(0, 30, 3):
+            tree.delete(idx)
+        assert_clean("after deletes (tombstones live)")
+        tree.rebuild()
+        assert_clean("after full rebuild")
+        for __ in range(10):
+            tree.insert(rng.random(5))
+        candidates = [i for i in range(len(data)) if tree.is_live(i)]
+        for idx in candidates[:5]:
+            tree.delete(idx)
+        assert_clean("after reinserts + second wave of deletes")
+
+    def test_structure_verifies_during_random_workload(self, l2):
+        from repro.check.invariants import verify_structure
+
+        rng = np.random.default_rng(12)
+        tree = DynamicMVPTree([], l2, m=2, k=3, p=2, rng=0,
+                              overflow_factor=1.5, rebuild_threshold=0.3)
+        data = []
+        for step in range(150):
+            if rng.random() < 0.7 or len(tree) < 5:
+                vector = rng.random(4)
+                data.append(vector)
+                tree.insert(vector)
+            else:
+                candidates = [i for i in range(len(data)) if tree.is_live(i)]
+                tree.delete(int(rng.choice(candidates)))
+            if step % 25 == 24:
+                violations = verify_structure(tree)
+                assert violations == [], f"step {step}:\n" + "\n".join(
+                    v.format() for v in violations
+                )
+
     def test_search_costs_stay_sublinear_after_updates(self, l2):
         counting = CountingMetric(L2())
         rng = np.random.default_rng(8)
