@@ -38,6 +38,7 @@ from repro.obs import (
     TraceSink,
     summarize,
 )
+from repro.serve import Query, QueryEngine, ShardManager
 from repro.transforms import TransformIndex
 
 __version__ = "1.0.0"
@@ -54,6 +55,9 @@ __all__ = [
     "LAESA",
     "LinearScan",
     "TransformIndex",
+    "ShardManager",
+    "QueryEngine",
+    "Query",
     "MetricIndex",
     "Neighbor",
     "Metric",

@@ -7,11 +7,14 @@ Examples::
     repro-bench --all --scale 0.05 --seed 1
     python -m repro.bench --figure fig10 --verify
     repro-bench stats --figure fig8 --scale 0.05
+    repro-bench serve --shards 4 --workers 4 --queries 100
 
 The ``stats`` subcommand reruns search experiments with per-query
 observability on (:class:`~repro.obs.QueryStats`) and prints the
 per-bound prune breakdown instead of the cost table (see
-``docs/observability.md``).
+``docs/observability.md``).  The ``serve`` subcommand benchmarks the
+sharded serving engine's throughput against a sequential baseline (see
+``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -78,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        # ``repro-bench serve ...``: serving-throughput benchmark
+        # (engine vs. sequential baseline; see repro.bench.throughput).
+        from repro.bench.throughput import serve_main
+
+        return serve_main(argv[1:])
     collect_stats = False
     if argv and argv[0] == "stats":
         # ``repro-bench stats ...``: same flags, but range searches run

@@ -1,10 +1,11 @@
 """Build one small, deterministic instance of every index class.
 
 The ``repro-check invariants`` command needs a built index per class to
-verify.  :func:`build_verification_indexes` constructs all eleven over
+verify.  :func:`build_verification_indexes` constructs every class over
 tiny synthetic datasets (a few dozen points) so the full sweep stays
 fast while still exercising multi-level trees, the dynamic tree's
-tombstone/rebuild machinery, and the transform filter.
+tombstone/rebuild machinery, the transform filter, and a sharded
+serving deployment.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from repro.indexes.linear import LinearScan
 from repro.indexes.vptree import VPTree
 from repro.metric.discrete import EditDistance
 from repro.metric.minkowski import L2
+from repro.serve.sharding import ShardManager
 from repro.transforms.filter import TransformIndex
 from repro.transforms.fourier import DFTTransform
 
@@ -85,6 +87,13 @@ def build_verification_indexes(
         for idx in range(0, n, max(1, n // 5)):
             dynamic.delete(idx)
         indexes["DynamicMVPTree"] = dynamic
+
+    if not skip("ShardManager"):
+        # A sharded deployment with more shards than strictly needed,
+        # so the verifier also sees small partitions.
+        indexes["ShardManager"] = ShardManager(
+            vectors, metric, n_shards=3, backend="vpt", rng=seed
+        )
 
     if not skip("BKTree"):
         words = synthetic_words(n, rng=seed)

@@ -41,6 +41,10 @@ Invariants checked (paper sections 4.2/4.3 where applicable):
   dataset matches ``transform.transform`` and sampled transformed
   distances never exceed the true metric (section 3.1's contraction
   requirement, the exactness precondition of filter-and-refine).
+* ``shard-partition`` / ``shard-size`` — a serving
+  :class:`~repro.serve.sharding.ShardManager`'s shards partition the
+  dataset exactly (disjoint, covering) and each shard indexes exactly
+  its assignment; shard inner structures are verified recursively.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ from repro.indexes.gnat import GNAT, GNATLeafNode
 from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.indexes.vptree import VPLeafNode, VPTree
+from repro.serve.sharding import ShardManager
 from repro.transforms.filter import TransformIndex
 
 #: Relative tolerance for comparing stored against recomputed distances.
@@ -1051,12 +1056,100 @@ def verify_linear(index: LinearScan) -> list[Violation]:
     return []
 
 
+def verify_shard_manager(manager) -> list[Violation]:
+    """A :class:`~repro.serve.sharding.ShardManager` deployment.
+
+    * ``shard-partition`` — the shard id lists partition the dataset
+      exactly: disjoint (no id twice) and covering (every id once).
+      This is what makes merged answers equal a single index's: a
+      duplicated id could be reported twice, a missing id never.
+    * ``shard-size`` — every built shard indexes exactly its assigned
+      ids; empty assignments must carry no index at all.
+
+    Each non-empty shard's inner structure is then verified recursively
+    with its own class verifier (depth 1 — shards never nest), its
+    violations prefixed with the shard location.
+    """
+    out: list[Violation] = []
+    n = len(manager._objects)
+    seen: dict[int, int] = {}
+    for ids in manager.shard_ids:
+        for idx in ids:
+            seen[idx] = seen.get(idx, 0) + 1
+    duplicated = sorted(idx for idx, times in seen.items() if times > 1)
+    missing = sorted(set(range(n)) - set(seen))
+    alien = sorted(idx for idx in seen if idx < 0 or idx >= n)
+    if duplicated:
+        out.append(
+            Violation(
+                "shard-partition",
+                "shards",
+                f"ids assigned to more than one shard: {duplicated[:10]}",
+            )
+        )
+    if missing:
+        out.append(
+            Violation(
+                "shard-partition",
+                "shards",
+                f"ids assigned to no shard: {missing[:10]}",
+            )
+        )
+    if alien:
+        out.append(
+            Violation(
+                "shard-partition",
+                "shards",
+                f"ids outside the dataset range: {alien[:10]}",
+            )
+        )
+    for shard, (ids, index) in enumerate(zip(manager.shard_ids, manager.shards)):
+        location = f"shard[{shard}]"
+        if index is None:
+            if ids:
+                out.append(
+                    Violation(
+                        "shard-size",
+                        location,
+                        f"{len(ids)} ids assigned but no index built",
+                    )
+                )
+            continue
+        if not ids:
+            out.append(
+                Violation(
+                    "shard-size", location, "index built over an empty assignment"
+                )
+            )
+            continue
+        if len(index) != len(ids):
+            out.append(
+                Violation(
+                    "shard-size",
+                    location,
+                    f"index holds {len(index)} objects, assignment has "
+                    f"{len(ids)}",
+                )
+            )
+            continue
+        for violation in verify_structure(index):
+            out.append(
+                Violation(
+                    violation.invariant,
+                    f"{location}/{violation.location}",
+                    violation.message,
+                )
+            )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
 #: Ordered (class, verifier) registry; subclasses must precede parents.
 VERIFIERS: list[tuple[type, Callable[[MetricIndex], list[Violation]]]] = [
+    (ShardManager, verify_shard_manager),
     (DynamicMVPTree, verify_mvptree),
     (MVPTree, verify_mvptree),
     (GMVPTree, verify_gmvptree),

@@ -163,6 +163,7 @@ class RawMetricCallRule(Rule):
         return (
             "/indexes/" in f"/{posix}"
             or "/core/" in f"/{posix}"
+            or "/serve/" in f"/{posix}"
             or posix.endswith("transforms/filter.py")
         )
 

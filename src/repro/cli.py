@@ -4,6 +4,8 @@ Subcommands:
 
 * ``bench``    — regenerate paper figures (delegates to
   :mod:`repro.bench.cli`; also available as ``repro-bench``).
+* ``serve``    — run a batch through the sharded concurrent query
+  engine (delegates to :mod:`repro.serve.cli`; also ``repro-serve``).
 * ``stats``    — build an index over a synthetic workload and print its
   structural report plus construction cost.
 * ``validate`` — spot-check the metric axioms (section 2) for a metric
@@ -116,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     bench.add_argument("rest", nargs=argparse.REMAINDER)
+
+    serve = subcommands.add_parser(
+        "serve",
+        help="sharded concurrent batch-query engine (see repro-serve --help)",
+        add_help=False,
+    )
+    serve.add_argument("rest", nargs=argparse.REMAINDER)
 
     stats = subcommands.add_parser(
         "stats", help="build an index and print its structural report"
@@ -241,6 +250,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Same pass-through convention for the serving engine.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "stats":

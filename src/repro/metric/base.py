@@ -11,6 +11,7 @@ whether it arrives through :meth:`Metric.distance` or through the batched
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
@@ -212,6 +213,13 @@ class CountingMetric(Metric):
     build and search an index with a counting metric, then read
     :attr:`count`.
 
+    The counter is guarded by a lock, so one ``CountingMetric`` can be
+    shared by the concurrent shard workers of :mod:`repro.serve` without
+    losing increments — a bare ``count += 1`` is a load/add/store
+    sequence the interpreter may interleave across threads.  The lock
+    only serialises the integer bump, never the (expensive) wrapped
+    metric evaluation.
+
     >>> from repro.metric import L2, CountingMetric
     >>> import numpy as np
     >>> counting = CountingMetric(L2())
@@ -224,20 +232,24 @@ class CountingMetric(Metric):
     def __init__(self, inner: Metric):
         self.inner = inner
         self.count = 0
+        self._lock = threading.Lock()
 
     def distance(self, a, b) -> float:
-        self.count += 1
+        with self._lock:
+            self.count += 1
         return self.inner.distance(a, b)
 
     def batch_distance(self, xs: Sequence, y) -> np.ndarray:
         out = self.inner.batch_distance(xs, y)
-        self.count += len(out)
+        with self._lock:
+            self.count += len(out)
         return out
 
     def reset(self) -> int:
         """Zero the counter and return the value it had."""
-        previous = self.count
-        self.count = 0
+        with self._lock:
+            previous = self.count
+            self.count = 0
         return previous
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -128,6 +128,18 @@ class QueryStats:
     prunes:
         Per-bound breakdown of prune events, keyed by the ``PRUNE_*``
         vocabulary.
+    result_cache_hits, result_cache_misses:
+        Whole-answer LRU cache outcomes recorded by the serving engine
+        (:mod:`repro.serve`); both stay zero outside it.  A hit answers
+        the query with zero distance computations.
+    distance_cache_hits, distance_cache_misses:
+        Scalar evaluations served from / added to a
+        :class:`~repro.serve.cache.DistanceCacheMetric` during this
+        query.  On a cache hit the index still charges
+        ``distance_calls`` (the *request* was made) while the wrapped
+        ``CountingMetric`` only sees the miss, so under a distance
+        cache ``distance_calls == CountingMetric delta +
+        distance_cache_hits`` (tested by the serve suite).
     """
 
     distance_calls: int = 0
@@ -137,6 +149,10 @@ class QueryStats:
     leaf_points_seen: int = 0
     leaf_points_scanned: int = 0
     leaf_points_filtered: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    distance_cache_hits: int = 0
+    distance_cache_misses: int = 0
     prunes: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -157,6 +173,10 @@ class QueryStats:
         self.leaf_points_seen = 0
         self.leaf_points_scanned = 0
         self.leaf_points_filtered = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        self.distance_cache_hits = 0
+        self.distance_cache_misses = 0
         self.prunes = {}
         return self
 
@@ -169,6 +189,10 @@ class QueryStats:
         self.leaf_points_seen += other.leaf_points_seen
         self.leaf_points_scanned += other.leaf_points_scanned
         self.leaf_points_filtered += other.leaf_points_filtered
+        self.result_cache_hits += other.result_cache_hits
+        self.result_cache_misses += other.result_cache_misses
+        self.distance_cache_hits += other.distance_cache_hits
+        self.distance_cache_misses += other.distance_cache_misses
         for kind, count in other.prunes.items():
             self.prunes[kind] = self.prunes.get(kind, 0) + count
         return self
@@ -183,6 +207,10 @@ class QueryStats:
             "leaf_points_seen": self.leaf_points_seen,
             "leaf_points_scanned": self.leaf_points_scanned,
             "leaf_points_filtered": self.leaf_points_filtered,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "distance_cache_hits": self.distance_cache_hits,
+            "distance_cache_misses": self.distance_cache_misses,
             "prunes": dict(self.prunes),
         }
 

@@ -17,6 +17,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro._util import gather
 from repro.core.dynamic import DynamicMVPTree
 from repro.core.gmvptree import GMVPInternalNode, GMVPLeafNode, GMVPTree
 from repro.core.mvptree import MVPTree
@@ -29,6 +30,7 @@ from repro.indexes.linear import LinearScan
 from repro.indexes.selection import get_selector
 from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
 from repro.metric.base import Metric
+from repro.serve.sharding import ShardManager
 
 _FORMAT_VERSION = 1
 
@@ -257,7 +259,31 @@ def _decode_bk_node(data: Optional[dict]) -> Optional[BKNode]:
 
 
 def index_to_dict(index: MetricIndex) -> dict:
-    """Encode an index structure as a JSON-serialisable dict."""
+    """Encode an index structure as a JSON-serialisable dict.
+
+    Recursion depth is 1: a ShardManager encodes each of its shard
+    indexes, and shards are plain indexes, never nested managers.
+    """
+    if isinstance(index, ShardManager):
+        # A sharded deployment: the shard assignment plus every shard's
+        # own serialised structure (recursion depth 1 — shards are
+        # plain indexes, never nested managers).
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "ShardManager",
+            "n_objects": len(index.objects),
+            "params": {
+                "n_shards": index.n_shards,
+                "assignment": index.assignment,
+                "backend": index.backend_name,
+            },
+            "stats": {},
+            "shard_ids": [list(ids) for ids in index.shard_ids],
+            "shards": [
+                index_to_dict(shard) if shard is not None else None
+                for shard in index.shards
+            ],
+        }
     if isinstance(index, VPTree):
         return {
             "format": _FORMAT_VERSION,
@@ -398,6 +424,8 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
     ``objects`` must be the dataset the index was built over, in the
     same order; ``metric`` must be equivalent to the construction
     metric.  Only the dataset *size* can be verified mechanically.
+    Recursion depth is 1: a ShardManager decodes each shard index, and
+    shards are plain indexes, never nested managers.
     """
     if data.get("format") != _FORMAT_VERSION:
         raise ValueError(f"unsupported serialisation format: {data.get('format')!r}")
@@ -409,6 +437,21 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
     kind = data["type"]
     params = data["params"]
     stats = data["stats"]
+
+    if kind == "ShardManager":
+        manager = ShardManager.__new__(ShardManager)
+        MetricIndex.__init__(manager, objects, metric)
+        manager.n_shards = params["n_shards"]
+        manager.assignment = params["assignment"]
+        manager.backend_name = params["backend"]
+        manager._shard_ids = [list(ids) for ids in data["shard_ids"]]
+        manager._shards = [
+            index_from_dict(shard, gather(objects, ids), metric)
+            if shard is not None
+            else None
+            for shard, ids in zip(data["shards"], manager._shard_ids)
+        ]
+        return manager
 
     if kind == "LinearScan":
         return LinearScan(objects, metric)

@@ -1,0 +1,63 @@
+"""repro.serve — sharded, concurrent batch-query serving.
+
+The serving layer above the whole index family (see ``docs/serving.md``):
+
+* :class:`ShardManager` — partition a dataset across N index shards
+  (any backend from :data:`SHARD_BACKENDS`) with exact result merging;
+* :class:`QueryEngine` — concurrent batch execution with per-query
+  deadlines, retries, backpressure and degraded partial results;
+* :class:`LRUCache` / :class:`DistanceCacheMetric` — whole-answer and
+  (query, point) distance memoization with per-query hit accounting.
+
+Quick start::
+
+    import numpy as np
+    from repro.metric import L2
+    from repro.serve import Query, QueryEngine, ShardManager
+
+    data = np.random.default_rng(0).random((10_000, 20))
+    manager = ShardManager(data, L2(), n_shards=4, backend="mvpt", rng=0)
+    with QueryEngine(manager, workers=4, timeout=1.0) as engine:
+        batch = engine.run_batch(
+            [Query.range(data[i], 0.3) for i in range(100)]
+        )
+    print(batch.queries_per_second(), batch.n_degraded)
+"""
+
+from repro.serve.cache import DistanceCacheMetric, LRUCache, query_cache_key
+from repro.serve.engine import (
+    BatchResult,
+    FaultHook,
+    Query,
+    QueryEngine,
+    QueryResult,
+    SerialExecutor,
+    ShardFailure,
+    ThreadedExecutor,
+)
+from repro.serve.sharding import (
+    SHARD_BACKENDS,
+    ShardManager,
+    assign_shards,
+    merge_knn,
+    merge_range,
+)
+
+__all__ = [
+    "ShardManager",
+    "SHARD_BACKENDS",
+    "assign_shards",
+    "merge_knn",
+    "merge_range",
+    "QueryEngine",
+    "Query",
+    "QueryResult",
+    "BatchResult",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ShardFailure",
+    "FaultHook",
+    "LRUCache",
+    "DistanceCacheMetric",
+    "query_cache_key",
+]

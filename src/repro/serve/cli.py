@@ -1,0 +1,224 @@
+"""Command line for the serving engine: ``repro-serve``.
+
+Builds a sharded deployment over a synthetic workload, runs a mixed
+range/k-NN batch through the :class:`~repro.serve.engine.QueryEngine`,
+and reports throughput, cost and degradation.  Also usable as
+``python -m repro.serve`` and ``python -m repro serve``.
+
+Examples::
+
+    repro-serve --workload uniform --n 2000 --shards 4 --workers 4
+    repro-serve --backend mvpt --queries 200 --radius 0.4 --knn 8 --json
+    repro-serve --n 1000 --shards 4 --save deploy.json
+    repro-serve --load deploy.json --workload uniform --n 1000 --queries 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metric import CountingMetric
+from repro.obs.stats import summarize
+from repro.serve.engine import Query, QueryEngine
+from repro.serve.sharding import SHARD_BACKENDS, ShardManager
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Sharded, concurrent batch-query engine over the "
+            "distance-based index family."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        choices=("uniform", "clustered", "words", "dna"),
+        default="uniform",
+        help="synthetic dataset family (default uniform vectors)",
+    )
+    parser.add_argument("--n", type=int, default=2000, help="dataset size")
+    parser.add_argument(
+        "--shards", type=int, default=4, help="number of index shards"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(SHARD_BACKENDS),
+        default="vpt",
+        help="index class per shard (default vpt)",
+    )
+    parser.add_argument(
+        "--assignment",
+        choices=("round-robin", "contiguous"),
+        default="round-robin",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker-pool size"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=100, help="batch size (half range, half k-NN)"
+    )
+    parser.add_argument(
+        "--radius", type=float, default=None,
+        help="range-query radius (default: workload-appropriate)",
+    )
+    parser.add_argument("--knn", type=int, default=5, help="k for k-NN queries")
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-query deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, help="retries per failing shard"
+    )
+    parser.add_argument(
+        "--result-cache", type=int, default=0, metavar="SIZE",
+        help="LRU result-cache capacity (0 = off)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--save", metavar="PATH",
+        help="serialise the built sharded deployment to PATH and exit",
+    )
+    parser.add_argument(
+        "--load", metavar="PATH",
+        help="load a deployment saved with --save instead of building",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def _make_workload(name: str, n: int, seed: int):
+    """(objects, metric, query sampler, default radius) for a workload."""
+    from repro.cli import make_workload
+
+    objects, metric = make_workload(name, n, seed)
+    rng = np.random.default_rng(seed + 1)
+    if name in ("uniform", "clustered"):
+        dim = objects.shape[1]
+        return objects, metric, (lambda: rng.random(dim)), 0.4
+    indices = lambda: objects[int(rng.integers(len(objects)))]  # noqa: E731
+    return objects, metric, indices, 2.0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.backend == "bkt" and args.workload in ("uniform", "clustered"):
+        parser.error("the bkt backend needs a discrete workload (words/dna)")
+
+    objects, base_metric, sample_query, default_radius = _make_workload(
+        args.workload, args.n, args.seed
+    )
+    radius = args.radius if args.radius is not None else default_radius
+    counting = CountingMetric(base_metric)
+
+    if args.load:
+        from repro.persist.serialize import load_index
+
+        manager = load_index(args.load, objects, counting)
+        if not isinstance(manager, ShardManager):
+            print(
+                f"error: {args.load} holds a {type(manager).__name__}, "
+                "not a ShardManager",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        manager = ShardManager(
+            objects,
+            counting,
+            n_shards=args.shards,
+            backend=args.backend,
+            assignment=args.assignment,
+            rng=args.seed,
+        )
+    build_cost = counting.reset()
+
+    if args.save:
+        from repro.persist.serialize import save_index
+
+        save_index(manager, args.save)
+        print(
+            f"saved {manager.n_shards}-shard {args.backend} deployment "
+            f"over {len(objects)} objects to {args.save}"
+        )
+        return 0
+
+    queries = []
+    for i in range(args.queries):
+        obj = sample_query()
+        if i % 2 == 0:
+            queries.append(Query.range(obj, radius))
+        else:
+            queries.append(Query.knn(obj, args.knn))
+
+    with QueryEngine(
+        manager,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        result_cache_size=args.result_cache,
+    ) as engine:
+        batch = engine.run_batch(queries)
+
+    per_query = [result.stats for result in batch.results]
+    summary = summarize(per_query) if per_query else None
+    payload = {
+        "workload": args.workload,
+        "n_objects": len(objects),
+        "n_shards": manager.n_shards,
+        "backend": manager.backend_name or "custom",
+        "workers": args.workers,
+        "build_distance_computations": build_cost,
+        "n_queries": len(batch.results),
+        "wall_time_s": batch.wall_time_s,
+        "queries_per_second": batch.queries_per_second(),
+        "distance_calls_total": batch.stats.distance_calls,
+        "distance_calls_per_query": (
+            batch.stats.distance_calls / max(1, len(batch.results))
+        ),
+        "degraded": batch.n_degraded,
+        "from_cache": batch.n_from_cache,
+        "result_cache": {
+            "hits": batch.stats.result_cache_hits,
+            "misses": batch.stats.result_cache_misses,
+        },
+        "stats_summary": summary.to_dict() if summary else None,
+    }
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(
+        f"{manager.n_shards}-shard {payload['backend']} deployment over "
+        f"{len(objects)} {args.workload} objects "
+        f"({build_cost:,} build distance computations)"
+    )
+    print(
+        f"batch of {payload['n_queries']} queries, {args.workers} workers: "
+        f"{batch.wall_time_s * 1000:.1f} ms "
+        f"({payload['queries_per_second']:.0f} queries/s)"
+    )
+    print(
+        f"  distance computations: {batch.stats.distance_calls:,} total, "
+        f"{payload['distance_calls_per_query']:.1f}/query"
+    )
+    if engine.result_cache is not None:
+        print(
+            f"  result cache: {batch.stats.result_cache_hits} hits / "
+            f"{batch.stats.result_cache_misses} misses"
+        )
+    print(
+        f"  degraded: {batch.n_degraded} of {payload['n_queries']} "
+        f"(deadline {args.timeout if args.timeout is not None else 'off'})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,480 @@
+"""Concurrent batch-query execution with bounded latency.
+
+The :class:`QueryEngine` turns a built index — a single
+:class:`~repro.indexes.base.MetricIndex` or, usually, a
+:class:`~repro.serve.sharding.ShardManager` — into a serving surface:
+
+* a batch of range/k-NN queries executes over a pluggable worker pool
+  (:class:`ThreadedExecutor` by default — numpy ``batch_distance``
+  releases the GIL on real workloads, and expensive user metrics that
+  drop into C do too; :class:`SerialExecutor` gives a deterministic
+  in-thread baseline);
+* the unit of parallel work is one *(query, shard)* pair, so a single
+  query's shards also overlap;
+* every unit carries its own :class:`~repro.obs.QueryStats`; a query's
+  stats are the merge of its units, and the batch's stats are the merge
+  of its queries — so batch aggregation equals the per-query sum *by
+  construction*, and equals the wrapped
+  :class:`~repro.metric.CountingMetric` total because every index
+  charges both through the same ``_dist``/``_batch_dist`` gateway;
+* robustness: per-query deadlines (a late shard's result is dropped and
+  the answer is returned partial with ``degraded=True``), bounded
+  retries on shard failure, a fault-injection hook for tests, and
+  backpressure via a bounded in-flight unit budget.
+
+Failure semantics: a query never raises out of :meth:`run_batch`.  A
+shard that keeps failing after ``retries`` re-submissions, or that
+misses the deadline, simply contributes nothing; the merged answer over
+the surviving shards is returned with ``degraded=True`` so callers can
+distinguish "exact" from "best effort under fault/timeout".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.obs.stats import QueryStats, merge_all
+from repro.serve.cache import DistanceCacheMetric, LRUCache, query_cache_key
+from repro.serve.sharding import ShardManager, merge_knn, merge_range
+
+
+class ShardFailure(RuntimeError):
+    """Raised by fault hooks (or shard code) to simulate/signal a shard
+    failing mid-search; the engine retries and then degrades."""
+
+
+#: ``hook(query_index, shard, attempt)`` called before every unit
+#: attempt.  Raise to inject a failure, sleep to inject slowness.
+FaultHook = Callable[[int, int, int], None]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One similarity query in a batch.
+
+    ``kind`` is ``"range"`` (uses ``radius``) or ``"knn"`` (uses ``k``).
+    Use the :meth:`range` / :meth:`knn` constructors rather than spelling
+    the fields out.
+    """
+
+    kind: str
+    query: object
+    radius: Optional[float] = None
+    k: Optional[int] = None
+
+    @classmethod
+    def range(cls, query, radius: float) -> "Query":
+        """A near-neighbor query: all objects within ``radius``."""
+        return cls("range", query, radius=float(radius))
+
+    @classmethod
+    def knn(cls, query, k: int) -> "Query":
+        """A k-nearest-neighbor query."""
+        return cls("knn", query, k=int(k))
+
+    def cache_key(self):
+        """Hashable identity for the result cache (None = uncacheable)."""
+        base = query_cache_key(self.query)
+        if base is None:
+            return None
+        return (self.kind, self.radius, self.k, base)
+
+
+@dataclass
+class QueryResult:
+    """The engine's answer to one :class:`Query`.
+
+    ``ids`` is set for range queries, ``neighbors`` for k-NN.  When
+    ``degraded`` is true the answer is *partial*: ``shards_failed``
+    shards exhausted their retries and ``shards_timed_out`` missed the
+    deadline, and their contributions are missing.  ``stats`` merges
+    every unit that ran for this query (including failed attempts —
+    their distance computations really happened).
+    """
+
+    index: int
+    kind: str
+    ids: Optional[list[int]] = None
+    neighbors: Optional[list[Neighbor]] = None
+    stats: QueryStats = field(default_factory=QueryStats)
+    degraded: bool = False
+    from_cache: bool = False
+    shards_ok: int = 0
+    shards_failed: int = 0
+    shards_timed_out: int = 0
+
+    @property
+    def value(self):
+        """The answer payload (`ids` or ``neighbors``)."""
+        return self.ids if self.kind == "range" else self.neighbors
+
+
+@dataclass
+class BatchResult:
+    """Results of one :meth:`QueryEngine.run_batch` call.
+
+    ``stats`` is the merge of every per-query ``QueryStats`` — equal to
+    their sum by construction (tested, not just asserted, by the serve
+    suite).
+    """
+
+    results: list[QueryResult]
+    stats: QueryStats
+    wall_time_s: float
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for r in self.results if r.degraded)
+
+    @property
+    def n_from_cache(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    def queries_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return len(self.results) / self.wall_time_s
+
+
+# ----------------------------------------------------------------------
+# Executors (pluggable worker pools)
+# ----------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Run every unit inline on the submitting thread.
+
+    The deterministic baseline: identical results and stats to the
+    threaded pool, zero concurrency.  Deadlines degrade gracefully — a
+    unit that was *started* always finishes (nothing preempts it), so
+    only units still queued when the deadline passed are dropped, and
+    with inline execution there is no queue.
+    """
+
+    max_workers = 1
+
+    def submit(self, fn, *args) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # pragma: no cover - units don't raise
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
+class ThreadedExecutor:
+    """A thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor`.
+
+    Threads fit this workload because the expensive inner loops —
+    numpy's vectorised ``batch_distance``, C-implemented user metrics —
+    release the GIL; pure-python metrics still overlap their waiting
+    time under fault/timeout scenarios.
+    """
+
+    def __init__(self, max_workers: int = 4):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+
+    def submit(self, fn, *args) -> Future:
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+#: Anything with ``submit(fn, *args) -> Future`` and ``shutdown()``.
+Executor = Union[SerialExecutor, ThreadedExecutor]
+
+
+@dataclass
+class _UnitOutcome:
+    """What one (query, shard) unit produced."""
+
+    ok: bool
+    value: object = None
+    stats: QueryStats = field(default_factory=QueryStats)
+    error: Optional[str] = None
+
+
+class QueryEngine:
+    """Execute query batches over an index with a worker pool.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`ShardManager` (units fan out per shard) or any
+        single :class:`MetricIndex` (one unit per query).
+    executor:
+        Worker pool; defaults to ``ThreadedExecutor(workers)``.
+    workers:
+        Pool size when ``executor`` is not supplied.
+    timeout:
+        Default per-query deadline in seconds (None = no deadline).
+        A query's deadline starts when its units are submitted; shards
+        not finished by then are dropped and the result is degraded.
+    retries:
+        Re-submissions per failing unit before it is written off.
+    result_cache_size:
+        Capacity of the LRU whole-answer cache (0 disables it).  Only
+        exact, non-degraded answers are cached.
+    distance_cache:
+        The :class:`DistanceCacheMetric` the index's shards were built
+        over, if any; the engine binds it to each unit's stats so cache
+        hits/misses are attributed per query.
+    max_pending:
+        Backpressure bound: at most this many units are admitted
+        (queued + running) at once; submission blocks beyond it.
+        Defaults to ``4 * workers``.
+    fault_hook:
+        Test seam called as ``hook(query_index, shard, attempt)`` before
+        every unit attempt; raise to fail the attempt, sleep to slow it.
+    """
+
+    def __init__(
+        self,
+        index: MetricIndex,
+        *,
+        executor: Optional[Executor] = None,
+        workers: int = 4,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        result_cache_size: int = 0,
+        distance_cache: Optional[DistanceCacheMetric] = None,
+        max_pending: Optional[int] = None,
+        fault_hook: Optional[FaultHook] = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.index = index
+        self._own_executor = executor is None
+        self.executor = executor if executor is not None else ThreadedExecutor(workers)
+        self.timeout = timeout
+        self.retries = retries
+        self.result_cache = (
+            LRUCache(result_cache_size) if result_cache_size > 0 else None
+        )
+        self.distance_cache = distance_cache
+        workers_hint = getattr(self.executor, "max_workers", workers)
+        self.max_pending = (
+            max_pending if max_pending is not None else 4 * workers_hint
+        )
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        self._pending = threading.BoundedSemaphore(self.max_pending)
+        self.fault_hook = fault_hook
+
+    # ------------------------------------------------------------------
+    # Unit execution (runs on a worker thread)
+    # ------------------------------------------------------------------
+
+    def _search_unit(self, query: Query, shard: Optional[int], stats: QueryStats):
+        """One shard's (or the whole single index's) answer for a query."""
+        index = self.index
+        if shard is not None and isinstance(index, ShardManager):
+            if query.kind == "range":
+                return index.shard_range_search(
+                    shard, query.query, query.radius, stats=stats
+                )
+            return index.shard_knn_search(shard, query.query, query.k, stats=stats)
+        if query.kind == "range":
+            return index.range_search(query.query, query.radius, stats=stats)
+        return index.knn_search(query.query, query.k, stats=stats)
+
+    def _run_unit(self, qi: int, query: Query, shard: Optional[int]) -> _UnitOutcome:
+        """Execute one unit with retries; never raises.
+
+        Stats accumulate across attempts: a failed attempt's distance
+        computations really ran (and were charged to the wrapped
+        CountingMetric), so dropping them would break the engine's
+        stats-equals-counter identity.
+        """
+        stats = QueryStats()
+        shard_no = shard if shard is not None else 0
+        try:
+            for attempt in range(self.retries + 1):
+                try:
+                    if self.fault_hook is not None:
+                        self.fault_hook(qi, shard_no, attempt)
+                    if self.distance_cache is not None:
+                        with self.distance_cache.observe(stats):
+                            value = self._search_unit(query, shard, stats)
+                    else:
+                        value = self._search_unit(query, shard, stats)
+                    return _UnitOutcome(ok=True, value=value, stats=stats)
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+            return _UnitOutcome(ok=False, stats=stats, error=error)
+        finally:
+            self._pending.release()
+
+    # ------------------------------------------------------------------
+    # Batch execution (runs on the caller's thread)
+    # ------------------------------------------------------------------
+
+    def _shard_plan(self) -> list[Optional[int]]:
+        """Unit targets per query: shard numbers, or one ``None`` unit."""
+        if isinstance(self.index, ShardManager):
+            return list(range(self.index.n_shards))
+        return [None]
+
+    def submit_query(self, qi: int, query: Query) -> list[Future]:
+        """Submit one query's units to the pool; returns their futures.
+
+        Blocks while the in-flight unit budget (``max_pending``) is
+        exhausted — the engine's backpressure: a caller pushing a huge
+        batch is throttled to what the pool can absorb instead of
+        queueing unboundedly.
+        """
+        futures: list[Future] = []
+        for shard in self._shard_plan():
+            self._pending.acquire()
+            try:
+                futures.append(
+                    self.executor.submit(self._run_unit, qi, query, shard)
+                )
+            except BaseException:  # pragma: no cover - submission failed
+                self._pending.release()
+                raise
+        return futures
+
+    def _cached_result(self, qi: int, query: Query) -> Optional[QueryResult]:
+        if self.result_cache is None:
+            return None
+        key = query.cache_key()
+        if key is None:
+            return None
+        hit = self.result_cache.get(key)
+        stats = QueryStats()
+        if hit is None:
+            stats.result_cache_misses += 1
+            # Remember the miss so the gathered result reports it.
+            self._miss_stats[qi] = stats
+            return None
+        stats.result_cache_hits += 1
+        result = QueryResult(
+            index=qi,
+            kind=query.kind,
+            stats=stats,
+            from_cache=True,
+            shards_ok=0,
+        )
+        if query.kind == "range":
+            result.ids = list(hit)
+        else:
+            result.neighbors = list(hit)
+        return result
+
+    def _gather(
+        self,
+        qi: int,
+        query: Query,
+        futures: list[Future],
+        deadline: Optional[float],
+    ) -> QueryResult:
+        """Assemble one query's result from its unit futures.
+
+        Waits until every unit finished or the deadline passed; late
+        units are cancelled if still queued, abandoned if running (their
+        worker finishes in the background — threads cannot be
+        preempted), and their answers are dropped either way.
+        """
+        result = QueryResult(index=qi, kind=query.kind, stats=QueryStats())
+        miss_stats = self._miss_stats.pop(qi, None)
+        if miss_stats is not None:
+            result.stats.merge(miss_stats)
+        pending = set(futures)
+        while pending:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                break
+            done, pending = wait(
+                pending, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                break  # timed out with units still outstanding
+        values = []
+        for future in futures:
+            if future in pending:
+                future.cancel()
+                result.shards_timed_out += 1
+                continue
+            outcome: _UnitOutcome = future.result()
+            result.stats.merge(outcome.stats)
+            if outcome.ok:
+                result.shards_ok += 1
+                values.append(outcome.value)
+            else:
+                result.shards_failed += 1
+        result.degraded = bool(result.shards_failed or result.shards_timed_out)
+        if query.kind == "range":
+            result.ids = merge_range(values)
+        else:
+            k = min(query.k, len(self.index))
+            result.neighbors = merge_knn(values, k)
+        if (
+            self.result_cache is not None
+            and not result.degraded
+        ):
+            key = query.cache_key()
+            if key is not None:
+                self.result_cache.put(key, tuple(result.value))
+        return result
+
+    def run_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        timeout: Optional[float] = None,
+    ) -> BatchResult:
+        """Execute a batch; returns per-query results plus merged stats.
+
+        ``timeout`` overrides the engine default for this batch.  The
+        call never raises on shard failure or deadline — inspect
+        ``degraded`` per result.
+        """
+        deadline_s = self.timeout if timeout is None else timeout
+        start = time.perf_counter()
+        self._miss_stats: dict[int, QueryStats] = {}
+        results: list[Optional[QueryResult]] = [None] * len(queries)
+        submitted: list[tuple[int, Query, list[Future], Optional[float]]] = []
+        for qi, query in enumerate(queries):
+            cached = self._cached_result(qi, query)
+            if cached is not None:
+                results[qi] = cached
+                continue
+            futures = self.submit_query(qi, query)
+            deadline = (
+                None if deadline_s is None else time.monotonic() + deadline_s
+            )
+            submitted.append((qi, query, futures, deadline))
+        for qi, query, futures, deadline in submitted:
+            results[qi] = self._gather(qi, query, futures, deadline)
+        final = [result for result in results if result is not None]
+        return BatchResult(
+            results=final,
+            stats=merge_all(result.stats for result in final),
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def close(self) -> None:
+        """Shut down an engine-owned executor (shared ones are left up)."""
+        if self._own_executor:
+            self.executor.shutdown()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

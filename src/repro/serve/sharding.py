@@ -1,0 +1,295 @@
+"""Dataset sharding over the whole index family.
+
+A :class:`ShardManager` partitions one dataset across ``n_shards``
+disjoint, covering slices and builds an independent index over each —
+any :class:`~repro.indexes.base.MetricIndex` subclass, chosen by name
+from :data:`SHARD_BACKENDS` (the serving-side view of the package's
+index registry) or supplied as a builder callable.  It is itself a
+``MetricIndex``: sequential callers use ``range_search`` / ``knn_search``
+exactly as on a single structure, and the
+:class:`~repro.serve.engine.QueryEngine` fans the same per-shard
+searches out over a worker pool.
+
+Merging is exact.  Range results are the union of per-shard hits mapped
+back to global ids; k-NN results come from a global heap over the
+per-shard candidate lists.  Each shard answers with its local top
+``min(k, |shard|)`` — since the global k-th nearest distance is never
+smaller than any shard's local k-th, no qualifying neighbor can be
+missed — and ties at the k-th distance resolve by global id, matching
+the deterministic ``(distance, id)`` ordering every single index uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._util import RngLike, as_rng, check_non_empty, gather
+from repro.core.dynamic import DynamicMVPTree
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.bktree import BKTree
+from repro.indexes.distance_matrix import DistanceMatrixIndex
+from repro.indexes.ghtree import GHTree
+from repro.indexes.gnat import GNAT
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric.base import Metric
+from repro.obs.stats import QueryStats
+from repro.obs.trace import TraceSink
+
+#: ``builder(objects, metric, rng) -> MetricIndex`` per backend name.
+ShardBuilder = Callable[[Sequence, Metric, np.random.Generator], MetricIndex]
+
+#: The serving-side index registry: every index class the package
+#: exports, as a shard backend.  Parameters track the CLI defaults
+#: (``repro stats --structure``) but clamp to tiny shards so any
+#: partition size builds.
+SHARD_BACKENDS: dict[str, ShardBuilder] = {
+    "linear": lambda objects, metric, rng: LinearScan(objects, metric),
+    "vpt": lambda objects, metric, rng: VPTree(
+        objects, metric, m=2, leaf_capacity=4, rng=rng
+    ),
+    "mvpt": lambda objects, metric, rng: MVPTree(
+        objects, metric, m=3, k=13, p=4, rng=rng
+    ),
+    "gmvpt": lambda objects, metric, rng: GMVPTree(
+        objects, metric, m=2, v=3, k=8, p=4, rng=rng
+    ),
+    "dynamic": lambda objects, metric, rng: DynamicMVPTree(
+        objects, metric, m=3, k=9, p=4, rng=rng
+    ),
+    "ght": lambda objects, metric, rng: GHTree(
+        objects, metric, leaf_capacity=4, rng=rng
+    ),
+    "gnat": lambda objects, metric, rng: GNAT(
+        objects, metric, leaf_capacity=4, rng=rng
+    ),
+    "laesa": lambda objects, metric, rng: LAESA(
+        objects, metric, n_pivots=min(8, len(objects)), rng=rng
+    ),
+    "matrix": lambda objects, metric, rng: DistanceMatrixIndex(objects, metric),
+    "bkt": lambda objects, metric, rng: BKTree(list(objects), metric),
+}
+
+_ASSIGNMENTS = ("round-robin", "contiguous")
+
+
+def assign_shards(n_objects: int, n_shards: int, assignment: str) -> list[list[int]]:
+    """Partition ``range(n_objects)`` into ``n_shards`` id lists.
+
+    ``round-robin`` deals ids out one at a time (shard ``s`` holds ids
+    congruent to ``s`` mod ``n_shards``) for size balance under any data
+    ordering; ``contiguous`` cuts the id range into blocks, which keeps
+    locality when the dataset arrives pre-clustered.  Both produce
+    disjoint, covering, strictly increasing id lists — the invariant
+    ``repro-check invariants`` verifies on every built manager.
+    """
+    if assignment == "round-robin":
+        return [
+            list(range(shard, n_objects, n_shards)) for shard in range(n_shards)
+        ]
+    if assignment == "contiguous":
+        bounds = np.linspace(0, n_objects, n_shards + 1).astype(int)
+        return [
+            list(range(int(bounds[s]), int(bounds[s + 1])))
+            for s in range(n_shards)
+        ]
+    raise ValueError(
+        f"unknown assignment {assignment!r}; choose from {_ASSIGNMENTS}"
+    )
+
+
+def merge_knn(candidates: Sequence[Sequence[Neighbor]], k: int) -> list[Neighbor]:
+    """Global top-``k`` over per-shard candidate lists (closest first).
+
+    A heap-based selection over all candidates; :class:`Neighbor`
+    orders by ``(distance, id)``, so cross-shard ties at the k-th
+    distance resolve deterministically by global id — identical to a
+    single index over the union of the shards.
+    """
+    return heapq.nsmallest(k, (n for shard in candidates for n in shard))
+
+
+def merge_range(id_lists: Sequence[Sequence[int]]) -> list[int]:
+    """Union of per-shard global-id hit lists, sorted ascending."""
+    merged: list[int] = []
+    for ids in id_lists:
+        merged.extend(ids)
+    merged.sort()
+    return merged
+
+
+class ShardManager(MetricIndex):
+    """Partition a dataset across N independent index shards.
+
+    Parameters
+    ----------
+    objects:
+        The full dataset (held by reference, as everywhere else).
+    metric:
+        Metric shared by every shard.  Wrap it in a (thread-safe)
+        :class:`~repro.metric.CountingMetric` to account the whole
+        deployment's distance computations, or in a
+        :class:`~repro.serve.cache.DistanceCacheMetric` to memoize
+        repeated (query, point) pairs across shards and queries.
+    n_shards:
+        Number of partitions.  May exceed the dataset size; surplus
+        shards stay empty (no index is built for them) and searches
+        skip them.
+    backend:
+        Index family per shard: a name from :data:`SHARD_BACKENDS` or a
+        ``builder(objects, metric, rng) -> MetricIndex`` callable.
+    assignment:
+        ``"round-robin"`` (default) or ``"contiguous"`` — see
+        :func:`assign_shards`.
+    rng:
+        Seed or generator; each shard build draws from it in shard
+        order, so a seed makes the whole deployment reproducible.
+
+    >>> import numpy as np
+    >>> from repro.metric import L2
+    >>> data = np.random.default_rng(0).random((64, 4))
+    >>> manager = ShardManager(data, L2(), n_shards=4, backend="vpt", rng=0)
+    >>> manager.range_search(data[5], 0.0)
+    [5]
+    """
+
+    def __init__(
+        self,
+        objects: Sequence,
+        metric: Metric,
+        *,
+        n_shards: int = 4,
+        backend: Union[str, ShardBuilder] = "vpt",
+        assignment: str = "round-robin",
+        rng: RngLike = None,
+    ):
+        check_non_empty(objects, "ShardManager")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        super().__init__(objects, metric)
+        if callable(backend):
+            builder, self.backend_name = backend, None
+        else:
+            try:
+                builder = SHARD_BACKENDS[backend]
+            except KeyError:
+                raise ValueError(
+                    f"unknown shard backend {backend!r}; choose from "
+                    f"{sorted(SHARD_BACKENDS)} or pass a builder callable"
+                ) from None
+            self.backend_name = backend
+        self.n_shards = n_shards
+        self.assignment = assignment
+        self._shard_ids = assign_shards(len(objects), n_shards, assignment)
+        generator = as_rng(rng)
+        self._shards: list[Optional[MetricIndex]] = [
+            builder(gather(objects, ids), metric, generator) if ids else None
+            for ids in self._shard_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[Optional[MetricIndex]]:
+        """Per-shard indexes (``None`` for empty shards)."""
+        return self._shards
+
+    @property
+    def shard_ids(self) -> list[list[int]]:
+        """Per-shard global-id assignment (disjoint and covering)."""
+        return self._shard_ids
+
+    def shard_sizes(self) -> list[int]:
+        """Number of data points per shard."""
+        return [len(ids) for ids in self._shard_ids]
+
+    # ------------------------------------------------------------------
+    # Per-shard searches (the engine's unit of parallel work)
+    # ------------------------------------------------------------------
+
+    def shard_range_search(
+        self,
+        shard: int,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
+        """Range-search one shard; hits are returned as *global* ids."""
+        index = self._shards[shard]
+        if index is None:
+            return []
+        ids = self._shard_ids[shard]
+        local = index.range_search(query, radius, stats=stats, trace=trace)
+        return [ids[i] for i in local]
+
+    def shard_knn_search(
+        self,
+        shard: int,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
+        """k-NN one shard; neighbors carry *global* ids.
+
+        ``k`` is clamped to the shard size; the global merge only needs
+        each shard's local top-``min(k, |shard|)``.
+        """
+        index = self._shards[shard]
+        if index is None:
+            return []
+        ids = self._shard_ids[shard]
+        local = index.knn_search(
+            query, min(k, len(ids)), stats=stats, trace=trace
+        )
+        return [Neighbor(n.distance, int(ids[n.id])) for n in local]
+
+    # ------------------------------------------------------------------
+    # MetricIndex interface: sequential execution over every shard
+    # ------------------------------------------------------------------
+
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
+        radius = self.validate_radius(radius)
+        return merge_range(
+            [
+                self.shard_range_search(
+                    shard, query, radius, stats=stats, trace=trace
+                )
+                for shard in range(self.n_shards)
+            ]
+        )
+
+    def knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
+        k = self.validate_k(k)
+        return merge_knn(
+            [
+                self.shard_knn_search(shard, query, k, stats=stats, trace=trace)
+                for shard in range(self.n_shards)
+            ],
+            k,
+        )

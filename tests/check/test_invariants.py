@@ -25,6 +25,7 @@ ALL_CLASSES = [
     "DynamicMVPTree",
     "GMVPTree",
     "TransformIndex",
+    "ShardManager",
 ]
 
 

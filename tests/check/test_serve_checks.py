@@ -1,0 +1,98 @@
+"""repro.check coverage of the serving subsystem.
+
+Satellite checks for the serve package: the lint rules apply to
+``src/repro/serve/`` sources, and the structural verifier enforces the
+shard-partition invariant (disjoint, covering) plus recursive per-shard
+verification on every built :class:`ShardManager`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.builders import build_verification_indexes
+from repro.check.invariants import verify_structure
+from repro.metric import L2
+from repro.serve import ShardManager
+from tests.check.test_lint_rules import lint_snippet
+
+
+@pytest.fixture
+def manager():
+    data = np.random.default_rng(0).random((40, 5))
+    return ShardManager(data, L2(), n_shards=4, backend="vpt", rng=0)
+
+
+class TestLintCoversServe:
+    def test_rc001_fires_on_serve_module(self, tmp_path):
+        codes, __ = lint_snippet(
+            tmp_path,
+            """
+            class Engine:
+                def run(self, metric, a, b):
+                    return metric.distance(a, b)
+            """,
+            relpath="serve/engine.py",
+        )
+        assert "RC001" in codes
+
+    def test_registry_builds_shard_manager(self):
+        indexes = build_verification_indexes(seed=0, n=48, only=["ShardManager"])
+        assert isinstance(indexes["ShardManager"], ShardManager)
+
+
+class TestShardManagerInvariants:
+    def test_clean_manager_verifies(self, manager):
+        assert verify_structure(manager) == []
+
+    def test_clean_manager_with_empty_shards_verifies(self):
+        data = np.random.default_rng(1).random((3, 4))
+        manager = ShardManager(data, L2(), n_shards=6, backend="linear")
+        assert verify_structure(manager) == []
+
+    def test_duplicated_id_across_shards(self, manager):
+        manager.shard_ids[1].append(manager.shard_ids[0][0])
+        violations = verify_structure(manager)
+        assert any(
+            v.invariant == "shard-partition" and "more than one shard" in v.message
+            for v in violations
+        )
+
+    def test_missing_id(self, manager):
+        dropped = manager.shard_ids[2].pop()
+        violations = verify_structure(manager)
+        matching = [
+            v for v in violations
+            if v.invariant == "shard-partition" and "no shard" in v.message
+        ]
+        assert matching and str(dropped) in matching[0].message
+
+    def test_alien_id(self, manager):
+        manager.shard_ids[0].append(10_000)
+        violations = verify_structure(manager)
+        assert any(v.invariant == "shard-partition" for v in violations)
+
+    def test_shard_size_mismatch(self, manager):
+        manager.shard_ids[3].pop()
+        # Restore the partition so only the size invariant can fire.
+        manager.shard_ids[0].append(
+            sorted(set(range(40)) - {i for ids in manager.shard_ids for i in ids})[0]
+        )
+        violations = verify_structure(manager)
+        assert any(v.invariant == "shard-size" for v in violations)
+
+    def test_missing_shard_index(self, manager):
+        manager.shards[1] = None
+        violations = verify_structure(manager)
+        assert any(
+            v.invariant == "shard-size" and "shard[1]" in v.location
+            for v in violations
+        )
+
+    def test_inner_shard_corruption_is_located(self, manager):
+        # Corrupt shard 2's vp-tree cutoff; the violation must surface
+        # through the manager with the shard-qualified location.
+        shard = manager.shards[2]
+        shard.root.cutoffs[0] = shard.root.cutoffs[-1] + 1.0
+        violations = verify_structure(manager)
+        assert violations
+        assert all(v.location.startswith("shard[2]/") for v in violations)

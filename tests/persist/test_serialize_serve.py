@@ -1,0 +1,88 @@
+"""Round-trip tests for ShardManager serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import verify_structure
+from repro.metric import L2, EditDistance
+from repro.persist import index_from_dict, index_to_dict, load_index, save_index
+from repro.serve import Query, QueryEngine, ShardManager
+
+
+def roundtrip(manager, objects, metric):
+    payload = json.loads(json.dumps(index_to_dict(manager)))
+    return index_from_dict(payload, objects, metric)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(8).random((90, 5))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [np.random.default_rng(9).random(5) for __ in range(4)]
+
+
+class TestShardManagerRoundTrip:
+    @pytest.mark.parametrize("backend", ["vpt", "linear", "gnat", "mvpt"])
+    def test_queries_survive(self, data, queries, backend):
+        manager = ShardManager(data, L2(), n_shards=3, backend=backend, rng=4)
+        restored = roundtrip(manager, data, L2())
+        for query in queries:
+            assert restored.range_search(query, 0.6) == manager.range_search(
+                query, 0.6
+            )
+            assert restored.knn_search(query, 7) == manager.knn_search(query, 7)
+
+    def test_partition_and_params_survive(self, data):
+        manager = ShardManager(
+            data, L2(), n_shards=4, backend="vpt",
+            assignment="contiguous", rng=4,
+        )
+        restored = roundtrip(manager, data, L2())
+        assert restored.n_shards == 4
+        assert restored.backend_name == "vpt"
+        assert restored.assignment == "contiguous"
+        assert restored.shard_ids == manager.shard_ids
+        assert [type(s).__name__ for s in restored.shards] == [
+            type(s).__name__ for s in manager.shards
+        ]
+
+    def test_restored_manager_passes_invariants(self, data):
+        manager = ShardManager(data, L2(), n_shards=3, backend="mvpt", rng=4)
+        restored = roundtrip(manager, data, L2())
+        assert verify_structure(restored) == []
+
+    def test_empty_shards_survive(self):
+        data = np.random.default_rng(1).random((3, 4))
+        manager = ShardManager(data, L2(), n_shards=7, backend="linear")
+        restored = roundtrip(manager, data, L2())
+        assert restored.shards.count(None) == 4
+        assert restored.range_search(data[0], 10.0) == [0, 1, 2]
+
+    def test_discrete_deployment_survives(self, word_data):
+        words = list(word_data)
+        manager = ShardManager(
+            words, EditDistance(), n_shards=3, backend="bkt"
+        )
+        restored = roundtrip(manager, words, EditDistance())
+        assert restored.range_search(words[4], 2.0) == manager.range_search(
+            words[4], 2.0
+        )
+
+    def test_file_round_trip_serves_identically(self, data, queries, tmp_path):
+        manager = ShardManager(data, L2(), n_shards=3, backend="vpt", rng=4)
+        path = tmp_path / "deployment.json"
+        save_index(manager, path)
+        restored = load_index(path, data, L2())
+        batch = [Query.range(q, 0.5) for q in queries]
+        with QueryEngine(manager, workers=2) as engine:
+            original = engine.run_batch(batch)
+        with QueryEngine(restored, workers=2) as engine:
+            reloaded = engine.run_batch(batch)
+        assert [r.ids for r in original.results] == [
+            r.ids for r in reloaded.results
+        ]

@@ -1,0 +1,106 @@
+"""Property: sharded + concurrent answers equal single-index sequential.
+
+This is the issue's acceptance property, run across the *entire* index
+family: for every backend in :data:`SHARD_BACKENDS`, a ShardManager
+served through a multi-worker QueryEngine returns exactly the ids and
+distances a single index over the whole dataset returns sequentially.
+Hypothesis additionally drives random datasets, shard counts and
+queries through a representative backend subset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro import LinearScan
+from repro.metric import L2, EditDistance
+from repro.serve import SHARD_BACKENDS, Query, QueryEngine, ShardManager
+
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+VECTOR_BACKENDS = sorted(set(SHARD_BACKENDS) - {"bkt"})
+DISCRETE_BACKENDS = ("bkt", "linear", "ght", "vpt")
+
+
+@st.composite
+def serve_cases(draw):
+    n = draw(st.integers(2, 40))
+    dim = draw(st.integers(1, 4))
+    data = draw(npst.arrays(np.float64, (n, dim), elements=coords))
+    query = draw(npst.arrays(np.float64, (dim,), elements=coords))
+    n_shards = draw(st.integers(1, 6))
+    backend = draw(st.sampled_from(["linear", "vpt", "gnat", "mvpt"]))
+    assignment = draw(st.sampled_from(["round-robin", "contiguous"]))
+    radius = draw(st.floats(0, 25))
+    k = draw(st.integers(1, n + 2))
+    return data, query, n_shards, backend, assignment, radius, k
+
+
+@given(case=serve_cases(), seed=st.integers(0, 2**16))
+def test_engine_matches_oracle_on_random_cases(case, seed):
+    data, query, n_shards, backend, assignment, radius, k = case
+    manager = ShardManager(
+        data, L2(), n_shards=n_shards, backend=backend,
+        assignment=assignment, rng=seed,
+    )
+    oracle = LinearScan(data, L2())
+    with QueryEngine(manager, workers=3) as engine:
+        outcome = engine.run_batch(
+            [Query.range(query, radius), Query.knn(query, min(k, len(data)))]
+        )
+    range_result, knn_result = outcome.results
+    assert not range_result.degraded and not knn_result.degraded
+    assert range_result.ids == oracle.range_search(query, radius)
+    assert knn_result.neighbors == oracle.knn_search(query, min(k, len(data)))
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+def test_every_vector_backend_equivalent_under_concurrency(
+    backend, uniform_data
+):
+    """Acceptance property over the full vector-index family."""
+    manager = ShardManager(
+        uniform_data, L2(), n_shards=3, backend=backend, rng=21
+    )
+    oracle = LinearScan(uniform_data, L2())
+    rng = np.random.default_rng(77)
+    queries, expected = [], []
+    for i in range(6):
+        q = rng.random(uniform_data.shape[1])
+        if i % 2 == 0:
+            queries.append(Query.range(q, 0.7))
+            expected.append(oracle.range_search(q, 0.7))
+        else:
+            queries.append(Query.knn(q, 8))
+            expected.append(oracle.knn_search(q, 8))
+    with QueryEngine(manager, workers=4) as engine:
+        outcome = engine.run_batch(queries)
+    for result, answer in zip(outcome.results, expected):
+        assert not result.degraded
+        assert result.value == answer
+
+
+@pytest.mark.parametrize("backend", DISCRETE_BACKENDS)
+def test_discrete_backends_equivalent_under_concurrency(backend, word_data):
+    """The same property over the edit-distance family (including bkt)."""
+    words = list(word_data)
+    manager = ShardManager(
+        words, EditDistance(), n_shards=3, backend=backend, rng=3
+    )
+    oracle = LinearScan(words, EditDistance())
+    queries = [
+        Query.range(words[0], 2.0),
+        Query.knn(words[1], 6),
+        Query.range(words[2], 0.0),
+    ]
+    expected = [
+        oracle.range_search(words[0], 2.0),
+        oracle.knn_search(words[1], 6),
+        oracle.range_search(words[2], 0.0),
+    ]
+    with QueryEngine(manager, workers=3) as engine:
+        outcome = engine.run_batch(queries)
+    for result, answer in zip(outcome.results, expected):
+        assert not result.degraded
+        assert result.value == answer

@@ -1,0 +1,140 @@
+"""LRU result cache and memoizing distance cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.metric import L2, CountingMetric
+from repro.obs import QueryStats
+from repro.serve import DistanceCacheMetric, LRUCache, query_cache_key
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("k", [1, 2])
+        assert cache.get("k") == [1, 2]
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_miss_returns_default_and_counts(self):
+        cache = LRUCache(4)
+        assert cache.get("absent", default="fallback") == "fallback"
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": now "b" is the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.size == 2
+        assert cache.get("a") == 10
+        assert cache.get("b") == 2
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert (cache.size, cache.hits, cache.misses) == (0, 0, 0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_size"):
+            LRUCache(0)
+
+    def test_concurrent_hammering_keeps_exact_counters(self):
+        cache = LRUCache(64)
+        for i in range(64):
+            cache.put(i, i)
+        per_thread = 500
+
+        def worker():
+            for i in range(per_thread):
+                cache.get(i % 64)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits + cache.misses == 8 * per_thread
+
+
+class TestQueryCacheKey:
+    def test_ndarray_keys_by_value(self):
+        a = np.arange(4, dtype=float)
+        b = np.arange(4, dtype=float)
+        assert query_cache_key(a) == query_cache_key(b)
+        assert query_cache_key(a) != query_cache_key(a.astype(np.float32))
+
+    def test_hashable_objects_key_by_themselves(self):
+        assert query_cache_key("word") == "word"
+        assert query_cache_key((1, 2)) == (1, 2)
+
+    def test_unhashable_returns_none(self):
+        assert query_cache_key([1, 2, 3]) is None
+
+
+class TestDistanceCacheMetric:
+    def test_repeated_pair_hits_and_skips_inner(self):
+        counter = CountingMetric(L2())
+        cached = DistanceCacheMetric(counter)
+        a, b = np.zeros(4), np.ones(4)
+        first = cached.distance(a, b)
+        second = cached.distance(a, b)
+        assert first == second == 2.0
+        assert counter.count == 1
+        assert (cached.hits, cached.misses) == (1, 1)
+
+    def test_symmetric_key_shares_entry(self):
+        counter = CountingMetric(L2())
+        cached = DistanceCacheMetric(counter)
+        a, b = np.zeros(4), np.ones(4)
+        cached.distance(a, b)
+        cached.distance(b, a)
+        assert counter.count == 1
+
+    def test_batch_distance_passes_through_uncached(self):
+        counter = CountingMetric(L2())
+        cached = DistanceCacheMetric(counter)
+        xs = np.random.default_rng(0).random((5, 3))
+        y = xs[0]
+        np.testing.assert_allclose(
+            cached.batch_distance(xs, y), counter.batch_distance(xs, y)
+        )
+        assert cached.size == 0
+
+    def test_observe_charges_bound_stats(self):
+        cached = DistanceCacheMetric(L2())
+        a, b = np.zeros(2), np.ones(2)
+        stats = QueryStats()
+        with cached.observe(stats):
+            cached.distance(a, b)
+            cached.distance(a, b)
+        assert stats.distance_cache_misses == 1
+        assert stats.distance_cache_hits == 1
+        # Outside the context, nothing further is charged to ``stats``.
+        cached.distance(a, b)
+        assert stats.distance_cache_hits == 1
+
+    def test_wholesale_eviction_at_capacity(self):
+        cached = DistanceCacheMetric(L2(), max_size=2)
+        points = [np.full(2, float(i)) for i in range(4)]
+        for p in points[1:]:
+            cached.distance(points[0], p)
+        assert cached.size <= 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_size"):
+            DistanceCacheMetric(L2(), max_size=0)

@@ -1,0 +1,87 @@
+"""The repro-serve command line: report shape, persistence, guardrails."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+FAST = ["--n", "200", "--shards", "2", "--workers", "2", "--queries", "8"]
+
+
+class TestServeCLI:
+    def test_text_report(self, capsys):
+        assert main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "2-shard vpt deployment over 200 uniform objects" in out
+        assert "distance computations" in out
+        assert "degraded: 0 of 8" in out
+
+    def test_json_report(self, capsys):
+        assert main(FAST + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == 2
+        assert payload["backend"] == "vpt"
+        assert payload["n_queries"] == 8
+        assert payload["degraded"] == 0
+        assert payload["distance_calls_total"] > 0
+        assert payload["stats_summary"]["n_queries"] == 8
+
+    def test_result_cache_reported(self, capsys):
+        assert main(FAST + ["--result-cache", "32"]) == 0
+        assert "result cache:" in capsys.readouterr().out
+
+    def test_words_workload_with_bkt_backend(self, capsys):
+        assert main(
+            ["--workload", "words", "--backend", "bkt", "--n", "60",
+             "--shards", "2", "--workers", "2", "--queries", "4"]
+        ) == 0
+        assert "bkt deployment" in capsys.readouterr().out
+
+    def test_bkt_over_vectors_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--backend", "bkt", "--workload", "uniform"])
+        assert excinfo.value.code == 2
+
+    def test_save_then_load_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "deploy.json")
+        assert main(FAST + ["--save", path]) == 0
+        assert "saved 2-shard vpt deployment" in capsys.readouterr().out
+        assert main(FAST + ["--load", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == 2
+        # A loaded deployment skips construction entirely.
+        assert payload["build_distance_computations"] == 0
+
+    def test_load_rejects_non_manager_archive(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.indexes.linear import LinearScan
+        from repro.metric import L2
+        from repro.persist.serialize import save_index
+
+        data = np.random.default_rng(0).random((200, 20))
+        path = str(tmp_path / "plain.json")
+        save_index(LinearScan(data, L2()), path)
+        assert main(FAST + ["--load", path]) == 2
+
+
+def test_python_dash_m_entry_points():
+    """Both ``python -m repro.serve`` and ``python -m repro serve`` work."""
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    for module in (["repro.serve"], ["repro", "serve"]):
+        proc = subprocess.run(
+            [sys.executable, "-m", *module, "--n", "150", "--shards", "2",
+             "--workers", "2", "--queries", "4"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "2-shard vpt deployment" in proc.stdout

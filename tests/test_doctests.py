@@ -24,6 +24,8 @@ import repro.indexes.distance_matrix
 import repro.indexes.vptree
 import repro.metric.base
 import repro.metric.discrete
+import repro.serve.cache
+import repro.serve.sharding
 import repro.transforms.aggregate
 import repro.transforms.fourier
 
@@ -44,6 +46,8 @@ MODULES = [
     repro.datasets.histograms,
     repro.transforms.fourier,
     repro.transforms.aggregate,
+    repro.serve.cache,
+    repro.serve.sharding,
 ]
 
 
