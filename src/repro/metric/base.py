@@ -80,9 +80,10 @@ class CachedMetric(Metric):
     expensive; when the same object pairs recur — the same query pool
     swept over several structures, repeated self-joins, interactive
     re-querying — caching pays immediately.  Pairs are keyed by
-    ``id()`` symmetrically, so caching is only sound while the objects
-    themselves are kept alive and unmutated (hold the dataset list for
-    the cache's lifetime; CPython reuses ids of collected objects).
+    ``id()`` symmetrically; each entry pins strong references to both
+    operands so a collected object's id can never be recycled into a
+    stale hit (CPython reuses ids of collected objects).  Caching is
+    only sound while the objects are not mutated in place.
 
     Wrap the cache *around* a :class:`CountingMetric` to count only
     cache misses (real evaluations), or *inside* one to count logical
@@ -103,7 +104,8 @@ class CachedMetric(Metric):
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.inner = inner
         self.max_size = max_size
-        self._cache: dict[tuple[int, int], float] = {}
+        # key -> (distance, a, b); the operand refs keep both ids valid.
+        self._cache: dict[tuple[int, int], tuple[float, object, object]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -114,16 +116,16 @@ class CachedMetric(Metric):
     def distance(self, a, b) -> float:
         key = self._key(a, b)
         try:
-            value = self._cache[key]
+            entry = self._cache[key]
         except KeyError:
             self.misses += 1
             value = self.inner.distance(a, b)
             if len(self._cache) >= self.max_size:
                 self._cache.clear()  # simple wholesale eviction
-            self._cache[key] = value
+            self._cache[key] = (value, a, b)
             return value
         self.hits += 1
-        return value
+        return entry[0]
 
     def clear(self) -> None:
         """Drop all cached values and reset the hit/miss counters."""

@@ -7,10 +7,11 @@ surfacing hit/miss counts through :class:`~repro.obs.QueryStats`:
   on ``(kind, parameter, query bytes)``.  An exact repeat of a query
   (same object, same radius or k) costs zero distance computations.
 * :class:`DistanceCacheMetric` — a memoizing metric wrapper keyed on
-  the ``(query_id, point_id)`` identity pair.  It catches *partial*
-  overlap the result cache cannot: re-running the same query object at
-  a different radius re-uses every query-to-vantage-point distance the
-  first run paid for, and a retried shard never pays twice for the
+  the symmetric pair of operand *values* (the ``(query, point)`` pair
+  of the issue, identified by content rather than address).  It catches
+  *partial* overlap the result cache cannot: re-running the same query
+  at a different radius re-uses every query-to-vantage-point distance
+  the first run paid for, and a retried shard never pays twice for the
   distances its failed attempt computed.
 
 The paper's premise (section 5) is that one distance evaluation
@@ -116,14 +117,20 @@ def query_cache_key(query) -> Optional[Hashable]:
 
 
 class DistanceCacheMetric(Metric):
-    """Memoize scalar metric evaluations by object identity, thread-safely.
+    """Memoize scalar metric evaluations by operand value, thread-safely.
 
-    The cache key is the symmetric ``(id(a), id(b))`` pair — with the
-    dataset held by reference and query objects kept alive for the
-    batch, that is exactly the issue's ``(query_id, point_id)`` pair.
-    Identity keying is only sound while both objects stay alive and
-    unmutated (the engine holds the batch's queries for its duration;
-    indexes hold their dataset by reference).
+    The cache key is the *symmetric pair of operand values* — for numpy
+    vectors the ``(dtype, shape, bytes)`` form of
+    :func:`query_cache_key`, for other hashable objects the objects
+    themselves.  Value keying is what makes memoization sound here:
+    indexes materialise a fresh row view on every ``objects[i]`` access
+    and the engine does not keep query arrays alive across batches, so
+    ``id()``-based keys would never legitimately repeat — worse, a
+    freed array's recycled address could silently serve a stale
+    distance for a new, unrelated query.  Keyed by content, equal
+    operands always share an entry and a dead object's address can
+    never alias one.  Pairs with an unhashable non-array operand pass
+    through uncached (counted as misses).
 
     Batched evaluations pass through unmemoized: a vectorised leaf scan
     is cheaper than per-pair dict lookups, and the scalar path is where
@@ -143,7 +150,7 @@ class DistanceCacheMetric(Metric):
         self.inner = inner
         self.max_size = max_size
         self._lock = threading.Lock()
-        self._cache: dict[tuple[int, int], float] = {}
+        self._cache: dict[frozenset, float] = {}
         self.hits = 0
         self.misses = 0
         self._local = threading.local()
@@ -159,15 +166,22 @@ class DistanceCacheMetric(Metric):
             self._local.stats = previous
 
     @staticmethod
-    def _key(a, b) -> tuple[int, int]:
-        ia, ib = id(a), id(b)
-        return (ia, ib) if ia <= ib else (ib, ia)
+    def _key(a, b) -> Optional[frozenset]:
+        ka = query_cache_key(a)
+        if ka is None:
+            return None
+        kb = query_cache_key(b)
+        if kb is None:
+            return None
+        # A frozenset is symmetric by construction (one element for
+        # the self-distance pair).
+        return frozenset((ka, kb))
 
     def distance(self, a, b) -> float:
         key = self._key(a, b)
         stats: Optional[QueryStats] = getattr(self._local, "stats", None)
         with self._lock:
-            value = self._cache.get(key, _MISS)
+            value = self._cache.get(key, _MISS) if key is not None else _MISS
             if value is not _MISS:
                 self.hits += 1
                 if stats is not None:
@@ -179,10 +193,11 @@ class DistanceCacheMetric(Metric):
         # Evaluate outside the lock: the metric is the expensive part,
         # and a duplicate concurrent evaluation is merely redundant.
         value = self.inner.distance(a, b)
-        with self._lock:
-            if len(self._cache) >= self.max_size:
-                self._cache.clear()  # simple wholesale eviction
-            self._cache[key] = value
+        if key is not None:
+            with self._lock:
+                if len(self._cache) >= self.max_size:
+                    self._cache.clear()  # simple wholesale eviction
+                self._cache[key] = value
         return value
 
     def batch_distance(self, xs: Sequence, y) -> np.ndarray:

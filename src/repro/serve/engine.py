@@ -349,7 +349,9 @@ class QueryEngine:
                 raise
         return futures
 
-    def _cached_result(self, qi: int, query: Query) -> Optional[QueryResult]:
+    def _cached_result(
+        self, qi: int, query: Query, miss_stats: dict[int, QueryStats]
+    ) -> Optional[QueryResult]:
         if self.result_cache is None:
             return None
         key = query.cache_key()
@@ -360,7 +362,7 @@ class QueryEngine:
         if hit is None:
             stats.result_cache_misses += 1
             # Remember the miss so the gathered result reports it.
-            self._miss_stats[qi] = stats
+            miss_stats[qi] = stats
             return None
         stats.result_cache_hits += 1
         result = QueryResult(
@@ -382,6 +384,7 @@ class QueryEngine:
         query: Query,
         futures: list[Future],
         deadline: Optional[float],
+        miss_stats: dict[int, QueryStats],
     ) -> QueryResult:
         """Assemble one query's result from its unit futures.
 
@@ -391,9 +394,9 @@ class QueryEngine:
         preempted), and their answers are dropped either way.
         """
         result = QueryResult(index=qi, kind=query.kind, stats=QueryStats())
-        miss_stats = self._miss_stats.pop(qi, None)
-        if miss_stats is not None:
-            result.stats.merge(miss_stats)
+        missed = miss_stats.pop(qi, None)
+        if missed is not None:
+            result.stats.merge(missed)
         pending = set(futures)
         while pending:
             remaining = None if deadline is None else deadline - time.monotonic()
@@ -407,7 +410,10 @@ class QueryEngine:
         values = []
         for future in futures:
             if future in pending:
-                future.cancel()
+                if future.cancel():
+                    # A cancelled unit never runs, so _run_unit's finally
+                    # can't release its backpressure permit — do it here.
+                    self._pending.release()
                 result.shards_timed_out += 1
                 continue
             outcome: _UnitOutcome = future.result()
@@ -446,11 +452,11 @@ class QueryEngine:
         """
         deadline_s = self.timeout if timeout is None else timeout
         start = time.perf_counter()
-        self._miss_stats: dict[int, QueryStats] = {}
+        miss_stats: dict[int, QueryStats] = {}
         results: list[Optional[QueryResult]] = [None] * len(queries)
         submitted: list[tuple[int, Query, list[Future], Optional[float]]] = []
         for qi, query in enumerate(queries):
-            cached = self._cached_result(qi, query)
+            cached = self._cached_result(qi, query, miss_stats)
             if cached is not None:
                 results[qi] = cached
                 continue
@@ -460,7 +466,7 @@ class QueryEngine:
             )
             submitted.append((qi, query, futures, deadline))
         for qi, query, futures, deadline in submitted:
-            results[qi] = self._gather(qi, query, futures, deadline)
+            results[qi] = self._gather(qi, query, futures, deadline, miss_stats)
         final = [result for result in results if result is not None]
         return BatchResult(
             results=final,

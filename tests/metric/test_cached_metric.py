@@ -1,5 +1,8 @@
 """Tests for CachedMetric (pair memoization)."""
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
 
@@ -64,6 +67,22 @@ class TestCaching:
     def test_max_size_validation(self):
         with pytest.raises(ValueError, match="max_size"):
             CachedMetric(L2(), max_size=0)
+
+    def test_entries_pin_operands_against_id_reuse(self):
+        # id()-keyed entries must keep their operands alive; otherwise
+        # a recycled address would serve a stale distance for a new,
+        # unrelated object.
+        cached = CachedMetric(L2())
+        a = np.zeros(4)
+        b = np.ones(4)
+        cached.distance(a, b)
+        ref = weakref.ref(a)
+        del a
+        gc.collect()
+        assert ref() is not None  # pinned by the cache entry
+        cached.clear()
+        gc.collect()
+        assert ref() is None
 
     def test_self_distance_cached(self, objects):
         counting = CountingMetric(L2())

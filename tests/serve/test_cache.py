@@ -1,5 +1,6 @@
 """LRU result cache and memoizing distance cache."""
 
+import gc
 import threading
 
 import numpy as np
@@ -127,6 +128,43 @@ class TestDistanceCacheMetric:
         # Outside the context, nothing further is charged to ``stats``.
         cached.distance(a, b)
         assert stats.distance_cache_hits == 1
+
+    def test_value_keys_are_immune_to_id_reuse(self):
+        # Keys are operand values, not id() pairs: a freed array whose
+        # address is recycled by a new, different array can never serve
+        # the old array's distance.  Force churn that recycles
+        # addresses and check every answer against the bare metric.
+        counter = CountingMetric(L2())
+        cached = DistanceCacheMetric(counter)
+        oracle = L2()
+        b = np.ones(4)
+        for i in range(50):
+            a = np.full(4, float(i % 7))  # freed each iteration
+            assert cached.distance(a, b) == oracle.distance(a, b)
+            del a
+            gc.collect()
+        assert counter.count == 7  # one real evaluation per distinct value
+
+    def test_equal_valued_operands_share_an_entry(self):
+        # Indexes materialise a fresh row view per objects[i] access;
+        # value keys make those views hit the same entry.
+        counter = CountingMetric(L2())
+        cached = DistanceCacheMetric(counter)
+        data = np.random.default_rng(3).random((2, 4))
+        first = cached.distance(data[0], data[1])
+        second = cached.distance(data[0], data[1])  # fresh view objects
+        assert first == second
+        assert counter.count == 1
+        assert (cached.hits, cached.misses) == (1, 1)
+
+    def test_unhashable_operand_passes_through_uncached(self):
+        counter = CountingMetric(L2())
+        cached = DistanceCacheMetric(counter)
+        a, b = [0.0, 0.0], [1.0, 1.0]  # lists: no value key
+        assert cached.distance(a, b) == cached.distance(a, b) == np.sqrt(2)
+        assert counter.count == 2  # both computed, nothing cached
+        assert cached.size == 0
+        assert (cached.hits, cached.misses) == (0, 2)
 
     def test_wholesale_eviction_at_capacity(self):
         cached = DistanceCacheMetric(L2(), max_size=2)

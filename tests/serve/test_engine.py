@@ -256,6 +256,42 @@ class TestBackpressure:
         assert len(outcome.results) == 10
         assert 1 <= live["peak"] <= 3
 
+    def test_cancelled_queued_units_release_their_permits(self, data):
+        # One worker, two shards: shard 0's unit runs (stalled), shard
+        # 1's unit is still queued when the deadline passes and gets
+        # cancelled.  A cancelled unit never reaches _run_unit, so the
+        # engine must hand its backpressure permit back itself —
+        # leaking it would shrink the in-flight budget until
+        # submit_query deadlocks.
+        manager = ShardManager(data, L2(), n_shards=2, backend="linear")
+        release = threading.Event()
+
+        def stall(qi, shard, attempt):
+            release.wait(timeout=5.0)
+
+        engine = QueryEngine(
+            manager,
+            executor=ThreadedExecutor(1),
+            timeout=0.05,
+            max_pending=2,
+            fault_hook=stall,
+        )
+        try:
+            outcome = engine.run_batch([Query.range(data[0], 10.0)])
+            assert outcome.results[0].shards_timed_out == 2
+            release.set()  # let the stalled worker finish and release
+            acquired = 0
+            give_up = time.monotonic() + 5.0
+            while acquired < engine.max_pending and time.monotonic() < give_up:
+                if engine._pending.acquire(timeout=0.1):
+                    acquired += 1
+            for _ in range(acquired):
+                engine._pending.release()
+            assert acquired == engine.max_pending
+        finally:
+            release.set()
+            engine.close()
+
     def test_invalid_limits_rejected(self, data):
         index = LinearScan(data, L2())
         with pytest.raises(ValueError, match="retries"):
@@ -314,6 +350,37 @@ class TestResultCache:
         healed = engine.run_batch([query]).results[0]
         assert healed.from_cache is False  # the partial answer was not kept
         assert healed.ids == list(range(len(data)))
+
+    def test_concurrent_run_batch_callers_keep_their_miss_stats(self, data):
+        # Two threads sharing one engine must not clobber each other's
+        # result-cache miss accounting (it is batch-local, not engine
+        # state): every query in each batch shows up as exactly one hit
+        # or one miss in that batch's own stats.
+        manager = ShardManager(data, L2(), n_shards=2, backend="linear")
+        engine = QueryEngine(manager, workers=4, result_cache_size=32)
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def run(name, query):
+            barrier.wait()
+            outcomes[name] = engine.run_batch([query] * 4)
+
+        threads = [
+            threading.Thread(target=run, args=("a", Query.range(data[0], 0.5))),
+            threading.Thread(target=run, args=("b", Query.knn(data[1], 3))),
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            engine.close()
+        for outcome in outcomes.values():
+            stats = outcome.stats
+            assert (
+                stats.result_cache_hits + stats.result_cache_misses == 4
+            )
 
     def test_batch_counts_cached_results(self, data):
         manager = ShardManager(data, L2(), n_shards=2, backend="linear")
