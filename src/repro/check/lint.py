@@ -21,6 +21,11 @@ RC005  numpy scalars must not leak through API boundaries: scalar
 RC006  Every concrete :class:`~repro.indexes.base.MetricIndex` subclass
        must be exported through a package ``__all__`` registry so the
        evaluation helpers and CLI can reach it.
+RC007  Fuzzing code (``src/repro/fuzz/``) must stay reproducible: no
+       unseeded ``default_rng()``, no stdlib ``random`` module, no
+       clock reads (``time.time``/``datetime.now``), no ``os.urandom``
+       and no salted builtin ``hash()`` — same seed must mean same
+       case bytes, forever.
 
 Findings can be silenced per line (or from the preceding line) with a
 ruff-style pragma::
@@ -164,6 +169,7 @@ class RawMetricCallRule(Rule):
             "/indexes/" in f"/{posix}"
             or "/core/" in f"/{posix}"
             or "/serve/" in f"/{posix}"
+            or "/fuzz/" in f"/{posix}"
             or posix.endswith("transforms/filter.py")
         )
 
@@ -494,6 +500,73 @@ class UnregisteredIndexRule(ProjectRule):
             )
 
 
+class NondeterminismSourceRule(Rule):
+    """RC007: fuzz code may not read entropy the seed does not control."""
+
+    code = "RC007"
+    description = (
+        "fuzzing code must derive all randomness from the sweep seed: "
+        "unseeded default_rng(), the stdlib random module, clock reads, "
+        "os.urandom and builtin hash() all break same-seed-same-bytes "
+        "reproducibility"
+    )
+
+    #: attribute call -> receiver module name that makes it a finding.
+    _BANNED_ATTRS = {
+        "time": "time",
+        "time_ns": "time",
+        "monotonic": "time",
+        "perf_counter": "time",
+        "now": "datetime",
+        "utcnow": "datetime",
+        "today": "datetime",
+        "urandom": "os",
+    }
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return "/fuzz/" in f"/{Path(file.display).as_posix()}"
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                module = getattr(node, "module", None) or ""
+                names = {alias.name for alias in node.names}
+                if module == "random" or "random" in names:
+                    yield node, (
+                        "stdlib random module uses hidden global state; "
+                        "use numpy default_rng seeded from the sweep seed"
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "default_rng" and not node.args and not node.keywords:
+                yield node, (
+                    "unseeded default_rng() draws OS entropy; seed it "
+                    "from [seed, case_index]"
+                )
+            elif isinstance(func, ast.Name) and name == "hash":
+                yield node, (
+                    "builtin hash() is salted per process; use hashlib "
+                    "over canonical bytes instead"
+                )
+            elif isinstance(func, ast.Attribute):
+                expected_receiver = self._BANNED_ATTRS.get(name)
+                if (
+                    expected_receiver is not None
+                    and _receiver_name(func) == expected_receiver
+                ):
+                    yield node, (
+                        f"{expected_receiver}.{name}() injects wall-clock/"
+                        "OS state into case generation"
+                    )
+
+
 RULES: list[Rule] = [
     RawMetricCallRule(),
     SearchSignatureRule(),
@@ -501,6 +574,7 @@ RULES: list[Rule] = [
     UnboundedRecursionRule(),
     NumpyScalarLeakRule(),
     UnregisteredIndexRule(),
+    NondeterminismSourceRule(),
 ]
 
 

@@ -6,6 +6,8 @@ Subcommands:
   :mod:`repro.bench.cli`; also available as ``repro-bench``).
 * ``serve``    — run a batch through the sharded concurrent query
   engine (delegates to :mod:`repro.serve.cli`; also ``repro-serve``).
+* ``fuzz``     — seeded differential + metamorphic fuzzing of the
+  index family (delegates to :mod:`repro.fuzz.cli`; also ``repro-fuzz``).
 * ``stats``    — build an index over a synthetic workload and print its
   structural report plus construction cost.
 * ``validate`` — spot-check the metric axioms (section 2) for a metric
@@ -125,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     serve.add_argument("rest", nargs=argparse.REMAINDER)
+
+    fuzz = subcommands.add_parser(
+        "fuzz",
+        help="differential + metamorphic fuzzer (see repro-fuzz --help)",
+        add_help=False,
+    )
+    fuzz.add_argument("rest", nargs=argparse.REMAINDER)
 
     stats = subcommands.add_parser(
         "stats", help="build an index and print its structural report"
@@ -255,6 +264,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        # Same pass-through convention for the fuzzer.
+        from repro.fuzz.cli import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "stats":

@@ -1,0 +1,44 @@
+"""repro.fuzz — deterministic differential + metamorphic fuzzing.
+
+Generate randomized workloads from a single seed, check every index
+class against an independent oracle and a set of metamorphic
+relations, shrink failures to small reproducers, and replay them from
+a committed corpus.  See ``docs/testing.md``.
+"""
+
+from repro.fuzz.cases import (
+    INDEX_NAMES,
+    CaseSpec,
+    ConcreteCase,
+    ConcreteQuery,
+    case_bytes,
+    generate_cases,
+    generate_spec,
+)
+from repro.fuzz.corpus import load_entry, save_entry
+from repro.fuzz.differential import Discrepancy, check_differential
+from repro.fuzz.metamorphic import RELATIONS, check_relations
+from repro.fuzz.runner import FuzzReport, run_case, run_fuzz, run_spec
+from repro.fuzz.shrink import regression_snippet, shrink_case
+
+__all__ = [
+    "INDEX_NAMES",
+    "CaseSpec",
+    "ConcreteCase",
+    "ConcreteQuery",
+    "Discrepancy",
+    "FuzzReport",
+    "RELATIONS",
+    "case_bytes",
+    "check_differential",
+    "check_relations",
+    "generate_cases",
+    "generate_spec",
+    "load_entry",
+    "regression_snippet",
+    "run_case",
+    "run_fuzz",
+    "run_spec",
+    "save_entry",
+    "shrink_case",
+]

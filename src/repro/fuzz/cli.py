@@ -1,0 +1,211 @@
+"""Command-line front end: ``repro-fuzz run|replay|shrink``.
+
+Exit codes follow the repro CLI convention: 0 = clean, 1 = findings
+(discrepancies, failing corpus entries, manifest drift), 2 = usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.fuzz.cases import generate_cases, generate_spec
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    iter_entries,
+    load_entry,
+    load_manifest,
+    save_entry,
+    write_manifest,
+)
+from repro.fuzz.runner import case_digest, run_case, run_fuzz
+from repro.fuzz.shrink import regression_snippet, shrink_case
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Deterministic differential + metamorphic fuzzing for the "
+            "whole index family."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a seeded fuzz sweep")
+    run.add_argument("--seed", type=int, default=0, help="sweep seed")
+    run.add_argument(
+        "--cases", type=int, default=48, help="number of cases to run"
+    )
+    run.add_argument(
+        "--fail-fast", action="store_true", help="stop at the first failure"
+    )
+    run.add_argument(
+        "--shrink",
+        action="store_true",
+        help="shrink each failing case and print a pytest reproducer",
+    )
+    run.add_argument(
+        "--save-failures",
+        metavar="DIR",
+        default=None,
+        help=f"save (shrunk) failing cases under DIR (default {DEFAULT_CORPUS_DIR})",
+    )
+    run.add_argument(
+        "--manifest",
+        metavar="DIR",
+        default=None,
+        help="on a clean sweep, write a digest manifest under DIR",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress"
+    )
+
+    replay = sub.add_parser(
+        "replay", help="re-check every corpus entry (and the manifest)"
+    )
+    replay.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=str(DEFAULT_CORPUS_DIR),
+        help="corpus directory to replay",
+    )
+
+    shrink = sub.add_parser(
+        "shrink", help="minimise one failing case to a reproducer"
+    )
+    source = shrink.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--entry", metavar="PATH", help="shrink a saved corpus entry"
+    )
+    source.add_argument(
+        "--case-index",
+        type=int,
+        default=None,
+        help="shrink case CASE_INDEX of a seeded sweep",
+    )
+    shrink.add_argument("--seed", type=int, default=0, help="sweep seed")
+    shrink.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help=f"save the shrunk case under DIR (default {DEFAULT_CORPUS_DIR})",
+    )
+    return parser
+
+
+def _cmd_run(args) -> int:
+    if args.cases < 1:
+        print("run: --cases must be >= 1", file=sys.stderr)
+        return 2
+    save_dir = Path(args.save_failures) if args.save_failures else None
+
+    def on_case(result) -> None:
+        if not args.quiet:
+            status = "ok" if result.ok else "FAIL"
+            print(
+                f"  {result.name} [{result.index}] n={result.n_objects} "
+                f"q={result.n_queries} {status}"
+            )
+
+    report = run_fuzz(
+        args.seed, args.cases, fail_fast=args.fail_fast, on_case=on_case
+    )
+    print(report.summary())
+
+    for result in report.failures:
+        case = result.spec.concretize()
+        if args.shrink:
+            shrunk = shrink_case(case, rename=f"{case.name}-shrunk")
+            print(
+                f"shrunk {case.name}: {len(case.objects)} -> "
+                f"{len(shrunk.objects)} objects, "
+                f"{len(case.queries)} -> {len(shrunk.queries)} queries"
+            )
+            case = shrunk
+        if save_dir is not None or args.shrink:
+            path = save_entry(case, save_dir, reason="fuzz-failure")
+            print(f"saved reproducer: {path}")
+            print(regression_snippet(case, str(Path(path).name)))
+
+    if not report.failures and args.manifest:
+        digests = [
+            case_digest(spec.concretize())
+            for spec in generate_cases(args.seed, args.cases)
+        ]
+        path = write_manifest(Path(args.manifest), args.seed, digests)
+        print(f"clean sweep: manifest written to {path}")
+    return 1 if report.failures else 0
+
+
+def _cmd_replay(args) -> int:
+    corpus = Path(args.corpus)
+    failures = 0
+    entries = 0
+    for path in iter_entries(corpus):
+        entries += 1
+        case = load_entry(path)
+        findings = run_case(case)
+        status = "ok" if not findings else "FAIL"
+        print(f"  {path.name}: {status}")
+        for disc in findings:
+            print("    " + disc.format())
+        failures += bool(findings)
+
+    manifest = load_manifest(corpus)
+    drift = 0
+    if manifest is not None:
+        digests = [
+            case_digest(spec.concretize())
+            for spec in generate_cases(manifest["seed"], manifest["cases"])
+        ]
+        drift = sum(
+            1
+            for got, want in zip(digests, manifest["case_digests"])
+            if got != want
+        ) + abs(len(digests) - len(manifest["case_digests"]))
+        print(
+            f"manifest: seed={manifest['seed']} cases={manifest['cases']} "
+            + ("digests reproduced" if not drift else f"DRIFT in {drift} cases")
+        )
+    print(f"replayed {entries} corpus entries, {failures} failing")
+    return 1 if failures or drift else 0
+
+
+def _cmd_shrink(args) -> int:
+    if args.entry is not None:
+        case = load_entry(Path(args.entry))
+        origin = args.entry
+    else:
+        case = generate_spec(args.seed, args.case_index).concretize()
+        origin = f"seed {args.seed} case {args.case_index}"
+    findings = run_case(case)
+    if not findings:
+        print(f"{origin}: case passes all checks; nothing to shrink")
+        return 0
+    shrunk = shrink_case(case, rename=f"{case.name}-shrunk")
+    print(
+        f"shrunk {origin}: {len(case.objects)} -> {len(shrunk.objects)} "
+        f"objects, {len(case.queries)} -> {len(shrunk.queries)} queries"
+    )
+    save_dir = Path(args.save) if args.save else None
+    path = save_entry(shrunk, save_dir, reason="shrunk-reproducer")
+    print(f"saved reproducer: {path}")
+    print(regression_snippet(shrunk, str(Path(path).name)))
+    return 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_shrink(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

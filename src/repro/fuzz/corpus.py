@@ -1,0 +1,131 @@
+"""The replayable corpus: failing (shrunk) cases saved as JSON files.
+
+A corpus entry is one concrete case plus a little provenance, stored
+as canonical JSON under ``tests/corpus/``.  Entries are deterministic
+down to the byte — no timestamps, no environment data — so the same
+seed always produces the same file, and a corpus diff in review is a
+real behavioural diff.
+
+The corpus is replayed two ways: ``repro-fuzz replay`` in CI (every
+entry must pass the full checker), and from pytest regression tests
+emitted by the shrinker (see :func:`repro.fuzz.shrink.regression_snippet`).
+
+A *manifest* records a clean sweep: the seed, case count, and the
+digest of every generated case.  Re-running the manifest's sweep must
+reproduce the digests exactly — drift means generation determinism
+broke, which is itself a bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.fuzz.cases import ConcreteCase, case_bytes
+
+#: Corpus schema version, bumped on incompatible entry-format changes.
+SCHEMA_VERSION = 1
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def entry_digest(case: ConcreteCase) -> str:
+    """Digest of the case payload (identity for dedup + manifests)."""
+    return hashlib.sha256(case_bytes(case)).hexdigest()[:16]
+
+
+def _entry_payload(case: ConcreteCase, reason: str) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "reason": reason,
+        "digest": entry_digest(case),
+        "case": case.to_dict(),
+    }
+
+
+def entry_path(directory: Path, case: ConcreteCase) -> Path:
+    """Where a case's entry lives: ``<name>-<digest>.json``."""
+    return Path(directory) / f"{case.name}-{entry_digest(case)}.json"
+
+
+def save_entry(
+    case: ConcreteCase,
+    directory: Optional[Path] = None,
+    *,
+    reason: str = "fuzz-failure",
+) -> Path:
+    """Write a case as a corpus entry; returns the file path.
+
+    Idempotent: the digest is part of the filename, so saving the same
+    case twice rewrites the same bytes at the same path.
+    """
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = entry_path(directory, case)
+    payload = json.dumps(
+        _entry_payload(case, reason), sort_keys=True, indent=1
+    )
+    path.write_text(payload + "\n", encoding="utf-8")
+    return path
+
+
+def load_entry(path: Path) -> ConcreteCase:
+    """Read a corpus entry back into a concrete case, verifying it."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: corpus schema {schema!r}, expected {SCHEMA_VERSION}"
+        )
+    case = ConcreteCase.from_dict(data["case"])
+    digest = entry_digest(case)
+    if data.get("digest") != digest:
+        raise ValueError(
+            f"{path}: stored digest {data.get('digest')!r} does not match "
+            f"recomputed {digest!r} — entry was edited or corrupted"
+        )
+    return case
+
+
+def iter_entries(directory: Optional[Path] = None) -> Iterator[Path]:
+    """Corpus entry files (sorted; the manifest is not an entry)."""
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        if path.name != MANIFEST_NAME:
+            yield path
+
+
+def write_manifest(
+    directory: Path, seed: int, digests: list[str]
+) -> Path:
+    """Record a clean sweep: seed, case count, and every case digest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_NAME
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "clean-sweep",
+        "seed": seed,
+        "cases": len(digests),
+        "case_digests": digests,
+    }
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_manifest(directory: Optional[Path] = None) -> Optional[dict]:
+    """The clean-sweep manifest, or None when absent."""
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    path = directory / MANIFEST_NAME
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,467 @@
+"""Differential checking: every index against an independent oracle.
+
+The oracle is a direct ``batch_distance`` scan — deliberately *not*
+:class:`~repro.indexes.linear.LinearScan`, so the LinearScan cases are
+themselves checked against an independent implementation.  Every query
+of a case is verified three ways:
+
+* **answers**: range ids and k-NN ``(distance, id)`` lists must match
+  the oracle exactly (the paper's section 4.3 claim: triangle-inequality
+  pruning never discards a true answer);
+* **cost accounting**: ``stats.distance_calls`` must equal the wrapped
+  :class:`~repro.metric.CountingMetric` delta for the same search (plus
+  ``distance_cache_hits`` when a serving distance cache is in play);
+* **observability invariants**: ``leaf_points_seen == scanned +
+  filtered``, ``nodes_visited == internal + leaf``, and the prune
+  breakdown must be consistent with the point-filter counters.
+
+Sharded cases run their batch through a concurrent
+:class:`~repro.serve.engine.QueryEngine` (threaded pool, optional
+result/distance caches) and additionally check the manager's
+sequential answers, so both serving paths stay oracle-exact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dynamic import DynamicMVPTree
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.fuzz.cases import (
+    ConcreteCase,
+    ConcreteQuery,
+    make_metric,
+    materialize_objects,
+)
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.bktree import BKTree
+from repro.indexes.distance_matrix import DistanceMatrixIndex
+from repro.indexes.ghtree import GHTree
+from repro.indexes.gnat import GNAT
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric.base import CountingMetric, Metric
+from repro.obs.stats import QueryStats
+from repro.serve.cache import DistanceCacheMetric
+from repro.serve.engine import Query, QueryEngine
+from repro.serve.sharding import ShardManager
+from repro.transforms.filter import TransformIndex
+from repro.transforms.fourier import DFTTransform
+
+#: Distance comparison tolerance: index and oracle evaluate the same
+#: metric on the same operands, but possibly through the scalar vs the
+#: vectorised path, so allow float noise well below any real distance.
+DISTANCE_RTOL = 1e-9
+DISTANCE_ATOL = 1e-12
+
+#: Prune kinds that only ever arrive via point-granularity
+#: ``filter_points`` events (so they must sum into
+#: ``leaf_points_filtered``); ``knn-radius`` is mixed-granularity and
+#: is handled as an upper-bound allowance instead.
+_POINT_ONLY_KINDS = (
+    "path-filter",
+    "pivot-filter",
+    "matrix-interval",
+    "transform-filter",
+)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One verified divergence between an index and its specification."""
+
+    case: str
+    check: str                      # e.g. "range-differential"
+    query_index: Optional[int]
+    detail: str
+
+    def format(self) -> str:
+        where = "" if self.query_index is None else f" q{self.query_index}"
+        return f"{self.case}{where} [{self.check}] {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Case materialisation
+# ----------------------------------------------------------------------
+
+
+def query_object(case: ConcreteCase, query: ConcreteQuery):
+    """The runtime query object for a concrete query."""
+    if case.object_kind == "vectors":
+        return np.asarray(query.query, dtype=float)
+    return query.query
+
+
+def live_ids(case: ConcreteCase) -> set:
+    """Ids excluded from answers (dynamic-tree deletions)."""
+    return set(int(i) for i in case.deleted)
+
+
+def build_case_index(
+    case: ConcreteCase, objects, metric: Metric
+) -> MetricIndex:
+    """Build the case's index (for ``sharded``: the ShardManager)."""
+    name, params, seed = case.index, dict(case.index_params), case.index_seed
+    n = len(objects)
+    if name == "linear":
+        return LinearScan(objects, metric)
+    if name == "vpt":
+        return VPTree(objects, metric, rng=seed, **params)
+    if name == "mvpt":
+        return MVPTree(objects, metric, rng=seed, **params)
+    if name == "gmvpt":
+        return GMVPTree(objects, metric, rng=seed, **params)
+    if name == "dynamic":
+        prefix = case.build_prefix if case.build_prefix is not None else n
+        prefix = max(1, min(prefix, n))
+        tree = DynamicMVPTree(
+            [objects[i] for i in range(prefix)], metric, rng=seed, **params
+        )
+        for i in range(prefix, n):
+            tree.insert(objects[i])
+        for idx in case.deleted:
+            tree.delete(int(idx))
+        return tree
+    if name == "ght":
+        return GHTree(objects, metric, rng=seed, **params)
+    if name == "gnat":
+        return GNAT(objects, metric, rng=seed, **params)
+    if name == "laesa":
+        params["n_pivots"] = max(1, min(params.get("n_pivots", 8), n))
+        return LAESA(objects, metric, rng=seed, **params)
+    if name == "matrix":
+        return DistanceMatrixIndex(objects, metric)
+    if name == "bkt":
+        return BKTree(list(objects), metric)
+    if name == "transform":
+        length = int(np.asarray(objects).shape[1])
+        coeffs = max(1, min(params.get("n_coefficients", 2), length // 2 + 1))
+        return TransformIndex(
+            objects, metric, DFTTransform(coeffs, series_length=length)
+        )
+    if name == "sharded":
+        return ShardManager(
+            objects,
+            metric,
+            n_shards=params.get("n_shards", 2),
+            backend=params.get("backend", "vpt"),
+            assignment=params.get("assignment", "round-robin"),
+            rng=seed,
+        )
+    raise ValueError(f"unknown fuzz index {name!r}")
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+
+
+def oracle_distances(objects, metric: Metric, query) -> np.ndarray:
+    """Every object's distance from the query, by direct evaluation."""
+    return np.asarray(
+        # repro-check: ignore[RC001] this IS the oracle
+        metric.batch_distance(objects, query)
+    )
+
+
+def oracle_range(distances: np.ndarray, radius: float, deleted: set) -> list[int]:
+    """Ids within ``radius``, ascending, deletions excluded."""
+    return [
+        int(i)
+        for i in np.nonzero(distances <= radius)[0]
+        if int(i) not in deleted
+    ]
+
+
+def oracle_knn(distances: np.ndarray, k: int, deleted: set) -> list[Neighbor]:
+    """Top-``k`` by ``(distance, id)``, deletions excluded."""
+    order = np.argsort(distances, kind="stable")
+    out: list[Neighbor] = []
+    for i in order:
+        if int(i) in deleted:
+            continue
+        out.append(Neighbor(float(distances[i]), int(i)))
+        if len(out) == k:
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# Comparison + invariant helpers
+# ----------------------------------------------------------------------
+
+
+def _close(a: float, b: float) -> bool:
+    return bool(np.isclose(a, b, rtol=DISTANCE_RTOL, atol=DISTANCE_ATOL))
+
+
+def compare_range(got: list[int], want: list[int]) -> Optional[str]:
+    """None when equal; otherwise a human-readable diff summary."""
+    if list(got) == list(want):
+        return None
+    got_set, want_set = set(got), set(want)
+    missing = sorted(want_set - got_set)
+    extra = sorted(got_set - want_set)
+    if missing or extra:
+        return f"missing={missing} extra={extra}"
+    return f"order differs: got {list(got)}, want {list(want)}"
+
+
+def compare_knn(got: list[Neighbor], want: list[Neighbor]) -> Optional[str]:
+    """None when equal as ``(distance, id)`` lists; else a diff summary."""
+    if [n.id for n in got] != [n.id for n in want]:
+        return (
+            f"ids differ: got {[n.id for n in got]}, "
+            f"want {[n.id for n in want]}"
+        )
+    for position, (a, b) in enumerate(zip(got, want)):
+        if not _close(a.distance, b.distance):
+            return (
+                f"distance differs at position {position} (id {a.id}): "
+                f"got {a.distance!r}, want {b.distance!r}"
+            )
+    return None
+
+
+def stats_invariants(
+    case_name: str,
+    stats: QueryStats,
+    query_index: Optional[int],
+) -> list[Discrepancy]:
+    """The observability identities every search must satisfy."""
+    out: list[Discrepancy] = []
+    if stats.leaf_points_seen != stats.leaf_points_scanned + stats.leaf_points_filtered:
+        out.append(
+            Discrepancy(
+                case_name,
+                "leaf-identity",
+                query_index,
+                f"seen={stats.leaf_points_seen} != scanned="
+                f"{stats.leaf_points_scanned} + filtered="
+                f"{stats.leaf_points_filtered}",
+            )
+        )
+    if stats.nodes_visited != stats.internal_visited + stats.leaf_visited:
+        out.append(
+            Discrepancy(
+                case_name,
+                "node-identity",
+                query_index,
+                f"nodes={stats.nodes_visited} != internal="
+                f"{stats.internal_visited} + leaf={stats.leaf_visited}",
+            )
+        )
+    point_sum = sum(
+        count
+        for kind, count in stats.prunes.items()
+        if kind.startswith("leaf-d") or kind in _POINT_ONLY_KINDS
+    )
+    knn_radius = stats.prunes.get("knn-radius", 0)
+    if not (point_sum <= stats.leaf_points_filtered <= point_sum + knn_radius):
+        out.append(
+            Discrepancy(
+                case_name,
+                "prune-consistency",
+                query_index,
+                f"point-kind prunes={point_sum} (+knn-radius {knn_radius}) "
+                f"inconsistent with leaf_points_filtered="
+                f"{stats.leaf_points_filtered}: {dict(stats.prunes)}",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Differential check
+# ----------------------------------------------------------------------
+
+
+def _check_one_query(
+    case: ConcreteCase,
+    index: MetricIndex,
+    counting: CountingMetric,
+    oracle_metric: Metric,
+    objects,
+    qi: int,
+    query: ConcreteQuery,
+    *,
+    distance_cache: Optional[DistanceCacheMetric] = None,
+) -> list[Discrepancy]:
+    out: list[Discrepancy] = []
+    deleted = live_ids(case)
+    q_obj = query_object(case, query)
+    distances = oracle_distances(objects, oracle_metric, q_obj)
+    stats = QueryStats()
+    observe = (
+        distance_cache.observe(stats)
+        if distance_cache is not None
+        else contextlib.nullcontext()
+    )
+    before = counting.count
+    with observe:
+        if query.kind == "range":
+            got_ids = index.range_search(q_obj, query.radius, stats=stats)
+        else:
+            got_knn = index.knn_search(q_obj, query.k, stats=stats)
+    delta = counting.count - before
+
+    if query.kind == "range":
+        want_ids = oracle_range(distances, query.radius, deleted)
+        diff = compare_range(got_ids, want_ids)
+        if diff:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "range-differential",
+                    qi,
+                    f"{case.index} r={query.radius!r}: {diff}",
+                )
+            )
+    else:
+        k_eff = min(query.k, len(objects) - len(deleted))
+        want_knn = oracle_knn(distances, k_eff, deleted)
+        diff = compare_knn(got_knn, want_knn)
+        if diff:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "knn-differential",
+                    qi,
+                    f"{case.index} k={query.k}: {diff}",
+                )
+            )
+
+    expected_calls = delta + stats.distance_cache_hits
+    if stats.distance_calls != expected_calls:
+        out.append(
+            Discrepancy(
+                case.name,
+                "stats-identity",
+                qi,
+                f"stats.distance_calls={stats.distance_calls} but "
+                f"CountingMetric delta={delta} + cache hits="
+                f"{stats.distance_cache_hits}",
+            )
+        )
+    out.extend(stats_invariants(case.name, stats, qi))
+    return out
+
+
+def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
+    """Engine batch + sequential manager answers for a sharded case."""
+    out: list[Discrepancy] = []
+    params = case.index_params
+    oracle_metric = make_metric(case.metric, case.metric_scale)
+    counting = CountingMetric(make_metric(case.metric, case.metric_scale))
+    cache = (
+        DistanceCacheMetric(counting) if params.get("distance_cache") else None
+    )
+    manager = build_case_index(
+        case, objects, cache if cache is not None else counting
+    )
+    counting.reset()
+
+    engine_queries = []
+    for query in case.queries:
+        q_obj = query_object(case, query)
+        if query.kind == "range":
+            engine_queries.append(Query.range(q_obj, query.radius))
+        else:
+            engine_queries.append(Query.knn(q_obj, query.k))
+
+    before = counting.count
+    with QueryEngine(
+        manager,
+        workers=params.get("workers", 2),
+        result_cache_size=params.get("result_cache_size", 0),
+        distance_cache=cache,
+    ) as engine:
+        batch = engine.run_batch(engine_queries)
+    delta = counting.count - before
+
+    expected = delta + batch.stats.distance_cache_hits
+    if batch.stats.distance_calls != expected:
+        out.append(
+            Discrepancy(
+                case.name,
+                "stats-identity",
+                None,
+                f"engine batch distance_calls={batch.stats.distance_calls} "
+                f"but CountingMetric delta={delta} + cache hits="
+                f"{batch.stats.distance_cache_hits}",
+            )
+        )
+
+    deleted = live_ids(case)
+    for qi, (query, result) in enumerate(zip(case.queries, batch.results)):
+        if result.degraded:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "engine-degraded",
+                    qi,
+                    f"degraded without faults: failed={result.shards_failed} "
+                    f"timed_out={result.shards_timed_out}",
+                )
+            )
+            continue
+        q_obj = query_object(case, query)
+        distances = oracle_distances(objects, oracle_metric, q_obj)
+        if query.kind == "range":
+            want = oracle_range(distances, query.radius, deleted)
+            diff = compare_range(result.ids, want)
+            check = "range-differential"
+        else:
+            k_eff = min(query.k, len(objects))
+            want_knn = oracle_knn(distances, k_eff, deleted)
+            diff = compare_knn(result.neighbors, want_knn)
+            check = "knn-differential"
+        if diff:
+            out.append(
+                Discrepancy(
+                    case.name, check, qi, f"engine {query.kind}: {diff}"
+                )
+            )
+        out.extend(stats_invariants(case.name, result.stats, qi))
+
+    # The sequential ShardManager surface must agree with the oracle too
+    # (and with its own cost accounting, distance cache included).
+    for qi, query in enumerate(case.queries):
+        out.extend(
+            _check_one_query(
+                case,
+                manager,
+                counting,
+                oracle_metric,
+                objects,
+                qi,
+                query,
+                distance_cache=cache,
+            )
+        )
+    return out
+
+
+def check_differential(case: ConcreteCase) -> list[Discrepancy]:
+    """Run every query of a case against the oracle and the invariants."""
+    objects = materialize_objects(case)
+    if case.index == "sharded":
+        return _check_sharded(case, objects)
+    oracle_metric = make_metric(case.metric, case.metric_scale)
+    counting = CountingMetric(make_metric(case.metric, case.metric_scale))
+    index = build_case_index(case, objects, counting)
+    counting.reset()
+    out: list[Discrepancy] = []
+    for qi, query in enumerate(case.queries):
+        out.extend(
+            _check_one_query(
+                case, index, counting, oracle_metric, objects, qi, query
+            )
+        )
+    return out

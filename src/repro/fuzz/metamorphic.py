@@ -1,0 +1,300 @@
+"""Metamorphic relations: properties linking answers across workloads.
+
+Differential testing needs an oracle; metamorphic testing needs only
+the *relationships* exact search must preserve.  The four relations
+here all follow from the definition of range/k-NN search over a metric
+space, so a violation is a bug even when (especially when) both sides
+of the relation agree with each other and not with the truth:
+
+* ``monotonicity`` — growing the radius can only grow the answer set
+  (``R(q, r1) ⊆ R(q, r2)`` for ``r1 <= r2``);
+* ``knn_prefix`` — under the family-wide ``(distance, id)`` tie order,
+  ``knn(q, k)`` is exactly the first ``k`` entries of ``knn(q, k+1)``;
+* ``permutation`` — re-ordering the dataset and rebuilding must yield
+  the same answers modulo the id relabelling;
+* ``duplicate`` — appending an exact copy of a live point must leave
+  every other membership decision unchanged, and the copy is in range
+  exactly when its original is;
+* ``scaling`` — scaling the metric by an exact power of two ``c`` and
+  the radius by the same ``c`` preserves the answer set bit for bit
+  (binary floats scale exactly, so even the boundary cases survive).
+
+Each relation rebuilds variant indexes with the *same* construction
+seed, so any divergence is a search/structure defect, not RNG drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.fuzz.cases import ConcreteCase, make_metric, materialize_objects
+from repro.fuzz.differential import (
+    Discrepancy,
+    _close,
+    build_case_index,
+    live_ids,
+    query_object,
+)
+
+#: Scaling factors (exact in binary floating point).  The transform
+#: index only scales *up*: its DFT lower bound stays contractive when
+#: the true metric grows, not when it shrinks.
+_SCALE_CHOICES = (0.5, 2.0, 4.0)
+_SCALE_CHOICES_UP = (2.0, 4.0)
+
+
+def _relation_rng(case: ConcreteCase, salt: int) -> np.random.Generator:
+    """Deterministic per-case randomness for a relation's choices."""
+    return np.random.default_rng([case.index_seed, len(case.objects), salt])
+
+
+def _build(case: ConcreteCase):
+    """(objects, index) for a case over a plain (uncounted) metric."""
+    objects = materialize_objects(case)
+    metric = make_metric(case.metric, case.metric_scale)
+    return objects, build_case_index(case, objects, metric)
+
+
+def _fail(case: ConcreteCase, name: str, qi, detail: str) -> Discrepancy:
+    return Discrepancy(case.name, f"relation:{name}", qi, detail)
+
+
+# ----------------------------------------------------------------------
+# Relations
+# ----------------------------------------------------------------------
+
+
+def check_monotonicity(case: ConcreteCase) -> list[Discrepancy]:
+    """Range results must be nested as the radius grows."""
+    out: list[Discrepancy] = []
+    objects, index = _build(case)
+    for qi, query in enumerate(case.queries):
+        if query.kind != "range":
+            continue
+        q_obj = query_object(case, query)
+        radius = query.radius
+        smaller = index.range_search(q_obj, 0.5 * radius)
+        baseline = index.range_search(q_obj, radius)
+        larger = index.range_search(q_obj, 1.7 * radius + 1e-12)
+        if not set(smaller) <= set(baseline):
+            out.append(
+                _fail(
+                    case,
+                    "monotonicity",
+                    qi,
+                    f"shrinking r to {0.5 * radius!r} gained ids "
+                    f"{sorted(set(smaller) - set(baseline))}",
+                )
+            )
+        if not set(baseline) <= set(larger):
+            out.append(
+                _fail(
+                    case,
+                    "monotonicity",
+                    qi,
+                    f"growing r from {radius!r} lost ids "
+                    f"{sorted(set(baseline) - set(larger))}",
+                )
+            )
+    return out
+
+
+def check_knn_prefix(case: ConcreteCase) -> list[Discrepancy]:
+    """``knn(k)`` must be the first ``k`` entries of ``knn(k+1)``."""
+    out: list[Discrepancy] = []
+    objects, index = _build(case)
+    live = len(objects) - len(live_ids(case))
+    for qi, query in enumerate(case.queries):
+        if query.kind != "knn" or query.k >= live:
+            continue
+        q_obj = query_object(case, query)
+        first = index.knn_search(q_obj, query.k)
+        wider = index.knn_search(q_obj, query.k + 1)
+        prefix = wider[: len(first)]
+        if [n.id for n in first] != [n.id for n in prefix] or not all(
+            _close(a.distance, b.distance) for a, b in zip(first, prefix)
+        ):
+            out.append(
+                _fail(
+                    case,
+                    "knn_prefix",
+                    qi,
+                    f"knn({query.k})={[(n.id, n.distance) for n in first]} "
+                    f"is not a prefix of knn({query.k + 1})="
+                    f"{[(n.id, n.distance) for n in wider]}",
+                )
+            )
+    return out
+
+
+def check_permutation(case: ConcreteCase) -> list[Discrepancy]:
+    """Rebuilding over a permuted dataset must relabel, not change,
+    the answers (ties resolve by id, so k-NN is compared by distance)."""
+    out: list[Discrepancy] = []
+    rng = _relation_rng(case, 1)
+    n = len(case.objects)
+    perm = [int(p) for p in rng.permutation(n)]
+    old_to_new = {old: new for new, old in enumerate(perm)}
+    variant = replace(
+        case,
+        objects=[case.objects[p] for p in perm],
+        deleted=sorted(old_to_new[d] for d in case.deleted),
+        build_prefix=case.build_prefix,
+    )
+    __, index = _build(case)
+    __, permuted_index = _build(variant)
+    for qi, query in enumerate(case.queries):
+        q_obj = query_object(case, query)
+        if query.kind == "range":
+            base = index.range_search(q_obj, query.radius)
+            moved = permuted_index.range_search(q_obj, query.radius)
+            mapped = sorted(perm[j] for j in moved)
+            if mapped != list(base):
+                out.append(
+                    _fail(
+                        case,
+                        "permutation",
+                        qi,
+                        f"range ids {base} became {mapped} after a "
+                        "dataset permutation",
+                    )
+                )
+        else:
+            base_knn = index.knn_search(q_obj, query.k)
+            moved_knn = permuted_index.knn_search(q_obj, query.k)
+            base_d = [n.distance for n in base_knn]
+            moved_d = [n.distance for n in moved_knn]
+            if len(base_d) != len(moved_d) or not all(
+                _close(a, b) for a, b in zip(base_d, moved_d)
+            ):
+                out.append(
+                    _fail(
+                        case,
+                        "permutation",
+                        qi,
+                        f"knn distances {base_d} became {moved_d} after "
+                        "a dataset permutation",
+                    )
+                )
+    return out
+
+
+def check_duplicate(case: ConcreteCase) -> list[Discrepancy]:
+    """Appending an exact copy of a live point must not disturb range
+    membership, and the copy is in range iff its original is."""
+    out: list[Discrepancy] = []
+    deleted = live_ids(case)
+    n = len(case.objects)
+    src = next((i for i in range(n // 2, n) if i not in deleted), None)
+    if src is None:
+        src = next((i for i in range(n) if i not in deleted), None)
+    if src is None:
+        return out
+    dup_id = n
+    variant = replace(case, objects=list(case.objects) + [case.objects[src]])
+    __, index = _build(case)
+    __, dup_index = _build(variant)
+    for qi, query in enumerate(case.queries):
+        if query.kind != "range":
+            continue
+        q_obj = query_object(case, query)
+        base = index.range_search(q_obj, query.radius)
+        with_dup = dup_index.range_search(q_obj, query.radius)
+        expected = sorted(base + [dup_id]) if src in base else list(base)
+        if list(with_dup) != expected:
+            out.append(
+                _fail(
+                    case,
+                    "duplicate",
+                    qi,
+                    f"after duplicating id {src} as id {dup_id}: got "
+                    f"{with_dup}, expected {expected}",
+                )
+            )
+    return out
+
+
+def check_scaling(case: ConcreteCase) -> list[Discrepancy]:
+    """``c * d`` with radius ``c * r`` must preserve answer sets."""
+    out: list[Discrepancy] = []
+    rng = _relation_rng(case, 2)
+    choices = _SCALE_CHOICES_UP if case.index == "transform" else _SCALE_CHOICES
+    factor = float(rng.choice(choices))
+    scaled_queries = [
+        replace(q, radius=q.radius * factor) if q.kind == "range" else q
+        for q in case.queries
+    ]
+    variant = replace(
+        case,
+        metric_scale=case.metric_scale * factor,
+        queries=scaled_queries,
+    )
+    __, index = _build(case)
+    __, scaled_index = _build(variant)
+    for qi, (query, scaled_query) in enumerate(
+        zip(case.queries, scaled_queries)
+    ):
+        q_obj = query_object(case, query)
+        if query.kind == "range":
+            base = index.range_search(q_obj, query.radius)
+            scaled = scaled_index.range_search(q_obj, scaled_query.radius)
+            if list(base) != list(scaled):
+                out.append(
+                    _fail(
+                        case,
+                        "scaling",
+                        qi,
+                        f"range ids changed under exact x{factor} metric "
+                        f"scaling: {base} vs {scaled}",
+                    )
+                )
+        else:
+            base_knn = index.knn_search(q_obj, query.k)
+            scaled_knn = scaled_index.knn_search(q_obj, query.k)
+            if [n.id for n in base_knn] != [n.id for n in scaled_knn] or not all(
+                _close(a.distance * factor, b.distance)
+                for a, b in zip(base_knn, scaled_knn)
+            ):
+                out.append(
+                    _fail(
+                        case,
+                        "scaling",
+                        qi,
+                        f"knn changed under exact x{factor} metric scaling: "
+                        f"{[(n.id, n.distance) for n in base_knn]} vs "
+                        f"{[(n.id, n.distance) for n in scaled_knn]}",
+                    )
+                )
+    return out
+
+
+#: The relation registry; case generation draws names from these keys.
+RELATIONS: dict[str, Callable[[ConcreteCase], list[Discrepancy]]] = {
+    "monotonicity": check_monotonicity,
+    "knn_prefix": check_knn_prefix,
+    "permutation": check_permutation,
+    "duplicate": check_duplicate,
+    "scaling": check_scaling,
+}
+
+
+def check_relations(case: ConcreteCase) -> list[Discrepancy]:
+    """Apply every relation named by the case."""
+    out: list[Discrepancy] = []
+    for name in case.relations:
+        relation = RELATIONS.get(name)
+        if relation is None:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "relation:unknown",
+                    None,
+                    f"case names unknown relation {name!r}",
+                )
+            )
+            continue
+        out.extend(relation(case))
+    return out

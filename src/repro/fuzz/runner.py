@@ -1,0 +1,141 @@
+"""Sweep orchestration: concretize, check, and summarise fuzz cases.
+
+A sweep is ``run_fuzz(seed, n_cases)``: each case index is expanded
+through :mod:`repro.fuzz.cases`, checked differentially against the
+oracle, then put through its metamorphic relations.  Any exception a
+checker raises is itself a finding (an ``error`` discrepancy carrying
+the traceback tail), not a crash of the sweep — a fuzzer that dies on
+the first malformed interaction finds exactly one bug per run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fuzz.cases import (
+    INDEX_NAMES,
+    CaseSpec,
+    ConcreteCase,
+    case_bytes,
+    generate_cases,
+)
+from repro.fuzz.differential import Discrepancy, check_differential
+from repro.fuzz.metamorphic import check_relations
+
+
+def case_digest(case: ConcreteCase) -> str:
+    """Short stable digest of a case's canonical bytes."""
+    return hashlib.sha256(case_bytes(case)).hexdigest()[:16]
+
+
+def run_case(case: ConcreteCase) -> list[Discrepancy]:
+    """All checks for one concrete case; exceptions become findings."""
+    out: list[Discrepancy] = []
+    for label, check in (
+        ("differential", check_differential),
+        ("metamorphic", check_relations),
+    ):
+        try:
+            out.extend(check(case))
+        except Exception:  # noqa: BLE001 - the whole point is to report it
+            tail = traceback.format_exc().strip().splitlines()[-1]
+            out.append(
+                Discrepancy(case.name, f"error:{label}", None, tail)
+            )
+    return out
+
+
+@dataclass
+class CaseResult:
+    """The outcome of one case of a sweep."""
+
+    spec: Optional[CaseSpec]
+    name: str
+    index: str
+    n_objects: int
+    n_queries: int
+    digest: str
+    discrepancies: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+
+@dataclass
+class FuzzReport:
+    """Everything a sweep learned, plus coverage bookkeeping."""
+
+    seed: int
+    results: list = field(default_factory=list)
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> list:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def discrepancies(self) -> list:
+        return [d for r in self.results for d in r.discrepancies]
+
+    @property
+    def covered_indexes(self) -> list[str]:
+        seen = {r.index for r in self.results}
+        return [name for name in INDEX_NAMES if name in seen]
+
+    def summary(self) -> str:
+        lines = [
+            f"seed={self.seed} cases={self.n_cases} "
+            f"failures={len(self.failures)} "
+            f"discrepancies={len(self.discrepancies)}",
+            "covered indexes: " + ", ".join(self.covered_indexes),
+        ]
+        missing = [n for n in INDEX_NAMES if n not in self.covered_indexes]
+        if missing:
+            lines.append("NOT covered: " + ", ".join(missing))
+        for disc in self.discrepancies:
+            lines.append("  " + disc.format())
+        return "\n".join(lines)
+
+
+def run_spec(spec: CaseSpec) -> CaseResult:
+    """Concretize and fully check one case spec."""
+    case = spec.concretize()
+    return CaseResult(
+        spec=spec,
+        name=case.name,
+        index=case.index,
+        n_objects=len(case.objects),
+        n_queries=len(case.queries),
+        digest=case_digest(case),
+        discrepancies=run_case(case),
+    )
+
+
+def run_fuzz(
+    seed: int,
+    n_cases: int,
+    *,
+    fail_fast: bool = False,
+    on_case: Optional[Callable[[CaseResult], None]] = None,
+) -> FuzzReport:
+    """Run a seeded sweep of ``n_cases`` cases.
+
+    ``on_case`` (when given) observes each result as it lands — the
+    CLI uses it for progress lines and failure-time corpus capture.
+    """
+    report = FuzzReport(seed=seed)
+    for spec in generate_cases(seed, n_cases):
+        result = run_spec(spec)
+        report.results.append(result)
+        if on_case is not None:
+            on_case(result)
+        if fail_fast and not result.ok:
+            break
+    return report

@@ -1,0 +1,151 @@
+"""Greedy minimisation of a failing fuzz case to a small reproducer.
+
+The shrinker is a ddmin-style loop over the three axes of a case, in
+order of leverage:
+
+1. **queries** — keep only the queries whose removal un-fails the case;
+2. **relations** — drop metamorphic relations that are not needed to
+   reproduce (a purely differential failure ends up with none);
+3. **objects** — remove dataset chunks (halves, then quarters, … then
+   single points) while the case still fails, re-running the full
+   checker after every candidate removal.
+
+"Still fails" means :func:`repro.fuzz.runner.run_case` reports at
+least one discrepancy — checker *exceptions* count too (they surface
+as ``error:*`` discrepancies), so a shrink that turns a wrong answer
+into a crash is accepted: both are reproducers.
+
+Everything here is deterministic: removal order is positional, no
+randomness, so the same failing case always shrinks to the same
+reproducer (and the same corpus bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.fuzz.cases import ConcreteCase, remove_objects
+
+CheckFn = Callable[[ConcreteCase], list]
+
+
+def _default_check(case: ConcreteCase) -> list:
+    from repro.fuzz.runner import run_case
+
+    return run_case(case)
+
+
+def _fails(case: ConcreteCase, check: CheckFn) -> bool:
+    return bool(check(case))
+
+
+def _shrink_queries(case: ConcreteCase, check: CheckFn) -> ConcreteCase:
+    """Drop queries one at a time while the case still fails."""
+    queries = list(case.queries)
+    i = 0
+    while len(queries) > 1 and i < len(queries):
+        candidate_queries = queries[:i] + queries[i + 1 :]
+        candidate = replace(case, queries=candidate_queries)
+        if _fails(candidate, check):
+            queries = candidate_queries
+        else:
+            i += 1
+    return replace(case, queries=queries)
+
+
+def _shrink_relations(case: ConcreteCase, check: CheckFn) -> ConcreteCase:
+    """Drop relations that are not needed to reproduce the failure."""
+    relations = list(case.relations)
+    for name in list(relations):
+        candidate_relations = [r for r in relations if r != name]
+        candidate = replace(case, relations=candidate_relations)
+        if _fails(candidate, check):
+            relations = candidate_relations
+    return replace(case, relations=relations)
+
+
+def _shrink_objects(case: ConcreteCase, check: CheckFn) -> ConcreteCase:
+    """ddmin over dataset positions: remove big chunks first."""
+    keep = list(range(len(case.objects)))
+    chunk = max(1, len(keep) // 2)
+    while True:
+        start = 0
+        shrunk_this_pass = False
+        while start < len(keep) and len(keep) > 1:
+            candidate_keep = keep[:start] + keep[start + chunk :]
+            if candidate_keep and _fails(
+                remove_objects(case, candidate_keep), check
+            ):
+                keep = candidate_keep
+                shrunk_this_pass = True
+                # Do not advance: the chunk now at ``start`` is new.
+            else:
+                start += chunk
+        if chunk > 1:
+            chunk = max(1, chunk // 2)
+        elif not shrunk_this_pass:
+            break
+    return remove_objects(case, keep)
+
+
+def shrink_case(
+    case: ConcreteCase,
+    check: Optional[CheckFn] = None,
+    *,
+    rename: Optional[str] = None,
+) -> ConcreteCase:
+    """Minimise a failing case; returns it unchanged if it passes.
+
+    ``rename`` (when given) becomes the shrunk case's name — corpus
+    entries use it so the reproducer records its origin, e.g.
+    ``seed0-case0042-shrunk``.
+    """
+    check = check or _default_check
+    if not _fails(case, check):
+        return case
+    case = _shrink_queries(case, check)
+    case = _shrink_relations(case, check)
+    case = _shrink_objects(case, check)
+    # A second query pass: fewer objects can make more queries droppable.
+    case = _shrink_queries(case, check)
+    if rename:
+        case = replace(case, name=rename)
+    return case
+
+
+def regression_snippet(case: ConcreteCase, corpus_path: str) -> str:
+    """A ready-to-paste pytest regression test for a shrunk case.
+
+    The test replays the committed corpus entry, so the reproducer has
+    exactly one source of truth (the JSON under ``tests/corpus/``).
+    """
+    discrepancy_hint = ""
+    try:
+        findings = _default_check(case)
+        if findings:
+            discrepancy_hint = "\n".join(
+                "    #   " + d.format() for d in findings[:4]
+            )
+    except Exception:  # pragma: no cover - snippet stays usable regardless
+        pass
+    header = (
+        f"def test_fuzz_regression_{case.name.replace('-', '_')}():\n"
+        f'    """Shrunk fuzz reproducer ({case.index} over '
+        f"{len(case.objects)} {case.object_kind}).\n"
+    )
+    if discrepancy_hint:
+        header += "\n    # Observed before the fix:\n" + discrepancy_hint + "\n"
+    return (
+        header
+        + '    """\n'
+        + "    from pathlib import Path\n"
+        + "\n"
+        + "    from repro.fuzz.corpus import load_entry\n"
+        + "    from repro.fuzz.runner import run_case\n"
+        + "\n"
+        + f"    entry = Path(__file__).parent / {corpus_path!r}\n"
+        + "    case = load_entry(entry)\n"
+        + "    findings = run_case(case)\n"
+        + "    assert not findings, \"\\n\".join(d.format() for d in findings)\n"
+    )

@@ -24,8 +24,10 @@ from repro.core.mvptree import MVPTree
 from repro.core.nodes import MVPInternalNode, MVPLeafNode
 from repro.indexes.base import MetricIndex
 from repro.indexes.bktree import BKNode, BKTree
+from repro.indexes.distance_matrix import DistanceMatrixIndex
 from repro.indexes.ghtree import GHInternalNode, GHLeafNode, GHTree
 from repro.indexes.gnat import GNAT, GNATInternalNode, GNATLeafNode
+from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.indexes.selection import get_selector
 from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
@@ -415,6 +417,25 @@ def index_to_dict(index: MetricIndex) -> dict:
             "stats": {},
             "root": None,
         }
+    if isinstance(index, LAESA):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "LAESA",
+            "n_objects": len(index.objects),
+            "params": {"n_pivots": index.n_pivots},
+            "stats": {},
+            "pivot_ids": list(index.pivot_ids),
+            "table": index.table.tolist(),
+        }
+    if isinstance(index, DistanceMatrixIndex):
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "DistanceMatrixIndex",
+            "n_objects": len(index.objects),
+            "params": {},
+            "stats": {},
+            "matrix": index.matrix.tolist(),
+        }
     raise TypeError(f"cannot serialise index of type {type(index).__name__}")
 
 
@@ -521,6 +542,20 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
         MetricIndex.__init__(index, objects, metric)
         index._size = data["n_objects"]
         index._root = _decode_bk_node(data["root"])
+    elif kind == "LAESA":
+        index = LAESA.__new__(LAESA)
+        MetricIndex.__init__(index, objects, metric)
+        index.n_pivots = params["n_pivots"]
+        index.pivot_ids = [int(i) for i in data["pivot_ids"]]
+        index._table = np.asarray(data["table"], dtype=float).reshape(
+            len(objects), index.n_pivots
+        )
+    elif kind == "DistanceMatrixIndex":
+        index = DistanceMatrixIndex.__new__(DistanceMatrixIndex)
+        MetricIndex.__init__(index, objects, metric)
+        index._matrix = np.asarray(data["matrix"], dtype=float).reshape(
+            len(objects), len(objects)
+        )
     else:
         raise ValueError(f"unknown index type {kind!r}")
 

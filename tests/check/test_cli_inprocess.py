@@ -1,0 +1,90 @@
+"""Subprocess-free coverage of ``repro.check.cli`` error/edge paths.
+
+Output-bearing commands are driven through ``run_lint_command`` /
+``run_invariants_command`` with an explicit ``out`` stream (the
+module-level default binds ``sys.stdout`` at import time, which no
+pytest capture mode intercepts reliably); pure exit-code paths go
+through ``main``.
+"""
+
+import io
+import json
+import textwrap
+
+from repro.check.cli import main, run_invariants_command, run_lint_command
+
+
+class TestLintErrorPaths:
+    def test_missing_path_exits_two(self, capfd):
+        assert main(["lint", "/no/such/path/anywhere"]) == 2
+        assert "no such path" in capfd.readouterr().err
+
+    def test_findings_exit_one(self, tmp_path):
+        bad = tmp_path / "indexes" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            textwrap.dedent(
+                """
+                def search(metric, q):
+                    return metric.distance(q, q)
+                """
+            )
+        )
+        out = io.StringIO()
+        assert run_lint_command([str(tmp_path)], out=out) == 1
+        assert "RC001" in out.getvalue()
+
+    def test_select_filters_to_clean(self, tmp_path):
+        bad = tmp_path / "indexes" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(metric, q):\n    return metric.distance(q, q)\n")
+        out = io.StringIO()
+        assert run_lint_command([str(tmp_path)], select="RC002", out=out) == 0
+
+    def test_json_output_parses(self, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n")
+        out = io.StringIO()
+        assert run_lint_command([str(tmp_path)], as_json=True, out=out) == 0
+        assert json.loads(out.getvalue()) == []
+
+    def test_rc007_flagged_in_fuzz_paths(self, tmp_path):
+        bad = tmp_path / "fuzz" / "gen.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        )
+        out = io.StringIO()
+        assert run_lint_command([str(tmp_path)], select="RC007", out=out) == 1
+        assert "unseeded default_rng" in out.getvalue()
+
+    def test_rc007_ignores_non_fuzz_paths(self, tmp_path):
+        fine = tmp_path / "bench" / "gen.py"
+        fine.parent.mkdir()
+        fine.write_text(
+            "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        )
+        out = io.StringIO()
+        assert run_lint_command([str(tmp_path)], select="RC007", out=out) == 0
+
+
+class TestInvariantsErrorPaths:
+    def test_unknown_class_exits_two(self, capfd):
+        assert main(["invariants", "--only", "BogusTree"]) == 2
+        assert "no index matched" in capfd.readouterr().err
+
+    def test_only_filter_runs_single_class(self):
+        out = io.StringIO()
+        assert run_invariants_command(size=24, only=["VPTree"], out=out) == 0
+        text = out.getvalue()
+        assert "VPTree: ok" in text and "1 index(es)" in text
+
+    def test_json_output_parses(self):
+        out = io.StringIO()
+        assert (
+            run_invariants_command(
+                size=16, only=["LinearScan"], as_json=True, out=out
+            )
+            == 0
+        )
+        assert json.loads(out.getvalue()) == {"LinearScan": []}

@@ -1,4 +1,4 @@
-"""Per-rule tests for the repro.check AST lint (RC001..RC006)."""
+"""Per-rule tests for the repro.check AST lint (RC001..RC007)."""
 
 import textwrap
 from pathlib import Path
@@ -389,6 +389,83 @@ class TestSuppression:
             select={"RC003"},
         )
         assert codes == ["RC003"]
+
+
+class TestRC007NondeterminismSources:
+    def test_flags_every_entropy_source(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+            import numpy as np
+
+            def gen():
+                rng = np.random.default_rng()
+                return rng, time.time(), hash("x")
+            """,
+            relpath="fuzz/gen.py",
+            select={"RC007"},
+        )
+        assert codes == ["RC007"] * 3
+        messages = " ".join(f.message for f in findings)
+        assert "unseeded default_rng" in messages
+        assert "wall-clock" in messages
+        assert "hashlib" in messages
+
+    def test_flags_random_module_import(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import random
+            """,
+            relpath="fuzz/gen.py",
+            select={"RC007"},
+        )
+        assert codes == ["RC007"]
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def gen(seed, case_index):
+                return np.random.default_rng([seed, case_index])
+            """,
+            relpath="fuzz/gen.py",
+            select={"RC007"},
+        )
+        assert codes == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import random
+            import numpy as np
+
+            def gen():
+                return np.random.default_rng(), random.random()
+            """,
+            relpath="bench/gen.py",
+            select={"RC007"},
+        )
+        assert codes == []
+
+    def test_rng_method_named_random_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def gen(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(4)
+            """,
+            relpath="fuzz/gen.py",
+            select={"RC007"},
+        )
+        assert codes == []
 
 
 class TestRepoIsClean:

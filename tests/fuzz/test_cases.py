@@ -1,0 +1,101 @@
+"""Generation determinism and coverage of the fuzz-case model."""
+
+import numpy as np
+
+from repro.fuzz.cases import (
+    INDEX_NAMES,
+    ConcreteCase,
+    case_bytes,
+    generate_cases,
+    generate_spec,
+    materialize_objects,
+    remove_objects,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        for case_index in range(16):
+            first = generate_spec(7, case_index).concretize()
+            second = generate_spec(7, case_index).concretize()
+            assert case_bytes(first) == case_bytes(second)
+
+    def test_round_trip_preserves_bytes(self):
+        case = generate_spec(0, 4).concretize()
+        clone = ConcreteCase.from_dict(case.to_dict())
+        assert case_bytes(clone) == case_bytes(case)
+
+    def test_different_seeds_differ(self):
+        a = generate_spec(0, 0).concretize()
+        b = generate_spec(1, 0).concretize()
+        assert case_bytes(a) != case_bytes(b)
+
+    def test_case_bytes_round_trip_through_json(self):
+        import json
+
+        case = generate_spec(3, 11).concretize()
+        decoded = ConcreteCase.from_dict(
+            json.loads(case_bytes(case).decode("utf-8"))
+        )
+        assert case_bytes(decoded) == case_bytes(case)
+
+
+class TestCoverage:
+    def test_twelve_consecutive_cases_cover_every_index(self):
+        specs = generate_cases(0, len(INDEX_NAMES))
+        indexes = {spec.concretize().index for spec in specs}
+        assert indexes == set(INDEX_NAMES)
+
+    def test_family_constraints(self):
+        for case_index in range(36):
+            case = generate_spec(5, case_index).concretize()
+            if case.index == "bkt":
+                assert case.object_kind == "strings"
+                assert case.metric == "edit"
+            if case.index == "transform":
+                # The DFT contraction bound (Parseval) is L2-only.
+                assert case.metric == "l2"
+                assert case.object_kind == "vectors"
+            if case.index == "sharded":
+                assert case.object_kind == "vectors"
+                assert case.index_params["backend"]
+            if case.object_kind == "strings":
+                assert case.metric == "edit"
+
+    def test_queries_have_parameters(self):
+        for case_index in range(24):
+            case = generate_spec(2, case_index).concretize()
+            assert 3 <= len(case.queries) <= 7
+            for query in case.queries:
+                if query.kind == "range":
+                    assert query.radius is not None and query.radius >= 0
+                else:
+                    assert query.kind == "knn" and query.k >= 1
+
+
+class TestRemoveObjects:
+    def test_plain_subset(self):
+        case = generate_spec(0, 1).concretize()  # vpt
+        kept = remove_objects(case, [0, 2, 4])
+        assert len(kept.objects) == 3
+        assert kept.objects[1] == case.objects[2]
+
+    def test_dynamic_bookkeeping_remapped(self):
+        case = next(
+            generate_spec(0, i).concretize()
+            for i in range(48)
+            if generate_spec(0, i).concretize().index == "dynamic"
+            and generate_spec(0, i).concretize().deleted
+        )
+        keep = [i for i in range(len(case.objects)) if i % 2 == 0]
+        kept = remove_objects(case, keep)
+        assert kept.build_prefix >= 1
+        assert len(kept.deleted) < len(kept.objects)
+        for new_id in kept.deleted:
+            assert kept.objects[new_id] == case.objects[keep[new_id]]
+
+    def test_materialize_vectors_is_float_matrix(self):
+        case = generate_spec(0, 0).concretize()
+        if case.object_kind == "vectors":
+            data = materialize_objects(case)
+            assert isinstance(data, np.ndarray) and data.dtype == float

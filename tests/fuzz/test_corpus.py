@@ -1,0 +1,100 @@
+"""Corpus entries: round-trips, tamper detection, and the manifest."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.cases import case_bytes, generate_spec
+from repro.fuzz.corpus import (
+    MANIFEST_NAME,
+    entry_digest,
+    iter_entries,
+    load_entry,
+    load_manifest,
+    save_entry,
+    write_manifest,
+)
+from repro.fuzz.runner import case_digest, run_case
+
+REPO_CORPUS = Path(__file__).resolve().parents[1] / "corpus"
+
+
+class TestEntries:
+    def test_save_load_round_trip(self, tmp_path):
+        case = generate_spec(0, 2).concretize()
+        path = save_entry(case, tmp_path, reason="unit-test")
+        loaded = load_entry(path)
+        assert case_bytes(loaded) == case_bytes(case)
+        assert json.loads(path.read_text())["reason"] == "unit-test"
+
+    def test_save_is_idempotent(self, tmp_path):
+        case = generate_spec(0, 3).concretize()
+        first = save_entry(case, tmp_path)
+        second = save_entry(case, tmp_path)
+        assert first == second
+        assert len(list(iter_entries(tmp_path))) == 1
+
+    def test_tampered_entry_is_rejected(self, tmp_path):
+        case = generate_spec(0, 1).concretize()
+        path = save_entry(case, tmp_path)
+        data = json.loads(path.read_text())
+        data["case"]["index_seed"] += 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="digest"):
+            load_entry(path)
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        case = generate_spec(0, 1).concretize()
+        path = save_entry(case, tmp_path)
+        data = json.loads(path.read_text())
+        data["schema"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            load_entry(path)
+
+    def test_iter_entries_skips_manifest_and_sorts(self, tmp_path):
+        write_manifest(tmp_path, 0, [])
+        for case_index in (5, 1):
+            save_entry(generate_spec(0, case_index).concretize(), tmp_path)
+        names = [p.name for p in iter_entries(tmp_path)]
+        assert MANIFEST_NAME not in names
+        assert names == sorted(names) and len(names) == 2
+
+    def test_iter_entries_on_missing_directory(self, tmp_path):
+        assert list(iter_entries(tmp_path / "nope")) == []
+
+
+class TestManifest:
+    def test_write_and_load(self, tmp_path):
+        digests = [entry_digest(generate_spec(4, i).concretize()) for i in range(3)]
+        write_manifest(tmp_path, 4, digests)
+        manifest = load_manifest(tmp_path)
+        assert manifest["seed"] == 4
+        assert manifest["cases"] == 3
+        assert manifest["case_digests"] == digests
+
+    def test_load_absent_manifest(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+
+class TestCommittedCorpus:
+    """The corpus checked into the repository must stay green."""
+
+    def test_committed_entries_replay_clean(self):
+        for path in iter_entries(REPO_CORPUS):
+            findings = run_case(load_entry(path))
+            assert findings == [], [f.format() for f in findings]
+
+    def test_manifest_digests_reproduce(self):
+        manifest = load_manifest(REPO_CORPUS)
+        assert manifest is not None, "clean-sweep manifest missing"
+        digests = manifest["case_digests"]
+        assert len(digests) == manifest["cases"]
+        # Regenerate a deterministic sample: same seed must give the
+        # same canonical case bytes, forever (full sweep runs in CI).
+        for case_index in range(0, manifest["cases"], 13):
+            case = generate_spec(manifest["seed"], case_index).concretize()
+            assert case_digest(case) == digests[case_index], (
+                f"case {case_index} drifted from the committed manifest"
+            )

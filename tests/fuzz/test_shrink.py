@@ -1,0 +1,93 @@
+"""Shrinker mechanics, exercised against a synthetic interestingness test."""
+
+from dataclasses import replace
+
+from repro.fuzz.cases import ConcreteCase, ConcreteQuery
+from repro.fuzz.shrink import shrink_case
+
+
+def _vector_case(n=24, queries=4):
+    objects = [[float(i), float(i % 3)] for i in range(n)]
+    return ConcreteCase(
+        name="synthetic",
+        object_kind="vectors",
+        objects=objects,
+        metric="l2",
+        index="linear",
+        index_params={},
+        index_seed=0,
+        queries=[
+            ConcreteQuery("range", [float(q), 0.0], radius=1.5)
+            for q in range(queries)
+        ],
+    )
+
+
+class TestShrinkCase:
+    def test_passing_case_is_returned_unchanged(self):
+        case = _vector_case()
+        assert shrink_case(case, check=lambda c: []) is case
+
+    def test_shrinks_to_the_single_culprit_object(self):
+        case = _vector_case(n=24)
+        culprit = case.objects[17]
+
+        def check(candidate):
+            return ["fail"] if culprit in candidate.objects else []
+
+        shrunk = shrink_case(case, check=check)
+        assert shrunk.objects == [culprit]
+        assert len(shrunk.queries) == 1
+
+    def test_shrinks_query_list(self):
+        case = _vector_case(queries=5)
+
+        def check(candidate):
+            # Fails only while query #3 (radius anchored at x=3) remains.
+            return (
+                ["fail"]
+                if any(q.query[0] == 3.0 for q in candidate.queries)
+                else []
+            )
+
+        shrunk = shrink_case(case, check=check)
+        assert len(shrunk.queries) == 1
+        assert shrunk.queries[0].query[0] == 3.0
+
+    def test_needs_pair_of_objects(self):
+        case = _vector_case(n=20)
+        a, b = case.objects[4], case.objects[13]
+
+        def check(candidate):
+            present = candidate.objects
+            return ["fail"] if a in present and b in present else []
+
+        shrunk = shrink_case(case, check=check)
+        assert sorted(map(tuple, shrunk.objects)) == sorted([tuple(a), tuple(b)])
+
+    def test_relations_dropped_when_not_needed(self):
+        case = replace(
+            _vector_case(), relations=["monotonicity", "permutation"]
+        )
+
+        def check(candidate):
+            return ["fail"] if candidate.objects else []
+
+        shrunk = shrink_case(case, check=check)
+        assert shrunk.relations == []
+
+    def test_rename(self):
+        case = _vector_case()
+        shrunk = shrink_case(
+            case, check=lambda c: ["fail"], rename="renamed-repro"
+        )
+        assert shrunk.name == "renamed-repro"
+
+    def test_deterministic(self):
+        def check(candidate):
+            return ["fail"] if len(candidate.objects) >= 3 else []
+
+        first = shrink_case(_vector_case(), check=check)
+        second = shrink_case(_vector_case(), check=check)
+        assert first.objects == second.objects
+        assert len(first.objects) == 3

@@ -164,8 +164,9 @@ class TestValidation:
             index_from_dict(payload, data, metric)
 
     def test_unserialisable_index_rejected(self, data):
-        from repro import DistanceMatrixIndex
+        from repro import TransformIndex
+        from repro.transforms import DFTTransform
 
-        index = DistanceMatrixIndex(data[:20], L2())
+        index = TransformIndex(data[:20], L2(), DFTTransform(2))
         with pytest.raises(TypeError, match="cannot serialise"):
             index_to_dict(index)

@@ -99,3 +99,46 @@ class TestDynamicMVPTreeRoundTrip:
         assert payload["type"] == "DynamicMVPTree"
         restored = index_from_dict(payload, list(churned.objects), L2())
         assert isinstance(restored, DynamicMVPTree)
+
+
+class TestTableIndexRoundTrips:
+    """LAESA and DistanceMatrixIndex serialise their whole tables."""
+
+    def test_laesa_queries_survive(self, data, queries):
+        from repro import LAESA
+
+        metric = L2()
+        original = LAESA(data, metric, n_pivots=6, rng=0)
+        payload = json.loads(json.dumps(index_to_dict(original)))
+        restored = index_from_dict(payload, data, metric)
+        assert restored.pivot_ids == original.pivot_ids
+        assert np.array_equal(restored.table, original.table)
+        for query in queries:
+            assert restored.range_search(query, 0.5) == original.range_search(
+                query, 0.5
+            )
+            assert restored.knn_search(query, 5) == original.knn_search(query, 5)
+
+    def test_matrix_queries_survive(self, data, queries):
+        from repro import DistanceMatrixIndex
+
+        metric = L2()
+        small = data[:40]
+        original = DistanceMatrixIndex(small, metric)
+        payload = json.loads(json.dumps(index_to_dict(original)))
+        restored = index_from_dict(payload, small, metric)
+        assert np.array_equal(restored.matrix, original.matrix)
+        query = queries[0]
+        assert restored.range_search(query, 0.6) == original.range_search(
+            query, 0.6
+        )
+        assert restored.knn_search(query, 4) == original.knn_search(query, 4)
+
+    def test_file_roundtrip(self, data, tmp_path):
+        from repro import LAESA
+
+        original = LAESA(data, L2(), n_pivots=4, rng=3)
+        path = tmp_path / "laesa.json"
+        save_index(original, path)
+        restored = load_index(path, data, L2())
+        assert np.array_equal(restored.table, original.table)

@@ -1,0 +1,91 @@
+"""Subprocess-free coverage of ``repro.serve.cli`` edge paths."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import main
+
+
+class TestEdgePaths:
+    def test_empty_batch(self, capsys):
+        assert main(["--n", "64", "--shards", "2", "--queries", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 0 queries" in out
+
+    def test_empty_batch_json_summary_is_null(self, capsys):
+        assert (
+            main(["--n", "64", "--shards", "2", "--queries", "0", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats_summary"] is None
+        assert payload["n_queries"] == 0
+
+    def test_tiny_timeout_reports_degraded(self, capsys):
+        # A 0-second deadline degrades queries rather than erroring.
+        code = main(
+            [
+                "--n",
+                "256",
+                "--shards",
+                "4",
+                "--queries",
+                "6",
+                "--timeout",
+                "0.0",
+            ]
+        )
+        assert code == 0
+        assert "degraded:" in capsys.readouterr().out
+
+    def test_dna_workload_default_radius(self, capsys):
+        assert (
+            main(
+                [
+                    "--workload",
+                    "dna",
+                    "--n",
+                    "80",
+                    "--shards",
+                    "2",
+                    "--backend",
+                    "bkt",
+                    "--queries",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "bkt deployment" in capsys.readouterr().out
+
+    def test_bkt_on_vectors_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workload", "uniform", "--backend", "bkt"])
+        assert excinfo.value.code == 2
+
+    def test_save_then_json_load_run(self, tmp_path, capsys):
+        archive = tmp_path / "deploy.json"
+        assert (
+            main(["--n", "96", "--shards", "3", "--save", str(archive)]) == 0
+        )
+        assert archive.is_file()
+        capsys.readouterr()
+        assert (
+            main(
+                ["--n", "96", "--load", str(archive), "--queries", "4", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == 3 and payload["n_queries"] == 4
+
+    def test_load_rejects_wrong_archive_type(self, tmp_path, capsys):
+        from repro.cli import make_workload
+        from repro.indexes.vptree import VPTree
+        from repro.persist.serialize import save_index
+
+        objects, metric = make_workload("uniform", 64, 0)
+        archive = tmp_path / "vpt.json"
+        save_index(VPTree(objects, metric, rng=0), archive)
+        assert main(["--n", "64", "--load", str(archive)]) == 2
+        assert "not a ShardManager" in capsys.readouterr().err
