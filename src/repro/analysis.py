@@ -232,8 +232,9 @@ def _walk_bk(node: Optional[BKNode], depth: int, report: TreeReport) -> None:
         report.vantage_point_count += 1
     else:
         report.leaf_count += 1
-        report.leaf_sizes.append(1)
+        report.leaf_sizes.append(1 + len(node.dups))
         report.leaf_depths.append(depth)
         report.leaf_data_point_count += 1
+    report.leaf_data_point_count += len(node.dups)
     for child in node.children.values():
         _walk_bk(child, depth + 1, report)

@@ -90,9 +90,15 @@ def build_verification_indexes(
 
     if not skip("ShardManager"):
         # A sharded deployment with more shards than strictly needed,
-        # so the verifier also sees small partitions.
+        # so the verifier also sees small partitions — replicated, so
+        # replica placement coverage is exercised too.
         indexes["ShardManager"] = ShardManager(
-            vectors, metric, n_shards=3, backend="vpt", rng=seed
+            vectors,
+            metric,
+            n_shards=3,
+            backend="vpt",
+            replication_factor=2,
+            rng=seed,
         )
 
     if not skip("BKTree"):

@@ -19,7 +19,11 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.check.invariants import Violation, verify_structure
+from repro.check.invariants import (
+    Violation,
+    verify_breaker_machine,
+    verify_structure,
+)
 from repro.check.lint import LintFinding, run_lint
 
 #: Default lint target: the installed ``repro`` package itself.
@@ -78,6 +82,7 @@ def run_invariants_command(
     the corruption-injection tests); by default every index class is
     built fresh via :func:`repro.check.builders.build_verification_indexes`.
     """
+    extra: dict[str, list[Violation]] = {}
     if indexes is None:
         from repro.check.builders import build_verification_indexes
 
@@ -86,12 +91,17 @@ def run_invariants_command(
         except KeyError as exc:
             print(f"error: unknown index class {exc}", file=sys.stderr)
             return 2
-        if only and not indexes:
+        # The breaker state machine has no built structure to walk; its
+        # invariant runs as a scripted exercise alongside the indexes.
+        if only is None or "CircuitBreaker" in only:
+            extra["CircuitBreaker"] = verify_breaker_machine()
+        if only and not indexes and not extra:
             print(f"error: no index matched --only {only}", file=sys.stderr)
             return 2
     report: dict[str, list[Violation]] = {}
     for name, index in sorted(indexes.items()):
         report[name] = verify_structure(index)
+    report.update(extra)
     total = sum(len(violations) for violations in report.values())
     if as_json:
         json.dump(

@@ -35,16 +35,26 @@ Invariants checked (paper sections 4.2/4.3 where applicable):
   closer points and the recorded covering radii dominate.
 * ``bk-edge-exact`` — every BK-subtree under edge ``c`` sits at
   distance exactly ``c`` from the parent element.
+* ``bk-dup-zero`` — every bucketed BK duplicate is at distance exactly
+  0 from its node's element.
 * ``table-truth`` / ``matrix-symmetry`` / ``matrix-diagonal`` — LAESA
   and AESA precomputed tables equal recomputed distances.
 * ``transform-truth`` / ``transform-contraction`` — the transformed
   dataset matches ``transform.transform`` and sampled transformed
   distances never exceed the true metric (section 3.1's contraction
   requirement, the exactness precondition of filter-and-refine).
-* ``shard-partition`` / ``shard-size`` — a serving
-  :class:`~repro.serve.sharding.ShardManager`'s shards partition the
-  dataset exactly (disjoint, covering) and each shard indexes exactly
-  its assignment; shard inner structures are verified recursively.
+* ``shard-partition`` / ``shard-size`` / ``replica-coverage`` — a
+  serving :class:`~repro.serve.sharding.ShardManager`'s shards
+  partition the dataset exactly (disjoint, covering), each replica
+  indexes exactly its shard's assignment, and every populated shard
+  keeps at least one live replica (the precondition for exact
+  failover); replica inner structures are verified recursively.
+
+An oversized leaf is exempt from ``leaf-capacity`` when its points are
+a zero-diameter group (all at distance 0 from a representative — by
+the triangle inequality that makes every pairwise distance 0): the
+builders deliberately fall back to one leaf there, since no shell,
+hyperplane, or range table can separate identical points.
 """
 
 from __future__ import annotations
@@ -116,6 +126,21 @@ def _cutoff_interval(cutoffs, i: int) -> tuple[float, float]:
     lo = 0.0 if i == 0 else float(cutoffs[i - 1])
     hi = float(cutoffs[i]) if i < len(cutoffs) else float("inf")
     return lo, hi
+
+
+def _zero_diameter(dist, objects, ids) -> bool:
+    """Is every object in ``ids`` at distance 0 from the first one?
+
+    By the triangle inequality all pairwise distances are then 0 too,
+    so checking against one representative suffices.  Tree builders
+    fall back to a single (oversized) leaf for such groups — no shell,
+    hyperplane, or range table can separate identical points — and the
+    leaf-capacity checks exempt exactly this case.
+    """
+    if len(ids) < 2:
+        return True
+    representative = objects[ids[0]]
+    return all(float(dist(objects[i], representative)) == 0.0 for i in ids[1:])
 
 
 def _check_id_partition(
@@ -332,7 +357,9 @@ def verify_mvptree(index: MVPTree) -> list[Violation]:
         seen.append(node.vp2_id)
         seen.extend(node.ids)
 
-        if len(node.ids) > leaf_cap:
+        if len(node.ids) > leaf_cap and not _zero_diameter(
+            dist, objects, node.ids
+        ):
             out.append(
                 Violation(
                     "leaf-capacity",
@@ -595,7 +622,9 @@ def verify_vptree(index: VPTree) -> list[Violation]:
         """Recursive structural walk (depth bounded by tree height)."""
         if isinstance(node, VPLeafNode):
             seen.extend(node.ids)
-            if len(node.ids) > index.leaf_capacity:
+            if len(node.ids) > index.leaf_capacity and not _zero_diameter(
+                dist, objects, node.ids
+            ):
                 out.append(
                     Violation(
                         "leaf-capacity",
@@ -711,7 +740,9 @@ def verify_ghtree(index: GHTree) -> list[Violation]:
             return
         if isinstance(node, GHLeafNode):
             seen.extend(node.ids)
-            if len(node.ids) > max(index.leaf_capacity, 1):
+            if len(node.ids) > max(
+                index.leaf_capacity, 1
+            ) and not _zero_diameter(dist, objects, node.ids):
                 out.append(
                     Violation(
                         "leaf-capacity",
@@ -787,7 +818,9 @@ def verify_gnat(index: GNAT) -> list[Violation]:
             return
         if isinstance(node, GNATLeafNode):
             seen.extend(node.ids)
-            if len(node.ids) > index.leaf_capacity:
+            if len(node.ids) > index.leaf_capacity and not _zero_diameter(
+                dist, objects, node.ids
+            ):
                 out.append(
                     Violation(
                         "leaf-capacity",
@@ -878,12 +911,25 @@ def verify_bktree(index: BKTree) -> list[Violation]:
     def subtree_ids(node) -> Iterator[int]:
         """Yield ids under ``node`` (recursive; depth <= tree height)."""
         yield node.id
+        yield from node.dups
         for child in node.children.values():
             yield from subtree_ids(child)
 
     def visit(node, loc: str) -> None:
         """Recursive structural walk (depth bounded by tree height)."""
         seen.append(node.id)
+        seen.extend(node.dups)
+        for dup in node.dups:
+            d = dist(objects[dup], objects[node.id])
+            if float(d) != 0.0:
+                out.append(
+                    Violation(
+                        "bk-dup-zero",
+                        f"{loc}.dups",
+                        f"bucketed duplicate {dup} is at distance {d} "
+                        f"from element {node.id} (must be exactly 0)",
+                    )
+                )
         for edge, child in node.children.items():
             child_loc = f"{loc}.children[{edge!r}]"
             for idx in subtree_ids(child):
@@ -1063,12 +1109,18 @@ def verify_shard_manager(manager) -> list[Violation]:
       exactly: disjoint (no id twice) and covering (every id once).
       This is what makes merged answers equal a single index's: a
       duplicated id could be reported twice, a missing id never.
-    * ``shard-size`` — every built shard indexes exactly its assigned
+    * ``replica-coverage`` — the replica table has exactly
+      ``replication_factor`` rows and every *populated* shard keeps at
+      least one live replica; with zero live replicas exact failover is
+      impossible and the deployment can only answer degraded.  A lost
+      replica alongside a live sibling is legal (that is the state
+      ``recover()`` repairs), so it is not flagged.
+    * ``shard-size`` — every built replica indexes exactly its assigned
       ids; empty assignments must carry no index at all.
 
-    Each non-empty shard's inner structure is then verified recursively
+    Each live replica's inner structure is then verified recursively
     with its own class verifier (depth 1 — shards never nest), its
-    violations prefixed with the shard location.
+    violations prefixed with the shard/replica location.
     """
     out: list[Violation] = []
     n = len(manager._objects)
@@ -1103,43 +1155,138 @@ def verify_shard_manager(manager) -> list[Violation]:
                 f"ids outside the dataset range: {alien[:10]}",
             )
         )
-    for shard, (ids, index) in enumerate(zip(manager.shard_ids, manager.shards)):
-        location = f"shard[{shard}]"
-        if index is None:
-            if ids:
+    factor = getattr(manager, "replication_factor", 1)
+    rows = manager.replicas
+    if len(rows) != factor:
+        out.append(
+            Violation(
+                "replica-coverage",
+                "shards",
+                f"replica table has {len(rows)} rows but "
+                f"replication_factor is {factor}",
+            )
+        )
+    for shard, ids in enumerate(manager.shard_ids):
+        live = [r for r in range(len(rows)) if rows[r][shard] is not None]
+        if ids and not live:
+            out.append(
+                Violation(
+                    "replica-coverage",
+                    f"shard[{shard}]",
+                    f"{len(ids)} ids assigned but no live replica "
+                    f"(replication_factor={factor}) — exact failover "
+                    "impossible",
+                )
+            )
+        for r in range(len(rows)):
+            index = rows[r][shard]
+            location = (
+                f"shard[{shard}]/replica[{r}]"
+                if len(rows) > 1
+                else f"shard[{shard}]"
+            )
+            if index is None:
+                # Empty assignment, or a lost replica (legal while a
+                # sibling is live — caught above otherwise).
+                continue
+            if not ids:
                 out.append(
                     Violation(
                         "shard-size",
                         location,
-                        f"{len(ids)} ids assigned but no index built",
+                        "index built over an empty assignment",
                     )
                 )
-            continue
-        if not ids:
+                continue
+            if len(index) != len(ids):
+                out.append(
+                    Violation(
+                        "shard-size",
+                        location,
+                        f"index holds {len(index)} objects, assignment has "
+                        f"{len(ids)}",
+                    )
+                )
+                continue
+            for violation in verify_structure(index):
+                out.append(
+                    Violation(
+                        violation.invariant,
+                        f"{location}/{violation.location}",
+                        violation.message,
+                    )
+                )
+    return out
+
+
+def verify_breaker_machine() -> list[Violation]:
+    """Drive a scripted circuit breaker through its full state graph.
+
+    Under an injected clock, persistent failures must open the breaker,
+    the cooldown must admit exactly a half-open probe, a failed probe
+    must reopen, and a successful probe must close — and the recorded
+    transition history must chain legally from ``closed``
+    (:func:`repro.resilience.breaker.verify_transitions`).
+    """
+    from repro.resilience.breaker import (
+        CLOSED,
+        HALF_OPEN,
+        OPEN,
+        CircuitBreaker,
+        verify_transitions,
+    )
+
+    now = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=0.5,
+        window=4,
+        min_samples=2,
+        cooldown=1.0,
+        clock=lambda: now[0],
+    )
+    out: list[Violation] = []
+
+    def expect(state: str, step: str) -> None:
+        if breaker.state != state:
             out.append(
                 Violation(
-                    "shard-size", location, "index built over an empty assignment"
+                    "breaker-state",
+                    f"breaker/{step}",
+                    f"expected {state!r}, found {breaker.state!r}",
                 )
             )
-            continue
-        if len(index) != len(ids):
-            out.append(
-                Violation(
-                    "shard-size",
-                    location,
-                    f"index holds {len(index)} objects, assignment has "
-                    f"{len(ids)}",
-                )
+
+    for _ in range(4):
+        breaker.allow()
+        breaker.record_failure()
+    expect(OPEN, "after-failures")
+    if breaker.allow():
+        out.append(
+            Violation(
+                "breaker-state",
+                "breaker/open",
+                "open breaker admitted a call before its cooldown elapsed",
             )
-            continue
-        for violation in verify_structure(index):
-            out.append(
-                Violation(
-                    violation.invariant,
-                    f"{location}/{violation.location}",
-                    violation.message,
-                )
+        )
+    now[0] = 1.5
+    if not breaker.allow():
+        out.append(
+            Violation(
+                "breaker-state",
+                "breaker/after-cooldown",
+                "cooled-down breaker refused its half-open probe",
             )
+        )
+    expect(HALF_OPEN, "after-cooldown")
+    breaker.record_failure()
+    expect(OPEN, "after-failed-probe")
+    now[0] = 3.0
+    breaker.allow()
+    breaker.record_success()
+    expect(CLOSED, "after-successful-probe")
+
+    for message in verify_transitions(breaker.transitions, breaker.state):
+        out.append(Violation("breaker-transition", "breaker", message))
     return out
 
 

@@ -26,6 +26,12 @@ RC007  Fuzzing code (``src/repro/fuzz/``) must stay reproducible: no
        clock reads (``time.time``/``datetime.now``), no ``os.urandom``
        and no salted builtin ``hash()`` — same seed must mean same
        case bytes, forever.
+RC008  Serving/resilience code (``src/repro/serve/``,
+       ``src/repro/resilience/``) must not swallow exceptions: every
+       ``except`` handler has to re-raise, route the failure into the
+       breaker/failover machinery (``record_failure``,
+       ``set_exception``, ...), or increment a counter — a silently
+       dropped exception hides an outage from health tracking.
 
 Findings can be silenced per line (or from the preceding line) with a
 ruff-style pragma::
@@ -567,6 +573,54 @@ class NondeterminismSourceRule(Rule):
                     )
 
 
+class SwallowedExceptionRule(Rule):
+    """RC008: serve/resilience handlers may not swallow failures."""
+
+    code = "RC008"
+    description = (
+        "except handlers in serving/resilience code must re-raise, "
+        "route the failure into the breaker/failover machinery, or "
+        "increment a counter; a silently swallowed exception hides an "
+        "outage from health tracking"
+    )
+
+    #: Attribute calls that route a failure into resilience machinery:
+    #: circuit-breaker outcome recording and future completion.
+    _ROUTING_CALLS = {"record_failure", "record_success", "set_exception"}
+
+    def applies_to(self, file: SourceFile) -> bool:
+        posix = f"/{Path(file.display).as_posix()}"
+        return "/serve/" in posix or "/resilience/" in posix
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._routes_failure(node):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "everything"
+            )
+            yield node, (
+                f"handler catching {caught} neither re-raises, calls the "
+                "breaker/failover machinery, nor increments a counter"
+            )
+
+    def _routes_failure(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._ROUTING_CALLS
+            ):
+                return True
+        return False
+
+
 RULES: list[Rule] = [
     RawMetricCallRule(),
     SearchSignatureRule(),
@@ -575,6 +629,7 @@ RULES: list[Rule] = [
     NumpyScalarLeakRule(),
     UnregisteredIndexRule(),
     NondeterminismSourceRule(),
+    SwallowedExceptionRule(),
 ]
 
 

@@ -235,11 +235,11 @@ class MVPTree(MetricIndex):
 
     def _build_internal(
         self, ids: list[int], paths: np.ndarray, level: int, depth: int
-    ) -> MVPInternalNode:
+    ) -> _Node:
         """Partition into ``m**2`` sub-cuts and recurse via ``_build``.
 
         Part of the mutually recursive build; depth is bounded by the
-        tree height.
+        tree height.  Zero-diameter groups come back as leaves.
         """
         m = self.m
 
@@ -254,6 +254,12 @@ class MVPTree(MetricIndex):
                 None, gather(self._objects, rest_ids), self._objects[vp1_id]
             )
         )
+        if d1.size and float(d1.max()) == 0.0:
+            # Zero-diameter group (by the triangle inequality): every
+            # cutoff collapses onto 0 and the m**2 sub-cuts cannot
+            # separate identical points.  Fall back to an (oversized)
+            # leaf instead of recursing one vantage point at a time.
+            return self._build_leaf(ids, paths, level)
         if level <= self.p:
             rest_paths[:, level - 1] = d1
 

@@ -297,14 +297,22 @@ def _index_config(
     if index == "transform":
         return {"n_coefficients": int(rng.integers(2, 1 + max(2, dim // 2)))}
     if index == "sharded":
-        return {
+        replication = int(rng.integers(1, 4))
+        config = {
             "backend": str(rng.choice(_SHARD_CASE_BACKENDS)),
             "n_shards": int(rng.integers(2, 6)),
             "assignment": str(rng.choice(("round-robin", "contiguous"))),
             "workers": int(rng.integers(2, 5)),
             "result_cache_size": int(rng.choice((0, 32))),
             "distance_cache": bool(rng.random() < 0.5),
+            "replication_factor": replication,
         }
+        if replication > 1 and rng.random() < 0.5:
+            # Kill one replica row mid-batch (engine fault hook): with a
+            # live sibling per shard the answers must stay exact and
+            # non-degraded — replication fuzzed, not just unit-tested.
+            config["fault_replica"] = int(rng.integers(0, replication))
+        return config
     return {}  # linear, matrix, bkt
 
 

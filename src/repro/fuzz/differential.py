@@ -49,7 +49,7 @@ from repro.indexes.vptree import VPTree
 from repro.metric.base import CountingMetric, Metric
 from repro.obs.stats import QueryStats
 from repro.serve.cache import DistanceCacheMetric
-from repro.serve.engine import Query, QueryEngine
+from repro.serve.engine import Query, QueryEngine, ShardFailure
 from repro.serve.sharding import ShardManager
 from repro.transforms.filter import TransformIndex
 from repro.transforms.fourier import DFTTransform
@@ -152,6 +152,7 @@ def build_case_index(
             n_shards=params.get("n_shards", 2),
             backend=params.get("backend", "vpt"),
             assignment=params.get("assignment", "round-robin"),
+            replication_factor=params.get("replication_factor", 1),
             rng=seed,
         )
     raise ValueError(f"unknown fuzz index {name!r}")
@@ -375,12 +376,25 @@ def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
         else:
             engine_queries.append(Query.knn(q_obj, query.k))
 
+    fault_replica = params.get("fault_replica")
+    fault_hook = None
+    if fault_replica is not None:
+
+        def fault_hook(qi: int, shard: int, attempt: int, replica: int) -> None:
+            # One replica row is dead for the whole batch; the sibling
+            # replicas must keep every answer exact and non-degraded
+            # (the existing engine-degraded check enforces that).
+            if replica == fault_replica:
+                raise ShardFailure(f"fuzz: replica {replica} down")
+
     before = counting.count
     with QueryEngine(
         manager,
         workers=params.get("workers", 2),
         result_cache_size=params.get("result_cache_size", 0),
         distance_cache=cache,
+        fault_hook=fault_hook,
+        sleep=lambda _s: None,
     ) as engine:
         batch = engine.run_batch(engine_queries)
     delta = counting.count - before

@@ -29,13 +29,24 @@ from repro.obs.trace import Observation, TraceSink, make_observation
 
 
 class BKNode:
-    """One element and a dict of children keyed by discrete distance."""
+    """One element and a dict of children keyed by discrete distance.
 
-    __slots__ = ("id", "children")
+    ``dups`` buckets elements at distance exactly 0 from this node's
+    element.  Routing them through a 0-labelled edge instead would grow
+    a one-node-per-duplicate chain (and recurse to its full length on
+    every in-range search); the bucket keeps duplicate-heavy datasets
+    at the same height as their distinct support.  By the triangle
+    inequality a duplicate's distance to any query equals the node
+    element's, so searches answer for the whole bucket with the one
+    distance they already computed.
+    """
+
+    __slots__ = ("id", "children", "dups")
 
     def __init__(self, idx: int):
         self.id = idx
         self.children: dict[float, BKNode] = {}
+        self.dups: list[int] = []
 
 
 class BKTree(MetricIndex):
@@ -67,8 +78,8 @@ class BKTree(MetricIndex):
 
     def _insert_id(self, idx: int) -> None:
         self._size += 1
-        self.node_count += 1
         if self._root is None:
+            self.node_count += 1
             self._root = BKNode(idx)
             return
         node = self._root
@@ -76,9 +87,15 @@ class BKTree(MetricIndex):
         obj = self._objects[idx]
         while True:
             d = self._dist(None, obj, self._objects[node.id])
+            if d == 0:
+                # Exact duplicate of this node's element: bucket it
+                # (see BKNode.dups) instead of chaining 0-edges.
+                node.dups.append(idx)
+                return
             depth += 1
             child = node.children.get(d)
             if child is None:
+                self.node_count += 1
                 node.children[d] = BKNode(idx)
                 self.height = max(self.height, depth)
                 return
@@ -137,6 +154,10 @@ class BKTree(MetricIndex):
         d = self._dist(obs, query, self._objects[node.id])
         if d <= radius:
             out.append(node.id)
+            # Bucketed duplicates sit at distance exactly d(q, node)
+            # (triangle inequality over a 0-distance pair) — in range
+            # together, for free.
+            out.extend(node.dups)
         for edge, child in node.children.items():
             # Every element under this edge is at distance exactly
             # ``edge`` from node's element, so the triangle inequality
@@ -182,6 +203,9 @@ class BKTree(MetricIndex):
                 obs.enter_internal()
             d = self._dist(obs, query, self._objects[node.id])
             consider(float(d), node.id)
+            for dup in node.dups:
+                # Same distance as the node element (see BKNode.dups).
+                consider(float(d), dup)
             for edge, child in node.children.items():
                 bound = max(lower_bound, abs(d - edge))
                 if not definitely_greater(bound, threshold()):

@@ -133,6 +133,13 @@ class GHTree(MetricIndex):
         d_p1 = np.asarray(
             self._batch_dist(None, gather(self._objects, rest), self._objects[p1_id])
         )
+        if d_p1.size and float(d_p1.max()) == 0.0:
+            # Zero-diameter group (by the triangle inequality): every
+            # split puts the whole group on p1's side and removes only
+            # two pivots per level, recursing ~n/2 deep.  Fall back to
+            # an (oversized) leaf.
+            self.leaf_count += 1
+            return GHLeafNode(list(ids))
         if self.pivots == "farthest":
             p2_pos = int(np.argmax(d_p1))
         else:

@@ -191,6 +191,14 @@ class GNAT(MetricIndex):
             dist = np.empty((actual_degree, 0))
             assignment = np.empty(0, dtype=int)
 
+        if rest and float(dist.max()) == 0.0:
+            # Zero-diameter group (by the triangle inequality): argmin
+            # sends every point to split 0 and the quadratic degree
+            # growth turns the tree into a degenerate chain.  Fall back
+            # to an (oversized) leaf.
+            self.leaf_count += 1
+            return GNATLeafNode(list(ids))
+
         # Pairwise split-point distances seed the range table so that
         # ranges[i][j] covers split_j itself.
         split_objects = gather(self._objects, split_ids)

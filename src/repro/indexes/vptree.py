@@ -170,6 +170,14 @@ class VPTree(MetricIndex):
         distances = np.asarray(
             self._batch_dist(None, gather(self._objects, rest), self._objects[vp_id])
         )
+        if distances.size and float(distances.max()) == 0.0:
+            # Zero-diameter group (all points identical under the
+            # metric, by the triangle inequality): no shell can ever
+            # separate them, so recursing just peels one vantage point
+            # per level.  Fall back to an (oversized) leaf.
+            self.node_count += 1
+            self.leaf_count += 1
+            return VPLeafNode(list(ids))
         order = np.argsort(distances, kind="stable")
         groups = np.array_split(order, self.m)
 

@@ -140,6 +140,18 @@ class QueryStats:
         ``CountingMetric`` only sees the miss, so under a distance
         cache ``distance_calls == CountingMetric delta +
         distance_cache_hits`` (tested by the serve suite).
+    retries, backoff_total_s:
+        Re-submission rounds the serving engine ran for this query's
+        units after failures, and the total backoff delay (capped
+        exponential with deterministic jitter) spent before them.
+    failovers:
+        Units the engine completed on a non-preferred replica after the
+        preferred one failed or was breaker-rejected — the answer is
+        still exact, the counter records that redundancy paid for it.
+    breaker_rejections:
+        Replica attempts skipped because the replica's circuit breaker
+        was open (see :mod:`repro.resilience.breaker`); both stay zero
+        outside the serving engine.
     """
 
     distance_calls: int = 0
@@ -153,6 +165,10 @@ class QueryStats:
     result_cache_misses: int = 0
     distance_cache_hits: int = 0
     distance_cache_misses: int = 0
+    retries: int = 0
+    backoff_total_s: float = 0.0
+    failovers: int = 0
+    breaker_rejections: int = 0
     prunes: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -177,6 +193,10 @@ class QueryStats:
         self.result_cache_misses = 0
         self.distance_cache_hits = 0
         self.distance_cache_misses = 0
+        self.retries = 0
+        self.backoff_total_s = 0.0
+        self.failovers = 0
+        self.breaker_rejections = 0
         self.prunes = {}
         return self
 
@@ -193,6 +213,10 @@ class QueryStats:
         self.result_cache_misses += other.result_cache_misses
         self.distance_cache_hits += other.distance_cache_hits
         self.distance_cache_misses += other.distance_cache_misses
+        self.retries += other.retries
+        self.backoff_total_s += other.backoff_total_s
+        self.failovers += other.failovers
+        self.breaker_rejections += other.breaker_rejections
         for kind, count in other.prunes.items():
             self.prunes[kind] = self.prunes.get(kind, 0) + count
         return self
@@ -211,6 +235,10 @@ class QueryStats:
             "result_cache_misses": self.result_cache_misses,
             "distance_cache_hits": self.distance_cache_hits,
             "distance_cache_misses": self.distance_cache_misses,
+            "retries": self.retries,
+            "backoff_total_s": self.backoff_total_s,
+            "failovers": self.failovers,
+            "breaker_rejections": self.breaker_rejections,
             "prunes": dict(self.prunes),
         }
 

@@ -32,7 +32,7 @@ from repro.indexes.linear import LinearScan
 from repro.indexes.selection import get_selector
 from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
 from repro.metric.base import Metric
-from repro.serve.sharding import ShardManager
+from repro.serve.sharding import SHARD_BACKENDS, ShardManager
 
 _FORMAT_VERSION = 1
 
@@ -237,6 +237,7 @@ def _encode_bk_node(node: Optional[BKNode]) -> Optional[dict]:
         return None
     return {
         "id": node.id,
+        "dups": list(node.dups),
         "children": [
             {"edge": edge, "node": _encode_bk_node(child)}
             for edge, child in node.children.items()
@@ -249,6 +250,7 @@ def _decode_bk_node(data: Optional[dict]) -> Optional[BKNode]:
     if data is None:
         return None
     node = BKNode(data["id"])
+    node.dups = [int(i) for i in data.get("dups", [])]
     node.children = {
         entry["edge"]: _decode_bk_node(entry["node"]) for entry in data["children"]
     }
@@ -267,9 +269,11 @@ def index_to_dict(index: MetricIndex) -> dict:
     indexes, and shards are plain indexes, never nested managers.
     """
     if isinstance(index, ShardManager):
-        # A sharded deployment: the shard assignment plus every shard's
-        # own serialised structure (recursion depth 1 — shards are
-        # plain indexes, never nested managers).
+        # A sharded deployment: the shard assignment plus every
+        # replica's own serialised structure (recursion depth 1 —
+        # shards are plain indexes, never nested managers).  Lost
+        # replicas serialise as None and stay lost on load; recover()
+        # rebuilds them from the dataset.
         return {
             "format": _FORMAT_VERSION,
             "type": "ShardManager",
@@ -278,12 +282,16 @@ def index_to_dict(index: MetricIndex) -> dict:
                 "n_shards": index.n_shards,
                 "assignment": index.assignment,
                 "backend": index.backend_name,
+                "replication_factor": index.replication_factor,
             },
             "stats": {},
             "shard_ids": [list(ids) for ids in index.shard_ids],
-            "shards": [
-                index_to_dict(shard) if shard is not None else None
-                for shard in index.shards
+            "replicas": [
+                [
+                    index_to_dict(shard) if shard is not None else None
+                    for shard in row
+                ]
+                for row in index.replicas
             ],
         }
     if isinstance(index, VPTree):
@@ -465,12 +473,26 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
         manager.n_shards = params["n_shards"]
         manager.assignment = params["assignment"]
         manager.backend_name = params["backend"]
-        manager._shard_ids = [list(ids) for ids in data["shard_ids"]]
-        manager._shards = [
-            index_from_dict(shard, gather(objects, ids), metric)
-            if shard is not None
+        manager.replication_factor = params.get("replication_factor", 1)
+        # Custom-builder managers serialise backend=None; they restore
+        # fine but cannot recover() lost replicas.
+        manager._builder = (
+            SHARD_BACKENDS.get(manager.backend_name)
+            if manager.backend_name is not None
             else None
-            for shard, ids in zip(data["shards"], manager._shard_ids)
+        )
+        manager._shard_ids = [list(ids) for ids in data["shard_ids"]]
+        # Pre-replication files carry a flat "shards" list — load it as
+        # the sole replica row.
+        rows = data["replicas"] if "replicas" in data else [data["shards"]]
+        manager._replicas = [
+            [
+                index_from_dict(shard, gather(objects, ids), metric)
+                if shard is not None
+                else None
+                for shard, ids in zip(row, manager._shard_ids)
+            ]
+            for row in rows
         ]
         return manager
 

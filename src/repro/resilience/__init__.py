@@ -1,0 +1,83 @@
+"""Fault tolerance for the serving stack (see :doc:`docs/resilience`).
+
+Four pieces, layered on :mod:`repro.serve`:
+
+- :mod:`repro.resilience.breaker` — per-replica circuit breakers
+  (closed / open / half-open, injectable cooldown clock).
+- :mod:`repro.resilience.backoff` — capped exponential retry backoff
+  with deterministic (seeded, hash-derived) jitter.
+- :mod:`repro.resilience.snapshot` — crash-safe, checksummed index
+  snapshots (atomic rename, :class:`SnapshotCorrupt` on any mismatch).
+- :mod:`repro.resilience.chaos` — deterministic chaos campaigns
+  asserting the exactness oracle under injected faults
+  (CLI: ``repro-chaos``).
+
+Submodules are imported lazily: :mod:`repro.serve.engine` pulls the
+breaker/backoff primitives from here while the snapshot layer imports
+:mod:`repro.persist` (which imports :mod:`repro.serve`), so an eager
+``__init__`` would create an import cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "CircuitBreaker": "repro.resilience.breaker",
+    "CLOSED": "repro.resilience.breaker",
+    "OPEN": "repro.resilience.breaker",
+    "HALF_OPEN": "repro.resilience.breaker",
+    "verify_transitions": "repro.resilience.breaker",
+    "BackoffPolicy": "repro.resilience.backoff",
+    "SnapshotCorrupt": "repro.resilience.snapshot",
+    "save_snapshot": "repro.resilience.snapshot",
+    "load_snapshot": "repro.resilience.snapshot",
+    "snapshot_bytes": "repro.resilience.snapshot",
+    "read_snapshot_header": "repro.resilience.snapshot",
+    "ChaosCase": "repro.resilience.chaos",
+    "FaultPlan": "repro.resilience.chaos",
+    "generate_chaos_case": "repro.resilience.chaos",
+    "run_case": "repro.resilience.chaos",
+    "run_campaign": "repro.resilience.chaos",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-time imports only
+    from repro.resilience.backoff import BackoffPolicy
+    from repro.resilience.breaker import (
+        CLOSED,
+        HALF_OPEN,
+        OPEN,
+        CircuitBreaker,
+        verify_transitions,
+    )
+    from repro.resilience.chaos import (
+        ChaosCase,
+        FaultPlan,
+        generate_chaos_case,
+        run_campaign,
+        run_case,
+    )
+    from repro.resilience.snapshot import (
+        SnapshotCorrupt,
+        load_snapshot,
+        read_snapshot_header,
+        save_snapshot,
+        snapshot_bytes,
+    )
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

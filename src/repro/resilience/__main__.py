@@ -1,0 +1,8 @@
+"""``python -m repro.resilience`` == the ``repro-chaos`` CLI."""
+
+import sys
+
+from repro.resilience.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Capped exponential retry backoff with deterministic jitter.
+
+The serving engine used to retry a failed unit immediately; under a
+correlated fault (a slow shard, a flapping replica) that just hammers
+the sick replica harder.  :class:`BackoffPolicy` spaces retry rounds by
+``base * factor**attempt`` capped at ``cap``, then applies *half
+jitter*: the delay is drawn uniformly from ``[ceiling/2, ceiling)`` so
+concurrent units don't retry in lockstep.
+
+The jitter is **deterministic**: the uniform fraction is derived from a
+SHA-256 digest of ``(seed, token, attempt)``, not from a global RNG or
+the wall clock, so a chaos campaign replays the exact same schedule
+from its seed and the fuzz determinism rules (no ambient entropy) hold.
+The engine passes ``token="{query_index}:{shard}"`` so different units
+de-correlate while each unit's schedule stays reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class BackoffPolicy:
+    """Deterministic capped-exponential backoff schedule.
+
+    Parameters
+    ----------
+    base:
+        Delay ceiling for the first retry (seconds).
+    factor:
+        Multiplier per further attempt.
+    cap:
+        Upper bound on the un-jittered ceiling (seconds).
+    seed:
+        Jitter seed; two policies with the same ``(seed, token,
+        attempt)`` produce the same delay.
+
+    >>> policy = BackoffPolicy(base=0.1, factor=2.0, cap=1.0, seed=0)
+    >>> policy.delay(0, token="q") == policy.delay(0, token="q")
+    True
+    >>> 0.05 <= policy.delay(0, token="q") < 0.1
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.002,
+        factor: float = 2.0,
+        cap: float = 0.05,
+        seed: int = 0,
+    ):
+        if base <= 0:
+            raise ValueError(f"base must be > 0, got {base}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if cap < base:
+            raise ValueError(f"cap must be >= base, got cap={cap} base={base}")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.seed = seed
+
+    def ceiling(self, attempt: int) -> float:
+        """Un-jittered delay bound for retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.cap, self.base * self.factor**attempt)
+
+    def fraction(self, attempt: int, token: str = "") -> float:
+        """Deterministic uniform-[0, 1) draw for ``(seed, token, attempt)``."""
+        material = f"{self.seed}\x1f{token}\x1f{attempt}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Jittered delay in ``[ceiling/2, ceiling)`` for retry ``attempt``."""
+        ceiling = self.ceiling(attempt)
+        return ceiling * (0.5 + 0.5 * self.fraction(attempt, token))

@@ -1,0 +1,246 @@
+"""Per-replica circuit breakers (closed / open / half-open).
+
+The serving engine keeps one :class:`CircuitBreaker` per ``(shard,
+replica)`` pair.  Every unit outcome is recorded; when the failure rate
+over a sliding outcome window crosses ``failure_threshold`` the breaker
+*opens* and the engine stops routing units to that replica — failing
+over to a healthy sibling instead of burning a retry round on a replica
+that is known to be sick.  After ``cooldown`` seconds (measured on an
+*injectable* clock, so tests and chaos campaigns are deterministic) the
+breaker admits a bounded number of *half-open* probes; one success
+closes it again, one failure re-opens it and restarts the cooldown.
+
+State machine (the only legal transitions — ``repro-check invariants``
+verifies them against each breaker's recorded history)::
+
+            failure rate >= threshold
+    CLOSED ---------------------------> OPEN
+      ^                                  |
+      | probe succeeds                   | cooldown elapsed
+      |                                  v
+      +------------------------------ HALF-OPEN
+                probe fails: HALF-OPEN -> OPEN
+
+All methods are thread-safe; the engine's worker pool records outcomes
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+#: Breaker states (string-valued so transition histories serialise).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: ``(from_state, to_state, reason)`` edges the state machine allows.
+LEGAL_TRANSITIONS = frozenset(
+    {
+        (CLOSED, OPEN, "failure-rate"),
+        (OPEN, HALF_OPEN, "cooldown-elapsed"),
+        (HALF_OPEN, CLOSED, "probe-succeeded"),
+        (HALF_OPEN, OPEN, "probe-failed"),
+    }
+)
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with an injectable cooldown clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Open when ``failures / outcomes`` in the sliding window reaches
+        this rate (and at least ``min_samples`` outcomes were seen).
+    window:
+        Sliding window length, in recorded outcomes.
+    min_samples:
+        Outcomes required before the rate is trusted — keeps a single
+        early failure from opening a cold breaker.
+    cooldown:
+        Seconds the breaker stays open before admitting half-open
+        probes.
+    half_open_probes:
+        Concurrent probe budget while half-open; further calls are
+        rejected until a probe reports back.
+    clock:
+        Monotonic-seconds callable.  Defaults to ``time.monotonic``;
+        chaos campaigns and tests inject a fake clock so cooldown
+        expiry is deterministic.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: float = 0.8,
+        window: int = 8,
+        min_samples: int = 4,
+        cooldown: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+
+        self.state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        #: Full transition history as ``(from, to, reason)`` triples —
+        #: the raw material for the breaker state-machine invariant.
+        self.transitions: list[tuple[str, str, str]] = []
+        self.rejections = 0
+        self.opens = 0
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, to_state: str, reason: str) -> None:
+        self.transitions.append((self.state, to_state, reason))
+        self.state = to_state
+
+    def _open(self, reason: str) -> None:
+        self._transition(OPEN, reason)
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self.opens += 1
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure rate over the current window (0.0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a unit be routed to this replica right now?
+
+        Closed: always.  Open: only once the cooldown elapsed (the call
+        itself performs the open → half-open transition).  Half-open:
+        while the probe budget lasts.  Returns ``False`` — and counts a
+        rejection — otherwise.
+        """
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN:
+                opened_at = self._opened_at if self._opened_at is not None else 0.0
+                if self._clock() - opened_at < self.cooldown:
+                    self.rejections += 1
+                    return False
+                self._transition(HALF_OPEN, "cooldown-elapsed")
+                self._probes_in_flight = 0
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """A unit completed on this replica."""
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._transition(CLOSED, "probe-succeeded")
+                self._outcomes.clear()
+                self._probes_in_flight = 0
+                return
+            if self.state == OPEN:
+                # A straggler that started before the breaker opened;
+                # success while open carries no routing information.
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """A unit failed on this replica."""
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._open("probe-failed")
+                self._probes_in_flight = 0
+                return
+            if self.state == OPEN:
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) < self.min_samples:
+                return
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.failure_threshold:
+                self._open("failure-rate")
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view (state, counters, history)."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "failure_rate": (
+                    sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+                    if self._outcomes
+                    else 0.0
+                ),
+                "opens": self.opens,
+                "rejections": self.rejections,
+                "transitions": [list(t) for t in self.transitions],
+            }
+
+
+def verify_transitions(
+    transitions: list[tuple[str, str, str]], final_state: str
+) -> list[str]:
+    """Check a breaker's recorded history against the state machine.
+
+    Returns human-readable problem strings (empty when the history is
+    legal): every edge must be in :data:`LEGAL_TRANSITIONS`, edges must
+    chain (each ``from`` equals the previous ``to``, starting from
+    ``closed``), and ``final_state`` must match the last edge's target.
+    Used by the ``repro-check`` breaker invariant.
+    """
+    problems: list[str] = []
+    current = CLOSED
+    for i, (src, dst, reason) in enumerate(transitions):
+        if src != current:
+            problems.append(
+                f"transition {i} leaves {src!r} but the machine was in "
+                f"{current!r}"
+            )
+        if (src, dst, reason) not in LEGAL_TRANSITIONS:
+            problems.append(
+                f"transition {i} ({src!r} -> {dst!r}, {reason!r}) is not a "
+                "legal breaker edge"
+            )
+        current = dst
+    if final_state not in STATES:
+        problems.append(f"final state {final_state!r} is not a breaker state")
+    elif final_state != current:
+        problems.append(
+            f"final state {final_state!r} does not match the history's "
+            f"last target {current!r}"
+        )
+    return problems

@@ -1,0 +1,507 @@
+"""Deterministic chaos campaigns against the serving stack.
+
+A chaos *case* is a small replicated serving deployment plus one
+:class:`FaultPlan` — a scripted failure injected through the engine's
+``fault_hook`` seam (or, for snapshot faults, through the persistence
+layer).  The harness then holds the stack to the same oracle the fuzzer
+uses (:mod:`repro.fuzz.differential`): a direct ``batch_distance``
+scan.  The contract under fault is two-sided:
+
+* while at least one replica of every shard stays reachable, answers
+  must be **exact** and ``degraded=False`` — failover is not allowed to
+  cost correctness;
+* when a whole shard is unreachable (every replica failing, or a
+  deadline storm), answers must be flagged ``degraded=True`` and be
+  **sound** — a subset of the true answer with true distances, never a
+  wrong id or a wrong distance.
+
+Everything is derived from ``default_rng([seed, case_index])`` plus a
+deterministic (kind, backend) rotation, so ``repro-chaos run --seed 0``
+reproduces the same campaign forever.  Injected backoff sleeps go
+through a no-op ``sleep`` so campaigns stay fast; only the latency
+faults (``slow-shard``, ``deadline-storm``) sleep for real.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.fuzz.cases import ConcreteQuery, make_metric
+from repro.fuzz.differential import (
+    Discrepancy,
+    compare_knn,
+    compare_range,
+    oracle_distances,
+    oracle_knn,
+    oracle_range,
+)
+from repro.resilience.snapshot import (
+    SnapshotCorrupt,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.serve.engine import Query, QueryEngine, ShardFailure
+from repro.serve.sharding import SHARD_BACKENDS, ShardManager
+
+#: Fault kinds, in rotation order.  The first group must stay exact
+#: (a live sibling replica always exists); the second may degrade but
+#: must stay sound; ``corrupt-snapshot`` exercises the persistence
+#: layer's refusal-and-recovery path instead of the query path.
+EXACT_KINDS = ("kill-replica", "flapping-replica", "slow-shard")
+DEGRADED_KINDS = ("shard-error", "deadline-storm")
+CHAOS_KINDS = EXACT_KINDS + DEGRADED_KINDS + ("corrupt-snapshot",)
+
+#: Backends rotate in registry order (dicts preserve insertion order).
+CHAOS_BACKENDS = tuple(SHARD_BACKENDS)
+
+#: Deadline-storm timing: the injected latency must dwarf the deadline
+#: so the faulted shard reliably misses it on any machine.
+_STORM_DELAY_S = 0.25
+_STORM_DEADLINE_S = 0.02
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scripted fault: what fails, where, and how hard.
+
+    ``replica`` targets replica faults, ``shard`` targets shard-scoped
+    faults, ``delay_s`` is the injected latency of the slow kinds, and
+    the ``corrupt_*`` fields pick the byte flipped in snapshot faults.
+    """
+
+    kind: str
+    replica: int = 0
+    shard: int = 0
+    delay_s: float = 0.0
+    corrupt_offset: int = 0
+    corrupt_mask: int = 1
+
+
+@dataclass
+class ChaosCase:
+    """A fully explicit chaos workload (dataset, deployment, plan)."""
+
+    name: str
+    object_kind: str               # "vectors" | "strings"
+    objects: list
+    metric: str                    # "l1" | "l2" | "linf" | "edit"
+    backend: str                   # SHARD_BACKENDS key
+    n_shards: int
+    replication_factor: int
+    workers: int
+    index_seed: int
+    queries: list
+    plan: FaultPlan
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def _chaos_strings(rng: np.random.Generator, n: int) -> list[str]:
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(3, 9))
+        out.append(
+            "".join(letters[int(c)] for c in rng.integers(0, 26, size=length))
+        )
+    return out
+
+
+def _chaos_queries(
+    rng: np.random.Generator,
+    object_kind: str,
+    objects: list,
+    metric_name: str,
+) -> list[ConcreteQuery]:
+    """3-5 mixed queries, radii anchored on true data distances."""
+    metric = make_metric(metric_name)
+    queries: list[ConcreteQuery] = []
+    n = len(objects)
+    for _ in range(int(rng.integers(3, 6))):
+        member = objects[int(rng.integers(0, n))]
+        if object_kind == "vectors":
+            query = (
+                np.asarray(member, dtype=float)
+                + 0.05 * rng.standard_normal(len(member))
+            ).tolist()
+        else:
+            query = member
+        if rng.random() < 0.5:
+            anchor_obj = objects[int(rng.integers(0, n))]
+            if object_kind == "vectors":
+                anchor_obj = np.asarray(anchor_obj, dtype=float)
+                probe = np.asarray(query, dtype=float)
+            else:
+                probe = query
+            # repro-check: ignore[RC001] workload generation, not search
+            anchor = float(metric.distance(probe, anchor_obj))
+            radius = anchor if rng.random() < 0.5 else anchor * float(
+                rng.uniform(0.5, 1.5)
+            )
+            queries.append(ConcreteQuery("range", query, radius=radius))
+        else:
+            queries.append(
+                ConcreteQuery("knn", query, k=int(rng.integers(1, min(n, 8) + 1)))
+            )
+    return queries
+
+
+def generate_chaos_case(seed: int, case_index: int) -> ChaosCase:
+    """Case ``case_index`` of the ``seed`` campaign, deterministically.
+
+    The fault kind and shard backend rotate so any campaign of
+    ``len(CHAOS_KINDS) * len(CHAOS_BACKENDS)`` cases covers every
+    combination; everything else flows from ``[seed, case_index]``.
+    """
+    rng = np.random.default_rng([seed, case_index])
+    kind = CHAOS_KINDS[case_index % len(CHAOS_KINDS)]
+    backend = CHAOS_BACKENDS[
+        (case_index // len(CHAOS_KINDS)) % len(CHAOS_BACKENDS)
+    ]
+
+    n = int(rng.integers(16, 48))
+    n_shards = int(rng.integers(2, 5))
+    if kind in ("kill-replica", "flapping-replica"):
+        replication = int(rng.integers(2, 4))
+    else:
+        replication = int(rng.integers(1, 3))
+
+    if backend == "bkt":
+        object_kind, metric_name = "strings", "edit"
+        objects: list = _chaos_strings(rng, n)
+    else:
+        object_kind, metric_name = "vectors", str(
+            rng.choice(("l1", "l2", "linf"))
+        )
+        dim = int(rng.integers(2, 10))
+        objects = rng.random((n, dim)).tolist()
+
+    queries = _chaos_queries(rng, object_kind, objects, metric_name)
+
+    plan = FaultPlan(
+        kind=kind,
+        # Half the kill-replica plans hit replica 0 — the engine's first
+        # failover candidate — so the failover path itself is exercised.
+        replica=0 if rng.random() < 0.5 else int(rng.integers(0, replication)),
+        shard=int(rng.integers(0, n_shards)),
+        delay_s=(
+            _STORM_DELAY_S
+            if kind == "deadline-storm"
+            else float(rng.uniform(0.005, 0.02))
+        ),
+        corrupt_offset=int(rng.integers(0, 1 << 20)),
+        corrupt_mask=int(rng.integers(1, 256)),
+    )
+
+    return ChaosCase(
+        name=f"chaos-seed{seed}-case{case_index:04d}-{kind}-{backend}",
+        object_kind=object_kind,
+        objects=objects,
+        metric=metric_name,
+        backend=backend,
+        n_shards=n_shards,
+        replication_factor=replication,
+        workers=int(rng.integers(2, 5)),
+        index_seed=int(rng.integers(0, 2**31 - 1)),
+        queries=queries,
+        plan=plan,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _materialize(case: ChaosCase):
+    if case.object_kind == "vectors":
+        return np.asarray(case.objects, dtype=float)
+    return list(case.objects)
+
+
+def _query_object(case: ChaosCase, query: ConcreteQuery):
+    if case.object_kind == "vectors":
+        return np.asarray(query.query, dtype=float)
+    return query.query
+
+
+def _fault_hook(plan: FaultPlan) -> Optional[Callable]:
+    """The engine fault hook realising one plan (None for snapshot)."""
+    kind = plan.kind
+    if kind == "kill-replica":
+
+        def hook(qi: int, shard: int, attempt: int, replica: int) -> None:
+            if replica == plan.replica:
+                raise ShardFailure(f"chaos: replica {replica} down")
+
+        return hook
+    if kind == "flapping-replica":
+
+        def hook(qi: int, shard: int, attempt: int, replica: int) -> None:
+            if replica == plan.replica and (qi + attempt) % 2 == 0:
+                raise ShardFailure(f"chaos: replica {replica} flapping")
+
+        return hook
+    if kind == "shard-error":
+
+        def hook(qi: int, shard: int, attempt: int, replica: int) -> None:
+            if shard == plan.shard:
+                raise ShardFailure(f"chaos: shard {shard} erroring")
+
+        return hook
+    if kind in ("slow-shard", "deadline-storm"):
+
+        def hook(qi: int, shard: int, attempt: int, replica: int) -> None:
+            if shard == plan.shard:
+                time.sleep(plan.delay_s)
+
+        return hook
+    return None
+
+
+def _soundness(
+    case: ChaosCase,
+    qi: int,
+    query: ConcreteQuery,
+    result,
+    distances: np.ndarray,
+) -> list[Discrepancy]:
+    """A degraded answer may be partial, but never *wrong*."""
+    out: list[Discrepancy] = []
+    if query.kind == "range":
+        want = set(oracle_range(distances, query.radius, set()))
+        wrong = [i for i in result.ids if i not in want]
+        if wrong:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "degraded-unsound",
+                    qi,
+                    f"degraded range answer contains out-of-range ids {wrong}",
+                )
+            )
+    else:
+        previous = -np.inf
+        for neighbor in result.neighbors:
+            true = float(distances[neighbor.id])
+            if not np.isclose(neighbor.distance, true, rtol=1e-9, atol=1e-12):
+                out.append(
+                    Discrepancy(
+                        case.name,
+                        "degraded-unsound",
+                        qi,
+                        f"degraded knn reports id {neighbor.id} at "
+                        f"{neighbor.distance!r}, true distance {true!r}",
+                    )
+                )
+                break
+            if neighbor.distance < previous:
+                out.append(
+                    Discrepancy(
+                        case.name,
+                        "degraded-unsound",
+                        qi,
+                        "degraded knn distances are not ascending",
+                    )
+                )
+                break
+            previous = neighbor.distance
+        if len(result.neighbors) > query.k:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "degraded-unsound",
+                    qi,
+                    f"degraded knn returned {len(result.neighbors)} > k={query.k}",
+                )
+            )
+    return out
+
+
+def _check_snapshot_fault(case: ChaosCase) -> list[Discrepancy]:
+    """Corrupt-snapshot plan: refusal on torn bytes, then recovery."""
+    out: list[Discrepancy] = []
+    plan = case.plan
+    objects = _materialize(case)
+    manager = ShardManager(
+        objects,
+        make_metric(case.metric),
+        n_shards=case.n_shards,
+        backend=case.backend,
+        replication_factor=case.replication_factor,
+        rng=case.index_seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        path = Path(tmp) / "deployment.snap"
+        save_snapshot(manager, path)
+        blob = bytearray(path.read_bytes())
+        blob[plan.corrupt_offset % len(blob)] ^= plan.corrupt_mask
+        path.write_bytes(bytes(blob))
+        refused = 0
+        try:
+            load_snapshot(path, objects, make_metric(case.metric))
+        except SnapshotCorrupt:
+            refused += 1
+        if not refused:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "snapshot-corruption",
+                    None,
+                    f"bit-flip at offset {plan.corrupt_offset % len(blob)} "
+                    "loaded without SnapshotCorrupt",
+                )
+            )
+        # The intact snapshot must restore a deployment that survives a
+        # replica loss + recover() and still answers exactly.
+        save_snapshot(manager, path)
+        restored = load_snapshot(path, objects, make_metric(case.metric))
+        restored.drop_replica(plan.shard % case.n_shards, 0)
+        restored.recover(rng=case.index_seed + 1)
+        out.extend(_check_batch(case, restored, objects, fault_hook=None))
+    return out
+
+
+def _check_batch(
+    case: ChaosCase,
+    manager: ShardManager,
+    objects,
+    *,
+    fault_hook: Optional[Callable],
+) -> list[Discrepancy]:
+    """Run the case's batch under fault and hold it to the oracle."""
+    out: list[Discrepancy] = []
+    plan = case.plan
+    oracle_metric = make_metric(case.metric)
+    allow_degraded = plan.kind in DEGRADED_KINDS
+
+    engine_queries = []
+    for query in case.queries:
+        q_obj = _query_object(case, query)
+        if query.kind == "range":
+            engine_queries.append(Query.range(q_obj, query.radius))
+        else:
+            engine_queries.append(Query.knn(q_obj, query.k))
+
+    with QueryEngine(
+        manager,
+        workers=case.workers,
+        fault_hook=fault_hook,
+        sleep=lambda _s: None,  # backoff schedules recorded, not waited
+        timeout=_STORM_DEADLINE_S if plan.kind == "deadline-storm" else None,
+    ) as engine:
+        batch = engine.run_batch(engine_queries)
+
+    for qi, (query, result) in enumerate(zip(case.queries, batch.results)):
+        q_obj = _query_object(case, query)
+        distances = oracle_distances(objects, oracle_metric, q_obj)
+        if result.degraded:
+            if not allow_degraded:
+                out.append(
+                    Discrepancy(
+                        case.name,
+                        "unexpected-degradation",
+                        qi,
+                        f"{plan.kind} with a live sibling replica degraded: "
+                        f"failed={result.shards_failed} "
+                        f"timed_out={result.shards_timed_out}",
+                    )
+                )
+            out.extend(_soundness(case, qi, query, result, distances))
+            continue
+        if query.kind == "range":
+            want = oracle_range(distances, query.radius, set())
+            diff = compare_range(result.ids, want)
+            check = "range-differential"
+        else:
+            want_knn = oracle_knn(distances, min(query.k, len(objects)), set())
+            diff = compare_knn(result.neighbors, want_knn)
+            check = "knn-differential"
+        if diff:
+            out.append(Discrepancy(case.name, check, qi, f"{plan.kind}: {diff}"))
+
+    if (
+        plan.kind == "kill-replica"
+        and plan.replica == 0
+        and batch.stats.failovers == 0
+    ):
+        out.append(
+            Discrepancy(
+                case.name,
+                "no-failover",
+                None,
+                "replica 0 was killed but the engine recorded no failovers",
+            )
+        )
+    return out
+
+
+def run_case(case: ChaosCase) -> list[Discrepancy]:
+    """Execute one chaos case; returns the (hopefully empty) findings."""
+    if case.plan.kind == "corrupt-snapshot":
+        return _check_snapshot_fault(case)
+    objects = _materialize(case)
+    manager = ShardManager(
+        objects,
+        make_metric(case.metric),
+        n_shards=case.n_shards,
+        backend=case.backend,
+        replication_factor=case.replication_factor,
+        rng=case.index_seed,
+    )
+    return _check_batch(case, manager, objects, fault_hook=_fault_hook(case.plan))
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one seeded chaos campaign."""
+
+    seed: int
+    n_cases: int
+    findings: list = field(default_factory=list)
+    kinds_run: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_cases": self.n_cases,
+            "ok": self.ok,
+            "kinds_run": dict(self.kinds_run),
+            "findings": [f.__dict__ for f in self.findings],
+        }
+
+
+def run_campaign(
+    seed: int,
+    n_cases: int,
+    *,
+    progress: Optional[Callable[[ChaosCase, list], None]] = None,
+) -> CampaignResult:
+    """Run ``n_cases`` chaos cases for ``seed``; collect all findings."""
+    result = CampaignResult(seed=seed, n_cases=n_cases)
+    for case_index in range(n_cases):
+        case = generate_chaos_case(seed, case_index)
+        findings = run_case(case)
+        result.kinds_run[case.plan.kind] = (
+            result.kinds_run.get(case.plan.kind, 0) + 1
+        )
+        result.findings.extend(findings)
+        if progress is not None:
+            progress(case, findings)
+    return result

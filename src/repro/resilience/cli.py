@@ -1,0 +1,95 @@
+"""Command-line front end: ``repro-chaos run|show``.
+
+Exit codes follow the repro CLI convention: 0 = clean campaign, 1 =
+findings, 2 = usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.resilience.chaos import (
+    CHAOS_KINDS,
+    generate_chaos_case,
+    run_campaign,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description=(
+            "Deterministic chaos campaigns against the replicated "
+            "serving stack (failover exactness, degradation soundness, "
+            "snapshot corruption refusal)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a seeded chaos campaign")
+    run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    run.add_argument(
+        "--cases", type=int, default=60, help="number of cases to run"
+    )
+    run.add_argument("--json", action="store_true", dest="as_json")
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress"
+    )
+
+    show = sub.add_parser(
+        "show", help="print one generated case (dataset elided) as JSON"
+    )
+    show.add_argument("--seed", type=int, default=0)
+    show.add_argument("--case", type=int, default=0, help="case index")
+    return parser
+
+
+def run_command(
+    seed: int, cases: int, as_json: bool = False, quiet: bool = False
+) -> int:
+    def progress(case, findings) -> None:
+        if quiet or as_json:
+            return
+        status = "ok" if not findings else f"{len(findings)} finding(s)"
+        print(f"{case.name}: {status}")
+
+    result = run_campaign(seed, cases, progress=progress)
+    if as_json:
+        json.dump(result.to_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        kinds = ", ".join(
+            f"{kind}={result.kinds_run.get(kind, 0)}" for kind in CHAOS_KINDS
+        )
+        print(
+            f"chaos: {len(result.findings)} finding(s) across "
+            f"{result.n_cases} case(s) [{kinds}]"
+        )
+    return 0 if result.ok else 1
+
+
+def show_command(seed: int, case_index: int) -> int:
+    case = generate_chaos_case(seed, case_index)
+    payload = case.to_dict()
+    payload["objects"] = f"<{len(case.objects)} {case.object_kind}>"
+    json.dump(payload, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return run_command(
+            args.seed, args.cases, as_json=args.as_json, quiet=args.quiet
+        )
+    return show_command(args.seed, args.case)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Crash-safe index snapshots (atomic write, checksummed load).
+
+A snapshot file is one header line of JSON followed by the payload::
+
+    {"magic": "repro-snapshot", "version": 1, "algo": "sha256",
+     "digest": "<hex sha-256 of the payload>", "payload_bytes": N}\\n
+    <payload: canonical JSON of repro.persist.index_to_dict(index)>
+
+:func:`save_snapshot` is atomic against crashes: the bytes go to a
+temporary file *in the same directory*, are flushed and ``fsync``-ed,
+and only then ``os.replace``-d over the destination (a single atomic
+rename on POSIX), after which the directory entry is ``fsync``-ed too.
+A crash at any point leaves either the old complete snapshot or the new
+complete snapshot — never a torn file under the final name.
+
+:func:`load_snapshot` refuses to guess: any mismatch — missing or
+malformed header, wrong magic, unsupported version, payload length or
+SHA-256 digest mismatch, undecodable payload — raises
+:class:`SnapshotCorrupt` with the reason, so a torn or bit-flipped file
+can never be loaded silently.  Recovery is the caller's move:
+:meth:`repro.serve.sharding.ShardManager.recover` rebuilds exactly the
+replicas that were lost or refused to load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.indexes.base import MetricIndex
+from repro.metric.base import Metric
+from repro.persist.serialize import index_from_dict, index_to_dict
+
+SNAPSHOT_MAGIC = "repro-snapshot"
+SNAPSHOT_VERSION = 1
+_ALGO = "sha256"
+
+
+class SnapshotCorrupt(RuntimeError):
+    """A snapshot file failed validation and must not be trusted.
+
+    ``reason`` is a short machine-checkable tag (``no-header``,
+    ``bad-header-json``, ``bad-magic``, ``bad-version``, ``bad-length``,
+    ``bad-digest``, ``bad-payload``); the message carries the details.
+    """
+
+    def __init__(self, reason: str, detail: str):
+        super().__init__(f"snapshot corrupt ({reason}): {detail}")
+        self.reason = reason
+
+
+def _payload_bytes(index: MetricIndex) -> bytes:
+    data = index_to_dict(index)
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _header_bytes(payload: bytes) -> bytes:
+    header = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "algo": _ALGO,
+        "digest": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+    }
+    return json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def snapshot_bytes(index: MetricIndex) -> bytes:
+    """The exact bytes :func:`save_snapshot` writes (header + payload)."""
+    payload = _payload_bytes(index)
+    return _header_bytes(payload) + payload
+
+
+def save_snapshot(index: MetricIndex, path: Union[str, Path]) -> None:
+    """Atomically write a checksummed snapshot of ``index`` to ``path``.
+
+    Write-temp → flush → fsync → ``os.replace`` → fsync the directory;
+    a crash mid-save never leaves a torn file under ``path``.
+    """
+    path = Path(path)
+    blob = snapshot_bytes(index)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Persist the rename itself (best effort where dirs can't be opened)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # repro-check: ignore[RC008] platform can't fsync dirs
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_snapshot_header(path: Union[str, Path]) -> dict:
+    """Parse and validate ``path``'s header line (not the payload)."""
+    header, _ = _split_and_check(Path(path).read_bytes(), verify_payload=False)
+    return header
+
+
+def _split_and_check(blob: bytes, *, verify_payload: bool = True):
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise SnapshotCorrupt("no-header", "no header line in file")
+    header_line, payload = blob[:newline], blob[newline + 1 :]
+    try:
+        header = json.loads(header_line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotCorrupt("bad-header-json", str(exc)) from exc
+    if not isinstance(header, dict) or header.get("magic") != SNAPSHOT_MAGIC:
+        raise SnapshotCorrupt(
+            "bad-magic", f"expected magic {SNAPSHOT_MAGIC!r}, "
+            f"got {header.get('magic') if isinstance(header, dict) else header!r}"
+        )
+    if header.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotCorrupt(
+            "bad-version",
+            f"unsupported snapshot version {header.get('version')!r} "
+            f"(this reader supports {SNAPSHOT_VERSION})",
+        )
+    if not verify_payload:
+        return header, payload
+    if header.get("payload_bytes") != len(payload):
+        raise SnapshotCorrupt(
+            "bad-length",
+            f"header promises {header.get('payload_bytes')!r} payload bytes, "
+            f"file holds {len(payload)} (torn write?)",
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if header.get("digest") != digest:
+        raise SnapshotCorrupt(
+            "bad-digest",
+            f"payload sha256 {digest} does not match header "
+            f"{header.get('digest')!r}",
+        )
+    return header, payload
+
+
+def load_snapshot(
+    path: Union[str, Path], objects: Sequence, metric: Metric
+) -> MetricIndex:
+    """Load a snapshot, verifying header and checksum first.
+
+    Raises :class:`SnapshotCorrupt` on any validation failure and never
+    returns a structure built from untrusted bytes.
+    """
+    _, payload = _split_and_check(Path(path).read_bytes())
+    try:
+        data = json.loads(payload)
+    except (ValueError, UnicodeDecodeError) as exc:
+        # Digest matched but payload won't parse: the snapshot was
+        # *written* corrupt; same refusal, different reason tag.
+        raise SnapshotCorrupt("bad-payload", str(exc)) from exc
+    return index_from_dict(data, objects, metric)

@@ -3,9 +3,11 @@
 The serving layer above the whole index family (see ``docs/serving.md``):
 
 * :class:`ShardManager` — partition a dataset across N index shards
-  (any backend from :data:`SHARD_BACKENDS`) with exact result merging;
+  (any backend from :data:`SHARD_BACKENDS`) with exact result merging
+  and ``replication_factor`` copies of every shard for failover;
 * :class:`QueryEngine` — concurrent batch execution with per-query
-  deadlines, retries, backpressure and degraded partial results;
+  deadlines, replica failover behind circuit breakers, backoff-spaced
+  retry rounds, backpressure and degraded partial results;
 * :class:`LRUCache` / :class:`DistanceCacheMetric` — whole-answer and
   (query, point) distance memoization with per-query hit accounting.
 
@@ -37,6 +39,7 @@ from repro.serve.engine import (
 )
 from repro.serve.sharding import (
     SHARD_BACKENDS,
+    ReplicaUnavailable,
     ShardManager,
     assign_shards,
     merge_knn,
@@ -56,6 +59,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "ShardFailure",
+    "ReplicaUnavailable",
     "FaultHook",
     "LRUCache",
     "DistanceCacheMetric",

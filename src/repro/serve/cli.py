@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="round-robin",
     )
     parser.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="replicas per shard (R>1 enables exact failover)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=4, help="worker-pool size"
     )
     parser.add_argument(
@@ -135,6 +139,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_shards=args.shards,
             backend=args.backend,
             assignment=args.assignment,
+            replication_factor=args.replication,
             rng=args.seed,
         )
     build_cost = counting.reset()
@@ -172,6 +177,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workload": args.workload,
         "n_objects": len(objects),
         "n_shards": manager.n_shards,
+        "replication_factor": manager.replication_factor,
         "backend": manager.backend_name or "custom",
         "workers": args.workers,
         "build_distance_computations": build_cost,
@@ -184,6 +190,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         "degraded": batch.n_degraded,
         "from_cache": batch.n_from_cache,
+        "resilience": {
+            "retries": batch.stats.retries,
+            "backoff_total_s": batch.stats.backoff_total_s,
+            "failovers": batch.stats.failovers,
+            "breaker_rejections": batch.stats.breaker_rejections,
+        },
         "result_cache": {
             "hits": batch.stats.result_cache_hits,
             "misses": batch.stats.result_cache_misses,
@@ -217,6 +229,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"  degraded: {batch.n_degraded} of {payload['n_queries']} "
         f"(deadline {args.timeout if args.timeout is not None else 'off'})"
     )
+    if manager.replication_factor > 1 or batch.stats.retries:
+        print(
+            f"  resilience: {batch.stats.failovers} failovers, "
+            f"{batch.stats.retries} retry rounds "
+            f"({batch.stats.backoff_total_s * 1000:.1f} ms backoff), "
+            f"{batch.stats.breaker_rejections} breaker rejections "
+            f"(replication x{manager.replication_factor})"
+        )
     return 0
 
 

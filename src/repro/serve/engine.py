@@ -18,19 +18,28 @@ The :class:`QueryEngine` turns a built index — a single
   :class:`~repro.metric.CountingMetric` total because every index
   charges both through the same ``_dist``/``_batch_dist`` gateway;
 * robustness: per-query deadlines (a late shard's result is dropped and
-  the answer is returned partial with ``degraded=True``), bounded
-  retries on shard failure, a fault-injection hook for tests, and
-  backpressure via a bounded in-flight unit budget.
+  the answer is returned partial with ``degraded=True``), replica
+  failover behind per-replica circuit breakers, retry rounds spaced by
+  capped exponential backoff with deterministic jitter, a
+  fault-injection hook for tests, and backpressure via a bounded
+  in-flight unit budget.
 
-Failure semantics: a query never raises out of :meth:`run_batch`.  A
-shard that keeps failing after ``retries`` re-submissions, or that
-misses the deadline, simply contributes nothing; the merged answer over
-the surviving shards is returned with ``degraded=True`` so callers can
-distinguish "exact" from "best effort under fault/timeout".
+Failure semantics: a query never raises out of :meth:`run_batch`.  When
+the index is a replicated :class:`ShardManager`, a failing unit first
+*fails over* — within the same round it tries the shard's other live
+replicas (skipping any whose circuit breaker is open), and an answer
+from a sibling replica is exact, so the result stays
+``degraded=False``; only when every replica of a shard fails does a
+retry round begin, after a backoff delay.  A shard whose every replica
+keeps failing through ``retries`` rounds, or that misses the deadline,
+contributes nothing; the merged answer over the surviving shards is
+returned with ``degraded=True`` so callers can distinguish "exact" from
+"best effort under fault/timeout".  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -39,18 +48,24 @@ from typing import Callable, Optional, Sequence, Union
 
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.obs.stats import QueryStats, merge_all
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.breaker import CircuitBreaker
 from repro.serve.cache import DistanceCacheMetric, LRUCache, query_cache_key
 from repro.serve.sharding import ShardManager, merge_knn, merge_range
 
 
 class ShardFailure(RuntimeError):
     """Raised by fault hooks (or shard code) to simulate/signal a shard
-    failing mid-search; the engine retries and then degrades."""
+    failing mid-search; the engine fails over, retries, then degrades."""
 
 
-#: ``hook(query_index, shard, attempt)`` called before every unit
-#: attempt.  Raise to inject a failure, sleep to inject slowness.
-FaultHook = Callable[[int, int, int], None]
+#: ``hook(query_index, shard, attempt, replica)`` called before every
+#: unit attempt.  Raise to inject a failure, sleep to inject slowness.
+#: Legacy three-parameter hooks (no ``replica``) are still accepted —
+#: the engine inspects the callable's arity once at construction.
+FaultHook = Union[
+    Callable[[int, int, int], None], Callable[[int, int, int, int], None]
+]
 
 
 @dataclass(frozen=True)
@@ -208,6 +223,31 @@ class _UnitOutcome:
     error: Optional[str] = None
 
 
+def _hook_takes_replica(hook: Optional[FaultHook]) -> bool:
+    """Does a fault hook accept the 4th (replica) argument?
+
+    Pre-replication hooks were ``hook(qi, shard, attempt)``; they keep
+    working.  When the signature can't be introspected, assume the
+    modern four-parameter form.
+    """
+    if hook is None:
+        return False
+    try:
+        signature = inspect.signature(hook)
+    except (TypeError, ValueError):  # repro-check: ignore[RC008] arity probe
+        return True
+    required = 0
+    for param in signature.parameters.values():
+        if param.kind == inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            required += 1
+    return required >= 4
+
+
 class QueryEngine:
     """Execute query batches over an index with a worker pool.
 
@@ -225,7 +265,27 @@ class QueryEngine:
         A query's deadline starts when its units are submitted; shards
         not finished by then are dropped and the result is degraded.
     retries:
-        Re-submissions per failing unit before it is written off.
+        Retry *rounds* per failing unit before it is written off.  One
+        round tries every live, breaker-admitted replica of the unit's
+        shard once; rounds after the first are preceded by a backoff
+        delay.
+    backoff:
+        The :class:`~repro.resilience.backoff.BackoffPolicy` spacing
+        retry rounds (capped exponential, deterministic jitter keyed by
+        ``"{query_index}:{shard}"``).  Defaults to a millisecond-scale
+        policy with seed 0.
+    breaker_config:
+        Keyword arguments for each per-``(shard, replica)``
+        :class:`~repro.resilience.breaker.CircuitBreaker` (e.g.
+        ``{"cooldown": 0.5, "window": 4}``).  ``None`` keeps the
+        breaker defaults; breakers are created lazily on first use and
+        share the engine ``clock``.
+    clock:
+        Monotonic-seconds callable used by the circuit breakers'
+        cooldown logic; inject a fake for deterministic tests.
+    sleep:
+        Callable the backoff delays go through (default ``time.sleep``);
+        inject a recorder to test schedules without waiting.
     result_cache_size:
         Capacity of the LRU whole-answer cache (0 disables it).  Only
         exact, non-degraded answers are cached.
@@ -238,8 +298,9 @@ class QueryEngine:
         (queued + running) at once; submission blocks beyond it.
         Defaults to ``4 * workers``.
     fault_hook:
-        Test seam called as ``hook(query_index, shard, attempt)`` before
-        every unit attempt; raise to fail the attempt, sleep to slow it.
+        Test seam called as ``hook(query_index, shard, attempt,
+        replica)`` (or the legacy three-parameter form) before every
+        unit attempt; raise to fail the attempt, sleep to slow it.
     """
 
     def __init__(
@@ -250,6 +311,10 @@ class QueryEngine:
         workers: int = 4,
         timeout: Optional[float] = None,
         retries: int = 1,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker_config: Optional[dict] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
         result_cache_size: int = 0,
         distance_cache: Optional[DistanceCacheMetric] = None,
         max_pending: Optional[int] = None,
@@ -262,6 +327,12 @@ class QueryEngine:
         self.executor = executor if executor is not None else ThreadedExecutor(workers)
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._breaker_config = dict(breaker_config or {})
+        self._breaker_config.setdefault("clock", clock)
+        self._breakers: dict[tuple[int, int], CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        self._sleep = sleep
         self.result_cache = (
             LRUCache(result_cache_size) if result_cache_size > 0 else None
         )
@@ -274,26 +345,85 @@ class QueryEngine:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
         self._pending = threading.BoundedSemaphore(self.max_pending)
         self.fault_hook = fault_hook
+        self._hook_takes_replica = _hook_takes_replica(fault_hook)
 
     # ------------------------------------------------------------------
     # Unit execution (runs on a worker thread)
     # ------------------------------------------------------------------
 
-    def _search_unit(self, query: Query, shard: Optional[int], stats: QueryStats):
-        """One shard's (or the whole single index's) answer for a query."""
+    def breaker(self, shard: int, replica: int) -> CircuitBreaker:
+        """The (lazily created) circuit breaker for one replica slot."""
+        key = (shard, replica)
+        with self._breakers_lock:
+            if key not in self._breakers:
+                self._breakers[key] = CircuitBreaker(**self._breaker_config)
+            return self._breakers[key]
+
+    def breaker_snapshots(self) -> dict[str, dict]:
+        """Every instantiated breaker's state, keyed ``"shard/replica"``."""
+        with self._breakers_lock:
+            items = list(self._breakers.items())
+        return {
+            f"{shard}/{replica}": breaker.snapshot()
+            for (shard, replica), breaker in sorted(items)
+        }
+
+    def _call_fault_hook(
+        self, qi: int, shard: int, attempt: int, replica: int
+    ) -> None:
+        if self.fault_hook is None:
+            return
+        if self._hook_takes_replica:
+            self.fault_hook(qi, shard, attempt, replica)
+        else:
+            self.fault_hook(qi, shard, attempt)
+
+    def _search_unit(
+        self,
+        query: Query,
+        shard: Optional[int],
+        replica: Optional[int],
+        stats: QueryStats,
+    ):
+        """One replica's (or the whole single index's) answer for a query."""
         index = self.index
         if shard is not None and isinstance(index, ShardManager):
             if query.kind == "range":
                 return index.shard_range_search(
-                    shard, query.query, query.radius, stats=stats
+                    shard, query.query, query.radius, replica=replica, stats=stats
                 )
-            return index.shard_knn_search(shard, query.query, query.k, stats=stats)
+            return index.shard_knn_search(
+                shard, query.query, query.k, replica=replica, stats=stats
+            )
         if query.kind == "range":
             return index.range_search(query.query, query.radius, stats=stats)
         return index.knn_search(query.query, query.k, stats=stats)
 
+    def _unit_replicas(self, shard: Optional[int]) -> list[Optional[int]]:
+        """Failover candidates for a unit, preferred replica first.
+
+        A replicated manager offers every replica number (dead ones are
+        filtered per round so a replica revived between rounds is used);
+        a plain index or unreplicated manager has the single ``None``
+        target, which resolves to "whatever can answer".
+        """
+        index = self.index
+        if shard is not None and isinstance(index, ShardManager):
+            factor = index.replication_factor
+            if factor > 1:
+                return list(range(factor))
+        return [None]
+
     def _run_unit(self, qi: int, query: Query, shard: Optional[int]) -> _UnitOutcome:
-        """Execute one unit with retries; never raises.
+        """Execute one unit with failover and retry rounds; never raises.
+
+        Each round walks the shard's replicas in order: lost replicas
+        are skipped, breaker-rejected ones are skipped and counted, a
+        failure is recorded to that replica's breaker and *fails over*
+        to the next candidate, and the first success answers the unit —
+        exactly, whichever replica produced it.  Only when a whole round
+        yields nothing does the unit back off (capped exponential,
+        deterministic jitter) and try again, up to ``retries`` rounds.
 
         Stats accumulate across attempts: a failed attempt's distance
         computations really ran (and were charged to the wrapped
@@ -302,19 +432,52 @@ class QueryEngine:
         """
         stats = QueryStats()
         shard_no = shard if shard is not None else 0
+        error: Optional[str] = None
         try:
             for attempt in range(self.retries + 1):
-                try:
-                    if self.fault_hook is not None:
-                        self.fault_hook(qi, shard_no, attempt)
-                    if self.distance_cache is not None:
-                        with self.distance_cache.observe(stats):
-                            value = self._search_unit(query, shard, stats)
-                    else:
-                        value = self._search_unit(query, shard, stats)
+                if attempt > 0:
+                    delay = self.backoff.delay(
+                        attempt - 1, token=f"{qi}:{shard_no}"
+                    )
+                    stats.retries += 1
+                    stats.backoff_total_s += delay
+                    self._sleep(delay)
+                failed_this_round = 0
+                for replica in self._unit_replicas(shard):
+                    replica_no = replica if replica is not None else 0
+                    if replica is not None and (
+                        self.index.replica(shard_no, replica) is None
+                    ):
+                        # Lost replica: not a health signal, just gone.
+                        failed_this_round += 1
+                        continue
+                    breaker = self.breaker(shard_no, replica_no)
+                    if not breaker.allow():
+                        stats.breaker_rejections += 1
+                        failed_this_round += 1
+                        continue
+                    try:
+                        self._call_fault_hook(qi, shard_no, attempt, replica_no)
+                        if self.distance_cache is not None:
+                            with self.distance_cache.observe(stats):
+                                value = self._search_unit(
+                                    query, shard, replica, stats
+                                )
+                        else:
+                            value = self._search_unit(query, shard, replica, stats)
+                    except Exception as exc:
+                        breaker.record_failure()
+                        failed_this_round += 1
+                        error = f"{type(exc).__name__}: {exc}"
+                        continue
+                    breaker.record_success()
+                    if failed_this_round:
+                        stats.failovers += 1
                     return _UnitOutcome(ok=True, value=value, stats=stats)
-                except Exception as exc:
-                    error = f"{type(exc).__name__}: {exc}"
+            if error is None:
+                error = (
+                    f"shard {shard_no}: no live replica admitted the unit"
+                )
             return _UnitOutcome(ok=False, stats=stats, error=error)
         finally:
             self._pending.release()

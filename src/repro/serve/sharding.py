@@ -17,6 +17,15 @@ per-shard candidate lists.  Each shard answers with its local top
 smaller than any shard's local k-th, no qualifying neighbor can be
 missed — and ties at the k-th distance resolve by global id, matching
 the deterministic ``(distance, id)`` ordering every single index uses.
+
+With ``replication_factor=R`` every shard's point-set is indexed on
+``R`` structurally independent replicas (each drawing its own
+construction randomness), so the serving engine can fail a unit over to
+a surviving replica and still return an *exact, non-degraded* answer —
+redundancy buys fault tolerance without approximation (see
+``docs/resilience.md``).  Any replica of a shard answers a query
+identically up to the deterministic ``(distance, id)`` ordering, so
+failover is invisible in the results.
 """
 
 from __future__ import annotations
@@ -77,6 +86,14 @@ SHARD_BACKENDS: dict[str, ShardBuilder] = {
 }
 
 _ASSIGNMENTS = ("round-robin", "contiguous")
+
+
+class ReplicaUnavailable(RuntimeError):
+    """A shard search targeted a replica that is lost (``None``).
+
+    Raised by the per-shard search methods; the serving engine treats it
+    like any other unit failure and fails over to a sibling replica.
+    """
 
 
 def assign_shards(n_objects: int, n_shards: int, assignment: str) -> list[list[int]]:
@@ -147,8 +164,16 @@ class ShardManager(MetricIndex):
     assignment:
         ``"round-robin"`` (default) or ``"contiguous"`` — see
         :func:`assign_shards`.
+    replication_factor:
+        Copies of each shard's index (default 1 = no redundancy).  The
+        replicas are built over the same point-set but draw independent
+        construction randomness, so they are structurally distinct
+        while answering identically.  Replica 0 of every shard is built
+        first (in shard order), then replica 1, ... — with
+        ``replication_factor=1`` the build consumes the rng exactly as
+        unreplicated managers always have.
     rng:
-        Seed or generator; each shard build draws from it in shard
+        Seed or generator; builds draw from it in (replica, shard)
         order, so a seed makes the whole deployment reproducible.
 
     >>> import numpy as np
@@ -167,11 +192,16 @@ class ShardManager(MetricIndex):
         n_shards: int = 4,
         backend: Union[str, ShardBuilder] = "vpt",
         assignment: str = "round-robin",
+        replication_factor: int = 1,
         rng: RngLike = None,
     ):
         check_non_empty(objects, "ShardManager")
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
         super().__init__(objects, metric)
         if callable(backend):
             builder, self.backend_name = backend, None
@@ -184,13 +214,20 @@ class ShardManager(MetricIndex):
                     f"{sorted(SHARD_BACKENDS)} or pass a builder callable"
                 ) from None
             self.backend_name = backend
+        self._builder = builder
         self.n_shards = n_shards
         self.assignment = assignment
+        self.replication_factor = replication_factor
         self._shard_ids = assign_shards(len(objects), n_shards, assignment)
         generator = as_rng(rng)
-        self._shards: list[Optional[MetricIndex]] = [
-            builder(gather(objects, ids), metric, generator) if ids else None
-            for ids in self._shard_ids
+        # _replicas[r][shard]: replica r's index for the shard (None for
+        # empty shards and for replicas lost to faults/corruption).
+        self._replicas: list[list[Optional[MetricIndex]]] = [
+            [
+                builder(gather(objects, ids), metric, generator) if ids else None
+                for ids in self._shard_ids
+            ]
+            for _ in range(replication_factor)
         ]
 
     # ------------------------------------------------------------------
@@ -199,8 +236,16 @@ class ShardManager(MetricIndex):
 
     @property
     def shards(self) -> list[Optional[MetricIndex]]:
-        """Per-shard indexes (``None`` for empty shards)."""
-        return self._shards
+        """Replica 0 of every shard (``None`` for empty shards).
+
+        The pre-replication view; mutating entries mutates replica 0.
+        """
+        return self._replicas[0]
+
+    @property
+    def replicas(self) -> list[list[Optional[MetricIndex]]]:
+        """All replica rows, indexed ``replicas[replica][shard]``."""
+        return self._replicas
 
     @property
     def shard_ids(self) -> list[list[int]]:
@@ -211,9 +256,85 @@ class ShardManager(MetricIndex):
         """Number of data points per shard."""
         return [len(ids) for ids in self._shard_ids]
 
+    def replica(self, shard: int, replica: int) -> Optional[MetricIndex]:
+        """The given replica's index for ``shard`` (None if lost/empty)."""
+        return self._replicas[replica][shard]
+
+    def live_replicas(self, shard: int) -> list[int]:
+        """Replica numbers currently able to answer for ``shard``."""
+        return [
+            r
+            for r in range(self.replication_factor)
+            if self._replicas[r][shard] is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Fault simulation and recovery
+    # ------------------------------------------------------------------
+
+    def drop_replica(self, shard: int, replica: int) -> Optional[MetricIndex]:
+        """Simulate losing one replica of one shard; returns the index.
+
+        The slot becomes ``None``: per-shard searches targeting it raise
+        :class:`ReplicaUnavailable` and the engine fails over.  Undo
+        with :meth:`recover` (rebuild) or by assigning the returned
+        index back.
+        """
+        dropped = self._replicas[replica][shard]
+        self._replicas[replica][shard] = None
+        return dropped
+
+    def recover(self, *, rng: RngLike = None) -> list[tuple[int, int]]:
+        """Rebuild every lost replica from the dataset; returns the slots.
+
+        Only ``None`` slots of *non-empty* shards are rebuilt — healthy
+        replicas are left untouched, so recovery cost is proportional to
+        what was actually lost (the crash-recovery contract in
+        ``docs/resilience.md``).  Raises ``TypeError`` for managers
+        restored from legacy serialised form without a known backend.
+        """
+        if self._builder is None:
+            raise TypeError(
+                "cannot recover: this manager has no shard builder "
+                "(restored from a serialised form with a custom backend?)"
+            )
+        generator = as_rng(rng)
+        rebuilt: list[tuple[int, int]] = []
+        for r, row in enumerate(self._replicas):
+            for shard, ids in enumerate(self._shard_ids):
+                if row[shard] is None and ids:
+                    row[shard] = self._builder(
+                        gather(self.objects, ids), self.metric, generator
+                    )
+                    rebuilt.append((shard, r))
+        return rebuilt
+
     # ------------------------------------------------------------------
     # Per-shard searches (the engine's unit of parallel work)
     # ------------------------------------------------------------------
+
+    def _replica_for(self, shard: int, replica: Optional[int]) -> MetricIndex:
+        """Resolve the index a shard search should run on.
+
+        ``replica=None`` picks the first live replica (the sequential
+        path); a specific replica must itself be live.  Raises
+        :class:`ReplicaUnavailable` when nothing can answer — an exact
+        search can't silently skip a populated shard.
+        """
+        if replica is not None:
+            index = self._replicas[replica][shard]
+            if index is None:
+                raise ReplicaUnavailable(
+                    f"shard {shard} replica {replica} is unavailable"
+                )
+            return index
+        for row in self._replicas:
+            if row[shard] is not None:
+                return row[shard]
+        raise ReplicaUnavailable(
+            f"shard {shard} has no live replica "
+            f"(replication_factor={self.replication_factor})"
+        )
 
     def shard_range_search(
         self,
@@ -221,14 +342,21 @@ class ShardManager(MetricIndex):
         query,
         radius: float,
         *,
+        replica: Optional[int] = None,
         stats: Optional[QueryStats] = None,
         trace: Optional[TraceSink] = None,
     ) -> list[int]:
-        """Range-search one shard; hits are returned as *global* ids."""
-        index = self._shards[shard]
-        if index is None:
-            return []
+        """Range-search one shard; hits are returned as *global* ids.
+
+        ``replica`` targets one replica (the engine's failover path);
+        ``None`` uses the first live one.  Empty shards answer ``[]``;
+        a populated shard with no live target raises
+        :class:`ReplicaUnavailable`.
+        """
         ids = self._shard_ids[shard]
+        if not ids:
+            return []
+        index = self._replica_for(shard, replica)
         local = index.range_search(query, radius, stats=stats, trace=trace)
         return [ids[i] for i in local]
 
@@ -238,18 +366,20 @@ class ShardManager(MetricIndex):
         query,
         k: int,
         *,
+        replica: Optional[int] = None,
         stats: Optional[QueryStats] = None,
         trace: Optional[TraceSink] = None,
     ) -> list[Neighbor]:
         """k-NN one shard; neighbors carry *global* ids.
 
         ``k`` is clamped to the shard size; the global merge only needs
-        each shard's local top-``min(k, |shard|)``.
+        each shard's local top-``min(k, |shard|)``.  ``replica`` as in
+        :meth:`shard_range_search`.
         """
-        index = self._shards[shard]
-        if index is None:
-            return []
         ids = self._shard_ids[shard]
+        if not ids:
+            return []
+        index = self._replica_for(shard, replica)
         local = index.knn_search(
             query, min(k, len(ids)), stats=stats, trace=trace
         )

@@ -81,10 +81,51 @@ class TestShardManagerInvariants:
         assert any(v.invariant == "shard-size" for v in violations)
 
     def test_missing_shard_index(self, manager):
+        # An unreplicated manager losing its only copy of a populated
+        # shard can no longer answer exactly: replica coverage is gone.
         manager.shards[1] = None
         violations = verify_structure(manager)
         assert any(
-            v.invariant == "shard-size" and "shard[1]" in v.location
+            v.invariant == "replica-coverage" and "shard[1]" in v.location
+            for v in violations
+        )
+
+    def test_lost_replica_with_live_sibling_is_legal(self):
+        data = np.random.default_rng(2).random((40, 5))
+        manager = ShardManager(
+            data, L2(), n_shards=3, backend="vpt", replication_factor=2, rng=0
+        )
+        manager.drop_replica(1, 0)
+        assert verify_structure(manager) == []
+
+    def test_all_replicas_lost_flags_coverage(self):
+        data = np.random.default_rng(3).random((40, 5))
+        manager = ShardManager(
+            data, L2(), n_shards=3, backend="vpt", replication_factor=2, rng=0
+        )
+        manager.drop_replica(1, 0)
+        manager.drop_replica(1, 1)
+        violations = verify_structure(manager)
+        assert any(
+            v.invariant == "replica-coverage" and "shard[1]" in v.location
+            for v in violations
+        )
+        # recover() rebuilds exactly the lost slots and restores health.
+        rebuilt = manager.recover(rng=9)
+        assert set(rebuilt) == {(1, 0), (1, 1)}
+        assert verify_structure(manager) == []
+
+    def test_replica_size_mismatch_is_located(self):
+        data = np.random.default_rng(4).random((40, 5))
+        manager = ShardManager(
+            data, L2(), n_shards=2, backend="linear", replication_factor=2, rng=0
+        )
+        from repro.indexes.linear import LinearScan
+
+        manager.replicas[1][0] = LinearScan(data[:3], L2())
+        violations = verify_structure(manager)
+        assert any(
+            v.invariant == "shard-size" and "shard[0]/replica[1]" in v.location
             for v in violations
         )
 

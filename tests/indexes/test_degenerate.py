@@ -1,0 +1,111 @@
+"""Degenerate datasets: all-identical points must not break any builder.
+
+When every point is the same object, every pairwise distance is zero,
+so no distance-based partition makes progress.  Each recursive builder
+must detect the zero-diameter group and fall back to a (legally
+oversized) leaf instead of recursing forever.  These are regression
+tests for that guard, across the whole family, including search
+exactness, structural invariants and serialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import verify_structure
+from repro.core.dynamic import DynamicMVPTree
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.indexes.bktree import BKTree
+from repro.indexes.ghtree import GHTree
+from repro.indexes.gnat import GNAT
+from repro.indexes.vptree import VPTree
+from repro.metric import L2, EditDistance
+from repro.persist.serialize import index_from_dict, index_to_dict
+from repro.serve.sharding import SHARD_BACKENDS
+
+N_IDENTICAL = 60
+
+TREE_BUILDERS = {
+    "vpt": lambda data: VPTree(data, L2(), m=2, leaf_capacity=4, rng=0),
+    "mvpt": lambda data: MVPTree(data, L2(), m=3, k=13, p=4, rng=0),
+    "gmvpt": lambda data: GMVPTree(data, L2(), m=2, v=3, k=8, p=4, rng=0),
+    "dynamic": lambda data: DynamicMVPTree(data, L2(), m=3, k=9, p=4, rng=0),
+    "ght": lambda data: GHTree(data, L2(), leaf_capacity=4, rng=0),
+    "gnat": lambda data: GNAT(data, L2(), leaf_capacity=4, rng=0),
+}
+
+
+@pytest.fixture(scope="module")
+def identical_data():
+    return np.tile(np.array([0.25, -1.5, 3.0]), (N_IDENTICAL, 1))
+
+
+@pytest.mark.parametrize("name", sorted(TREE_BUILDERS))
+def test_identical_points_build_and_answer_exactly(name, identical_data):
+    index = TREE_BUILDERS[name](identical_data)
+    everything = list(range(N_IDENTICAL))
+
+    assert index.range_search(identical_data[0], 0.0) == everything
+    assert index.range_search(identical_data[0] + 10.0, 1.0) == []
+    neighbors = index.knn_search(identical_data[0], 5)
+    assert len(neighbors) == 5
+    assert all(nb.distance == 0.0 for nb in neighbors)
+
+
+@pytest.mark.parametrize("name", sorted(TREE_BUILDERS))
+def test_identical_points_pass_structural_invariants(name, identical_data):
+    index = TREE_BUILDERS[name](identical_data)
+    assert verify_structure(index) == []
+
+
+@pytest.mark.parametrize("name", sorted(TREE_BUILDERS))
+def test_identical_points_serialize_roundtrip(name, identical_data):
+    index = TREE_BUILDERS[name](identical_data)
+    clone = index_from_dict(index_to_dict(index), identical_data, L2())
+    query = identical_data[0]
+    assert clone.range_search(query, 0.5) == index.range_search(query, 0.5)
+    assert clone.knn_search(query, 7) == index.knn_search(query, 7)
+
+
+@pytest.mark.parametrize("name", sorted(SHARD_BACKENDS))
+def test_every_shard_backend_survives_identical_points(name, identical_data):
+    """The serving registry builds every backend on a degenerate shard."""
+    if name == "bkt":
+        objects = ["same"] * N_IDENTICAL
+        metric = EditDistance()
+        query = "same"
+    else:
+        objects = identical_data
+        metric = L2()
+        query = identical_data[0]
+    index = SHARD_BACKENDS[name](objects, metric, np.random.default_rng(0))
+    assert index.range_search(query, 0.0) == list(range(N_IDENTICAL))
+
+
+def test_bktree_duplicate_heavy_data():
+    """BK-trees bucket exact duplicates instead of chaining them."""
+    words = ["aaa", "aab", "aaa", "aaa", "bbb", "aab", "aaa"]
+    tree = BKTree(words, EditDistance())
+    assert verify_structure(tree) == []
+    assert tree.range_search("aaa", 0.0) == [0, 2, 3, 6]
+    neighbors = tree.knn_search("aaa", 4)
+    assert [nb.distance for nb in neighbors] == [0.0, 0.0, 0.0, 0.0]
+
+    clone = index_from_dict(index_to_dict(tree), words, EditDistance())
+    assert clone.range_search("aab", 1.0) == tree.range_search("aab", 1.0)
+
+
+def test_mixed_duplicates_still_exact():
+    """A dataset that is *mostly* one duplicated point plus a few
+    distinct outliers: the guard must only fire on the zero-diameter
+    groups, not flatten the whole tree."""
+    rng = np.random.default_rng(4)
+    dupes = np.tile(np.array([1.0, 1.0]), (40, 1))
+    distinct = rng.random((10, 2)) + 5.0
+    data = np.vstack([dupes, distinct])
+    for name, build in sorted(TREE_BUILDERS.items()):
+        index = build(data)
+        assert verify_structure(index) == [], name
+        assert index.range_search(np.array([1.0, 1.0]), 0.0) == list(range(40))
+        far = index.knn_search(distinct[0], 3)
+        assert far[0].distance == 0.0, name

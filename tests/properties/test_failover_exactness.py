@@ -1,0 +1,205 @@
+"""Property: replica failover is invisible; total shard loss is honest.
+
+The resilience acceptance property, run across the *entire* index
+family: with ``replication_factor=2``, killing any single replica
+mid-batch must yield ``degraded=False`` answers byte-identical to the
+sequential linear-scan oracle — the failover is exact, not
+best-effort.  Killing *every* replica of a shard may degrade the
+answer, but the degraded answer must still be sound: a subset of the
+oracle's ids with true distances, never an invented neighbor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro import LinearScan
+from repro.metric import L2, EditDistance
+from repro.serve import (
+    SHARD_BACKENDS,
+    Query,
+    QueryEngine,
+    ShardFailure,
+    ShardManager,
+)
+
+VECTOR_BACKENDS = sorted(set(SHARD_BACKENDS) - {"bkt"})
+
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def _kill_replica(victim: int):
+    """A fault hook that fails every search landing on ``victim``."""
+
+    def hook(query_index, shard, attempt, replica):
+        if replica == victim:
+            raise ShardFailure(f"chaos: replica {victim} is down")
+
+    return hook
+
+
+def _kill_shard(victim: int):
+    """A fault hook that fails ``victim`` on every replica, forever."""
+
+    def hook(query_index, shard, attempt, replica):
+        if shard == victim:
+            raise ShardFailure(f"chaos: shard {victim} is gone")
+
+    return hook
+
+
+def _mixed_queries(oracle, sample_query, n=6, radius=0.7, k=8):
+    queries, expected = [], []
+    for i in range(n):
+        q = sample_query(i)
+        if i % 2 == 0:
+            queries.append(Query.range(q, radius))
+            expected.append(oracle.range_search(q, radius))
+        else:
+            queries.append(Query.knn(q, k))
+            expected.append(oracle.knn_search(q, k))
+    return queries, expected
+
+
+def _assert_sound(result, query, oracle, metric, data, radius, k):
+    """A degraded answer may be incomplete but never wrong."""
+    if result.kind == "range":
+        allowed = set(oracle.range_search(query, radius))
+        assert set(result.ids) <= allowed
+    else:
+        truth = {nb.id: nb.distance for nb in oracle.knn_search(query, len(data))}
+        distances = [nb.distance for nb in result.neighbors]
+        assert distances == sorted(distances)
+        assert len(result.neighbors) <= k
+        for nb in result.neighbors:
+            assert nb.distance == pytest.approx(truth[nb.id])
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+@pytest.mark.parametrize("victim", [0, 1])
+def test_single_replica_death_is_invisible(backend, victim, uniform_data):
+    """R=2, kill either replica: exact, non-degraded answers."""
+    data = uniform_data[:120]
+    manager = ShardManager(
+        data, L2(), n_shards=3, backend=backend,
+        replication_factor=2, rng=11,
+    )
+    oracle = LinearScan(data, L2())
+    rng = np.random.default_rng(13)
+    queries, expected = _mixed_queries(
+        oracle, lambda _i: rng.random(data.shape[1])
+    )
+    with QueryEngine(
+        manager, workers=3,
+        fault_hook=_kill_replica(victim), sleep=lambda _s: None,
+    ) as engine:
+        outcome = engine.run_batch(queries)
+    for result, answer in zip(outcome.results, expected):
+        assert not result.degraded
+        assert result.shards_failed == 0
+        assert result.value == answer
+    assert outcome.stats.failovers > 0 or victim != 0
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+def test_total_shard_loss_degrades_but_never_lies(backend, uniform_data):
+    """Kill every replica of shard 1: degraded=True, sound answers."""
+    data = uniform_data[:120]
+    manager = ShardManager(
+        data, L2(), n_shards=3, backend=backend,
+        replication_factor=2, rng=11,
+    )
+    oracle = LinearScan(data, L2())
+    rng = np.random.default_rng(17)
+    radius, k = 0.9, 6
+    probes = [rng.random(data.shape[1]) for _ in range(4)]
+    queries = [
+        Query.range(probes[0], radius),
+        Query.knn(probes[1], k),
+        Query.range(probes[2], radius),
+        Query.knn(probes[3], k),
+    ]
+    with QueryEngine(
+        manager, workers=3,
+        fault_hook=_kill_shard(1), sleep=lambda _s: None,
+    ) as engine:
+        outcome = engine.run_batch(queries)
+    for result, query in zip(outcome.results, probes):
+        assert result.degraded
+        assert result.shards_failed >= 1
+        _assert_sound(result, query, oracle, L2(), data, radius, k)
+
+
+@pytest.mark.parametrize("victim", [0, 1])
+def test_bkt_replica_death_is_invisible(victim, word_data):
+    """The discrete-metric member of the family gets the same property."""
+    words = list(word_data)
+    manager = ShardManager(
+        words, EditDistance(), n_shards=3, backend="bkt",
+        replication_factor=2, rng=5,
+    )
+    oracle = LinearScan(words, EditDistance())
+    queries = [Query.range(words[0], 2.0), Query.knn(words[1], 5)]
+    expected = [oracle.range_search(words[0], 2.0), oracle.knn_search(words[1], 5)]
+    with QueryEngine(
+        manager, workers=2,
+        fault_hook=_kill_replica(victim), sleep=lambda _s: None,
+    ) as engine:
+        outcome = engine.run_batch(queries)
+    for result, answer in zip(outcome.results, expected):
+        assert not result.degraded
+        assert result.value == answer
+
+
+def test_bkt_total_shard_loss_is_sound(word_data):
+    words = list(word_data)
+    manager = ShardManager(
+        words, EditDistance(), n_shards=3, backend="bkt",
+        replication_factor=2, rng=5,
+    )
+    oracle = LinearScan(words, EditDistance())
+    with QueryEngine(
+        manager, workers=2,
+        fault_hook=_kill_shard(2), sleep=lambda _s: None,
+    ) as engine:
+        outcome = engine.run_batch([Query.range(words[3], 2.0)])
+    (result,) = outcome.results
+    assert result.degraded
+    assert set(result.ids) <= set(oracle.range_search(words[3], 2.0))
+
+
+@st.composite
+def failover_cases(draw):
+    n = draw(st.integers(4, 30))
+    dim = draw(st.integers(1, 4))
+    data = draw(npst.arrays(np.float64, (n, dim), elements=coords))
+    query = draw(npst.arrays(np.float64, (dim,), elements=coords))
+    n_shards = draw(st.integers(1, 4))
+    replication = draw(st.integers(2, 3))
+    victim = draw(st.integers(0, replication - 1))
+    backend = draw(st.sampled_from(["linear", "vpt", "gnat", "mvpt"]))
+    radius = draw(st.floats(0, 25))
+    k = draw(st.integers(1, n))
+    return data, query, n_shards, replication, victim, backend, radius, k
+
+
+@given(case=failover_cases(), seed=st.integers(0, 2**16))
+def test_failover_exactness_on_random_cases(case, seed):
+    data, query, n_shards, replication, victim, backend, radius, k = case
+    manager = ShardManager(
+        data, L2(), n_shards=n_shards, backend=backend,
+        replication_factor=replication, rng=seed,
+    )
+    oracle = LinearScan(data, L2())
+    with QueryEngine(
+        manager, workers=2,
+        fault_hook=_kill_replica(victim), sleep=lambda _s: None,
+    ) as engine:
+        outcome = engine.run_batch(
+            [Query.range(query, radius), Query.knn(query, k)]
+        )
+    range_result, knn_result = outcome.results
+    assert not range_result.degraded and not knn_result.degraded
+    assert range_result.ids == oracle.range_search(query, radius)
+    assert knn_result.neighbors == oracle.knn_search(query, k)

@@ -1,0 +1,215 @@
+"""Circuit breaker state machine and backoff policy unit tests."""
+
+import pytest
+
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    CircuitBreaker,
+    verify_transitions,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **overrides):
+    config = dict(
+        failure_threshold=0.5,
+        window=4,
+        min_samples=2,
+        cooldown=1.0,
+        clock=clock,
+    )
+    config.update(overrides)
+    return CircuitBreaker(**config)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_admits(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_failure_rate(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # below min_samples
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+        assert breaker.transitions[-1][:2] == (CLOSED, OPEN)
+
+    def test_alternating_outcomes_never_open_engine_defaults(self, clock):
+        # The engine defaults (threshold 0.8, window 8) must tolerate a
+        # fail-then-recover pattern: rate 0.5 stays well below trip.
+        breaker = CircuitBreaker(clock=clock)
+        for _ in range(20):
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_open_rejects_until_cooldown(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_budget(self, clock):
+        breaker = make_breaker(clock, half_open_probes=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()        # the probe
+        assert not breaker.allow()    # budget spent
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.transitions[-1] == (
+            HALF_OPEN, CLOSED, "probe-succeeded"
+        )
+        # A fresh failure window: the old failures are gone.
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.transitions[-1] == (HALF_OPEN, OPEN, "probe-failed")
+        assert not breaker.allow()
+        clock.advance(2.0)
+        assert breaker.allow()  # cooldown restarts after the reopen
+
+    def test_outcomes_while_open_are_ignored(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # a straggler finishing late
+        assert breaker.state == OPEN
+
+    def test_sliding_window_forgets(self, clock):
+        breaker = make_breaker(clock, window=4, min_samples=4)
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        # The failures fell out of the window.
+        assert breaker.state == CLOSED
+        assert breaker.failure_rate == 0.0
+
+    def test_snapshot_fields(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["opens"] == 1
+        assert 0.0 <= snap["failure_rate"] <= 1.0
+
+
+class TestVerifyTransitions:
+    def test_full_history_is_legal(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_failure()
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_success()
+        assert verify_transitions(breaker.transitions, breaker.state) == []
+
+    def test_illegal_edge_is_reported(self):
+        errors = verify_transitions([(CLOSED, HALF_OPEN, "bogus")], HALF_OPEN)
+        assert errors and "not a legal" in errors[0]
+
+    def test_broken_chain_is_reported(self):
+        history = [
+            (CLOSED, OPEN, "failure-rate"),
+            (CLOSED, OPEN, "failure-rate"),  # doesn't chain from OPEN
+        ]
+        errors = verify_transitions(history, OPEN)
+        assert errors
+
+    def test_wrong_final_state_is_reported(self):
+        errors = verify_transitions([(CLOSED, OPEN, "failure-rate")], CLOSED)
+        assert errors and "final" in errors[0]
+
+    def test_legal_transitions_are_exactly_four(self):
+        assert {(src, dst) for src, dst, _ in LEGAL_TRANSITIONS} == {
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+            (HALF_OPEN, OPEN),
+        }
+        assert len(LEGAL_TRANSITIONS) == 4
+
+
+class TestBackoffPolicy:
+    def test_delays_are_deterministic(self):
+        a = BackoffPolicy(seed=7)
+        b = BackoffPolicy(seed=7)
+        for attempt in range(5):
+            assert a.delay(attempt, token="3:1") == b.delay(attempt, token="3:1")
+
+    def test_seed_and_token_change_the_jitter(self):
+        policy = BackoffPolicy(seed=0)
+        other_seed = BackoffPolicy(seed=1)
+        assert policy.delay(0, token="0:0") != other_seed.delay(0, token="0:0")
+        assert policy.delay(0, token="0:0") != policy.delay(0, token="0:1")
+
+    def test_exponential_ceiling_with_cap(self):
+        policy = BackoffPolicy(base=0.01, factor=2.0, cap=0.05, seed=0)
+        assert policy.ceiling(0) == pytest.approx(0.01)
+        assert policy.ceiling(1) == pytest.approx(0.02)
+        assert policy.ceiling(10) == pytest.approx(0.05)  # capped
+
+    def test_delay_stays_in_half_jitter_band(self):
+        policy = BackoffPolicy(base=0.01, factor=2.0, cap=0.08, seed=3)
+        for attempt in range(6):
+            ceiling = policy.ceiling(attempt)
+            delay = policy.delay(attempt, token="t")
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(cap=-1.0)

@@ -1,0 +1,91 @@
+"""The chaos campaign harness: determinism, coverage, and a clean run."""
+
+import dataclasses
+
+import pytest
+
+from repro.resilience.chaos import (
+    CHAOS_BACKENDS,
+    CHAOS_KINDS,
+    DEGRADED_KINDS,
+    EXACT_KINDS,
+    generate_chaos_case,
+    run_campaign,
+    run_case,
+)
+from repro.serve.sharding import SHARD_BACKENDS
+
+
+class TestGeneration:
+    def test_same_seed_same_case(self):
+        for index in (0, 7, 23):
+            a = generate_chaos_case(0, index)
+            b = generate_chaos_case(0, index)
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_seed_changes_the_case(self):
+        a = generate_chaos_case(0, 0)
+        b = generate_chaos_case(1, 0)
+        assert dataclasses.asdict(a) != dataclasses.asdict(b)
+
+    def test_kind_and_backend_rotation_covers_the_matrix(self):
+        n = len(CHAOS_KINDS) * len(CHAOS_BACKENDS)
+        seen = {
+            (case.plan.kind, case.backend)
+            for case in (generate_chaos_case(0, i) for i in range(n))
+        }
+        assert seen == {
+            (kind, backend)
+            for kind in CHAOS_KINDS
+            for backend in CHAOS_BACKENDS
+        }
+
+    def test_replica_kinds_always_have_replicas_to_kill(self):
+        for index in range(60):
+            case = generate_chaos_case(0, index)
+            if case.plan.kind in ("kill-replica", "flapping-replica"):
+                assert case.replication_factor >= 2
+                assert 0 <= case.plan.replica < case.replication_factor
+
+    def test_kinds_partition(self):
+        assert set(EXACT_KINDS).isdisjoint(DEGRADED_KINDS)
+        assert set(CHAOS_KINDS) == (
+            set(EXACT_KINDS) | set(DEGRADED_KINDS) | {"corrupt-snapshot"}
+        )
+        assert set(CHAOS_BACKENDS) == set(SHARD_BACKENDS)
+
+
+class TestRunCase:
+    @pytest.mark.parametrize("kind_index", range(len(CHAOS_KINDS)))
+    def test_one_case_per_kind_is_clean(self, kind_index):
+        case = generate_chaos_case(0, kind_index)
+        assert case.plan.kind == CHAOS_KINDS[kind_index]
+        assert run_case(case) == []
+
+    def test_case_is_rerunnable(self):
+        case = generate_chaos_case(0, 1)
+        assert run_case(case) == []
+        assert run_case(case) == []
+
+
+class TestCampaign:
+    def test_short_campaign_is_clean_and_covers_all_kinds(self):
+        result = run_campaign(0, len(CHAOS_KINDS) * 2)
+        assert result.ok, [f.__dict__ for f in result.findings]
+        assert set(result.kinds_run) == set(CHAOS_KINDS)
+        assert sum(result.kinds_run.values()) == result.n_cases
+
+    def test_progress_callback_sees_every_case(self):
+        seen = []
+        run_campaign(0, 4, progress=lambda case, findings: seen.append(case.name))
+        assert len(seen) == 4
+        assert len(set(seen)) == 4
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        result = run_campaign(0, 2)
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["seed"] == 0
+        assert doc["ok"] is True
+        assert doc["n_cases"] == 2

@@ -234,13 +234,13 @@ class TestBackpressure:
         live = {"now": 0, "peak": 0}
         inner = engine._search_unit
 
-        def tracked(query, shard, stats):
+        def tracked(query, shard, replica, stats):
             with lock:
                 live["now"] += 1
                 live["peak"] = max(live["peak"], live["now"])
             try:
                 time.sleep(0.002)
-                return inner(query, shard, stats)
+                return inner(query, shard, replica, stats)
             finally:
                 with lock:
                     live["now"] -= 1
