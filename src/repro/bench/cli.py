@@ -8,6 +8,7 @@ Examples::
     python -m repro.bench --figure fig10 --verify
     repro-bench stats --figure fig8 --scale 0.05
     repro-bench serve --shards 4 --workers 4 --queries 100
+    repro-bench ratchet --baseline BENCH_serve_v1.json
 
 The ``stats`` subcommand reruns search experiments with per-query
 observability on (:class:`~repro.obs.QueryStats`) and prints the
@@ -87,6 +88,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.throughput import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "ratchet":
+        # ``repro-bench ratchet ...``: re-run the pinned serve config
+        # and fail on a qps regression against the committed baseline.
+        from repro.bench.ratchet import ratchet_main
+
+        return ratchet_main(argv[1:])
     collect_stats = False
     if argv and argv[0] == "stats":
         # ``repro-bench stats ...``: same flags, but range searches run

@@ -36,7 +36,7 @@ from repro.datasets.vectors import uniform_vectors
 from repro.metric import L2, CountingMetric
 from repro.metric.base import Metric
 from repro.obs.stats import QueryStats, merge_all
-from repro.serve.engine import Query, QueryEngine
+from repro.serve.engine import EXECUTOR_KINDS, Query, QueryEngine
 from repro.serve.sharding import SHARD_BACKENDS, ShardManager
 
 
@@ -68,6 +68,12 @@ class SimulatedCostMetric(Metric):
         return self.inner.batch_distance(xs, y)
 
 
+#: Version tag of the ``to_dict`` JSON layout.  Consumers (the ratchet,
+#: dashboards) should check this before reading fields; bump it on any
+#: incompatible change.
+SERVE_SCHEMA = "repro-bench-serve/v1"
+
+
 @dataclass(frozen=True)
 class ThroughputResult:
     """One engine-vs-sequential comparison over a shared deployment."""
@@ -83,6 +89,15 @@ class ThroughputResult:
     engine_distance_calls: int
     n_degraded: int
     results_identical: bool
+    executor: str = "thread"
+    replication: int = 1
+    dim: int = 0
+    radius: float = 0.0
+    k: int = 0
+    seed: int = 0
+    simulated_cost_us: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
 
     @property
     def sequential_qps(self) -> float:
@@ -97,17 +112,29 @@ class ThroughputResult:
         return self.sequential_s / self.engine_s if self.engine_s else 0.0
 
     def to_dict(self) -> dict:
+        """Machine-readable result (layout versioned by ``schema``).
+
+        ``config`` holds every knob needed to re-run the identical
+        benchmark — the ratchet replays it and compares ``qps``.
+        """
         return {
+            "schema": SERVE_SCHEMA,
+            "dataset": "uniform",
             "n_objects": self.n_objects,
             "n_shards": self.n_shards,
             "backend": self.backend,
+            "executor": self.executor,
+            "replication": self.replication,
             "workers": self.workers,
             "n_queries": self.n_queries,
             "sequential_s": self.sequential_s,
             "engine_s": self.engine_s,
             "sequential_qps": self.sequential_qps,
             "engine_qps": self.engine_qps,
+            "qps": self.engine_qps,
             "speedup": self.speedup,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
             "sequential_distance_calls": self.sequential_distance_calls,
             "engine_distance_calls": self.engine_distance_calls,
             "distance_calls_per_query": (
@@ -117,18 +144,35 @@ class ThroughputResult:
             ),
             "n_degraded": self.n_degraded,
             "results_identical": self.results_identical,
+            "config": {
+                "n": self.n_objects,
+                "dim": self.dim,
+                "shards": self.n_shards,
+                "replication": self.replication,
+                "backend": self.backend,
+                "executor": self.executor,
+                "workers": self.workers,
+                "queries": self.n_queries,
+                "radius": self.radius,
+                "k": self.k,
+                "seed": self.seed,
+                "simulated_cost_us": self.simulated_cost_us,
+            },
         }
 
     def report(self) -> str:
         lines = [
             f"throughput: {self.n_shards}-shard {self.backend} over "
-            f"{self.n_objects} objects, batch of {self.n_queries} queries",
+            f"{self.n_objects} objects, batch of {self.n_queries} queries, "
+            f"executor={self.executor}",
             f"  sequential : {self.sequential_s * 1000:8.1f} ms  "
             f"({self.sequential_qps:8.0f} q/s, "
             f"{self.sequential_distance_calls:,} distance calls)",
             f"  engine x{self.workers:<2} : {self.engine_s * 1000:8.1f} ms  "
             f"({self.engine_qps:8.0f} q/s, "
             f"{self.engine_distance_calls:,} distance calls)",
+            f"  latency    : p50 {self.latency_p50_ms:.2f} ms, "
+            f"p99 {self.latency_p99_ms:.2f} ms",
             f"  speedup    : {self.speedup:.2f}x, "
             f"degraded {self.n_degraded}, results "
             + ("identical" if self.results_identical else "DIFFER"),
@@ -157,18 +201,27 @@ def run_throughput(
     n_shards: int = 4,
     workers: int = 4,
     backend: str = "vpt",
+    executor: str = "thread",
+    replication: int = 1,
     n_queries: int = 64,
     radius: float = 0.4,
     k: int = 5,
     seed: int = 0,
     simulated_cost_s: float = 0.0,
     timeout: Optional[float] = None,
+    measure_latency: bool = True,
 ) -> ThroughputResult:
     """Build one deployment, run the batch both ways, compare.
 
     Returns a :class:`ThroughputResult`; ``results_identical`` asserts
     the engine's concurrent answers equal the sequential baseline's
-    (ids and distances, query by query).
+    (ids and distances, query by query).  ``executor`` selects the
+    engine's worker pool (:data:`~repro.serve.engine.EXECUTOR_KINDS`);
+    with ``"process"`` the parent-side counter never sees the workers'
+    evaluations, so the engine's per-query stats are checked against
+    the sequential totals instead.  ``measure_latency`` adds a
+    single-query-at-a-time pass recording p50/p99 latency under zero
+    queueing (skip it for the fastest possible run).
     """
     data = uniform_vectors(n, dim=dim, rng=seed)
     metric: Metric = L2()
@@ -176,7 +229,12 @@ def run_throughput(
         metric = SimulatedCostMetric(metric, simulated_cost_s)
     counting = CountingMetric(metric)
     manager = ShardManager(
-        data, counting, n_shards=n_shards, backend=backend, rng=seed
+        data,
+        counting,
+        n_shards=n_shards,
+        backend=backend,
+        rng=seed,
+        replication_factor=replication,
     )
     counting.reset()  # build cost is not part of the serving comparison
 
@@ -198,9 +256,18 @@ def run_throughput(
     sequential_calls = counting.reset()
 
     # The engine, over the same deployment and the same metric counter.
-    with QueryEngine(manager, workers=workers, timeout=timeout) as engine:
+    latencies_ms: list[float] = []
+    with QueryEngine(manager, executor=executor, workers=workers, timeout=timeout) as engine:
         result = engine.run_batch(batch)
-    engine_calls = counting.reset()
+        engine_calls = counting.reset()
+        if measure_latency:
+            # Per-query latency under zero queueing: one query in
+            # flight at a time, full shard fan-out per query.
+            for query in batch:
+                t0 = time.perf_counter()
+                engine.run_batch([query])
+                latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+    counting.reset()  # latency pass is not part of the call comparison
 
     identical = all(
         engine_result.value == sequential_answer
@@ -210,9 +277,15 @@ def run_throughput(
     )
     # Cross-check the observability identity on both paths: aggregated
     # QueryStats equal the CountingMetric totals, sequential and
-    # concurrent alike.
+    # concurrent alike.  Forked workers charge their own copy of the
+    # counter, so for the process pool the per-query stats (reported
+    # back by value) are compared with the sequential totals instead.
     assert merge_all(sequential_stats).distance_calls == sequential_calls
-    assert result.stats.distance_calls == engine_calls
+    if executor == "process":
+        assert result.stats.distance_calls == sequential_calls
+        engine_calls = result.stats.distance_calls
+    else:
+        assert result.stats.distance_calls == engine_calls
 
     return ThroughputResult(
         n_objects=n,
@@ -226,6 +299,19 @@ def run_throughput(
         engine_distance_calls=engine_calls,
         n_degraded=result.n_degraded,
         results_identical=identical,
+        executor=executor,
+        replication=replication,
+        dim=dim,
+        radius=radius,
+        k=k,
+        seed=seed,
+        simulated_cost_us=simulated_cost_s * 1e6,
+        latency_p50_ms=(
+            float(np.percentile(latencies_ms, 50)) if latencies_ms else 0.0
+        ),
+        latency_p99_ms=(
+            float(np.percentile(latencies_ms, 99)) if latencies_ms else 0.0
+        ),
     )
 
 
@@ -241,6 +327,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=sorted(SHARD_BACKENDS), default="vpt"
     )
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default="thread",
+        help="engine worker pool: serial, thread, or process (forked "
+        "workers inheriting the index; escapes the GIL)",
+    )
+    parser.add_argument("--replication", type=int, default=1)
     parser.add_argument("--queries", type=int, default=64)
     parser.add_argument("--radius", type=float, default=0.4)
     parser.add_argument("--k", type=int, default=5)
@@ -249,6 +341,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--simulated-cost-us", type=float, default=0.0,
         help="sleep this many microseconds per metric call (models an "
         "expensive distance function)",
+    )
+    parser.add_argument(
+        "--no-latency", action="store_false", dest="measure_latency",
+        help="skip the single-query latency (p50/p99) pass",
     )
     parser.add_argument("--json", action="store_true", dest="as_json")
     return parser
@@ -263,11 +359,14 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         n_shards=args.shards,
         workers=args.workers,
         backend=args.backend,
+        executor=args.executor,
+        replication=args.replication,
         n_queries=args.queries,
         radius=args.radius,
         k=args.k,
         seed=args.seed,
         simulated_cost_s=args.simulated_cost_us * 1e-6,
+        measure_latency=args.measure_latency,
     )
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))

@@ -7,6 +7,11 @@ RC001  Index/search code must route metric evaluations through the
        ``MetricIndex._dist`` / ``_batch_dist`` counting gateway; a raw
        ``*.distance(...)`` / ``*.batch_distance(...)`` call on a
        metric-like receiver silently bypasses per-query accounting.
+       Kernel modules (``kernels.py`` / ``*_kernels.py``) are linted in
+       *strict mode*: every ``.distance``/``.batch_distance`` call is
+       flagged regardless of receiver name, because the vectorized hot
+       loops are exactly where a stray uncounted evaluation would skew
+       the per-query figures the paper plots.
 RC002  Public ``range_search`` / ``knn_search`` methods must accept the
        keyword-only ``stats=`` and ``trace=`` observability arguments.
 RC003  Observation events (``obs.distance()``, ``obs.prune()``, ...)
@@ -32,6 +37,14 @@ RC008  Serving/resilience code (``src/repro/serve/``,
        breaker/failover machinery (``record_failure``,
        ``set_exception``, ...), or increment a counter — a silently
        dropped exception hides an outage from health tracking.
+RC009  Modules inherited by forked serving workers (the library
+       packages a built index or the serving stack imports) must not
+       create fork-unsafe state at import time: a module- or class-level
+       ``threading.Lock()``, ``open(...)`` handle, socket, or executor
+       pool is snapshotted by ``fork`` in an unknown condition — a lock
+       held by another parent thread deadlocks every child, handles
+       share file offsets, and pool threads simply do not exist in the
+       child.  Create such state lazily, per instance, inside functions.
 
 Findings can be silenced per line (or from the preceding line) with a
 ruff-style pragma::
@@ -159,14 +172,24 @@ def _enclosing_functions(file: SourceFile, node: ast.AST) -> Iterator[ast.AST]:
             yield ancestor
 
 
+#: Modules holding vectorized search hot loops; RC001 strict scope.
+_KERNEL_MODULE = re.compile(r"(^|/)([a-z0-9_]+_)?kernels\.py$")
+
+
 class RawMetricCallRule(Rule):
-    """RC001: raw metric calls in index code bypass distance counting."""
+    """RC001: raw metric calls in index code bypass distance counting.
+
+    Kernel modules get *strict mode*: the receiver-name heuristic is
+    dropped and any ``.distance``/``.batch_distance`` call outside the
+    gateway helpers is a finding, whatever it is called on.
+    """
 
     code = "RC001"
     description = (
         "metric.distance/batch_distance called directly in index code; "
         "route through MetricIndex._dist/_batch_dist so per-query stats "
-        "stay equal to the true metric evaluation count"
+        "stay equal to the true metric evaluation count (kernel modules "
+        "are strict: any receiver counts)"
     )
 
     def applies_to(self, file: SourceFile) -> bool:
@@ -179,24 +202,41 @@ class RawMetricCallRule(Rule):
             or posix.endswith("transforms/filter.py")
         )
 
+    @staticmethod
+    def _is_kernel_module(file: SourceFile) -> bool:
+        return bool(_KERNEL_MODULE.search(Path(file.display).as_posix()))
+
     def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        strict = self._is_kernel_module(file)
         for node in ast.walk(file.tree):
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
                 continue
             if node.func.attr not in ("distance", "batch_distance"):
                 continue
             receiver = _receiver_name(node.func)
-            if receiver is None or not receiver.lower().endswith("metric"):
+            metric_like = receiver is not None and receiver.lower().endswith(
+                "metric"
+            )
+            if not metric_like and not strict:
                 continue
             if any(
                 fn.name in ("_dist", "_batch_dist")
                 for fn in _enclosing_functions(file, node)
             ):
                 continue  # the gateway itself
-            yield node, (
-                f"raw {receiver}.{node.func.attr}() bypasses the _dist/"
-                "_batch_dist counting gateway"
-            )
+            shown = receiver or "<expr>"
+            if strict and not metric_like:
+                yield node, (
+                    f"kernel module (strict mode): {shown}."
+                    f"{node.func.attr}() must route through the _dist/"
+                    "_batch_dist counting gateway whatever its receiver "
+                    "is named"
+                )
+            else:
+                yield node, (
+                    f"raw {shown}.{node.func.attr}() bypasses the _dist/"
+                    "_batch_dist counting gateway"
+                )
 
 
 class SearchSignatureRule(Rule):
@@ -621,6 +661,130 @@ class SwallowedExceptionRule(Rule):
         return False
 
 
+#: Packages a forked serving worker inherits: the serving stack itself
+#: plus everything a built index can transitively import.  CLI/tooling
+#: packages (bench, check, fuzz) run only in the parent and are exempt.
+_FORK_SCOPE = (
+    "/serve/",
+    "/resilience/",
+    "/indexes/",
+    "/core/",
+    "/metric/",
+    "/obs/",
+    "/transforms/",
+    "/persist/",
+    "/datasets/",
+)
+
+
+class ForkUnsafeStateRule(Rule):
+    """RC009: no fork-unsafe state created at import time.
+
+    ``ProcessExecutor`` workers inherit every already-imported module by
+    ``fork``, so state constructed at import time — module globals and
+    class attributes alike — is silently captured in whatever condition
+    the parent left it: a lock another thread holds deadlocks the child
+    forever, an open handle shares its file offset across processes,
+    and an executor pool's threads simply do not exist after the fork.
+    Such state must be created lazily, per instance, inside functions
+    (see ``repro.serve.procpool`` for the contract this protects).
+    """
+
+    code = "RC009"
+    description = (
+        "fork-unsafe state (lock/handle/socket/pool) created at import "
+        "time in a module forked serving workers inherit; construct it "
+        "inside functions so each process owns a fresh instance"
+    )
+
+    _SYNC_PRIMITIVES = {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+    }
+    _POOLS = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+    _POOL_MODULES = {"futures", "concurrent", "multiprocessing"}
+
+    def applies_to(self, file: SourceFile) -> bool:
+        posix = f"/{Path(file.display).as_posix()}"
+        return any(part in posix for part in _FORK_SCOPE)
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label, hazard = self._unsafe_construction(node.func)
+            if label is None:
+                continue
+            if self._deferred(file, node):
+                continue  # built at call time, each process gets its own
+            if hazard == "handle" and self._closed_by_with(file, node):
+                continue  # handle closed before import finishes
+            yield node, (
+                f"{label} at import time is captured by fork workers "
+                f"({self._CONSEQUENCE[hazard]}); create it inside a "
+                "function so every process owns a fresh one"
+            )
+
+    _CONSEQUENCE = {
+        "lock": "a lock held by any parent thread deadlocks the child",
+        "handle": "the file offset is shared across processes",
+        "socket": "the connection is shared and corrupts on dual use",
+        "pool": "its worker threads do not survive the fork",
+    }
+
+    def _unsafe_construction(
+        self, func: ast.expr
+    ) -> tuple[Optional[str], Optional[str]]:
+        """(display label, hazard kind) when ``func`` builds fork-unsafe
+        state, ``(None, None)`` otherwise."""
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "open()", "handle"
+            if func.id in self._SYNC_PRIMITIVES:
+                return f"{func.id}()", "lock"
+            if func.id in self._POOLS:
+                return f"{func.id}()", "pool"
+            return None, None
+        if isinstance(func, ast.Attribute):
+            receiver = _receiver_name(func)
+            if receiver in ("threading", "multiprocessing") and (
+                func.attr in self._SYNC_PRIMITIVES
+            ):
+                return f"{receiver}.{func.attr}()", "lock"
+            if receiver in self._POOL_MODULES and func.attr in self._POOLS:
+                return f"{receiver}.{func.attr}()", "pool"
+            if receiver == "socket" and func.attr == "socket":
+                return "socket.socket()", "socket"
+        return None, None
+
+    @staticmethod
+    def _deferred(file: SourceFile, node: ast.AST) -> bool:
+        """True when the call runs at call time, not at import time."""
+        for ancestor in file.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _closed_by_with(file: SourceFile, node: ast.AST) -> bool:
+        """True when the call is a ``with`` context expression — the
+        handle closes before the module finishes importing, so nothing
+        outlives into the fork."""
+        for ancestor in file.ancestors(node):
+            if isinstance(ancestor, ast.withitem):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                return False
+        return False
+
+
 RULES: list[Rule] = [
     RawMetricCallRule(),
     SearchSignatureRule(),
@@ -630,6 +794,7 @@ RULES: list[Rule] = [
     UnregisteredIndexRule(),
     NondeterminismSourceRule(),
     SwallowedExceptionRule(),
+    ForkUnsafeStateRule(),
 ]
 
 

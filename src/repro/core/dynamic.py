@@ -180,6 +180,9 @@ class DynamicMVPTree(MVPTree):
         """Index a new object; returns its id (stable forever)."""
         self._objects.append(obj)
         idx = len(self._objects) - 1
+        # Shell expansion and leaf appends mutate node state in place;
+        # the vectorised kernels must rebuild their flat-array view.
+        self._kernel_cache = None
         if self._root is None:
             paths = np.full((1, self.p), np.nan)
             self._root = self._build([idx], paths, level=1, depth=1)
@@ -342,6 +345,7 @@ class DynamicMVPTree(MVPTree):
         entries — and restores a fresh balanced structure.
         """
         self.rebuild_count += 1
+        self._kernel_cache = None
         # Filter against the permanent record: ids purged by an earlier
         # rebuild are no longer tombstoned but must never resurrect.
         live_ids = [

@@ -41,6 +41,7 @@ from repro._util import (
     slack,
 )
 from repro.core.nodes import MVPInternalNode, MVPLeafNode
+from repro.indexes import kernels
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.indexes.selection import VantagePointSelector, get_selector
 from repro.metric.base import Metric
@@ -154,6 +155,7 @@ class MVPTree(MetricIndex):
         ids = list(range(len(objects)))
         paths = np.full((len(ids), p), np.nan)
         self._root = self._build(ids, paths, level=1, depth=1)
+        self._kernel_cache = None  # flat arrays, built lazily on first search
 
     # ------------------------------------------------------------------
     # Construction (paper section 4.2)
@@ -363,11 +365,7 @@ class MVPTree(MetricIndex):
     ) -> list[int]:
         radius = self.validate_radius(radius)
         obs = make_observation(stats, trace)
-        out: list[int] = []
-        path_q = np.full(self.p, np.nan)
-        self._range(self._root, query, radius, path_q, 1, out, obs)
-        out.sort()
-        return out
+        return kernels.mvp_range(self, query, radius, obs)
 
     def _range(
         self,
@@ -494,6 +492,21 @@ class MVPTree(MetricIndex):
         k = self.validate_k(k)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        obs = make_observation(stats, trace)
+        return kernels.mvp_knn(self, query, k, 1.0 + epsilon, obs)
+
+    def _knn_legacy(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
+        """Sequential best-first k-NN (the pre-kernel hot path), kept as
+        the reference implementation for kernel-parity tests."""
+        k = self.validate_k(k)
         obs = make_observation(stats, trace)
         approximation = 1.0 + epsilon
         best: list[tuple[float, int]] = []  # max-heap via negation

@@ -298,13 +298,21 @@ def _index_config(
         return {"n_coefficients": int(rng.integers(2, 1 + max(2, dim // 2)))}
     if index == "sharded":
         replication = int(rng.integers(1, 4))
+        # The engine's worker pool is a fuzz dimension too: forked
+        # workers must answer exactly like in-thread ones.  A distance
+        # cache cannot cross the fork boundary (the engine rejects the
+        # combination), so it is only drawn for the thread pool.
+        executor = str(rng.choice(("thread", "process")))
         config = {
             "backend": str(rng.choice(_SHARD_CASE_BACKENDS)),
             "n_shards": int(rng.integers(2, 6)),
             "assignment": str(rng.choice(("round-robin", "contiguous"))),
+            "executor": executor,
             "workers": int(rng.integers(2, 5)),
             "result_cache_size": int(rng.choice((0, 32))),
-            "distance_cache": bool(rng.random() < 0.5),
+            "distance_cache": bool(
+                executor == "thread" and rng.random() < 0.5
+            ),
             "replication_factor": replication,
         }
         if replication > 1 and rng.random() < 0.5:

@@ -90,9 +90,9 @@ class DistanceMatrixIndex(MetricIndex):
         while undecided.any():
             # Pivot choice: the undecided object with the smallest lower
             # bound (the classic AESA heuristic — most likely in range,
-            # and near objects are the best eliminators).
-            candidates = np.nonzero(undecided)[0]
-            x = int(candidates[np.argmin(lower[candidates])])
+            # and near objects are the best eliminators).  Masked argmin
+            # avoids materialising the candidate set every iteration.
+            x = int(np.argmin(np.where(undecided, lower, np.inf)))
             scanned += 1
             dx = float(self._dist(obs, query, self._objects[x]))
             undecided[x] = False
@@ -139,8 +139,7 @@ class DistanceMatrixIndex(MetricIndex):
         scanned = 0
 
         while undecided.any():
-            candidates = np.nonzero(undecided)[0]
-            x = int(candidates[np.argmin(lower[candidates])])
+            x = int(np.argmin(np.where(undecided, lower, np.inf)))
             if len(best) == k and definitely_greater(
                 float(lower[x]), best[-1].distance
             ):
@@ -170,8 +169,7 @@ class DistanceMatrixIndex(MetricIndex):
         out: list[int] = []
 
         while undecided.any():
-            candidates = np.nonzero(undecided)[0]
-            x = int(candidates[np.argmin(lower[candidates])])
+            x = int(np.argmin(np.where(undecided, lower, np.inf)))
             dx = float(self._dist(None, query, self._objects[x]))
             undecided[x] = False
             if dx > radius:
@@ -200,8 +198,7 @@ class DistanceMatrixIndex(MetricIndex):
         best: list[Neighbor] = []  # sorted farthest-first
 
         while undecided.any():
-            candidates = np.nonzero(undecided)[0]
-            x = int(candidates[np.argmax(upper[candidates])])
+            x = int(np.argmax(np.where(undecided, upper, -np.inf)))
             if len(best) == k and definitely_less(
                 float(upper[x]), best[-1].distance
             ):

@@ -33,7 +33,6 @@ from repro._util import (
     RngLike,
     as_rng,
     check_non_empty,
-    definitely_greater,
     gather,
     slack,
 )
@@ -104,9 +103,11 @@ class LAESA(MetricIndex):
         return self._table
 
     def _pivot_distances(self, query, obs=None) -> np.ndarray:
-        """Distances from ``query`` to every pivot (``n_pivots`` evaluations)."""
-        return np.array(
-            [self._dist(obs, query, self._objects[pivot]) for pivot in self.pivot_ids]
+        """Distances from ``query`` to every pivot (``n_pivots`` evaluations),
+        paid as one batched call through the counting gateway."""
+        return np.asarray(
+            self._batch_dist(obs, gather(self._objects, self.pivot_ids), query),
+            dtype=np.float64,
         )
 
     def _lower_bounds(self, query, obs=None) -> np.ndarray:
@@ -162,20 +163,32 @@ class LAESA(MetricIndex):
         bounds = self._lower_bounds(query, obs)
         order = np.argsort(bounds, kind="stable")
 
+        # Refine in lower-bound order, but in geometrically growing
+        # batches instead of one evaluation at a time: a batch may pay a
+        # few distances the strictly sequential scan would have skipped
+        # (the k-th distance only tightens between batches), which can
+        # only admit extra candidates — the answer set stays exact.
         best: list[Neighbor] = []
         scanned = 0
-        for position in order:
-            idx = int(position)
-            if len(best) == k and definitely_greater(
-                float(bounds[idx]), best[-1].distance
-            ):
-                break
-            scanned += 1
-            distance = float(self._dist(obs, self._objects[idx], query))
-            best.append(Neighbor(distance, idx))
+        position = 0
+        batch = max(k, 16)
+        while position < len(order):
+            take = order[position : position + batch]
+            if len(best) == k:
+                threshold = best[-1].distance
+                keep = ~(bounds[take] > threshold + slack(threshold))
+                take = take[keep]  # bounds ascend, so this is a prefix
+                if take.size == 0:
+                    break
+            distances = self._batch_dist(obs, gather(self._objects, take), query)
+            scanned += len(take)
+            best.extend(
+                Neighbor(float(d), int(i)) for d, i in zip(distances, take)
+            )
             best.sort()
-            if len(best) > k:
-                best.pop()
+            del best[k:]
+            position += batch
+            batch *= 2
         if obs is not None:
             n = len(self._objects)
             obs.enter_leaf(n)

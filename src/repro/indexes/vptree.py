@@ -34,6 +34,7 @@ from repro._util import (
     definitely_less,
     gather,
 )
+from repro.indexes import kernels
 from repro.indexes.base import MetricIndex, Neighbor
 from repro.indexes.selection import VantagePointSelector, get_selector
 from repro.metric.base import Metric
@@ -143,6 +144,7 @@ class VPTree(MetricIndex):
         self.vantage_point_count = 0
         self.height = 0
         self._root = self._build(list(range(len(objects))), depth=1)
+        self._kernel_cache = None  # flat arrays, built lazily on first search
 
     # ------------------------------------------------------------------
     # Construction
@@ -235,10 +237,7 @@ class VPTree(MetricIndex):
     ) -> list[int]:
         radius = self.validate_radius(radius)
         obs = make_observation(stats, trace)
-        out: list[int] = []
-        self._range(self._root, query, radius, out, obs)
-        out.sort()
-        return out
+        return kernels.vp_range(self, query, radius, obs)
 
     def _range(
         self,
@@ -303,6 +302,21 @@ class VPTree(MetricIndex):
         k = self.validate_k(k)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        obs = make_observation(stats, trace)
+        return kernels.vp_knn(self, query, k, 1.0 + epsilon, obs)
+
+    def _knn_legacy(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
+        """Sequential best-first k-NN (the pre-kernel hot path), kept as
+        the reference implementation for kernel-parity tests."""
+        k = self.validate_k(k)
         obs = make_observation(stats, trace)
         approximation = 1.0 + epsilon
         # Max-heap of current k best as (-distance, -id); tie-break on id

@@ -7,7 +7,10 @@ The serving layer above the whole index family (see ``docs/serving.md``):
   and ``replication_factor`` copies of every shard for failover;
 * :class:`QueryEngine` — concurrent batch execution with per-query
   deadlines, replica failover behind circuit breakers, backoff-spaced
-  retry rounds, backpressure and degraded partial results;
+  retry rounds, backpressure and degraded partial results; pick the
+  worker pool with ``executor="thread"`` (default) or
+  ``executor="process"`` (forked workers sharing the index
+  copy-on-write — the GIL escape hatch for python-heavy metrics);
 * :class:`LRUCache` / :class:`DistanceCacheMetric` — whole-answer and
   (query, point) distance memoization with per-query hit accounting.
 
@@ -28,6 +31,7 @@ Quick start::
 
 from repro.serve.cache import DistanceCacheMetric, LRUCache, query_cache_key
 from repro.serve.engine import (
+    EXECUTOR_KINDS,
     BatchResult,
     FaultHook,
     Query,
@@ -37,6 +41,7 @@ from repro.serve.engine import (
     ShardFailure,
     ThreadedExecutor,
 )
+from repro.serve.procpool import ProcessExecutor, fork_available
 from repro.serve.sharding import (
     SHARD_BACKENDS,
     ReplicaUnavailable,
@@ -58,6 +63,9 @@ __all__ = [
     "BatchResult",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_KINDS",
+    "fork_available",
     "ShardFailure",
     "ReplicaUnavailable",
     "FaultHook",

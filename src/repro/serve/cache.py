@@ -132,11 +132,14 @@ class DistanceCacheMetric(Metric):
     never alias one.  Pairs with an unhashable non-array operand pass
     through uncached (counted as misses).
 
-    Batched evaluations pass through unmemoized: a vectorised leaf scan
-    is cheaper than per-pair dict lookups, and the scalar path is where
-    repetition actually happens (query-to-vantage-point distances
-    recurring across radii, retries, and the knn/range pair of the same
-    query object).
+    Batched evaluations are memoized per element: the vectorised search
+    kernels pay query-to-vantage-point distances through
+    ``batch_distance``, so each batch element is looked up individually
+    and only the misses reach the wrapped metric (as one smaller
+    batch).  Repetition across radii, retries, and the knn/range pair
+    of the same query object is caught exactly as it was on the scalar
+    path, at the price of per-element key hashing — which only the
+    caller who opted into memoization pays.
 
     Per-query attribution: a worker thread executing one (query, shard)
     unit binds its :class:`~repro.obs.QueryStats` with :meth:`observe`;
@@ -201,7 +204,54 @@ class DistanceCacheMetric(Metric):
         return value
 
     def batch_distance(self, xs: Sequence, y) -> np.ndarray:
-        return self.inner.batch_distance(xs, y)
+        n = len(xs)
+        out = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return out
+        stats: Optional[QueryStats] = getattr(self._local, "stats", None)
+        ky = query_cache_key(y)
+        miss_positions: list[int] = []
+        miss_keys: list[Optional[frozenset]] = []
+        if ky is None:
+            miss_positions = list(range(n))
+            miss_keys = [None] * n
+        else:
+            with self._lock:
+                for i in range(n):
+                    kx = query_cache_key(xs[i])
+                    key = None if kx is None else frozenset((kx, ky))
+                    value = (
+                        self._cache.get(key, _MISS) if key is not None else _MISS
+                    )
+                    if value is _MISS:
+                        miss_positions.append(i)
+                        miss_keys.append(key)
+                    else:
+                        out[i] = value
+        n_hits = n - len(miss_positions)
+        with self._lock:
+            self.hits += n_hits
+            self.misses += len(miss_positions)
+            if stats is not None:
+                stats.distance_cache_hits += n_hits
+                stats.distance_cache_misses += len(miss_positions)
+        if not miss_positions:
+            return out
+        # Evaluate every miss as one (smaller) vectorised batch, outside
+        # the lock — same rationale as the scalar path.
+        computed = np.asarray(
+            self.inner.batch_distance([xs[i] for i in miss_positions], y),
+            dtype=np.float64,
+        )
+        out[miss_positions] = computed
+        with self._lock:
+            for key, value in zip(miss_keys, computed):
+                if key is None:
+                    continue
+                if len(self._cache) >= self.max_size:
+                    self._cache.clear()  # simple wholesale eviction
+                self._cache[key] = float(value)
+        return out
 
     def clear(self) -> None:
         """Drop all cached pairs and zero the counters."""

@@ -8,7 +8,9 @@ The :class:`QueryEngine` turns a built index — a single
   (:class:`ThreadedExecutor` by default — numpy ``batch_distance``
   releases the GIL on real workloads, and expensive user metrics that
   drop into C do too; :class:`SerialExecutor` gives a deterministic
-  in-thread baseline);
+  in-thread baseline; :class:`~repro.serve.procpool.ProcessExecutor`
+  forks workers that inherit the index read-only, escaping the GIL for
+  python-heavy metrics — pass ``executor="process"``);
 * the unit of parallel work is one *(query, shard)* pair, so a single
   query's shards also overlap;
 * every unit carries its own :class:`~repro.obs.QueryStats`; a query's
@@ -51,6 +53,7 @@ from repro.obs.stats import QueryStats, merge_all
 from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.breaker import CircuitBreaker
 from repro.serve.cache import DistanceCacheMetric, LRUCache, query_cache_key
+from repro.serve.procpool import ProcessExecutor
 from repro.serve.sharding import ShardManager, merge_knn, merge_range
 
 
@@ -210,7 +213,13 @@ class ThreadedExecutor:
 
 
 #: Anything with ``submit(fn, *args) -> Future`` and ``shutdown()``.
-Executor = Union[SerialExecutor, ThreadedExecutor]
+#: :class:`~repro.serve.procpool.ProcessExecutor` additionally exposes
+#: ``search(...)``, which the engine routes unit searches through.
+Executor = Union[SerialExecutor, ThreadedExecutor, ProcessExecutor]
+
+#: Names accepted by ``QueryEngine(executor=...)`` as shorthand for an
+#: engine-owned pool of ``workers`` workers.
+EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 @dataclass
@@ -257,9 +266,14 @@ class QueryEngine:
         A built :class:`ShardManager` (units fan out per shard) or any
         single :class:`MetricIndex` (one unit per query).
     executor:
-        Worker pool; defaults to ``ThreadedExecutor(workers)``.
+        Worker pool: an executor object, or one of the names in
+        :data:`EXECUTOR_KINDS` — ``"serial"`` (inline, deterministic),
+        ``"thread"`` (the default; fine while the metric releases the
+        GIL) or ``"process"`` (forked workers inheriting the index
+        read-only — see :mod:`repro.serve.procpool`; incompatible with
+        ``distance_cache``).  Defaults to ``ThreadedExecutor(workers)``.
     workers:
-        Pool size when ``executor`` is not supplied.
+        Pool size when ``executor`` is not supplied or is a name.
     timeout:
         Default per-query deadline in seconds (None = no deadline).
         A query's deadline starts when its units are submitted; shards
@@ -307,7 +321,7 @@ class QueryEngine:
         self,
         index: MetricIndex,
         *,
-        executor: Optional[Executor] = None,
+        executor: Union[Executor, str, None] = None,
         workers: int = 4,
         timeout: Optional[float] = None,
         retries: int = 1,
@@ -323,8 +337,35 @@ class QueryEngine:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.index = index
-        self._own_executor = executor is None
-        self.executor = executor if executor is not None else ThreadedExecutor(workers)
+        if isinstance(executor, str):
+            if executor not in EXECUTOR_KINDS:
+                raise ValueError(
+                    f"unknown executor {executor!r}; expected one of "
+                    f"{EXECUTOR_KINDS} or an executor object"
+                )
+            if executor == "process" and distance_cache is not None:
+                raise ValueError(
+                    "executor='process' cannot use a distance_cache: "
+                    "forked workers would populate private copies the "
+                    "parent never sees"
+                )
+            self._own_executor = True
+            if executor == "serial":
+                self.executor: Executor = SerialExecutor()
+            elif executor == "thread":
+                self.executor = ThreadedExecutor(workers)
+            else:
+                self.executor = ProcessExecutor(index, workers)
+        else:
+            self._own_executor = executor is None
+            self.executor = (
+                executor if executor is not None else ThreadedExecutor(workers)
+            )
+        if isinstance(self.executor, ProcessExecutor) and distance_cache is not None:
+            raise ValueError(
+                "a ProcessExecutor cannot use a distance_cache: forked "
+                "workers would populate private copies the parent never sees"
+            )
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff if backoff is not None else BackoffPolicy()
@@ -387,6 +428,19 @@ class QueryEngine:
     ):
         """One replica's (or the whole single index's) answer for a query."""
         index = self.index
+        if isinstance(self.executor, ProcessExecutor):
+            # The search itself runs in a forked worker; only the
+            # orchestration (this thread) stays parent-side.  The
+            # worker's stats come back by value and merge into the
+            # unit's stats, preserving every per-query identity except
+            # the parent CountingMetric delta (the worker charged its
+            # own forked copy).
+            target = shard if isinstance(index, ShardManager) else None
+            value, remote_stats = self.executor.search(
+                query.kind, query.query, query.radius, query.k, target, replica
+            )
+            stats.merge(remote_stats)
+            return value
         if shard is not None and isinstance(index, ShardManager):
             if query.kind == "range":
                 return index.shard_range_search(

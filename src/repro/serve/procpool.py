@@ -1,0 +1,234 @@
+"""Process-pool serving backend: escape the GIL by forking workers.
+
+Threads serve this workload well only while the expensive inner loops
+release the GIL (numpy ``batch_distance``, C-implemented metrics).  A
+pure-python metric — or any python-heavy search path — serialises on
+the interpreter lock and a thread pool adds overhead without adding
+throughput.  The :class:`ProcessExecutor` fixes that by running the
+*search* of every (query, shard) unit in a forked worker process:
+
+* **Workers inherit the index read-only at fork.**  The index (usually
+  a :class:`~repro.serve.sharding.ShardManager`) is placed in the
+  module-level :data:`_FORK_REGISTRY` *before* the pool forks, so every
+  worker finds it in its own copy-on-write memory under a small integer
+  token.  Queries ship only ``(token, kind, query, radius/k, shard,
+  replica)`` — the index itself is **never pickled**, not at setup and
+  not per query.
+* **Orchestration stays in the parent.**  Retry rounds, replica
+  failover, circuit breakers, deadlines, backpressure and the fault
+  hook all run on a parent-side thread pool exactly as they do for the
+  threaded executor; only the leaf call —
+  :func:`_remote_search` — crosses the process boundary, returning a
+  picklable ``(value, QueryStats)`` pair that the parent merges into
+  the unit's stats.
+* **Parent-side replica state is authoritative.**  Workers never see
+  replicas dropped *after* the fork (their copy-on-write snapshot still
+  has them), which is safe precisely because the engine checks
+  ``index.replica(shard, replica)`` in the parent before dispatching —
+  a dropped replica is skipped without ever reaching a worker.
+
+Consequences callers must accept:
+
+* The parent's :class:`~repro.metric.CountingMetric` is **not**
+  incremented by worker searches (each worker bumps its own forked
+  copy), so the parent-side ``stats == counter delta`` identity holds
+  only for the returned :class:`~repro.obs.QueryStats`, which the
+  workers report faithfully.  Correctness checks compare answers and
+  stats against a sequential oracle instead (see the differential
+  fuzzer).
+* A :class:`~repro.serve.cache.DistanceCacheMetric` cannot work across
+  the boundary (each worker would populate a private copy the parent
+  never sees); the engine rejects the combination up front.
+* Index mutations after the pool is built (e.g.
+  ``DynamicMVPTree.insert``) are invisible to the workers.  Build the
+  index, then the pool; rebuild the pool after bulk updates.
+
+Fork safety: every worker is forked eagerly in ``__init__`` — before
+the orchestration thread pool exists and before any query runs — so no
+worker can inherit a lock some other parent thread happens to hold
+mid-operation (the classic fork-after-threads deadlock).  Modules
+imported by fork workers must not hold module-level locks, open file
+handles, or thread pools; the RC009 lint rule enforces this.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Optional
+
+from repro.indexes.base import MetricIndex
+from repro.obs.stats import QueryStats
+from repro.serve.sharding import ShardManager
+
+#: Indexes visible to fork workers, keyed by registration token.  Entries
+#: added *before* a pool forks are inherited copy-on-write by its
+#: workers; entries added afterwards are invisible to them — which is
+#: why registration happens inside ``ProcessExecutor.__init__`` only.
+_FORK_REGISTRY: dict[int, MetricIndex] = {}
+
+_TOKENS = itertools.count(1)
+
+
+def fork_available() -> bool:
+    """Can this platform fork workers that inherit the registry?"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _ping(delay_s: float) -> int:
+    """Worker warm-up task; the sleep keeps the worker busy long enough
+    that the next submission forks a fresh process instead of reusing
+    this one (``ProcessPoolExecutor`` only spawns when no worker is
+    idle)."""
+    time.sleep(delay_s)
+    return 0
+
+
+def _remote_search(
+    token: int,
+    kind: str,
+    query: object,
+    radius: Optional[float],
+    k: Optional[int],
+    shard: Optional[int],
+    replica: Optional[int],
+) -> tuple[object, QueryStats]:
+    """Run one unit's search inside a worker; the picklable leaf call.
+
+    Looks the index up in the fork-inherited registry and returns the
+    answer together with the worker-side :class:`QueryStats`, which the
+    parent merges into the unit's stats.  Exceptions propagate through
+    the future into the parent's failover logic unchanged.
+    """
+    index = _FORK_REGISTRY.get(token)
+    if index is None:
+        raise RuntimeError(
+            f"fork registry has no index for token {token}; the worker "
+            "predates the registration (pool built before the index?)"
+        )
+    stats = QueryStats()
+    if shard is not None and isinstance(index, ShardManager):
+        if kind == "range":
+            value = index.shard_range_search(
+                shard, query, radius, replica=replica, stats=stats
+            )
+        else:
+            value = index.shard_knn_search(
+                shard, query, k, replica=replica, stats=stats
+            )
+    elif kind == "range":
+        value = index.range_search(query, radius, stats=stats)
+    else:
+        value = index.knn_search(query, k, stats=stats)
+    return value, stats
+
+
+class ProcessExecutor:
+    """Worker pool that runs searches in forked processes.
+
+    Plugs into :class:`~repro.serve.engine.QueryEngine` through the
+    same ``submit(fn, *args) -> Future`` surface as the thread pool:
+    unit *orchestration* (``_run_unit`` — retries, failover, breakers)
+    runs on an internal thread pool, and the engine routes the actual
+    search through :meth:`search`, which blocks the orchestration
+    thread on the forked worker's answer.
+
+    Parameters
+    ----------
+    index:
+        The built index the workers should answer from.  Registered
+        under a fresh token, then inherited by every worker at fork.
+    max_workers:
+        Worker process count (an equal number of orchestration threads
+        is created so no search ever waits for an orchestrator).
+    warm_timeout_s:
+        How long ``__init__`` may spend forking the full complement of
+        workers up front.  Eager forking is a *fork-safety* measure,
+        not an optimisation — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        index: MetricIndex,
+        max_workers: int = 4,
+        *,
+        warm_timeout_s: float = 10.0,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if not fork_available():
+            raise RuntimeError(
+                "ProcessExecutor requires the 'fork' start method so "
+                "workers inherit the index; this platform offers only "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self.max_workers = max_workers
+        self.token = next(_TOKENS)
+        # Registration MUST precede pool creation: workers only see
+        # registry entries that existed when they forked.
+        _FORK_REGISTRY[self.token] = index
+        context = multiprocessing.get_context("fork")
+        self._processes = ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        )
+        self._warm(warm_timeout_s)
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve-orch"
+        )
+
+    def _warm(self, timeout_s: float) -> None:
+        """Fork every worker now, while the parent is single-threaded.
+
+        ``ProcessPoolExecutor`` forks lazily — one worker per submission
+        that finds no idle worker — so a round of sleepy pings forks at
+        least one fresh worker per round.  Deadline-bounded: a slow
+        machine gets as many eager workers as the budget allows and
+        forks the rest lazily (losing the safety guarantee is still
+        better than hanging startup).
+        """
+        deadline = time.monotonic() + timeout_s
+        while (
+            len(self._processes._processes) < self.max_workers
+            and time.monotonic() < deadline
+        ):
+            pings = [
+                self._processes.submit(_ping, 0.05)
+                for _ in range(self.max_workers)
+            ]
+            wait(pings)
+
+    @property
+    def n_live_workers(self) -> int:
+        """Forked worker processes currently in the pool."""
+        return len(self._processes._processes)
+
+    def submit(self, fn, *args) -> Future:
+        """Run unit orchestration on a parent-side thread (engine API)."""
+        return self._threads.submit(fn, *args)
+
+    def search(
+        self,
+        kind: str,
+        query: object,
+        radius: Optional[float],
+        k: Optional[int],
+        shard: Optional[int],
+        replica: Optional[int],
+    ) -> tuple[object, QueryStats]:
+        """Dispatch one search to a forked worker and await its answer.
+
+        Called by the engine's ``_search_unit`` from an orchestration
+        thread; worker exceptions re-raise here and feed the engine's
+        breaker/failover path exactly like an in-thread failure.
+        """
+        future = self._processes.submit(
+            _remote_search, self.token, kind, query, radius, k, shard, replica
+        )
+        return future.result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._threads.shutdown(wait=wait)
+        self._processes.shutdown(wait=wait)
+        _FORK_REGISTRY.pop(self.token, None)

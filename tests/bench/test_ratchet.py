@@ -1,0 +1,106 @@
+"""The perf-trajectory ratchet: baseline loading, replay, verdicts."""
+
+import json
+
+import pytest
+
+from repro.bench.ratchet import (
+    DEFAULT_MAX_REGRESSION,
+    load_baseline,
+    ratchet_main,
+    rerun_baseline_config,
+)
+from repro.bench.throughput import SERVE_SCHEMA, run_throughput
+
+
+def small_baseline(tmp_path, **overrides):
+    """Run the tiny pinned config once and write it as a baseline file."""
+    result = run_throughput(
+        n=120, dim=4, n_shards=2, workers=2, n_queries=4, seed=2,
+        measure_latency=False,
+    )
+    payload = result.to_dict()
+    payload.update(overrides)
+    path = tmp_path / "BENCH_test.json"
+    path.write_text(json.dumps(payload))
+    return path, payload
+
+
+class TestLoadBaseline:
+    def test_accepts_serve_schema(self, tmp_path):
+        path, payload = small_baseline(tmp_path)
+        baseline = load_baseline(str(path))
+        assert baseline["schema"] == SERVE_SCHEMA
+        assert baseline["config"]["n"] == 120
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path, _ = small_baseline(tmp_path, schema="something-else/v9")
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(str(path))
+
+    def test_rejects_missing_config(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"schema": SERVE_SCHEMA}))
+        with pytest.raises(ValueError, match="config"):
+            load_baseline(str(path))
+
+
+class TestRerun:
+    def test_replays_pinned_config(self, tmp_path):
+        path, payload = small_baseline(tmp_path)
+        result = rerun_baseline_config(load_baseline(str(path)))
+        assert result.n_objects == payload["config"]["n"]
+        assert result.backend == payload["config"]["backend"]
+        assert result.results_identical
+        # Identical config, identical deterministic workload: the
+        # distance totals replay exactly.
+        assert (
+            result.sequential_distance_calls
+            == payload["sequential_distance_calls"]
+        )
+
+
+class TestRatchetMain:
+    def test_passes_against_own_run(self, tmp_path, capsys):
+        path, _ = small_baseline(tmp_path)
+        assert ratchet_main(["--baseline", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        # A baseline claiming absurd throughput makes any real machine
+        # regress past the allowed fraction.
+        path, _ = small_baseline(tmp_path, qps=1e9)
+        assert ratchet_main(["--baseline", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_verdict(self, tmp_path, capsys):
+        path, _ = small_baseline(tmp_path)
+        assert ratchet_main(["--baseline", str(path), "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["schema"] == "repro-bench-ratchet/v1"
+        assert verdict["passed"] is True
+        assert verdict["max_regression"] == DEFAULT_MAX_REGRESSION
+        assert verdict["current"]["schema"] == SERVE_SCHEMA
+
+    def test_write_emits_new_baseline(self, tmp_path):
+        path, _ = small_baseline(tmp_path)
+        out = tmp_path / "BENCH_new.json"
+        assert (
+            ratchet_main(["--baseline", str(path), "--write", str(out)]) == 0
+        )
+        fresh = json.loads(out.read_text())
+        assert fresh["schema"] == SERVE_SCHEMA
+        assert fresh["config"]["n"] == 120
+
+    def test_unusable_baseline_is_exit_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert ratchet_main(["--baseline", str(missing)]) == 2
+        assert "unusable baseline" in capsys.readouterr().err
+
+    def test_bad_max_regression_is_exit_2(self, tmp_path, capsys):
+        path, _ = small_baseline(tmp_path)
+        code = ratchet_main(
+            ["--baseline", str(path), "--max-regression", "1.5"]
+        )
+        assert code == 2
+        assert "max-regression" in capsys.readouterr().err

@@ -1,4 +1,4 @@
-"""Per-rule tests for the repro.check AST lint (RC001..RC007)."""
+"""Per-rule tests for the repro.check AST lint (RC001..RC009)."""
 
 import textwrap
 from pathlib import Path
@@ -92,6 +92,74 @@ class TestRC001RawMetricCalls:
                 return metric.distance(a, b)
             """,
             relpath="datasets/gen.py",
+            select={"RC001"},
+        )
+        assert codes == []
+
+
+class TestRC001KernelStrictMode:
+    """Kernel modules drop the receiver-name heuristic entirely."""
+
+    def test_strict_flags_any_receiver(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            def vp_range(tree, objects, query, radius):
+                return tree.fn.distance(objects[0], query)
+            """,
+            relpath="indexes/kernels.py",
+            select={"RC001"},
+        )
+        assert codes == ["RC001"]
+        assert "strict mode" in findings[0].message
+
+    def test_strict_flags_batch_on_helper_object(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def mvp_knn(evaluator, xs, y):
+                return evaluator.batch_distance(xs, y)
+            """,
+            relpath="indexes/search_kernels.py",
+            select={"RC001"},
+        )
+        assert codes == ["RC001"]
+
+    def test_gateway_calls_stay_clean_in_kernels(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def vp_range(tree, obs, objects, query):
+                return tree._batch_dist(obs, objects, query)
+            """,
+            relpath="indexes/kernels.py",
+            select={"RC001"},
+        )
+        assert codes == []
+
+    def test_gateway_definition_is_exempt_even_in_kernels(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def _batch_dist(obs, metric, xs, y):
+                return metric.batch_distance(xs, y)
+            """,
+            relpath="indexes/kernels.py",
+            select={"RC001"},
+        )
+        assert codes == []
+
+    def test_non_kernel_module_keeps_heuristic(self, tmp_path):
+        # Same snippet as test_strict_flags_any_receiver, but in an
+        # ordinary index module: the receiver is not metric-like, so
+        # the relaxed heuristic lets it through.
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def vp_range(tree, objects, query, radius):
+                return tree.fn.distance(objects[0], query)
+            """,
+            relpath="indexes/vptree.py",
             select={"RC001"},
         )
         assert codes == []
@@ -464,6 +532,120 @@ class TestRC007NondeterminismSources:
             """,
             relpath="fuzz/gen.py",
             select={"RC007"},
+        )
+        assert codes == []
+
+
+class TestRC009ForkUnsafeState:
+    """Import-time lock/handle/pool state in fork-inherited modules."""
+
+    def test_flags_module_level_lock(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            """,
+            relpath="serve/workerlib.py",
+            select={"RC009"},
+        )
+        assert codes == ["RC009"]
+        assert "deadlock" in findings[0].message
+
+    def test_flags_class_attribute_pool(self, tmp_path):
+        # Class attributes are built at import time too and shared by
+        # every instance — equally captured by the fork snapshot.
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Dispatcher:
+                pool = ThreadPoolExecutor(max_workers=2)
+            """,
+            relpath="serve/workerlib.py",
+            select={"RC009"},
+        )
+        assert codes == ["RC009"]
+
+    def test_flags_module_level_open(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            LOG = open("/tmp/serve.log", "a")
+            """,
+            relpath="resilience/journal.py",
+            select={"RC009"},
+        )
+        assert codes == ["RC009"]
+        assert "file offset" in findings[0].message
+
+    def test_lock_inside_method_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            relpath="serve/workerlib.py",
+            select={"RC009"},
+        )
+        assert codes == []
+
+    def test_lambda_factory_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            make_lock = lambda: threading.Lock()
+            """,
+            relpath="serve/workerlib.py",
+            select={"RC009"},
+        )
+        assert codes == []
+
+    def test_with_scoped_open_is_clean(self, tmp_path):
+        # The handle closes before the import finishes; nothing
+        # survives into the fork snapshot.
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            with open("data/defaults.json") as fh:
+                DEFAULTS = fh.read()
+            """,
+            relpath="serve/workerlib.py",
+            select={"RC009"},
+        )
+        assert codes == []
+
+    def test_tooling_packages_are_exempt(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            """,
+            relpath="bench/reporting.py",
+            select={"RC009"},
+        )
+        assert codes == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _LOCK = threading.Lock()  # repro-check: ignore[RC009] parent-only
+            """,
+            relpath="serve/workerlib.py",
+            select={"RC009"},
         )
         assert codes == []
 

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-import repro.indexes.vptree as vptree_module
+import repro.indexes.kernels as kernels_module
 from repro.cli import main as repro_main
 from repro.fuzz.cases import generate_spec
 from repro.fuzz.cli import main
@@ -43,9 +43,7 @@ class TestRun:
         assert manifest["cases"] == 2
 
     def test_failing_run_shrinks_and_saves(self, tmp_path, capsys, monkeypatch):
-        monkeypatch.setattr(
-            vptree_module, "definitely_greater", lambda a, b: a > b - 0.05
-        )
+        monkeypatch.setattr(kernels_module, "_slack_of", lambda values: -0.05)
         code = main(
             [
                 "run",
@@ -117,9 +115,7 @@ class TestShrinkCommand:
     def test_shrink_failing_case_saves_reproducer(
         self, tmp_path, capsys, monkeypatch
     ):
-        monkeypatch.setattr(
-            vptree_module, "definitely_greater", lambda a, b: a > b - 0.05
-        )
+        monkeypatch.setattr(kernels_module, "_slack_of", lambda values: -0.05)
         code = main(
             [
                 "shrink",

@@ -7,7 +7,7 @@ and the shrinker must reduce the failure to a tiny reproducer.
 
 import pytest
 
-import repro.indexes.vptree as vptree_module
+import repro.indexes.kernels as kernels_module
 from repro.fuzz.cases import INDEX_NAMES, generate_spec
 from repro.fuzz.runner import run_case, run_fuzz, run_spec
 from repro.fuzz.shrink import regression_snippet, shrink_case
@@ -21,9 +21,7 @@ class TestCleanSweep:
         assert "failures=0" in report.summary()
 
     def test_fail_fast_stops_after_first_failure(self, monkeypatch):
-        monkeypatch.setattr(
-            vptree_module, "definitely_greater", lambda a, b: a > b - 0.05
-        )
+        monkeypatch.setattr(kernels_module, "_slack_of", lambda values: -0.05)
         report = run_fuzz(0, 48, fail_fast=True)
         assert len(report.failures) == 1
         assert report.results[-1] is report.failures[0]
@@ -52,10 +50,15 @@ class TestErrorCapture:
 
 @pytest.fixture
 def broken_vpt_bound(monkeypatch):
-    """An off-by-one in VPTree's section-4.3 pruning comparison."""
-    monkeypatch.setattr(
-        vptree_module, "definitely_greater", lambda a, b: a > b - 0.05
-    )
+    """An off-by-one in the kernels' section-4.3 pruning comparison.
+
+    Negative slack makes the vectorized shell test over-prune borderline
+    nodes — the canary bug the differential runner must catch.  The
+    kernels are the hot path for VP/MVP/GMVP searches, so this is the
+    modern equivalent of breaking ``definitely_greater`` in the old
+    recursive traversal.
+    """
+    monkeypatch.setattr(kernels_module, "_slack_of", lambda values: -0.05)
 
 
 class TestInjection:

@@ -1,0 +1,133 @@
+"""Property: process-pool serving is indistinguishable from sequential.
+
+The process executor moves every unit search into a forked worker; the
+engine's answers must stay *exactly* what a single-threaded pass over
+the same deployment produces — same ids, same distances, same per-query
+``QueryStats`` (the workers report their stats by value) — for every
+backend in :data:`SHARD_BACKENDS`, vectors and discrete objects alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan
+from repro.metric import L2, EditDistance
+from repro.obs.stats import QueryStats
+from repro.serve import (
+    SHARD_BACKENDS,
+    Query,
+    QueryEngine,
+    ShardManager,
+    fork_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process executor requires fork"
+)
+
+
+def _deployment(backend, uniform_data, word_data):
+    """Objects, metric and a mixed query workload for one backend."""
+    if backend == "bkt":  # discrete-only structure
+        objects = list(word_data)
+        metric = EditDistance()
+        queries = [
+            Query.range(objects[3], 2.0),
+            Query.knn(objects[5], 6),
+            Query.range(objects[9], 0.0),
+            Query.knn(objects[11], 1),
+        ]
+    else:
+        # 120 points keeps the O(n^2/shards) matrix backend affordable.
+        objects = uniform_data[:120]
+        metric = L2()
+        rng = np.random.default_rng(99)
+        queries = []
+        for i in range(6):
+            vector = rng.random(objects.shape[1])
+            if i % 2 == 0:
+                queries.append(Query.range(vector, 0.6))
+            else:
+                queries.append(Query.knn(vector, 7))
+    return objects, metric, queries
+
+
+@pytest.mark.parametrize("backend", sorted(SHARD_BACKENDS))
+def test_process_pool_matches_sequential_oracle(
+    backend, uniform_data, word_data
+):
+    objects, metric, queries = _deployment(backend, uniform_data, word_data)
+    manager = ShardManager(objects, metric, n_shards=3, backend=backend, rng=5)
+    oracle = LinearScan(objects, metric)
+
+    # Sequential single-threaded pass over the very same deployment.
+    sequential_answers = []
+    sequential_stats = []
+    for query in queries:
+        stats = QueryStats()
+        if query.kind == "range":
+            answer = manager.range_search(query.query, query.radius, stats=stats)
+        else:
+            answer = manager.knn_search(query.query, query.k, stats=stats)
+        sequential_answers.append(answer)
+        sequential_stats.append(stats)
+
+    with QueryEngine(manager, executor="process", workers=2) as engine:
+        outcome = engine.run_batch(queries)
+
+    for query, result, answer, stats in zip(
+        queries, outcome.results, sequential_answers, sequential_stats
+    ):
+        assert not result.degraded
+        assert result.shards_ok == 3
+        # Exact answers: equal to the sequential deployment AND to the
+        # ground-truth linear scan.
+        assert result.value == answer
+        if query.kind == "range":
+            assert result.ids == oracle.range_search(query.query, query.radius)
+        else:
+            k_eff = min(query.k, len(objects))
+            assert result.neighbors == oracle.knn_search(query.query, k_eff)
+        # Exact stats: the forked workers report the same counters the
+        # sequential pass recorded, field for field.
+        assert result.stats.to_dict() == stats.to_dict()
+
+
+def test_process_pool_replicated_failover_stays_exact(uniform_data):
+    objects = uniform_data[:150]
+    manager = ShardManager(
+        objects, L2(), n_shards=3, backend="vpt", rng=7, replication_factor=2
+    )
+    oracle = LinearScan(objects, L2())
+    queries = [Query.range(objects[0], 0.5), Query.knn(objects[1], 5)]
+
+    def kill_replica_zero(qi, shard, attempt, replica):
+        if replica == 0:
+            raise RuntimeError("fuzz: replica 0 down")
+
+    with QueryEngine(
+        manager, executor="process", workers=2, fault_hook=kill_replica_zero
+    ) as engine:
+        outcome = engine.run_batch(queries)
+    range_result, knn_result = outcome.results
+    assert not range_result.degraded and not knn_result.degraded
+    assert range_result.ids == oracle.range_search(objects[0], 0.5)
+    assert knn_result.neighbors == oracle.knn_search(objects[1], 5)
+    assert range_result.stats.failovers == 3  # every shard failed over
+
+
+def test_process_pool_single_index_parity(uniform_data):
+    """A plain (unsharded) index behind the process pool."""
+    from repro.indexes.vptree import VPTree
+
+    objects = uniform_data[:150]
+    tree = VPTree(objects, L2(), rng=3)
+    queries = [Query.range(objects[2], 0.5), Query.knn(objects[4], 4)]
+    with QueryEngine(tree, executor="process", workers=2) as engine:
+        outcome = engine.run_batch(queries)
+    stats = QueryStats()
+    assert outcome.results[0].ids == tree.range_search(
+        objects[2], 0.5, stats=stats
+    )
+    assert outcome.results[0].stats.to_dict() == stats.to_dict()
+    assert outcome.results[1].neighbors == tree.knn_search(objects[4], 4)

@@ -79,11 +79,16 @@ class TestMVPTreeInvariants:
                     for child in node.children:
                         walk(child)
                 return
-            # Zero-diameter groups (all points identical) deliberately
-            # fall back to a single oversized leaf — no vantage point
-            # can separate them.
+            # Zero-diameter groups deliberately fall back to a single
+            # oversized leaf — no vantage point can separate points the
+            # metric puts at distance 0.  Judged by the metric, not by
+            # bitwise equality: tiny coordinates can underflow to a
+            # computed distance of exactly 0.0 without being identical.
             bucket = data[node.ids]
-            if not (len(node.ids) and (bucket == bucket[0]).all()):
+            zero_diameter = len(node.ids) and all(
+                metric.distance(row, bucket[0]) == 0.0 for row in bucket
+            )
+            if not zero_diameter:
                 assert len(node.ids) <= k
             assert node.path_len <= p
             assert node.paths.shape == (len(node.ids), node.path_len)

@@ -106,15 +106,23 @@ class TestDistanceCacheMetric:
         cached.distance(b, a)
         assert counter.count == 1
 
-    def test_batch_distance_passes_through_uncached(self):
+    def test_batch_distance_memoizes_per_element(self):
         counter = CountingMetric(L2())
         cached = DistanceCacheMetric(counter)
         xs = np.random.default_rng(0).random((5, 3))
         y = xs[0]
-        np.testing.assert_allclose(
-            cached.batch_distance(xs, y), counter.batch_distance(xs, y)
-        )
-        assert cached.size == 0
+        expected = L2().batch_distance(xs, y)
+        np.testing.assert_allclose(cached.batch_distance(xs, y), expected)
+        assert counter.count == 5
+        assert cached.size == 5
+        # A repeat batch is served entirely from the cache.
+        np.testing.assert_allclose(cached.batch_distance(xs, y), expected)
+        assert counter.count == 5
+        assert (cached.hits, cached.misses) == (5, 5)
+        # Partial overlap pays only for the unseen element.
+        xs2 = np.vstack([xs[2:], np.full((1, 3), 0.5)])
+        cached.batch_distance(xs2, y)
+        assert counter.count == 6
 
     def test_observe_charges_bound_stats(self):
         cached = DistanceCacheMetric(L2())
