@@ -1,33 +1,54 @@
 """Correctness tooling: custom static lint + structural invariant verifier.
 
-Two complementary layers keep the index family honest:
+Three complementary layers keep the index family honest:
 
 * :mod:`repro.check.lint` — an AST lint pass with repo-specific rules
-  (RC001..RC006) enforcing the library's cross-cutting contracts: every
+  (RC001..RC012) enforcing the library's cross-cutting contracts: every
   metric evaluation in index code flows through the counting gateway,
   every public search method exposes ``stats=``/``trace=``, observation
   events are guarded, recursive tree walks document their depth bound,
   numpy scalars are coerced at API boundaries, and every index class is
-  exported from the package registry.
+  exported from the package registry.  The concurrency rules
+  (:mod:`repro.check.concurrency`) add guarded-attribute discipline
+  (RC010), interprocedural lock-order cycle detection (RC011), and
+  blocking-call-under-lock detection (RC012) over the serving and
+  resilience packages.
 * :mod:`repro.check.invariants` — a runtime verifier that walks a
   *built* index and asserts the paper's structural invariants
   (sections 4.2/4.3): cutoff monotonicity, M1/M2 shapes, leaf D1/D2
   and PATH truth, partition membership, GNAT range-table bracketing,
   and more, for all eleven index classes.
+* :mod:`repro.check.lockwatch` — runtime lock instrumentation that
+  records the acquisition-order graph and per-lock hold times on a
+  *running* engine, catching the inversions and blocking holds static
+  analysis cannot resolve.
 
-Both run through one CLI — ``python -m repro.check [lint|invariants|all]``
-(also installed as ``repro-check``) — with text or JSON output and
-conventional exit codes (0 clean, 1 findings, 2 usage error).
+All run through one CLI — ``python -m repro.check
+[lint|invariants|concurrency|all]`` (also installed as ``repro-check``)
+— with text or JSON output and conventional exit codes (0 clean, 1
+findings, 2 usage error).
 
 See ``docs/static-analysis.md`` for the full rule and invariant catalog.
 """
 
+from repro.check.concurrency import build_lock_graph
 from repro.check.invariants import Violation, verify_structure
 from repro.check.lint import LintFinding, run_lint
+from repro.check.lockwatch import (
+    InstrumentedLock,
+    LockWatcher,
+    instrument,
+    wrap_object_locks,
+)
 
 __all__ = [
     "LintFinding",
     "run_lint",
     "Violation",
     "verify_structure",
+    "build_lock_graph",
+    "InstrumentedLock",
+    "LockWatcher",
+    "instrument",
+    "wrap_object_locks",
 ]

@@ -4,7 +4,13 @@ Usage::
 
     python -m repro.check lint [paths...] [--select RC001,RC002] [--json]
     python -m repro.check invariants [--seed N] [--size N] [--only Cls] [--json]
+    python -m repro.check concurrency [paths...] [--json] [--graph FILE]
     python -m repro.check all [--json]
+
+``concurrency`` combines the static lock rules (RC010-RC012), the
+interprocedural lock-order graph, and a dynamic smoke run that serves a
+small replicated deployment under instrumented locks and fails on any
+observed lock-order inversion.
 
 Exit codes: 0 when clean, 1 when any finding or violation is reported,
 2 on usage errors (argparse's convention).  Also installed as the
@@ -126,6 +132,97 @@ def run_invariants_command(
     return 1 if total else 0
 
 
+#: The static rules the ``concurrency`` verb runs.
+_CONCURRENCY_SELECT = frozenset({"RC010", "RC011", "RC012"})
+
+
+def _lockwatch_smoke() -> dict:
+    """Serve a small replicated deployment under instrumented locks.
+
+    Exercises the lock-heavy serving paths — sharded fan-out with a
+    failing primary (breaker + failover), the memoizing distance cache,
+    and a replica drop/recover cycle — and returns the watcher's report.
+    """
+    import numpy as np
+
+    from repro.check.lockwatch import instrument
+    from repro.metric import L2
+    from repro.serve import Query, QueryEngine, ShardManager
+    from repro.serve.cache import DistanceCacheMetric
+
+    objects = np.random.default_rng(0).random((48, 4))
+    with instrument(scope="repro") as watcher:
+        metric = DistanceCacheMetric(L2())
+        manager = ShardManager(
+            objects, metric, n_shards=3, backend="vpt", rng=1,
+            replication_factor=2,
+        )
+
+        def drop_primary(qi, shard, attempt, replica):
+            if replica == 0 and qi == 0:
+                raise RuntimeError("lockwatch smoke: primary down")
+
+        queries = [Query.range(objects[0], 0.5), Query.knn(objects[1], 5)]
+        with QueryEngine(manager, workers=4, fault_hook=drop_primary) as engine:
+            engine.run_batch(queries)
+        manager.drop_replica(0, 1)
+        manager.recover(rng=2)
+    return watcher.report()
+
+
+def run_concurrency_command(
+    paths: Sequence[str],
+    as_json: bool = False,
+    graph: Optional[str] = None,
+    out=sys.stdout,
+) -> int:
+    """Static lock rules + lock graph + dynamic lockwatch smoke."""
+    from repro.check.concurrency import build_lock_graph
+
+    targets = [Path(p) for p in paths] if paths else [_PACKAGE_ROOT]
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+    findings = run_lint(targets, select=_CONCURRENCY_SELECT, root=Path.cwd())
+    lock_graph = build_lock_graph(targets, root=Path.cwd())
+    watch = _lockwatch_smoke()
+    inversions = watch["inversions"]
+    payload = {
+        "findings": [finding.__dict__ for finding in findings],
+        "lock_graph": lock_graph,
+        "lockwatch": watch,
+    }
+    if graph is not None:
+        Path(graph).write_text(json.dumps(payload, indent=2) + "\n")
+    if as_json:
+        json.dump(payload, out, indent=2)
+        out.write("\n")
+    else:
+        for finding in findings:
+            print(finding.format(), file=out)
+        print(
+            f"concurrency: {len(findings)} static finding(s), "
+            f"{len(lock_graph['edges'])} lock-order edge(s), "
+            f"{len(lock_graph['cycles'])} static cycle(s)",
+            file=out,
+        )
+        for component in inversions:
+            print(f"  runtime inversion over {', '.join(component)}", file=out)
+        for hold in watch["long_holds"]:  # advisory: scheduler noise
+            print(
+                f"  long hold: {hold['lock']} {hold['hold_s']:.3f}s",
+                file=out,
+            )
+        print(
+            f"lockwatch: {len(watch['locks'])} lock(s) watched, "
+            f"{len(inversions)} inversion(s)",
+            file=out,
+        )
+    failed = bool(findings or lock_graph["cycles"] or inversions)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-check",
@@ -157,6 +254,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     inv_parser.add_argument("--json", action="store_true", dest="as_json")
 
+    conc_parser = sub.add_parser(
+        "concurrency",
+        help="lock rules (RC010-RC012), lock-order graph, lockwatch smoke",
+    )
+    conc_parser.add_argument(
+        "paths", nargs="*", help="files/directories (default: the repro package)"
+    )
+    conc_parser.add_argument("--json", action="store_true", dest="as_json")
+    conc_parser.add_argument(
+        "--graph", help="write the combined report JSON to this path"
+    )
+
     all_parser = sub.add_parser("all", help="run both layers")
     all_parser.add_argument("--json", action="store_true", dest="as_json")
 
@@ -168,6 +277,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "invariants":
         return run_invariants_command(
             seed=args.seed, size=args.size, only=args.only, as_json=args.as_json
+        )
+    if args.command == "concurrency":
+        return run_concurrency_command(
+            args.paths, as_json=args.as_json, graph=args.graph
         )
     lint_code = run_lint_command([], as_json=args.as_json)
     invariant_code = run_invariants_command(as_json=args.as_json)

@@ -1,0 +1,745 @@
+"""Concurrency correctness rules: the RC010-RC012 family.
+
+The serving stack (``repro.serve``) and the resilience layer
+(``repro.resilience``) are the only packages where many threads share
+mutable state; these rules encode their locking discipline so it is
+checked, not remembered:
+
+RC010  Guarded-attribute discipline.  Per class, the rule learns which
+       ``self._*`` attributes a lock guards — from trailing
+       ``# guarded-by: <lockname>`` annotations (enforcing mode) or,
+       absent annotations, by inferring the guard from writes performed
+       inside ``with self.<lock>:`` blocks (advisory mode) — and flags
+       every read or write of a guarded attribute outside that lock.
+       A ``# guarded-by:`` comment on a ``def`` header declares a
+       *precondition*: callers must hold the lock, and the body is
+       analysed as holding it.  In enforcing mode a locked write to an
+       unannotated attribute is itself a finding, so annotations cannot
+       silently rot.
+RC011  Lock-order cycles.  An interprocedural acquisition graph is
+       built over every class in scope — ``with self.<lock>:`` blocks,
+       plus lock acquisitions reached through resolvable method calls —
+       and any cycle (including re-acquiring a non-reentrant ``Lock``
+       already held) is a potential deadlock.
+RC012  Blocking calls under a lock.  While a lock is held, calls that
+       can block — ``time.sleep``, ``Future.result``, semaphore/queue
+       ``acquire``/``wait``/``join``, and metric ``.distance`` /
+       ``.batch_distance`` evaluations — serialize every sibling thread
+       behind one sleeper.  Flagged directly and through resolvable
+       call chains.
+
+Both RC011 and RC012 share one :class:`LockModel`.  Call resolution is
+deliberately conservative: ``self.method()`` resolves within the class,
+``ClassName(...)`` resolves to ``__init__``, and ``obj.method()``
+resolves only when exactly one in-scope class defines ``method`` and
+the name is not a builtin-container collision (``get``, ``pop``, ...).
+Unresolvable calls contribute no edges — the dynamic harness in
+:mod:`repro.check.lockwatch` covers what static resolution cannot.
+
+All three rules are *block-scoped*: a ``repro-check: ignore[...]``
+pragma on the enclosing ``with``/``def`` header suppresses findings in
+that block (see :mod:`repro.check.lint`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.check.lint import ProjectRule, Rule, SourceFile, _receiver_name
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Paths whose classes must uphold the locking discipline.
+_SCOPE = ("/serve/", "/resilience/")
+
+#: Constructors recognised as lock factories on ``self`` attributes.
+_LOCK_FACTORIES = ("Lock", "RLock")
+
+#: Method names shared with builtin containers/primitives: resolving
+#: an ``obj.<name>()`` call through the project-wide unique-method
+#: index would invent call edges (``self._cache.get`` is ``dict.get``,
+#: not ``LRUCache.get``), so these never resolve interprocedurally.
+_AMBIGUOUS_METHODS = frozenset(
+    {
+        "acquire", "add", "append", "appendleft", "batch_distance",
+        "clear", "close", "copy", "count", "decode", "discard",
+        "distance", "encode", "extend", "flush", "format", "get",
+        "index", "insert", "items", "join", "keys", "knn_search", "map",
+        "pop", "popitem", "popleft", "put", "range_search", "read",
+        "release", "remove", "result", "reverse", "search", "send",
+        "setdefault", "sort", "split", "strip", "submit", "update",
+        "values", "wait", "write",
+    }
+)
+
+
+def _in_scope(file: SourceFile) -> bool:
+    posix = f"/{Path(file.display).as_posix()}"
+    return any(part in posix for part in _SCOPE)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is ``self.attr``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_kind(value: Optional[ast.expr]) -> Optional[str]:
+    """``"Lock"``/``"RLock"`` when ``value`` constructs one."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _LOCK_FACTORIES
+        and _receiver_name(func) == "threading"
+    ):
+        return func.attr
+    return None
+
+
+def _guard_comments(file: SourceFile) -> dict[int, str]:
+    """``{lineno: lockname}`` for every ``# guarded-by:`` comment."""
+    cached = getattr(file, "_rc_guarded", None)
+    if cached is None:
+        cached = {}
+        for lineno, line in enumerate(file.source.splitlines(), start=1):
+            match = _GUARDED_BY.search(line)
+            if match:
+                cached[lineno] = match.group(1)
+        file._rc_guarded = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@dataclass
+class ClassModel:
+    """One class's locks, guard declarations, and methods."""
+
+    file: SourceFile
+    node: ast.ClassDef
+    name: str
+    #: lock attribute -> "Lock" | "RLock"
+    locks: dict[str, str] = field(default_factory=dict)
+    #: guarded attribute -> (lock name, declaring statement)
+    declared: dict[str, tuple[str, ast.stmt]] = field(default_factory=dict)
+    #: method name -> (required lock, def node) for annotated helpers
+    method_guards: dict[str, tuple[str, ast.AST]] = field(default_factory=dict)
+    methods: dict[str, ast.AST] = field(default_factory=dict)
+
+    @property
+    def enforcing(self) -> bool:
+        """Annotated classes opt into complete-annotation checking."""
+        return bool(self.declared or self.method_guards)
+
+
+def class_model(file: SourceFile, node: ast.ClassDef) -> ClassModel:
+    """Collect a class's locks, guard annotations, and methods."""
+    guards = _guard_comments(file)
+    model = ClassModel(file=file, node=node, name=node.name)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            model.methods[item.name] = item
+            lock = guards.get(item.lineno)
+            if lock is not None:
+                model.method_guards[item.name] = (lock, item)
+    for method in model.methods.values():
+        for sub in ast.walk(method):
+            targets: Sequence[ast.expr]
+            value: Optional[ast.expr]
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                targets, value = (sub.target,), sub.value
+            elif isinstance(sub, ast.AugAssign):
+                targets, value = (sub.target,), None
+            else:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                kind = _lock_kind(value)
+                if kind is not None:
+                    model.locks[attr] = kind
+                    continue
+                # The trailing comment sits on the statement's last
+                # physical line when the assignment wraps.
+                lock = guards.get(sub.lineno)
+                if lock is None:
+                    lock = guards.get(getattr(sub, "end_lineno", sub.lineno))
+                if lock is not None:
+                    model.declared.setdefault(attr, (lock, sub))
+    return model
+
+
+def _with_locks(model: ClassModel, node: ast.With) -> frozenset[str]:
+    """Lock attributes a ``with`` statement acquires on ``self``."""
+    acquired = set()
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None and attr in model.locks:
+            acquired.add(attr)
+    return frozenset(acquired)
+
+
+def iter_with_held(
+    model: ClassModel, method: ast.AST
+) -> Iterator[tuple[ast.AST, frozenset[str]]]:
+    """Yield ``(node, held lock attrs)`` over one method body.
+
+    Iterative worklist — no recursion.  Nested function/class scopes
+    are yielded but not entered: they run on their own stack later, not
+    under the lexically enclosing lock.  A ``# guarded-by:`` annotation
+    on the method's ``def`` header seeds the held set (the caller is
+    required to hold that lock).
+    """
+    base: frozenset[str] = frozenset()
+    guard = model.method_guards.get(getattr(method, "name", ""))
+    if guard is not None and guard[0] in model.locks:
+        base = frozenset({guard[0]})
+    stack: list[tuple[ast.AST, frozenset[str]]] = [
+        (child, base) for child in ast.iter_child_nodes(method)
+    ]
+    while stack:
+        node, held = stack.pop()
+        yield node, held
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.With):
+            inner = held | _with_locks(model, node)
+            for item in node.items:
+                stack.append((item, held))
+            for child in node.body:
+                stack.append((child, inner))
+            continue
+        stack.extend((child, held) for child in ast.iter_child_nodes(node))
+
+
+def _scoped_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a callable body without entering nested def/class scopes
+    (iterative worklist, no recursion)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        yield sub
+        if isinstance(
+            sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+def _blocking_call(call: ast.Call) -> Optional[str]:
+    """Short description when ``call`` can block the calling thread."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return "sleep()" if func.id == "sleep" else None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr == "sleep":
+        return f"{_receiver_name(func) or '<expr>'}.sleep()"
+    if attr in ("distance", "batch_distance"):
+        return f"metric .{attr}() evaluation"
+    if attr in ("acquire", "wait", "join", "result"):
+        if isinstance(func.value, ast.Constant):
+            return None  # "sep".join(...) and friends
+        receiver = _receiver_name(func)
+        if attr == "join" and receiver in ("os", "path", "posixpath", "ntpath"):
+            return None
+        return f"{receiver or '<expr>'}.{attr}()"
+    return None
+
+
+# ----------------------------------------------------------------------
+# RC010: guarded-attribute discipline (per file)
+# ----------------------------------------------------------------------
+
+
+class GuardedAttributeRule(Rule):
+    """RC010: lock-guarded attributes must only be touched under it."""
+
+    code = "RC010"
+    block_scoped = True
+    description = (
+        "attributes written under 'with self.<lock>:' (or declared via "
+        "'# guarded-by: <lock>') must never be read or written outside "
+        "that lock; annotated classes additionally require every locked "
+        "write to be annotated (enforcing mode)"
+    )
+
+    #: Construction/destruction run single-threaded by contract.
+    _SKIP_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return _in_scope(file)
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(class_model(file, node))
+
+    def _check_class(self, model: ClassModel) -> Iterator[tuple[ast.AST, str]]:
+        if not model.locks:
+            return
+        known = sorted(model.locks)
+        for attr, (lock, stmt) in sorted(model.declared.items()):
+            if lock not in model.locks:
+                yield stmt, (
+                    f"guarded-by names unknown lock {lock!r} for "
+                    f"{model.name}.{attr} (locks in this class: {known})"
+                )
+        for name, (lock, fn) in sorted(model.method_guards.items()):
+            if lock not in model.locks:
+                yield fn, (
+                    f"guarded-by names unknown lock {lock!r} on "
+                    f"{model.name}.{name}() (locks in this class: {known})"
+                )
+
+        guard_of: dict[str, tuple[str, str]] = {
+            attr: (lock, f"declared guarded-by: {lock}")
+            for attr, (lock, _stmt) in model.declared.items()
+            if lock in model.locks
+        }
+        accesses: list[tuple[ast.AST, str, bool, frozenset[str], str]] = []
+        methods = sorted(model.methods.items(), key=lambda kv: kv[1].lineno)
+        for name, method in methods:
+            if name in self._SKIP_METHODS:
+                continue
+            for node, held in iter_with_held(model, method):
+                if isinstance(node, ast.Attribute):
+                    attr = _self_attr(node)
+                    if attr is None or attr in model.locks:
+                        continue
+                    is_store = isinstance(node.ctx, (ast.Store, ast.Del))
+                    accesses.append((node, attr, is_store, held, name))
+                    # Inference is advisory-mode only: in an enforcing
+                    # class a locked write without an annotation must
+                    # surface as a finding, not become a silent guard.
+                    if (
+                        not model.enforcing
+                        and is_store
+                        and held
+                        and attr not in guard_of
+                    ):
+                        lock = sorted(held)[0]
+                        guard_of[attr] = (
+                            lock,
+                            f"inferred from the locked write in {name}()",
+                        )
+                elif isinstance(node, ast.Call):
+                    callee = _self_attr(node.func)
+                    guard = (
+                        model.method_guards.get(callee) if callee else None
+                    )
+                    if (
+                        guard is not None
+                        and guard[0] in model.locks
+                        and guard[0] not in held
+                    ):
+                        yield node, (
+                            f"self.{callee}() requires {model.name}."
+                            f"{guard[0]} to be held (its def is annotated "
+                            f"guarded-by: {guard[0]})"
+                        )
+        for node, attr, is_store, held, name in accesses:
+            info = guard_of.get(attr)
+            if info is not None:
+                lock, origin = info
+                if lock not in held:
+                    action = "written" if is_store else "read"
+                    yield node, (
+                        f"self.{attr} {action} in {name}() without holding "
+                        f"{model.name}.{lock} ({origin})"
+                    )
+            elif model.enforcing and is_store and held:
+                yield node, (
+                    f"self.{attr} is written under {sorted(held)[0]} in "
+                    f"{name}() but carries no guarded-by annotation "
+                    f"({model.name} is in enforcing mode)"
+                )
+
+
+# ----------------------------------------------------------------------
+# The interprocedural lock model shared by RC011/RC012
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Summary:
+    """Transitive effects of one callable."""
+
+    acquires: frozenset[str]
+    blocking: frozenset[str]
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``src`` held while ``dst`` is acquired, at one source site."""
+
+    src: str
+    dst: str
+    file: SourceFile
+    node: ast.AST
+
+
+def _display(key: tuple) -> str:
+    return f"{key[1]}.{key[2]}()" if key[0] == "m" else f"{key[2]}()"
+
+
+class LockModel:
+    """Project-wide lock acquisition model over the in-scope files.
+
+    Locks are identified ``ClassName._attr``.  :meth:`summary` folds a
+    callable's transitive lock acquisitions and blocking calls through
+    the conservatively resolved call graph.
+    """
+
+    def __init__(self, files: Sequence[SourceFile]):
+        self.files = list(files)
+        self.classes: dict[str, ClassModel] = {}
+        self.class_idx: dict[str, int] = {}
+        self.method_owner: dict[str, set[str]] = {}
+        self.module_funcs: dict[tuple[int, str], ast.AST] = {}
+        for idx, file in enumerate(self.files):
+            for node in file.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.module_funcs[(idx, node.name)] = node
+            for node in ast.walk(file.tree):
+                if (
+                    isinstance(node, ast.ClassDef)
+                    and node.name not in self.classes
+                ):
+                    model = class_model(file, node)
+                    self.classes[node.name] = model
+                    self.class_idx[node.name] = idx
+                    for name in model.methods:
+                        self.method_owner.setdefault(name, set()).add(node.name)
+        self.lock_kinds: dict[str, str] = {
+            f"{cls}.{attr}": kind
+            for cls, model in self.classes.items()
+            for attr, kind in model.locks.items()
+        }
+        self._memo: dict[tuple, _Summary] = {}
+
+    def resolve(
+        self, file_idx: int, cls_name: Optional[str], call: ast.Call
+    ) -> Optional[tuple]:
+        """Conservatively resolve a call to a model key, or ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            model = self.classes.get(func.id)
+            if model is not None:
+                if "__init__" in model.methods:
+                    return ("m", func.id, "__init__")
+                return None
+            if (file_idx, func.id) in self.module_funcs:
+                return ("f", file_idx, func.id)
+            return None
+        if isinstance(func, ast.Attribute):
+            attr = _self_attr(func)
+            if attr is not None and cls_name is not None:
+                model = self.classes.get(cls_name)
+                if model is not None and attr in model.methods:
+                    return ("m", cls_name, attr)
+                return None
+            name = func.attr
+            if name in _AMBIGUOUS_METHODS:
+                return None
+            owners = self.method_owner.get(name, set())
+            if len(owners) == 1:
+                return ("m", next(iter(owners)), name)
+        return None
+
+    def summary(self, key: tuple) -> _Summary:
+        return self._summarize(key, set())
+
+    def _summarize(self, key: tuple, active: set) -> _Summary:
+        """Transitive (acquires, blocking) summary of one callable.
+
+        Recursive over the resolved call graph; depth is bounded by the
+        number of distinct callables, and cycles are cut through the
+        ``active`` in-progress set (a cyclic callee contributes its
+        direct effects through the other branch of the cycle).
+        """
+        memo = self._memo.get(key)
+        if memo is not None:
+            return memo
+        if key in active:
+            return _Summary(frozenset(), frozenset())
+        active.add(key)
+        acquires: set[str] = set()
+        blocking: set[str] = set()
+        if key[0] == "m":
+            _, cls, name = key
+            cmodel = self.classes[cls]
+            idx = self.class_idx[cls]
+            body: ast.AST = cmodel.methods[name]
+        else:
+            _, idx, name = key
+            cls, cmodel = None, None
+            body = self.module_funcs[(idx, name)]
+        for sub in _scoped_walk(body):
+            if cmodel is not None and isinstance(sub, ast.With):
+                for attr in _with_locks(cmodel, sub):
+                    acquires.add(f"{cls}.{attr}")
+            elif isinstance(sub, ast.Call):
+                desc = _blocking_call(sub)
+                if desc is not None:
+                    blocking.add(desc)
+                callee = self.resolve(idx, cls, sub)
+                if callee is not None and callee != key:
+                    inner = self._summarize(callee, active)
+                    acquires |= inner.acquires
+                    blocking |= {
+                        f"{entry} via {_display(callee)}"
+                        for entry in inner.blocking
+                    }
+        active.discard(key)
+        result = _Summary(frozenset(acquires), frozenset(blocking))
+        self._memo[key] = result
+        return result
+
+
+def collect_lock_facts(
+    model: LockModel,
+) -> tuple[list[LockEdge], list[tuple[SourceFile, ast.AST, str]]]:
+    """All acquisition-order edges and blocking-under-lock sites."""
+    edges: list[LockEdge] = []
+    blocking: list[tuple[SourceFile, ast.AST, str]] = []
+    for cls in sorted(model.classes):
+        cmodel = model.classes[cls]
+        idx = model.class_idx[cls]
+        methods = sorted(cmodel.methods.items(), key=lambda kv: kv[1].lineno)
+        for _name, method in methods:
+            for node, held in iter_with_held(cmodel, method):
+                if isinstance(node, ast.With):
+                    acquired = _with_locks(cmodel, node)
+                    for attr in sorted(acquired):
+                        dst = f"{cls}.{attr}"
+                        for held_attr in sorted(held):
+                            src = f"{cls}.{held_attr}"
+                            if src == dst and model.lock_kinds.get(dst) == "RLock":
+                                continue
+                            edges.append(LockEdge(src, dst, cmodel.file, node))
+                elif isinstance(node, ast.Call) and held:
+                    held_ids = [f"{cls}.{attr}" for attr in sorted(held)]
+                    desc = _blocking_call(node)
+                    if desc is not None:
+                        blocking.append(
+                            (
+                                cmodel.file,
+                                node,
+                                f"blocking {desc} while holding "
+                                f"{', '.join(held_ids)}",
+                            )
+                        )
+                    callee = model.resolve(idx, cls, node)
+                    if callee is None:
+                        continue
+                    summary = model.summary(callee)
+                    for dst in sorted(summary.acquires):
+                        for src in held_ids:
+                            if src == dst and model.lock_kinds.get(dst) == "RLock":
+                                continue
+                            edges.append(LockEdge(src, dst, cmodel.file, node))
+                    for entry in sorted(summary.blocking):
+                        blocking.append(
+                            (
+                                cmodel.file,
+                                node,
+                                f"{_display(callee)} reaches blocking "
+                                f"{entry} while holding {', '.join(held_ids)}",
+                            )
+                        )
+    return edges, blocking
+
+
+def _reachable(adj: dict[str, set[str]], start: str) -> set[str]:
+    """Nodes reachable from ``start`` via at least one edge (BFS)."""
+    seen: set[str] = set()
+    stack = list(adj.get(start, ()))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(adj.get(node, ()))
+    return seen
+
+
+def lock_order_cycles(adj: dict[str, set[str]]) -> list[list[str]]:
+    """Mutually-reachable lock groups containing at least one cycle.
+
+    Quadratic reachability sweep — the graphs hold a handful of locks,
+    so simplicity wins over Tarjan.  Sorted for stable diagnostics.
+    """
+    reach = {node: _reachable(adj, node) for node in adj}
+    cyclic = [node for node in sorted(adj) if node in reach[node]]
+    components: list[list[str]] = []
+    used: set[str] = set()
+    for node in cyclic:
+        if node in used:
+            continue
+        group = sorted(
+            other
+            for other in cyclic
+            if other in reach[node] and node in reach[other]
+        ) or [node]
+        if node not in group:
+            group = sorted(group + [node])
+        used.update(group)
+        components.append(group)
+    return components
+
+
+def _adjacency(edges: Sequence[LockEdge]) -> dict[str, set[str]]:
+    adj: dict[str, set[str]] = {}
+    for edge in edges:
+        adj.setdefault(edge.src, set()).add(edge.dst)
+        adj.setdefault(edge.dst, set())
+    return adj
+
+
+def _cycle_findings(
+    edges: Sequence[LockEdge],
+) -> Iterator[tuple[SourceFile, ast.AST, str]]:
+    components = lock_order_cycles(_adjacency(edges))
+    for component in components:
+        members = set(component)
+        involved = [
+            edge for edge in edges if edge.src in members and edge.dst in members
+        ]
+        if not involved:
+            continue
+        first_site: dict[tuple[str, str], LockEdge] = {}
+        for edge in involved:
+            first_site.setdefault((edge.src, edge.dst), edge)
+        parts = [
+            f"{src} -> {dst} (at {edge.file.display}:{edge.node.lineno})"
+            for (src, dst), edge in sorted(first_site.items())
+        ]
+        anchor = min(involved, key=lambda e: (e.file.display, e.node.lineno))
+        if len(component) == 1:
+            message = (
+                f"potential self-deadlock: non-reentrant lock {component[0]} "
+                f"is re-acquired while already held ({'; '.join(parts)})"
+            )
+        else:
+            message = (
+                "potential deadlock: lock acquisition order forms a cycle "
+                f"over {', '.join(component)} ({'; '.join(parts)})"
+            )
+        yield anchor.file, anchor.node, message
+
+
+class LockOrderCycleRule(ProjectRule):
+    """RC011: the interprocedural lock acquisition graph must be acyclic."""
+
+    code = "RC011"
+    block_scoped = True
+    description = (
+        "cycles in the lock acquisition-order graph (which locks can be "
+        "held when another is acquired, through method calls) are "
+        "potential deadlocks; non-reentrant re-acquisition is a "
+        "self-deadlock"
+    )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return _in_scope(file)
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[tuple[SourceFile, ast.AST, str]]:
+        edges, _blocking = collect_lock_facts(LockModel(files))
+        yield from _cycle_findings(edges)
+
+
+class BlockingUnderLockRule(ProjectRule):
+    """RC012: nothing that can block may run while a lock is held."""
+
+    code = "RC012"
+    block_scoped = True
+    description = (
+        "time.sleep, Future.result, semaphore/queue acquire/wait/join "
+        "and metric .distance/.batch_distance evaluations must not run "
+        "while a lock is held (directly or through resolvable calls); "
+        "they serialize every sibling thread behind one sleeper"
+    )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return _in_scope(file)
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[tuple[SourceFile, ast.AST, str]]:
+        _edges, blocking = collect_lock_facts(LockModel(files))
+        yield from blocking
+
+
+def build_lock_graph(
+    files: Sequence[SourceFile | Path],
+    root: Optional[Path] = None,
+) -> dict:
+    """JSON-shaped acquisition graph for reports and CI artifacts.
+
+    Accepts loaded :class:`SourceFile` objects or plain paths (files or
+    directories, expanded like ``run_lint``).
+    """
+    from repro.check.lint import _iter_python_files
+
+    loaded: list[SourceFile] = []
+    for item in files:
+        if isinstance(item, SourceFile):
+            loaded.append(item)
+        else:
+            loaded.extend(
+                SourceFile(p, root=root)
+                for p in _iter_python_files([Path(item)])
+            )
+    scoped = [file for file in loaded if _in_scope(file)]
+    model = LockModel(scoped)
+    edges, blocking = collect_lock_facts(model)
+    sites: dict[tuple[str, str], list[str]] = {}
+    for edge in edges:
+        sites.setdefault((edge.src, edge.dst), []).append(
+            f"{edge.file.display}:{edge.node.lineno}"
+        )
+    return {
+        "locks": sorted(model.lock_kinds),
+        "edges": [
+            {"from": src, "to": dst, "sites": sorted(set(site_list))}
+            for (src, dst), site_list in sorted(sites.items())
+        ],
+        "cycles": lock_order_cycles(_adjacency(edges)),
+        "blocking_under_lock": sorted(
+            f"{file.display}:{node.lineno}: {message}"
+            for file, node, message in blocking
+        ),
+    }
+
+
+CONCURRENCY_RULES: list[Rule] = [
+    GuardedAttributeRule(),
+    LockOrderCycleRule(),
+    BlockingUnderLockRule(),
+]

@@ -45,11 +45,25 @@ RC009  Modules inherited by forked serving workers (the library
        held by another parent thread deadlocks every child, handles
        share file offsets, and pool threads simply do not exist in the
        child.  Create such state lazily, per instance, inside functions.
+RC010  Lock-guarded attributes (``# guarded-by:`` annotated, or
+       inferred from writes under ``with self._lock:``) must never be
+       touched outside the lock — see :mod:`repro.check.concurrency`.
+RC011  The interprocedural lock acquisition-order graph must be
+       acyclic (cycles are potential deadlocks).
+RC012  Blocking calls (``time.sleep``, ``Future.result``,
+       ``acquire``/``wait``/``join``, metric evaluations) must not run
+       while a lock is held.
 
 Findings can be silenced per line (or from the preceding line) with a
 ruff-style pragma::
 
     some_call()  # repro-check: ignore[RC001] why it is fine
+
+*Block-scoped* rules (RC010-RC012) additionally honour a pragma on the
+enclosing ``with``/``def``/``class`` header — one comment covers the
+whole block.  An unknown rule code inside an ignore pragma is itself a
+finding (RC000): a typo in a suppression would otherwise silently
+suppress nothing, forever.
 
 ``run_lint`` is the programmatic entry point; the CLI lives in
 :mod:`repro.check.cli`.
@@ -139,6 +153,9 @@ class Rule:
 
     code: str = ""
     description: str = ""
+    #: Block-scoped rules honour an ignore pragma on the enclosing
+    #: ``with``/``def``/``class`` header, not just the finding's line.
+    block_scoped: bool = False
 
     def applies_to(self, file: SourceFile) -> bool:
         return True
@@ -806,6 +823,52 @@ def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+def all_rules() -> list[Rule]:
+    """Every registered rule, including the RC010-RC012 family.
+
+    The concurrency rules live in :mod:`repro.check.concurrency`, which
+    imports this module for the base classes — hence the late import.
+    """
+    from repro.check.concurrency import CONCURRENCY_RULES
+
+    return [*RULES, *CONCURRENCY_RULES]
+
+
+def _suppressed(file: SourceFile, rule: Rule, node: ast.AST, line: int) -> bool:
+    """Line-level pragma, or (block-scoped rules) one on an enclosing
+    ``with``/``def``/``class`` header."""
+    if file.suppressed(rule.code, line):
+        return True
+    if rule.block_scoped:
+        for ancestor in file.ancestors(node):
+            if isinstance(
+                ancestor,
+                (ast.With, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ) and file.suppressed(rule.code, ancestor.lineno):
+                return True
+    return False
+
+
+def _pragma_findings(
+    files: Sequence[SourceFile], known: frozenset[str]
+) -> Iterator[LintFinding]:
+    """RC000: unknown rule codes inside ignore pragmas (typos suppress
+    nothing, forever — so they are findings themselves)."""
+    for file in files:
+        for line, codes in sorted(file.suppressions.items()):
+            for code in sorted(codes - known):
+                if file.suppressed("RC000", line):
+                    continue
+                yield LintFinding(
+                    file.display,
+                    line,
+                    1,
+                    "RC000",
+                    f"unknown rule code {code!r} in a repro-check ignore "
+                    f"pragma; known codes: {', '.join(sorted(known))}",
+                )
+
+
 def run_lint(
     paths: Sequence[Path],
     select: Optional[Sequence[str]] = None,
@@ -818,15 +881,19 @@ def run_lint(
     """
     files = [SourceFile(p, root=root) for p in _iter_python_files(paths)]
     wanted = set(select) if select else None
-    active = [r for r in RULES if wanted is None or r.code in wanted]
+    registry = all_rules()
+    active = [r for r in registry if wanted is None or r.code in wanted]
 
     findings: list[LintFinding] = []
+    known_codes = frozenset(r.code for r in registry) | {"RC000", "all"}
+    if wanted is None or "RC000" in wanted:
+        findings.extend(_pragma_findings(files, known_codes))
     for rule in active:
         if isinstance(rule, ProjectRule):
             scoped = [f for f in files if rule.applies_to(f)]
             for file, node, message in rule.check_project(scoped):
                 line = getattr(node, "lineno", 1)
-                if not file.suppressed(rule.code, line):
+                if not _suppressed(file, rule, node, line):
                     findings.append(
                         LintFinding(
                             file.display,
@@ -842,7 +909,7 @@ def run_lint(
                 continue
             for node, message in rule.check(file):
                 line = getattr(node, "lineno", 1)
-                if file.suppressed(rule.code, line):
+                if _suppressed(file, rule, node, line):
                     continue
                 findings.append(
                     LintFinding(

@@ -1,0 +1,363 @@
+"""Runtime lock instrumentation: the dynamic half of RC011/RC012.
+
+Static analysis (:mod:`repro.check.concurrency`) only sees calls it can
+resolve; this module verifies the same two properties — acyclic lock
+acquisition order, no blocking while a lock is held — on a *running*
+engine, where every call is resolved by definition.
+
+Two ways in:
+
+* :func:`instrument` — a context manager that patches ``threading.Lock``
+  so every lock a ``repro`` module creates inside the window is an
+  :class:`InstrumentedLock` reporting to one :class:`LockWatcher`.
+  Locks created by stdlib modules (``threading``'s own ``Condition``
+  inside a ``BoundedSemaphore``, ``concurrent.futures`` internals,
+  ``queue``) keep real locks: their acquisition patterns are the
+  stdlib's business, not this repo's discipline.
+* :func:`wrap_object_locks` — wraps the real locks already reachable
+  from an existing object graph (an engine, a ``ShardManager``) in
+  place, for harnesses that build the stack before deciding to watch.
+
+The watcher records, per thread, the stack of currently held locks; an
+acquisition attempt while other locks are held adds acquisition-order
+edges.  Lock names are creation sites (``ClassName@module:line``), so
+every instance created at one site aggregates into one graph node —
+exactly the granularity the static rules reason at.  After the run,
+:meth:`LockWatcher.inversions` reports cyclic components (ABBA and
+self-deadlock patterns that merely *happened* not to interleave
+fatally) and :attr:`LockWatcher.long_holds` reports holds that
+exceeded the blocking threshold — a lock held across a sleep or an
+expensive metric evaluation.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.check.concurrency import lock_order_cycles
+
+#: The genuine factory/type, captured before any patching can happen.
+_REAL_LOCK_FACTORY = threading.Lock
+_REAL_LOCK_TYPE = type(threading.Lock())
+
+#: Default hold-duration threshold (seconds) above which a hold is
+#: reported.  Generous enough that CI scheduler preemption inside a
+#: well-behaved critical section stays quiet; a genuine sleep-under-lock
+#: (the faults chaos injects run 0.25 s+) still trips it.
+DEFAULT_LONG_HOLD_S = 0.25
+
+
+@dataclass
+class LockRecord:
+    """Aggregated acquisition statistics for one lock name."""
+
+    name: str
+    acquisitions: int = 0
+    total_hold_s: float = 0.0
+    max_hold_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "acquisitions": self.acquisitions,
+            "total_hold_s": self.total_hold_s,
+            "max_hold_s": self.max_hold_s,
+        }
+
+
+@dataclass
+class LockWatcher:
+    """Collects runtime acquisition order and hold times.
+
+    Thread-safe: worker threads report through one real (never
+    instrumented) internal mutex.
+    """
+
+    long_hold_threshold_s: float = DEFAULT_LONG_HOLD_S
+    clock: callable = time.perf_counter
+    _mutex: object = field(default_factory=_REAL_LOCK_FACTORY, repr=False)
+    _tls: threading.local = field(default_factory=threading.local, repr=False)
+    _records: dict = field(default_factory=dict, repr=False)
+    #: (held name, acquired name) -> observation count
+    _edges: dict = field(default_factory=dict, repr=False)
+    long_holds: list = field(default_factory=list)
+
+    # -- instrumentation callbacks (called by InstrumentedLock) --------
+
+    def register(self, lock: "InstrumentedLock") -> None:
+        with self._mutex:
+            self._records.setdefault(lock.name, LockRecord(lock.name))
+
+    def _stack(self) -> list:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def on_attempt(self, lock: "InstrumentedLock") -> None:
+        """Record order edges at acquisition-attempt time."""
+        held = self._stack()
+        if not held:
+            return
+        with self._mutex:
+            for other, _t0 in held:
+                if other is lock:
+                    continue  # a re-entry attempt; not an order edge
+                key = (other.name, lock.name)
+                self._edges[key] = self._edges.get(key, 0) + 1
+
+    def on_acquired(self, lock: "InstrumentedLock") -> None:
+        self._stack().append((lock, self.clock()))
+        with self._mutex:
+            self._records[lock.name].acquisitions += 1
+
+    def on_release(self, lock: "InstrumentedLock") -> None:
+        held = self._stack()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i][0] is lock:
+                _lock, t0 = held.pop(i)
+                break
+        else:
+            return  # released on a thread that never acquired it
+        duration = self.clock() - t0
+        with self._mutex:
+            record = self._records[lock.name]
+            record.total_hold_s += duration
+            record.max_hold_s = max(record.max_hold_s, duration)
+            if duration >= self.long_hold_threshold_s:
+                self.long_holds.append(
+                    {
+                        "lock": lock.name,
+                        "hold_s": duration,
+                        "thread": threading.current_thread().name,
+                    }
+                )
+
+    # -- reporting -----------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def inversions(self) -> list[list[str]]:
+        """Cyclic lock-order components observed at runtime.
+
+        A non-empty result means two code paths acquired the same locks
+        in opposite orders (or re-acquired a non-reentrant lock) — a
+        deadlock that merely didn't interleave fatally this run.
+        """
+        adj: dict[str, set[str]] = {}
+        for (src, dst), _count in self.edges().items():
+            adj.setdefault(src, set()).add(dst)
+            adj.setdefault(dst, set())
+        return lock_order_cycles(adj)
+
+    def violations(self) -> list[str]:
+        """Human-readable inversion + long-hold findings (empty = clean)."""
+        out = [
+            f"lock-order inversion over {', '.join(component)}"
+            for component in self.inversions()
+        ]
+        with self._mutex:
+            holds = list(self.long_holds)
+        out.extend(
+            f"{hold['lock']} held for {hold['hold_s']:.3f}s "
+            f"(>= {self.long_hold_threshold_s}s) on {hold['thread']}"
+            for hold in holds
+        )
+        return out
+
+    def report(self) -> dict:
+        """JSON-shaped run report (locks, edges, inversions, holds)."""
+        with self._mutex:
+            records = [
+                record.to_dict()
+                for _name, record in sorted(self._records.items())
+            ]
+            edges = [
+                [src, dst, count]
+                for (src, dst), count in sorted(self._edges.items())
+            ]
+            holds = list(self.long_holds)
+        return {
+            "locks": records,
+            "edges": edges,
+            "inversions": self.inversions(),
+            "long_holds": holds,
+        }
+
+
+class InstrumentedLock:
+    """Drop-in ``threading.Lock`` that reports to a :class:`LockWatcher`.
+
+    Wraps a real lock (optionally one that already exists and may be
+    held), so semantics — including blocking behaviour — are exactly the
+    real lock's; the wrapper only observes.
+    """
+
+    __slots__ = ("_inner", "_watcher", "name")
+
+    def __init__(
+        self,
+        watcher: LockWatcher,
+        name: str,
+        inner: Optional[object] = None,
+    ):
+        self._inner = inner if inner is not None else _REAL_LOCK_FACTORY()
+        self._watcher = watcher
+        self.name = name
+        watcher.register(self)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._watcher.on_attempt(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watcher.on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._watcher.on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InstrumentedLock({self.name!r})"
+
+
+def _site_name(frame) -> str:
+    """``Class@module:line`` (or ``module:line``) for a creation site."""
+    module = frame.f_globals.get("__name__", "<unknown>")
+    owner = frame.f_locals.get("self")
+    if owner is not None:
+        return f"{type(owner).__name__}@{module}:{frame.f_lineno}"
+    return f"{module}:{frame.f_lineno}"
+
+
+@contextmanager
+def instrument(
+    *,
+    scope: str = "repro",
+    watcher: Optional[LockWatcher] = None,
+    long_hold_threshold_s: float = DEFAULT_LONG_HOLD_S,
+) -> Iterator[LockWatcher]:
+    """Patch ``threading.Lock`` so ``scope`` modules get watched locks.
+
+    Only callers whose module name is ``scope`` or below it receive an
+    :class:`InstrumentedLock`; the stdlib (``threading`` itself building
+    a ``Condition`` inside a semaphore, ``concurrent.futures``,
+    ``queue``) keeps real locks.  Restores the factory on exit, even on
+    error; nesting is safe (inner windows restore the outer factory and
+    take precedence for in-scope callers while active).
+    """
+    if watcher is None:
+        watcher = LockWatcher(long_hold_threshold_s=long_hold_threshold_s)
+    original = threading.Lock
+
+    def _factory():
+        frame = sys._getframe(1)
+        module = frame.f_globals.get("__name__", "")
+        # This module is never in scope: when windows nest, the inner
+        # factory delegates out-of-scope calls to the outer factory,
+        # whose caller frame is then this module — without the guard the
+        # outer watcher would claim (and mis-name) every such lock.
+        if module == __name__ or (
+            module != scope and not module.startswith(scope + ".")
+        ):
+            return original()
+        return InstrumentedLock(
+            watcher, _site_name(frame), inner=_REAL_LOCK_FACTORY()
+        )
+
+    threading.Lock = _factory
+    try:
+        yield watcher
+    finally:
+        threading.Lock = original
+
+
+#: Containers/objects the reachability sweep never descends into:
+#: immutable leaves plus anything stdlib-threading owns.
+_LEAF_TYPES = (str, bytes, bytearray, int, float, complex, bool, type(None))
+
+
+def _is_threading_internal(value) -> bool:
+    return (
+        type(value).__module__ == "threading"
+        and not isinstance(value, _REAL_LOCK_TYPE)
+    )
+
+
+def wrap_object_locks(
+    obj, watcher: LockWatcher, *, max_depth: int = 8
+) -> int:
+    """Wrap every real lock reachable from ``obj``, in place.
+
+    Breadth-first over instance ``__dict__``s, dict values, and
+    list/tuple elements (tuples are traversed but their slots, being
+    immutable, cannot be replaced).  Locks found as instance attributes
+    or dict values are replaced with :class:`InstrumentedLock` wrappers
+    around the *same* inner lock, so held state is preserved.  Returns
+    the number of locks wrapped.
+    """
+    wrapped = 0
+    seen: set[int] = set()
+    queue: list[tuple[object, int]] = [(obj, 0)]
+    while queue:
+        current, depth = queue.pop(0)
+        if depth > max_depth or id(current) in seen:
+            continue
+        seen.add(id(current))
+        if isinstance(current, _LEAF_TYPES) or _is_threading_internal(current):
+            continue
+        if isinstance(current, dict):
+            for key, value in list(current.items()):
+                if isinstance(value, _REAL_LOCK_TYPE):
+                    current[key] = InstrumentedLock(
+                        watcher, f"dict[{key!r}]", inner=value
+                    )
+                    wrapped += 1
+                else:
+                    queue.append((value, depth + 1))
+            continue
+        if isinstance(current, list):
+            for i, value in enumerate(current):
+                if isinstance(value, _REAL_LOCK_TYPE):
+                    current[i] = InstrumentedLock(
+                        watcher, f"list[{i}]", inner=value
+                    )
+                    wrapped += 1
+                else:
+                    queue.append((value, depth + 1))
+            continue
+        if isinstance(current, tuple):
+            queue.extend((value, depth + 1) for value in current)
+            continue
+        attrs = getattr(current, "__dict__", None)
+        if not isinstance(attrs, dict):
+            continue
+        owner = type(current).__name__
+        for name, value in list(attrs.items()):
+            if isinstance(value, _REAL_LOCK_TYPE):
+                setattr(
+                    current,
+                    name,
+                    InstrumentedLock(watcher, f"{owner}.{name}", inner=value),
+                )
+                wrapped += 1
+            else:
+                queue.append((value, depth + 1))
+    return wrapped

@@ -12,6 +12,7 @@ dataset size as a cheap guard.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -482,6 +483,9 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
             else None
         )
         manager._shard_ids = [list(ids) for ids in data["shard_ids"]]
+        # __new__ bypassed __init__: the replica-table lock must be
+        # recreated here or restored managers crash on first search.
+        manager._replicas_lock = threading.Lock()
         # Pre-replication files carry a flat "shards" list — load it as
         # the sole replica row.
         rows = data["replicas"] if "replicas" in data else [data["shards"]]

@@ -107,23 +107,23 @@ class CircuitBreaker:
         self._clock = clock
         self._lock = threading.Lock()
 
-        self.state = CLOSED
-        self._outcomes: deque[bool] = deque(maxlen=window)
-        self._opened_at: Optional[float] = None
-        self._probes_in_flight = 0
+        self.state = CLOSED  # guarded-by: _lock
+        self._outcomes: deque[bool] = deque(maxlen=window)  # guarded-by: _lock
+        self._opened_at: Optional[float] = None  # guarded-by: _lock
+        self._probes_in_flight = 0  # guarded-by: _lock
         #: Full transition history as ``(from, to, reason)`` triples —
         #: the raw material for the breaker state-machine invariant.
-        self.transitions: list[tuple[str, str, str]] = []
-        self.rejections = 0
-        self.opens = 0
+        self.transitions: list[tuple[str, str, str]] = []  # guarded-by: _lock
+        self.rejections = 0  # guarded-by: _lock
+        self.opens = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
 
-    def _transition(self, to_state: str, reason: str) -> None:
+    def _transition(self, to_state: str, reason: str) -> None:  # guarded-by: _lock
         self.transitions.append((self.state, to_state, reason))
         self.state = to_state
 
-    def _open(self, reason: str) -> None:
+    def _open(self, reason: str) -> None:  # guarded-by: _lock
         self._transition(OPEN, reason)
         self._opened_at = self._clock()
         self._outcomes.clear()

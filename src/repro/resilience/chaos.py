@@ -448,8 +448,7 @@ def _check_batch(
     return out
 
 
-def run_case(case: ChaosCase) -> list[Discrepancy]:
-    """Execute one chaos case; returns the (hopefully empty) findings."""
+def _run_case_body(case: ChaosCase) -> list[Discrepancy]:
     if case.plan.kind == "corrupt-snapshot":
         return _check_snapshot_fault(case)
     objects = _materialize(case)
@@ -462,6 +461,48 @@ def run_case(case: ChaosCase) -> list[Discrepancy]:
         rng=case.index_seed,
     )
     return _check_batch(case, manager, objects, fault_hook=_fault_hook(case.plan))
+
+
+def _watch_findings(case: ChaosCase, watcher) -> list[Discrepancy]:
+    """Lock-order inversions and long holds as chaos findings."""
+    out = [
+        Discrepancy(
+            case.name,
+            "lock-inversion",
+            None,
+            "runtime lock acquisition order forms a cycle over "
+            + ", ".join(component),
+        )
+        for component in watcher.inversions()
+    ]
+    out.extend(
+        Discrepancy(
+            case.name,
+            "lock-long-hold",
+            None,
+            f"{hold['lock']} held for {hold['hold_s']:.3f}s "
+            f"(>= {watcher.long_hold_threshold_s}s) on {hold['thread']}",
+        )
+        for hold in watcher.long_holds
+    )
+    return out
+
+
+def run_case(case: ChaosCase, *, lockwatch: bool = False) -> list[Discrepancy]:
+    """Execute one chaos case; returns the (hopefully empty) findings.
+
+    With ``lockwatch=True`` the whole case — deployment build, faulted
+    batch, recovery — runs under instrumented locks, and any observed
+    lock-order inversion or long hold is reported as a finding too.
+    """
+    if not lockwatch:
+        return _run_case_body(case)
+    from repro.check.lockwatch import instrument
+
+    with instrument(scope="repro") as watcher:
+        findings = _run_case_body(case)
+    findings.extend(_watch_findings(case, watcher))
+    return findings
 
 
 @dataclass
@@ -492,12 +533,13 @@ def run_campaign(
     n_cases: int,
     *,
     progress: Optional[Callable[[ChaosCase, list], None]] = None,
+    lockwatch: bool = False,
 ) -> CampaignResult:
     """Run ``n_cases`` chaos cases for ``seed``; collect all findings."""
     result = CampaignResult(seed=seed, n_cases=n_cases)
     for case_index in range(n_cases):
         case = generate_chaos_case(seed, case_index)
-        findings = run_case(case)
+        findings = run_case(case, lockwatch=lockwatch)
         result.kinds_run[case.plan.kind] = (
             result.kinds_run.get(case.plan.kind, 0) + 1
         )

@@ -38,6 +38,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-case progress"
     )
+    run.add_argument(
+        "--lockwatch",
+        action="store_true",
+        help="run every case under instrumented locks and report "
+        "lock-order inversions and long holds as findings",
+    )
 
     show = sub.add_parser(
         "show", help="print one generated case (dataset elided) as JSON"
@@ -48,7 +54,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def run_command(
-    seed: int, cases: int, as_json: bool = False, quiet: bool = False
+    seed: int,
+    cases: int,
+    as_json: bool = False,
+    quiet: bool = False,
+    lockwatch: bool = False,
 ) -> int:
     def progress(case, findings) -> None:
         if quiet or as_json:
@@ -56,7 +66,7 @@ def run_command(
         status = "ok" if not findings else f"{len(findings)} finding(s)"
         print(f"{case.name}: {status}")
 
-    result = run_campaign(seed, cases, progress=progress)
+    result = run_campaign(seed, cases, progress=progress, lockwatch=lockwatch)
     if as_json:
         json.dump(result.to_dict(), sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -86,7 +96,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return run_command(
-            args.seed, args.cases, as_json=args.as_json, quiet=args.quiet
+            args.seed,
+            args.cases,
+            as_json=args.as_json,
+            quiet=args.quiet,
+            lockwatch=args.lockwatch,
         )
     return show_command(args.seed, args.case)
 

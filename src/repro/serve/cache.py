@@ -56,9 +56,9 @@ class LRUCache:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.max_size = max_size
         self._lock = threading.Lock()
-        self._data: dict[Hashable, object] = {}
-        self.hits = 0
-        self.misses = 0
+        self._data: dict[Hashable, object] = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def get(self, key: Hashable, default=None):
         """Return the cached value (refreshing its age) or ``default``."""
@@ -92,10 +92,16 @@ class LRUCache:
         with self._lock:
             return len(self._data)
 
+    def counters(self) -> tuple[int, int]:
+        """One consistent ``(hits, misses)`` snapshot."""
+        with self._lock:
+            return self.hits, self.misses
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hits, misses = self.counters()
         return (
             f"LRUCache(size={self.size}/{self.max_size}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={hits}, misses={misses})"
         )
 
 
@@ -153,9 +159,9 @@ class DistanceCacheMetric(Metric):
         self.inner = inner
         self.max_size = max_size
         self._lock = threading.Lock()
-        self._cache: dict[frozenset, float] = {}
-        self.hits = 0
-        self.misses = 0
+        self._cache: dict[frozenset, float] = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         self._local = threading.local()
 
     @contextmanager
@@ -265,8 +271,14 @@ class DistanceCacheMetric(Metric):
         with self._lock:
             return len(self._cache)
 
+    def counters(self) -> tuple[int, int]:
+        """One consistent ``(hits, misses)`` snapshot."""
+        with self._lock:
+            return self.hits, self.misses
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hits, misses = self.counters()
         return (
             f"DistanceCacheMetric({self.inner!r}, size={self.size}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={hits}, misses={misses})"
         )

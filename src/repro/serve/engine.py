@@ -371,7 +371,9 @@ class QueryEngine:
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self._breaker_config = dict(breaker_config or {})
         self._breaker_config.setdefault("clock", clock)
-        self._breakers: dict[tuple[int, int], CircuitBreaker] = {}
+        self._breakers: dict[
+            tuple[int, int], CircuitBreaker
+        ] = {}  # guarded-by: _breakers_lock
         self._breakers_lock = threading.Lock()
         self._sleep = sleep
         self.result_cache = (

@@ -31,6 +31,7 @@ failover is invisible in the results.
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -220,6 +221,10 @@ class ShardManager(MetricIndex):
         self.replication_factor = replication_factor
         self._shard_ids = assign_shards(len(objects), n_shards, assignment)
         generator = as_rng(rng)
+        # Guards the replica table against worker threads reading slots
+        # while drop_replica()/recover() swap them (chaos campaigns and
+        # ROADMAP item 5's rolling rebuilds do exactly that).
+        self._replicas_lock = threading.Lock()
         # _replicas[r][shard]: replica r's index for the shard (None for
         # empty shards and for replicas lost to faults/corruption).
         self._replicas: list[list[Optional[MetricIndex]]] = [
@@ -228,7 +233,7 @@ class ShardManager(MetricIndex):
                 for ids in self._shard_ids
             ]
             for _ in range(replication_factor)
-        ]
+        ]  # guarded-by: _replicas_lock
 
     # ------------------------------------------------------------------
     # Introspection
@@ -240,12 +245,19 @@ class ShardManager(MetricIndex):
 
         The pre-replication view; mutating entries mutates replica 0.
         """
-        return self._replicas[0]
+        with self._replicas_lock:
+            return self._replicas[0]
 
     @property
     def replicas(self) -> list[list[Optional[MetricIndex]]]:
-        """All replica rows, indexed ``replicas[replica][shard]``."""
-        return self._replicas
+        """All replica rows, indexed ``replicas[replica][shard]``.
+
+        The returned rows are live views; entry assignment is the
+        test-only restore path and is not synchronised — use
+        :meth:`drop_replica`/:meth:`recover` under concurrency.
+        """
+        with self._replicas_lock:
+            return self._replicas
 
     @property
     def shard_ids(self) -> list[list[int]]:
@@ -258,15 +270,17 @@ class ShardManager(MetricIndex):
 
     def replica(self, shard: int, replica: int) -> Optional[MetricIndex]:
         """The given replica's index for ``shard`` (None if lost/empty)."""
-        return self._replicas[replica][shard]
+        with self._replicas_lock:
+            return self._replicas[replica][shard]
 
     def live_replicas(self, shard: int) -> list[int]:
         """Replica numbers currently able to answer for ``shard``."""
-        return [
-            r
-            for r in range(self.replication_factor)
-            if self._replicas[r][shard] is not None
-        ]
+        with self._replicas_lock:
+            return [
+                r
+                for r in range(self.replication_factor)
+                if self._replicas[r][shard] is not None
+            ]
 
     # ------------------------------------------------------------------
     # Fault simulation and recovery
@@ -280,8 +294,9 @@ class ShardManager(MetricIndex):
         with :meth:`recover` (rebuild) or by assigning the returned
         index back.
         """
-        dropped = self._replicas[replica][shard]
-        self._replicas[replica][shard] = None
+        with self._replicas_lock:
+            dropped = self._replicas[replica][shard]
+            self._replicas[replica][shard] = None
         return dropped
 
     def recover(self, *, rng: RngLike = None) -> list[tuple[int, int]]:
@@ -299,13 +314,27 @@ class ShardManager(MetricIndex):
                 "(restored from a serialised form with a custom backend?)"
             )
         generator = as_rng(rng)
+        # Snapshot the lost slots under the lock, build the replacement
+        # indexes with the lock *released* (construction pays the metric
+        # bill — holding the lock would stall every concurrent search),
+        # then swap each one in only if its slot is still lost.
+        with self._replicas_lock:
+            lost = [
+                (r, shard)
+                for r in range(self.replication_factor)
+                for shard, ids in enumerate(self._shard_ids)
+                if self._replicas[r][shard] is None and ids
+            ]
         rebuilt: list[tuple[int, int]] = []
-        for r, row in enumerate(self._replicas):
-            for shard, ids in enumerate(self._shard_ids):
-                if row[shard] is None and ids:
-                    row[shard] = self._builder(
-                        gather(self.objects, ids), self.metric, generator
-                    )
+        for r, shard in lost:
+            index = self._builder(
+                gather(self.objects, self._shard_ids[shard]),
+                self.metric,
+                generator,
+            )
+            with self._replicas_lock:
+                if self._replicas[r][shard] is None:
+                    self._replicas[r][shard] = index
                     rebuilt.append((shard, r))
         return rebuilt
 
@@ -321,16 +350,17 @@ class ShardManager(MetricIndex):
         :class:`ReplicaUnavailable` when nothing can answer — an exact
         search can't silently skip a populated shard.
         """
-        if replica is not None:
-            index = self._replicas[replica][shard]
-            if index is None:
-                raise ReplicaUnavailable(
-                    f"shard {shard} replica {replica} is unavailable"
-                )
-            return index
-        for row in self._replicas:
-            if row[shard] is not None:
-                return row[shard]
+        with self._replicas_lock:
+            if replica is not None:
+                index = self._replicas[replica][shard]
+                if index is None:
+                    raise ReplicaUnavailable(
+                        f"shard {shard} replica {replica} is unavailable"
+                    )
+                return index
+            for row in self._replicas:
+                if row[shard] is not None:
+                    return row[shard]
         raise ReplicaUnavailable(
             f"shard {shard} has no live replica "
             f"(replication_factor={self.replication_factor})"

@@ -1,0 +1,49 @@
+"""Seeded RC010 violations: guarded attributes touched off-lock.
+
+Line numbers are asserted exactly by ``test_concurrency_rules`` — do
+not reflow this file without updating the expectations there.
+"""
+
+import threading
+
+
+class AdvisoryCounter:
+    """No annotations: the guard is inferred from the locked write."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count  # line 22: inferred-guard read off-lock
+
+
+class DeclaredCounter:
+    """Annotated: RC010 runs in enforcing mode on this class."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._total = 0  # guarded-by: _ghost_lock (line 31: unknown lock)
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+            self._extra = 1  # line 36: locked write, no annotation
+
+    def reset(self):
+        self._count = 0  # line 39: declared-guard write off-lock
+
+    def _sync(self):  # guarded-by: _lock
+        self._count += 1
+
+    def misuse(self):
+        self._sync()  # line 45: guarded helper called off-lock
+
+    def quiet(self):
+        with self._lock:  # repro-check: ignore[RC010] exercised by tests
+            self._blessed = 1

@@ -1,0 +1,54 @@
+"""Seeded RC011 violations: cyclic lock acquisition order.
+
+Line numbers are asserted exactly by ``test_concurrency_rules`` — do
+not reflow this file without updating the expectations there.
+"""
+
+import threading
+
+
+class Left:
+    """Acquires A then (through Right) B."""
+
+    def __init__(self, right):
+        self._a = threading.Lock()
+        self.right = right
+
+    def forward(self):
+        with self._a:
+            self.right.pull()  # line 19: A held while B is acquired
+
+    def push_from_right(self):
+        with self._a:
+            pass
+
+
+class Right:
+    """Acquires B then (through Left) A — the ABBA half."""
+
+    def __init__(self, left):
+        self._b = threading.Lock()
+        self.left = left
+
+    def pull(self):
+        with self._b:
+            pass
+
+    def backward(self):
+        with self._b:
+            self.left.push_from_right()  # line 38: B held while A
+
+
+class SelfDeadlock:
+    """Re-acquires its own non-reentrant lock through a helper."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()  # line 49: _lock re-acquired while held
+
+    def inner(self):
+        with self._lock:
+            pass

@@ -1,0 +1,47 @@
+"""Seeded RC012 violations: blocking calls made while a lock is held.
+
+Line numbers are asserted exactly by ``test_concurrency_rules`` — do
+not reflow this file without updating the expectations there.
+"""
+
+import threading
+import time
+
+
+class SleepyWorker:
+    """Every method below blocks while ``_lock`` is held."""
+
+    def __init__(self, metric, gate, future):
+        self._lock = threading.Lock()
+        self.metric = metric
+        self.gate = gate
+        self.future = future
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.5)  # line 22: sleep under lock
+
+    def compute(self, a, b):
+        with self._lock:
+            return self.metric.distance(a, b)  # line 26: metric eval
+
+    def wait_for(self):
+        with self._lock:
+            return self.future.result()  # line 30: future join
+
+    def funnel(self):
+        with self._lock:
+            self.gate.acquire()  # line 34: nested blocking acquire
+
+    def _doze(self):
+        time.sleep(0.1)
+
+    def relay(self):
+        with self._lock:
+            self._doze()  # line 41: transitive sleep under lock
+
+    def fine(self):
+        with self._lock:
+            pass
+        time.sleep(0.0)
+        return ", ".join(["a", "b"])

@@ -10,8 +10,16 @@ through ``main``.
 import io
 import json
 import textwrap
+from pathlib import Path
 
-from repro.check.cli import main, run_invariants_command, run_lint_command
+from repro.check.cli import (
+    main,
+    run_concurrency_command,
+    run_invariants_command,
+    run_lint_command,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
 
 class TestLintErrorPaths:
@@ -88,3 +96,45 @@ class TestInvariantsErrorPaths:
             == 0
         )
         assert json.loads(out.getvalue()) == {"LinearScan": []}
+
+
+class TestConcurrencyCommand:
+    def test_package_is_clean(self):
+        out = io.StringIO()
+        assert run_concurrency_command([], out=out) == 0
+        text = out.getvalue()
+        assert "0 static finding(s)" in text
+        assert "0 inversion(s)" in text
+
+    def test_seeded_fixtures_exit_one(self):
+        out = io.StringIO()
+        assert run_concurrency_command([str(FIXTURES)], out=out) == 1
+        text = out.getvalue()
+        assert "RC010" in text and "RC011" in text and "RC012" in text
+
+    def test_missing_path_exits_two(self, capfd):
+        assert main(["concurrency", "/no/such/path"]) == 2
+        assert "no such path" in capfd.readouterr().err
+
+    def test_graph_artifact_written(self, tmp_path):
+        out = io.StringIO()
+        artifact = tmp_path / "lock-graph.json"
+        code = run_concurrency_command(
+            [str(FIXTURES)], graph=str(artifact), out=out
+        )
+        assert code == 1
+        payload = json.loads(artifact.read_text())
+        assert set(payload) == {"findings", "lock_graph", "lockwatch"}
+        assert any(
+            set(cycle) == {"Left._a", "Right._b"}
+            for cycle in payload["lock_graph"]["cycles"]
+        )
+        assert payload["lockwatch"]["inversions"] == []
+
+    def test_json_output_parses(self):
+        out = io.StringIO()
+        assert run_concurrency_command([], as_json=True, out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["findings"] == []
+        assert payload["lock_graph"]["cycles"] == []
+        assert payload["lockwatch"]["locks"]

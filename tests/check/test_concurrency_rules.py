@@ -1,0 +1,350 @@
+"""Tests for the concurrency lint pass (RC010-RC012) and RC000.
+
+The seeded fixtures under ``fixtures/serve`` break each rule in every
+way it knows how to fire; the assertions here pin the exact (code,
+line) pairs so diagnostics stay stable across refactors.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.check.concurrency import build_lock_graph
+from repro.check.lint import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+CONCURRENCY = {"RC010", "RC011", "RC012"}
+
+
+def lint_snippet(tmp_path, source, *, relpath="serve/sample.py", select=None):
+    """Write ``source`` under a fake package root and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    (tmp_path / "__init__.py").touch()
+    findings = run_lint([tmp_path], select=select, root=tmp_path)
+    return [finding.code for finding in findings], findings
+
+
+def fixture_findings(name):
+    path = FIXTURES / "serve" / name
+    findings = run_lint([path], select=CONCURRENCY, root=FIXTURES)
+    return [(f.code, f.line) for f in findings], findings
+
+
+class TestRC010Fixture:
+    def test_exact_findings(self):
+        pairs, findings = fixture_findings("rc010_guarded.py")
+        assert pairs == [
+            ("RC010", 22),  # inferred guard read off-lock
+            ("RC010", 31),  # guarded-by names unknown lock
+            ("RC010", 36),  # enforcing: locked write, no annotation
+            ("RC010", 39),  # declared guard written off-lock
+            ("RC010", 45),  # guarded helper called off-lock
+        ]
+        messages = [f.message for f in findings]
+        assert "inferred from the locked write in bump()" in messages[0]
+        assert "unknown lock '_ghost_lock'" in messages[1]
+        assert "enforcing mode" in messages[2]
+        assert "declared guarded-by: _lock" in messages[3]
+        assert "requires DeclaredCounter._lock" in messages[4]
+
+    def test_block_pragma_suppressed_quiet_method(self):
+        # quiet() writes an unannotated attr under the lock — enforcing
+        # mode would flag it, but the with-header pragma covers the
+        # whole block.
+        pairs, _ = fixture_findings("rc010_guarded.py")
+        assert all(line < 47 for _, line in pairs)
+
+
+class TestRC011Fixture:
+    def test_exact_findings(self):
+        pairs, findings = fixture_findings("rc011_lock_order.py")
+        assert pairs == [
+            ("RC011", 19),  # ABBA cycle, anchored at the first edge
+            ("RC011", 50),  # self-deadlock through a helper
+        ]
+        assert "Left._a" in findings[0].message
+        assert "Right._b" in findings[0].message
+        assert "self-deadlock" in findings[1].message
+        assert "SelfDeadlock._lock" in findings[1].message
+
+    def test_lock_graph_export(self):
+        graph = build_lock_graph([FIXTURES / "serve" / "rc011_lock_order.py"])
+        assert set(graph) == {"locks", "edges", "cycles", "blocking_under_lock"}
+        assert "Left._a" in graph["locks"]
+        assert "Right._b" in graph["locks"]
+        edge_pairs = {(e["from"], e["to"]) for e in graph["edges"]}
+        assert ("Left._a", "Right._b") in edge_pairs
+        assert ("Right._b", "Left._a") in edge_pairs
+        assert any(
+            set(cycle) == {"Left._a", "Right._b"} for cycle in graph["cycles"]
+        )
+
+
+class TestRC012Fixture:
+    def test_exact_findings(self):
+        pairs, findings = fixture_findings("rc012_blocking.py")
+        assert pairs == [
+            ("RC012", 22),  # time.sleep under lock
+            ("RC012", 26),  # metric .distance() under lock
+            ("RC012", 30),  # future.result() under lock
+            ("RC012", 34),  # nested .acquire() under lock
+            ("RC012", 41),  # transitive sleep via self._doze()
+        ]
+        messages = [f.message for f in findings]
+        assert "time.sleep()" in messages[0]
+        assert "metric .distance() evaluation" in messages[1]
+        assert ".result()" in messages[2]
+        assert ".acquire()" in messages[3]
+        assert "SleepyWorker._doze() reaches blocking" in messages[4]
+
+
+class TestRC010Snippets:
+    def test_clean_class_has_no_findings(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Safe:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def read(self):
+                    with self._lock:
+                        return self._n
+            """,
+            select={"RC010"},
+        )
+        assert codes == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Racy:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def read(self):
+                    return self._n
+            """,
+            relpath="indexes/sample.py",
+            select={"RC010"},
+        )
+        assert codes == []
+
+    def test_lockless_class_is_skipped(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            class Plain:
+                def __init__(self):
+                    self._n = 0
+
+                def bump(self):
+                    self._n += 1
+            """,
+            select={"RC010"},
+        )
+        assert codes == []
+
+    def test_def_header_pragma_suppresses_whole_method(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def unsafe_read(self):  # repro-check: ignore[RC010]
+                    return self._n
+            """,
+            select={"RC010"},
+        )
+        assert codes == []
+
+    def test_method_guard_precondition_accepted(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def _bump_locked(self):  # guarded-by: _lock
+                    self._n += 1
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+            """,
+            select={"RC010"},
+        )
+        assert codes == []
+
+
+class TestRC011Snippets:
+    def test_consistent_order_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Ordered:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+            select={"RC011"},
+        )
+        assert codes == []
+
+    def test_rlock_reentry_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """,
+            select={"RC011"},
+        )
+        assert codes == []
+
+
+class TestRC012Snippets:
+    def test_sleep_outside_lock_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    with self._lock:
+                        pass
+                    time.sleep(0.1)
+            """,
+            select={"RC012"},
+        )
+        assert codes == []
+
+    def test_string_join_is_not_blocking(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Formatter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._parts = []  # guarded-by: _lock
+
+                def render(self):
+                    with self._lock:
+                        return ", ".join(self._parts)
+            """,
+            select={"RC012"},
+        )
+        assert codes == []
+
+    def test_pragma_suppresses_blocking_call(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Deliberate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def hold(self):
+                    with self._lock:
+                        time.sleep(0.01)  # repro-check: ignore[RC012]
+            """,
+            select={"RC012"},
+        )
+        assert codes == []
+
+
+class TestRC000UnknownPragmaCode:
+    def test_unknown_code_in_pragma_is_a_finding(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            def helper():
+                return 1  # repro-check: ignore[RC999]
+            """,
+        )
+        assert codes == ["RC000"]
+        assert "RC999" in findings[0].message
+
+    def test_known_codes_do_not_trip_rc000(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def helper():
+                return 1  # repro-check: ignore[RC003]
+            """,
+        )
+        assert codes == []
+
+    def test_select_without_rc000_skips_pragma_audit(self, tmp_path):
+        # Rule-scoped runs (like the per-rule tests above) opt out of
+        # the pragma audit so a deliberate bad pragma can be staged.
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def helper():
+                return 1  # repro-check: ignore[RC999]
+            """,
+            select={"RC003"},
+        )
+        assert codes == []
+
+
+class TestRepoConcurrencyClean:
+    def test_src_has_no_concurrency_findings(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        findings = run_lint([src], select=CONCURRENCY, root=src.parent)
+        assert findings == [], "\n".join(f.format() for f in findings)

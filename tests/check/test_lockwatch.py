@@ -1,0 +1,236 @@
+"""Unit tests for the runtime lock instrumentation harness."""
+
+import threading
+import time
+
+from repro.check.lockwatch import (
+    InstrumentedLock,
+    LockWatcher,
+    instrument,
+    wrap_object_locks,
+)
+
+
+class TestInversionDetection:
+    def test_abba_inversion_detected(self):
+        watcher = LockWatcher()
+        a = InstrumentedLock(watcher, "A")
+        b = InstrumentedLock(watcher, "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert watcher.inversions() == [["A", "B"]]
+        assert any("inversion" in v for v in watcher.violations())
+
+    def test_consistent_order_is_clean(self):
+        watcher = LockWatcher()
+        a = InstrumentedLock(watcher, "A")
+        b = InstrumentedLock(watcher, "B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert watcher.edges() == {("A", "B"): 3}
+        assert watcher.inversions() == []
+        assert watcher.violations() == []
+
+    def test_reentry_of_same_instance_is_not_an_edge(self):
+        watcher = LockWatcher()
+        lock = InstrumentedLock(watcher, "R", inner=threading.RLock())
+        with lock:
+            with lock:
+                pass
+        assert watcher.edges() == {}
+        assert watcher.inversions() == []
+
+    def test_cross_thread_opposite_orders_detected(self):
+        watcher = LockWatcher()
+        a = InstrumentedLock(watcher, "A")
+        b = InstrumentedLock(watcher, "B")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        threads = [
+            threading.Thread(target=forward),
+            threading.Thread(target=backward),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert watcher.inversions() == [["A", "B"]]
+
+
+class TestHoldTimes:
+    def test_long_hold_detected(self):
+        watcher = LockWatcher(long_hold_threshold_s=0.05)
+        lock = InstrumentedLock(watcher, "L")
+        with lock:
+            time.sleep(0.12)
+        assert watcher.long_holds
+        assert watcher.long_holds[0]["lock"] == "L"
+        assert watcher.long_holds[0]["hold_s"] >= 0.05
+        assert any("held for" in v for v in watcher.violations())
+
+    def test_short_hold_is_quiet(self):
+        watcher = LockWatcher(long_hold_threshold_s=0.05)
+        lock = InstrumentedLock(watcher, "L")
+        with lock:
+            pass
+        assert watcher.long_holds == []
+
+    def test_records_aggregate_per_name(self):
+        watcher = LockWatcher()
+        lock = InstrumentedLock(watcher, "L")
+        for _ in range(4):
+            with lock:
+                pass
+        (record,) = watcher.report()["locks"]
+        assert record["name"] == "L"
+        assert record["acquisitions"] == 4
+        assert record["max_hold_s"] <= record["total_hold_s"]
+
+
+class TestReportShape:
+    def test_report_keys_and_edges(self):
+        watcher = LockWatcher()
+        a = InstrumentedLock(watcher, "A")
+        b = InstrumentedLock(watcher, "B")
+        with a:
+            with b:
+                pass
+        report = watcher.report()
+        assert set(report) == {"locks", "edges", "inversions", "long_holds"}
+        assert report["edges"] == [["A", "B", 1]]
+        assert report["inversions"] == []
+        assert report["long_holds"] == []
+
+
+class TestInstrument:
+    def test_patches_in_scope_and_restores(self):
+        original = threading.Lock
+        with instrument(scope=__name__) as watcher:
+            lock = threading.Lock()
+            assert isinstance(lock, InstrumentedLock)
+            with lock:
+                pass
+        assert threading.Lock is original
+        names = [record["name"] for record in watcher.report()["locks"]]
+        assert any(__name__ in name for name in names)
+
+    def test_stdlib_locks_stay_real(self):
+        with instrument(scope=__name__):
+            # BoundedSemaphore builds its Condition lock inside the
+            # threading module — out of scope, so it must stay real.
+            semaphore = threading.BoundedSemaphore(1)
+        assert not isinstance(semaphore._cond._lock, InstrumentedLock)
+
+    def test_out_of_scope_caller_gets_real_lock(self):
+        with instrument(scope="repro.serve"):
+            lock = threading.Lock()
+        assert not isinstance(lock, InstrumentedLock)
+
+    def test_nested_windows_do_not_cross_talk(self):
+        # Regression: the inner factory delegates out-of-scope calls to
+        # the outer one; the outer must not claim those (it would name
+        # every lock after the delegation site and see false cycles).
+        with instrument(scope=__name__) as outer:
+            with instrument(scope=__name__) as inner:
+                lock = threading.Lock()
+                other = threading.Lock()
+                with lock:
+                    with other:
+                        pass
+        assert isinstance(lock, InstrumentedLock)
+        assert inner.report()["locks"]
+        assert outer.report()["locks"] == []  # inner window won
+        assert outer.inversions() == []
+        assert inner.inversions() == []
+
+    def test_restores_on_error(self):
+        original = threading.Lock
+        try:
+            with instrument(scope=__name__):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert threading.Lock is original
+
+    def test_instrumented_repro_object_reports(self):
+        import numpy as np
+
+        from repro.metric import L2
+        from repro.serve.cache import DistanceCacheMetric
+
+        with instrument(scope="repro") as watcher:
+            metric = DistanceCacheMetric(L2())
+        origin = np.zeros(2)
+        point = np.array([3.0, 4.0])
+        metric.distance(origin, point)
+        metric.distance(origin.copy(), point.copy())
+        assert metric.counters() == (1, 1)
+        names = [record["name"] for record in watcher.report()["locks"]]
+        assert any("DistanceCacheMetric@" in name for name in names)
+        assert watcher.inversions() == []
+
+
+class _Holder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.table = {"x": threading.Lock()}
+        self.slots = [threading.Lock()]
+        self.child = _Child()
+
+
+class _Child:
+    def __init__(self):
+        self._inner_lock = threading.Lock()
+
+
+class TestWrapObjectLocks:
+    def test_wraps_attributes_dicts_lists_and_nested(self):
+        watcher = LockWatcher()
+        holder = _Holder()
+        assert wrap_object_locks(holder, watcher) == 4
+        assert isinstance(holder._lock, InstrumentedLock)
+        assert isinstance(holder.table["x"], InstrumentedLock)
+        assert isinstance(holder.slots[0], InstrumentedLock)
+        assert isinstance(holder.child._inner_lock, InstrumentedLock)
+        with holder._lock:
+            pass
+        records = {r["name"]: r for r in watcher.report()["locks"]}
+        assert records["_Holder._lock"]["acquisitions"] == 1
+
+    def test_wrapped_breaker_still_works(self):
+        from repro.resilience.breaker import CircuitBreaker
+
+        watcher = LockWatcher()
+        breaker = CircuitBreaker()
+        assert wrap_object_locks(breaker, watcher) == 1
+        breaker.record_success()
+        assert breaker.snapshot()["state"] == "closed"
+        (record,) = watcher.report()["locks"]
+        assert record["name"] == "CircuitBreaker._lock"
+        assert record["acquisitions"] >= 2
+
+    def test_held_lock_state_is_preserved(self):
+        watcher = LockWatcher()
+        holder = _Holder()
+        holder._lock.acquire()
+        wrap_object_locks(holder, watcher)
+        assert holder._lock.locked()
+        # The wrapper wraps the same inner lock, so releasing through
+        # the original handle is still possible via the wrapped inner.
+        holder._lock._inner.release()
+        assert not holder._lock.locked()

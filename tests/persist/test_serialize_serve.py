@@ -73,6 +73,24 @@ class TestShardManagerRoundTrip:
             words[4], 2.0
         )
 
+    def test_restored_manager_replica_table_is_lockable(self, data):
+        # Regression: restore goes through ``__new__`` and must recreate
+        # ``_replicas_lock`` explicitly, or the first replica-table
+        # operation on a loaded deployment raises AttributeError.
+        manager = ShardManager(
+            data, L2(), n_shards=3, backend="vpt", rng=4,
+            replication_factor=2,
+        )
+        restored = roundtrip(manager, data, L2())
+        assert restored.drop_replica(0, 1) is not None
+        assert restored.live_replicas(0) == [0]
+        assert restored.recover(rng=11) == [(0, 1)]
+        assert restored.live_replicas(0) == [0, 1]
+        query = data[5]
+        assert restored.range_search(query, 0.6) == manager.range_search(
+            query, 0.6
+        )
+
     def test_file_round_trip_serves_identically(self, data, queries, tmp_path):
         manager = ShardManager(data, L2(), n_shards=3, backend="vpt", rng=4)
         path = tmp_path / "deployment.json"

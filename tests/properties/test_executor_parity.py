@@ -7,10 +7,13 @@ the same deployment produces — same ids, same distances, same per-query
 backend in :data:`SHARD_BACKENDS`, vectors and discrete objects alike.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import LinearScan
+from repro.check.lockwatch import instrument
 from repro.metric import L2, EditDistance
 from repro.obs.stats import QueryStats
 from repro.serve import (
@@ -24,6 +27,18 @@ from repro.serve import (
 pytestmark = pytest.mark.skipif(
     not fork_available(), reason="process executor requires fork"
 )
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch_every_test():
+    """With ``REPRO_LOCKWATCH=1``, run every parity test under
+    instrumented locks and fail it on any lock-order inversion."""
+    if not os.environ.get("REPRO_LOCKWATCH"):
+        yield
+        return
+    with instrument(scope="repro") as watcher:
+        yield
+    assert watcher.inversions() == [], watcher.violations()
 
 
 def _deployment(backend, uniform_data, word_data):
@@ -114,6 +129,35 @@ def test_process_pool_replicated_failover_stays_exact(uniform_data):
     assert range_result.ids == oracle.range_search(objects[0], 0.5)
     assert knn_result.neighbors == oracle.knn_search(objects[1], 5)
     assert range_result.stats.failovers == 3  # every shard failed over
+
+
+def test_thread_executor_under_lockwatch_is_inversion_free(uniform_data):
+    """The thread pool's failover path acquires locks in one global
+    order: serving a replicated deployment with a dying primary under
+    instrumented locks must record zero inversions."""
+    objects = uniform_data[:150]
+    with instrument(scope="repro") as watcher:
+        manager = ShardManager(
+            objects, L2(), n_shards=3, backend="vpt", rng=7,
+            replication_factor=2,
+        )
+
+        def kill_replica_zero(qi, shard, attempt, replica):
+            if replica == 0:
+                raise RuntimeError("lockwatch: replica 0 down")
+
+        queries = [Query.range(objects[0], 0.5), Query.knn(objects[1], 5)]
+        with QueryEngine(
+            manager, executor="thread", workers=4,
+            fault_hook=kill_replica_zero,
+        ) as engine:
+            outcome = engine.run_batch(queries)
+    oracle = LinearScan(objects, L2())
+    assert outcome.results[0].ids == oracle.range_search(objects[0], 0.5)
+    assert outcome.results[1].neighbors == oracle.knn_search(objects[1], 5)
+    # The deployment's locks were actually watched, and cleanly.
+    assert watcher.report()["locks"]
+    assert watcher.inversions() == [], watcher.violations()
 
 
 def test_process_pool_single_index_parity(uniform_data):

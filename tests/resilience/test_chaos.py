@@ -68,6 +68,53 @@ class TestRunCase:
         assert run_case(case) == []
 
 
+class TestLockwatchMode:
+    def test_lockwatched_case_stays_clean(self):
+        import threading
+
+        original = threading.Lock
+        case = generate_chaos_case(0, 0)  # kill-replica: full fault path
+        assert run_case(case, lockwatch=True) == []
+        assert threading.Lock is original  # patch window was restored
+
+    def test_lockwatched_campaign_stays_clean(self):
+        result = run_campaign(0, 3, lockwatch=True)
+        assert result.ok, [f.__dict__ for f in result.findings]
+
+    def test_inversion_surfaces_as_finding(self):
+        from repro.check.lockwatch import InstrumentedLock, LockWatcher
+        from repro.resilience.chaos import _watch_findings
+
+        watcher = LockWatcher()
+        a = InstrumentedLock(watcher, "A")
+        b = InstrumentedLock(watcher, "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        case = generate_chaos_case(0, 0)
+        findings = _watch_findings(case, watcher)
+        assert [f.check for f in findings] == ["lock-inversion"]
+        assert "A, B" in findings[0].detail
+
+    def test_long_hold_surfaces_as_finding(self):
+        import time
+
+        from repro.check.lockwatch import InstrumentedLock, LockWatcher
+        from repro.resilience.chaos import _watch_findings
+
+        watcher = LockWatcher(long_hold_threshold_s=0.05)
+        lock = InstrumentedLock(watcher, "L")
+        with lock:
+            time.sleep(0.08)
+        case = generate_chaos_case(0, 0)
+        findings = _watch_findings(case, watcher)
+        assert [f.check for f in findings] == ["lock-long-hold"]
+        assert "L held for" in findings[0].detail
+
+
 class TestCampaign:
     def test_short_campaign_is_clean_and_covers_all_kinds(self):
         result = run_campaign(0, len(CHAOS_KINDS) * 2)

@@ -184,3 +184,50 @@ class TestDistanceCacheMetric:
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError, match="max_size"):
             DistanceCacheMetric(L2(), max_size=0)
+
+
+class TestLockedCounterViews:
+    """Regression: counter reads go through the lock (RC010 fix).
+
+    ``hits``/``misses`` are guarded by ``_lock``; ``counters()`` is the
+    sanctioned off-thread view and ``__repr__`` must use it instead of
+    reading the attributes bare.
+    """
+
+    def test_lru_counters_snapshot(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("absent")
+        assert cache.counters() == (1, 1)
+        assert "hits=1" in repr(cache) and "misses=1" in repr(cache)
+
+    def test_distance_cache_counters_snapshot(self):
+        cached = DistanceCacheMetric(L2())
+        a, b = np.zeros(2), np.ones(2)
+        cached.distance(a, b)
+        cached.distance(a, b)
+        assert cached.counters() == (1, 1)
+        assert "hits=1" in repr(cached) and "misses=1" in repr(cached)
+
+    def test_counters_consistent_under_contention(self):
+        cache = LRUCache(8)
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                cache.get("x", default=None)
+                cache.put("x", 1)
+
+        snapshots = []
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        try:
+            for _ in range(200):
+                snapshots.append(cache.counters())
+        finally:
+            stop.set()
+            worker.join()
+        # Each snapshot is internally consistent and monotonic.
+        totals = [h + m for h, m in snapshots]
+        assert totals == sorted(totals)

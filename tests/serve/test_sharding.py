@@ -6,6 +6,8 @@ with no qualifying points, more shards than data, and k larger than the
 dataset.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -159,6 +161,68 @@ class TestShardManagerSearch:
         query = word_data[0]
         assert manager.range_search(query, 2.0) == oracle.range_search(query, 2.0)
         assert manager.knn_search(query, 5) == oracle.knn_search(query, 5)
+
+
+class TestReplicaTableThreadSafety:
+    """Regression: the replica table is guarded by ``_replicas_lock``.
+
+    Before the lock existed, ``drop_replica``/``recover`` raced against
+    the ``shards`` view used by searches; this churns both sides and
+    checks every concurrent answer stays exact.
+    """
+
+    def test_concurrent_drop_recover_churn_stays_exact(self, uniform_data):
+        objects = uniform_data[:60]
+        manager = ShardManager(
+            objects, L2(), n_shards=3, backend="linear", rng=2,
+            replication_factor=2,
+        )
+        oracle = LinearScan(objects, L2())
+        query = objects[7] + 0.01
+        expected = oracle.range_search(query, 0.6)
+        done = threading.Event()
+        errors: list[Exception] = []
+
+        def churn():
+            try:
+                for i in range(30):
+                    manager.drop_replica(i % 3, 1)
+                    manager.recover(rng=i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def search():
+            try:
+                while not done.is_set():
+                    assert manager.range_search(query, 0.6) == expected
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn)] + [
+            threading.Thread(target=search) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # The table converges: every shard ends fully replicated.
+        manager.recover(rng=99)
+        for shard in range(3):
+            assert manager.live_replicas(shard) == [0, 1]
+
+    def test_recover_rebuilds_only_missing_slots(self, uniform_data):
+        objects = uniform_data[:40]
+        manager = ShardManager(
+            objects, L2(), n_shards=2, backend="linear", rng=5,
+            replication_factor=2,
+        )
+        assert manager.recover(rng=0) == []
+        manager.drop_replica(1, 0)
+        assert manager.recover(rng=1) == [(1, 0)]
+        assert manager.live_replicas(1) == [0, 1]
 
 
 @pytest.mark.parametrize("backend", sorted(set(SHARD_BACKENDS) - {"bkt"}))
