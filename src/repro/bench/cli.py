@@ -9,6 +9,7 @@ Examples::
     repro-bench stats --figure fig8 --scale 0.05
     repro-bench serve --shards 4 --workers 4 --queries 100
     repro-bench ratchet --baseline BENCH_serve_v1.json
+    repro-bench coldstart --check BENCH_coldstart_v1.json
 
 The ``stats`` subcommand reruns search experiments with per-query
 observability on (:class:`~repro.obs.QueryStats`) and prints the
@@ -94,6 +95,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.ratchet import ratchet_main
 
         return ratchet_main(argv[1:])
+    if argv and argv[0] == "coldstart":
+        # ``repro-bench coldstart ...``: pickle-load vs .rsx mmap-open
+        # wall time and RSS (see repro.bench.coldstart).
+        from repro.bench.coldstart import coldstart_main
+
+        return coldstart_main(argv[1:])
     collect_stats = False
     if argv and argv[0] == "stats":
         # ``repro-bench stats ...``: same flags, but range searches run

@@ -1,0 +1,302 @@
+"""Cold-start benchmark: pickle-load vs ``.rsx`` mmap-open.
+
+The point of the on-disk store (``docs/store.md``) is that *opening* an
+index should cost page-table setup, not deserialisation: a pickled
+index must be read, decoded, and rebuilt object by object before the
+first query, while a store maps the node tables into memory and lets
+the page cache fault in only what searches touch.  This benchmark
+makes that claim measurable — and ratchetable in CI::
+
+    repro-bench coldstart --n 100000 --dim 16 --json
+    repro-bench coldstart --check BENCH_coldstart_v1.json
+
+One seeded vp-tree is built, persisted both ways, and reopened; the
+report records wall time and resident-set growth for each path plus
+the ``speedup`` ratio (pickle load time / store open time).  The store
+open is measured twice: structural checks only (``open_s``, the fair
+apples-to-apples against pickle, which checksums nothing) and with the
+full payload digest (``open_verify_s``, what the serving workers pay).
+``--check`` replays a committed baseline's pinned config and fails
+when the speedup drops below its ``min_speedup`` floor.
+
+Resident-set deltas are read from ``/proc/self/statm`` and measured
+with the store opened *first*: an mmap-ed open adds almost nothing to
+RSS, so measuring it before the pickle load keeps the allocator reuse
+of the pickle's freed pages from masking either number.
+
+Exit codes: 0 pass, 1 floor violated or answers diverged, 2 unusable
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+COLDSTART_SCHEMA = "repro-bench-coldstart/v1"
+
+#: Fresh-open speedup floor committed in ``BENCH_coldstart_v1.json``.
+DEFAULT_MIN_SPEEDUP = 10.0
+
+
+def _rss_kib() -> float:
+    """Current resident set in KiB (0.0 where /proc is unavailable)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            resident_pages = int(handle.read().split()[1])
+    except (OSError, ValueError, IndexError):
+        return 0.0
+    return resident_pages * os.sysconf("SC_PAGESIZE") / 1024.0
+
+
+def run_coldstart(
+    n: int = 100_000,
+    dim: int = 16,
+    seed: int = 0,
+    n_queries: int = 5,
+    k: int = 10,
+    repeats: int = 5,
+    workdir: Optional[Path] = None,
+) -> dict:
+    """Build, persist both ways, reopen, and time it; returns the report."""
+    import tempfile
+
+    from repro.indexes.vptree import VPTree
+    from repro.metric import L2
+    from repro.store import open_index, write_store
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, dim))
+    queries = rng.random((n_queries, dim))
+    metric = L2()
+
+    # Same vp-tree configuration the serving shard backend builds
+    # (``SHARD_BACKENDS["vpt"]``): the coldstart being measured is the
+    # one a recovering worker actually pays.
+    build_start = time.perf_counter()
+    tree = VPTree(points, metric, m=2, leaf_capacity=4, rng=seed)
+    build_s = time.perf_counter() - build_start
+
+    cleanup = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-coldstart-")
+        workdir = Path(cleanup.name)
+    workdir = Path(workdir)
+    pickle_file = workdir / "index.pickle"
+    store_file = workdir / "index.rsx"
+    try:
+        with pickle_file.open("wb") as handle:
+            pickle.dump(tree, handle)
+        write_store(tree, store_file)
+        expected = [
+            [neighbor.id for neighbor in tree.knn_search(query, k)]
+            for query in queries
+        ]
+        del tree
+
+        # Store first: its open adds ~nothing to RSS, so it must not run
+        # after the pickle load has grown (and then internally freed)
+        # the heap — see the module docstring.  Each wall time is the
+        # best of ``repeats`` runs: a single cold measurement is at the
+        # mercy of the page cache and the scheduler, while the minimum
+        # is the reproducible cost of the code path itself.
+        store_rss_kib = 0.0
+        open_times = []
+        store_answers = None
+        for attempt in range(max(1, repeats)):
+            rss_before = _rss_kib()
+            open_start = time.perf_counter()
+            backed = open_index(store_file, metric, verify=False)
+            open_times.append(time.perf_counter() - open_start)
+            if attempt == 0:
+                store_rss_kib = _rss_kib() - rss_before
+                store_answers = [
+                    [neighbor.id for neighbor in backed.knn_search(query, k)]
+                    for query in queries
+                ]
+            backed.close()
+        open_s = min(open_times)
+        verify_start = time.perf_counter()
+        open_index(store_file, metric, verify=True).close()
+        open_verify_s = time.perf_counter() - verify_start
+
+        pickle_rss_kib = 0.0
+        load_times = []
+        pickle_answers = None
+        for attempt in range(max(1, repeats)):
+            rss_before = _rss_kib()
+            load_start = time.perf_counter()
+            with pickle_file.open("rb") as handle:
+                loaded = pickle.load(handle)
+            load_times.append(time.perf_counter() - load_start)
+            if attempt == 0:
+                pickle_rss_kib = _rss_kib() - rss_before
+                pickle_answers = [
+                    [neighbor.id for neighbor in loaded.knn_search(query, k)]
+                    for query in queries
+                ]
+            del loaded
+        load_s = min(load_times)
+
+        return {
+            "schema": COLDSTART_SCHEMA,
+            "config": {
+                "n": n,
+                "dim": dim,
+                "seed": seed,
+                "queries": n_queries,
+                "k": k,
+                "repeats": repeats,
+                "backend": "vpt",
+            },
+            "build_s": build_s,
+            "pickle": {
+                "bytes": pickle_file.stat().st_size,
+                "load_s": load_s,
+                "rss_kib": pickle_rss_kib,
+            },
+            "store": {
+                "bytes": store_file.stat().st_size,
+                "open_s": open_s,
+                "open_verify_s": open_verify_s,
+                "rss_kib": store_rss_kib,
+            },
+            "speedup": (load_s / open_s) if open_s > 0 else float("inf"),
+            "answers_identical": bool(
+                store_answers == expected and pickle_answers == expected
+            ),
+        }
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def load_baseline(path: str) -> dict:
+    """Read and validate a coldstart baseline file."""
+    with open(path) as handle:
+        baseline = json.load(handle)
+    schema = baseline.get("schema")
+    if schema != COLDSTART_SCHEMA:
+        raise ValueError(
+            f"baseline {path!r} has schema {schema!r}; this check "
+            f"understands {COLDSTART_SCHEMA!r}"
+        )
+    if "config" not in baseline or "min_speedup" not in baseline:
+        raise ValueError(
+            f"baseline {path!r} is missing 'config' or 'min_speedup'"
+        )
+    return baseline
+
+
+def format_report(report: dict) -> str:
+    pickled, stored = report["pickle"], report["store"]
+    return (
+        f"coldstart over {report['config']['n']} x "
+        f"{report['config']['dim']} points (vpt):\n"
+        f"  pickle  {pickled['bytes'] / 1e6:8.1f} MB  "
+        f"load {pickled['load_s'] * 1e3:8.2f} ms  "
+        f"rss +{pickled['rss_kib'] / 1024.0:.1f} MiB\n"
+        f"  store   {stored['bytes'] / 1e6:8.1f} MB  "
+        f"open {stored['open_s'] * 1e3:8.2f} ms  "
+        f"rss +{stored['rss_kib'] / 1024.0:.1f} MiB  "
+        f"(verified open {stored['open_verify_s'] * 1e3:.2f} ms)\n"
+        f"  mmap-open speedup {report['speedup']:.1f}x, answers "
+        f"{'identical' if report['answers_identical'] else 'DIVERGED'}"
+    )
+
+
+def build_coldstart_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench coldstart",
+        description=(
+            "Benchmark index cold start: pickle-load vs .rsx mmap-open "
+            "(wall time and resident-set growth)."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--queries", type=int, default=5)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats per path; the best run is reported",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="replay this baseline's config and fail below its "
+        "min_speedup floor",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        help="write the result (plus the min_speedup floor) as a "
+        "baseline JSON",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="floor recorded by --write and enforced by --check "
+        f"(default {DEFAULT_MIN_SPEEDUP})",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def coldstart_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-bench coldstart`` entry point."""
+    args = build_coldstart_parser().parse_args(argv)
+    min_speedup = args.min_speedup
+    if args.check:
+        try:
+            baseline = load_baseline(args.check)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"unusable baseline: {error}", file=sys.stderr)
+            return 2
+        config = baseline["config"]
+        min_speedup = float(baseline["min_speedup"])
+        report = run_coldstart(
+            n=int(config["n"]),
+            dim=int(config["dim"]),
+            seed=int(config["seed"]),
+            n_queries=int(config.get("queries", 5)),
+            k=int(config.get("k", 10)),
+            repeats=int(config.get("repeats", 5)),
+        )
+    else:
+        report = run_coldstart(
+            n=args.n,
+            dim=args.dim,
+            seed=args.seed,
+            n_queries=args.queries,
+            k=args.k,
+            repeats=args.repeats,
+        )
+    report["min_speedup"] = min_speedup
+    report["passed"] = bool(
+        report["speedup"] >= min_speedup and report["answers_identical"]
+    )
+    if args.write:
+        with open(args.write, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+        if args.check or report["speedup"] < min_speedup:
+            status = "PASS" if report["passed"] else "FAIL"
+            print(f"coldstart {status}: floor {min_speedup:.1f}x")
+    return 0 if report["passed"] else 1

@@ -101,6 +101,22 @@ def run_invariants_command(
         # invariant runs as a scripted exercise alongside the indexes.
         if only is None or "CircuitBreaker" in only:
             extra["CircuitBreaker"] = verify_breaker_machine()
+        if only is None:
+            # Persistence coverage: every verification class must have
+            # an explicit PERSIST_COVERAGE entry ("supported" or a
+            # reason) — silent omission is the violation.
+            from repro.persist.serialize import PERSIST_COVERAGE
+
+            extra["PersistCoverage"] = [
+                Violation(
+                    "persist-coverage",
+                    f"PERSIST_COVERAGE[{name!r}]",
+                    "index class has no persistence coverage entry; "
+                    "declare it supported or record why it is not",
+                )
+                for name in sorted(indexes)
+                if name not in PERSIST_COVERAGE
+            ]
         if only and not indexes and not extra:
             print(f"error: no index matched --only {only}", file=sys.stderr)
             return 2
@@ -125,6 +141,22 @@ def run_invariants_command(
             print(f"{name}: {status}", file=out)
             for violation in violations:
                 print(f"  {violation.format()}", file=out)
+        if "PersistCoverage" in report:
+            from repro.persist.serialize import PERSIST_COVERAGE
+
+            unsupported = {
+                name: reason
+                for name, reason in sorted(PERSIST_COVERAGE.items())
+                if reason != "supported"
+            }
+            print(
+                f"persist coverage: "
+                f"{len(PERSIST_COVERAGE) - len(unsupported)} supported, "
+                f"{len(unsupported)} unsupported",
+                file=out,
+            )
+            for name, reason in unsupported.items():
+                print(f"  {name}: {reason}", file=out)
         print(
             f"invariants: {total} violation(s) across {len(report)} index(es)",
             file=out,

@@ -40,11 +40,13 @@ RC008  Serving/resilience code (``src/repro/serve/``,
 RC009  Modules inherited by forked serving workers (the library
        packages a built index or the serving stack imports) must not
        create fork-unsafe state at import time: a module- or class-level
-       ``threading.Lock()``, ``open(...)`` handle, socket, or executor
-       pool is snapshotted by ``fork`` in an unknown condition — a lock
-       held by another parent thread deadlocks every child, handles
-       share file offsets, and pool threads simply do not exist in the
-       child.  Create such state lazily, per instance, inside functions.
+       ``threading.Lock()``, ``open(...)`` handle, ``mmap.mmap()`` /
+       ``np.memmap()`` mapping, socket, or executor pool is snapshotted
+       by ``fork`` in an unknown condition — a lock held by another
+       parent thread deadlocks every child, handles share file offsets,
+       a shared mapping never notices a rebuilt store, and pool threads
+       simply do not exist in the child.  Create such state lazily, per
+       instance, inside functions.
 RC010  Lock-guarded attributes (``# guarded-by:`` annotated, or
        inferred from writes under ``with self._lock:``) must never be
        touched outside the lock — see :mod:`repro.check.concurrency`.
@@ -691,6 +693,7 @@ _FORK_SCOPE = (
     "/transforms/",
     "/persist/",
     "/datasets/",
+    "/store/",
 )
 
 
@@ -752,6 +755,8 @@ class ForkUnsafeStateRule(Rule):
         "handle": "the file offset is shared across processes",
         "socket": "the connection is shared and corrupts on dual use",
         "pool": "its worker threads do not survive the fork",
+        "mmap": "the mapping must be opened per worker, post-fork/spawn, "
+        "or a rebuilt store is never picked up and close() races",
     }
 
     def _unsafe_construction(
@@ -766,6 +771,8 @@ class ForkUnsafeStateRule(Rule):
                 return f"{func.id}()", "lock"
             if func.id in self._POOLS:
                 return f"{func.id}()", "pool"
+            if func.id == "memmap":
+                return "memmap()", "mmap"
             return None, None
         if isinstance(func, ast.Attribute):
             receiver = _receiver_name(func)
@@ -777,6 +784,10 @@ class ForkUnsafeStateRule(Rule):
                 return f"{receiver}.{func.attr}()", "pool"
             if receiver == "socket" and func.attr == "socket":
                 return "socket.socket()", "socket"
+            if receiver == "mmap" and func.attr == "mmap":
+                return "mmap.mmap()", "mmap"
+            if receiver in ("np", "numpy") and func.attr == "memmap":
+                return f"{receiver}.memmap()", "mmap"
         return None, None
 
     @staticmethod

@@ -471,7 +471,7 @@ def mvp_range(tree, query, radius: float, obs: Optional[Observation]) -> list[in
         # filters per leaf (paper step 2.2), one batched verification.
         candidate_arrays: list[np.ndarray] = []
         for w, node in enumerate(leaf_nodes):
-            if node.vp2_id is None or not node.ids:
+            if node.vp2_id is None or len(node.ids) == 0:
                 continue
             mask1 = np.abs(node.d1 - ld1[w]) <= loose
             mask = mask1 & (np.abs(node.d2 - ld2[w]) <= loose)
@@ -599,7 +599,7 @@ def mvp_knn(
         threshold = best.threshold()
         candidate_arrays: list[np.ndarray] = []
         for w, node in enumerate(leaf_nodes):
-            if node.vp2_id is None or not node.ids:
+            if node.vp2_id is None or len(node.ids) == 0:
                 continue
             lower = np.maximum(np.abs(node.d1 - ld1[w]), np.abs(node.d2 - ld2[w]))
             if node.path_len:
@@ -803,7 +803,7 @@ def gmvp_range(tree, query, radius: float, obs: Optional[Observation]) -> list[i
 
         candidate_arrays: list[np.ndarray] = []
         for w, node in enumerate(leaf_nodes):
-            if not node.ids:
+            if len(node.ids) == 0:
                 continue
             mask = np.ones(len(node.ids), dtype=bool)
             for t in range(len(node.vp_ids)):
@@ -930,7 +930,7 @@ def gmvp_knn(
         threshold = best.threshold()
         candidate_arrays: list[np.ndarray] = []
         for w, node in enumerate(leaf_nodes):
-            if not node.ids:
+            if len(node.ids) == 0:
                 continue
             lower = np.zeros(len(node.ids))
             for t in range(len(node.vp_ids)):

@@ -8,10 +8,17 @@ load time.
 """
 
 from repro.persist.serialize import (
+    PERSIST_COVERAGE,
     index_from_dict,
     index_to_dict,
     load_index,
     save_index,
 )
 
-__all__ = ["index_to_dict", "index_from_dict", "save_index", "load_index"]
+__all__ = [
+    "PERSIST_COVERAGE",
+    "index_to_dict",
+    "index_from_dict",
+    "save_index",
+    "load_index",
+]

@@ -34,8 +34,37 @@ from repro.indexes.selection import get_selector
 from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
 from repro.metric.base import Metric
 from repro.serve.sharding import SHARD_BACKENDS, ShardManager
+from repro.transforms.filter import TransformIndex
+from repro.transforms.fourier import DFTTransform
+from repro.transforms.subsequence import SubsequenceIndex
 
 _FORMAT_VERSION = 1
+
+#: Serialisation coverage per index class, surfaced by ``repro-check
+#: invariants``.  Every class the verification builders construct MUST
+#: have an entry — ``"supported"`` when :func:`index_to_dict` round-trips
+#: it, otherwise an explicit reason string — so a class can never fall
+#: out of persistence silently.
+PERSIST_COVERAGE: dict[str, str] = {
+    "BKTree": "supported",
+    "DistanceMatrixIndex": "supported",
+    "DynamicMVPTree": "supported",
+    "GHTree": "supported",
+    "GMVPTree": "supported",
+    "GNAT": "supported",
+    "LAESA": "supported",
+    "LinearScan": "supported",
+    "MVPTree": "supported",
+    "ShardManager": "supported",
+    "SubsequenceIndex": "supported",
+    "TransformIndex": "supported",
+    "VPTree": "supported",
+    "StoreBackedIndex": (
+        "unsupported: a store-backed index is a read-only view over its "
+        ".rsx file; reopen it with repro.store.open_index instead of "
+        "JSON round-tripping the mmap"
+    ),
+}
 
 
 # ----------------------------------------------------------------------
@@ -269,6 +298,20 @@ def index_to_dict(index: MetricIndex) -> dict:
     Recursion depth is 1: a ShardManager encodes each of its shard
     indexes, and shards are plain indexes, never nested managers.
     """
+    if isinstance(index, SubsequenceIndex):
+        # Not a MetricIndex: n_objects counts the *series*, and the
+        # window-level structure is the inner index's own dict.  Every
+        # series contributes at least one window (the constructor
+        # enforces length >= window), so the last origin names the
+        # final series.
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "SubsequenceIndex",
+            "n_objects": index._origins[-1][0] + 1,
+            "params": {"window": index.window, "stride": index.stride},
+            "stats": {},
+            "inner": index_to_dict(index._index),
+        }
     if isinstance(index, ShardManager):
         # A sharded deployment: the shard assignment plus every
         # replica's own serialised structure (recursion depth 1 —
@@ -445,6 +488,28 @@ def index_to_dict(index: MetricIndex) -> dict:
             "stats": {},
             "matrix": index.matrix.tolist(),
         }
+    if isinstance(index, TransformIndex):
+        transform = index.transform
+        if not isinstance(transform, DFTTransform):
+            raise TypeError(
+                f"cannot serialise TransformIndex over "
+                f"{type(transform).__name__}: only DFTTransform records "
+                "enough parameters to rebuild its transform"
+            )
+        # The transformed dataset is a pure function of (objects,
+        # transform parameters): the constructor recomputes it on load
+        # with zero metric evaluations, so nothing else needs storing.
+        return {
+            "format": _FORMAT_VERSION,
+            "type": "TransformIndex",
+            "n_objects": len(index.objects),
+            "params": {
+                "transform": "dft",
+                "n_coefficients": transform.n_coefficients,
+                "series_length": transform.series_length,
+            },
+            "stats": {},
+        }
     raise TypeError(f"cannot serialise index of type {type(index).__name__}")
 
 
@@ -475,6 +540,7 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
         manager.assignment = params["assignment"]
         manager.backend_name = params["backend"]
         manager.replication_factor = params.get("replication_factor", 1)
+        manager.store_refusal_count = 0
         # Custom-builder managers serialise backend=None; they restore
         # fine but cannot recover() lost replicas.
         manager._builder = (
@@ -499,6 +565,31 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
             for row in rows
         ]
         return manager
+
+    if kind == "SubsequenceIndex":
+        # objects is the series list; windows/origins are recomputed by
+        # the same sliding-window sweep the constructor runs, then the
+        # inner (window-level) index decodes over those windows.
+        index = SubsequenceIndex.__new__(SubsequenceIndex)
+        index.window = params["window"]
+        index.stride = params["stride"]
+        index._metric = metric
+        windows = []
+        origins: list[tuple[int, int]] = []
+        for series_id, sequence in enumerate(objects):
+            values = np.ravel(np.asarray(sequence, dtype=float))
+            if len(values) < index.window:
+                raise ValueError(
+                    f"series {series_id} has length {len(values)} < "
+                    f"window {index.window}"
+                )
+            for offset in range(0, len(values) - index.window + 1, index.stride):
+                windows.append(values[offset : offset + index.window])
+                origins.append((series_id, offset))
+        index._windows = np.stack(windows)
+        index._origins = origins
+        index._index = index_from_dict(data["inner"], index._windows, metric)
+        return index
 
     if kind == "LinearScan":
         return LinearScan(objects, metric)
@@ -575,6 +666,17 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
         index.pivot_ids = [int(i) for i in data["pivot_ids"]]
         index._table = np.asarray(data["table"], dtype=float).reshape(
             len(objects), index.n_pivots
+        )
+    elif kind == "TransformIndex":
+        if params.get("transform") != "dft":
+            raise ValueError(
+                f"unknown transform kind {params.get('transform')!r} "
+                "(this reader rebuilds 'dft' transforms only)"
+            )
+        index = TransformIndex(
+            objects,
+            metric,
+            DFTTransform(params["n_coefficients"], params["series_length"]),
         )
     elif kind == "DistanceMatrixIndex":
         index = DistanceMatrixIndex.__new__(DistanceMatrixIndex)

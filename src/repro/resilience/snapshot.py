@@ -6,12 +6,12 @@ A snapshot file is one header line of JSON followed by the payload::
      "digest": "<hex sha-256 of the payload>", "payload_bytes": N}\\n
     <payload: canonical JSON of repro.persist.index_to_dict(index)>
 
-:func:`save_snapshot` is atomic against crashes: the bytes go to a
-temporary file *in the same directory*, are flushed and ``fsync``-ed,
-and only then ``os.replace``-d over the destination (a single atomic
-rename on POSIX), after which the directory entry is ``fsync``-ed too.
-A crash at any point leaves either the old complete snapshot or the new
-complete snapshot — never a torn file under the final name.
+:func:`save_snapshot` is atomic against crashes: the bytes go through
+:func:`repro.store.atomic.atomic_write_bytes` — the single
+write-temp/fsync/atomic-rename primitive shared with the ``.rsx`` index
+stores — so a crash at any point leaves either the old complete
+snapshot or the new complete snapshot, never a torn file under the
+final name.
 
 :func:`load_snapshot` refuses to guess: any mismatch — missing or
 malformed header, wrong magic, unsupported version, payload length or
@@ -26,14 +26,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Sequence, Union
 
 from repro.indexes.base import MetricIndex
 from repro.metric.base import Metric
 from repro.persist.serialize import index_from_dict, index_to_dict
+from repro.store.atomic import atomic_write_bytes
 
 SNAPSHOT_MAGIC = "repro-snapshot"
 SNAPSHOT_VERSION = 1
@@ -80,37 +79,12 @@ def snapshot_bytes(index: MetricIndex) -> bytes:
 def save_snapshot(index: MetricIndex, path: Union[str, Path]) -> None:
     """Atomically write a checksummed snapshot of ``index`` to ``path``.
 
-    Write-temp → flush → fsync → ``os.replace`` → fsync the directory;
-    a crash mid-save never leaves a torn file under ``path``.
+    Write-temp → flush → fsync → ``os.replace`` → fsync the directory
+    (via the shared :func:`~repro.store.atomic.atomic_write_bytes`
+    primitive); a crash mid-save never leaves a torn file under
+    ``path``.
     """
-    path = Path(path)
-    blob = snapshot_bytes(index)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=path.name + ".", suffix=".tmp", dir=path.parent
-    )
-    tmp = Path(tmp_name)
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
-    _fsync_dir(path.parent)
-
-
-def _fsync_dir(directory: Path) -> None:
-    """Persist the rename itself (best effort where dirs can't be opened)."""
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # repro-check: ignore[RC008] platform can't fsync dirs
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    atomic_write_bytes(path, snapshot_bytes(index))
 
 
 def read_snapshot_header(path: Union[str, Path]) -> dict:

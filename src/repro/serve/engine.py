@@ -315,6 +315,15 @@ class QueryEngine:
         Test seam called as ``hook(query_index, shard, attempt,
         replica)`` (or the legacy three-parameter form) before every
         unit attempt; raise to fail the attempt, sleep to slow it.
+    store_paths:
+        With ``executor="process"``: run the pool disk-backed — workers
+        open each shard's ``.rsx`` store from this ``{(shard, replica):
+        path}`` mapping (see :func:`repro.store.sharded.save_shard_stores`)
+        instead of inheriting the index at fork.  Requires
+        ``metric_spec``; spawn-safe.
+    metric_spec:
+        :mod:`repro.store.spec` metric spec (e.g. ``"l2"``) for
+        disk-backed workers.
     """
 
     def __init__(
@@ -333,9 +342,16 @@ class QueryEngine:
         distance_cache: Optional[DistanceCacheMetric] = None,
         max_pending: Optional[int] = None,
         fault_hook: Optional[FaultHook] = None,
+        store_paths: Optional[dict] = None,
+        metric_spec=None,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if store_paths is not None and executor != "process":
+            raise ValueError(
+                "store_paths is a ProcessExecutor feature; pass "
+                "executor='process' (or construct the executor yourself)"
+            )
         self.index = index
         if isinstance(executor, str):
             if executor not in EXECUTOR_KINDS:
@@ -355,7 +371,12 @@ class QueryEngine:
             elif executor == "thread":
                 self.executor = ThreadedExecutor(workers)
             else:
-                self.executor = ProcessExecutor(index, workers)
+                self.executor = ProcessExecutor(
+                    index,
+                    workers,
+                    store_paths=store_paths,
+                    metric_spec=metric_spec,
+                )
         else:
             self._own_executor = executor is None
             self.executor = (

@@ -49,6 +49,19 @@ worker can inherit a lock some other parent thread happens to hold
 mid-operation (the classic fork-after-threads deadlock).  Modules
 imported by fork workers must not hold module-level locks, open file
 handles, or thread pools; the RC009 lint rule enforces this.
+
+**Disk-backed mode** (``store_paths``): instead of inheriting an index,
+workers *open* each shard's ``.rsx`` store by path
+(:func:`repro.store.worker.remote_store_search`).  Nothing crosses the
+process boundary at setup, so this mode works under any start method —
+pass ``start_method="spawn"`` for fork-free deployments — and the
+mmap-ed store pages are shared by every worker through the page cache
+instead of one copy-on-write heap per process.  Workers notice an
+atomically replaced store file by its changed stat and reopen it, so a
+rebuilt shard is picked up without re-creating the pool.  The parent's
+replica table stays authoritative the same way as above: the engine
+never dispatches to a slot it considers lost, and a ``(shard, replica)``
+with no store file answers empty like an empty shard.
 """
 
 from __future__ import annotations
@@ -62,6 +75,8 @@ from typing import Optional
 from repro.indexes.base import MetricIndex
 from repro.obs.stats import QueryStats
 from repro.serve.sharding import ShardManager
+from repro.store.spec import MetricSpec
+from repro.store.worker import remote_store_search
 
 #: Indexes visible to fork workers, keyed by registration token.  Entries
 #: added *before* a pool forks are inherited copy-on-write by its
@@ -140,6 +155,7 @@ class ProcessExecutor:
     index:
         The built index the workers should answer from.  Registered
         under a fresh token, then inherited by every worker at fork.
+        May be ``None`` in disk-backed mode.
     max_workers:
         Worker process count (an equal number of orchestration threads
         is created so no search ever waits for an orchestrator).
@@ -147,29 +163,72 @@ class ProcessExecutor:
         How long ``__init__`` may spend forking the full complement of
         workers up front.  Eager forking is a *fork-safety* measure,
         not an optimisation — see the module docstring.
+    store_paths:
+        ``{(shard, replica): path}`` of ``.rsx`` stores (as produced by
+        :func:`repro.store.sharded.save_shard_stores`) switching the
+        executor to disk-backed mode: workers open shards from these
+        paths instead of the fork registry.  A single-index deployment
+        uses the key ``(0, 0)``; a missing key answers empty.  Requires
+        ``metric_spec``.
+    metric_spec:
+        :mod:`repro.store.spec` spec (e.g. ``"l2"``) the workers build
+        their metric from; disk-backed mode only.
+    start_method:
+        Multiprocessing start method for the pool.  Defaults to
+        ``"fork"``; disk-backed mode accepts ``"spawn"`` (and falls
+        back to it automatically where fork does not exist), registry
+        mode cannot (spawned workers would not inherit the registry).
     """
 
     def __init__(
         self,
-        index: MetricIndex,
+        index: Optional[MetricIndex],
         max_workers: int = 4,
         *,
         warm_timeout_s: float = 10.0,
+        store_paths: Optional[dict] = None,
+        metric_spec: Optional[MetricSpec] = None,
+        start_method: Optional[str] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if not fork_available():
-            raise RuntimeError(
-                "ProcessExecutor requires the 'fork' start method so "
-                "workers inherit the index; this platform offers only "
-                f"{multiprocessing.get_all_start_methods()}"
-            )
+        if store_paths is not None:
+            if metric_spec is None:
+                raise ValueError(
+                    "store_paths mode needs a metric_spec for the workers "
+                    "to rebuild the metric from (e.g. 'l2')"
+                )
+            self._store_paths: Optional[dict[tuple[int, int], str]] = {
+                (key if isinstance(key, tuple) else (key, 0)): str(path)
+                for key, path in store_paths.items()
+            }
+            if start_method is None:
+                start_method = "fork" if fork_available() else "spawn"
+        else:
+            self._store_paths = None
+            if start_method is None:
+                start_method = "fork"
+            elif start_method != "fork":
+                raise ValueError(
+                    f"start_method={start_method!r} requires store_paths: "
+                    "only forked workers inherit the in-memory registry"
+                )
+            if not fork_available():
+                raise RuntimeError(
+                    "ProcessExecutor requires the 'fork' start method so "
+                    "workers inherit the index; this platform offers only "
+                    f"{multiprocessing.get_all_start_methods()} — use "
+                    "store_paths mode for spawn-safe workers"
+                )
+        self._metric_spec = metric_spec
+        self.start_method = start_method
         self.max_workers = max_workers
         self.token = next(_TOKENS)
-        # Registration MUST precede pool creation: workers only see
-        # registry entries that existed when they forked.
-        _FORK_REGISTRY[self.token] = index
-        context = multiprocessing.get_context("fork")
+        if self._store_paths is None:
+            # Registration MUST precede pool creation: workers only see
+            # registry entries that existed when they forked.
+            _FORK_REGISTRY[self.token] = index
+        context = multiprocessing.get_context(start_method)
         self._processes = ProcessPoolExecutor(
             max_workers=max_workers, mp_context=context
         )
@@ -222,7 +281,26 @@ class ProcessExecutor:
         Called by the engine's ``_search_unit`` from an orchestration
         thread; worker exceptions re-raise here and feed the engine's
         breaker/failover path exactly like an in-thread failure.
+
+        In disk-backed mode the unit's ``(shard, replica)`` selects a
+        store path; a slot with no file (empty shard, unsaved replica)
+        answers empty without leaving the parent.
         """
+        if self._store_paths is not None:
+            key = (shard or 0, replica or 0)
+            path = self._store_paths.get(key)
+            if path is None:
+                return [], QueryStats()
+            future = self._processes.submit(
+                remote_store_search,
+                path,
+                self._metric_spec,
+                kind,
+                query,
+                radius,
+                k,
+            )
+            return future.result()
         future = self._processes.submit(
             _remote_search, self.token, kind, query, radius, k, shard, replica
         )

@@ -219,6 +219,9 @@ class ShardManager(MetricIndex):
         self.n_shards = n_shards
         self.assignment = assignment
         self.replication_factor = replication_factor
+        #: Corrupt/stale ``.rsx`` stores refused by :meth:`recover`
+        #: (each one fell back to an in-memory rebuild) — health signal.
+        self.store_refusal_count = 0
         self._shard_ids = assign_shards(len(objects), n_shards, assignment)
         generator = as_rng(rng)
         # Guards the replica table against worker threads reading slots
@@ -299,20 +302,28 @@ class ShardManager(MetricIndex):
             self._replicas[replica][shard] = None
         return dropped
 
-    def recover(self, *, rng: RngLike = None) -> list[tuple[int, int]]:
-        """Rebuild every lost replica from the dataset; returns the slots.
+    def recover(
+        self,
+        *,
+        rng: RngLike = None,
+        stores: Optional[dict] = None,
+    ) -> list[tuple[int, int]]:
+        """Restore every lost replica; returns the recovered slots.
 
-        Only ``None`` slots of *non-empty* shards are rebuilt — healthy
+        Only ``None`` slots of *non-empty* shards are restored — healthy
         replicas are left untouched, so recovery cost is proportional to
         what was actually lost (the crash-recovery contract in
-        ``docs/resilience.md``).  Raises ``TypeError`` for managers
-        restored from legacy serialised form without a known backend.
+        ``docs/resilience.md``).
+
+        ``stores`` (optional) maps ``(shard, replica)`` to an ``.rsx``
+        store path (see :func:`repro.store.sharded.save_shard_stores`):
+        a lost slot with a store opens it instead of rebuilding — zero
+        distance computations — after a full :meth:`Store.verify`; a
+        corrupt or stale store is *refused* and the slot falls back to
+        an in-memory rebuild.  Raises ``TypeError`` only when a rebuild
+        is actually needed on a manager restored from legacy serialised
+        form without a known backend.
         """
-        if self._builder is None:
-            raise TypeError(
-                "cannot recover: this manager has no shard builder "
-                "(restored from a serialised form with a custom backend?)"
-            )
         generator = as_rng(rng)
         # Snapshot the lost slots under the lock, build the replacement
         # indexes with the lock *released* (construction pays the metric
@@ -327,11 +338,29 @@ class ShardManager(MetricIndex):
             ]
         rebuilt: list[tuple[int, int]] = []
         for r, shard in lost:
-            index = self._builder(
-                gather(self.objects, self._shard_ids[shard]),
-                self.metric,
-                generator,
-            )
+            index: Optional[MetricIndex] = None
+            if stores is not None and (shard, r) in stores:
+                from repro.store import StoreCorrupt, open_index
+
+                try:
+                    index = open_index(stores[(shard, r)], self.metric)
+                except (OSError, StoreCorrupt):
+                    # Refused: fall back to a rebuild, but count it —
+                    # a corrupt store is an outage signal, not noise.
+                    self.store_refusal_count += 1
+                    index = None
+            if index is None:
+                if self._builder is None:
+                    raise TypeError(
+                        "cannot recover: this manager has no shard builder "
+                        "(restored from a serialised form with a custom "
+                        "backend?)"
+                    )
+                index = self._builder(
+                    gather(self.objects, self._shard_ids[shard]),
+                    self.metric,
+                    generator,
+                )
             with self._replicas_lock:
                 if self._replicas[r][shard] is None:
                     self._replicas[r][shard] = index

@@ -1,0 +1,61 @@
+"""``repro.store``: the mmap-able on-disk index format (``.rsx``).
+
+One persistence path for searchable artifacts: crash-safe atomic
+writes (:mod:`repro.store.atomic`, shared with resilience snapshots),
+a checksummed single-file binary format whose sections are the kernel
+node tables (:mod:`repro.store.format`, :mod:`repro.store.writer`),
+zero-copy reopening (:mod:`repro.store.backed`), append-only delta
+files with deterministic compaction (:mod:`repro.store.delta`), and
+the disk-backed worker entry points (:mod:`repro.store.worker`,
+:mod:`repro.store.sharded`).  See ``docs/store.md``.
+"""
+
+from repro.store.atomic import atomic_write_bytes, fsync_dir
+from repro.store.backed import StoreBackedIndex, open_index
+from repro.store.delta import (
+    append_delta,
+    compact_store,
+    delta_path,
+    read_deltas,
+)
+from repro.store.format import (
+    FAMILY_TAGS,
+    HEADER_BYTES,
+    STORE_MAGIC,
+    STORE_VERSION,
+    Store,
+    StoreCorrupt,
+    StoreStale,
+    points_digest,
+)
+from repro.store.sharded import save_shard_stores
+from repro.store.spec import METRIC_SPECS, metric_from_spec
+from repro.store.worker import open_worker_index, remote_store_search
+from repro.store.writer import build_family_index, store_family, write_store
+
+__all__ = [
+    "FAMILY_TAGS",
+    "HEADER_BYTES",
+    "METRIC_SPECS",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "Store",
+    "StoreBackedIndex",
+    "StoreCorrupt",
+    "StoreStale",
+    "append_delta",
+    "atomic_write_bytes",
+    "build_family_index",
+    "compact_store",
+    "delta_path",
+    "fsync_dir",
+    "metric_from_spec",
+    "open_index",
+    "open_worker_index",
+    "points_digest",
+    "read_deltas",
+    "remote_store_search",
+    "save_shard_stores",
+    "store_family",
+    "write_store",
+]

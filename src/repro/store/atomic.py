@@ -1,0 +1,55 @@
+"""Crash-safe file writes shared by every on-disk persistence path.
+
+This is the single atomic-write primitive in the repository: both the
+``.rsx`` index stores (:mod:`repro.store.writer`) and the resilience
+snapshots (:mod:`repro.resilience.snapshot`) route their bytes through
+:func:`atomic_write_bytes`.  The sequence is write-temp *in the same
+directory* → flush → ``fsync`` → ``os.replace`` (a single atomic rename
+on POSIX) → ``fsync`` the directory entry, so a crash at any point
+leaves either the old complete file or the new complete file under the
+final name — never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], blob: bytes) -> Path:
+    """Atomically replace ``path``'s contents with ``blob``.
+
+    The temporary file lives in the destination directory (a rename
+    across filesystems would not be atomic).  On any failure the
+    temporary file is removed and the destination is untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_dir(path.parent)
+    return path
+
+
+def fsync_dir(directory: Union[str, Path]) -> None:
+    """Persist a rename itself (best effort where dirs can't be opened)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # repro-check: ignore[RC008] platform can't fsync dirs
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

@@ -1,0 +1,345 @@
+"""Search ``.rsx`` stores in place: mmap views straight into the kernels.
+
+:class:`StoreBackedIndex` is a :class:`~repro.indexes.base.MetricIndex`
+whose node tables are zero-copy views over an open :class:`Store`.  For
+the tree families it rebuilds the exact flat-array kernel cache the
+in-memory trees feed to :mod:`repro.indexes.kernels` — same values,
+same leaf order, same root slot — so every search takes the identical
+code path and returns byte-identical ``(distance, id)`` answers with
+matching ``QueryStats`` and trace events.  For the table families
+(``linear``, ``laesa``) it rehydrates the real index class around the
+mapped arrays and delegates.
+
+Rows appended through :func:`repro.store.delta.append_delta` are
+searched too: the base structure answers over its own rows and the
+delta rows are scanned exactly (a linear pass, like a small unindexed
+tail), with results merged by ``(distance, id)``.  Compaction folds the
+tail back into the indexed base.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.gmvptree import GMVPLeafNode
+from repro.core.nodes import MVPLeafNode
+from repro.indexes import kernels
+from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.metric.base import Metric
+from repro.obs.stats import QueryStats
+from repro.obs.trace import TraceSink, make_observation
+from repro.store.delta import read_deltas
+from repro.store.format import Store
+
+#: Non-None stand-in for ``tree._root`` — the kernels only ever check
+#: ``is None`` once a kernel cache exists.
+_MAPPED_ROOT = object()
+
+
+def _segments(store: Store, offsets_name: str, flat_name: str) -> list:
+    offsets = store.section(offsets_name)
+    flat = store.section(flat_name)
+    return [
+        flat[int(offsets[i]) : int(offsets[i + 1])]
+        for i in range(len(offsets) - 1)
+    ]
+
+
+def _vp_cache(store: Store) -> kernels._VPArrays:
+    arrays = kernels._VPArrays()
+    arrays.vp_ids = store.section("vp_ids")
+    arrays.child_lo = store.section("child_lo")
+    arrays.child_hi = store.section("child_hi")
+    arrays.child_kind = store.section("child_kind")
+    arrays.child_idx = store.section("child_idx")
+    arrays.leaf_ids = _segments(store, "leaf_offsets", "leaf_ids")
+    arrays.root_kind = int(store.meta["tree"]["root_kind"])
+    arrays.root_idx = int(store.meta["tree"]["root_idx"])
+    return arrays
+
+
+def _mvp_cache(store: Store) -> kernels._MVPArrays:
+    arrays = kernels._MVPArrays()
+    arrays.vp1 = store.section("vp1")
+    arrays.vp2 = store.section("vp2")
+    arrays.b1lo = store.section("b1lo")
+    arrays.b1hi = store.section("b1hi")
+    arrays.b2lo = store.section("b2lo")
+    arrays.b2hi = store.section("b2hi")
+    arrays.child_kind = store.section("child_kind")
+    arrays.child_idx = store.section("child_idx")
+    vp1 = store.section("leaf_vp1")
+    vp2 = store.section("leaf_vp2")
+    ids = _segments(store, "leaf_offsets", "leaf_ids")
+    d1 = _segments(store, "leaf_offsets", "leaf_d1")
+    d2 = _segments(store, "leaf_offsets", "leaf_d2")
+    path_len = store.section("leaf_path_len")
+    paths = _segments(store, "leaf_path_offsets", "leaf_paths")
+    arrays.leaves = [
+        MVPLeafNode(
+            int(vp1[i]),
+            None if vp2[i] < 0 else int(vp2[i]),
+            ids[i],
+            d1[i],
+            d2[i],
+            paths[i].reshape(len(ids[i]), int(path_len[i])),
+            int(path_len[i]),
+        )
+        for i in range(len(vp1))
+    ]
+    arrays.root_kind = int(store.meta["tree"]["root_kind"])
+    arrays.root_idx = int(store.meta["tree"]["root_idx"])
+    return arrays
+
+
+def _gmvp_cache(store: Store) -> kernels._GMVPArrays:
+    arrays = kernels._GMVPArrays()
+    arrays.vp_ids = store.section("vp_ids")
+    arrays.blo = store.section("blo")
+    arrays.bhi = store.section("bhi")
+    arrays.child_kind = store.section("child_kind")
+    arrays.child_idx = store.section("child_idx")
+    vp_ids = _segments(store, "leaf_vp_offsets", "leaf_vp_ids")
+    ids = _segments(store, "leaf_offsets", "leaf_ids")
+    dist_rows = store.section("leaf_dist_rows")
+    dists = _segments(store, "leaf_dist_offsets", "leaf_dists")
+    path_len = store.section("leaf_path_len")
+    paths = _segments(store, "leaf_path_offsets", "leaf_paths")
+    arrays.leaves = [
+        GMVPLeafNode(
+            vp_ids[i],
+            ids[i],
+            dists[i].reshape(int(dist_rows[i]), len(ids[i])),
+            paths[i].reshape(len(ids[i]), int(path_len[i])),
+            int(path_len[i]),
+        )
+        for i in range(len(dist_rows))
+    ]
+    arrays.root_kind = int(store.meta["tree"]["root_kind"])
+    arrays.root_idx = int(store.meta["tree"]["root_idx"])
+    return arrays
+
+
+class StoreBackedIndex(MetricIndex):
+    """A searchable index whose structure lives in an mmap-ed ``.rsx``.
+
+    Construct via :func:`open_index`.  Keep it (and therefore the
+    underlying :class:`Store`) open while results are in use; ``close``
+    releases the mapping.
+    """
+
+    def __init__(
+        self,
+        store: Store,
+        metric: Metric,
+        *,
+        deltas: Optional[list] = None,
+    ):
+        points = store.section("points")
+        super().__init__(points, metric)
+        self.store = store
+        self.path = store.path
+        self.family = store.family
+        self.params = dict(store.meta.get("params", {}))
+        for name, value in store.meta.get("build_stats", {}).items():
+            setattr(self, name, value)
+        self._global_ids = (
+            store.section("global_ids")
+            if store.has_section("global_ids")
+            else None
+        )
+        self._impl: Optional[MetricIndex] = None
+        if self.family == "linear":
+            self._impl = LinearScan(points, metric)
+        elif self.family == "laesa":
+            impl = LAESA.__new__(LAESA)
+            MetricIndex.__init__(impl, points, metric)
+            impl.n_pivots = int(self.params["n_pivots"])
+            impl.pivot_ids = [int(i) for i in store.section("pivot_ids")]
+            impl._table = store.section("table")
+            self._impl = impl
+        else:
+            if self.family == "vpt":
+                self._kernel_cache = _vp_cache(store)
+                self.leaf_capacity = self.params["leaf_capacity"]
+                self.bounds_mode = self.params["bounds"]
+            elif self.family == "mvpt":
+                self._kernel_cache = _mvp_cache(store)
+                self.k = self.params["k"]
+                self.p = self.params["p"]
+                self.bounds_mode = self.params["bounds"]
+            else:  # gmvpt
+                self._kernel_cache = _gmvp_cache(store)
+                self.v = self.params["v"]
+                self.k = self.params["k"]
+                self.p = self.params["p"]
+            self.m = self.params["m"]
+            self._root = _MAPPED_ROOT
+        deltas = deltas or []
+        if deltas:
+            self._delta_ids = np.concatenate([ids for ids, _ in deltas])
+            self._delta_rows = np.concatenate([rows for _, rows in deltas])
+        else:
+            self._delta_ids = None
+            self._delta_rows = None
+
+    # ------------------------------------------------------------------
+    # Search (kernel parity over the base, exact scan over the deltas)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        n = len(self._objects)
+        if self._delta_rows is not None:
+            n += len(self._delta_rows)
+        return n
+
+    def _base_range(self, query, radius: float, *, stats, trace) -> list[int]:
+        if self._impl is not None:
+            return self._impl.range_search(
+                query, radius, stats=stats, trace=trace
+            )
+        obs = make_observation(stats, trace)
+        if self.family == "vpt":
+            return kernels.vp_range(self, query, radius, obs)
+        if self.family == "mvpt":
+            return kernels.mvp_range(self, query, radius, obs)
+        return kernels.gmvp_range(self, query, radius, obs)
+
+    def _base_knn(
+        self, query, k: int, approximation: float, *, stats, trace
+    ) -> list[Neighbor]:
+        if self._impl is not None:
+            return self._impl.knn_search(query, k, stats=stats, trace=trace)
+        obs = make_observation(stats, trace)
+        if self.family == "vpt":
+            return kernels.vp_knn(self, query, k, approximation, obs)
+        if self.family == "mvpt":
+            return kernels.mvp_knn(self, query, k, approximation, obs)
+        return kernels.gmvp_knn(self, query, k, approximation, obs)
+
+    def _delta_distances(self, query, *, stats, trace) -> np.ndarray:
+        """One exact batched scan of the delta tail (observed like a
+        linear leaf scan)."""
+        obs = make_observation(stats, trace)
+        n = len(self._delta_rows)
+        if obs is not None:
+            obs.enter_leaf(n)
+            obs.leaf_scan(n, n)
+        return np.asarray(
+            self._batch_dist(obs, self._delta_rows, query), dtype=np.float64
+        )
+
+    def range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[int]:
+        radius = self.validate_radius(radius)
+        hits = self._base_range(query, radius, stats=stats, trace=trace)
+        if self._delta_rows is None:
+            return hits
+        distances = self._delta_distances(query, stats=stats, trace=trace)
+        base_n = len(self._objects)
+        hits.extend(
+            base_n + int(j) for j in np.nonzero(distances <= radius)[0]
+        )
+        return hits
+
+    def knn_search(
+        self,
+        query,
+        k: int,
+        epsilon: float = 0.0,
+        *,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ) -> list[Neighbor]:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if epsilon and self._impl is not None:
+            raise ValueError(
+                f"family {self.family!r} has no approximate k-NN mode"
+            )
+        if self._delta_rows is None:
+            k = self.validate_k(k)
+            return self._base_knn(
+                query, k, 1.0 + epsilon, stats=stats, trace=trace
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(k, len(self))
+        base_hits = self._base_knn(
+            query,
+            min(k, len(self._objects)),
+            1.0 + epsilon,
+            stats=stats,
+            trace=trace,
+        )
+        distances = self._delta_distances(query, stats=stats, trace=trace)
+        base_n = len(self._objects)
+        merged = [(n.distance, n.id) for n in base_hits]
+        merged.extend(
+            (float(d), base_n + j) for j, d in enumerate(distances)
+        )
+        merged.sort()
+        return [Neighbor(d, i) for d, i in merged[:k]]
+
+    # ------------------------------------------------------------------
+    # Ids & lifecycle
+    # ------------------------------------------------------------------
+
+    def to_global(self, ids) -> list[int]:
+        """Map local result ids (base rows, then delta rows) to the
+        dataset-global ids recorded at write/append time."""
+        base_n = len(self._objects)
+        out = []
+        for i in ids:
+            i = int(i)
+            if i < base_n:
+                out.append(
+                    i if self._global_ids is None else int(self._global_ids[i])
+                )
+            else:
+                out.append(int(self._delta_ids[i - base_n]))
+        return out
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "StoreBackedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_index(
+    path: Union[str, Path],
+    metric: Metric,
+    *,
+    verify: bool = True,
+    with_deltas: bool = True,
+) -> StoreBackedIndex:
+    """Open a ``.rsx`` store (and its delta tail) as a searchable index.
+
+    ``verify=True`` (the default) pays one payload hash up front so a
+    corrupt file is refused at open rather than discovered mid-query;
+    workers that reopen a path every rebuild keep it on.
+    """
+    store = Store(path)
+    try:
+        if verify:
+            store.verify()
+        deltas = read_deltas(path) if with_deltas else []
+        return StoreBackedIndex(store, metric, deltas=deltas)
+    except BaseException:
+        store.close()
+        raise

@@ -1,0 +1,199 @@
+"""Append-only ``.rsx.delta`` files: incremental inserts next to a store.
+
+A ``.rsx`` store is a frozen artifact; inserts between rebuilds land in
+a sidecar file (``<store>.delta``) as self-delimiting checksummed
+records so the base file's digest never changes.  Each record::
+
+    0:4    magic  b"RSD\\x01"
+    4:8    n rows (u32)
+    8:12   dim (u32)
+    12:20  payload length (u64) — ids + rows
+    20:52  SHA-256 of the payload
+    52:    payload: global ids (int64[n]) then rows (float64[n, dim])
+
+Readers stop at the first torn tail (a crash mid-append leaves a
+partial final record; everything before it is intact because appends
+are flushed+fsynced), and refuse bit-flipped records via the per-record
+digest.  :func:`compact_store` folds base + deltas into a fresh store
+(deterministically — same inputs, same output bytes) and removes the
+sidecar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.metric.base import Metric
+from repro.store.format import Store, StoreCorrupt
+from repro.store.writer import build_family_index, write_store
+
+DELTA_MAGIC = b"RSD\x01"
+_RECORD = struct.Struct("<4sIIQ")
+_DIGEST_BYTES = 32
+
+
+def delta_path(store_path: Union[str, Path]) -> Path:
+    """The sidecar delta file path for a store path."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.name + ".delta")
+
+
+def append_delta(
+    store_path: Union[str, Path],
+    points,
+    *,
+    ids=None,
+) -> Path:
+    """Append one insert batch to the store's delta sidecar.
+
+    ``ids`` (optional) are the global ids of the new rows; when omitted
+    they continue the store's id sequence (base rows, then every delta
+    row already on disk, in order).
+    """
+    store_path = Path(store_path)
+    rows = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if rows.ndim != 2 or len(rows) == 0:
+        raise ValueError(
+            f"delta batches are non-empty 2-D row arrays; got shape {rows.shape}"
+        )
+    with Store(store_path) as store:
+        if rows.shape[1] != store.dim:
+            raise ValueError(
+                f"delta rows have dim {rows.shape[1]}, store has {store.dim}"
+            )
+        next_id = store.n_objects
+    path = delta_path(store_path)
+    if ids is None:
+        for _, existing_rows in read_deltas(store_path):
+            next_id += len(existing_rows)
+        ids = np.arange(next_id, next_id + len(rows), dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape != (len(rows),):
+            raise ValueError(
+                f"ids must map every one of the {len(rows)} delta rows; "
+                f"got shape {ids.shape}"
+            )
+    payload = ids.tobytes() + rows.tobytes()
+    record = (
+        _RECORD.pack(DELTA_MAGIC, len(rows), rows.shape[1], len(payload))
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+    with open(path, "ab") as handle:
+        handle.write(record)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def read_deltas(
+    store_path: Union[str, Path],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """All intact ``(ids, rows)`` delta batches for a store, in order.
+
+    A truncated *final* record (torn append) raises ``bad-length``; a
+    corrupted record raises ``bad-magic`` / ``bad-digest`` /
+    ``bad-payload`` — deltas are inserts the caller was promised were
+    durable, so none may be dropped silently.
+    """
+    path = delta_path(store_path)
+    if not path.exists():
+        return []
+    blob = path.read_bytes()
+    batches: list[tuple[np.ndarray, np.ndarray]] = []
+    offset = 0
+    prefix = _RECORD.size + _DIGEST_BYTES
+    while offset < len(blob):
+        if offset + prefix > len(blob):
+            raise StoreCorrupt(
+                "bad-length",
+                f"delta record header at {offset} truncated "
+                f"({len(blob) - offset} of {prefix} bytes)",
+            )
+        magic, n, dim, payload_len = _RECORD.unpack_from(blob, offset)
+        if magic != DELTA_MAGIC:
+            raise StoreCorrupt(
+                "bad-magic",
+                f"delta record at {offset}: expected {DELTA_MAGIC!r}, "
+                f"got {magic!r}",
+            )
+        if payload_len != n * 8 + n * dim * 8:
+            raise StoreCorrupt(
+                "bad-payload",
+                f"delta record at {offset} declares {payload_len} payload "
+                f"bytes for {n} rows of dim {dim}",
+            )
+        start = offset + prefix
+        if start + payload_len > len(blob):
+            raise StoreCorrupt(
+                "bad-length",
+                f"delta record at {offset} truncated mid-payload "
+                "(torn append)",
+            )
+        digest = blob[offset + _RECORD.size : start]
+        payload = blob[start : start + payload_len]
+        if hashlib.sha256(payload).digest() != digest:
+            raise StoreCorrupt(
+                "bad-digest", f"delta record at {offset} failed its checksum"
+            )
+        ids = np.frombuffer(payload, dtype=np.int64, count=n)
+        rows = np.frombuffer(payload, dtype=np.float64, offset=n * 8).reshape(
+            n, dim
+        )
+        batches.append((ids, rows))
+        offset = start + payload_len
+    return batches
+
+
+def compact_store(
+    store_path: Union[str, Path],
+    metric: Metric,
+    *,
+    out: Optional[Union[str, Path]] = None,
+    rng_seed: int = 0,
+) -> Path:
+    """Fold base store + delta sidecar into one fresh store.
+
+    Rebuilds the same index family with the stored build params over
+    the concatenated rows and writes it atomically — to ``out``, or by
+    default over the base, in which case the absorbed sidecar is
+    removed (compacting to a *different* path leaves base + sidecar
+    untouched: they are still the authoritative pair).  Deterministic:
+    a fixed rebuild seed and no wall-clock in the written bytes mean
+    the same (base, deltas) pair always compacts to the same file
+    digest.
+    """
+    store_path = Path(store_path)
+    with Store(store_path) as store:
+        store.verify()
+        family = store.family
+        params = dict(store.meta.get("params", {}))
+        points = np.array(store.section("points"))
+        if store.has_section("global_ids"):
+            global_ids = np.array(store.section("global_ids"))
+        else:
+            global_ids = np.arange(len(points), dtype=np.int64)
+    batches = read_deltas(store_path)
+    if batches:
+        points = np.concatenate([points] + [rows for _, rows in batches])
+        global_ids = np.concatenate(
+            [global_ids] + [ids for ids, _ in batches]
+        )
+    index = build_family_index(
+        family, points, metric, params, np.random.default_rng(rng_seed)
+    )
+    target = Path(out) if out is not None else store_path
+    write_store(index, target, global_ids=global_ids)
+    if target.resolve() == store_path.resolve():
+        # The base now contains every delta row; only then may the
+        # sidecar go — removing it under a *different* target would
+        # silently orphan the inserts from the untouched base.
+        delta_path(store_path).unlink(missing_ok=True)
+    return target

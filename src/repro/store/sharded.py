@@ -1,0 +1,55 @@
+"""Write a sharded deployment's replicas out as ``.rsx`` stores.
+
+:func:`save_shard_stores` duck-types the manager (anything exposing
+``replicas`` and ``shard_ids``) rather than importing
+:mod:`repro.serve` — the store package is a lower layer and must stay
+import-cycle-free.  Each *live* replica slot becomes one file named
+``shard{s:04d}_r{r}.rsx`` with the shard's global id assignment in the
+``global_ids`` section, which is exactly what
+:func:`repro.store.worker.remote_store_search` needs to answer with
+deployment ids.  Lost replicas and empty shards write nothing — a
+missing path *is* the empty/lost marker.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.store.writer import write_store
+
+
+def store_name(shard: int, replica: int) -> str:
+    return f"shard{shard:04d}_r{replica}.rsx"
+
+
+def save_shard_stores(
+    manager,
+    directory: Union[str, Path],
+) -> dict[tuple[int, int], Path]:
+    """Write every live replica index to ``directory``.
+
+    Returns ``{(shard, replica): path}`` — the mapping
+    :class:`~repro.serve.procpool.ProcessExecutor` takes as
+    ``store_paths``.  Raises ``TypeError`` (from the writer) if a
+    replica's index family has no store writer; convert the deployment
+    to a storable backend first.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: dict[tuple[int, int], Path] = {}
+    shard_ids = manager.shard_ids
+    for r, row in enumerate(manager.replicas):
+        for shard, index in enumerate(row):
+            if index is None:
+                continue
+            path = directory / store_name(shard, r)
+            write_store(
+                index,
+                path,
+                global_ids=np.asarray(shard_ids[shard], dtype=np.int64),
+            )
+            paths[(shard, r)] = path
+    return paths

@@ -1,0 +1,37 @@
+"""Picklable metric specs for disk-backed workers.
+
+A spawn-started worker cannot inherit a live metric object; it gets a
+small declarative spec — a registered name, or ``(name, kwargs)`` —
+and builds the metric itself after start-up.  Only stateless vector
+metrics are registered: a store holds float64 rows, and a stateful
+metric (caching, counting) must not be silently re-created empty in
+another process.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.metric.base import Metric
+from repro.metric.minkowski import L1, L2, LInf
+
+METRIC_SPECS = {"l1": L1, "l2": L2, "linf": LInf}
+
+MetricSpec = Union[str, tuple]
+
+
+def metric_from_spec(spec: MetricSpec) -> Metric:
+    """Instantiate the metric a spec names (e.g. ``"l2"`` or
+    ``("l2", {"scale": 2.0})``)."""
+    if isinstance(spec, str):
+        name, kwargs = spec, {}
+    else:
+        name, kwargs = spec
+    try:
+        cls = METRIC_SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric spec {name!r}; registered: "
+            f"{sorted(METRIC_SPECS)}"
+        ) from None
+    return cls(**dict(kwargs))

@@ -1,0 +1,322 @@
+"""Serialise built indexes into ``.rsx`` stores.
+
+The node tables written here are exactly the flattened arrays the
+frontier kernels in :mod:`repro.indexes.kernels` search — vp ids,
+shell bounds, child kind/slot tables, and the mvp/gmvp leaves'
+precomputed D1/D2/PATH distance arrays — so a reopened store
+reconstructs the kernel cache by reshaping mmap views, with bit-exact
+values and therefore byte-identical answers and ``QueryStats``.
+
+Writers exist for the static families — :class:`~repro.indexes.vptree.VPTree`,
+:class:`~repro.core.mvptree.MVPTree`, :class:`~repro.core.gmvptree.GMVPTree`,
+:class:`~repro.indexes.laesa.LAESA` and
+:class:`~repro.indexes.linear.LinearScan`.  Mutating structures
+(``DynamicMVPTree``) are refused: a store is a frozen artifact; rebuild
+and rewrite after bulk updates (or let delta files carry the inserts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.indexes import kernels
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric.base import Metric
+from repro.store.atomic import atomic_write_bytes
+from repro.store.format import pack_store, points_digest
+
+
+def store_family(index) -> str:
+    """The ``.rsx`` family name for ``index`` (exact type match).
+
+    Subclasses are refused on purpose: a subclass may carry state the
+    family's node table does not represent (``DynamicMVPTree``'s
+    in-place inserts being the canonical example).
+    """
+    for cls, family in (
+        (VPTree, "vpt"),
+        (MVPTree, "mvpt"),
+        (GMVPTree, "gmvpt"),
+        (LAESA, "laesa"),
+        (LinearScan, "linear"),
+    ):
+        if type(index) is cls:
+            return family
+    raise TypeError(
+        f"no .rsx store writer for index type {type(index).__name__}"
+    )
+
+
+def _points_of(index) -> np.ndarray:
+    points = np.asarray(index.objects)
+    if points.ndim != 2 or not np.issubdtype(points.dtype, np.number):
+        raise TypeError(
+            ".rsx stores hold contiguous float64 rows; got objects of "
+            f"shape {points.shape} dtype {points.dtype} "
+            "(discrete datasets are not storable)"
+        )
+    return np.ascontiguousarray(points, dtype=np.float64)
+
+
+def _offsets(counts: list[int]) -> np.ndarray:
+    out = np.zeros(len(counts) + 1, dtype=np.int64)
+    if counts:
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=out[1:])
+    return out
+
+
+def _concat(chunks: list[np.ndarray], dtype) -> np.ndarray:
+    if not chunks:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([np.asarray(c, dtype=dtype).ravel() for c in chunks])
+
+
+def _vpt_payload(tree: VPTree):
+    arrays = kernels._vp_arrays(tree)
+    sections = {
+        "vp_ids": np.asarray(arrays.vp_ids, dtype=np.int64),
+        "child_lo": np.asarray(arrays.child_lo, dtype=np.float64),
+        "child_hi": np.asarray(arrays.child_hi, dtype=np.float64),
+        "child_kind": np.asarray(arrays.child_kind, dtype=np.int8),
+        "child_idx": np.asarray(arrays.child_idx, dtype=np.int64),
+        "leaf_offsets": _offsets([len(ids) for ids in arrays.leaf_ids]),
+        "leaf_ids": _concat(list(arrays.leaf_ids), np.int64),
+    }
+    tree_meta = {
+        "root_kind": int(arrays.root_kind),
+        "root_idx": int(arrays.root_idx),
+        "n_leaves": len(arrays.leaf_ids),
+    }
+    params = {
+        "m": tree.m,
+        "leaf_capacity": tree.leaf_capacity,
+        "bounds": tree.bounds_mode,
+    }
+    build_stats = {
+        "node_count": tree.node_count,
+        "leaf_count": tree.leaf_count,
+        "vantage_point_count": tree.vantage_point_count,
+        "height": tree.height,
+    }
+    return sections, tree_meta, params, build_stats
+
+
+def _mvpt_payload(tree: MVPTree):
+    arrays = kernels._mvp_arrays(tree)
+    leaves = arrays.leaves
+    path_counts = [len(n.ids) * n.path_len for n in leaves]
+    sections = {
+        "vp1": np.asarray(arrays.vp1, dtype=np.int64),
+        "vp2": np.asarray(arrays.vp2, dtype=np.int64),
+        "b1lo": np.asarray(arrays.b1lo, dtype=np.float64),
+        "b1hi": np.asarray(arrays.b1hi, dtype=np.float64),
+        "b2lo": np.asarray(arrays.b2lo, dtype=np.float64),
+        "b2hi": np.asarray(arrays.b2hi, dtype=np.float64),
+        "child_kind": np.asarray(arrays.child_kind, dtype=np.int8),
+        "child_idx": np.asarray(arrays.child_idx, dtype=np.int64),
+        "leaf_vp1": np.asarray([n.vp1_id for n in leaves], dtype=np.int64),
+        "leaf_vp2": np.asarray(
+            [-1 if n.vp2_id is None else n.vp2_id for n in leaves],
+            dtype=np.int64,
+        ),
+        "leaf_offsets": _offsets([len(n.ids) for n in leaves]),
+        "leaf_ids": _concat([np.asarray(n.ids) for n in leaves], np.int64),
+        "leaf_d1": _concat([n.d1 for n in leaves], np.float64),
+        "leaf_d2": _concat([n.d2 for n in leaves], np.float64),
+        "leaf_path_len": np.asarray(
+            [n.path_len for n in leaves], dtype=np.int64
+        ),
+        "leaf_path_offsets": _offsets(path_counts),
+        "leaf_paths": _concat([n.paths for n in leaves], np.float64),
+    }
+    tree_meta = {
+        "root_kind": int(arrays.root_kind),
+        "root_idx": int(arrays.root_idx),
+        "n_leaves": len(leaves),
+    }
+    params = {
+        "m": tree.m,
+        "k": tree.k,
+        "p": tree.p,
+        "bounds": tree.bounds_mode,
+    }
+    build_stats = {
+        "node_count": tree.node_count,
+        "leaf_count": tree.leaf_count,
+        "internal_count": tree.internal_count,
+        "vantage_point_count": tree.vantage_point_count,
+        "leaf_data_point_count": tree.leaf_data_point_count,
+        "height": tree.height,
+    }
+    return sections, tree_meta, params, build_stats
+
+
+def _gmvpt_payload(tree: GMVPTree):
+    arrays = kernels._gmvp_arrays(tree)
+    leaves = arrays.leaves
+    dist_rows = [np.asarray(n.dists).shape[0] for n in leaves]
+    dist_counts = [rows * len(leaves[i].ids) for i, rows in enumerate(dist_rows)]
+    path_counts = [len(n.ids) * n.path_len for n in leaves]
+    sections = {
+        "vp_ids": np.asarray(arrays.vp_ids, dtype=np.int64),
+        "blo": np.asarray(arrays.blo, dtype=np.float64),
+        "bhi": np.asarray(arrays.bhi, dtype=np.float64),
+        "child_kind": np.asarray(arrays.child_kind, dtype=np.int8),
+        "child_idx": np.asarray(arrays.child_idx, dtype=np.int64),
+        "leaf_vp_offsets": _offsets([len(n.vp_ids) for n in leaves]),
+        "leaf_vp_ids": _concat(
+            [np.asarray(n.vp_ids) for n in leaves], np.int64
+        ),
+        "leaf_offsets": _offsets([len(n.ids) for n in leaves]),
+        "leaf_ids": _concat([np.asarray(n.ids) for n in leaves], np.int64),
+        "leaf_dist_rows": np.asarray(dist_rows, dtype=np.int64),
+        "leaf_dist_offsets": _offsets(dist_counts),
+        "leaf_dists": _concat([n.dists for n in leaves], np.float64),
+        "leaf_path_len": np.asarray(
+            [n.path_len for n in leaves], dtype=np.int64
+        ),
+        "leaf_path_offsets": _offsets(path_counts),
+        "leaf_paths": _concat([n.paths for n in leaves], np.float64),
+    }
+    tree_meta = {
+        "root_kind": int(arrays.root_kind),
+        "root_idx": int(arrays.root_idx),
+        "n_leaves": len(leaves),
+    }
+    params = {"m": tree.m, "v": tree.v, "k": tree.k, "p": tree.p}
+    build_stats = {
+        "node_count": tree.node_count,
+        "leaf_count": tree.leaf_count,
+        "internal_count": tree.internal_count,
+        "vantage_point_count": tree.vantage_point_count,
+        "leaf_data_point_count": tree.leaf_data_point_count,
+        "height": tree.height,
+    }
+    return sections, tree_meta, params, build_stats
+
+
+def _laesa_payload(index: LAESA):
+    sections = {
+        "pivot_ids": np.asarray(index.pivot_ids, dtype=np.int64),
+        "table": np.asarray(index.table, dtype=np.float64),
+    }
+    return sections, {}, {"n_pivots": index.n_pivots}, {}
+
+
+def _linear_payload(index: LinearScan):
+    return {}, {}, {}, {}
+
+
+_PAYLOADS = {
+    "vpt": _vpt_payload,
+    "mvpt": _mvpt_payload,
+    "gmvpt": _gmvpt_payload,
+    "laesa": _laesa_payload,
+    "linear": _linear_payload,
+}
+
+
+def store_bytes(
+    index,
+    *,
+    global_ids=None,
+    source_mtime: Optional[float] = None,
+) -> bytes:
+    """The exact bytes :func:`write_store` writes for ``index``."""
+    family = store_family(index)
+    points = _points_of(index)
+    sections, tree_meta, params, build_stats = _PAYLOADS[family](index)
+    all_sections = {"points": points, **sections}
+    if global_ids is not None:
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if global_ids.shape != (len(points),):
+            raise ValueError(
+                f"global_ids must map every one of the {len(points)} rows; "
+                f"got shape {global_ids.shape}"
+            )
+        all_sections["global_ids"] = global_ids
+    meta = {
+        "n_objects": len(points),
+        "dim": int(points.shape[1]),
+        "params": params,
+        "tree": tree_meta,
+        "build_stats": build_stats,
+        "source": {"digest": points_digest(points), "mtime": source_mtime},
+    }
+    return pack_store(family, meta, all_sections)
+
+
+def write_store(
+    index,
+    path: Union[str, Path],
+    *,
+    global_ids=None,
+    source_mtime: Optional[float] = None,
+) -> Path:
+    """Atomically write ``index`` to ``path`` as a ``.rsx`` store.
+
+    ``global_ids`` (optional, one int64 per data row) records the
+    dataset-global id of every local row — written by
+    :func:`repro.store.sharded.save_shard_stores` so disk-backed workers
+    can map local answers to deployment ids.  ``source_mtime`` (optional)
+    is the modification time of the source dataset file, recorded for
+    :meth:`Store.verify`'s staleness check; leave it ``None`` for purely
+    in-memory datasets (writes stay deterministic).
+    """
+    blob = store_bytes(
+        index, global_ids=global_ids, source_mtime=source_mtime
+    )
+    return atomic_write_bytes(path, blob)
+
+
+def build_family_index(
+    family: str,
+    points: np.ndarray,
+    metric: Metric,
+    params: dict,
+    rng=None,
+):
+    """Rebuild a family index from points + stored params (compaction)."""
+    rng = as_rng(rng)
+    if family == "linear":
+        return LinearScan(points, metric)
+    if family == "vpt":
+        return VPTree(
+            points,
+            metric,
+            m=params["m"],
+            leaf_capacity=params["leaf_capacity"],
+            bounds=params["bounds"],
+            rng=rng,
+        )
+    if family == "mvpt":
+        return MVPTree(
+            points,
+            metric,
+            m=params["m"],
+            k=params["k"],
+            p=params["p"],
+            bounds=params["bounds"],
+            rng=rng,
+        )
+    if family == "gmvpt":
+        return GMVPTree(
+            points,
+            metric,
+            m=params["m"],
+            v=params["v"],
+            k=params["k"],
+            p=params["p"],
+            rng=rng,
+        )
+    if family == "laesa":
+        return LAESA(points, metric, n_pivots=params["n_pivots"], rng=rng)
+    raise ValueError(f"unknown store family {family!r}")

@@ -1,0 +1,118 @@
+"""The coldstart benchmark: report shape, verdicts, baseline replay."""
+
+import json
+
+import pytest
+
+from repro.bench.coldstart import (
+    COLDSTART_SCHEMA,
+    coldstart_main,
+    format_report,
+    load_baseline,
+    run_coldstart,
+)
+
+SMALL = dict(n=400, dim=6, seed=3, n_queries=3, k=4, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_coldstart(**SMALL)
+
+
+class TestRunColdstart:
+    def test_schema_and_config(self, report):
+        assert report["schema"] == COLDSTART_SCHEMA
+        assert report["config"]["n"] == 400
+        assert report["config"]["backend"] == "vpt"
+
+    def test_both_paths_measured(self, report):
+        assert report["pickle"]["load_s"] > 0
+        assert report["store"]["open_s"] > 0
+        assert report["store"]["open_verify_s"] > 0
+        assert report["pickle"]["bytes"] > 0
+        assert report["store"]["bytes"] > 0
+
+    def test_answers_identical(self, report):
+        # Both reopened indexes must return the original tree's answers.
+        assert report["answers_identical"] is True
+
+    def test_speedup_is_ratio(self, report):
+        assert report["speedup"] == pytest.approx(
+            report["pickle"]["load_s"] / report["store"]["open_s"]
+        )
+
+    def test_format_report_mentions_both_paths(self, report):
+        text = format_report(report)
+        assert "pickle" in text and "store" in text and "speedup" in text
+
+
+class TestLoadBaseline:
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(str(path))
+
+    def test_rejects_missing_floor(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"schema": COLDSTART_SCHEMA, "config": {}})
+        )
+        with pytest.raises(ValueError, match="min_speedup"):
+            load_baseline(str(path))
+
+
+class TestColdstartMain:
+    def _args(self, extra=()):
+        return [
+            "--n", "400", "--dim", "6", "--seed", "3",
+            "--queries", "3", "--k", "4", "--repeats", "2",
+            *extra,
+        ]
+
+    def test_json_report_parses(self, capsys):
+        # A tiny tree barely favours mmap; floor 0 isolates the report
+        # plumbing from the machine.
+        code = coldstart_main(self._args(["--json", "--min-speedup", "0"]))
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert code == 0
+        assert report["schema"] == COLDSTART_SCHEMA
+        assert report["passed"] is True
+
+    def test_floor_violation_exits_one(self, capsys):
+        code = coldstart_main(self._args(["--min-speedup", "1e9"]))
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_write_then_check_roundtrip(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_coldstart_test.json"
+        assert (
+            coldstart_main(
+                self._args(["--min-speedup", "0", "--write", str(baseline)])
+            )
+            == 0
+        )
+        payload = json.loads(baseline.read_text())
+        assert payload["min_speedup"] == 0
+        assert payload["config"]["n"] == 400
+        capsys.readouterr()
+        assert coldstart_main(["--check", str(baseline)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_unusable_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{")
+        assert coldstart_main(["--check", str(bad)]) == 2
+        assert "unusable baseline" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_loads(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(str(repo / "BENCH_coldstart_v1.json"))
+        assert baseline["min_speedup"] == 10.0
+        assert baseline["config"]["n"] == 100_000

@@ -581,6 +581,48 @@ class TestRC009ForkUnsafeState:
         assert codes == ["RC009"]
         assert "file offset" in findings[0].message
 
+    def test_flags_module_level_mmap(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            import mmap
+
+            _MAP = mmap.mmap(-1, 4096)
+            """,
+            relpath="store/cachelib.py",
+            select={"RC009"},
+        )
+        assert codes == ["RC009"]
+        assert "per worker" in findings[0].message
+
+    def test_flags_module_level_numpy_memmap(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            TABLE = np.memmap("table.bin", dtype="f8", mode="r")
+            """,
+            relpath="store/cachelib.py",
+            select={"RC009"},
+        )
+        assert codes == ["RC009"]
+
+    def test_mmap_inside_method_is_clean(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import mmap
+
+            class Store:
+                def __init__(self, fileno):
+                    self._map = mmap.mmap(fileno, 0, access=mmap.ACCESS_READ)
+            """,
+            relpath="store/cachelib.py",
+            select={"RC009"},
+        )
+        assert codes == []
+
     def test_lock_inside_method_is_clean(self, tmp_path):
         codes, _ = lint_snippet(
             tmp_path,

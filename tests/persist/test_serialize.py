@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import GNAT, BKTree, GHTree, LinearScan, MVPTree, VPTree
+from repro.indexes.base import MetricIndex
 from repro.metric import L2, EditDistance
 from repro.persist import index_from_dict, index_to_dict, load_index, save_index
 
@@ -164,9 +165,28 @@ class TestValidation:
             index_from_dict(payload, data, metric)
 
     def test_unserialisable_index_rejected(self, data):
-        from repro import TransformIndex
-        from repro.transforms import DFTTransform
+        class Opaque(MetricIndex):
+            def range_search(self, query, radius, *, stats=None, trace=None):
+                return []
 
-        index = TransformIndex(data[:20], L2(), DFTTransform(2))
+            def knn_search(self, query, k, *, stats=None, trace=None):
+                return []
+
         with pytest.raises(TypeError, match="cannot serialise"):
+            index_to_dict(Opaque(data[:20], L2()))
+
+    def test_non_dft_transform_rejected(self, data):
+        from repro import TransformIndex
+        from repro.transforms.base import DistancePreservingTransform
+
+        class Identity(DistancePreservingTransform):
+            @property
+            def target_metric(self):
+                return L2()
+
+            def transform(self, obj):
+                return obj
+
+        index = TransformIndex(data[:20], L2(), Identity())
+        with pytest.raises(TypeError, match="only DFTTransform"):
             index_to_dict(index)

@@ -160,6 +160,133 @@ def test_thread_executor_under_lockwatch_is_inversion_free(uniform_data):
     assert watcher.inversions() == [], watcher.violations()
 
 
+# Backends whose indexes have an .rsx writer (see repro.store.writer);
+# the disk-backed mode can only serve what the store format can hold.
+STORABLE_BACKENDS = sorted(
+    set(SHARD_BACKENDS) & {"linear", "vpt", "mvpt", "gmvpt", "laesa"}
+)
+
+
+def _sequential_pass(manager, queries):
+    answers, all_stats = [], []
+    for query in queries:
+        stats = QueryStats()
+        if query.kind == "range":
+            answer = manager.range_search(query.query, query.radius, stats=stats)
+        else:
+            answer = manager.knn_search(query.query, query.k, stats=stats)
+        answers.append(answer)
+        all_stats.append(stats)
+    return answers, all_stats
+
+
+@pytest.mark.parametrize("backend", STORABLE_BACKENDS)
+def test_store_backed_pool_matches_sequential_oracle(
+    backend, uniform_data, word_data, tmp_path
+):
+    """Disk-backed mode: workers answer from ``.rsx`` files, yet the
+    answers and per-query stats stay exactly the sequential ones."""
+    from repro.store import save_shard_stores
+
+    objects, metric, queries = _deployment(backend, uniform_data, word_data)
+    manager = ShardManager(objects, metric, n_shards=3, backend=backend, rng=5)
+    paths = save_shard_stores(manager, tmp_path)
+    sequential_answers, sequential_stats = _sequential_pass(manager, queries)
+    oracle = LinearScan(objects, metric)
+
+    with QueryEngine(
+        manager,
+        executor="process",
+        workers=2,
+        store_paths=paths,
+        metric_spec="l2",
+    ) as engine:
+        outcome = engine.run_batch(queries)
+
+    for query, result, answer, stats in zip(
+        queries, outcome.results, sequential_answers, sequential_stats
+    ):
+        assert not result.degraded
+        assert result.shards_ok == 3
+        assert result.value == answer
+        if query.kind == "range":
+            assert result.ids == oracle.range_search(query.query, query.radius)
+        else:
+            k_eff = min(query.k, len(objects))
+            assert result.neighbors == oracle.knn_search(query.query, k_eff)
+        assert result.stats.to_dict() == stats.to_dict()
+
+
+@pytest.mark.parametrize("backend", STORABLE_BACKENDS)
+def test_store_backed_pool_under_spawn(
+    backend, uniform_data, word_data, tmp_path
+):
+    """The ISSUE acceptance bar: ``store_paths`` mode passes the full
+    parity check under ``spawn`` — nothing is inherited, workers open
+    every shard from disk, and the answers are still exact."""
+    from repro.serve import ProcessExecutor
+    from repro.store import save_shard_stores
+
+    objects, metric, queries = _deployment(backend, uniform_data, word_data)
+    manager = ShardManager(objects, metric, n_shards=3, backend=backend, rng=5)
+    paths = save_shard_stores(manager, tmp_path)
+    sequential_answers, sequential_stats = _sequential_pass(manager, queries)
+
+    executor = ProcessExecutor(
+        None,
+        2,
+        store_paths=paths,
+        metric_spec="l2",
+        start_method="spawn",
+    )
+    assert executor.start_method == "spawn"
+    try:
+        with QueryEngine(manager, executor=executor) as engine:
+            outcome = engine.run_batch(queries)
+    finally:
+        executor.shutdown()
+
+    for result, answer, stats in zip(
+        outcome.results, sequential_answers, sequential_stats
+    ):
+        assert not result.degraded
+        assert result.value == answer
+        assert result.stats.to_dict() == stats.to_dict()
+
+
+def test_store_backed_replicated_failover_stays_exact(uniform_data, tmp_path):
+    """Replica failover in disk-backed mode: kill replica 0 everywhere
+    and the engine answers exactly from the replica-1 store files."""
+    from repro.store import save_shard_stores
+
+    objects = uniform_data[:150]
+    manager = ShardManager(
+        objects, L2(), n_shards=3, backend="vpt", rng=7, replication_factor=2
+    )
+    paths = save_shard_stores(manager, tmp_path)
+    oracle = LinearScan(objects, L2())
+    queries = [Query.range(objects[0], 0.5), Query.knn(objects[1], 5)]
+
+    def kill_replica_zero(qi, shard, attempt, replica):
+        if replica == 0:
+            raise RuntimeError("fuzz: replica 0 down")
+
+    with QueryEngine(
+        manager,
+        executor="process",
+        workers=2,
+        fault_hook=kill_replica_zero,
+        store_paths=paths,
+        metric_spec="l2",
+    ) as engine:
+        outcome = engine.run_batch(queries)
+    range_result, knn_result = outcome.results
+    assert not range_result.degraded and not knn_result.degraded
+    assert range_result.ids == oracle.range_search(objects[0], 0.5)
+    assert knn_result.neighbors == oracle.knn_search(objects[1], 5)
+    assert range_result.stats.failovers == 3
+
+
 def test_process_pool_single_index_parity(uniform_data):
     """A plain (unsharded) index behind the process pool."""
     from repro.indexes.vptree import VPTree

@@ -1,0 +1,163 @@
+"""Delta-file lifecycle: append, search, compact, determinism.
+
+The contract (``docs/store.md``): appends never rewrite the base file;
+an index opened with deltas answers exactly like an in-memory index
+over the concatenated dataset; compaction folds base + deltas into a
+fresh store whose answers match and whose bytes are a pure function of
+``(base, deltas, seed)`` — compacting the same inputs twice yields the
+same digest.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric import L2
+from repro.obs.stats import QueryStats
+from repro.store import (
+    StoreCorrupt,
+    append_delta,
+    compact_store,
+    delta_path,
+    open_index,
+    read_deltas,
+    write_store,
+)
+
+N, DIM = 90, 6
+
+
+@pytest.fixture()
+def base(tmp_path):
+    data = np.random.default_rng(12).random((N, DIM))
+    path = tmp_path / "base.rsx"
+    write_store(VPTree(data, L2(), m=2, leaf_capacity=4, rng=2), path)
+    return path, data
+
+
+@pytest.fixture()
+def extra():
+    rng = np.random.default_rng(13)
+    return [rng.random((7, DIM)), rng.random((4, DIM))]
+
+
+class TestAppend:
+    def test_append_leaves_base_untouched(self, base, extra):
+        path, _ = base
+        before = path.read_bytes()
+        append_delta(path, extra[0])
+        assert path.read_bytes() == before
+        assert delta_path(path).exists()
+
+    def test_default_ids_continue_the_sequence(self, base, extra):
+        path, _ = base
+        append_delta(path, extra[0])
+        append_delta(path, extra[1])
+        batches = read_deltas(path)
+        assert [list(ids) for ids, _ in batches] == [
+            list(range(N, N + 7)),
+            list(range(N + 7, N + 11)),
+        ]
+
+    def test_dimension_mismatch_rejected(self, base):
+        path, _ = base
+        with pytest.raises(ValueError, match="dim"):
+            append_delta(path, np.random.default_rng(1).random((3, DIM + 1)))
+
+    def test_torn_delta_refused(self, base, extra):
+        path, _ = base
+        append_delta(path, extra[0])
+        sidecar = delta_path(path)
+        blob = sidecar.read_bytes()
+        sidecar.write_bytes(blob[:-5])
+        with pytest.raises(StoreCorrupt) as excinfo:
+            read_deltas(path)
+        assert excinfo.value.reason == "bad-length"
+
+    def test_flipped_delta_refused(self, base, extra):
+        path, _ = base
+        append_delta(path, extra[0])
+        sidecar = delta_path(path)
+        blob = bytearray(sidecar.read_bytes())
+        blob[-1] ^= 0x01
+        sidecar.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorrupt) as excinfo:
+            read_deltas(path)
+        assert excinfo.value.reason == "bad-digest"
+
+
+class TestSearchWithDeltas:
+    def test_matches_linear_oracle_over_full_dataset(self, base, extra):
+        path, data = base
+        append_delta(path, extra[0])
+        append_delta(path, extra[1])
+        full = np.concatenate([data, *extra])
+        oracle = LinearScan(full, L2())
+        query = np.random.default_rng(14).random(DIM)
+        with open_index(path, L2()) as index:
+            assert len(index) == len(full)
+            assert sorted(index.range_search(query, 0.6)) == sorted(
+                oracle.range_search(query, 0.6)
+            )
+            assert index.knn_search(query, 9) == oracle.knn_search(query, 9)
+
+    def test_delta_scan_is_counted(self, base, extra):
+        path, _ = base
+        append_delta(path, extra[0])
+        stats_with = QueryStats()
+        with open_index(path, L2()) as index:
+            index.range_search(np.zeros(DIM), 0.5, stats=stats_with)
+        stats_without = QueryStats()
+        with open_index(path, L2(), with_deltas=False) as index:
+            index.range_search(np.zeros(DIM), 0.5, stats=stats_without)
+        assert (
+            stats_with.distance_calls
+            == stats_without.distance_calls + len(extra[0])
+        )
+
+
+class TestCompaction:
+    def test_compact_preserves_answers_and_removes_sidecar(self, base, extra):
+        path, data = base
+        append_delta(path, extra[0])
+        append_delta(path, extra[1])
+        query = np.random.default_rng(15).random(DIM)
+        with open_index(path, L2()) as index:
+            expected_range = sorted(index.range_search(query, 0.6))
+            expected_knn = index.knn_search(query, 9)
+        compact_store(path, L2())
+        assert not delta_path(path).exists()
+        with open_index(path, L2()) as index:
+            assert index._delta_rows is None
+            assert sorted(index.range_search(query, 0.6)) == expected_range
+            assert index.knn_search(query, 9) == expected_knn
+
+    def test_compaction_is_deterministic(self, base, extra, tmp_path):
+        path, _ = base
+        append_delta(path, extra[0])
+        append_delta(path, extra[1])
+        out_a = tmp_path / "a.rsx"
+        out_b = tmp_path / "b.rsx"
+        compact_store(path, L2(), out=out_a)
+        compact_store(path, L2(), out=out_b)
+        digest_a = hashlib.sha256(out_a.read_bytes()).hexdigest()
+        digest_b = hashlib.sha256(out_b.read_bytes()).hexdigest()
+        assert digest_a == digest_b
+
+    def test_compact_without_deltas_is_a_rebuild(self, base):
+        path, data = base
+        compact_store(path, L2())
+        with open_index(path, L2()) as index:
+            assert len(index) == N
+
+    def test_compact_refuses_corrupt_base(self, base, extra):
+        path, _ = base
+        append_delta(path, extra[0])
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0x20
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorrupt):
+            compact_store(path, L2())

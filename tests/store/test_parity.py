@@ -1,0 +1,159 @@
+"""Byte-for-byte answer parity: StoreBackedIndex vs the in-memory tree.
+
+The tentpole claim of ``repro.store``: searching an index reopened from
+its ``.rsx`` file produces *identical* (distance, id) answers AND
+identical :class:`QueryStats` to the in-memory structure it was written
+from, for every supported family.  The store round-trips the exact
+float64 construction distances and the exact leaf order, so the kernel
+masks, prune decisions, and tie-breaks replay bit-for-bit — this suite
+is the executable form of that argument.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric import L2
+from repro.obs.stats import QueryStats
+from repro.store import open_index, store_family, write_store
+
+N, DIM = 160, 8
+RADII = [0.15, 0.45, 0.9]
+KS = [1, 5, 17]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(5).random((N, DIM))
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(6)
+    return [rng.random(DIM) for _ in range(4)] + [data[17]]
+
+
+def build(family, data):
+    metric = L2()
+    rng = 11
+    if family == "linear":
+        return LinearScan(data, metric)
+    if family == "vpt":
+        return VPTree(data, metric, m=3, leaf_capacity=4, rng=rng)
+    if family == "mvpt":
+        return MVPTree(data, metric, m=3, k=13, p=4, rng=rng)
+    if family == "gmvpt":
+        return GMVPTree(data, metric, m=2, v=3, k=8, p=4, rng=rng)
+    if family == "laesa":
+        return LAESA(data, metric, n_pivots=6, rng=rng)
+    raise AssertionError(family)
+
+
+FAMILIES = ["linear", "vpt", "mvpt", "gmvpt", "laesa"]
+
+
+@pytest.fixture(scope="module", params=FAMILIES)
+def pair(request, tmp_path_factory, data):
+    family = request.param
+    original = build(family, data)
+    path = tmp_path_factory.mktemp("stores") / f"{family}.rsx"
+    write_store(original, path)
+    backed = open_index(path, L2())
+    yield original, backed
+    backed.close()
+
+
+class TestAnswerParity:
+    def test_family_tag_round_trips(self, pair):
+        original, backed = pair
+        assert backed.family == store_family(original)
+
+    def test_range_answers_and_stats_identical(self, pair, queries):
+        original, backed = pair
+        for query in queries:
+            for radius in RADII:
+                s1, s2 = QueryStats(), QueryStats()
+                expected = original.range_search(query, radius, stats=s1)
+                actual = backed.range_search(query, radius, stats=s2)
+                assert actual == expected
+                assert s2.to_dict() == s1.to_dict()
+
+    def test_knn_answers_and_stats_identical(self, pair, queries):
+        original, backed = pair
+        for query in queries:
+            for k in KS:
+                s1, s2 = QueryStats(), QueryStats()
+                expected = original.knn_search(query, k, stats=s1)
+                actual = backed.knn_search(query, k, stats=s2)
+                assert actual == expected  # exact (distance, id) pairs
+                assert s2.to_dict() == s1.to_dict()
+
+    def test_len_matches(self, pair):
+        original, backed = pair
+        assert len(backed) == len(original.objects)
+
+
+class TestApproximateKnnParity:
+    @pytest.mark.parametrize("family", ["vpt", "mvpt", "gmvpt"])
+    def test_epsilon_knn_identical(self, family, data, queries, tmp_path):
+        original = build(family, data)
+        path = tmp_path / f"{family}.rsx"
+        write_store(original, path)
+        with open_index(path, L2()) as backed:
+            for query in queries[:2]:
+                for epsilon in (0.1, 0.5):
+                    s1, s2 = QueryStats(), QueryStats()
+                    expected = original.knn_search(
+                        query, 5, epsilon=epsilon, stats=s1
+                    )
+                    actual = backed.knn_search(
+                        query, 5, epsilon=epsilon, stats=s2
+                    )
+                    assert actual == expected
+                    assert s2.to_dict() == s1.to_dict()
+
+    def test_negative_epsilon_rejected(self, data, tmp_path):
+        path = tmp_path / "vpt.rsx"
+        write_store(build("vpt", data), path)
+        with open_index(path, L2()) as backed:
+            with pytest.raises(ValueError, match="epsilon"):
+                backed.knn_search(data[0], 3, epsilon=-0.1)
+
+
+class TestDeterministicBytes:
+    def test_same_index_same_bytes(self, data, tmp_path):
+        from repro.store.writer import store_bytes
+
+        original = build("mvpt", data)
+        assert store_bytes(original) == store_bytes(original)
+
+    def test_same_build_same_file(self, data, tmp_path):
+        a, b = tmp_path / "a.rsx", tmp_path / "b.rsx"
+        write_store(build("vpt", data), a)
+        write_store(build("vpt", data), b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestWriterValidation:
+    def test_unsupported_family_refused(self, data):
+        from repro.core.dynamic import DynamicMVPTree
+
+        dynamic = DynamicMVPTree(data[:40], L2(), m=3, k=4, p=4, rng=0)
+        with pytest.raises(TypeError, match="store"):
+            write_store(dynamic, "/tmp/never-written.rsx")
+
+    def test_trace_events_identical(self, data, queries, tmp_path):
+        from repro.obs.trace import RecordingTraceSink
+
+        original = build("vpt", data)
+        path = tmp_path / "vpt.rsx"
+        write_store(original, path)
+        with open_index(path, L2()) as backed:
+            t1, t2 = RecordingTraceSink(), RecordingTraceSink()
+            original.range_search(queries[0], 0.5, trace=t1)
+            backed.range_search(queries[0], 0.5, trace=t2)
+            assert t2.events == t1.events
