@@ -1,0 +1,36 @@
+"""Approximate search with sound, machine-checkable recall bounds.
+
+Exact metric-tree search provably degrades toward linear scan as
+dimension grows (Pestov's lower bounds; the paper's Figure 4 regime).
+This package makes approximation a first-class, *honest* feature: a
+distance-computation budget ``B`` plus an ε early-termination factor,
+with every answer carrying an :class:`ApproxReport` certificate —
+budget spent, per-result soundness flags, and a conservative recall
+lower bound derived from the §4.3 bounds of whatever the traversal did
+not pay for.  See ``docs/approximate.md``.
+"""
+
+from repro.approx.report import (
+    KIND_KNN,
+    KIND_RANGE,
+    ApproxDowngrade,
+    ApproxReport,
+    build_report,
+    merge_reports,
+    missing_shard_report,
+    split_budget,
+)
+from repro.approx.search import approx_knn_search, approx_range_search
+
+__all__ = [
+    "ApproxDowngrade",
+    "ApproxReport",
+    "KIND_KNN",
+    "KIND_RANGE",
+    "approx_knn_search",
+    "approx_range_search",
+    "build_report",
+    "merge_reports",
+    "missing_shard_report",
+    "split_budget",
+]

@@ -1,0 +1,248 @@
+"""The :class:`ApproxReport` certificate and its exact cross-shard merge.
+
+Every budgeted search answers with a report deriving a *conservative*
+recall lower bound from the §4.3 bounds of whatever the traversal did
+not pay for (see ``docs/approximate.md`` for the guarantees and their
+proofs).  The key quantities a kernel certifies:
+
+* ``possible_missed`` — how many data points were neither scanned nor
+  provably pruned.  Zero means the answer is exact.
+* ``min_missed_lb`` — the smallest lower bound among that missed mass:
+  no unscanned point can be closer to the query than this.
+
+From those two numbers:
+
+* a k-NN result at distance ``d`` is **sound** (provably in the true
+  top-k) when ``d`` is definitely below ``min_missed_lb`` — any point
+  that could beat it was considered, so if it survived the merge it
+  belongs in the true answer;
+* a range answer always has precision 1 (every reported id's distance
+  was verified), and its recall is at least
+  ``hits / (hits + possible_missed)`` because every true hit is either
+  reported or part of the missed mass.
+
+Merging across shards is exact: budgets, spent counts, and missed mass
+add; ``min_missed_lb`` takes the global minimum; soundness flags are
+*recomputed* against the merged bound, because a result only provably
+survives the global merge if it beats the closest point any shard may
+have skipped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro._util import definitely_less
+
+#: Report ``kind`` values.
+KIND_RANGE = "range"
+KIND_KNN = "knn"
+
+
+@dataclass(frozen=True)
+class ApproxReport:
+    """Machine-checkable certificate attached to an approximate answer.
+
+    ``sound[i]`` states that result ``i`` is provably also in the exact
+    answer; ``recall_lower_bound`` is a number the true recall can never
+    fall below.  Both stay valid under the exact cross-shard merge
+    (:func:`merge_reports`).
+    """
+
+    kind: str                       # "range" | "knn"
+    budget: Optional[int]           # requested cap (None = unlimited)
+    epsilon: float                  # requested approximation slack
+    spent: int                      # distance computations actually paid
+    exhausted: bool                 # did the budget end the traversal?
+    possible_missed: int            # points neither scanned nor provably pruned
+    min_missed_lb: float            # closest any missed point can be (inf if none)
+    sound: tuple = field(default_factory=tuple)
+    recall_lower_bound: float = 1.0
+
+    @property
+    def exact(self) -> bool:
+        """Whether the answer is provably identical to the exact one."""
+        return self.possible_missed == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "budget": self.budget,
+            "epsilon": self.epsilon,
+            "spent": self.spent,
+            "exhausted": self.exhausted,
+            "possible_missed": self.possible_missed,
+            "min_missed_lb": (
+                None if math.isinf(self.min_missed_lb) else self.min_missed_lb
+            ),
+            "sound": list(self.sound),
+            "recall_lower_bound": self.recall_lower_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ApproxReport":
+        lb = payload["min_missed_lb"]
+        return cls(
+            kind=payload["kind"],
+            budget=payload["budget"],
+            epsilon=float(payload["epsilon"]),
+            spent=int(payload["spent"]),
+            exhausted=bool(payload["exhausted"]),
+            possible_missed=int(payload["possible_missed"]),
+            min_missed_lb=float("inf") if lb is None else float(lb),
+            sound=tuple(bool(s) for s in payload["sound"]),
+            recall_lower_bound=float(payload["recall_lower_bound"]),
+        )
+
+
+@dataclass(frozen=True)
+class ApproxDowngrade:
+    """Serving-side downgrade policy: how to rescue a deadline miss.
+
+    Passed as ``QueryEngine(approximate=...)``; a bare int is shorthand
+    for ``ApproxDowngrade(budget=that_int)``.  A unit that misses its
+    deadline re-runs as a budgeted pass under this policy instead of
+    leaving the answer degraded.
+    """
+
+    budget: Optional[int] = None
+    epsilon: float = 0.0
+
+    def __post_init__(self):
+        if self.budget is not None and int(self.budget) < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {self.epsilon}")
+
+
+def split_budget(budget: Optional[int], parts: int) -> list[Optional[int]]:
+    """Deterministic per-shard budget split: total never exceeds ``budget``.
+
+    The first ``budget % parts`` shards get one extra evaluation, so
+    the sequential manager and the concurrent engine hand every shard
+    the same allowance and their answers agree exactly.
+    """
+    if parts <= 0:
+        return []
+    if budget is None:
+        return [None] * parts
+    base, extra = divmod(int(budget), parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def build_report(
+    kind: str,
+    results: Sequence,
+    *,
+    budget: Optional[int],
+    epsilon: float,
+    spent: int,
+    exhausted: bool,
+    possible_missed: int,
+    min_missed_lb: float,
+    target: Optional[int] = None,
+) -> ApproxReport:
+    """Derive soundness flags and the recall bound from raw mass counts.
+
+    ``target`` (k-NN only) is the exact answer's size ceiling,
+    ``min(k, len(index))`` — using the *full* index size keeps the bound
+    conservative when tombstones shrink the true answer.
+    """
+    n = len(results)
+    if possible_missed == 0:
+        sound = (True,) * n
+        recall = 1.0
+    elif kind == KIND_KNN:
+        sound = tuple(
+            definitely_less(neighbor.distance, min_missed_lb)
+            for neighbor in results
+        )
+        recall = sum(sound) / max(1, target if target is not None else n)
+    else:
+        # Range: precision is 1 by construction; every true hit is
+        # either reported or inside the missed mass.
+        sound = (True,) * n
+        recall = n / (n + possible_missed)
+    return ApproxReport(
+        kind=kind,
+        budget=budget,
+        epsilon=epsilon,
+        spent=int(spent),
+        exhausted=bool(exhausted),
+        possible_missed=int(possible_missed),
+        min_missed_lb=float(min_missed_lb),
+        sound=sound,
+        recall_lower_bound=float(min(1.0, recall)),
+    )
+
+
+def merge_reports(
+    kind: str,
+    reports: Sequence[ApproxReport],
+    merged_results: Sequence,
+    *,
+    budget: Optional[int],
+    epsilon: float,
+    target: Optional[int] = None,
+) -> ApproxReport:
+    """Exact cross-shard merge of per-shard certificates.
+
+    Mass and spent counts add; the global missed bound is the minimum
+    over shards (the closest point *anyone* may have skipped); result
+    soundness is recomputed against that global bound.  A merged k-NN
+    result that beats the global bound is provably in the true global
+    top-k: every point that could displace it was considered by its own
+    shard, and anything a shard considered but did not report was beaten
+    by k reported candidates.
+    """
+    spent = sum(r.spent for r in reports)
+    exhausted = any(r.exhausted for r in reports)
+    possible_missed = sum(r.possible_missed for r in reports)
+    min_missed_lb = min(
+        (r.min_missed_lb for r in reports), default=float("inf")
+    )
+    return build_report(
+        kind,
+        merged_results,
+        budget=budget,
+        epsilon=epsilon,
+        spent=spent,
+        exhausted=exhausted,
+        possible_missed=possible_missed,
+        min_missed_lb=min_missed_lb,
+        target=target,
+    )
+
+
+def missing_shard_report(kind: str, shard_size: int) -> ApproxReport:
+    """Stub certificate for a shard that contributed nothing.
+
+    The whole shard is missed mass at lower bound 0 — merging this in
+    collapses the recall bound toward what the surviving shards can
+    actually promise.
+    """
+    return ApproxReport(
+        kind=kind,
+        budget=0,
+        epsilon=0.0,
+        spent=0,
+        exhausted=True,
+        possible_missed=int(shard_size),
+        min_missed_lb=0.0 if shard_size else float("inf"),
+        sound=(),
+        recall_lower_bound=1.0 if shard_size == 0 else 0.0,
+    )
+
+
+__all__ = [
+    "ApproxReport",
+    "ApproxDowngrade",
+    "KIND_KNN",
+    "KIND_RANGE",
+    "build_report",
+    "merge_reports",
+    "missing_shard_report",
+    "split_budget",
+]

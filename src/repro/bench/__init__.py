@@ -34,9 +34,13 @@ from repro.bench.spec import (
     mvpt,
     vpt,
 )
+from repro.bench.recall import RECALL_SCHEMA, RecallResult, run_recall
 from repro.bench.stability import StabilityResult, run_stability
 
 __all__ = [
+    "RECALL_SCHEMA",
+    "RecallResult",
+    "run_recall",
     "ALL_EXPERIMENTS",
     "get_experiment",
     "compare_archives",

@@ -10,6 +10,7 @@ Examples::
     repro-bench serve --shards 4 --workers 4 --queries 100
     repro-bench ratchet --baseline BENCH_serve_v1.json
     repro-bench coldstart --check BENCH_coldstart_v1.json
+    repro-bench recall --check BENCH_recall_v1.json
 
 The ``stats`` subcommand reruns search experiments with per-query
 observability on (:class:`~repro.obs.QueryStats`) and prints the
@@ -101,6 +102,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.coldstart import coldstart_main
 
         return coldstart_main(argv[1:])
+    if argv and argv[0] == "recall":
+        # ``repro-bench recall ...``: recall-vs-distance-computation
+        # curves for the budgeted approximate tier, plus the CI
+        # recall ratchet (see repro.bench.recall, docs/approximate.md).
+        from repro.bench.recall import recall_main
+
+        return recall_main(argv[1:])
     collect_stats = False
     if argv and argv[0] == "stats":
         # ``repro-bench stats ...``: same flags, but range searches run

@@ -1,0 +1,368 @@
+"""Recall-vs-cost curves for the budgeted approximate tier.
+
+``repro-bench recall`` sweeps the distance budget of
+:func:`repro.approx.approx_knn_search` over a fraction grid and, for
+every array-pure family, measures what the budget actually buys:
+
+* **measured recall** — overlap of the budgeted answer with the exact
+  top-k (a :class:`~repro.indexes.linear.LinearScan` oracle);
+* **mean distance computations** — the real spend, from
+  :class:`~repro.obs.QueryStats` (always ``<=`` the budget);
+* **mean reported lower bound** — the self-reported
+  ``recall_lower_bound`` of the :class:`~repro.approx.ApproxReport`,
+  which soundness requires to sit *at or below* the measured recall.
+
+The committed baseline (``BENCH_recall_v1.json``, schema
+:data:`RECALL_SCHEMA`) pins the configuration; ``--check`` replays it
+and fails when any family's recall at any pinned budget drops more than
+``--max-drop`` (default 0.02) below the recorded value, or when a
+reported lower bound exceeds its measured recall (a soundness bug, not
+a perf regression).  The workload is deterministic (seeded generator,
+exact arithmetic), so the ratchet is machine-independent.
+
+Exit codes: 0 pass, 1 recall regression or soundness violation,
+2 unusable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.approx import approx_knn_search
+from repro.core.gmvptree import GMVPTree
+from repro.core.mvptree import MVPTree
+from repro.indexes.laesa import LAESA
+from repro.indexes.linear import LinearScan
+from repro.indexes.vptree import VPTree
+from repro.metric import L2
+from repro.obs.stats import QueryStats
+
+RECALL_SCHEMA = "repro-bench-recall/v1"
+
+#: Families swept by default: every array-pure builder with a budgeted
+#: kernel.  Parameters match the serving defaults at bench scale.
+FAMILY_BUILDERS: dict[str, Callable] = {
+    "linear": lambda objects, metric, rng: LinearScan(objects, metric),
+    "vpt": lambda objects, metric, rng: VPTree(
+        objects, metric, m=2, leaf_capacity=16, rng=rng
+    ),
+    "mvpt": lambda objects, metric, rng: MVPTree(
+        objects, metric, m=3, k=13, p=4, rng=rng
+    ),
+    "gmvpt": lambda objects, metric, rng: GMVPTree(
+        objects, metric, m=2, v=3, k=8, p=4, rng=rng
+    ),
+    "laesa": lambda objects, metric, rng: LAESA(
+        objects, metric, n_pivots=16, rng=rng
+    ),
+}
+
+DEFAULT_FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.8, 1.0)
+DEFAULT_MAX_DROP = 0.02
+
+
+@dataclass
+class RecallResult:
+    """One full sweep: per-family recall curves plus the pinned config."""
+
+    config: dict
+    curves: dict[str, list[dict]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RECALL_SCHEMA,
+            "config": dict(self.config),
+            "curves": {
+                family: [dict(point) for point in points]
+                for family, points in self.curves.items()
+            },
+        }
+
+    def report(self) -> str:
+        lines = [
+            "recall vs distance computations "
+            f"(n={self.config['n']}, dim={self.config['dim']}, "
+            f"k={self.config['k']}, queries={self.config['queries']})"
+        ]
+        for family, points in self.curves.items():
+            lines.append(f"  {family}:")
+            for point in points:
+                lines.append(
+                    f"    budget {point['budget']:>6}  "
+                    f"calls {point['mean_distance_calls']:>8.1f}  "
+                    f"recall {point['recall']:.3f}  "
+                    f"reported>= {point['mean_reported_lower_bound']:.3f}"
+                )
+        return "\n".join(lines)
+
+
+def run_recall(
+    *,
+    n: int = 2000,
+    dim: int = 16,
+    k: int = 10,
+    n_queries: int = 24,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    families: Sequence[str] = tuple(FAMILY_BUILDERS),
+    epsilon: float = 0.0,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RecallResult:
+    """Sweep budgets over every requested family; fully deterministic."""
+    unknown = [f for f in families if f not in FAMILY_BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown families {unknown}; expected from "
+            f"{sorted(FAMILY_BUILDERS)}"
+        )
+    rng = np.random.default_rng(seed)
+    data = rng.random((n, dim))
+    queries = rng.random((n_queries, dim))
+    metric = L2()
+
+    oracle = LinearScan(data, metric)
+    exact_ids = [
+        {neighbor.id for neighbor in oracle.knn_search(q, k)} for q in queries
+    ]
+
+    budgets = sorted({max(0, math.ceil(f * n)) for f in fractions})
+    result = RecallResult(
+        config={
+            "n": n,
+            "dim": dim,
+            "k": k,
+            "queries": n_queries,
+            "fractions": [float(f) for f in fractions],
+            "epsilon": float(epsilon),
+            "seed": seed,
+            "metric": "l2",
+        }
+    )
+    for family in families:
+        index = FAMILY_BUILDERS[family](data, metric, seed)
+        points = []
+        for budget in budgets:
+            hits = 0
+            calls = 0
+            reported = 0.0
+            for q, truth in zip(queries, exact_ids):
+                stats = QueryStats()
+                neighbors, report = approx_knn_search(
+                    index, q, k, budget=budget, epsilon=epsilon, stats=stats
+                )
+                hits += sum(1 for nb in neighbors if nb.id in truth)
+                calls += stats.distance_calls
+                reported += report.recall_lower_bound
+            points.append(
+                {
+                    "budget": int(budget),
+                    "mean_distance_calls": calls / n_queries,
+                    "recall": hits / (k * n_queries),
+                    "mean_reported_lower_bound": reported / n_queries,
+                }
+            )
+            if progress is not None:
+                progress(
+                    f"{family}: budget {budget} -> "
+                    f"recall {points[-1]['recall']:.3f}"
+                )
+        result.curves[family] = points
+    return result
+
+
+def load_baseline(path: str) -> dict:
+    """Read and validate a recall baseline; ``ValueError`` if not ours."""
+    with open(path) as handle:
+        baseline = json.load(handle)
+    schema = baseline.get("schema")
+    if schema != RECALL_SCHEMA:
+        raise ValueError(
+            f"baseline {path!r} has schema {schema!r}; this ratchet "
+            f"understands {RECALL_SCHEMA!r}"
+        )
+    if "config" not in baseline or "curves" not in baseline:
+        raise ValueError(f"baseline {path!r} is missing 'config' or 'curves'")
+    return baseline
+
+
+def check_against_baseline(
+    baseline: dict, result: RecallResult, *, max_drop: float
+) -> dict:
+    """Compare a fresh sweep to the committed curves.
+
+    A point fails on a recall drop beyond ``max_drop`` *or* on an
+    unsound certificate (reported lower bound above measured recall,
+    beyond float fuzz) — the latter has no tolerance because it is a
+    correctness bug, not noise.
+    """
+    failures = []
+    for family, base_points in baseline["curves"].items():
+        fresh_points = {
+            point["budget"]: point for point in result.curves.get(family, [])
+        }
+        for base in base_points:
+            fresh = fresh_points.get(base["budget"])
+            if fresh is None:
+                failures.append(
+                    f"{family}: budget {base['budget']} missing from rerun"
+                )
+                continue
+            floor = base["recall"] - max_drop
+            if fresh["recall"] < floor:
+                failures.append(
+                    f"{family}: recall@{base['budget']} = "
+                    f"{fresh['recall']:.3f} < floor {floor:.3f} "
+                    f"(baseline {base['recall']:.3f})"
+                )
+            if (
+                fresh["mean_reported_lower_bound"]
+                > fresh["recall"] + 1e-9
+            ):
+                failures.append(
+                    f"{family}: unsound bound @{base['budget']}: reported "
+                    f"{fresh['mean_reported_lower_bound']:.3f} > measured "
+                    f"{fresh['recall']:.3f}"
+                )
+    return {
+        "schema": "repro-bench-recall-ratchet/v1",
+        "max_drop": max_drop,
+        "failures": failures,
+        "passed": not failures,
+        "current": result.to_dict(),
+    }
+
+
+def build_recall_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench recall",
+        description=(
+            "Measure recall-vs-distance-computation curves for the "
+            "budgeted approximate tier, and ratchet them in CI."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=2000, help="dataset size")
+    parser.add_argument("--dim", type=int, default=16, help="dimensionality")
+    parser.add_argument("--k", type=int, default=10, help="neighbors per query")
+    parser.add_argument(
+        "--queries", type=int, default=24, help="query count (default 24)"
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.0,
+        help="(1+epsilon) relaxation applied alongside every budget",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--families", default=",".join(FAMILY_BUILDERS),
+        help="comma-separated families to sweep "
+        f"(default {','.join(FAMILY_BUILDERS)})",
+    )
+    parser.add_argument(
+        "--fractions",
+        default=",".join(str(f) for f in DEFAULT_FRACTIONS),
+        help="comma-separated budget fractions of n "
+        f"(default {','.join(str(f) for f in DEFAULT_FRACTIONS)})",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="replay BASELINE's pinned config and fail on recall "
+        "regression (ignores the sweep flags above)",
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=DEFAULT_MAX_DROP,
+        help="allowed absolute recall drop per point with --check "
+        f"(default {DEFAULT_MAX_DROP})",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the sweep result JSON to this file (baseline format)",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+def recall_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-bench recall`` entry point."""
+    args = build_recall_parser().parse_args(argv)
+    if not 0.0 <= args.max_drop < 1.0:
+        print(
+            f"--max-drop must be in [0, 1), got {args.max_drop}",
+            file=sys.stderr,
+        )
+        return 2
+    progress = (
+        None if args.quiet else lambda line: print(line, file=sys.stderr)
+    )
+    if args.check:
+        try:
+            baseline = load_baseline(args.check)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"unusable baseline: {error}", file=sys.stderr)
+            return 2
+        config = baseline["config"]
+        result = run_recall(
+            n=int(config["n"]),
+            dim=int(config["dim"]),
+            k=int(config["k"]),
+            n_queries=int(config["queries"]),
+            fractions=[float(f) for f in config["fractions"]],
+            families=list(baseline["curves"]),
+            epsilon=float(config.get("epsilon", 0.0)),
+            seed=int(config["seed"]),
+            progress=progress,
+        )
+        verdict = check_against_baseline(
+            baseline, result, max_drop=args.max_drop
+        )
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+                handle.write("\n")
+        if args.as_json:
+            print(json.dumps(verdict, indent=2))
+        else:
+            status = "PASS" if verdict["passed"] else "FAIL"
+            print(f"recall ratchet {status}")
+            for failure in verdict["failures"]:
+                print(f"  {failure}")
+        return 0 if verdict["passed"] else 1
+
+    try:
+        families = [f for f in args.families.split(",") if f]
+        fractions = [float(f) for f in args.fractions.split(",") if f]
+        result = run_recall(
+            n=args.n,
+            dim=args.dim,
+            k=args.k,
+            n_queries=args.queries,
+            fractions=fractions,
+            families=families,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            progress=progress,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(recall_main())

@@ -55,6 +55,11 @@ RC011  The interprocedural lock acquisition-order graph must be
 RC012  Blocking calls (``time.sleep``, ``Future.result``,
        ``acquire``/``wait``/``join``, metric evaluations) must not run
        while a lock is held.
+RC013  Budget-accepting functions in :mod:`repro.approx` and kernel
+       modules must route every metric evaluation through the
+       ``_dist``/``_batch_dist`` counting gateway — a raw
+       ``.distance()``/``.batch_distance()`` call spends distances the
+       budget cap and the ``ApproxReport.spent`` field never see.
 
 Findings can be silenced per line (or from the preceding line) with a
 ruff-style pragma::
@@ -813,6 +818,65 @@ class ForkUnsafeStateRule(Rule):
         return False
 
 
+class BudgetGatewayRule(Rule):
+    """RC013: budgeted search code pays through the counting gateway.
+
+    The approximate tier's contract (docs/approximate.md) is that
+    ``distance_calls <= budget`` and ``ApproxReport.spent`` equals the
+    true evaluation count.  Both hold only if every metric evaluation
+    inside a budget-accepting function goes through the
+    ``_dist``/``_batch_dist`` gateway; a raw ``.distance()`` /
+    ``.batch_distance()`` call is invisible spend.
+    """
+
+    code = "RC013"
+    description = (
+        "budget-accepting function evaluates the metric directly; "
+        "route through the _dist/_batch_dist counting gateway so the "
+        "budget cap and the certificate's spent count stay truthful"
+    )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        posix = Path(file.display).as_posix()
+        return "/approx/" in f"/{posix}" or bool(
+            _KERNEL_MODULE.search(posix)
+        )
+
+    @staticmethod
+    def _takes_budget(fn: ast.AST) -> bool:
+        args = fn.args
+        return "budget" in [
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if node.func.attr not in ("distance", "batch_distance"):
+                continue
+            holder = next(
+                (
+                    fn
+                    for fn in _enclosing_functions(file, node)
+                    if self._takes_budget(fn)
+                ),
+                None,
+            )
+            if holder is None:
+                continue
+            receiver = _receiver_name(node.func) or "<expr>"
+            yield node, (
+                f"{holder.name}() accepts budget= but calls {receiver}."
+                f"{node.func.attr}() directly, bypassing the counting "
+                "gateway the budget is enforced through"
+            )
+
+
 RULES: list[Rule] = [
     RawMetricCallRule(),
     SearchSignatureRule(),
@@ -823,6 +887,7 @@ RULES: list[Rule] = [
     NondeterminismSourceRule(),
     SwallowedExceptionRule(),
     ForkUnsafeStateRule(),
+    BudgetGatewayRule(),
 ]
 
 

@@ -99,12 +99,22 @@ def make_metric(name: str, scale: float = 1.0) -> Metric:
 
 @dataclass(frozen=True)
 class ConcreteQuery:
-    """One explicit query: the literal object plus its parameters."""
+    """One explicit query: the literal object plus its parameters.
+
+    ``budget``/``epsilon`` additionally put the query through the
+    approximate tier (:mod:`repro.approx`): the checker still verifies
+    the exact answer, then runs the budgeted search and checks its
+    certificate — budget respected, reported recall lower bound sound,
+    and the ``budget=None``/``epsilon=0`` limit byte-identical to the
+    exact answer.
+    """
 
     kind: str                      # "range" | "knn"
     query: object                  # list[float] | str
     radius: Optional[float] = None
     k: Optional[int] = None
+    budget: Optional[int] = None
+    epsilon: float = 0.0
 
 
 @dataclass
@@ -131,6 +141,11 @@ class ConcreteCase:
     metric_scale: float = 1.0
     build_prefix: Optional[int] = None
     deleted: list = field(default_factory=list)
+    #: Serve the case through a ``.rsx``-mapped StoreBackedIndex instead
+    #: of the in-memory structure (array-pure vector families only); the
+    #: last ``store_delta`` points become an appended delta tail.
+    store_backed: bool = False
+    store_delta: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -324,6 +339,35 @@ def _index_config(
     return {}  # linear, matrix, bkt
 
 
+#: Families with a store writer: eligible for ``store_backed`` cases.
+STORE_FAMILIES = ("linear", "vpt", "mvpt", "gmvpt", "laesa")
+
+
+def _maybe_approx(
+    rng: np.random.Generator, n: int
+) -> tuple[Optional[int], float]:
+    """(budget, epsilon) for one query: usually exact, else biased hard
+    toward the budget edge cases (zero, one, exactly n, over-provisioned)
+    the kernels must not fumble."""
+    if rng.random() >= 0.45:
+        return None, 0.0
+    style = rng.random()
+    if style < 0.12:
+        budget: Optional[int] = 0
+    elif style < 0.24:
+        budget = 1
+    elif style < 0.36:
+        budget = n                       # exactly the dataset size
+    elif style < 0.80:
+        budget = int(rng.integers(1, 2 * n + 1))
+    else:
+        budget = None                    # epsilon-only approximation
+    epsilon = float(rng.choice((0.0, 0.0, 0.1, 0.5, 2.0)))
+    if budget is None and epsilon == 0.0:
+        epsilon = 0.5
+    return budget, epsilon
+
+
 def _sample_query_object(
     rng: np.random.Generator, object_kind: str, objects: list, dim: int
 ):
@@ -436,12 +480,21 @@ def _concretize(spec: CaseSpec) -> ConcreteCase:
     queries: list[ConcreteQuery] = []
     for _ in range(int(rng.integers(3, 7))):
         query = _sample_query_object(rng, object_kind, objects, dim)
+        budget, epsilon = _maybe_approx(rng, n)
         if rng.random() < 0.5:
             radius = _sample_radius(rng, metric_obj, query, objects, object_kind)
-            queries.append(ConcreteQuery("range", query, radius=radius))
+            queries.append(
+                ConcreteQuery(
+                    "range", query, radius=radius,
+                    budget=budget, epsilon=epsilon,
+                )
+            )
         else:
             queries.append(
-                ConcreteQuery("knn", query, k=int(rng.integers(1, min(n, 10) + 1)))
+                ConcreteQuery(
+                    "knn", query, k=int(rng.integers(1, min(n, 10) + 1)),
+                    budget=budget, epsilon=epsilon,
+                )
             )
     if index == "sharded" and params.get("result_cache_size"):
         # Repeat a query verbatim so the whole-answer cache gets hits.
@@ -452,6 +505,20 @@ def _concretize(spec: CaseSpec) -> ConcreteCase:
         # The scaling relation itself picks an up-only factor for the
         # transform index (contraction survives scaling up, not down).
         relations.append(str(rng.choice(_RELATIONS_REBUILD)))
+
+    store_backed = False
+    store_delta = 0
+    if (
+        index in STORE_FAMILIES
+        and object_kind == "vectors"
+        and rng.random() < 0.35
+    ):
+        # Serve the identical workload through the mmap-ed .rsx path:
+        # the kernels promise byte-identical answers, so every exact
+        # and approximate assertion below applies unchanged.
+        store_backed = True
+        if n > 1 and rng.random() < 0.5:
+            store_delta = int(rng.integers(1, max(2, n // 4)))
 
     return ConcreteCase(
         name=f"seed{spec.seed}-case{spec.case_index:04d}",
@@ -465,6 +532,8 @@ def _concretize(spec: CaseSpec) -> ConcreteCase:
         relations=relations,
         build_prefix=build_prefix,
         deleted=deleted,
+        store_backed=store_backed,
+        store_delta=store_delta,
     )
 
 
@@ -489,4 +558,5 @@ def remove_objects(case: ConcreteCase, keep: Sequence[int]) -> ConcreteCase:
         objects=objects,
         build_prefix=build_prefix,
         deleted=deleted,
+        store_delta=min(case.store_delta, max(0, len(objects) - 1)),
     )

@@ -24,15 +24,20 @@ sequential answers, so both serving paths stay oracle-exact.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
 
+from repro.approx import approx_knn_search, approx_range_search
 from repro.core.dynamic import DynamicMVPTree
 from repro.core.gmvptree import GMVPTree
 from repro.core.mvptree import MVPTree
 from repro.fuzz.cases import (
+    STORE_FAMILIES,
     ConcreteCase,
     ConcreteQuery,
     make_metric,
@@ -51,6 +56,7 @@ from repro.obs.stats import QueryStats
 from repro.serve.cache import DistanceCacheMetric
 from repro.serve.engine import Query, QueryEngine, ShardFailure
 from repro.serve.sharding import ShardManager
+from repro.store import append_delta, open_index, write_store
 from repro.transforms.filter import TransformIndex
 from repro.transforms.fourier import DFTTransform
 
@@ -70,6 +76,13 @@ _POINT_ONLY_KINDS = (
     "matrix-interval",
     "transform-filter",
 )
+
+#: Mixed-granularity prune kinds from the approximate tier: emitted for
+#: whole stranded subtrees (``prune``) *and* for skipped leaf
+#: candidates (``filter_points``), so — like ``knn-radius`` — they
+#: widen the upper allowance of the prune-consistency check without
+#: being required to sum into ``leaf_points_filtered``.
+_MIXED_KINDS = ("knn-radius", "lower-bound", "budget-exhausted")
 
 
 @dataclass(frozen=True)
@@ -103,12 +116,55 @@ def live_ids(case: ConcreteCase) -> set:
     return set(int(i) for i in case.deleted)
 
 
+def _build_store_backed(
+    case: ConcreteCase, objects, metric: Metric
+) -> MetricIndex:
+    """Round-trip the case's index through an on-disk ``.rsx`` store.
+
+    The base prefix of the dataset is built in memory, written with
+    :func:`repro.store.write_store`, the tail (``case.store_delta``
+    rows) appended as a delta batch with explicit global ids, and the
+    result reopened as a :class:`~repro.store.StoreBackedIndex`.  Local
+    ids equal dataset positions by construction, so the oracle needs no
+    remapping.  The temp directory is removed before returning: the
+    mmap keeps the base pages valid and deltas are read eagerly.
+
+    Mutually recursive with :func:`build_case_index`, with recursion
+    depth bounded at one level: the inner build runs on a case with
+    ``store_backed=False``.
+    """
+    n = len(objects)
+    n_delta = min(case.store_delta, max(0, n - 1))
+    n_base = n - n_delta
+    inner = build_case_index(
+        replace(case, store_backed=False), objects[:n_base], metric
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-fuzz-store-")
+    try:
+        path = os.path.join(tmp, "case.rsx")
+        write_store(inner, path)
+        if n_delta:
+            append_delta(
+                path, objects[n_base:], ids=list(range(n_base, n))
+            )
+        return open_index(path, metric)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def build_case_index(
     case: ConcreteCase, objects, metric: Metric
 ) -> MetricIndex:
-    """Build the case's index (for ``sharded``: the ShardManager)."""
+    """Build the case's index (for ``sharded``: the ShardManager).
+
+    Store-backed cases recurse through :func:`_build_store_backed`,
+    with recursion depth bounded at one level (the inner case clears
+    ``store_backed``).
+    """
     name, params, seed = case.index, dict(case.index_params), case.index_seed
     n = len(objects)
+    if case.store_backed and name in STORE_FAMILIES:
+        return _build_store_backed(case, objects, metric)
     if name == "linear":
         return LinearScan(objects, metric)
     if name == "vpt":
@@ -263,14 +319,14 @@ def stats_invariants(
         for kind, count in stats.prunes.items()
         if kind.startswith("leaf-d") or kind in _POINT_ONLY_KINDS
     )
-    knn_radius = stats.prunes.get("knn-radius", 0)
-    if not (point_sum <= stats.leaf_points_filtered <= point_sum + knn_radius):
+    mixed = sum(stats.prunes.get(kind, 0) for kind in _MIXED_KINDS)
+    if not (point_sum <= stats.leaf_points_filtered <= point_sum + mixed):
         out.append(
             Discrepancy(
                 case_name,
                 "prune-consistency",
                 query_index,
-                f"point-kind prunes={point_sum} (+knn-radius {knn_radius}) "
+                f"point-kind prunes={point_sum} (+mixed {mixed}) "
                 f"inconsistent with leaf_points_filtered="
                 f"{stats.leaf_points_filtered}: {dict(stats.prunes)}",
             )
@@ -351,6 +407,316 @@ def _check_one_query(
             )
         )
     out.extend(stats_invariants(case.name, stats, qi))
+
+    if query.budget is not None or query.epsilon > 0.0:
+        exact_answer = got_ids if query.kind == "range" else got_knn
+        out.extend(
+            _check_approx_query(
+                case,
+                index,
+                counting,
+                qi,
+                query,
+                q_obj,
+                distances,
+                deleted,
+                exact_answer,
+                distance_cache=distance_cache,
+            )
+        )
+    return out
+
+
+def _check_approx_query(
+    case: ConcreteCase,
+    index: MetricIndex,
+    counting: CountingMetric,
+    qi: int,
+    query: ConcreteQuery,
+    q_obj,
+    distances: np.ndarray,
+    deleted: set,
+    exact_answer,
+    *,
+    distance_cache: Optional[DistanceCacheMetric] = None,
+) -> list[Discrepancy]:
+    """The approximate tier's three oracle guarantees for one query.
+
+    (a) the certificate's ``recall_lower_bound`` never exceeds the true
+    recall against the exact oracle; (b) the spend never exceeds the
+    budget — verified against the wrapped CountingMetric, not the
+    index's own accounting; (c) ``budget=None``/``epsilon=0`` through
+    the same entry point reproduces the exact answer byte for byte.
+    """
+    out: list[Discrepancy] = []
+    label = f"budget={query.budget} eps={query.epsilon}"
+    astats = QueryStats()
+    observe = (
+        distance_cache.observe(astats)
+        if distance_cache is not None
+        else contextlib.nullcontext()
+    )
+    before = counting.count
+    with observe:
+        if query.kind == "range":
+            got, report = approx_range_search(
+                index,
+                q_obj,
+                query.radius,
+                budget=query.budget,
+                epsilon=query.epsilon,
+                stats=astats,
+            )
+        else:
+            got, report = approx_knn_search(
+                index,
+                q_obj,
+                query.k,
+                budget=query.budget,
+                epsilon=query.epsilon,
+                stats=astats,
+            )
+    delta = counting.count - before
+
+    if query.budget is not None and astats.distance_calls > query.budget:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-budget",
+                qi,
+                f"{case.index} {label}: spent {astats.distance_calls} "
+                f"distance calls over a budget of {query.budget}",
+            )
+        )
+    expected_calls = delta + astats.distance_cache_hits
+    if astats.distance_calls != expected_calls:
+        out.append(
+            Discrepancy(
+                case.name,
+                "stats-identity",
+                qi,
+                f"approx {label}: stats.distance_calls="
+                f"{astats.distance_calls} but CountingMetric delta="
+                f"{delta} + cache hits={astats.distance_cache_hits}",
+            )
+        )
+    if report.spent != astats.distance_calls:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-spent",
+                qi,
+                f"{label}: report.spent={report.spent} != "
+                f"distance_calls={astats.distance_calls}",
+            )
+        )
+
+    if query.kind == "range":
+        truth = set(oracle_range(distances, query.radius, deleted))
+        got_set = {int(i) for i in got}
+        false_hits = sorted(got_set - truth)
+        if false_hits:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "approx-false-hit",
+                    qi,
+                    f"{label}: returned non-answers {false_hits}",
+                )
+            )
+        true_recall = (len(got_set & truth) / len(truth)) if truth else 1.0
+    else:
+        k_eff = min(query.k, len(distances) - len(deleted))
+        truth_ids = {n.id for n in oracle_knn(distances, k_eff, deleted)}
+        result_ids = [n.id for n in got]
+        true_recall = sum(
+            1 for i in result_ids if i in truth_ids
+        ) / max(1, k_eff)
+        unsound = [
+            i
+            for i, flag in zip(result_ids, report.sound)
+            if flag and i not in truth_ids
+        ]
+        if unsound:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "approx-sound",
+                    qi,
+                    f"{label}: results {unsound} certified sound but "
+                    f"outside the true top-{k_eff}",
+                )
+            )
+    if report.recall_lower_bound > true_recall + 1e-9:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-recall-bound",
+                qi,
+                f"{label}: reported lower bound "
+                f"{report.recall_lower_bound} exceeds the true recall "
+                f"{true_recall}",
+            )
+        )
+    out.extend(stats_invariants(case.name, astats, qi))
+
+    # (c) the exact limit: the budgeted entry point with no budget and
+    # no slack must reproduce the already-verified exact answer.
+    with (
+        distance_cache.observe(QueryStats())
+        if distance_cache is not None
+        else contextlib.nullcontext()
+    ):
+        if query.kind == "range":
+            unlimited, exact_report = approx_range_search(
+                index, q_obj, query.radius
+            )
+            same = list(unlimited) == list(exact_answer)
+        else:
+            unlimited, exact_report = approx_knn_search(
+                index, q_obj, query.k
+            )
+            same = [(n.distance, n.id) for n in unlimited] == [
+                (n.distance, n.id) for n in exact_answer
+            ]
+    if not same:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-exact-limit",
+                qi,
+                f"budget=None eps=0 diverges from the exact search: "
+                f"got {unlimited!r}, want {exact_answer!r}",
+            )
+        )
+    if not exact_report.exact:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-exact-limit",
+                qi,
+                f"unlimited search produced a non-exact certificate: "
+                f"{exact_report!r}",
+            )
+        )
+    return out
+
+
+#: Certificate fields that must merge identically on the concurrent
+#: engine and the sequential manager path.
+_REPORT_FIELDS = (
+    "spent",
+    "exhausted",
+    "possible_missed",
+    "min_missed_lb",
+    "sound",
+    "recall_lower_bound",
+)
+
+
+def _check_engine_approx(
+    case: ConcreteCase,
+    manager: ShardManager,
+    qi: int,
+    query: ConcreteQuery,
+    q_obj,
+    result,
+    fault_replica: Optional[int],
+) -> list[Discrepancy]:
+    """Engine's budgeted answer == the sequential budgeted answer.
+
+    Replicas are distinct builds (they consume a shared rng), so with a
+    fuzzed dead-replica row the engine's failover answers from the
+    first *surviving* replica; mirror that pick explicitly — the
+    manager's own sequential path always lands on replica 0, which a
+    budget-cut traversal is allowed to answer differently.
+    """
+    from repro.approx import merge_reports, split_budget
+    from repro.serve.sharding import merge_knn, merge_range
+
+    out: list[Discrepancy] = []
+    replica = None
+    if fault_replica is not None:
+        replica = 1 if fault_replica == 0 else 0
+    budgets = split_budget(query.budget, manager.n_shards)
+    values = []
+    reports = []
+    for shard in range(manager.n_shards):
+        if query.kind == "range":
+            value, report = manager.shard_approx_range_search(
+                shard,
+                q_obj,
+                query.radius,
+                budget=budgets[shard],
+                epsilon=query.epsilon,
+                replica=replica,
+            )
+        else:
+            value, report = manager.shard_approx_knn_search(
+                shard,
+                q_obj,
+                query.k,
+                budget=budgets[shard],
+                epsilon=query.epsilon,
+                replica=replica,
+            )
+        values.append(value)
+        reports.append(report)
+    if query.kind == "range":
+        want_value = merge_range(values)
+        want_report = merge_reports(
+            "range",
+            reports,
+            want_value,
+            budget=query.budget,
+            epsilon=query.epsilon,
+        )
+        diff = compare_range(result.ids, want_value)
+    else:
+        k_eff = min(query.k, len(manager))
+        want_value = merge_knn(values, k_eff)
+        want_report = merge_reports(
+            "knn",
+            reports,
+            want_value,
+            budget=query.budget,
+            epsilon=query.epsilon,
+            target=k_eff,
+        )
+        diff = compare_knn(result.neighbors, want_value)
+    if diff:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-engine-parity",
+                qi,
+                f"engine {query.kind} budget={query.budget} "
+                f"eps={query.epsilon}: {diff}",
+            )
+        )
+    if result.approx is None:
+        out.append(
+            Discrepancy(
+                case.name,
+                "approx-engine-parity",
+                qi,
+                "approximate engine result is missing its certificate",
+            )
+        )
+        return out
+    for field_name in _REPORT_FIELDS:
+        got_field = getattr(result.approx, field_name)
+        want_field = getattr(want_report, field_name)
+        if got_field != want_field:
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "approx-engine-parity",
+                    qi,
+                    f"certificate {field_name}: engine {got_field!r} != "
+                    f"sequential {want_field!r}",
+                )
+            )
     return out
 
 
@@ -372,9 +738,23 @@ def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
     for query in case.queries:
         q_obj = query_object(case, query)
         if query.kind == "range":
-            engine_queries.append(Query.range(q_obj, query.radius))
+            engine_queries.append(
+                Query.range(
+                    q_obj,
+                    query.radius,
+                    budget=query.budget,
+                    epsilon=query.epsilon,
+                )
+            )
         else:
-            engine_queries.append(Query.knn(q_obj, query.k))
+            engine_queries.append(
+                Query.knn(
+                    q_obj,
+                    query.k,
+                    budget=query.budget,
+                    epsilon=query.epsilon,
+                )
+            )
 
     fault_replica = params.get("fault_replica")
     fault_hook = None
@@ -444,6 +824,20 @@ def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
             )
             continue
         q_obj = query_object(case, query)
+        if query.budget is not None or query.epsilon > 0.0:
+            # An approximate engine answer is compared against the
+            # sequential budgeted path (same deterministic budget
+            # split, same replica the failover would land on) — the
+            # oracle differential would reject legitimately missed
+            # answers.  Truth-facing soundness of the certificate is
+            # checked on the sequential surface below.
+            out.extend(
+                _check_engine_approx(
+                    case, manager, qi, query, q_obj, result, fault_replica
+                )
+            )
+            out.extend(stats_invariants(case.name, result.stats, qi))
+            continue
         distances = oracle_distances(objects, oracle_metric, q_obj)
         if query.kind == "range":
             want = oracle_range(distances, query.radius, deleted)

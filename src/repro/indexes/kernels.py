@@ -39,16 +39,18 @@ vectorised comparisons never see them as prunable (and never produce
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import NamedTuple, Optional
 
 import numpy as np
 
 from repro._util import PRUNE_EPSILON, gather, slack
 from repro.indexes.base import Neighbor
 from repro.obs.stats import (
+    PRUNE_BUDGET,
     PRUNE_KNN_RADIUS,
     PRUNE_LEAF_D1,
     PRUNE_LEAF_D2,
+    PRUNE_LOWER_BOUND,
     PRUNE_PATH_FILTER,
     PRUNE_VP1_SHELL,
     PRUNE_VP2_SHELL,
@@ -138,6 +140,7 @@ class _VPArrays:
         "leaf_ids",
         "root_kind",
         "root_idx",
+        "sizes",
     )
 
 
@@ -350,6 +353,7 @@ class _MVPArrays:
         "leaves",
         "root_kind",
         "root_idx",
+        "sizes",
     )
 
 
@@ -700,6 +704,7 @@ class _GMVPArrays:
         "leaves",
         "root_kind",
         "root_idx",
+        "sizes",
     )
 
 
@@ -1014,3 +1019,669 @@ def gmvp_knn(
         level += v
 
     return best.sorted_neighbors()
+
+
+# ----------------------------------------------------------------------
+# Budgeted best-first traversal (the approximate tier, repro.approx)
+# ----------------------------------------------------------------------
+#
+# The wave kernels above expand a whole frontier level per batch; the
+# budgeted kernels instead pop one frontier entry at a time from a
+# priority queue ordered by the entry's section 4.3 lower bound (ties
+# broken by insertion sequence, so traversal order is deterministic).
+# The search stops when the best outstanding lower bound exceeds the
+# current k-th distance / (1+eps)*r, or at the *first* expansion the
+# distance budget cannot cover.  Stopping at the first unaffordable
+# expansion — rather than skipping it and continuing — makes the set of
+# expansions under budget B1 a strict prefix of the set under B2 > B1,
+# which is what gives measured recall its monotone-in-budget guarantee
+# (tests/properties/test_approx_monotonicity.py).
+#
+# Everything the traversal did NOT pay for is classified when it stops:
+# entries whose bound definitely exceeds the (unscaled) threshold are
+# provably answer-free; the rest contribute their subtree's point count
+# to ``possible_missed`` and their bound to ``min_missed_lb``, from
+# which repro.approx derives the conservative recall lower bound.
+
+
+class BudgetTracker:
+    """Mutable distance-computation budget (``None`` = unlimited).
+
+    Every metric evaluation a budgeted kernel makes must be charged
+    here *and* routed through the counting gateway (lint rule RC013),
+    so ``spent`` always equals the ``QueryStats.distance_calls`` delta.
+    """
+
+    __slots__ = ("limit", "spent")
+
+    def __init__(self, budget: Optional[int]):
+        if budget is not None:
+            budget = int(budget)
+            if budget < 0:
+                raise ValueError(f"budget must be >= 0, got {budget}")
+        self.limit = budget
+        self.spent = 0
+
+    def can(self, cost: int) -> bool:
+        """Whether ``cost`` more evaluations fit under the budget."""
+        return self.limit is None or self.spent + cost <= self.limit
+
+    def affordable(self, want: int) -> int:
+        """How many of ``want`` evaluations the remaining budget covers."""
+        if self.limit is None:
+            return want
+        return max(0, min(want, self.limit - self.spent))
+
+    def charge(self, cost: int) -> None:
+        self.spent += int(cost)
+
+
+class ApproxOutcome(NamedTuple):
+    """What a budgeted kernel can certify about its own answer.
+
+    ``spent`` is the number of distance computations paid (``<= budget``
+    always); ``exhausted`` whether the budget ended the traversal;
+    ``possible_missed`` the number of data points in subtrees/leaf tails
+    that were neither scanned nor provably pruned; ``min_missed_lb`` the
+    smallest lower bound among that missed mass (``inf`` when nothing
+    was missed) — no unscanned point can be closer than this.
+    """
+
+    spent: int
+    exhausted: bool
+    possible_missed: int
+    min_missed_lb: float
+
+
+def _fill_subtree_sizes(
+    root_kind, root_idx, internal_sizes, leaf_sizes, children_of, own_points
+):
+    """Iterative postorder point counts for every internal node."""
+    if root_kind != _INTERNAL:
+        return
+    stack = [(int(root_idx), False)]
+    while stack:
+        idx, ready = stack.pop()
+        if ready:
+            total = own_points(idx)
+            for kind, slot in children_of(idx):
+                total += int(
+                    leaf_sizes[slot] if kind == _LEAF else internal_sizes[slot]
+                )
+            internal_sizes[idx] = total
+        else:
+            stack.append((idx, True))
+            for kind, slot in children_of(idx):
+                if kind == _INTERNAL:
+                    stack.append((slot, False))
+
+
+def _vp_sizes(arrays: _VPArrays):
+    cached = getattr(arrays, "sizes", None)
+    if cached is not None:
+        return cached
+    leaf_sizes = np.array([ids.size for ids in arrays.leaf_ids], dtype=np.int64)
+    internal_sizes = np.zeros(arrays.vp_ids.shape[0], dtype=np.int64)
+
+    def children_of(idx):
+        kinds = arrays.child_kind[idx]
+        slots = arrays.child_idx[idx]
+        return [
+            (int(kinds[c]), int(slots[c]))
+            for c in range(kinds.shape[0])
+            if kinds[c] != _NONE
+        ]
+
+    _fill_subtree_sizes(
+        arrays.root_kind,
+        arrays.root_idx,
+        internal_sizes,
+        leaf_sizes,
+        children_of,
+        lambda idx: 1,
+    )
+    arrays.sizes = (internal_sizes, leaf_sizes)
+    return arrays.sizes
+
+
+def _mvp_sizes(arrays: _MVPArrays):
+    cached = getattr(arrays, "sizes", None)
+    if cached is not None:
+        return cached
+    leaf_sizes = np.array(
+        [
+            len(node.ids) + 1 + (1 if node.vp2_id is not None else 0)
+            for node in arrays.leaves
+        ],
+        dtype=np.int64,
+    )
+    internal_sizes = np.zeros(arrays.vp1.shape[0], dtype=np.int64)
+
+    def children_of(idx):
+        kinds = arrays.child_kind[idx]
+        slots = arrays.child_idx[idx]
+        m = kinds.shape[0]
+        return [
+            (int(kinds[i, j]), int(slots[i, j]))
+            for i in range(m)
+            for j in range(m)
+            if kinds[i, j] != _NONE
+        ]
+
+    _fill_subtree_sizes(
+        arrays.root_kind,
+        arrays.root_idx,
+        internal_sizes,
+        leaf_sizes,
+        children_of,
+        lambda idx: 2,
+    )
+    arrays.sizes = (internal_sizes, leaf_sizes)
+    return arrays.sizes
+
+
+def _gmvp_sizes(arrays: _GMVPArrays):
+    cached = getattr(arrays, "sizes", None)
+    if cached is not None:
+        return cached
+    leaf_sizes = np.array(
+        [len(node.ids) + len(node.vp_ids) for node in arrays.leaves],
+        dtype=np.int64,
+    )
+    internal_sizes = np.zeros(arrays.vp_ids.shape[0], dtype=np.int64)
+    own = arrays.vp_ids.shape[1]
+
+    def children_of(idx):
+        kinds = arrays.child_kind[idx]
+        slots = arrays.child_idx[idx]
+        return [
+            (int(kinds[c]), int(slots[c]))
+            for c in range(kinds.shape[0])
+            if kinds[c] != _NONE
+        ]
+
+    _fill_subtree_sizes(
+        arrays.root_kind,
+        arrays.root_idx,
+        internal_sizes,
+        leaf_sizes,
+        children_of,
+        lambda idx: own,
+    )
+    arrays.sizes = (internal_sizes, leaf_sizes)
+    return arrays.sizes
+
+
+class _VPApprox:
+    """Frontier adapter exposing a vp-tree to the budgeted engines."""
+
+    __slots__ = ("arrays", "internal_sizes", "leaf_sizes")
+
+    def __init__(self, tree):
+        self.arrays = _vp_arrays(tree)
+        self.internal_sizes, self.leaf_sizes = _vp_sizes(self.arrays)
+
+    def roots(self):
+        return [(0.0, (self.arrays.root_kind, int(self.arrays.root_idx)))]
+
+    def is_leaf(self, entry):
+        return entry[0] == _LEAF
+
+    def size(self, entry):
+        table = self.leaf_sizes if entry[0] == _LEAF else self.internal_sizes
+        return int(table[entry[1]])
+
+    def internal_cost(self, entry):
+        return 1
+
+    def open_internal(self, entry, batch):
+        idx = entry[1]
+        return float(batch(self.arrays.vp_ids[idx : idx + 1])[0])
+
+    def children(self, entry, dq, parent_lb):
+        arrays = self.arrays
+        idx = entry[1]
+        kinds = arrays.child_kind[idx]
+        slots = arrays.child_idx[idx]
+        lo = arrays.child_lo[idx]
+        hi = arrays.child_hi[idx]
+        bound = np.maximum(np.maximum(parent_lb, dq - hi), np.maximum(lo - dq, 0.0))
+        return [
+            (float(bound[c]), (int(kinds[c]), int(slots[c])))
+            for c in range(kinds.shape[0])
+            if kinds[c] != _NONE
+        ]
+
+    def leaf_cost(self, entry):
+        return 0
+
+    def leaf_points(self, entry):
+        return int(self.leaf_sizes[entry[1]])
+
+    def open_leaf(self, entry, batch):
+        return None
+
+    def candidates(self, entry, info, parent_lb):
+        ids = self.arrays.leaf_ids[entry[1]]
+        return ids, np.full(ids.size, parent_lb, dtype=np.float64)
+
+
+class _MVPApprox:
+    """Frontier adapter exposing an mvp-tree to the budgeted engines.
+
+    Entries carry ``(kind, slot, level, path)`` where ``path`` is the
+    tuple of ancestor vantage-point distances accumulated so far (the
+    recursion's ``path_q`` prefix, grown exactly like :func:`_grow_paths`).
+    """
+
+    __slots__ = ("arrays", "p", "internal_sizes", "leaf_sizes")
+
+    def __init__(self, tree):
+        self.arrays = _mvp_arrays(tree)
+        self.p = tree.p
+        self.internal_sizes, self.leaf_sizes = _mvp_sizes(self.arrays)
+
+    def roots(self):
+        arrays = self.arrays
+        return [(0.0, (arrays.root_kind, int(arrays.root_idx), 1, ()))]
+
+    def is_leaf(self, entry):
+        return entry[0] == _LEAF
+
+    def size(self, entry):
+        table = self.leaf_sizes if entry[0] == _LEAF else self.internal_sizes
+        return int(table[entry[1]])
+
+    def internal_cost(self, entry):
+        return 2
+
+    def open_internal(self, entry, batch):
+        arrays = self.arrays
+        idx = entry[1]
+        d = batch(np.array([arrays.vp1[idx], arrays.vp2[idx]], dtype=np.intp))
+        return float(d[0]), float(d[1])
+
+    def children(self, entry, dqs, parent_lb):
+        arrays = self.arrays
+        _, idx, level, path = entry
+        dq1, dq2 = dqs
+        if level <= self.p:
+            path = path + (dq1,)
+        if level + 1 <= self.p:
+            path = path + (dq2,)
+        kinds = arrays.child_kind[idx]
+        slots = arrays.child_idx[idx]
+        b1lo, b1hi = arrays.b1lo[idx], arrays.b1hi[idx]
+        b2lo, b2hi = arrays.b2lo[idx], arrays.b2hi[idx]
+        m = kinds.shape[0]
+        out = []
+        for i in range(m):
+            bound1 = max(parent_lb, dq1 - b1hi[i], b1lo[i] - dq1, 0.0)
+            for j in range(m):
+                kind = int(kinds[i, j])
+                if kind == _NONE:
+                    continue
+                bound = max(bound1, dq2 - b2hi[i, j], b2lo[i, j] - dq2)
+                out.append(
+                    (float(bound), (kind, int(slots[i, j]), level + 2, path))
+                )
+        return out
+
+    def leaf_cost(self, entry):
+        node = self.arrays.leaves[entry[1]]
+        return 1 + (1 if node.vp2_id is not None else 0)
+
+    def leaf_points(self, entry):
+        return len(self.arrays.leaves[entry[1]].ids)
+
+    def open_leaf(self, entry, batch):
+        node = self.arrays.leaves[entry[1]]
+        if node.vp2_id is None:
+            return float(batch(np.array([node.vp1_id], dtype=np.intp))[0]), None
+        d = batch(np.array([node.vp1_id, node.vp2_id], dtype=np.intp))
+        return float(d[0]), float(d[1])
+
+    def candidates(self, entry, info, parent_lb):
+        node = self.arrays.leaves[entry[1]]
+        if node.vp2_id is None or len(node.ids) == 0:
+            return _EMPTY_IDS, _EMPTY_F64
+        ld1, ld2 = info
+        lower = np.maximum(np.abs(node.d1 - ld1), np.abs(node.d2 - ld2))
+        if node.path_len:
+            row = np.asarray(entry[3][: node.path_len], dtype=np.float64)
+            lower = np.maximum(
+                lower, np.max(np.abs(node.paths - row), axis=1, initial=0.0)
+            )
+        lower = np.maximum(lower, parent_lb)
+        return np.asarray(node.ids, dtype=np.intp), lower
+
+
+class _GMVPApprox:
+    """Frontier adapter exposing a gmvp-tree to the budgeted engines."""
+
+    __slots__ = ("arrays", "p", "internal_sizes", "leaf_sizes")
+
+    def __init__(self, tree):
+        self.arrays = _gmvp_arrays(tree)
+        self.p = tree.p
+        self.internal_sizes, self.leaf_sizes = _gmvp_sizes(self.arrays)
+
+    def roots(self):
+        arrays = self.arrays
+        return [(0.0, (arrays.root_kind, int(arrays.root_idx), 1, ()))]
+
+    def is_leaf(self, entry):
+        return entry[0] == _LEAF
+
+    def size(self, entry):
+        table = self.leaf_sizes if entry[0] == _LEAF else self.internal_sizes
+        return int(table[entry[1]])
+
+    def internal_cost(self, entry):
+        return int(self.arrays.vp_ids.shape[1])
+
+    def open_internal(self, entry, batch):
+        return batch(self.arrays.vp_ids[entry[1]])
+
+    def children(self, entry, dq, parent_lb):
+        arrays = self.arrays
+        _, idx, level, path = entry
+        for t in range(dq.shape[0]):
+            if level + t <= self.p:
+                path = path + (float(dq[t]),)
+        shells = np.maximum(
+            dq[None, :] - arrays.bhi[idx], arrays.blo[idx] - dq[None, :]
+        )
+        bound = np.maximum(parent_lb, shells.max(axis=1))
+        kinds = arrays.child_kind[idx]
+        slots = arrays.child_idx[idx]
+        next_level = level + dq.shape[0]
+        return [
+            (float(bound[c]), (int(kinds[c]), int(slots[c]), next_level, path))
+            for c in range(kinds.shape[0])
+            if kinds[c] != _NONE
+        ]
+
+    def leaf_cost(self, entry):
+        return len(self.arrays.leaves[entry[1]].vp_ids)
+
+    def leaf_points(self, entry):
+        return len(self.arrays.leaves[entry[1]].ids)
+
+    def open_leaf(self, entry, batch):
+        node = self.arrays.leaves[entry[1]]
+        return batch(np.asarray(node.vp_ids, dtype=np.intp))
+
+    def candidates(self, entry, ldq, parent_lb):
+        node = self.arrays.leaves[entry[1]]
+        if len(node.ids) == 0:
+            return _EMPTY_IDS, _EMPTY_F64
+        lower = np.zeros(len(node.ids))
+        for t in range(len(node.vp_ids)):
+            lower = np.maximum(lower, np.abs(node.dists[t] - ldq[t]))
+        if node.path_len:
+            row = np.asarray(entry[3][: node.path_len], dtype=np.float64)
+            lower = np.maximum(
+                lower, np.max(np.abs(node.paths - row), axis=1, initial=0.0)
+            )
+        lower = np.maximum(lower, parent_lb)
+        return np.asarray(node.ids, dtype=np.intp), lower
+
+
+_APPROX_ADAPTERS = {"vpt": _VPApprox, "mvpt": _MVPApprox, "gmvpt": _GMVPApprox}
+
+
+def _approx_adapter(tree, family: str):
+    try:
+        return _APPROX_ADAPTERS[family](tree)
+    except KeyError:
+        raise ValueError(f"no budgeted kernel for family {family!r}") from None
+
+
+def approx_tree_knn(
+    tree,
+    family: str,
+    query,
+    k: int,
+    *,
+    epsilon: float = 0.0,
+    budget: Optional[int] = None,
+    obs: Optional[Observation] = None,
+) -> tuple[list[Neighbor], ApproxOutcome]:
+    """Budgeted best-first k-NN over a vp/mvp/gmvp tree.
+
+    With ``budget=None`` and ``epsilon=0`` this reproduces the exact
+    answer byte-identically: pop-time pruning expands a subset of the
+    node set the exact search admits, and the exact ``(distance, id)``
+    k-best set is unique.
+    """
+    adapter = _approx_adapter(tree, family)
+    objects = tree._objects
+    approximation = 1.0 + epsilon
+    best = _KBest(k)
+    tracker = BudgetTracker(budget)
+    heap: list[tuple[float, int, tuple]] = []
+    seq = 0
+    for root_lb, root_entry in adapter.roots():
+        heap.append((root_lb, seq, root_entry))
+        seq += 1
+    heapq.heapify(heap)
+    possible_missed = 0
+    min_missed_lb = float("inf")
+    exhausted = False
+
+    def batch(ids: np.ndarray) -> np.ndarray:
+        if ids.size == 0:
+            return _EMPTY_F64
+        tracker.charge(ids.size)
+        distances = np.asarray(
+            tree._batch_dist(obs, gather(objects, ids), query), dtype=np.float64
+        )
+        best.consider_many(distances.tolist(), np.asarray(ids).tolist())
+        return distances
+
+    def strand(first: list, budget_strand: bool) -> None:
+        # Classify everything the traversal will not pay for: provably
+        # answer-free entries are ordinary prunes, the rest are counted
+        # as possibly-missed mass at their lower bound.
+        nonlocal possible_missed, min_missed_lb
+        threshold = best.threshold()
+        pending = first + [(lb_e, entry_e) for lb_e, _, entry_e in heap]
+        heap.clear()
+        for lb_e, entry_e in pending:
+            if lb_e > threshold + slack(threshold):
+                if obs is not None:
+                    obs.prune(PRUNE_LOWER_BOUND)
+            else:
+                possible_missed += adapter.size(entry_e)
+                min_missed_lb = min(min_missed_lb, lb_e)
+                if obs is not None:
+                    obs.prune(PRUNE_BUDGET if budget_strand else PRUNE_LOWER_BOUND)
+
+    while heap:
+        lb, _, entry = heapq.heappop(heap)
+        threshold = best.threshold()
+        if lb * approximation > threshold + slack(threshold):
+            strand([(lb, entry)], budget_strand=False)
+            break
+        if adapter.is_leaf(entry):
+            if not tracker.can(adapter.leaf_cost(entry)):
+                exhausted = True
+                strand([(lb, entry)], budget_strand=True)
+                break
+            if obs is not None:
+                obs.enter_leaf(adapter.leaf_points(entry))
+            info = adapter.open_leaf(entry, batch)
+            ids, lowers = adapter.candidates(entry, info, lb)
+            threshold = best.threshold()
+            miss = lowers > threshold + slack(threshold)
+            if obs is not None:
+                obs.filter_points(PRUNE_LOWER_BOUND, int(np.count_nonzero(miss)))
+            keep_ids = ids[~miss]
+            keep_lowers = lowers[~miss]
+            order = np.lexsort((keep_ids, keep_lowers))
+            keep_ids = keep_ids[order]
+            keep_lowers = keep_lowers[order]
+            afford = tracker.affordable(int(keep_ids.size))
+            if afford:
+                batch(keep_ids[:afford])
+            if obs is not None:
+                obs.leaf_scan(adapter.leaf_points(entry), afford)
+            if afford < keep_ids.size:
+                skipped = int(keep_ids.size - afford)
+                if obs is not None:
+                    obs.filter_points(PRUNE_BUDGET, skipped)
+                possible_missed += skipped
+                min_missed_lb = min(min_missed_lb, float(keep_lowers[afford]))
+                exhausted = True
+                strand([], budget_strand=True)
+                break
+        else:
+            if not tracker.can(adapter.internal_cost(entry)):
+                exhausted = True
+                strand([(lb, entry)], budget_strand=True)
+                break
+            if obs is not None:
+                obs.enter_internal()
+            info = adapter.open_internal(entry, batch)
+            threshold = best.threshold()
+            for child_lb, child in adapter.children(entry, info, lb):
+                if child_lb > threshold + slack(threshold):
+                    if obs is not None:
+                        obs.prune(PRUNE_LOWER_BOUND)
+                else:
+                    heapq.heappush(heap, (child_lb, seq, child))
+                    seq += 1
+
+    return best.sorted_neighbors(), ApproxOutcome(
+        tracker.spent, exhausted, possible_missed, min_missed_lb
+    )
+
+
+def approx_tree_range(
+    tree,
+    family: str,
+    query,
+    radius: float,
+    *,
+    epsilon: float = 0.0,
+    budget: Optional[int] = None,
+    obs: Optional[Observation] = None,
+) -> tuple[list[int], ApproxOutcome]:
+    """Budgeted best-first range search over a vp/mvp/gmvp tree.
+
+    Every returned id is a true hit (distances are verified before
+    reporting), so approximate range answers have precision 1; the
+    outcome's missed mass bounds how many in-range points may have been
+    skipped.  ``budget=None``/``epsilon=0`` reproduces the exact answer.
+    """
+    adapter = _approx_adapter(tree, family)
+    objects = tree._objects
+    approximation = 1.0 + epsilon
+    loose = radius + slack(radius)
+    hits: list[int] = []
+    tracker = BudgetTracker(budget)
+    heap: list[tuple[float, int, tuple]] = []
+    seq = 0
+    for root_lb, root_entry in adapter.roots():
+        heap.append((root_lb, seq, root_entry))
+        seq += 1
+    heapq.heapify(heap)
+    possible_missed = 0
+    min_missed_lb = float("inf")
+    exhausted = False
+
+    def batch(ids: np.ndarray) -> np.ndarray:
+        if ids.size == 0:
+            return _EMPTY_F64
+        tracker.charge(ids.size)
+        distances = np.asarray(
+            tree._batch_dist(obs, gather(objects, ids), query), dtype=np.float64
+        )
+        inside = np.asarray(ids)[distances <= radius]
+        hits.extend(int(x) for x in inside)
+        return distances
+
+    def strand(first: list, budget_strand: bool) -> None:
+        nonlocal possible_missed, min_missed_lb
+        pending = first + [(lb_e, entry_e) for lb_e, _, entry_e in heap]
+        heap.clear()
+        for lb_e, entry_e in pending:
+            if lb_e > loose:
+                if obs is not None:
+                    obs.prune(PRUNE_LOWER_BOUND)
+            else:
+                possible_missed += adapter.size(entry_e)
+                min_missed_lb = min(min_missed_lb, lb_e)
+                if obs is not None:
+                    obs.prune(PRUNE_BUDGET if budget_strand else PRUNE_LOWER_BOUND)
+
+    while heap:
+        lb, _, entry = heapq.heappop(heap)
+        if lb * approximation > loose:
+            strand([(lb, entry)], budget_strand=False)
+            break
+        if adapter.is_leaf(entry):
+            if not tracker.can(adapter.leaf_cost(entry)):
+                exhausted = True
+                strand([(lb, entry)], budget_strand=True)
+                break
+            if obs is not None:
+                obs.enter_leaf(adapter.leaf_points(entry))
+            info = adapter.open_leaf(entry, batch)
+            ids, lowers = adapter.candidates(entry, info, lb)
+            exact_miss = lowers > loose
+            eps_miss = ~exact_miss & (lowers * approximation > loose)
+            n_eps = int(np.count_nonzero(eps_miss))
+            if obs is not None:
+                obs.filter_points(
+                    PRUNE_LOWER_BOUND, int(np.count_nonzero(exact_miss)) + n_eps
+                )
+            if n_eps:
+                possible_missed += n_eps
+                min_missed_lb = min(min_missed_lb, float(lowers[eps_miss].min()))
+            keep = ~(exact_miss | eps_miss)
+            keep_ids = ids[keep]
+            keep_lowers = lowers[keep]
+            order = np.lexsort((keep_ids, keep_lowers))
+            keep_ids = keep_ids[order]
+            keep_lowers = keep_lowers[order]
+            afford = tracker.affordable(int(keep_ids.size))
+            if afford:
+                batch(keep_ids[:afford])
+            if obs is not None:
+                obs.leaf_scan(adapter.leaf_points(entry), afford)
+            if afford < keep_ids.size:
+                skipped = int(keep_ids.size - afford)
+                if obs is not None:
+                    obs.filter_points(PRUNE_BUDGET, skipped)
+                possible_missed += skipped
+                min_missed_lb = min(min_missed_lb, float(keep_lowers[afford]))
+                exhausted = True
+                strand([], budget_strand=True)
+                break
+        else:
+            if not tracker.can(adapter.internal_cost(entry)):
+                exhausted = True
+                strand([(lb, entry)], budget_strand=True)
+                break
+            if obs is not None:
+                obs.enter_internal()
+            info = adapter.open_internal(entry, batch)
+            for child_lb, child in adapter.children(entry, info, lb):
+                if child_lb > loose:
+                    if obs is not None:
+                        obs.prune(PRUNE_LOWER_BOUND)
+                elif child_lb * approximation > loose:
+                    possible_missed += adapter.size(child)
+                    min_missed_lb = min(min_missed_lb, child_lb)
+                    if obs is not None:
+                        obs.prune(PRUNE_LOWER_BOUND)
+                else:
+                    heapq.heappush(heap, (child_lb, seq, child))
+                    seq += 1
+
+    hits.sort()
+    return hits, ApproxOutcome(
+        tracker.spent, exhausted, possible_missed, min_missed_lb
+    )

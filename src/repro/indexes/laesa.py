@@ -154,10 +154,14 @@ class LAESA(MetricIndex):
         self,
         query,
         k: int,
+        epsilon: float = 0.0,
         *,
         stats: Optional[QueryStats] = None,
         trace: Optional[TraceSink] = None,
     ) -> list[Neighbor]:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        approximation = 1.0 + epsilon
         k = self.validate_k(k)
         obs = make_observation(stats, trace)
         bounds = self._lower_bounds(query, obs)
@@ -176,7 +180,9 @@ class LAESA(MetricIndex):
             take = order[position : position + batch]
             if len(best) == k:
                 threshold = best[-1].distance
-                keep = ~(bounds[take] > threshold + slack(threshold))
+                keep = ~(
+                    bounds[take] * approximation > threshold + slack(threshold)
+                )
                 take = take[keep]  # bounds ascend, so this is a prefix
                 if take.size == 0:
                     break

@@ -58,10 +58,16 @@ class LinearScan(MetricIndex):
         self,
         query,
         k: int,
+        epsilon: float = 0.0,
         *,
         stats: Optional[QueryStats] = None,
         trace: Optional[TraceSink] = None,
     ) -> list[Neighbor]:
+        # The exact scan trivially satisfies any (1+epsilon) contract,
+        # so epsilon is accepted (every family shares the signature)
+        # and ignored.
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
         k = self.validate_k(k)
         obs = make_observation(stats, trace)
         self._observe_scan(obs)

@@ -21,12 +21,14 @@ the exact same hot path as before this subsystem existed.
 """
 
 from repro.obs.stats import (
+    PRUNE_BUDGET,
     PRUNE_COVERING_RADIUS,
     PRUNE_EDGE_INTERVAL,
     PRUNE_HYPERPLANE,
     PRUNE_KNN_RADIUS,
     PRUNE_LEAF_D1,
     PRUNE_LEAF_D2,
+    PRUNE_LOWER_BOUND,
     PRUNE_MATRIX_INTERVAL,
     PRUNE_PATH_FILTER,
     PRUNE_PIVOT_FILTER,
@@ -35,6 +37,10 @@ from repro.obs.stats import (
     PRUNE_VP1_SHELL,
     PRUNE_VP2_SHELL,
     PRUNE_VP_SHELL,
+    SHARD_DOWNGRADED,
+    SHARD_FAILED,
+    SHARD_OK,
+    SHARD_TIMEOUT,
     QueryStats,
     StatsSummary,
     leaf_dist_kind,
@@ -78,4 +84,10 @@ __all__ = [
     "PRUNE_PIVOT_FILTER",
     "PRUNE_MATRIX_INTERVAL",
     "PRUNE_TRANSFORM_FILTER",
+    "PRUNE_LOWER_BOUND",
+    "PRUNE_BUDGET",
+    "SHARD_OK",
+    "SHARD_DOWNGRADED",
+    "SHARD_TIMEOUT",
+    "SHARD_FAILED",
 ]

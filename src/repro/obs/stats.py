@@ -37,6 +37,17 @@ kind                   granularity meaning
 ``knn-radius``         subtrees/   k-NN radius shrink: a frontier entry or
                        points      leaf tail proven farther than the k-th
                                    best
+``lower-bound``        subtrees/   the budgeted best-first kernels'
+                       points      fused section 4.3 lower bound (max over
+                                   shell/leaf/PATH components) proved a
+                                   frontier entry or leaf point out of
+                                   range, or an epsilon-scaled bound
+                                   ended the traversal early
+``budget-exhausted``   subtrees/   the distance-computation budget ran
+                       points      out before this subtree or leaf point
+                                   could be paid for (approximate search
+                                   only; contributes to the reported
+                                   possible-miss mass)
 ``leaf-d1``            points      leaf D1 array (distance to leaf vp1)
                                    proved the point out of range
 ``leaf-d2``            points      leaf D2 array proved it out of range
@@ -77,6 +88,10 @@ PRUNE_RANGE_TABLE = "range-table"
 PRUNE_EDGE_INTERVAL = "edge-interval"
 PRUNE_KNN_RADIUS = "knn-radius"
 
+# --- mixed-granularity prune kinds (approximate search) ---------------------
+PRUNE_LOWER_BOUND = "lower-bound"
+PRUNE_BUDGET = "budget-exhausted"
+
 # --- point-granularity prune kinds -----------------------------------------
 PRUNE_LEAF_D1 = "leaf-d1"
 PRUNE_LEAF_D2 = "leaf-d2"
@@ -84,6 +99,21 @@ PRUNE_PATH_FILTER = "path-filter"
 PRUNE_PIVOT_FILTER = "pivot-filter"
 PRUNE_MATRIX_INTERVAL = "matrix-interval"
 PRUNE_TRANSFORM_FILTER = "transform-filter"
+
+
+# --- per-shard completion outcomes (serving engine) -------------------------
+SHARD_OK = "ok"
+SHARD_DOWNGRADED = "downgraded"
+SHARD_TIMEOUT = "timeout"
+SHARD_FAILED = "failed"
+
+#: Severity order for merging shard outcomes: the worst observation wins.
+_SHARD_OUTCOME_RANK = {
+    SHARD_OK: 0,
+    SHARD_DOWNGRADED: 1,
+    SHARD_TIMEOUT: 2,
+    SHARD_FAILED: 3,
+}
 
 
 def vp_shell_kind(position: int) -> str:
@@ -152,6 +182,13 @@ class QueryStats:
         Replica attempts skipped because the replica's circuit breaker
         was open (see :mod:`repro.resilience.breaker`); both stay zero
         outside the serving engine.
+    shard_outcomes:
+        Per-shard completion flags recorded by the serving engine:
+        shard number -> one of ``"ok"``, ``"downgraded"`` (deadline miss
+        answered by a budgeted approximate pass), ``"timeout"``, or
+        ``"failed"``.  A degraded answer names exactly which shards did
+        not contribute; empty outside the serving engine.  Merging two
+        stats objects keeps the worst outcome per shard.
     """
 
     distance_calls: int = 0
@@ -170,6 +207,7 @@ class QueryStats:
     failovers: int = 0
     breaker_rejections: int = 0
     prunes: dict[str, int] = field(default_factory=dict)
+    shard_outcomes: dict[int, str] = field(default_factory=dict)
 
     @property
     def prunes_total(self) -> int:
@@ -198,7 +236,16 @@ class QueryStats:
         self.failovers = 0
         self.breaker_rejections = 0
         self.prunes = {}
+        self.shard_outcomes = {}
         return self
+
+    def record_shard_outcome(self, shard: int, outcome: str) -> None:
+        """Record a shard's completion flag, keeping the worst outcome."""
+        current = self.shard_outcomes.get(shard)
+        if current is None or _SHARD_OUTCOME_RANK.get(
+            outcome, 0
+        ) > _SHARD_OUTCOME_RANK.get(current, 0):
+            self.shard_outcomes[shard] = outcome
 
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Accumulate another stats object into this one (in place)."""
@@ -219,6 +266,8 @@ class QueryStats:
         self.breaker_rejections += other.breaker_rejections
         for kind, count in other.prunes.items():
             self.prunes[kind] = self.prunes.get(kind, 0) + count
+        for shard, outcome in other.shard_outcomes.items():
+            self.record_shard_outcome(shard, outcome)
         return self
 
     def to_dict(self) -> dict:
@@ -240,6 +289,10 @@ class QueryStats:
             "failovers": self.failovers,
             "breaker_rejections": self.breaker_rejections,
             "prunes": dict(self.prunes),
+            "shard_outcomes": {
+                str(shard): outcome
+                for shard, outcome in sorted(self.shard_outcomes.items())
+            },
         }
 
 

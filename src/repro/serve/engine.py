@@ -48,8 +48,24 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
+from repro.approx import (
+    ApproxDowngrade,
+    ApproxReport,
+    approx_knn_search,
+    approx_range_search,
+    merge_reports,
+    missing_shard_report,
+    split_budget,
+)
 from repro.indexes.base import MetricIndex, Neighbor
-from repro.obs.stats import QueryStats, merge_all
+from repro.obs.stats import (
+    SHARD_DOWNGRADED,
+    SHARD_FAILED,
+    SHARD_OK,
+    SHARD_TIMEOUT,
+    QueryStats,
+    merge_all,
+)
 from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.breaker import CircuitBreaker
 from repro.serve.cache import DistanceCacheMetric, LRUCache, query_cache_key
@@ -78,29 +94,70 @@ class Query:
     ``kind`` is ``"range"`` (uses ``radius``) or ``"knn"`` (uses ``k``).
     Use the :meth:`range` / :meth:`knn` constructors rather than spelling
     the fields out.
+
+    ``budget``/``epsilon`` opt a query into the approximate tier (see
+    :mod:`repro.approx` and ``docs/approximate.md``): ``budget`` caps
+    distance computations (split deterministically across a manager's
+    shards), ``epsilon`` relaxes k-NN to the (1+epsilon) contract.  The
+    engine then attaches a merged :class:`~repro.approx.ApproxReport`
+    to the result.
     """
 
     kind: str
     query: object
     radius: Optional[float] = None
     k: Optional[int] = None
+    budget: Optional[int] = None
+    epsilon: float = 0.0
 
     @classmethod
-    def range(cls, query, radius: float) -> "Query":
+    def range(
+        cls,
+        query,
+        radius: float,
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+    ) -> "Query":
         """A near-neighbor query: all objects within ``radius``."""
-        return cls("range", query, radius=float(radius))
+        return cls(
+            "range",
+            query,
+            radius=float(radius),
+            budget=budget,
+            epsilon=float(epsilon),
+        )
 
     @classmethod
-    def knn(cls, query, k: int) -> "Query":
+    def knn(
+        cls,
+        query,
+        k: int,
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+    ) -> "Query":
         """A k-nearest-neighbor query."""
-        return cls("knn", query, k=int(k))
+        return cls(
+            "knn", query, k=int(k), budget=budget, epsilon=float(epsilon)
+        )
+
+    @property
+    def is_approximate(self) -> bool:
+        """Does this query run on the budgeted/relaxed tier?"""
+        return self.budget is not None or self.epsilon > 0
 
     def cache_key(self):
-        """Hashable identity for the result cache (None = uncacheable)."""
+        """Hashable identity for the result cache (None = uncacheable).
+
+        Budget and epsilon are part of the identity: a budgeted answer
+        must never satisfy an exact lookup (or a differently budgeted
+        one).
+        """
         base = query_cache_key(self.query)
         if base is None:
             return None
-        return (self.kind, self.radius, self.k, base)
+        return (self.kind, self.radius, self.k, self.budget, self.epsilon, base)
 
 
 @dataclass
@@ -113,6 +170,16 @@ class QueryResult:
     deadline, and their contributions are missing.  ``stats`` merges
     every unit that ran for this query (including failed attempts —
     their distance computations really happened).
+
+    ``approx`` carries the merged :class:`~repro.approx.ApproxReport`
+    when the query ran (anywhere) on the approximate tier — because it
+    was submitted with a budget/epsilon, or because the engine's
+    downgrade policy converted a deadline miss into a budgeted pass
+    (those shards count in ``shards_downgraded``, not
+    ``shards_timed_out``, and do not set ``degraded``: the answer is
+    complete under the approximate contract and says so honestly via
+    ``approx.recall_lower_bound``).  Per-shard completion flags live in
+    ``stats.shard_outcomes``.
     """
 
     index: int
@@ -125,6 +192,8 @@ class QueryResult:
     shards_ok: int = 0
     shards_failed: int = 0
     shards_timed_out: int = 0
+    shards_downgraded: int = 0
+    approx: Optional[ApproxReport] = None
 
     @property
     def value(self):
@@ -230,6 +299,27 @@ class _UnitOutcome:
     value: object = None
     stats: QueryStats = field(default_factory=QueryStats)
     error: Optional[str] = None
+    report: Optional[ApproxReport] = None
+
+
+def _exact_unit_report(kind: str, stats: QueryStats) -> ApproxReport:
+    """A unit that ran the exact tier, phrased as an approx certificate.
+
+    Used when a query mixes tiers (deadline downgrade hit only some
+    shards): an exact shard missed nothing, so it contributes zero
+    unseen mass and an infinite missed lower bound to the merge.
+    """
+    return ApproxReport(
+        kind=kind,
+        budget=None,
+        epsilon=0.0,
+        spent=stats.distance_calls,
+        exhausted=False,
+        possible_missed=0,
+        min_missed_lb=float("inf"),
+        sound=(),
+        recall_lower_bound=1.0,
+    )
 
 
 def _hook_takes_replica(hook: Optional[FaultHook]) -> bool:
@@ -324,6 +414,14 @@ class QueryEngine:
     metric_spec:
         :mod:`repro.store.spec` metric spec (e.g. ``"l2"``) for
         disk-backed workers.
+    approximate:
+        Deadline-downgrade policy: an
+        :class:`~repro.approx.ApproxDowngrade` (or a bare int, shorthand
+        for ``ApproxDowngrade(budget=n)``).  When set, a shard that
+        misses the query deadline is re-run inline as a *budgeted* pass
+        instead of being dropped — the result stays ``degraded=False``
+        and instead carries an honest ``approx`` recall certificate.
+        ``None`` (the default) keeps the drop-and-degrade behaviour.
     """
 
     def __init__(
@@ -344,6 +442,7 @@ class QueryEngine:
         fault_hook: Optional[FaultHook] = None,
         store_paths: Optional[dict] = None,
         metric_spec=None,
+        approximate: Union[None, int, ApproxDowngrade] = None,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -410,6 +509,21 @@ class QueryEngine:
         self._pending = threading.BoundedSemaphore(self.max_pending)
         self.fault_hook = fault_hook
         self._hook_takes_replica = _hook_takes_replica(fault_hook)
+        if isinstance(approximate, bool):
+            raise TypeError(
+                "approximate expects a budget int or ApproxDowngrade, "
+                f"got {approximate!r}"
+            )
+        if isinstance(approximate, int):
+            approximate = ApproxDowngrade(budget=approximate)
+        if approximate is not None and not isinstance(
+            approximate, ApproxDowngrade
+        ):
+            raise TypeError(
+                "approximate expects a budget int or ApproxDowngrade, "
+                f"got {type(approximate).__name__}"
+            )
+        self.approximate = approximate
 
     # ------------------------------------------------------------------
     # Unit execution (runs on a worker thread)
@@ -442,6 +556,19 @@ class QueryEngine:
         else:
             self.fault_hook(qi, shard, attempt)
 
+    def _unit_budget(self, budget: Optional[int], shard: Optional[int]):
+        """The slice of a query budget one shard unit may spend.
+
+        Uses the same deterministic :func:`~repro.approx.split_budget`
+        as :meth:`ShardManager.approx_knn_search`, so engine answers
+        match the manager's sequential approximate path exactly.
+        """
+        if budget is None or shard is None:
+            return budget
+        if not isinstance(self.index, ShardManager):
+            return budget
+        return split_budget(budget, self.index.n_shards)[shard]
+
     def _search_unit(
         self,
         query: Query,
@@ -449,8 +576,16 @@ class QueryEngine:
         replica: Optional[int],
         stats: QueryStats,
     ):
-        """One replica's (or the whole single index's) answer for a query."""
+        """One replica's (or the whole single index's) answer for a query.
+
+        Returns ``(value, report)``; ``report`` is ``None`` on the exact
+        tier and an :class:`~repro.approx.ApproxReport` (in this unit's
+        *local* frame: spent/missed mass for this shard only) on the
+        approximate tier.
+        """
         index = self.index
+        approximate = query.is_approximate
+        budget = self._unit_budget(query.budget, shard)
         if isinstance(self.executor, ProcessExecutor):
             # The search itself runs in a forked worker; only the
             # orchestration (this thread) stays parent-side.  The
@@ -459,22 +594,80 @@ class QueryEngine:
             # the parent CountingMetric delta (the worker charged its
             # own forked copy).
             target = shard if isinstance(index, ShardManager) else None
-            value, remote_stats = self.executor.search(
-                query.kind, query.query, query.radius, query.k, target, replica
+            value, remote_stats, report = self.executor.search(
+                query.kind,
+                query.query,
+                query.radius,
+                query.k,
+                target,
+                replica,
+                budget=budget,
+                epsilon=query.epsilon,
             )
             stats.merge(remote_stats)
-            return value
+            return value, report
         if shard is not None and isinstance(index, ShardManager):
-            if query.kind == "range":
-                return index.shard_range_search(
-                    shard, query.query, query.radius, replica=replica, stats=stats
+            if approximate:
+                if query.kind == "range":
+                    return index.shard_approx_range_search(
+                        shard,
+                        query.query,
+                        query.radius,
+                        budget=budget,
+                        epsilon=query.epsilon,
+                        replica=replica,
+                        stats=stats,
+                    )
+                return index.shard_approx_knn_search(
+                    shard,
+                    query.query,
+                    query.k,
+                    budget=budget,
+                    epsilon=query.epsilon,
+                    replica=replica,
+                    stats=stats,
                 )
-            return index.shard_knn_search(
-                shard, query.query, query.k, replica=replica, stats=stats
+            if query.kind == "range":
+                return (
+                    index.shard_range_search(
+                        shard,
+                        query.query,
+                        query.radius,
+                        replica=replica,
+                        stats=stats,
+                    ),
+                    None,
+                )
+            return (
+                index.shard_knn_search(
+                    shard, query.query, query.k, replica=replica, stats=stats
+                ),
+                None,
+            )
+        if approximate:
+            if query.kind == "range":
+                return approx_range_search(
+                    index,
+                    query.query,
+                    query.radius,
+                    budget=budget,
+                    epsilon=query.epsilon,
+                    stats=stats,
+                )
+            return approx_knn_search(
+                index,
+                query.query,
+                query.k,
+                budget=budget,
+                epsilon=query.epsilon,
+                stats=stats,
             )
         if query.kind == "range":
-            return index.range_search(query.query, query.radius, stats=stats)
-        return index.knn_search(query.query, query.k, stats=stats)
+            return (
+                index.range_search(query.query, query.radius, stats=stats),
+                None,
+            )
+        return index.knn_search(query.query, query.k, stats=stats), None
 
     def _unit_replicas(self, shard: Optional[int]) -> list[Optional[int]]:
         """Failover candidates for a unit, preferred replica first.
@@ -537,11 +730,13 @@ class QueryEngine:
                         self._call_fault_hook(qi, shard_no, attempt, replica_no)
                         if self.distance_cache is not None:
                             with self.distance_cache.observe(stats):
-                                value = self._search_unit(
+                                value, report = self._search_unit(
                                     query, shard, replica, stats
                                 )
                         else:
-                            value = self._search_unit(query, shard, replica, stats)
+                            value, report = self._search_unit(
+                                query, shard, replica, stats
+                            )
                     except Exception as exc:
                         breaker.record_failure()
                         failed_this_round += 1
@@ -550,7 +745,9 @@ class QueryEngine:
                     breaker.record_success()
                     if failed_this_round:
                         stats.failovers += 1
-                    return _UnitOutcome(ok=True, value=value, stats=stats)
+                    return _UnitOutcome(
+                        ok=True, value=value, stats=stats, report=report
+                    )
             if error is None:
                 error = (
                     f"shard {shard_no}: no live replica admitted the unit"
@@ -612,11 +809,41 @@ class QueryEngine:
             from_cache=True,
             shards_ok=0,
         )
-        if query.kind == "range":
-            result.ids = list(hit)
+        if query.is_approximate:
+            # Approximate entries store (payload, report) so a hit
+            # replays the recall certificate along with the answer.
+            payload, result.approx = hit
         else:
-            result.neighbors = list(hit)
+            payload = hit
+        if query.kind == "range":
+            result.ids = list(payload)
+        else:
+            result.neighbors = list(payload)
         return result
+
+    def _downgraded_unit(
+        self, query: Query, shard: Optional[int], stats: QueryStats
+    ):
+        """Inline budgeted re-run of a unit that missed the deadline.
+
+        Runs on the gathering thread with no deadline: the whole point
+        of a budget is that its cost is bounded up front.  The shard's
+        slice of the policy budget is the same deterministic split an
+        explicitly budgeted query would get.
+        """
+        policy = self.approximate
+        downgraded = Query(
+            query.kind,
+            query.query,
+            radius=query.radius,
+            k=query.k,
+            budget=policy.budget,
+            epsilon=policy.epsilon,
+        )
+        if self.distance_cache is not None:
+            with self.distance_cache.observe(stats):
+                return self._search_unit(downgraded, shard, None, stats)
+        return self._search_unit(downgraded, shard, None, stats)
 
     def _gather(
         self,
@@ -647,35 +874,111 @@ class QueryEngine:
             )
             if not done:
                 break  # timed out with units still outstanding
+        plan = self._shard_plan()
+        shard_sizes = (
+            self.index.shard_sizes()
+            if isinstance(self.index, ShardManager)
+            else None
+        )
         values = []
-        for future in futures:
+        reports: list[ApproxReport] = []
+        missing_sizes: list[int] = []
+
+        def note_outcome(shard: Optional[int], flag: str) -> None:
+            # Per-shard completion flags only exist for sharded
+            # deployments — a plain index has no shards to flag, and
+            # recording one would break engine-vs-sequential stats
+            # parity (the sequential search records none).
+            if shard is not None:
+                result.stats.record_shard_outcome(shard, flag)
+
+        for shard, future in zip(plan, futures):
+            shard_no = shard if shard is not None else 0
+            size = (
+                len(self.index) if shard_sizes is None else shard_sizes[shard]
+            )
             if future in pending:
                 if future.cancel():
                     # A cancelled unit never runs, so _run_unit's finally
                     # can't release its backpressure permit — do it here.
                     self._pending.release()
+                if self.approximate is not None:
+                    # Deadline downgrade: replace the missing shard with
+                    # an inline budgeted pass instead of dropping it.
+                    downgrade_stats = QueryStats()
+                    try:
+                        value, report = self._downgraded_unit(
+                            query, shard, downgrade_stats
+                        )
+                    except Exception:
+                        result.stats.merge(downgrade_stats)
+                        result.shards_timed_out += 1
+                        note_outcome(shard, SHARD_TIMEOUT)
+                        missing_sizes.append(size)
+                        continue
+                    result.stats.merge(downgrade_stats)
+                    result.shards_downgraded += 1
+                    note_outcome(shard, SHARD_DOWNGRADED)
+                    values.append(value)
+                    reports.append(
+                        report
+                        if report is not None
+                        else _exact_unit_report(query.kind, downgrade_stats)
+                    )
+                    continue
                 result.shards_timed_out += 1
+                note_outcome(shard, SHARD_TIMEOUT)
+                missing_sizes.append(size)
                 continue
             outcome: _UnitOutcome = future.result()
             result.stats.merge(outcome.stats)
             if outcome.ok:
                 result.shards_ok += 1
+                note_outcome(shard, SHARD_OK)
                 values.append(outcome.value)
+                reports.append(
+                    outcome.report
+                    if outcome.report is not None
+                    else _exact_unit_report(query.kind, outcome.stats)
+                )
             else:
                 result.shards_failed += 1
+                note_outcome(shard, SHARD_FAILED)
+                missing_sizes.append(size)
         result.degraded = bool(result.shards_failed or result.shards_timed_out)
         if query.kind == "range":
             result.ids = merge_range(values)
         else:
             k = min(query.k, len(self.index))
             result.neighbors = merge_knn(values, k)
+        if query.is_approximate or result.shards_downgraded:
+            # Shards that contributed nothing are honestly accounted as
+            # fully unseen mass with a zero lower bound: the certificate
+            # can only understate recall, never overstate it.
+            for size in missing_sizes:
+                reports.append(missing_shard_report(query.kind, size))
+            target = (
+                min(query.k, len(self.index)) if query.kind == "knn" else None
+            )
+            result.approx = merge_reports(
+                query.kind,
+                reports,
+                result.value,
+                budget=query.budget,
+                epsilon=query.epsilon,
+                target=target,
+            )
         if (
             self.result_cache is not None
             and not result.degraded
+            and not result.shards_downgraded
         ):
             key = query.cache_key()
             if key is not None:
-                self.result_cache.put(key, tuple(result.value))
+                payload = tuple(result.value)
+                if result.approx is not None:
+                    payload = (payload, result.approx)
+                self.result_cache.put(key, payload)
         return result
 
     def run_batch(

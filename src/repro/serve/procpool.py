@@ -19,8 +19,9 @@ throughput.  The :class:`ProcessExecutor` fixes that by running the
   hook all run on a parent-side thread pool exactly as they do for the
   threaded executor; only the leaf call —
   :func:`_remote_search` — crosses the process boundary, returning a
-  picklable ``(value, QueryStats)`` pair that the parent merges into
-  the unit's stats.
+  picklable ``(value, QueryStats, ApproxReport | None)`` triple that
+  the parent merges into the unit's stats (the report is ``None`` on
+  the exact tier).
 * **Parent-side replica state is authoritative.**  Workers never see
   replicas dropped *after* the fork (their copy-on-write snapshot still
   has them), which is safe precisely because the engine checks
@@ -109,13 +110,19 @@ def _remote_search(
     k: Optional[int],
     shard: Optional[int],
     replica: Optional[int],
-) -> tuple[object, QueryStats]:
+    budget: Optional[int] = None,
+    epsilon: float = 0.0,
+) -> tuple[object, QueryStats, Optional["ApproxReport"]]:
     """Run one unit's search inside a worker; the picklable leaf call.
 
     Looks the index up in the fork-inherited registry and returns the
-    answer together with the worker-side :class:`QueryStats`, which the
-    parent merges into the unit's stats.  Exceptions propagate through
-    the future into the parent's failover logic unchanged.
+    answer together with the worker-side :class:`QueryStats` (which the
+    parent merges into the unit's stats) and, when ``budget``/``epsilon``
+    put the unit on the approximate tier, the unit-local
+    :class:`~repro.approx.ApproxReport` (``None`` on the exact tier).
+    Exceptions propagate through the future into the parent's failover
+    logic unchanged.  ``budget`` arrives already split per shard by the
+    engine.
     """
     index = _FORK_REGISTRY.get(token)
     if index is None:
@@ -124,6 +131,40 @@ def _remote_search(
             "predates the registration (pool built before the index?)"
         )
     stats = QueryStats()
+    approximate = budget is not None or epsilon > 0
+    if approximate:
+        from repro.approx import approx_knn_search, approx_range_search
+
+        if shard is not None and isinstance(index, ShardManager):
+            if kind == "range":
+                value, report = index.shard_approx_range_search(
+                    shard,
+                    query,
+                    radius,
+                    budget=budget,
+                    epsilon=epsilon,
+                    replica=replica,
+                    stats=stats,
+                )
+            else:
+                value, report = index.shard_approx_knn_search(
+                    shard,
+                    query,
+                    k,
+                    budget=budget,
+                    epsilon=epsilon,
+                    replica=replica,
+                    stats=stats,
+                )
+        elif kind == "range":
+            value, report = approx_range_search(
+                index, query, radius, budget=budget, epsilon=epsilon, stats=stats
+            )
+        else:
+            value, report = approx_knn_search(
+                index, query, k, budget=budget, epsilon=epsilon, stats=stats
+            )
+        return value, stats, report
     if shard is not None and isinstance(index, ShardManager):
         if kind == "range":
             value = index.shard_range_search(
@@ -137,7 +178,7 @@ def _remote_search(
         value = index.range_search(query, radius, stats=stats)
     else:
         value = index.knn_search(query, k, stats=stats)
-    return value, stats
+    return value, stats, None
 
 
 class ProcessExecutor:
@@ -275,12 +316,18 @@ class ProcessExecutor:
         k: Optional[int],
         shard: Optional[int],
         replica: Optional[int],
-    ) -> tuple[object, QueryStats]:
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+    ) -> tuple[object, QueryStats, object]:
         """Dispatch one search to a forked worker and await its answer.
 
         Called by the engine's ``_search_unit`` from an orchestration
         thread; worker exceptions re-raise here and feed the engine's
         breaker/failover path exactly like an in-thread failure.
+        Returns ``(value, stats, report)``; ``report`` is the unit's
+        :class:`~repro.approx.ApproxReport` on the approximate tier
+        (``budget``/``epsilon`` set), else ``None``.
 
         In disk-backed mode the unit's ``(shard, replica)`` selects a
         store path; a slot with no file (empty shard, unsaved replica)
@@ -290,7 +337,9 @@ class ProcessExecutor:
             key = (shard or 0, replica or 0)
             path = self._store_paths.get(key)
             if path is None:
-                return [], QueryStats()
+                # Nothing to search: exact-empty, so no report needed —
+                # the engine phrases it as a zero-mass certificate.
+                return [], QueryStats(), None
             future = self._processes.submit(
                 remote_store_search,
                 path,
@@ -299,10 +348,21 @@ class ProcessExecutor:
                 query,
                 radius,
                 k,
+                budget,
+                epsilon,
             )
             return future.result()
         future = self._processes.submit(
-            _remote_search, self.token, kind, query, radius, k, shard, replica
+            _remote_search,
+            self.token,
+            kind,
+            query,
+            radius,
+            k,
+            shard,
+            replica,
+            budget,
+            epsilon,
         )
         return future.result()
 

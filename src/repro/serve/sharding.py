@@ -49,7 +49,7 @@ from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.indexes.vptree import VPTree
 from repro.metric.base import Metric
-from repro.obs.stats import QueryStats
+from repro.obs.stats import SHARD_OK, QueryStats
 from repro.obs.trace import TraceSink
 
 #: ``builder(objects, metric, rng) -> MetricIndex`` per backend name.
@@ -395,6 +395,18 @@ class ShardManager(MetricIndex):
             f"(replication_factor={self.replication_factor})"
         )
 
+    @staticmethod
+    def _record_ok(stats: Optional[QueryStats], shard: int) -> None:
+        """Mark ``shard`` completed in ``stats.shard_outcomes``.
+
+        The sequential path records the same per-shard outcome flags the
+        concurrent engine does (worst-wins, so an engine-side downgrade
+        or timeout still overrides), keeping engine-vs-sequential stats
+        parity field for field.
+        """
+        if stats is not None:
+            stats.record_shard_outcome(shard, SHARD_OK)
+
     def shard_range_search(
         self,
         shard: int,
@@ -414,9 +426,11 @@ class ShardManager(MetricIndex):
         """
         ids = self._shard_ids[shard]
         if not ids:
+            self._record_ok(stats, shard)
             return []
         index = self._replica_for(shard, replica)
         local = index.range_search(query, radius, stats=stats, trace=trace)
+        self._record_ok(stats, shard)
         return [ids[i] for i in local]
 
     def shard_knn_search(
@@ -437,12 +451,147 @@ class ShardManager(MetricIndex):
         """
         ids = self._shard_ids[shard]
         if not ids:
+            self._record_ok(stats, shard)
             return []
         index = self._replica_for(shard, replica)
         local = index.knn_search(
             query, min(k, len(ids)), stats=stats, trace=trace
         )
+        self._record_ok(stats, shard)
         return [Neighbor(n.distance, int(ids[n.id])) for n in local]
+
+    def shard_approx_range_search(
+        self,
+        shard: int,
+        query,
+        radius: float,
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+        replica: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ):
+        """Budgeted range search of one shard; global ids + certificate."""
+        # Module-attribute call: the free function shares this method's
+        # name, and a bare name here would read as (mutual) recursion.
+        from repro import approx
+        from repro.approx import build_report
+
+        ids = self._shard_ids[shard]
+        if not ids:
+            self._record_ok(stats, shard)
+            return [], build_report(
+                "range", [], budget=budget, epsilon=epsilon,
+                spent=0, exhausted=False,
+                possible_missed=0, min_missed_lb=float("inf"),
+            )
+        index = self._replica_for(shard, replica)
+        local, report = approx.approx_range_search(
+            index, query, radius,
+            budget=budget, epsilon=epsilon, stats=stats, trace=trace,
+        )
+        self._record_ok(stats, shard)
+        return [ids[i] for i in local], report
+
+    def shard_approx_knn_search(
+        self,
+        shard: int,
+        query,
+        k: int,
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+        replica: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ):
+        """Budgeted k-NN of one shard; neighbors carry global ids."""
+        # Module-attribute call: the free function shares this method's
+        # name, and a bare name here would read as (mutual) recursion.
+        from repro import approx
+        from repro.approx import build_report
+
+        ids = self._shard_ids[shard]
+        if not ids:
+            self._record_ok(stats, shard)
+            return [], build_report(
+                "knn", [], budget=budget, epsilon=epsilon,
+                spent=0, exhausted=False,
+                possible_missed=0, min_missed_lb=float("inf"),
+            )
+        index = self._replica_for(shard, replica)
+        local, report = approx.approx_knn_search(
+            index, query, min(k, len(ids)),
+            budget=budget, epsilon=epsilon, stats=stats, trace=trace,
+        )
+        self._record_ok(stats, shard)
+        return [Neighbor(n.distance, int(ids[n.id])) for n in local], report
+
+    def approx_range_search(
+        self,
+        query,
+        radius: float,
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ):
+        """Sequential budgeted range search over every shard.
+
+        The budget splits deterministically (:func:`repro.approx.split_budget`)
+        so this path and the concurrent engine hand each shard the same
+        allowance and answer identically; certificates merge exactly.
+        """
+        from repro.approx import merge_reports, split_budget
+
+        radius = self.validate_radius(radius)
+        budgets = split_budget(budget, self.n_shards)
+        hit_lists = []
+        reports = []
+        for shard in range(self.n_shards):
+            hits, report = self.shard_approx_range_search(
+                shard, query, radius,
+                budget=budgets[shard], epsilon=epsilon,
+                stats=stats, trace=trace,
+            )
+            hit_lists.append(hits)
+            reports.append(report)
+        merged = merge_range(hit_lists)
+        return merged, merge_reports(
+            "range", reports, merged, budget=budget, epsilon=epsilon
+        )
+
+    def approx_knn_search(
+        self,
+        query,
+        k: int,
+        *,
+        budget: Optional[int] = None,
+        epsilon: float = 0.0,
+        stats: Optional[QueryStats] = None,
+        trace: Optional[TraceSink] = None,
+    ):
+        """Sequential budgeted k-NN over every shard (exact merge)."""
+        from repro.approx import merge_reports, split_budget
+
+        k = self.validate_k(k)
+        budgets = split_budget(budget, self.n_shards)
+        candidate_lists = []
+        reports = []
+        for shard in range(self.n_shards):
+            candidates, report = self.shard_approx_knn_search(
+                shard, query, k,
+                budget=budgets[shard], epsilon=epsilon,
+                stats=stats, trace=trace,
+            )
+            candidate_lists.append(candidates)
+            reports.append(report)
+        merged = merge_knn(candidate_lists, k)
+        return merged, merge_reports(
+            "knn", reports, merged, budget=budget, epsilon=epsilon, target=k
+        )
 
     # ------------------------------------------------------------------
     # MetricIndex interface: sequential execution over every shard

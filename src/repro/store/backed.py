@@ -198,6 +198,17 @@ class StoreBackedIndex(MetricIndex):
             n += len(self._delta_rows)
         return n
 
+    def validate_k(self, k: int) -> int:
+        """Clamp against base *and* delta rows, not just ``_objects``.
+
+        The base-class clamp uses ``len(self._objects)`` (base rows
+        only), which would silently truncate a k-NN answer to the base
+        segment whenever ``k`` exceeds it but not the full index.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return min(k, len(self))
+
     def _base_range(self, query, radius: float, *, stats, trace) -> list[int]:
         if self._impl is not None:
             return self._impl.range_search(
@@ -214,7 +225,9 @@ class StoreBackedIndex(MetricIndex):
         self, query, k: int, approximation: float, *, stats, trace
     ) -> list[Neighbor]:
         if self._impl is not None:
-            return self._impl.knn_search(query, k, stats=stats, trace=trace)
+            return self._impl.knn_search(
+                query, k, approximation - 1.0, stats=stats, trace=trace
+            )
         obs = make_observation(stats, trace)
         if self.family == "vpt":
             return kernels.vp_knn(self, query, k, approximation, obs)
@@ -264,10 +277,6 @@ class StoreBackedIndex(MetricIndex):
     ) -> list[Neighbor]:
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
-        if epsilon and self._impl is not None:
-            raise ValueError(
-                f"family {self.family!r} has no approximate k-NN mode"
-            )
         if self._delta_rows is None:
             k = self.validate_k(k)
             return self._base_knn(

@@ -58,19 +58,52 @@ def remote_store_search(
     query: object,
     radius: Optional[float],
     k: Optional[int],
-) -> tuple[object, QueryStats]:
+    budget: Optional[int] = None,
+    epsilon: float = 0.0,
+) -> tuple[object, QueryStats, object]:
     """Answer one (query, shard) unit from the shard's store file.
 
     Mirrors :meth:`ShardManager.shard_range_search` /
     :meth:`~ShardManager.shard_knn_search`: results carry the *global*
     ids recorded in the store, k is clamped to the shard size, and the
     worker-side :class:`QueryStats` ride back for the parent to merge.
+
+    ``budget``/``epsilon`` switch the unit to the approximate tier
+    (:mod:`repro.approx`); the returned third element is then the
+    unit-local :class:`~repro.approx.ApproxReport` (``None`` on the
+    exact tier).  ``budget`` arrives already split per shard.
     """
     index = open_worker_index(path, metric_spec)
     stats = QueryStats()
+    if budget is not None or epsilon > 0:
+        from repro.approx import approx_knn_search, approx_range_search
+
+        if kind == "range":
+            local, report = approx_range_search(
+                index, query, radius, budget=budget, epsilon=epsilon, stats=stats
+            )
+            return index.to_global(local), stats, report
+        local, report = approx_knn_search(
+            index,
+            query,
+            min(k, len(index)),
+            budget=budget,
+            epsilon=epsilon,
+            stats=stats,
+        )
+        globals_ = index.to_global([n.id for n in local])
+        return (
+            [Neighbor(n.distance, g) for n, g in zip(local, globals_)],
+            stats,
+            report,
+        )
     if kind == "range":
         local = index.range_search(query, radius, stats=stats)
-        return index.to_global(local), stats
+        return index.to_global(local), stats, None
     local = index.knn_search(query, min(k, len(index)), stats=stats)
     globals_ = index.to_global([n.id for n in local])
-    return [Neighbor(n.distance, g) for n, g in zip(local, globals_)], stats
+    return (
+        [Neighbor(n.distance, g) for n, g in zip(local, globals_)],
+        stats,
+        None,
+    )

@@ -1,0 +1,170 @@
+"""Unit tests for the ApproxReport certificate algebra."""
+
+import math
+
+import pytest
+
+from repro.approx import (
+    ApproxDowngrade,
+    ApproxReport,
+    build_report,
+    merge_reports,
+    missing_shard_report,
+    split_budget,
+)
+from repro.indexes.base import Neighbor
+
+
+class TestApproxReport:
+    def test_exact_iff_no_missed_mass(self):
+        exact = build_report(
+            "knn", [], budget=None, epsilon=0.0, spent=5,
+            exhausted=False, possible_missed=0, min_missed_lb=float("inf"),
+        )
+        assert exact.exact and exact.recall_lower_bound == 1.0
+        lossy = build_report(
+            "knn", [], budget=3, epsilon=0.0, spent=3,
+            exhausted=True, possible_missed=4, min_missed_lb=0.2, target=5,
+        )
+        assert not lossy.exact
+
+    def test_dict_round_trip_maps_inf_to_none(self):
+        report = build_report(
+            "range", [1, 2], budget=None, epsilon=0.5, spent=9,
+            exhausted=False, possible_missed=0, min_missed_lb=float("inf"),
+        )
+        payload = report.to_dict()
+        assert payload["min_missed_lb"] is None
+        assert ApproxReport.from_dict(payload) == report
+
+    def test_dict_round_trip_finite_bound(self):
+        report = build_report(
+            "knn",
+            [Neighbor(0.1, 4), Neighbor(0.9, 7)],
+            budget=10, epsilon=0.0, spent=10,
+            exhausted=True, possible_missed=3, min_missed_lb=0.5, target=2,
+        )
+        restored = ApproxReport.from_dict(report.to_dict())
+        assert restored == report
+        assert restored.sound == (True, False)
+
+
+class TestBuildReport:
+    def test_knn_soundness_uses_missed_lower_bound(self):
+        results = [Neighbor(0.1, 0), Neighbor(0.49, 1), Neighbor(0.8, 2)]
+        report = build_report(
+            "knn", results, budget=5, epsilon=0.0, spent=5,
+            exhausted=True, possible_missed=7, min_missed_lb=0.5, target=3,
+        )
+        assert report.sound == (True, True, False)
+        assert report.recall_lower_bound == pytest.approx(2 / 3)
+
+    def test_knn_conservative_target_denominator(self):
+        results = [Neighbor(0.1, 0)]
+        report = build_report(
+            "knn", results, budget=2, epsilon=0.0, spent=2,
+            exhausted=True, possible_missed=1, min_missed_lb=1.0, target=4,
+        )
+        # One sound result out of a target of 4, not out of len(results).
+        assert report.recall_lower_bound == pytest.approx(0.25)
+
+    def test_range_recall_is_hits_over_hits_plus_mass(self):
+        report = build_report(
+            "range", [1, 2, 3], budget=6, epsilon=0.0, spent=6,
+            exhausted=True, possible_missed=9, min_missed_lb=0.0,
+        )
+        assert report.sound == (True, True, True)  # precision is 1
+        assert report.recall_lower_bound == pytest.approx(3 / 12)
+
+    def test_empty_range_with_missed_mass_promises_nothing(self):
+        report = build_report(
+            "range", [], budget=0, epsilon=0.0, spent=0,
+            exhausted=True, possible_missed=5, min_missed_lb=0.0,
+        )
+        assert report.recall_lower_bound == 0.0
+
+
+class TestSplitBudget:
+    def test_none_is_unlimited_everywhere(self):
+        assert split_budget(None, 3) == [None, None, None]
+
+    def test_remainder_goes_to_the_first_shards(self):
+        assert split_budget(11, 3) == [4, 4, 3]
+        assert split_budget(3, 5) == [1, 1, 1, 0, 0]
+
+    def test_total_never_exceeds_budget(self):
+        for budget in range(0, 20):
+            for parts in range(1, 6):
+                assert sum(split_budget(budget, parts)) == budget
+
+    def test_degenerate_parts(self):
+        assert split_budget(7, 0) == []
+        assert split_budget(7, 1) == [7]
+
+
+class TestMergeReports:
+    def _shard(self, spent, missed, lb, exhausted=False):
+        return build_report(
+            "knn", [], budget=5, epsilon=0.0, spent=spent,
+            exhausted=exhausted, possible_missed=missed,
+            min_missed_lb=lb, target=3,
+        )
+
+    def test_mass_adds_and_bound_takes_global_min(self):
+        merged = merge_reports(
+            "knn",
+            [self._shard(3, 2, 0.7), self._shard(2, 5, 0.4, exhausted=True)],
+            [Neighbor(0.1, 0)],
+            budget=5,
+            epsilon=0.0,
+            target=3,
+        )
+        assert merged.spent == 5
+        assert merged.exhausted is True
+        assert merged.possible_missed == 7
+        assert merged.min_missed_lb == pytest.approx(0.4)
+        # The single merged result beats 0.4, so it is sound.
+        assert merged.sound == (True,)
+        assert merged.recall_lower_bound == pytest.approx(1 / 3)
+
+    def test_all_exact_shards_merge_exact(self):
+        exact = build_report(
+            "range", [1], budget=None, epsilon=0.0, spent=4,
+            exhausted=False, possible_missed=0, min_missed_lb=float("inf"),
+        )
+        merged = merge_reports(
+            "range", [exact, exact], [1, 2], budget=None, epsilon=0.0
+        )
+        assert merged.exact
+        assert merged.spent == 8
+        assert math.isinf(merged.min_missed_lb)
+        assert merged.recall_lower_bound == 1.0
+
+
+class TestMissingShardReport:
+    def test_dead_shard_is_all_missed_mass_at_zero(self):
+        stub = missing_shard_report("knn", 40)
+        assert stub.possible_missed == 40
+        assert stub.min_missed_lb == 0.0
+        assert stub.exhausted is True
+        assert stub.recall_lower_bound == 0.0
+
+    def test_empty_shard_is_harmless(self):
+        stub = missing_shard_report("range", 0)
+        assert stub.possible_missed == 0
+        assert math.isinf(stub.min_missed_lb)
+        assert stub.recall_lower_bound == 1.0
+
+
+class TestApproxDowngrade:
+    def test_defaults_are_unbounded_exact(self):
+        policy = ApproxDowngrade()
+        assert policy.budget is None and policy.epsilon == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ApproxDowngrade(budget=-1)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            ApproxDowngrade(epsilon=-0.5)

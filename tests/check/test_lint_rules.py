@@ -692,6 +692,83 @@ class TestRC009ForkUnsafeState:
         assert codes == []
 
 
+class TestRC013BudgetGateway:
+    def test_flags_raw_distance_in_budgeted_approx_function(self, tmp_path):
+        codes, findings = lint_snippet(
+            tmp_path,
+            """
+            def approx_scan(index, query, budget=None):
+                return index.metric.distance(query, query)
+            """,
+            relpath="approx/search.py",
+            select={"RC013"},
+        )
+        assert codes == ["RC013"]
+        assert "approx_scan" in findings[0].message
+        assert "budget" in findings[0].message
+
+    def test_flags_batch_distance_in_budgeted_kernel(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def frontier_wave(tree, query, *, budget, epsilon=0.0):
+                return anything.batch_distance(tree.points, query)
+            """,
+            relpath="indexes/kernels.py",
+            select={"RC013"},
+        )
+        assert codes == ["RC013"]
+
+    def test_gateway_calls_are_fine(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def approx_scan(index, obs, query, budget=None):
+                return index._batch_dist(obs, index.points, query)
+            """,
+            relpath="approx/search.py",
+            select={"RC013"},
+        )
+        assert codes == []
+
+    def test_budget_free_functions_are_out_of_scope(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def exact_scan(metric, xs, y):
+                return metric.batch_distance(xs, y)
+            """,
+            relpath="approx/search.py",
+            select={"RC013"},
+        )
+        assert codes == []
+
+    def test_modules_outside_scope_are_ignored(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def helper(metric, xs, y, budget=3):
+                return metric.batch_distance(xs, y)
+            """,
+            relpath="bench/recall.py",
+            select={"RC013"},
+        )
+        assert codes == []
+
+    def test_pragma_suppresses_with_reason(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            def approx_scan(oracle_metric, xs, y, budget=None):
+                # repro-check: ignore[RC013] this IS the oracle
+                return oracle_metric.batch_distance(xs, y)
+            """,
+            relpath="approx/search.py",
+            select={"RC013"},
+        )
+        assert codes == []
+
+
 class TestRepoIsClean:
     def test_package_has_no_findings(self):
         findings = run_lint([REPO_SRC], root=REPO_SRC.parent)

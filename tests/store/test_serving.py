@@ -100,9 +100,10 @@ class TestWorkerCache:
         paths = save_shard_stores(manager, tmp_path)
         query = data[3]
         for kind in ("range", "knn"):
-            value, stats = remote_store_search(
+            value, stats, report = remote_store_search(
                 str(paths[(0, 0)]), "l2", kind, query, 0.5, 5
             )
+            assert report is None  # exact tier: no approx certificate
             if kind == "range":
                 assert sorted(value) == sorted(
                     manager.shard_range_search(0, query, 0.5, replica=0)
