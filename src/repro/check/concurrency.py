@@ -1,4 +1,4 @@
-"""Concurrency correctness rules: the RC010-RC012 family.
+"""Concurrency correctness rules: the RC010-RC014 family.
 
 The serving stack (``repro.serve``) and the resilience layer
 (``repro.resilience``) are the only packages where many threads share
@@ -27,6 +27,13 @@ RC012  Blocking calls under a lock.  While a lock is held, calls that
        ``.batch_distance`` evaluations — serialize every sibling thread
        behind one sleeper.  Flagged directly and through resolvable
        call chains.
+RC014  Table-mutation discipline.  RC010 sees direct attribute stores;
+       this rule covers the container hole: subscript assignment or
+       deletion and in-place mutator calls (``.append``, ``.pop``,
+       ``.update``, ...) on any chain rooted at a guarded ``self.<attr>``
+       table (e.g. ``ShardManager``'s replica/id tables) must hold the
+       guarding lock, and in enforcing classes a locked container
+       mutation of an unannotated table is itself a finding.
 
 Both RC011 and RC012 share one :class:`LockModel`.  Call resolution is
 deliberately conservative: ``self.method()`` resolves within the class,
@@ -66,13 +73,13 @@ _LOCK_FACTORIES = ("Lock", "RLock")
 _AMBIGUOUS_METHODS = frozenset(
     {
         "acquire", "add", "append", "appendleft", "batch_distance",
-        "clear", "close", "copy", "count", "decode", "discard",
-        "distance", "encode", "extend", "flush", "format", "get",
-        "index", "insert", "items", "join", "keys", "knn_search", "map",
-        "pop", "popitem", "popleft", "put", "range_search", "read",
-        "release", "remove", "result", "reverse", "search", "send",
-        "setdefault", "sort", "split", "strip", "submit", "update",
-        "values", "wait", "write",
+        "clear", "close", "copy", "count", "decode", "delete",
+        "discard", "distance", "encode", "extend", "flush", "format",
+        "get", "index", "insert", "items", "join", "keys", "knn_search",
+        "map", "pop", "popitem", "popleft", "put", "range_search",
+        "read", "release", "remove", "result", "reverse", "search",
+        "send", "setdefault", "sort", "split", "strip", "submit",
+        "update", "values", "wait", "write",
     }
 )
 
@@ -371,6 +378,112 @@ class GuardedAttributeRule(Rule):
                     f"{name}() but carries no guarded-by annotation "
                     f"({model.name} is in enforcing mode)"
                 )
+
+
+# ----------------------------------------------------------------------
+# RC014: container mutations on guarded tables (per file)
+# ----------------------------------------------------------------------
+
+#: Method names that mutate a builtin container in place.
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "reverse",
+        "setdefault", "sort", "update",
+    }
+)
+
+
+def _table_root(node: ast.AST) -> Optional[str]:
+    """The ``self.<attr>`` a subscript/attribute chain is rooted at.
+
+    ``self._slots[r][s].dead`` resolves to ``_slots``; chains rooted at
+    a local name (``slot.ids``) resolve to ``None`` — those objects are
+    only reachable through a guarded table, so guarding the table
+    access is what RC010/RC014 can meaningfully check statically.
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr
+        node = node.value
+    return None
+
+
+class TableMutationRule(Rule):
+    """RC014: guarded tables must only be mutated under their lock."""
+
+    code = "RC014"
+    block_scoped = True
+    description = (
+        "container mutations of a lock-guarded table — subscript "
+        "assignment/deletion, or in-place mutator calls (.append, "
+        ".pop, .update, ...) on any chain rooted at a guarded-by "
+        "annotated 'self.<attr>' — must hold the guarding lock "
+        "(RC010 models direct attribute stores; this closes the "
+        "container-mutation hole, and in enforcing classes a locked "
+        "container mutation of an unannotated table is itself a "
+        "finding)"
+    )
+
+    #: Construction/destruction run single-threaded by contract.
+    _SKIP_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return _in_scope(file)
+
+    def check(self, file: SourceFile) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(class_model(file, node))
+
+    def _check_class(self, model: ClassModel) -> Iterator[tuple[ast.AST, str]]:
+        if not model.locks:
+            return
+        guard_of = {
+            attr: lock
+            for attr, (lock, _stmt) in model.declared.items()
+            if lock in model.locks
+        }
+        methods = sorted(model.methods.items(), key=lambda kv: kv[1].lineno)
+        for name, method in methods:
+            if name in self._SKIP_METHODS:
+                continue
+            for node, held in iter_with_held(model, method):
+                if isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    root = _table_root(node)
+                    action = (
+                        "item-assigned"
+                        if isinstance(node.ctx, ast.Store)
+                        else "item-deleted"
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CONTAINER_MUTATORS
+                ):
+                    root = _table_root(node.func.value)
+                    action = f"mutated via .{node.func.attr}()"
+                else:
+                    continue
+                if root is None or root in model.locks:
+                    continue
+                lock = guard_of.get(root)
+                if lock is not None:
+                    if lock not in held:
+                        yield node, (
+                            f"self.{root} {action} in {name}() without "
+                            f"holding {model.name}.{lock} (declared "
+                            f"guarded-by: {lock})"
+                        )
+                elif model.enforcing and held:
+                    yield node, (
+                        f"self.{root} {action} under {sorted(held)[0]} "
+                        f"in {name}() but carries no guarded-by "
+                        f"annotation ({model.name} is in enforcing mode)"
+                    )
 
 
 # ----------------------------------------------------------------------
@@ -742,4 +855,5 @@ CONCURRENCY_RULES: list[Rule] = [
     GuardedAttributeRule(),
     LockOrderCycleRule(),
     BlockingUnderLockRule(),
+    TableMutationRule(),
 ]

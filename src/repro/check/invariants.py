@@ -43,12 +43,16 @@ Invariants checked (paper sections 4.2/4.3 where applicable):
   dataset matches ``transform.transform`` and sampled transformed
   distances never exceed the true metric (section 3.1's contraction
   requirement, the exactness precondition of filter-and-refine).
-* ``shard-partition`` / ``shard-size`` / ``replica-coverage`` — a
-  serving :class:`~repro.serve.sharding.ShardManager`'s shards
-  partition the dataset exactly (disjoint, covering), each replica
-  indexes exactly its shard's assignment, and every populated shard
-  keeps at least one live replica (the precondition for exact
-  failover); replica inner structures are verified recursively.
+* ``shard-partition`` / ``shard-size`` / ``replica-coverage`` /
+  ``slot-consistency`` — a serving
+  :class:`~repro.serve.sharding.ShardManager`'s shards partition the
+  *live* id-set exactly (disjoint, covering ``next_id`` minus the
+  deleted set, routing table agreeing), each built replica indexes
+  exactly its base assignment, every populated shard keeps at least
+  one available slot (the precondition for exact failover), and every
+  slot's servable set — base minus tombstones, unioned with the
+  memtable entries the base does not serve — equals the shard's live
+  ids; replica inner structures are verified recursively.
 
 An oversized leaf is exempt from ``leaf-capacity`` when its points are
 a zero-diameter group (all at distance 0 from a representative — by
@@ -1105,32 +1109,44 @@ def verify_linear(index: LinearScan) -> list[Violation]:
 def verify_shard_manager(manager) -> list[Violation]:
     """A :class:`~repro.serve.sharding.ShardManager` deployment.
 
-    * ``shard-partition`` — the shard id lists partition the dataset
-      exactly: disjoint (no id twice) and covering (every id once).
-      This is what makes merged answers equal a single index's: a
-      duplicated id could be reported twice, a missing id never.
+    * ``shard-partition`` — the per-shard id lists partition the *live*
+      id-set exactly: disjoint (no gid twice), and their union equals
+      every gid ever assigned (``next_id``) minus every gid deleted
+      (``removed_ids``).  This is what makes merged answers equal a
+      single index's over the current live set: a duplicated gid could
+      be reported twice, a missing gid never, a resurrected one wrongly.
+      The gid→shard routing table must agree with the lists.
     * ``replica-coverage`` — the replica table has exactly
       ``replication_factor`` rows and every *populated* shard keeps at
-      least one live replica; with zero live replicas exact failover is
+      least one available slot (a live base index, or a base-less slot
+      served entirely from the shard memtable, the state a fresh split
+      starts in); with zero available slots exact failover is
       impossible and the deployment can only answer degraded.  A lost
-      replica alongside a live sibling is legal (that is the state
-      ``recover()`` repairs), so it is not flagged.
-    * ``shard-size`` — every built replica indexes exactly its assigned
-      ids; empty assignments must carry no index at all.
+      replica alongside an available sibling is legal (that is the
+      state ``recover()`` repairs), so it is not flagged.
+    * ``slot-consistency`` — the per-slot serving invariant behind
+      memtable-union search: what a slot actually serves — its base
+      ids minus its tombstones, unioned with the memtable entries its
+      base does not actively serve — must equal the shard's live
+      id-set, for every slot that still has its base (or never had
+      one).
+    * ``shard-size`` — a built replica indexes exactly its recorded
+      base ids; a slot with no base ids must carry no index at all.
 
-    Each live replica's inner structure is then verified recursively
+    Each built replica's inner structure is then verified recursively
     with its own class verifier (depth 1 — shards never nest), its
     violations prefixed with the shard/replica location.
     """
     out: list[Violation] = []
-    n = len(manager._objects)
+    shard_ids = manager.shard_ids
+    expected = set(range(manager.next_id())) - set(manager.removed_ids())
     seen: dict[int, int] = {}
-    for ids in manager.shard_ids:
+    for ids in shard_ids:
         for idx in ids:
             seen[idx] = seen.get(idx, 0) + 1
     duplicated = sorted(idx for idx, times in seen.items() if times > 1)
-    missing = sorted(set(range(n)) - set(seen))
-    alien = sorted(idx for idx in seen if idx < 0 or idx >= n)
+    missing = sorted(expected - set(seen))
+    alien = sorted(set(seen) - expected)
     if duplicated:
         out.append(
             Violation(
@@ -1144,7 +1160,7 @@ def verify_shard_manager(manager) -> list[Violation]:
             Violation(
                 "shard-partition",
                 "shards",
-                f"ids assigned to no shard: {missing[:10]}",
+                f"live ids assigned to no shard: {missing[:10]}",
             )
         )
     if alien:
@@ -1152,7 +1168,23 @@ def verify_shard_manager(manager) -> list[Violation]:
             Violation(
                 "shard-partition",
                 "shards",
-                f"ids outside the dataset range: {alien[:10]}",
+                f"ids outside the live set (deleted or never assigned): "
+                f"{alien[:10]}",
+            )
+        )
+    misrouted = sorted(
+        gid
+        for shard, ids in enumerate(shard_ids)
+        for gid in ids
+        if manager._shard_of.get(gid) != shard
+    )
+    if misrouted:
+        out.append(
+            Violation(
+                "shard-partition",
+                "shards",
+                f"routing table disagrees with shard lists for: "
+                f"{misrouted[:10]}",
             )
         )
     factor = getattr(manager, "replication_factor", 1)
@@ -1166,47 +1198,75 @@ def verify_shard_manager(manager) -> list[Violation]:
                 f"replication_factor is {factor}",
             )
         )
-    for shard, ids in enumerate(manager.shard_ids):
-        live = [r for r in range(len(rows)) if rows[r][shard] is not None]
-        if ids and not live:
+    for shard, ids in enumerate(shard_ids):
+        live_set = set(ids)
+        available = [
+            r for r in range(len(rows)) if manager.slot_available(shard, r)
+        ]
+        if ids and not available:
             out.append(
                 Violation(
                     "replica-coverage",
                     f"shard[{shard}]",
-                    f"{len(ids)} ids assigned but no live replica "
+                    f"{len(ids)} live ids assigned but no available slot "
                     f"(replication_factor={factor}) — exact failover "
                     "impossible",
                 )
             )
+        mem = manager.memtable(shard)
         for r in range(len(rows)):
             index = rows[r][shard]
+            base_ids, dead = manager.slot_state(shard, r)
             location = (
                 f"shard[{shard}]/replica[{r}]"
                 if len(rows) > 1
                 else f"shard[{shard}]"
             )
+            if index is None and base_ids:
+                # A lost replica: its base is gone but its bookkeeping
+                # remains for recover() — nothing servable to check
+                # (the all-lost case is caught above).
+                continue
+            if index is not None and not base_ids:
+                out.append(
+                    Violation(
+                        "shard-size",
+                        location,
+                        "index built over an empty base assignment",
+                    )
+                )
+                continue
+            base_set = set(base_ids)
+            # Tombstone-serving bases keep deleted points physically
+            # present; DynamicMVPTree removes them in place.
+            expected_len = len(base_ids)
+            if isinstance(index, DynamicMVPTree):
+                expected_len -= len(dead & base_set)
+            if index is not None and len(index) != expected_len:
+                out.append(
+                    Violation(
+                        "shard-size",
+                        location,
+                        f"index holds {len(index)} objects, base "
+                        f"assignment expects {expected_len}",
+                    )
+                )
+                continue
+            served = (base_set - dead) | {
+                gid for gid in mem if gid not in base_set or gid in dead
+            }
+            if served != live_set:
+                extra = sorted(served - live_set)
+                lost = sorted(live_set - served)
+                out.append(
+                    Violation(
+                        "slot-consistency",
+                        location,
+                        f"slot serves the wrong id-set (phantom: "
+                        f"{extra[:5]}, unreachable: {lost[:5]})",
+                    )
+                )
             if index is None:
-                # Empty assignment, or a lost replica (legal while a
-                # sibling is live — caught above otherwise).
-                continue
-            if not ids:
-                out.append(
-                    Violation(
-                        "shard-size",
-                        location,
-                        "index built over an empty assignment",
-                    )
-                )
-                continue
-            if len(index) != len(ids):
-                out.append(
-                    Violation(
-                        "shard-size",
-                        location,
-                        f"index holds {len(index)} objects, assignment has "
-                        f"{len(ids)}",
-                    )
-                )
                 continue
             for violation in verify_structure(index):
                 out.append(

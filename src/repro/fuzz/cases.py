@@ -146,6 +146,13 @@ class ConcreteCase:
     #: last ``store_delta`` points become an appended delta tail.
     store_backed: bool = False
     store_delta: int = 0
+    #: Sharded cases only: a live-mutation script applied to the built
+    #: ShardManager before any query runs.  Each op is ``["insert",
+    #: row]`` or ``["delete", draw]``; delete draws are resolved
+    #: against the live id-set at execution time (``draw %
+    #: len(live)`` into the sorted gids), so scripts survive dataset
+    #: shrinking.  The oracle then runs over the post-script live set.
+    mutations: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -340,7 +347,7 @@ def _index_config(
 
 
 #: Families with a store writer: eligible for ``store_backed`` cases.
-STORE_FAMILIES = ("linear", "vpt", "mvpt", "gmvpt", "laesa")
+STORE_FAMILIES = ("linear", "vpt", "mvpt", "gmvpt", "laesa", "gnat")
 
 
 def _maybe_approx(
@@ -520,6 +527,17 @@ def _concretize(spec: CaseSpec) -> ConcreteCase:
         if n > 1 and rng.random() < 0.5:
             store_delta = int(rng.integers(1, max(2, n // 4)))
 
+    mutations: list = []
+    if index == "sharded" and rng.random() < 0.25:
+        # A quarter of sharded cases churn the deployment before any
+        # query: the engine and sequential surfaces must then match
+        # the membership oracle over the post-script live set.
+        for _ in range(int(rng.integers(2, 9))):
+            if rng.random() < 0.6:
+                mutations.append(["insert", rng.random(dim).tolist()])
+            else:
+                mutations.append(["delete", int(rng.integers(0, 1 << 30))])
+
     return ConcreteCase(
         name=f"seed{spec.seed}-case{spec.case_index:04d}",
         object_kind=object_kind,
@@ -534,6 +552,7 @@ def _concretize(spec: CaseSpec) -> ConcreteCase:
         deleted=deleted,
         store_backed=store_backed,
         store_delta=store_delta,
+        mutations=mutations,
     )
 
 

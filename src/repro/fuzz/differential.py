@@ -720,6 +720,27 @@ def _check_engine_approx(
     return out
 
 
+def _apply_mutations(case: ConcreteCase, manager, objects):
+    """Run the case's mutation script; returns (live gids, live rows).
+
+    Delete draws resolve against the sorted live gids at each step
+    (never below 2 live points), exactly mirroring how the script was
+    meant at generation time regardless of dataset shrinking.
+    """
+    live = dict(enumerate(np.asarray(objects, dtype=float).tolist()))
+    for op, arg in case.mutations:
+        if op == "insert":
+            gid = manager.insert(np.asarray(arg, dtype=float))
+            live[gid] = list(arg)
+        elif len(live) > 2:
+            gids = sorted(live)
+            gid = gids[int(arg) % len(gids)]
+            manager.delete(gid)
+            del live[gid]
+    gids = sorted(live)
+    return gids, np.asarray([live[g] for g in gids], dtype=float)
+
+
 def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
     """Engine batch + sequential manager answers for a sharded case."""
     out: list[Discrepancy] = []
@@ -732,6 +753,9 @@ def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
     manager = build_case_index(
         case, objects, cache if cache is not None else counting
     )
+    live_gids: Optional[list[int]] = None
+    if case.mutations:
+        live_gids, live_rows = _apply_mutations(case, manager, objects)
     counting.reset()
 
     engine_queries = []
@@ -838,16 +862,34 @@ def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
             )
             out.extend(stats_invariants(case.name, result.stats, qi))
             continue
-        distances = oracle_distances(objects, oracle_metric, q_obj)
-        if query.kind == "range":
-            want = oracle_range(distances, query.radius, deleted)
-            diff = compare_range(result.ids, want)
-            check = "range-differential"
+        if live_gids is not None:
+            distances = oracle_distances(live_rows, oracle_metric, q_obj)
+            if query.kind == "range":
+                want = [
+                    live_gids[i]
+                    for i in oracle_range(distances, query.radius, set())
+                ]
+                diff = compare_range(result.ids, want)
+                check = "range-differential"
+            else:
+                k_eff = min(query.k, len(live_gids))
+                want_knn = [
+                    Neighbor(nb.distance, int(live_gids[nb.id]))
+                    for nb in oracle_knn(distances, k_eff, set())
+                ]
+                diff = compare_knn(result.neighbors, want_knn)
+                check = "knn-differential"
         else:
-            k_eff = min(query.k, len(objects))
-            want_knn = oracle_knn(distances, k_eff, deleted)
-            diff = compare_knn(result.neighbors, want_knn)
-            check = "knn-differential"
+            distances = oracle_distances(objects, oracle_metric, q_obj)
+            if query.kind == "range":
+                want = oracle_range(distances, query.radius, deleted)
+                diff = compare_range(result.ids, want)
+                check = "range-differential"
+            else:
+                k_eff = min(query.k, len(objects))
+                want_knn = oracle_knn(distances, k_eff, deleted)
+                diff = compare_knn(result.neighbors, want_knn)
+                check = "knn-differential"
         if diff:
             out.append(
                 Discrepancy(
@@ -855,6 +897,41 @@ def _check_sharded(case: ConcreteCase, objects) -> list[Discrepancy]:
                 )
             )
         out.extend(stats_invariants(case.name, result.stats, qi))
+
+    if live_gids is not None:
+        # Post-mutation cases: the sequential surface is held to the
+        # same membership oracle (the unmutated cost-accounting
+        # identities of _check_one_query assume a static dataset).
+        for qi, query in enumerate(case.queries):
+            q_obj = query_object(case, query)
+            distances = oracle_distances(live_rows, oracle_metric, q_obj)
+            if query.kind == "range":
+                got_ids = manager.range_search(q_obj, query.radius)
+                want = [
+                    live_gids[i]
+                    for i in oracle_range(distances, query.radius, set())
+                ]
+                diff = compare_range(got_ids, want)
+                check = "range-differential"
+            else:
+                k_eff = min(query.k, len(live_gids))
+                got_knn = manager.knn_search(q_obj, k_eff)
+                want_knn = [
+                    Neighbor(nb.distance, int(live_gids[nb.id]))
+                    for nb in oracle_knn(distances, k_eff, set())
+                ]
+                diff = compare_knn(got_knn, want_knn)
+                check = "knn-differential"
+            if diff:
+                out.append(
+                    Discrepancy(
+                        case.name,
+                        check,
+                        qi,
+                        f"sequential post-mutation {query.kind}: {diff}",
+                    )
+                )
+        return out
 
     # The sequential ShardManager surface must agree with the oracle too
     # (and with its own cost accounting, distance cache included).

@@ -33,7 +33,7 @@ from repro.indexes.linear import LinearScan
 from repro.indexes.selection import get_selector
 from repro.indexes.vptree import VPInternalNode, VPLeafNode, VPTree
 from repro.metric.base import Metric
-from repro.serve.sharding import SHARD_BACKENDS, ShardManager
+from repro.serve.sharding import SHARD_BACKENDS, ShardManager, _SlotState
 from repro.transforms.filter import TransformIndex
 from repro.transforms.fourier import DFTTransform
 from repro.transforms.subsequence import SubsequenceIndex
@@ -317,7 +317,11 @@ def index_to_dict(index: MetricIndex) -> dict:
         # replica's own serialised structure (recursion depth 1 —
         # shards are plain indexes, never nested managers).  Lost
         # replicas serialise as None and stay lost on load; recover()
-        # rebuilds them from the dataset.
+        # rebuilds them from the dataset.  The mutable state (inserted
+        # tail rows, removed ids, memtables, epochs, per-slot id and
+        # tombstone tables) rides along so a churned manager
+        # round-trips; serialise a quiescent manager — a concurrent
+        # mutation mid-encode is not supported.
         return {
             "format": _FORMAT_VERSION,
             "type": "ShardManager",
@@ -330,6 +334,7 @@ def index_to_dict(index: MetricIndex) -> dict:
             },
             "stats": {},
             "shard_ids": [list(ids) for ids in index.shard_ids],
+            **index.mutation_state(),
             "replicas": [
                 [
                     index_to_dict(shard) if shard is not None else None
@@ -536,7 +541,6 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
     if kind == "ShardManager":
         manager = ShardManager.__new__(ShardManager)
         MetricIndex.__init__(manager, objects, metric)
-        manager.n_shards = params["n_shards"]
         manager.assignment = params["assignment"]
         manager.backend_name = params["backend"]
         manager.replication_factor = params.get("replication_factor", 1)
@@ -548,22 +552,66 @@ def index_from_dict(data: dict, objects: Sequence, metric: Metric) -> MetricInde
             if manager.backend_name is not None
             else None
         )
-        manager._shard_ids = [list(ids) for ids in data["shard_ids"]]
         # __new__ bypassed __init__: the replica-table lock must be
         # recreated here or restored managers crash on first search.
         manager._replicas_lock = threading.Lock()
+        manager._shard_ids = [
+            [int(gid) for gid in ids] for ids in data["shard_ids"]
+        ]
+        n_shards = len(manager._shard_ids)
+        # Mutable state (absent in pre-mutability files: no tail, no
+        # removals, empty memtables, epoch 0 everywhere).
+        tail = data.get("tail", [])
+        if isinstance(objects, np.ndarray):
+            manager._tail = [np.asarray(row) for row in tail]
+            objects_full = (
+                np.concatenate([objects, np.asarray(tail)]) if tail else objects
+            )
+        else:
+            manager._tail = list(tail)
+            objects_full = list(objects) + list(tail) if tail else objects
+        manager._shard_of = {
+            gid: shard
+            for shard, ids in enumerate(manager._shard_ids)
+            for gid in ids
+        }
+        manager._removed = {int(gid) for gid in data.get("removed", [])}
+        manager._memtables = [
+            [int(gid) for gid in mem]
+            for mem in data.get("memtables", [[] for _ in range(n_shards)])
+        ]
+        manager._epochs = [
+            int(e) for e in data.get("epochs", [0] * n_shards)
+        ]
         # Pre-replication files carry a flat "shards" list — load it as
         # the sole replica row.
         rows = data["replicas"] if "replicas" in data else [data["shards"]]
-        manager._replicas = [
-            [
-                index_from_dict(shard, gather(objects, ids), metric)
-                if shard is not None
-                else None
-                for shard, ids in zip(row, manager._shard_ids)
+        slot_rows = data.get("slots")
+        if slot_rows is None:
+            # Legacy file: every slot's base covered exactly the
+            # shard's (then-immutable) id list.
+            slot_rows = [
+                [{"ids": ids, "dead": []} for ids in manager._shard_ids]
+                for _ in rows
             ]
-            for row in rows
-        ]
+        manager._replicas = []
+        manager._slots = []
+        for row, slot_row in zip(rows, slot_rows):
+            replica_row = []
+            slot_list = []
+            for shard, slot_data in zip(row, slot_row):
+                slot = _SlotState(slot_data["ids"])
+                slot.dead = {int(gid) for gid in slot_data["dead"]}
+                slot_list.append(slot)
+                replica_row.append(
+                    index_from_dict(
+                        shard, gather(objects_full, slot.ids), metric
+                    )
+                    if shard is not None
+                    else None
+                )
+            manager._replicas.append(replica_row)
+            manager._slots.append(slot_list)
         return manager
 
     if kind == "SubsequenceIndex":

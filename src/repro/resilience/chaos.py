@@ -15,6 +15,18 @@ scan.  The contract under fault is two-sided:
   **sound** — a subset of the true answer with true distances, never a
   wrong id or a wrong distance.
 
+A second campaign family, ``churn``, targets live mutability instead
+of fault injection: each case scripts phases of interleaved ingest and
+deletes against a replicated deployment, with rolling rebuilds
+(:class:`~repro.serve.lifecycle.RebuildCoordinator`), replica kills
+(never a shard's last available slot), and ``recover()`` mixed in.
+After every phase the case's queries run on a fresh engine and are
+held to the *membership oracle* — the exact answer by direct scan over
+the current live id-set — plus the structural invariants of
+:func:`repro.check.invariants.verify_shard_manager`.  Because at least
+one slot per shard always survives, every churn answer must be exact
+and ``degraded=False``.
+
 Everything is derived from ``default_rng([seed, case_index])`` plus a
 deterministic (kind, backend) rotation, so ``repro-chaos run --seed 0``
 reproduces the same campaign forever.  Injected backoff sleeps go
@@ -41,12 +53,14 @@ from repro.fuzz.differential import (
     oracle_knn,
     oracle_range,
 )
+from repro.indexes.base import Neighbor
 from repro.resilience.snapshot import (
     SnapshotCorrupt,
     load_snapshot,
     save_snapshot,
 )
 from repro.serve.engine import Query, QueryEngine, ShardFailure
+from repro.serve.lifecycle import RebuildCoordinator
 from repro.serve.sharding import SHARD_BACKENDS, ShardManager
 
 #: Fault kinds, in rotation order.  The first group must stay exact
@@ -59,6 +73,12 @@ CHAOS_KINDS = EXACT_KINDS + DEGRADED_KINDS + ("corrupt-snapshot",)
 
 #: Backends rotate in registry order (dicts preserve insertion order).
 CHAOS_BACKENDS = tuple(SHARD_BACKENDS)
+
+#: Campaign families: scripted fault injection against a static
+#: deployment (``faults``) vs live-mutability churn — interleaved
+#: ingest, deletes, rolling rebuilds, and replica kills under a
+#: membership oracle (``churn``).
+CAMPAIGN_FAMILIES = ("faults", "churn")
 
 #: Deadline-storm timing: the injected latency must dwarf the deadline
 #: so the faulted shard reliably misses it on any machine.
@@ -218,6 +238,256 @@ def generate_chaos_case(seed: int, case_index: int) -> ChaosCase:
         queries=queries,
         plan=plan,
     )
+
+
+# ----------------------------------------------------------------------
+# The churn family: live mutability under a membership oracle
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnPhase:
+    """One step of a churn script.
+
+    ``deletes`` hold raw integer draws resolved against the live
+    id-set at execution time (``draw % len(live)`` into the sorted
+    gids), so a phase stays meaningful whatever earlier phases did.
+    ``kills`` are (shard draw, replica draw) pairs, clamped at
+    execution so every shard always keeps at least one available slot.
+    """
+
+    inserts: list
+    deletes: list
+    kills: list
+    rebuild: bool
+    recover: bool
+
+
+@dataclass
+class ChurnCase:
+    """A scripted churn workload: phases of mutation, then queries.
+
+    After every phase the full query list runs on a fresh engine and
+    each answer is held to the membership oracle — the exact answer by
+    direct scan over the *current* live id-set.
+    """
+
+    name: str
+    object_kind: str               # "vectors" | "strings"
+    objects: list
+    metric: str                    # "l1" | "l2" | "linf" | "edit"
+    backend: str                   # SHARD_BACKENDS key
+    n_shards: int
+    replication_factor: int
+    workers: int
+    index_seed: int
+    queries: list
+    phases: list
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def generate_churn_case(seed: int, case_index: int) -> ChurnCase:
+    """Case ``case_index`` of the ``seed`` churn campaign.
+
+    Backends rotate one per case, so any campaign of
+    ``len(CHAOS_BACKENDS)`` cases covers every backend; replication is
+    always at least 2 so replica kills never cost exactness.  Phase 0
+    always ingests and deletes at least once — every case genuinely
+    churns.
+    """
+    rng = np.random.default_rng([seed, case_index, 7])
+    backend = CHAOS_BACKENDS[case_index % len(CHAOS_BACKENDS)]
+
+    n = int(rng.integers(16, 40))
+    n_shards = int(rng.integers(2, 5))
+    replication = int(rng.integers(2, 4))
+
+    if backend == "bkt":
+        object_kind, metric_name = "strings", "edit"
+        objects: list = _chaos_strings(rng, n)
+        dim = 0
+    else:
+        object_kind, metric_name = "vectors", str(
+            rng.choice(("l1", "l2", "linf"))
+        )
+        dim = int(rng.integers(2, 10))
+        objects = rng.random((n, dim)).tolist()
+
+    queries = _chaos_queries(rng, object_kind, objects, metric_name)
+
+    phases: list[ChurnPhase] = []
+    for phase_index in range(int(rng.integers(2, 5))):
+        floor = 1 if phase_index == 0 else 0
+        n_ins = int(rng.integers(floor, 7))
+        if object_kind == "vectors":
+            inserts = rng.random((n_ins, dim)).tolist() if n_ins else []
+        else:
+            inserts = _chaos_strings(rng, n_ins)
+        deletes = [
+            int(d)
+            for d in rng.integers(
+                0, 1 << 30, size=int(rng.integers(floor, 6))
+            )
+        ]
+        kills = (
+            [(int(rng.integers(0, 64)), int(rng.integers(0, 64)))]
+            if rng.random() < 0.5
+            else []
+        )
+        phases.append(
+            ChurnPhase(
+                inserts=inserts,
+                deletes=deletes,
+                kills=kills,
+                rebuild=bool(rng.random() < 0.6),
+                recover=bool(rng.random() < 0.4),
+            )
+        )
+
+    return ChurnCase(
+        name=f"churn-seed{seed}-case{case_index:04d}-{backend}",
+        object_kind=object_kind,
+        objects=objects,
+        metric=metric_name,
+        backend=backend,
+        n_shards=n_shards,
+        replication_factor=replication,
+        workers=int(rng.integers(2, 5)),
+        index_seed=int(rng.integers(0, 2**31 - 1)),
+        queries=queries,
+        phases=phases,
+    )
+
+
+def _run_churn_body(case: ChurnCase) -> list[Discrepancy]:
+    """Execute one churn script against the membership oracle.
+
+    Replica kills are clamped so at least one slot per shard stays
+    available — under that precondition every answer must be exact
+    and ``degraded=False``; any degradation is a finding.  The
+    structural invariants (:func:`repro.check.invariants
+    .verify_shard_manager`) are re-verified after every phase.
+    """
+    from repro.check.invariants import verify_shard_manager
+
+    out: list[Discrepancy] = []
+    metric = make_metric(case.metric)
+    manager = ShardManager(
+        _materialize(case),
+        metric,
+        n_shards=case.n_shards,
+        backend=case.backend,
+        replication_factor=case.replication_factor,
+        rng=case.index_seed,
+    )
+    coordinator = RebuildCoordinator(
+        manager, churn_threshold=0.2, min_churn=2, rng=case.index_seed + 1
+    )
+    live: dict[int, object] = dict(enumerate(case.objects))
+
+    engine_queries = []
+    for query in case.queries:
+        q_obj = _query_object(case, query)
+        if query.kind == "range":
+            engine_queries.append(Query.range(q_obj, query.radius))
+        else:
+            engine_queries.append(Query.knn(q_obj, query.k))
+
+    for pi, phase in enumerate(case.phases):
+        for obj in phase.inserts:
+            payload = (
+                np.asarray(obj, dtype=float)
+                if case.object_kind == "vectors"
+                else obj
+            )
+            gid = manager.insert(payload)
+            live[gid] = obj
+        for draw in phase.deletes:
+            if len(live) <= 2:
+                break
+            gids = sorted(live)
+            gid = gids[draw % len(gids)]
+            manager.delete(gid)
+            del live[gid]
+        for shard_draw, replica_draw in phase.kills:
+            n_shards = manager.n_shards
+            shard = shard_draw % n_shards
+            available = [
+                r
+                for r in range(case.replication_factor)
+                if manager.slot_available(shard, r)
+            ]
+            if len(available) < 2:
+                continue  # never take a shard's last available slot
+            manager.drop_replica(
+                shard, available[replica_draw % len(available)]
+            )
+        if phase.rebuild:
+            coordinator.run_once()
+        if phase.recover:
+            manager.recover(rng=case.index_seed + 2 + pi)
+
+        for violation in verify_shard_manager(manager):
+            out.append(
+                Discrepancy(
+                    case.name,
+                    "invariant-violation",
+                    None,
+                    f"phase {pi}: {violation.invariant} at "
+                    f"{violation.location}: {violation.message}",
+                )
+            )
+
+        live_gids = sorted(live)
+        live_objs = (
+            np.asarray([live[g] for g in live_gids], dtype=float)
+            if case.object_kind == "vectors"
+            else [live[g] for g in live_gids]
+        )
+        with QueryEngine(
+            manager,
+            workers=case.workers,
+            sleep=lambda _s: None,
+        ) as engine:
+            batch = engine.run_batch(engine_queries)
+        for qi, (query, result) in enumerate(zip(case.queries, batch.results)):
+            q_obj = _query_object(case, query)
+            distances = oracle_distances(live_objs, metric, q_obj)
+            if result.degraded:
+                out.append(
+                    Discrepancy(
+                        case.name,
+                        "unexpected-degradation",
+                        qi,
+                        f"phase {pi}: degraded with every shard keeping an "
+                        f"available slot: failed={result.shards_failed} "
+                        f"timed_out={result.shards_timed_out}",
+                    )
+                )
+                continue
+            if query.kind == "range":
+                want = [
+                    live_gids[i]
+                    for i in oracle_range(distances, query.radius, set())
+                ]
+                diff = compare_range(result.ids, want)
+                check = "churn-range-differential"
+            else:
+                want_knn = [
+                    Neighbor(nb.distance, int(live_gids[nb.id]))
+                    for nb in oracle_knn(
+                        distances, min(query.k, len(live_gids)), set()
+                    )
+                ]
+                diff = compare_knn(result.neighbors, want_knn)
+                check = "churn-knn-differential"
+            if diff:
+                out.append(
+                    Discrepancy(case.name, check, qi, f"phase {pi}: {diff}")
+                )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -448,7 +718,9 @@ def _check_batch(
     return out
 
 
-def _run_case_body(case: ChaosCase) -> list[Discrepancy]:
+def _run_case_body(case) -> list[Discrepancy]:
+    if isinstance(case, ChurnCase):
+        return _run_churn_body(case)
     if case.plan.kind == "corrupt-snapshot":
         return _check_snapshot_fault(case)
     objects = _materialize(case)
@@ -488,12 +760,13 @@ def _watch_findings(case: ChaosCase, watcher) -> list[Discrepancy]:
     return out
 
 
-def run_case(case: ChaosCase, *, lockwatch: bool = False) -> list[Discrepancy]:
-    """Execute one chaos case; returns the (hopefully empty) findings.
+def run_case(case, *, lockwatch: bool = False) -> list[Discrepancy]:
+    """Execute one chaos or churn case; returns the findings.
 
     With ``lockwatch=True`` the whole case — deployment build, faulted
-    batch, recovery — runs under instrumented locks, and any observed
-    lock-order inversion or long hold is reported as a finding too.
+    batch, mutation script, recovery — runs under instrumented locks,
+    and any observed lock-order inversion or long hold is reported as
+    a finding too.
     """
     if not lockwatch:
         return _run_case_body(case)
@@ -511,6 +784,7 @@ class CampaignResult:
 
     seed: int
     n_cases: int
+    family: str = "faults"
     findings: list = field(default_factory=list)
     kinds_run: dict = field(default_factory=dict)
 
@@ -522,27 +796,45 @@ class CampaignResult:
         return {
             "seed": self.seed,
             "n_cases": self.n_cases,
+            "family": self.family,
             "ok": self.ok,
             "kinds_run": dict(self.kinds_run),
             "findings": [f.__dict__ for f in self.findings],
         }
 
 
+def generate_case(seed: int, case_index: int, family: str = "faults"):
+    """Dispatch case generation by campaign family."""
+    if family not in CAMPAIGN_FAMILIES:
+        raise ValueError(
+            f"unknown campaign family {family!r} "
+            f"(choose from {CAMPAIGN_FAMILIES})"
+        )
+    if family == "churn":
+        return generate_churn_case(seed, case_index)
+    return generate_chaos_case(seed, case_index)
+
+
 def run_campaign(
     seed: int,
     n_cases: int,
     *,
+    family: str = "faults",
     progress: Optional[Callable[[ChaosCase, list], None]] = None,
     lockwatch: bool = False,
 ) -> CampaignResult:
-    """Run ``n_cases`` chaos cases for ``seed``; collect all findings."""
-    result = CampaignResult(seed=seed, n_cases=n_cases)
+    """Run ``n_cases`` cases of one family; collect all findings.
+
+    ``kinds_run`` counts fault kinds for the ``faults`` family and
+    shard backends for ``churn`` (where the backend is the rotating
+    coverage axis).
+    """
+    result = CampaignResult(seed=seed, n_cases=n_cases, family=family)
     for case_index in range(n_cases):
-        case = generate_chaos_case(seed, case_index)
+        case = generate_case(seed, case_index, family)
         findings = run_case(case, lockwatch=lockwatch)
-        result.kinds_run[case.plan.kind] = (
-            result.kinds_run.get(case.plan.kind, 0) + 1
-        )
+        kind = case.backend if family == "churn" else case.plan.kind
+        result.kinds_run[kind] = result.kinds_run.get(kind, 0) + 1
         result.findings.extend(findings)
         if progress is not None:
             progress(case, findings)

@@ -12,8 +12,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.resilience.chaos import (
-    CHAOS_KINDS,
-    generate_chaos_case,
+    CAMPAIGN_FAMILIES,
+    generate_case,
     run_campaign,
 )
 
@@ -24,7 +24,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Deterministic chaos campaigns against the replicated "
             "serving stack (failover exactness, degradation soundness, "
-            "snapshot corruption refusal)."
+            "snapshot corruption refusal, and live-mutability churn)."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -33,6 +33,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="campaign seed")
     run.add_argument(
         "--cases", type=int, default=60, help="number of cases to run"
+    )
+    run.add_argument(
+        "--family",
+        choices=CAMPAIGN_FAMILIES,
+        default="faults",
+        help="campaign family: scripted fault injection (faults) or "
+        "live-mutability churn under a membership oracle (churn)",
     )
     run.add_argument("--json", action="store_true", dest="as_json")
     run.add_argument(
@@ -50,12 +57,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     show.add_argument("--seed", type=int, default=0)
     show.add_argument("--case", type=int, default=0, help="case index")
+    show.add_argument(
+        "--family", choices=CAMPAIGN_FAMILIES, default="faults"
+    )
     return parser
 
 
 def run_command(
     seed: int,
     cases: int,
+    family: str = "faults",
     as_json: bool = False,
     quiet: bool = False,
     lockwatch: bool = False,
@@ -66,7 +77,9 @@ def run_command(
         status = "ok" if not findings else f"{len(findings)} finding(s)"
         print(f"{case.name}: {status}")
 
-    result = run_campaign(seed, cases, progress=progress, lockwatch=lockwatch)
+    result = run_campaign(
+        seed, cases, family=family, progress=progress, lockwatch=lockwatch
+    )
     if as_json:
         json.dump(result.to_dict(), sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -74,17 +87,17 @@ def run_command(
         for finding in result.findings:
             print(finding.format())
         kinds = ", ".join(
-            f"{kind}={result.kinds_run.get(kind, 0)}" for kind in CHAOS_KINDS
+            f"{kind}={count}" for kind, count in sorted(result.kinds_run.items())
         )
         print(
-            f"chaos: {len(result.findings)} finding(s) across "
+            f"chaos[{family}]: {len(result.findings)} finding(s) across "
             f"{result.n_cases} case(s) [{kinds}]"
         )
     return 0 if result.ok else 1
 
 
-def show_command(seed: int, case_index: int) -> int:
-    case = generate_chaos_case(seed, case_index)
+def show_command(seed: int, case_index: int, family: str = "faults") -> int:
+    case = generate_case(seed, case_index, family)
     payload = case.to_dict()
     payload["objects"] = f"<{len(case.objects)} {case.object_kind}>"
     json.dump(payload, sys.stdout, indent=2)
@@ -98,11 +111,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_command(
             args.seed,
             args.cases,
+            family=args.family,
             as_json=args.as_json,
             quiet=args.quiet,
             lockwatch=args.lockwatch,
         )
-    return show_command(args.seed, args.case)
+    return show_command(args.seed, args.case, family=args.family)
 
 
 if __name__ == "__main__":

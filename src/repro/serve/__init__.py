@@ -12,7 +12,10 @@ The serving layer above the whole index family (see ``docs/serving.md``):
   ``executor="process"`` (forked workers sharing the index
   copy-on-write — the GIL escape hatch for python-heavy metrics);
 * :class:`LRUCache` / :class:`DistanceCacheMetric` — whole-answer and
-  (query, point) distance memoization with per-query hit accounting.
+  (query, point) distance memoization with per-query hit accounting;
+* :class:`RebuildCoordinator` — background rolling rebuilds of churned
+  shards with atomic epoch-guarded swaps, plus split/merge rebalancing
+  (live mutability rides on ``ShardManager.insert`` / ``delete``).
 
 Quick start::
 
@@ -41,6 +44,7 @@ from repro.serve.engine import (
     ShardFailure,
     ThreadedExecutor,
 )
+from repro.serve.lifecycle import RebuildCoordinator
 from repro.serve.procpool import ProcessExecutor, fork_available
 from repro.serve.sharding import (
     SHARD_BACKENDS,
@@ -68,6 +72,7 @@ __all__ = [
     "fork_available",
     "ShardFailure",
     "ReplicaUnavailable",
+    "RebuildCoordinator",
     "FaultHook",
     "LRUCache",
     "DistanceCacheMetric",

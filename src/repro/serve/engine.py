@@ -715,8 +715,8 @@ class QueryEngine:
                 failed_this_round = 0
                 for replica in self._unit_replicas(shard):
                     replica_no = replica if replica is not None else 0
-                    if replica is not None and (
-                        self.index.replica(shard_no, replica) is None
+                    if replica is not None and not self.index.slot_available(
+                        shard_no, replica
                     ):
                         # Lost replica: not a health signal, just gone.
                         failed_this_round += 1

@@ -26,6 +26,32 @@ redundancy buys fault tolerance without approximation (see
 ``docs/resilience.md``).  Any replica of a shard answers a query
 identically up to the deterministic ``(distance, id)`` ordering, so
 failover is invisible in the results.
+
+Live mutability (ROADMAP item 5).  :meth:`ShardManager.insert` and
+:meth:`ShardManager.delete` mutate the deployment in place: an insert
+routes to a deterministic target shard and is applied to every replica
+— dynamic-capable backends (:class:`~repro.core.dynamic.DynamicMVPTree`
+in place, :class:`~repro.store.backed.StoreBackedIndex` via its
+``.rsx.delta`` sidecar) absorb the point into their base structure,
+every other backend buffers it in the shard's *memtable*, a flat tail
+that is unioned into range/knn/approx answers exactly (a batched linear
+scan merged by ``(distance, id)``, mirroring how ``StoreBackedIndex``
+unions its delta rows).  A delete tombstones the point in every replica
+slot that covers it.  Background rebuilds
+(:class:`~repro.serve.lifecycle.RebuildCoordinator`) fold tombstones
+and memtables back into fresh base indexes replica-by-replica via
+:meth:`swap_replica`, which installs the new index atomically under
+``_replicas_lock`` and bumps the shard's epoch — in-flight queries
+finish against the detached old copy (never mutated once swapped out),
+so exactness holds throughout.  :meth:`split_shard` and
+:meth:`merge_shards` rebalance the id assignment on size skew under the
+same lock.  The invariant every mutation preserves, per replica slot:
+
+    (base ids − tombstones) ∪ (memtable ∖ base ids) == the shard's live ids
+
+which ``repro-check invariants`` verifies and the ``churn`` chaos
+campaign (``repro-chaos --family churn``) stresses under interleaved
+ingest, deletes, rolling rebuilds, and replica kills.
 """
 
 from __future__ import annotations
@@ -45,12 +71,13 @@ from repro.indexes.bktree import BKTree
 from repro.indexes.distance_matrix import DistanceMatrixIndex
 from repro.indexes.ghtree import GHTree
 from repro.indexes.gnat import GNAT
+from repro.indexes.kernels import BudgetTracker
 from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.indexes.vptree import VPTree
 from repro.metric.base import Metric
-from repro.obs.stats import SHARD_OK, QueryStats
-from repro.obs.trace import TraceSink
+from repro.obs.stats import PRUNE_BUDGET, SHARD_OK, QueryStats
+from repro.obs.trace import TraceSink, make_observation
 
 #: ``builder(objects, metric, rng) -> MetricIndex`` per backend name.
 ShardBuilder = Callable[[Sequence, Metric, np.random.Generator], MetricIndex]
@@ -142,6 +169,49 @@ def merge_range(id_lists: Sequence[Sequence[int]]) -> list[int]:
     return merged
 
 
+class _SlotState:
+    """Bookkeeping for one replica slot's base index.
+
+    ``ids`` maps the base index's local ids to global ids.  It is
+    append-only while the slot lives (a swap installs a whole new
+    ``_SlotState``), so a search may keep reading it after the lock is
+    released.  ``id_set`` is its set view; ``dead`` holds global ids
+    tombstoned out of the base — deleted points, and points a split or
+    merge moved to another shard.
+    """
+
+    __slots__ = ("ids", "id_set", "dead")
+
+    def __init__(self, ids: Sequence[int]):
+        self.ids: list[int] = [int(g) for g in ids]
+        self.id_set: set[int] = set(self.ids)
+        self.dead: set[int] = set()
+
+
+class _ShardView:
+    """One slot's consistent view of a shard, snapshotted under the lock.
+
+    ``index`` may be ``None`` for a base-less slot (a shard created by
+    a split, or one emptied into its memtable) — then every live point
+    is in ``extra_ids``/``extra_rows``, the memtable entries this slot's
+    base does not cover.
+    """
+
+    __slots__ = ("index", "ids", "dead", "n_live", "extra_ids", "extra_rows")
+
+    def __init__(self, index, ids, dead, n_live, extra_ids, extra_rows):
+        self.index: Optional[MetricIndex] = index
+        self.ids: Sequence[int] = ids
+        self.dead: frozenset[int] = dead
+        self.n_live: int = n_live
+        self.extra_ids: Sequence[int] = extra_ids
+        self.extra_rows = extra_rows
+
+    @property
+    def mutated(self) -> bool:
+        return bool(self.dead or self.extra_ids)
+
+
 class ShardManager(MetricIndex):
     """Partition a dataset across N independent index shards.
 
@@ -149,6 +219,8 @@ class ShardManager(MetricIndex):
     ----------
     objects:
         The full dataset (held by reference, as everywhere else).
+        Points added later through :meth:`insert` are kept in an
+        internal tail; ids keep growing past ``len(objects)``.
     metric:
         Metric shared by every shard.  Wrap it in a (thread-safe)
         :class:`~repro.metric.CountingMetric` to account the whole
@@ -158,7 +230,7 @@ class ShardManager(MetricIndex):
     n_shards:
         Number of partitions.  May exceed the dataset size; surplus
         shards stay empty (no index is built for them) and searches
-        skip them.
+        skip them.  :meth:`split_shard` grows the count later.
     backend:
         Index family per shard: a name from :data:`SHARD_BACKENDS` or a
         ``builder(objects, metric, rng) -> MetricIndex`` callable.
@@ -216,18 +288,44 @@ class ShardManager(MetricIndex):
                 ) from None
             self.backend_name = backend
         self._builder = builder
-        self.n_shards = n_shards
         self.assignment = assignment
         self.replication_factor = replication_factor
         #: Corrupt/stale ``.rsx`` stores refused by :meth:`recover`
         #: (each one fell back to an in-memory rebuild) — health signal.
         self.store_refusal_count = 0
-        self._shard_ids = assign_shards(len(objects), n_shards, assignment)
+        # Delta-sidecar writes refused during insert (each one fell
+        # back to the shard memtable) — health signal; see the
+        # ingest_failure_count property.
+        self._ingest_failures = 0  # guarded-by: _replicas_lock
         generator = as_rng(rng)
-        # Guards the replica table against worker threads reading slots
-        # while drop_replica()/recover() swap them (chaos campaigns and
-        # ROADMAP item 5's rolling rebuilds do exactly that).
+        # Guards every replica/id table below against worker threads
+        # reading slots while drop_replica()/recover()/swap_replica()
+        # swap them and insert()/delete() mutate the live id-set (chaos
+        # campaigns and ROADMAP item 5's rolling rebuilds do exactly
+        # that).
         self._replicas_lock = threading.Lock()
+        # _shard_ids[shard]: the shard's *live* global ids, ascending.
+        self._shard_ids = assign_shards(
+            len(objects), n_shards, assignment
+        )  # guarded-by: _replicas_lock
+        # _shard_of[gid]: the shard currently holding a live gid.
+        self._shard_of = {
+            gid: shard
+            for shard, ids in enumerate(self._shard_ids)
+            for gid in ids
+        }  # guarded-by: _replicas_lock
+        # Points inserted after construction (gid = len(objects) + pos).
+        self._tail: list = []  # guarded-by: _replicas_lock
+        # Gids deleted from the deployment (never resurrected).
+        self._removed: set[int] = set()  # guarded-by: _replicas_lock
+        # _memtables[shard]: buffered gids at least one slot's base does
+        # not cover; unioned into every search via an exact flat scan.
+        self._memtables: list[list[int]] = [
+            [] for _ in range(n_shards)
+        ]  # guarded-by: _replicas_lock
+        # _epochs[shard]: bumped by every atomic base swap; a query that
+        # reads one epoch's snapshot finishes entirely against it.
+        self._epochs: list[int] = [0] * n_shards  # guarded-by: _replicas_lock
         # _replicas[r][shard]: replica r's index for the shard (None for
         # empty shards and for replicas lost to faults/corruption).
         self._replicas: list[list[Optional[MetricIndex]]] = [
@@ -237,10 +335,21 @@ class ShardManager(MetricIndex):
             ]
             for _ in range(replication_factor)
         ]  # guarded-by: _replicas_lock
+        # _slots[r][shard]: local→global bookkeeping for that base.
+        self._slots: list[list[_SlotState]] = [
+            [_SlotState(ids) for ids in self._shard_ids]
+            for _ in range(replication_factor)
+        ]  # guarded-by: _replicas_lock
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Current number of shards (grows via :meth:`split_shard`)."""
+        with self._replicas_lock:
+            return len(self._shard_ids)
 
     @property
     def shards(self) -> list[Optional[MetricIndex]]:
@@ -264,12 +373,14 @@ class ShardManager(MetricIndex):
 
     @property
     def shard_ids(self) -> list[list[int]]:
-        """Per-shard global-id assignment (disjoint and covering)."""
-        return self._shard_ids
+        """Per-shard *live* global-id assignment (disjoint, covering)."""
+        with self._replicas_lock:
+            return self._shard_ids
 
     def shard_sizes(self) -> list[int]:
-        """Number of data points per shard."""
-        return [len(ids) for ids in self._shard_ids]
+        """Number of live data points per shard."""
+        with self._replicas_lock:
+            return [len(ids) for ids in self._shard_ids]
 
     def replica(self, shard: int, replica: int) -> Optional[MetricIndex]:
         """The given replica's index for ``shard`` (None if lost/empty)."""
@@ -282,25 +393,312 @@ class ShardManager(MetricIndex):
             return [
                 r
                 for r in range(self.replication_factor)
-                if self._replicas[r][shard] is not None
+                if self._slot_available_locked(shard, r)
             ]
 
+    def slot_available(self, shard: int, replica: int) -> bool:
+        """True when the replica slot can answer for ``shard``.
+
+        A slot answers if its base index is live, or if it has no base
+        duties at all — an empty shard, or a base-less slot whose every
+        live point sits in the shard memtable (the state a fresh
+        :meth:`split_shard` shard starts in).
+        """
+        with self._replicas_lock:
+            return self._slot_available_locked(shard, replica)
+
+    def epoch(self, shard: int) -> int:
+        """The shard's swap epoch (bumped by every atomic base swap)."""
+        with self._replicas_lock:
+            return self._epochs[shard]
+
+    def memtable(self, shard: int) -> list[int]:
+        """Copy of the shard's buffered (memtable) gids."""
+        with self._replicas_lock:
+            return list(self._memtables[shard])
+
+    def removed_ids(self) -> frozenset[int]:
+        """Every gid ever deleted from the deployment."""
+        with self._replicas_lock:
+            return frozenset(self._removed)
+
+    def live_ids(self) -> list[int]:
+        """All live gids across every shard, ascending."""
+        with self._replicas_lock:
+            out = [gid for ids in self._shard_ids for gid in ids]
+        out.sort()
+        return out
+
+    def next_id(self) -> int:
+        """The gid the next :meth:`insert` will assign."""
+        with self._replicas_lock:
+            return len(self._objects) + len(self._tail)
+
+    @property
+    def ingest_failure_count(self) -> int:
+        """Delta-sidecar writes refused during insert (memtable
+        fallbacks) — a failing ``.rsx.delta`` file is an outage signal."""
+        with self._replicas_lock:
+            return self._ingest_failures
+
+    def slot_state(self, shard: int, replica: int) -> tuple[list[int], set[int]]:
+        """Copies of one slot's ``(base ids, tombstoned gids)``."""
+        with self._replicas_lock:
+            slot = self._slots[replica][shard]
+            return list(slot.ids), set(slot.dead)
+
+    def shard_dataset(self, shard: int) -> tuple[list[int], Sequence]:
+        """The shard's live ``(gids, rows)`` — a rebuild's input."""
+        with self._replicas_lock:
+            ids = list(self._shard_ids[shard])
+            return ids, self._gather_locked(ids)
+
+    def mutation_state(self) -> dict:
+        """JSON-ready snapshot of the mutable state, under one lock hold.
+
+        Consumed by :mod:`repro.persist.serialize` so a churned manager
+        round-trips: inserted tail rows, removed ids, per-shard
+        memtables and epochs, and every slot's base-id/tombstone tables.
+        """
+        with self._replicas_lock:
+            return {
+                "tail": [
+                    row.tolist() if isinstance(row, np.ndarray) else row
+                    for row in self._tail
+                ],
+                "removed": sorted(self._removed),
+                "memtables": [list(mem) for mem in self._memtables],
+                "epochs": list(self._epochs),
+                "slots": [
+                    [
+                        {"ids": list(slot.ids), "dead": sorted(slot.dead)}
+                        for slot in row
+                    ]
+                    for row in self._slots
+                ],
+            }
+
+    def __len__(self) -> int:
+        """Number of *live* points across the whole deployment."""
+        with self._replicas_lock:
+            return len(self._objects) + len(self._tail) - len(self._removed)
+
+    def validate_k(self, k: int) -> int:
+        """Clamp against the live count (base + tail − removed)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return min(k, len(self))
+
     # ------------------------------------------------------------------
-    # Fault simulation and recovery
+    # Internal helpers (callers hold _replicas_lock)
+    # ------------------------------------------------------------------
+
+    def _slot_available_locked(self, shard: int, replica: int) -> bool:  # guarded-by: _replicas_lock
+        if not self._shard_ids[shard]:
+            return True
+        if self._replicas[replica][shard] is not None:
+            return True
+        return not self._slots[replica][shard].ids
+
+    def _resolve_locked(self, shard: int, replica: Optional[int]):  # guarded-by: _replicas_lock
+        """The ``(index, slot)`` a shard search should run on.
+
+        ``replica=None`` picks the first available slot (the sequential
+        path); a specific replica must itself be available.  Raises
+        :class:`ReplicaUnavailable` when nothing can answer — an exact
+        search can't silently skip a populated shard.
+        """
+        if replica is not None:
+            index = self._replicas[replica][shard]
+            slot = self._slots[replica][shard]
+            if index is None and slot.ids:
+                raise ReplicaUnavailable(
+                    f"shard {shard} replica {replica} is unavailable"
+                )
+            return index, slot
+        for r in range(self.replication_factor):
+            index = self._replicas[r][shard]
+            slot = self._slots[r][shard]
+            if index is not None or not slot.ids:
+                return index, slot
+        raise ReplicaUnavailable(
+            f"shard {shard} has no live replica "
+            f"(replication_factor={self.replication_factor})"
+        )
+
+    def _gather_locked(self, ids: Sequence[int]):  # guarded-by: _replicas_lock
+        """Rows for mixed base/tail gids (ndarray fast path when
+        everything predates the first insert)."""
+        base_n = len(self._objects)
+        if not self._tail or all(i < base_n for i in ids):
+            return gather(self._objects, list(ids))
+        rows = [
+            self._objects[i] if i < base_n else self._tail[i - base_n]
+            for i in ids
+        ]
+        if isinstance(self._objects, np.ndarray):
+            return np.asarray(rows)
+        return rows
+
+    def _absorb_locked(self, index, slot, gid: int, obj) -> bool:  # guarded-by: _replicas_lock
+        """Apply an insert to one slot's base in place, if it can.
+
+        ``DynamicMVPTree`` inserts positionally (its ids are stable
+        forever, so appending to ``slot.ids`` keeps local == position);
+        ``StoreBackedIndex`` appends a ``.rsx.delta`` sidecar row.  Any
+        other backend — or a failed sidecar write — returns False and
+        the point goes to the shard memtable instead.
+        """
+        if isinstance(index, DynamicMVPTree):
+            index.insert(obj)
+            slot.ids.append(gid)
+            slot.id_set.add(gid)
+            return True
+        ingest = getattr(index, "ingest", None)
+        if ingest is None:
+            return False
+        try:
+            ingest([obj], [gid])
+        except (OSError, TypeError, ValueError):
+            # Refused sidecar write: the point still lands in the shard
+            # memtable, so the answer stays exact — but count it, a
+            # failing delta file is an outage signal.
+            self._ingest_failures += 1
+            return False
+        slot.ids.append(gid)
+        slot.id_set.add(gid)
+        return True
+
+    def _install_locked(self, shard: int, replica: int, index, base_ids):  # guarded-by: _replicas_lock
+        """The swap core: install ``index`` as the slot's base.
+
+        Tombstones every base id no longer live (deleted while the
+        replacement was building), routes live ids the base doesn't
+        cover through the memtable, bumps the shard epoch, and prunes
+        memtable entries every slot's base now covers.
+        """
+        live = set(self._shard_ids[shard])
+        slot = _SlotState(base_ids)
+        slot.dead = slot.id_set - live
+        self._replicas[replica][shard] = index
+        self._slots[replica][shard] = slot
+        mem = self._memtables[shard]
+        missing = live - slot.id_set - set(mem)
+        if missing:
+            mem.extend(sorted(missing))
+        self._epochs[shard] += 1
+        self._prune_memtable_locked(shard)
+
+    def _prune_memtable_locked(self, shard: int) -> None:  # guarded-by: _replicas_lock
+        """Drop memtable gids every slot's base now actively serves
+        (present and not tombstoned)."""
+        mem = self._memtables[shard]
+        if not mem:
+            return
+        slots = [self._slots[r][shard] for r in range(self.replication_factor)]
+        self._memtables[shard] = [
+            gid
+            for gid in mem
+            if not all(
+                gid in slot.id_set and gid not in slot.dead for slot in slots
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Live mutation: streaming ingest and deletes
+    # ------------------------------------------------------------------
+
+    def insert(self, obj) -> int:
+        """Index a new object on every replica; returns its global id.
+
+        The target shard is deterministic (``gid mod n_shards``), so
+        independent paths — the sequential manager, the engine, a
+        rebuilt manager replaying the same stream — agree on placement.
+        Dynamic-capable replicas absorb the point into their base;
+        everything else serves it from the shard memtable until the
+        next rebuild folds it in.
+        """
+        with self._replicas_lock:
+            gid = len(self._objects) + len(self._tail)
+            self._tail.append(obj)
+            shard = gid % len(self._shard_ids)
+            self._shard_ids[shard].append(gid)
+            self._shard_of[gid] = shard
+            buffered = False
+            for r in range(self.replication_factor):
+                index = self._replicas[r][shard]
+                slot = self._slots[r][shard]
+                if index is None or not self._absorb_locked(
+                    index, slot, gid, obj
+                ):
+                    buffered = True
+            if buffered:
+                self._memtables[shard].append(gid)
+        return gid
+
+    def delete(self, gid: int) -> None:
+        """Remove a live point from every future answer.
+
+        Raises ``KeyError`` for an unknown or already-deleted gid (a
+        delete is applied exactly once — double deletes are a caller
+        bug, as for :meth:`DynamicMVPTree.delete`).
+        """
+        gid = int(gid)
+        with self._replicas_lock:
+            if gid not in self._shard_of:
+                if gid in self._removed:
+                    raise KeyError(f"id {gid} is already deleted")
+                raise KeyError(f"no live object with id {gid}")
+            shard = self._shard_of.pop(gid)
+            self._removed.add(gid)
+            self._shard_ids[shard].remove(gid)
+            mem = self._memtables[shard]
+            if gid in mem:
+                mem.remove(gid)
+            for r in range(self.replication_factor):
+                slot = self._slots[r][shard]
+                if gid in slot.id_set:
+                    index = self._replicas[r][shard]
+                    if isinstance(index, DynamicMVPTree):
+                        index.delete(slot.ids.index(gid))
+                    slot.dead.add(gid)
+
+    # ------------------------------------------------------------------
+    # Fault simulation, recovery, and atomic rebuild swaps
     # ------------------------------------------------------------------
 
     def drop_replica(self, shard: int, replica: int) -> Optional[MetricIndex]:
         """Simulate losing one replica of one shard; returns the index.
 
         The slot becomes ``None``: per-shard searches targeting it raise
-        :class:`ReplicaUnavailable` and the engine fails over.  Undo
-        with :meth:`recover` (rebuild) or by assigning the returned
-        index back.
+        :class:`ReplicaUnavailable` and the engine fails over.  The
+        slot's id bookkeeping is kept — mutations keep tracking what the
+        lost base covered, so assigning the returned index back (the
+        test-only restore path) or :meth:`recover` both resume exact
+        answers.
         """
         with self._replicas_lock:
             dropped = self._replicas[replica][shard]
             self._replicas[replica][shard] = None
         return dropped
+
+    def swap_replica(
+        self, shard: int, replica: int, index: MetricIndex, base_ids: Sequence[int]
+    ) -> int:
+        """Atomically install a freshly built base for one replica slot.
+
+        ``base_ids`` maps the new index's local ids to global ids (the
+        live snapshot it was built from).  The swap happens entirely
+        under ``_replicas_lock``: tombstones for points deleted during
+        the build, memtable routing for points inserted during it, and
+        the epoch bump are one atomic step, so no query ever observes a
+        half-swapped shard.  Returns the shard's new epoch.  The old
+        base is simply detached — in-flight queries that snapshotted it
+        finish against the old epoch and stay exact.
+        """
+        with self._replicas_lock:
+            self._install_locked(shard, replica, index, base_ids)
+            return self._epochs[shard]
 
     def recover(
         self,
@@ -310,35 +708,50 @@ class ShardManager(MetricIndex):
     ) -> list[tuple[int, int]]:
         """Restore every lost replica; returns the recovered slots.
 
-        Only ``None`` slots of *non-empty* shards are restored — healthy
-        replicas are left untouched, so recovery cost is proportional to
-        what was actually lost (the crash-recovery contract in
-        ``docs/resilience.md``).
+        Only ``None`` slots that had base duties over a still-populated
+        shard are restored — healthy replicas and base-less slots (which
+        serve from the memtable) are left untouched, so recovery cost is
+        proportional to what was actually lost (the crash-recovery
+        contract in ``docs/resilience.md``).  Replacements are built
+        over the shard's *current* live id-set; mutations that land
+        during the build are reconciled at swap time exactly as for
+        :meth:`swap_replica`.
 
         ``stores`` (optional) maps ``(shard, replica)`` to an ``.rsx``
         store path (see :func:`repro.store.sharded.save_shard_stores`):
         a lost slot with a store opens it instead of rebuilding — zero
         distance computations — after a full :meth:`Store.verify`; a
         corrupt or stale store is *refused* and the slot falls back to
-        an in-memory rebuild.  Raises ``TypeError`` only when a rebuild
-        is actually needed on a manager restored from legacy serialised
-        form without a known backend.
+        an in-memory rebuild.  A store that predates recent mutations is
+        still safe: stale rows are tombstoned and missing rows routed
+        through the memtable at swap time.  Raises ``TypeError`` only
+        when a rebuild is actually needed on a manager restored from
+        legacy serialised form without a known backend.
         """
         generator = as_rng(rng)
-        # Snapshot the lost slots under the lock, build the replacement
-        # indexes with the lock *released* (construction pays the metric
-        # bill — holding the lock would stall every concurrent search),
-        # then swap each one in only if its slot is still lost.
+        # Snapshot the lost slots and their shards' live datasets under
+        # the lock, build the replacement indexes with the lock
+        # *released* (construction pays the metric bill — holding the
+        # lock would stall every concurrent search), then swap each one
+        # in only if its slot is still lost.
         with self._replicas_lock:
             lost = [
                 (r, shard)
                 for r in range(self.replication_factor)
-                for shard, ids in enumerate(self._shard_ids)
-                if self._replicas[r][shard] is None and ids
+                for shard in range(len(self._shard_ids))
+                if self._replicas[r][shard] is None
+                and self._slots[r][shard].ids
+                and self._shard_ids[shard]
             ]
+            datasets: dict[int, tuple[list[int], Sequence]] = {}
+            for _r, shard in lost:
+                if shard not in datasets:
+                    ids = list(self._shard_ids[shard])
+                    datasets[shard] = (ids, self._gather_locked(ids))
         rebuilt: list[tuple[int, int]] = []
         for r, shard in lost:
             index: Optional[MetricIndex] = None
+            base_ids: Optional[list[int]] = None
             if stores is not None and (shard, r) in stores:
                 from repro.store import StoreCorrupt, open_index
 
@@ -349,6 +762,8 @@ class ShardManager(MetricIndex):
                     # a corrupt store is an outage signal, not noise.
                     self.store_refusal_count += 1
                     index = None
+                else:
+                    base_ids = index.to_global(range(len(index)))
             if index is None:
                 if self._builder is None:
                     raise TypeError(
@@ -356,16 +771,83 @@ class ShardManager(MetricIndex):
                         "(restored from a serialised form with a custom "
                         "backend?)"
                     )
-                index = self._builder(
-                    gather(self.objects, self._shard_ids[shard]),
-                    self.metric,
-                    generator,
-                )
+                ids, rows = datasets[shard]
+                index = self._builder(rows, self.metric, generator)
+                base_ids = list(ids)
             with self._replicas_lock:
                 if self._replicas[r][shard] is None:
-                    self._replicas[r][shard] = index
+                    self._install_locked(shard, r, index, base_ids)
                     rebuilt.append((shard, r))
         return rebuilt
+
+    # ------------------------------------------------------------------
+    # Topology: split and merge on size skew
+    # ------------------------------------------------------------------
+
+    def split_shard(self, shard: int) -> int:
+        """Split an oversized shard in two; returns the new shard number.
+
+        Every other live id moves to a brand-new shard appended at the
+        end (existing shard numbers — and therefore in-flight unit
+        targets — stay valid).  The moved points are tombstoned out of
+        the old shard's bases and served from the new shard's memtable
+        until a rebuild gives it a proper base; both answers stay exact
+        throughout.
+        """
+        with self._replicas_lock:
+            ids = self._shard_ids[shard]
+            kept, moved = ids[0::2], ids[1::2]
+            if not moved:
+                raise ValueError(
+                    f"shard {shard} has {len(ids)} live points; "
+                    "nothing to split"
+                )
+            new_shard = len(self._shard_ids)
+            self._shard_ids[shard] = list(kept)
+            self._shard_ids.append(list(moved))
+            for gid in moved:
+                self._shard_of[gid] = new_shard
+            moved_set = set(moved)
+            old_mem = self._memtables[shard]
+            self._memtables[shard] = [
+                gid for gid in old_mem if gid not in moved_set
+            ]
+            # The new shard starts base-less: every moved point is
+            # served from its memtable until the first rebuild.
+            self._memtables.append(list(moved))
+            self._epochs[shard] += 1
+            self._epochs.append(0)
+            for r in range(self.replication_factor):
+                slot = self._slots[r][shard]
+                slot.dead.update(moved_set & slot.id_set)
+                self._slots[r].append(_SlotState([]))
+                self._replicas[r].append(None)
+            return new_shard
+
+    def merge_shards(self, src: int, dst: int) -> None:
+        """Fold shard ``src`` into shard ``dst``; ``src`` becomes empty.
+
+        The shard count is unchanged (unit targets stay valid): ``src``
+        keeps existing as an empty shard.  Moved points are served from
+        ``dst``'s memtable until a rebuild folds them into its base.
+        """
+        if src == dst:
+            raise ValueError(f"cannot merge shard {src} into itself")
+        with self._replicas_lock:
+            moved = self._shard_ids[src]
+            mem = self._memtables[dst]
+            present = set(mem)
+            mem.extend(gid for gid in moved if gid not in present)
+            self._shard_ids[dst] = sorted(self._shard_ids[dst] + moved)
+            for gid in moved:
+                self._shard_of[gid] = dst
+            self._shard_ids[src] = []
+            self._memtables[src] = []
+            for r in range(self.replication_factor):
+                self._replicas[r][src] = None
+                self._slots[r][src] = _SlotState([])
+            self._epochs[src] += 1
+            self._epochs[dst] += 1
 
     # ------------------------------------------------------------------
     # Per-shard searches (the engine's unit of parallel work)
@@ -380,20 +862,44 @@ class ShardManager(MetricIndex):
         search can't silently skip a populated shard.
         """
         with self._replicas_lock:
-            if replica is not None:
-                index = self._replicas[replica][shard]
-                if index is None:
-                    raise ReplicaUnavailable(
-                        f"shard {shard} replica {replica} is unavailable"
-                    )
-                return index
-            for row in self._replicas:
-                if row[shard] is not None:
-                    return row[shard]
-        raise ReplicaUnavailable(
-            f"shard {shard} has no live replica "
-            f"(replication_factor={self.replication_factor})"
-        )
+            index, _slot = self._resolve_locked(shard, replica)
+        if index is None:
+            raise ReplicaUnavailable(
+                f"shard {shard} replica {replica} has no base index"
+            )
+        return index
+
+    def _slot_snapshot(self, shard: int, replica: Optional[int]) -> _ShardView:
+        """One consistent view of a shard for a search.
+
+        Resolves the serving slot, snapshots its tombstones, and gathers
+        rows for every memtable entry its base does not cover — all
+        under one lock hold.  The search itself runs outside the lock
+        against the view: a swap only ever *detaches* the old base
+        (never mutates it), so an in-flight query finishes exactly
+        against the epoch it snapshotted.
+        """
+        with self._replicas_lock:
+            live = self._shard_ids[shard]
+            if not live:
+                return _ShardView(None, (), frozenset(), 0, (), None)
+            index, slot = self._resolve_locked(shard, replica)
+            dead = frozenset(slot.dead)
+            mem = self._memtables[shard]
+            extra: list[int] = []
+            if mem:
+                # A memtable entry is extra unless the base actively
+                # serves it — present in the base *and* not tombstoned
+                # (a split can tombstone a gid that a later merge
+                # routes back through the memtable).
+                id_set = slot.id_set
+                extra = [
+                    gid
+                    for gid in mem
+                    if gid not in id_set or gid in dead
+                ]
+            extra_rows = self._gather_locked(extra) if extra else None
+            return _ShardView(index, slot.ids, dead, len(live), extra, extra_rows)
 
     @staticmethod
     def _record_ok(stats: Optional[QueryStats], shard: int) -> None:
@@ -406,6 +912,41 @@ class ShardManager(MetricIndex):
         """
         if stats is not None:
             stats.record_shard_outcome(shard, SHARD_OK)
+
+    def _scan_rows(self, rows, query, *, stats, trace) -> np.ndarray:
+        """One exact batched scan of buffered rows (observed like a
+        linear leaf scan, mirroring ``StoreBackedIndex``'s delta tail)."""
+        obs = make_observation(stats, trace)
+        n = len(rows)
+        if obs is not None:
+            obs.enter_leaf(n)
+            obs.leaf_scan(n, n)
+        return np.asarray(self._batch_dist(obs, rows, query), dtype=np.float64)
+
+    def _scan_memtable(self, rows, query, budget, *, stats, trace):
+        """Budgeted exact scan of buffered rows: an id-ordered prefix
+        under ``budget``, the unscanned suffix as missed mass (the same
+        contract as :func:`repro.approx.search`'s prefix scans).
+
+        Returns ``(distances, take, spent, missed)``.
+        """
+        obs = make_observation(stats, trace)
+        n = len(rows)
+        tracker = BudgetTracker(budget)
+        take = tracker.affordable(n)
+        if obs is not None:
+            obs.enter_leaf(n)
+        distances = np.zeros(0, dtype=np.float64)
+        if take:
+            tracker.charge(take)
+            distances = np.asarray(
+                self._batch_dist(obs, rows[:take], query), dtype=np.float64
+            )
+        if obs is not None:
+            obs.leaf_scan(n, take)
+            obs.filter_points(PRUNE_BUDGET, n - take)
+        missed = n - take
+        return distances, take, tracker.spent, missed
 
     def shard_range_search(
         self,
@@ -422,16 +963,41 @@ class ShardManager(MetricIndex):
         ``replica`` targets one replica (the engine's failover path);
         ``None`` uses the first live one.  Empty shards answer ``[]``;
         a populated shard with no live target raises
-        :class:`ReplicaUnavailable`.
+        :class:`ReplicaUnavailable`.  Tombstoned points are filtered and
+        memtable points unioned in via an exact scan, so the answer is
+        always exact over the shard's live id-set.
         """
-        ids = self._shard_ids[shard]
-        if not ids:
+        view = self._slot_snapshot(shard, replica)
+        if view.n_live == 0:
             self._record_ok(stats, shard)
             return []
-        index = self._replica_for(shard, replica)
-        local = index.range_search(query, radius, stats=stats, trace=trace)
+        if not view.mutated:
+            local = view.index.range_search(
+                query, radius, stats=stats, trace=trace
+            )
+            self._record_ok(stats, shard)
+            return [view.ids[i] for i in local]
+        hits: list[int] = []
+        if view.index is not None and view.ids:
+            local = view.index.range_search(
+                query, radius, stats=stats, trace=trace
+            )
+            hits = [
+                gid
+                for gid in (view.ids[i] for i in local)
+                if gid not in view.dead
+            ]
+        if view.extra_ids:
+            distances = self._scan_rows(
+                view.extra_rows, query, stats=stats, trace=trace
+            )
+            hits.extend(
+                int(view.extra_ids[j])
+                for j in np.nonzero(distances <= radius)[0]
+            )
+            hits.sort()
         self._record_ok(stats, shard)
-        return [ids[i] for i in local]
+        return hits
 
     def shard_knn_search(
         self,
@@ -445,20 +1011,44 @@ class ShardManager(MetricIndex):
     ) -> list[Neighbor]:
         """k-NN one shard; neighbors carry *global* ids.
 
-        ``k`` is clamped to the shard size; the global merge only needs
-        each shard's local top-``min(k, |shard|)``.  ``replica`` as in
-        :meth:`shard_range_search`.
+        ``k`` is clamped to the shard's live size; the global merge only
+        needs each shard's local top-``min(k, |shard|)``.  On a mutated
+        shard the base is over-fetched by the tombstone count (so ``k``
+        live answers survive the filter) and merged with the memtable
+        scan by ``(distance, global id)`` — the same deterministic order
+        as everywhere else.  ``replica`` as in :meth:`shard_range_search`.
         """
-        ids = self._shard_ids[shard]
-        if not ids:
+        view = self._slot_snapshot(shard, replica)
+        if view.n_live == 0:
             self._record_ok(stats, shard)
             return []
-        index = self._replica_for(shard, replica)
-        local = index.knn_search(
-            query, min(k, len(ids)), stats=stats, trace=trace
-        )
+        kk = min(k, view.n_live)
+        if not view.mutated:
+            local = view.index.knn_search(query, kk, stats=stats, trace=trace)
+            self._record_ok(stats, shard)
+            return [Neighbor(n.distance, int(view.ids[n.id])) for n in local]
+        merged: list[tuple[float, int]] = []
+        if view.index is not None and view.ids:
+            base_k = min(kk + len(view.dead), len(view.ids))
+            local = view.index.knn_search(
+                query, base_k, stats=stats, trace=trace
+            )
+            merged.extend(
+                (n.distance, int(view.ids[n.id]))
+                for n in local
+                if view.ids[n.id] not in view.dead
+            )
+        if view.extra_ids:
+            distances = self._scan_rows(
+                view.extra_rows, query, stats=stats, trace=trace
+            )
+            merged.extend(
+                (float(d), int(gid))
+                for gid, d in zip(view.extra_ids, distances)
+            )
+        merged.sort()
         self._record_ok(stats, shard)
-        return [Neighbor(n.distance, int(ids[n.id])) for n in local]
+        return [Neighbor(d, gid) for d, gid in merged[:kk]]
 
     def shard_approx_range_search(
         self,
@@ -472,27 +1062,71 @@ class ShardManager(MetricIndex):
         stats: Optional[QueryStats] = None,
         trace: Optional[TraceSink] = None,
     ):
-        """Budgeted range search of one shard; global ids + certificate."""
+        """Budgeted range search of one shard; global ids + certificate.
+
+        On a mutated shard the base structure runs under the budget
+        first and whatever remains pays for a prefix of the memtable
+        (mirroring the store-backed base/delta split); the two partial
+        certificates merge exactly.
+        """
         # Module-attribute call: the free function shares this method's
         # name, and a bare name here would read as (mutual) recursion.
         from repro import approx
-        from repro.approx import build_report
+        from repro.approx import build_report, merge_reports
 
-        ids = self._shard_ids[shard]
-        if not ids:
+        view = self._slot_snapshot(shard, replica)
+        if view.n_live == 0:
             self._record_ok(stats, shard)
             return [], build_report(
                 "range", [], budget=budget, epsilon=epsilon,
                 spent=0, exhausted=False,
                 possible_missed=0, min_missed_lb=float("inf"),
             )
-        index = self._replica_for(shard, replica)
-        local, report = approx.approx_range_search(
-            index, query, radius,
-            budget=budget, epsilon=epsilon, stats=stats, trace=trace,
-        )
+        if not view.mutated:
+            local, report = approx.approx_range_search(
+                view.index, query, radius,
+                budget=budget, epsilon=epsilon, stats=stats, trace=trace,
+            )
+            self._record_ok(stats, shard)
+            return [view.ids[i] for i in local], report
+        reports = []
+        hits: list[int] = []
+        remaining = budget
+        if view.index is not None and view.ids:
+            local, base_report = approx.approx_range_search(
+                view.index, query, radius,
+                budget=budget, epsilon=epsilon, stats=stats, trace=trace,
+            )
+            reports.append(base_report)
+            hits = [
+                gid
+                for gid in (view.ids[i] for i in local)
+                if gid not in view.dead
+            ]
+            if budget is not None:
+                remaining = max(0, budget - base_report.spent)
+        if view.extra_ids:
+            distances, take, spent, missed = self._scan_memtable(
+                view.extra_rows, query, remaining, stats=stats, trace=trace
+            )
+            mem_hits = [
+                int(view.extra_ids[j])
+                for j in np.nonzero(distances <= radius)[0]
+            ]
+            reports.append(
+                build_report(
+                    "range", mem_hits, budget=remaining, epsilon=epsilon,
+                    spent=spent, exhausted=missed > 0,
+                    possible_missed=missed,
+                    min_missed_lb=0.0 if missed else float("inf"),
+                )
+            )
+            hits.extend(mem_hits)
+            hits.sort()
         self._record_ok(stats, shard)
-        return [ids[i] for i in local], report
+        return hits, merge_reports(
+            "range", reports, hits, budget=budget, epsilon=epsilon
+        )
 
     def shard_approx_knn_search(
         self,
@@ -506,27 +1140,75 @@ class ShardManager(MetricIndex):
         stats: Optional[QueryStats] = None,
         trace: Optional[TraceSink] = None,
     ):
-        """Budgeted k-NN of one shard; neighbors carry global ids."""
+        """Budgeted k-NN of one shard; neighbors carry global ids.
+
+        Mutated shards run the base under the budget (over-fetched by
+        the tombstone count), spend the remainder on a memtable prefix,
+        and merge results and certificates exactly as the exact path
+        does.
+        """
         # Module-attribute call: the free function shares this method's
         # name, and a bare name here would read as (mutual) recursion.
         from repro import approx
-        from repro.approx import build_report
+        from repro.approx import build_report, merge_reports
 
-        ids = self._shard_ids[shard]
-        if not ids:
+        view = self._slot_snapshot(shard, replica)
+        if view.n_live == 0:
             self._record_ok(stats, shard)
             return [], build_report(
                 "knn", [], budget=budget, epsilon=epsilon,
                 spent=0, exhausted=False,
                 possible_missed=0, min_missed_lb=float("inf"),
             )
-        index = self._replica_for(shard, replica)
-        local, report = approx.approx_knn_search(
-            index, query, min(k, len(ids)),
-            budget=budget, epsilon=epsilon, stats=stats, trace=trace,
-        )
+        kk = min(k, view.n_live)
+        if not view.mutated:
+            local, report = approx.approx_knn_search(
+                view.index, query, kk,
+                budget=budget, epsilon=epsilon, stats=stats, trace=trace,
+            )
+            self._record_ok(stats, shard)
+            return [Neighbor(n.distance, int(view.ids[n.id])) for n in local], report
+        reports = []
+        candidates: list[Neighbor] = []
+        remaining = budget
+        if view.index is not None and view.ids:
+            base_k = min(kk + len(view.dead), len(view.ids))
+            local, base_report = approx.approx_knn_search(
+                view.index, query, base_k,
+                budget=budget, epsilon=epsilon, stats=stats, trace=trace,
+            )
+            reports.append(base_report)
+            candidates.extend(
+                Neighbor(n.distance, int(view.ids[n.id]))
+                for n in local
+                if view.ids[n.id] not in view.dead
+            )
+            if budget is not None:
+                remaining = max(0, budget - base_report.spent)
+        if view.extra_ids:
+            distances, take, spent, missed = self._scan_memtable(
+                view.extra_rows, query, remaining, stats=stats, trace=trace
+            )
+            mem_all = [
+                Neighbor(float(distances[j]), int(view.extra_ids[j]))
+                for j in range(take)
+            ]
+            mem_results = heapq.nsmallest(kk, mem_all)
+            reports.append(
+                build_report(
+                    "knn", mem_results, budget=remaining, epsilon=epsilon,
+                    spent=spent, exhausted=missed > 0,
+                    possible_missed=missed,
+                    min_missed_lb=0.0 if missed else float("inf"),
+                    target=min(kk, len(view.extra_ids)),
+                )
+            )
+            candidates.extend(mem_results)
+        results = heapq.nsmallest(kk, candidates)
         self._record_ok(stats, shard)
-        return [Neighbor(n.distance, int(ids[n.id])) for n in local], report
+        return results, merge_reports(
+            "knn", reports, results, budget=budget, epsilon=epsilon, target=kk
+        )
 
     def approx_range_search(
         self,
@@ -547,10 +1229,11 @@ class ShardManager(MetricIndex):
         from repro.approx import merge_reports, split_budget
 
         radius = self.validate_radius(radius)
-        budgets = split_budget(budget, self.n_shards)
+        n_shards = self.n_shards
+        budgets = split_budget(budget, n_shards)
         hit_lists = []
         reports = []
-        for shard in range(self.n_shards):
+        for shard in range(n_shards):
             hits, report = self.shard_approx_range_search(
                 shard, query, radius,
                 budget=budgets[shard], epsilon=epsilon,
@@ -577,10 +1260,11 @@ class ShardManager(MetricIndex):
         from repro.approx import merge_reports, split_budget
 
         k = self.validate_k(k)
-        budgets = split_budget(budget, self.n_shards)
+        n_shards = self.n_shards
+        budgets = split_budget(budget, n_shards)
         candidate_lists = []
         reports = []
-        for shard in range(self.n_shards):
+        for shard in range(n_shards):
             candidates, report = self.shard_approx_knn_search(
                 shard, query, k,
                 budget=budgets[shard], epsilon=epsilon,

@@ -7,8 +7,9 @@ in-memory trees feed to :mod:`repro.indexes.kernels` — same values,
 same leaf order, same root slot — so every search takes the identical
 code path and returns byte-identical ``(distance, id)`` answers with
 matching ``QueryStats`` and trace events.  For the table families
-(``linear``, ``laesa``) it rehydrates the real index class around the
-mapped arrays and delegates.
+(``linear``, ``laesa``) and for ``gnat`` (whose node graph is rebuilt
+from its flattened tables) it rehydrates the real index class around
+the mapped arrays and delegates.
 
 Rows appended through :func:`repro.store.delta.append_delta` are
 searched too: the base structure answers over its own rows and the
@@ -28,12 +29,13 @@ from repro.core.gmvptree import GMVPLeafNode
 from repro.core.nodes import MVPLeafNode
 from repro.indexes import kernels
 from repro.indexes.base import MetricIndex, Neighbor
+from repro.indexes.gnat import GNAT, GNATInternalNode, GNATLeafNode
 from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.metric.base import Metric
 from repro.obs.stats import QueryStats
 from repro.obs.trace import TraceSink, make_observation
-from repro.store.delta import read_deltas
+from repro.store.delta import append_delta, read_deltas
 from repro.store.format import Store
 
 #: Non-None stand-in for ``tree._root`` — the kernels only ever check
@@ -125,6 +127,62 @@ def _gmvp_cache(store: Store) -> kernels._GMVPArrays:
     return arrays
 
 
+def _gnat_impl(store: Store, points, metric: Metric) -> GNAT:
+    """Rebuild the real GNAT node graph from its flattened tables.
+
+    Node objects are reconstructed with plain python ints/tuples —
+    GNAT's search appends ``split_ids`` entries straight into results,
+    so anything else would break byte-for-byte answer parity with the
+    in-memory tree.
+    """
+    leaves = [
+        GNATLeafNode([int(i) for i in ids])
+        for ids in _segments(store, "leaf_offsets", "leaf_ids")
+    ]
+    degrees = store.section("node_degree")
+    split_ids = _segments(store, "split_offsets", "split_ids")
+    kinds = _segments(store, "split_offsets", "child_kind")
+    idxs = _segments(store, "split_offsets", "child_idx")
+    lo = _segments(store, "range_offsets", "range_lo")
+    hi = _segments(store, "range_offsets", "range_hi")
+    internals = []
+    for i in range(len(degrees)):
+        d = int(degrees[i])
+        ranges = [
+            [
+                (float(lo[i][r * d + c]), float(hi[i][r * d + c]))
+                for c in range(d)
+            ]
+            for r in range(d)
+        ]
+        internals.append(
+            GNATInternalNode(
+                [int(s) for s in split_ids[i]], ranges, [None] * d
+            )
+        )
+    for node, node_kinds, node_idxs in zip(internals, kinds, idxs):
+        node.children = [
+            None
+            if int(kind) == 0
+            else (internals if int(kind) == 1 else leaves)[int(idx)]
+            for kind, idx in zip(node_kinds, node_idxs)
+        ]
+    impl = GNAT.__new__(GNAT)
+    MetricIndex.__init__(impl, points, metric)
+    params = store.meta.get("params", {})
+    impl.degree = int(params["degree"])
+    impl.min_degree = int(params["min_degree"])
+    impl.max_degree = int(params["max_degree"])
+    impl.leaf_capacity = int(params["leaf_capacity"])
+    impl.candidate_factor = int(params["candidate_factor"])
+    for name, value in store.meta.get("build_stats", {}).items():
+        setattr(impl, name, value)
+    tree = store.meta["tree"]
+    nodes = internals if int(tree["root_kind"]) == 1 else leaves
+    impl._root = nodes[int(tree["root_idx"])]
+    return impl
+
+
 class StoreBackedIndex(MetricIndex):
     """A searchable index whose structure lives in an mmap-ed ``.rsx``.
 
@@ -156,6 +214,8 @@ class StoreBackedIndex(MetricIndex):
         self._impl: Optional[MetricIndex] = None
         if self.family == "linear":
             self._impl = LinearScan(points, metric)
+        elif self.family == "gnat":
+            self._impl = _gnat_impl(store, points, metric)
         elif self.family == "laesa":
             impl = LAESA.__new__(LAESA)
             MetricIndex.__init__(impl, points, metric)
@@ -225,6 +285,14 @@ class StoreBackedIndex(MetricIndex):
         self, query, k: int, approximation: float, *, stats, trace
     ) -> list[Neighbor]:
         if self._impl is not None:
+            if self.family == "gnat":
+                # GNAT's k-NN has no epsilon relaxation (matching the
+                # in-memory class, whose signature takes none).
+                if approximation != 1.0:
+                    raise ValueError(
+                        "GNAT k-NN does not support epsilon approximation"
+                    )
+                return self._impl.knn_search(query, k, stats=stats, trace=trace)
             return self._impl.knn_search(
                 query, k, approximation - 1.0, stats=stats, trace=trace
             )
@@ -304,6 +372,35 @@ class StoreBackedIndex(MetricIndex):
     # ------------------------------------------------------------------
     # Ids & lifecycle
     # ------------------------------------------------------------------
+
+    def ingest(self, rows, ids) -> None:
+        """Durably append rows to the ``.rsx.delta`` sidecar and serve
+        them immediately from the in-memory delta tail.
+
+        ``ids`` are the dataset-global ids of the new rows (one per
+        row).  The sidecar append is fsynced before the in-memory tail
+        is extended, so a row is never served before it is durable; a
+        reopened index (:func:`open_index`) sees the same rows via
+        :func:`repro.store.delta.read_deltas`.  Raises ``ValueError``
+        on shape/dimension mismatch and ``OSError`` on write failure —
+        in both cases the in-memory tail is untouched.
+        """
+        rows = np.ascontiguousarray(np.asarray(rows, dtype=np.float64))
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        if len(ids) != len(rows):
+            raise ValueError(
+                f"ingest needs one id per row; got {len(ids)} ids for "
+                f"{len(rows)} rows"
+            )
+        append_delta(self.path, rows, ids=ids)
+        if self._delta_ids is None:
+            self._delta_ids = ids
+            self._delta_rows = rows
+        else:
+            self._delta_ids = np.concatenate([self._delta_ids, ids])
+            self._delta_rows = np.concatenate([self._delta_rows, rows])
 
     def to_global(self, ids) -> list[int]:
         """Map local result ids (base rows, then delta rows) to the

@@ -9,8 +9,11 @@ values and therefore byte-identical answers and ``QueryStats``.
 
 Writers exist for the static families — :class:`~repro.indexes.vptree.VPTree`,
 :class:`~repro.core.mvptree.MVPTree`, :class:`~repro.core.gmvptree.GMVPTree`,
-:class:`~repro.indexes.laesa.LAESA` and
-:class:`~repro.indexes.linear.LinearScan`.  Mutating structures
+:class:`~repro.indexes.gnat.GNAT`, :class:`~repro.indexes.laesa.LAESA` and
+:class:`~repro.indexes.linear.LinearScan`.  GNAT's recursive node graph
+is flattened into pre-order array tables (split ids, the pairwise range
+table, child kind/slot pointers, leaf buckets) from which the reader
+rebuilds identical node objects.  Mutating structures
 (``DynamicMVPTree``) are refused: a store is a frozen artifact; rebuild
 and rewrite after bulk updates (or let delta files carry the inserts).
 """
@@ -26,6 +29,7 @@ from repro._util import as_rng
 from repro.core.gmvptree import GMVPTree
 from repro.core.mvptree import MVPTree
 from repro.indexes import kernels
+from repro.indexes.gnat import GNAT, GNATInternalNode, GNATLeafNode
 from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.indexes.vptree import VPTree
@@ -45,6 +49,7 @@ def store_family(index) -> str:
         (VPTree, "vpt"),
         (MVPTree, "mvpt"),
         (GMVPTree, "gmvpt"),
+        (GNAT, "gnat"),
         (LAESA, "laesa"),
         (LinearScan, "linear"),
     ):
@@ -203,6 +208,91 @@ def _gmvpt_payload(tree: GMVPTree):
     return sections, tree_meta, params, build_stats
 
 
+def _gnat_payload(index: GNAT):
+    """Flatten GNAT's recursive node graph into pre-order array tables.
+
+    Internal nodes and leaves are numbered separately in pre-order.
+    Per internal node: its degree, a flat split-id segment, the dense
+    degree² range table (row-major ``(i, j)``), and per split point a
+    child pointer as ``(kind, slot)`` — 0 = absent, 1 = internal,
+    2 = leaf.  The reader reconstructs identical
+    :class:`~repro.indexes.gnat.GNATInternalNode` /
+    :class:`~repro.indexes.gnat.GNATLeafNode` objects, so every search
+    takes the in-memory code path over the same values.
+    """
+    internals: list[GNATInternalNode] = []
+    leaves: list[GNATLeafNode] = []
+    child_refs: list[list[tuple[int, int]]] = []
+
+    def walk(node) -> tuple[int, int]:
+        """Pre-order numbering; recursion depth is bounded by the tree
+        height (same bound as ``GNAT._build``'s)."""
+        if isinstance(node, GNATLeafNode):
+            leaves.append(node)
+            return 2, len(leaves) - 1
+        slot = len(internals)
+        internals.append(node)
+        child_refs.append([])
+        refs = child_refs[slot]
+        for child in node.children:
+            refs.append((0, -1) if child is None else walk(child))
+        return 1, slot
+
+    root_kind, root_idx = walk(index.root)
+    degrees = [len(node.split_ids) for node in internals]
+    range_lo = [
+        np.asarray(
+            [pair[0] for row in node.ranges for pair in row], dtype=np.float64
+        )
+        for node in internals
+    ]
+    range_hi = [
+        np.asarray(
+            [pair[1] for row in node.ranges for pair in row], dtype=np.float64
+        )
+        for node in internals
+    ]
+    sections = {
+        "node_degree": np.asarray(degrees, dtype=np.int64),
+        "split_offsets": _offsets(degrees),
+        "split_ids": _concat(
+            [np.asarray(node.split_ids) for node in internals], np.int64
+        ),
+        "range_offsets": _offsets([d * d for d in degrees]),
+        "range_lo": _concat(range_lo, np.float64),
+        "range_hi": _concat(range_hi, np.float64),
+        "child_kind": _concat(
+            [np.asarray([kind for kind, _ in refs]) for refs in child_refs],
+            np.int8,
+        ),
+        "child_idx": _concat(
+            [np.asarray([idx for _, idx in refs]) for refs in child_refs],
+            np.int64,
+        ),
+        "leaf_offsets": _offsets([len(leaf.ids) for leaf in leaves]),
+        "leaf_ids": _concat([np.asarray(leaf.ids) for leaf in leaves], np.int64),
+    }
+    tree_meta = {
+        "root_kind": int(root_kind),
+        "root_idx": int(root_idx),
+        "n_internal": len(internals),
+        "n_leaves": len(leaves),
+    }
+    params = {
+        "degree": index.degree,
+        "min_degree": index.min_degree,
+        "max_degree": index.max_degree,
+        "leaf_capacity": index.leaf_capacity,
+        "candidate_factor": index.candidate_factor,
+    }
+    build_stats = {
+        "node_count": index.node_count,
+        "leaf_count": index.leaf_count,
+        "height": index.height,
+    }
+    return sections, tree_meta, params, build_stats
+
+
 def _laesa_payload(index: LAESA):
     sections = {
         "pivot_ids": np.asarray(index.pivot_ids, dtype=np.int64),
@@ -219,6 +309,7 @@ _PAYLOADS = {
     "vpt": _vpt_payload,
     "mvpt": _mvpt_payload,
     "gmvpt": _gmvpt_payload,
+    "gnat": _gnat_payload,
     "laesa": _laesa_payload,
     "linear": _linear_payload,
 }
@@ -315,6 +406,17 @@ def build_family_index(
             v=params["v"],
             k=params["k"],
             p=params["p"],
+            rng=rng,
+        )
+    if family == "gnat":
+        return GNAT(
+            points,
+            metric,
+            degree=params["degree"],
+            min_degree=params["min_degree"],
+            max_degree=params["max_degree"],
+            leaf_capacity=params["leaf_capacity"],
+            candidate_factor=params["candidate_factor"],
             rng=rng,
         )
     if family == "laesa":

@@ -1,0 +1,38 @@
+"""Seeded RC014 violations: guarded tables mutated off-lock.
+
+Line numbers are asserted exactly by ``test_concurrency_rules`` — do
+not reflow this file without updating the expectations there.
+"""
+
+import threading
+
+
+class ReplicaTable:
+    """Annotated tables: RC014 runs in enforcing mode on this class."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}  # guarded-by: _lock
+        self._ids = []  # guarded-by: _lock
+
+    def set_row(self, key, value):
+        self._rows[key] = value  # line 19: subscript store off-lock
+
+    def drop_row(self, key):
+        del self._rows[key]  # line 22: subscript delete off-lock
+
+    def push(self, gid):
+        self._ids.append(gid)  # line 25: mutator call off-lock
+
+    def merge(self, other):
+        with self._lock:
+            self._rows.update(other)
+            self._aux.append(1)  # line 30: locked mutation, unannotated
+
+    def reroute(self, shard, gid):
+        self._rows[shard].ids.append(gid)  # line 33: chain-rooted mutator
+
+    def safe(self, key, value):
+        with self._lock:
+            self._rows[key] = value
+            self._ids.pop()

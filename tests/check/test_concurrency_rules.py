@@ -1,4 +1,4 @@
-"""Tests for the concurrency lint pass (RC010-RC012) and RC000.
+"""Tests for the concurrency lint pass (RC010-RC014) and RC000.
 
 The seeded fixtures under ``fixtures/serve`` break each rule in every
 way it knows how to fire; the assertions here pin the exact (code,
@@ -97,6 +97,97 @@ class TestRC012Fixture:
         assert ".result()" in messages[2]
         assert ".acquire()" in messages[3]
         assert "SleepyWorker._doze() reaches blocking" in messages[4]
+
+
+class TestRC014Fixture:
+    def test_exact_findings(self):
+        path = FIXTURES / "serve" / "rc014_tables.py"
+        findings = run_lint([path], select={"RC014"}, root=FIXTURES)
+        pairs = [(f.code, f.line) for f in findings]
+        assert pairs == [
+            ("RC014", 19),  # subscript store off-lock
+            ("RC014", 22),  # subscript delete off-lock
+            ("RC014", 25),  # mutator call off-lock
+            ("RC014", 30),  # locked mutation of unannotated table
+            ("RC014", 33),  # mutation through a subscript chain
+        ]
+        messages = [f.message for f in findings]
+        assert "item-assigned" in messages[0]
+        assert "item-deleted" in messages[1]
+        assert "mutated via .append()" in messages[2]
+        assert "enforcing mode" in messages[3]
+        assert "self._rows mutated via .append()" in messages[4]
+
+    def test_locked_mutations_are_clean(self):
+        # safe() mutates both tables under the lock — no findings there.
+        path = FIXTURES / "serve" / "rc014_tables.py"
+        findings = run_lint([path], select={"RC014"}, root=FIXTURES)
+        assert all(f.line < 35 for f in findings)
+
+
+class TestRC014Snippets:
+    def test_def_guard_precondition_accepted(self, tmp_path):
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Table:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rows = {}  # guarded-by: _lock
+
+                def _put_locked(self, key, value):  # guarded-by: _lock
+                    self._rows[key] = value
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._put_locked(key, value)
+            """,
+            select={"RC014"},
+        )
+        assert codes == []
+
+    def test_local_chains_are_ignored(self, tmp_path):
+        # Mutations rooted at a local name are out of RC014's reach —
+        # only self.<attr> tables are statically attributable.
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Table:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rows = {}  # guarded-by: _lock
+
+                def tweak(self, slot):
+                    slot.ids.append(1)
+            """,
+            select={"RC014"},
+        )
+        assert codes == []
+
+    def test_advisory_class_locked_mutation_is_clean(self, tmp_path):
+        # No annotations: RC014 has no declared tables to defend and
+        # must not invent enforcing-mode findings.
+        codes, _ = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Table:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rows = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._rows[key] = value
+            """,
+            select={"RC014"},
+        )
+        assert codes == []
 
 
 class TestRC010Snippets:

@@ -71,14 +71,18 @@ class TestShardManagerInvariants:
         violations = verify_structure(manager)
         assert any(v.invariant == "shard-partition" for v in violations)
 
-    def test_shard_size_mismatch(self, manager):
-        manager.shard_ids[3].pop()
-        # Restore the partition so only the size invariant can fire.
-        manager.shard_ids[0].append(
-            sorted(set(range(40)) - {i for ids in manager.shard_ids for i in ids})[0]
-        )
+    def test_live_set_drift_flags_slot_consistency(self, manager):
+        # Moving a gid between shard lists keeps the partition intact
+        # but leaves both shards' slots serving the wrong id-set: the
+        # donor still serves it (phantom), the receiver cannot
+        # (unreachable).
+        moved = manager.shard_ids[3].pop()
+        manager.shard_ids[0].append(moved)
         violations = verify_structure(manager)
-        assert any(v.invariant == "shard-size" for v in violations)
+        drifted = [v for v in violations if v.invariant == "slot-consistency"]
+        assert any("phantom" in v.message and f"[{moved}]" in v.message
+                   for v in drifted)
+        assert any("unreachable" in v.message for v in drifted)
 
     def test_missing_shard_index(self, manager):
         # An unreplicated manager losing its only copy of a populated

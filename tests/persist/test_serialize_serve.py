@@ -91,6 +91,40 @@ class TestShardManagerRoundTrip:
             query, 0.6
         )
 
+    def test_churned_manager_round_trips(self, data, queries):
+        # The mutable state — inserted tail rows, removed ids,
+        # memtables, per-slot tombstone tables, epochs — must ride
+        # through serialisation, or a restored deployment silently
+        # reverts to its construction-time id-set.
+        manager = ShardManager(
+            data, L2(), n_shards=3, backend="vpt", rng=4,
+            replication_factor=2,
+        )
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            manager.insert(rng.random(5))
+        for victim in (1, 8, 90):
+            manager.delete(victim)
+        restored = roundtrip(manager, data, L2())
+        assert restored.live_ids() == manager.live_ids()
+        assert restored.removed_ids() == manager.removed_ids()
+        assert restored.next_id() == manager.next_id()
+        assert [restored.epoch(s) for s in range(3)] == [
+            manager.epoch(s) for s in range(3)
+        ]
+        for query in queries:
+            assert restored.range_search(query, 0.6) == manager.range_search(
+                query, 0.6
+            )
+            assert restored.knn_search(query, 7) == manager.knn_search(query, 7)
+        # And the restored manager keeps mutating correctly.
+        gid = restored.insert(rng.random(5))
+        assert gid == manager.next_id()
+        restored.delete(gid)
+        with pytest.raises(KeyError, match="already deleted"):
+            restored.delete(gid)
+        assert verify_structure(restored) == []
+
     def test_file_round_trip_serves_identically(self, data, queries, tmp_path):
         manager = ShardManager(data, L2(), n_shards=3, backend="vpt", rng=4)
         path = tmp_path / "deployment.json"

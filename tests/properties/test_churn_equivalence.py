@@ -1,0 +1,168 @@
+"""Churn equivalence: a mutated deployment equals a scratch rebuild.
+
+The PR-level acceptance property for live mutability: after any script
+of inserts, deletes, kills, rolling rebuilds and recoveries, the
+deployment's answers over its live id-set are *identical* — same
+(distance, id) pairs, same order — to a manager built from scratch
+over that live set.  Distances come from the same float64 rows either
+way, so equality is exact, not approximate.  A second property pins
+the zero-downtime contract: concurrent exact queries never observe a
+half-swapped shard while the coordinator rolls every replica.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Neighbor
+from repro.check.invariants import verify_shard_manager
+from repro.datasets import synthetic_words
+from repro.metric import L2, EditDistance
+from repro.serve import RebuildCoordinator, ShardManager
+from repro.serve.sharding import SHARD_BACKENDS
+
+VECTOR_BACKENDS = sorted(set(SHARD_BACKENDS) - {"bkt"})
+
+
+def churned_manager(objects, metric, backend, *, rng):
+    """Apply a fixed churn script; returns (manager, ledger)."""
+    manager = ShardManager(
+        objects, metric, n_shards=3, backend=backend, rng=5,
+        replication_factor=2,
+    )
+    ledger = dict(enumerate(objects))
+    coordinator = RebuildCoordinator(
+        manager, churn_threshold=0.1, min_churn=2, rng=6
+    )
+    for step in range(14):
+        if step % 3 != 2:
+            obj = rng.random(len(objects[0])) if isinstance(
+                objects, np.ndarray
+            ) else objects[step % len(objects)]
+            ledger[manager.insert(obj)] = obj
+        if step % 2 == 0:
+            live = manager.live_ids()
+            victim = live[(7 * step) % len(live)]
+            manager.delete(victim)
+            del ledger[victim]
+        if step == 5:
+            manager.drop_replica(step % 3, 1)
+        if step == 7:
+            manager.recover(rng=step)
+        if step % 4 == 3:
+            coordinator.run_once()
+    coordinator.run_once()
+    return manager, ledger
+
+
+def scratch_manager(manager, ledger, metric, backend):
+    """A fresh deployment over the live set, plus the gid remap.
+
+    Rows are fed in ascending-gid order, so the scratch manager's
+    positional ids map back through ``gids`` with tie-break order
+    preserved.
+    """
+    gids = manager.live_ids()
+    rows = [ledger[g] for g in gids]
+    if isinstance(next(iter(ledger.values())), np.ndarray):
+        rows = np.array(rows)
+    scratch = ShardManager(
+        rows, metric, n_shards=3, backend=backend, rng=5,
+        replication_factor=2,
+    )
+    return scratch, gids
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+def test_post_churn_answers_equal_scratch_rebuild(backend, uniform_data):
+    objects = uniform_data[:54]
+    manager, ledger = churned_manager(
+        objects, L2(), backend, rng=np.random.default_rng(1)
+    )
+    assert verify_shard_manager(manager) == []
+    scratch, gids = scratch_manager(manager, ledger, L2(), backend)
+    queries = [objects[3], objects[20] + 0.02, np.random.default_rng(2).random(10)]
+    for query in queries:
+        for radius in (0.4, 0.8):
+            want = sorted(gids[i] for i in scratch.range_search(query, radius))
+            assert manager.range_search(query, radius) == want
+        for k in (1, 5, 12):
+            want = [
+                Neighbor(n.distance, gids[n.id])
+                for n in scratch.knn_search(query, k)
+            ]
+            assert manager.knn_search(query, k) == want
+
+
+def test_post_churn_equivalence_discrete_backend():
+    words = synthetic_words(40, rng=3)
+    manager, ledger = churned_manager(
+        words, EditDistance(), "bkt", rng=np.random.default_rng(4)
+    )
+    assert verify_shard_manager(manager) == []
+    scratch, gids = scratch_manager(manager, ledger, EditDistance(), "bkt")
+    for query in words[:3]:
+        want = sorted(gids[i] for i in scratch.range_search(query, 2.0))
+        assert manager.range_search(query, 2.0) == want
+        assert manager.knn_search(query, 4) == [
+            Neighbor(n.distance, gids[n.id])
+            for n in scratch.knn_search(query, 4)
+        ]
+
+
+def test_rolling_rebuild_swaps_are_atomic(uniform_data):
+    """Readers racing a full rolling rebuild never see a torn answer.
+
+    The live set is static during the roll, so every concurrent range
+    and k-NN answer must equal the pre-roll answer at every instant —
+    any half-swapped epoch or dropped memtable row would surface as a
+    wrong id-set.  Epochs must advance once per replica per shard.
+    """
+    objects = uniform_data[:80]
+    manager = ShardManager(
+        objects, L2(), n_shards=3, backend="vpt", rng=8,
+        replication_factor=2,
+    )
+    rng = np.random.default_rng(9)
+    ledger = dict(enumerate(objects))
+    for _ in range(6):
+        row = rng.random(10)
+        ledger[manager.insert(row)] = row
+    for victim in (2, 9, 33):
+        manager.delete(victim)
+        del ledger[victim]
+    coordinator = RebuildCoordinator(manager, rng=10)
+    query = objects[5] + 0.01
+    expected_range = manager.range_search(query, 0.7)
+    expected_knn = manager.knn_search(query, 6)
+    epochs_before = [manager.epoch(s) for s in range(3)]
+    stop = threading.Event()
+    errors: list[Exception] = []
+
+    def search():
+        try:
+            while not stop.is_set():
+                assert manager.range_search(query, 0.7) == expected_range
+                assert manager.knn_search(query, 6) == expected_knn
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=search) for _ in range(3)]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(3):
+            for shard in range(3):
+                coordinator.rebuild_shard(shard)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert errors == []
+    for shard in range(3):
+        # 3 rolls x 2 replicas = 6 swaps, each an epoch bump.
+        assert manager.epoch(shard) == epochs_before[shard] + 6
+        assert manager.memtable(shard) == []
+    assert verify_shard_manager(manager) == []
+    assert manager.range_search(query, 0.7) == expected_range

@@ -6,6 +6,9 @@ import pytest
 
 from repro.resilience.chaos import (
     CHAOS_BACKENDS,
+    ChurnCase,
+    generate_case,
+    generate_churn_case,
     CHAOS_KINDS,
     DEGRADED_KINDS,
     EXACT_KINDS,
@@ -136,3 +139,95 @@ class TestCampaign:
         assert doc["seed"] == 0
         assert doc["ok"] is True
         assert doc["n_cases"] == 2
+
+
+class TestChurnGeneration:
+    def test_same_seed_same_case(self):
+        for index in (0, 5, 13):
+            a = generate_churn_case(0, index)
+            b = generate_churn_case(0, index)
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_backend_rotation_covers_the_registry(self):
+        seen = {
+            generate_churn_case(0, i).backend
+            for i in range(len(CHAOS_BACKENDS))
+        }
+        assert seen == set(CHAOS_BACKENDS)
+
+    def test_every_case_is_replicated_and_genuinely_churns(self):
+        for index in range(30):
+            case = generate_churn_case(0, index)
+            assert case.replication_factor >= 2
+            assert len(case.phases) >= 2
+            assert case.phases[0].inserts and case.phases[0].deletes
+
+    def test_generate_case_dispatches_by_family(self):
+        churn = generate_case(0, 0, family="churn")
+        faults = generate_case(0, 0, family="faults")
+        assert isinstance(churn, ChurnCase)
+        assert not isinstance(faults, ChurnCase)
+        with pytest.raises(ValueError, match="unknown campaign family"):
+            generate_case(0, 0, family="entropy")
+
+
+class TestChurnRunCase:
+    @pytest.mark.parametrize("case_index", range(len(CHAOS_BACKENDS)))
+    def test_one_case_per_backend_is_clean(self, case_index):
+        case = generate_churn_case(0, case_index)
+        assert case.backend == CHAOS_BACKENDS[case_index % len(CHAOS_BACKENDS)]
+        assert run_case(case) == []
+
+    def test_case_is_rerunnable(self):
+        case = generate_churn_case(0, 2)
+        assert run_case(case) == []
+        assert run_case(case) == []
+
+
+class TestChurnCampaign:
+    def test_short_campaign_is_clean_and_counts_backends(self):
+        n = len(CHAOS_BACKENDS)
+        result = run_campaign(0, n, family="churn")
+        assert result.ok, [f.__dict__ for f in result.findings]
+        assert result.family == "churn"
+        assert set(result.kinds_run) == set(CHAOS_BACKENDS)
+        assert sum(result.kinds_run.values()) == n
+
+    def test_family_rides_through_to_dict(self):
+        import json
+
+        result = run_campaign(0, 2, family="churn")
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["family"] == "churn"
+        assert doc["ok"] is True
+
+    def test_lockwatched_churn_case_stays_clean(self):
+        result = run_campaign(0, 1, family="churn", lockwatch=True)
+        assert result.ok, [f.__dict__ for f in result.findings]
+
+
+class TestChurnCli:
+    def test_run_parses_family_flag(self, capsys):
+        from repro.resilience.cli import main
+
+        assert main(
+            ["run", "--seed", "0", "--cases", "2", "--family", "churn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos[churn]: 0 finding(s) across 2 case(s)" in out
+
+    def test_show_prints_a_churn_script(self, capsys):
+        import json
+
+        from repro.resilience.cli import main
+
+        assert main(["show", "--seed", "0", "--case", "1", "--family", "churn"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"].startswith("churn-seed0-case0001")
+        assert doc["phases"]
+
+    def test_unknown_family_is_rejected(self):
+        from repro.resilience.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "--family", "entropy"])

@@ -108,6 +108,48 @@ class TestTruncationMatrix:
         )
 
 
+class TestGNATCorruptionMatrix:
+    """The newest family rides the same refusal matrix as the rest."""
+
+    @pytest.fixture(scope="class")
+    def gnat_blob(self, data, tmp_path_factory):
+        from repro.indexes.gnat import GNAT
+
+        path = tmp_path_factory.mktemp("fmt-gnat") / "good.rsx"
+        write_store(GNAT(data, L2(), degree=3, leaf_capacity=4, rng=2), path)
+        return path.read_bytes()
+
+    def test_good_gnat_store_verifies(self, tmp_path, gnat_blob):
+        store = reopen(tmp_path, gnat_blob)
+        assert store.n_objects == 60
+        store.close()
+
+    def test_every_truncation_prefix_refused(self, tmp_path, gnat_blob):
+        total = len(gnat_blob)
+        lengths = set(range(0, total, 97)) | set(range(max(0, total - 8), total))
+        for length in sorted(lengths):
+            with pytest.raises(StoreCorrupt) as excinfo:
+                reopen(tmp_path, gnat_blob[:length])
+            assert excinfo.value.reason in (
+                "no-header",
+                "bad-length",
+                "bad-payload",
+                "bad-digest",
+            ), f"prefix {length}: unexpected tag {excinfo.value.reason}"
+
+    def test_bit_flip_under_digest_refused(self, tmp_path, gnat_blob):
+        blob = bytearray(gnat_blob)
+        blob[-3] ^= 0x10
+        assert refusal(tmp_path, bytes(blob)) == "bad-digest"
+
+    def test_stale_digest(self, tmp_path, gnat_blob, data):
+        changed = np.array(data)
+        changed[0, 0] += 1.0
+        assert refusal(
+            tmp_path, gnat_blob, source_points=changed
+        ) == "stale-digest"
+
+
 class TestDigest:
     def test_bit_flip_under_digest_refused(self, tmp_path, good_blob):
         blob = bytearray(good_blob)

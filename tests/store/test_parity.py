@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.gmvptree import GMVPTree
 from repro.core.mvptree import MVPTree
+from repro.indexes.gnat import GNAT
 from repro.indexes.laesa import LAESA
 from repro.indexes.linear import LinearScan
 from repro.indexes.vptree import VPTree
@@ -50,10 +51,12 @@ def build(family, data):
         return GMVPTree(data, metric, m=2, v=3, k=8, p=4, rng=rng)
     if family == "laesa":
         return LAESA(data, metric, n_pivots=6, rng=rng)
+    if family == "gnat":
+        return GNAT(data, metric, degree=4, leaf_capacity=4, rng=rng)
     raise AssertionError(family)
 
 
-FAMILIES = ["linear", "vpt", "mvpt", "gmvpt", "laesa"]
+FAMILIES = ["linear", "vpt", "mvpt", "gmvpt", "laesa", "gnat"]
 
 
 @pytest.fixture(scope="module", params=FAMILIES)
@@ -122,6 +125,15 @@ class TestApproximateKnnParity:
         with open_index(path, L2()) as backed:
             with pytest.raises(ValueError, match="epsilon"):
                 backed.knn_search(data[0], 3, epsilon=-0.1)
+
+    def test_gnat_epsilon_rejected(self, data, tmp_path):
+        # In-memory GNAT k-NN has no epsilon parameter, so the backed
+        # view refuses it too rather than silently answering exactly.
+        path = tmp_path / "gnat.rsx"
+        write_store(build("gnat", data), path)
+        with open_index(path, L2()) as backed:
+            with pytest.raises(ValueError, match="epsilon"):
+                backed.knn_search(data[0], 3, epsilon=0.5)
 
 
 class TestDeterministicBytes:
